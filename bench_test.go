@@ -1,0 +1,158 @@
+// Package main_test benchmarks the reproduction harness: one testing.B
+// target per table and figure of the evaluation (see DESIGN.md's
+// per-experiment index). Each bench runs the experiment at Quick scale —
+// the same code path as `repro <id>`, so `go test -bench` both regenerates
+// every result and reports how long each costs. Failures inside an
+// experiment fail the bench.
+package main_test
+
+import (
+	"testing"
+
+	"powercap/internal/experiments"
+)
+
+func benchTable(b *testing.B, run func() (experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", tab.ID)
+		}
+	}
+}
+
+func BenchmarkFig42(b *testing.B) {
+	benchTable(b, experiments.Fig42)
+}
+
+func BenchmarkFig43(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig43(experiments.Quick, 1) })
+}
+
+func BenchmarkTable42(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Table42(experiments.Quick, 1) })
+}
+
+func BenchmarkFig44(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig44(experiments.Quick, 1) })
+}
+
+func BenchmarkFig45(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig45(experiments.Quick, 1) })
+}
+
+func BenchmarkFig46(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig46(experiments.Quick, 1) })
+}
+
+func BenchmarkFig47(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig47(experiments.Quick, 1) })
+}
+
+func BenchmarkFig48(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig48(1) })
+}
+
+func BenchmarkFig49(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig49(1) })
+}
+
+func BenchmarkFig410(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig410(experiments.Quick, 1) })
+}
+
+func BenchmarkFig31(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig31(1) })
+}
+
+func BenchmarkFig35(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig35(experiments.Quick, 1) })
+}
+
+func BenchmarkFig37(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig37(experiments.Quick, 1) })
+}
+
+func BenchmarkTable32(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Table32(experiments.Quick, 1) })
+}
+
+func BenchmarkFig34(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig34(experiments.Quick, 1) })
+}
+
+func BenchmarkFig310(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig310(experiments.Quick, 1) })
+}
+
+func BenchmarkFig311(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig311(experiments.Quick, 1) })
+}
+
+func BenchmarkFig312(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig312(experiments.Quick, 1) })
+}
+
+func BenchmarkFig313(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig313(experiments.Quick, 1) })
+}
+
+func BenchmarkFig314(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig314(experiments.Quick, 1) })
+}
+
+func BenchmarkFig52(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig52(experiments.Quick, 1) })
+}
+
+func BenchmarkFig53(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig53(experiments.Quick, 1) })
+}
+
+func BenchmarkTable52(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Table52(experiments.Quick, 1) })
+}
+
+func BenchmarkFig54(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig54(experiments.Quick, 1) })
+}
+
+func BenchmarkFig55(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig55(experiments.Quick, 1) })
+}
+
+func BenchmarkScaling(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Scaling(experiments.Quick, 1) })
+}
+
+func BenchmarkSafety(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Safety(experiments.Quick, 1) })
+}
+
+func BenchmarkFXplore(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.FXplore(experiments.Quick, 1) })
+}
+
+func BenchmarkHierarchy(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Hierarchy(experiments.Quick, 1) })
+}
+
+func BenchmarkAsync(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Async(experiments.Quick, 1) })
+}
+
+func BenchmarkFailure(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Failure(experiments.Quick, 1) })
+}
+
+func BenchmarkAblation(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Ablation(experiments.Quick, 1) })
+}
+
+func BenchmarkFig57(b *testing.B) {
+	benchTable(b, func() (experiments.Table, error) { return experiments.Fig57(experiments.Quick, 1) })
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDaemonsFormRingAndConverge builds the dibad binary and launches four
+// real OS processes that discover each other over localhost TCP, run DiBA,
+// and print their settled caps — the closest this repository gets to the
+// dissertation's 12-machine prototype without the machines.
+func TestDaemonsFormRingAndConverge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := filepath.Join(t.TempDir(), "dibad")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building dibad: %v\n%s", err, out)
+	}
+
+	const n = 4
+	// Reserve n ports by listening and closing; the daemons re-bind them.
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	var peers strings.Builder
+	for i, a := range addrs {
+		fmt.Fprintf(&peers, "%d %s\n", i, a)
+	}
+	peersPath := filepath.Join(t.TempDir(), "peers.txt")
+	if err := os.WriteFile(peersPath, []byte(peers.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	benchs := []string{"EP", "RA", "CG", "HPL"}
+	budget := 170.0 * n
+	outputs := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cmd := exec.Command(bin,
+				"-id", strconv.Itoa(i),
+				"-peers", peersPath,
+				"-budget", fmt.Sprintf("%f", budget),
+				"-workload", benchs[i],
+				"-rounds", "0", // self-terminating mode
+			)
+			out, err := cmd.CombinedOutput()
+			outputs[i] = string(out)
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("daemon %d failed: %v\n%s", i, err, outputs[i])
+		}
+	}
+
+	// Parse the printed caps and check the cluster budget plus the
+	// qualitative split: the compute-bound agents must out-draw the
+	// memory-bound ones.
+	capRe := regexp.MustCompile(`cap=([0-9.]+)W`)
+	caps := make([]float64, n)
+	var total float64
+	for i, out := range outputs {
+		m := capRe.FindStringSubmatch(out)
+		if m == nil {
+			t.Fatalf("daemon %d output unparseable:\n%s", i, out)
+		}
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps[i] = v
+		total += v
+	}
+	if total > budget {
+		t.Fatalf("daemons exceeded the budget: Σ=%v > %v", total, budget)
+	}
+	if caps[0] <= caps[1] { // EP vs RA
+		t.Fatalf("compute-bound EP (%v W) must out-draw memory-bound RA (%v W)", caps[0], caps[1])
+	}
+	if caps[3] <= caps[2] { // HPL vs CG
+		t.Fatalf("compute-bound HPL (%v W) must out-draw memory-bound CG (%v W)", caps[3], caps[2])
+	}
+	// All daemons must have self-terminated at the identical round.
+	roundRe := regexp.MustCompile(`rounds=([0-9]+)`)
+	var stopRound string
+	for i, out := range outputs {
+		m := roundRe.FindStringSubmatch(out)
+		if m == nil {
+			t.Fatalf("daemon %d output missing round count:\n%s", i, out)
+		}
+		if stopRound == "" {
+			stopRound = m[1]
+		} else if m[1] != stopRound {
+			t.Fatalf("daemon %d stopped at round %s, others at %s", i, m[1], stopRound)
+		}
+	}
+}

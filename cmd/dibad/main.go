@@ -1,0 +1,202 @@
+// Command dibad is a standalone DiBA agent daemon — the per-server process
+// of the dissertation's "working prototype of DiBA on a real experimental
+// cluster". Each instance controls one server's power cap and exchanges
+// estimates with its ring neighbors over TCP.
+//
+// A cluster is described by a peers file with one "id host:port" line per
+// agent; the ring is implied by id order. Example for a three-node cluster:
+//
+//	0 10.0.0.1:7946
+//	1 10.0.0.2:7946
+//	2 10.0.0.3:7946
+//
+// Run on each machine:
+//
+//	dibad -id 1 -peers peers.txt -budget 510 -workload CG -rounds 2000
+//
+// The daemon fits its workload's throughput model from a (simulated) DVFS
+// sweep, joins the ring, runs the given number of DiBA rounds and prints
+// the resulting power cap. For a single-machine demonstration across
+// processes, see examples/tcpcluster which spawns agents on localhost.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"powercap/internal/diba"
+	"powercap/internal/workload"
+)
+
+func main() {
+	id := flag.Int("id", -1, "this agent's node id (line in the peers file)")
+	peersPath := flag.String("peers", "", "path to the peers file: one 'id host:port' per line")
+	budget := flag.Float64("budget", 0, "cluster-wide power budget in watts")
+	bench := flag.String("workload", "EP", "benchmark this server runs (Table 4.1 name)")
+	rounds := flag.Int("rounds", 2000, "DiBA rounds to execute (0 = run until the cluster self-detects quiescence)")
+	timeout := flag.Duration("connect-timeout", 10*time.Second, "neighbor connect timeout")
+	seed := flag.Int64("seed", 1, "seed for the characterization sweep noise")
+	statusAddr := flag.String("status", "", "optional HTTP status endpoint, e.g. 127.0.0.1:8080 (GET /status)")
+	flag.Parse()
+
+	if *id < 0 || *peersPath == "" || *budget <= 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	addrs, err := readPeers(*peersPath)
+	if err != nil {
+		log.Fatalf("dibad: %v", err)
+	}
+	n := len(addrs)
+	if n < 3 {
+		log.Fatalf("dibad: a ring needs at least 3 agents, peers file has %d", n)
+	}
+	self, ok := addrs[*id]
+	if !ok {
+		log.Fatalf("dibad: id %d not present in peers file", *id)
+	}
+
+	b, err := workload.ByName(workload.HPC, *bench)
+	if err != nil {
+		log.Fatalf("dibad: %v", err)
+	}
+	srv := workload.DefaultServer
+	rng := rand.New(rand.NewSource(*seed + int64(*id)))
+	util, err := workload.FitFromSweep(b, srv, 0.01, rng)
+	if err != nil {
+		log.Fatalf("dibad: characterizing %s: %v", *bench, err)
+	}
+
+	tr, err := diba.NewTCPTransport(*id, self)
+	if err != nil {
+		log.Fatalf("dibad: %v", err)
+	}
+	defer tr.Close()
+	neighbors := []int{(*id + n - 1) % n, (*id + 1) % n}
+	log.Printf("dibad: agent %d listening on %s, ring neighbors %v", *id, tr.Addr(), neighbors)
+	if err := tr.ConnectNeighbors(neighbors, addrs, *timeout); err != nil {
+		log.Fatalf("dibad: %v", err)
+	}
+
+	// Every agent derives its initial estimate from the published cluster
+	// parameters: budget, size, and the common idle floor.
+	totalIdle := srv.IdleWatts * float64(n)
+	agent, err := diba.NewAgent(*id, neighbors, util, *budget, n, totalIdle, diba.Config{}, tr)
+	if err != nil {
+		log.Fatalf("dibad: %v", err)
+	}
+	var status statusServer
+	if *statusAddr != "" {
+		status.start(*statusAddr, *id, *bench)
+	}
+	start := time.Now()
+	finalRounds := 0
+	if *rounds == 0 {
+		// Coordinator-free stopping: every agent runs the same rule and all
+		// halt at the identical round (margin n exceeds any ring diameter).
+		st, err := agent.RunUntilQuiet(diba.QuietConfig{TolW: 1e-3, Settle: 50, Margin: n, MaxRounds: 200000})
+		if err != nil {
+			log.Fatalf("dibad: %v", err)
+		}
+		finalRounds = st.Rounds
+		status.update(agent.Power(), agent.Estimate(), st.Rounds)
+	} else {
+		for r := 0; r < *rounds; r++ {
+			if err := agent.StepOnce(); err != nil {
+				log.Fatalf("dibad: round %d: %v", r, err)
+			}
+			status.update(agent.Power(), agent.Estimate(), r+1)
+		}
+		finalRounds = *rounds
+	}
+	fmt.Printf("agent %d: workload=%s cap=%.2fW estimate=%.4f rounds=%d elapsed=%v\n",
+		*id, *bench, agent.Power(), agent.Estimate(), finalRounds, time.Since(start).Round(time.Millisecond))
+}
+
+// statusServer exposes the agent's live state over HTTP for operators.
+type statusServer struct {
+	enabled bool
+	id      int
+	bench   string
+	// Fixed-point packed values keep the handler lock-free.
+	capMilli atomic.Int64
+	estMicro atomic.Int64
+	round    atomic.Int64
+}
+
+func (s *statusServer) start(addr string, id int, bench string) {
+	s.enabled = true
+	s.id = id
+	s.bench = bench
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("dibad: status listen: %v", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]interface{}{
+			"id":       s.id,
+			"workload": s.bench,
+			"capW":     float64(s.capMilli.Load()) / 1000,
+			"estimate": float64(s.estMicro.Load()) / 1e6,
+			"round":    s.round.Load(),
+		})
+	})
+	log.Printf("dibad: status endpoint at http://%s/status", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			log.Printf("dibad: status server stopped: %v", err)
+		}
+	}()
+}
+
+func (s *statusServer) update(capW, est float64, round int) {
+	if !s.enabled {
+		return
+	}
+	s.capMilli.Store(int64(capW * 1000))
+	s.estMicro.Store(int64(est * 1e6))
+	s.round.Store(int64(round))
+}
+
+func readPeers(path string) (map[int]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[int]string)
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var id int
+		var addr string
+		if _, err := fmt.Sscanf(text, "%d %s", &id, &addr); err != nil {
+			return nil, fmt.Errorf("peers file line %d: %v", line, err)
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("peers file line %d: duplicate id %d", line, id)
+		}
+		out[id] = addr
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

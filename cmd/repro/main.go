@@ -1,0 +1,231 @@
+// Command repro regenerates the tables and figures of the reproduced
+// evaluation. Each experiment id (see DESIGN.md's per-experiment index)
+// maps to one subcommand:
+//
+//	repro [-full] [-seed N] all
+//	repro [-full] [-seed N] fig4.3 table4.2 ...
+//	repro list
+//
+// By default experiments run at the Quick scale (smaller clusters, same
+// qualitative shapes); -full selects the paper's parameters and can take
+// many minutes for the large knapsack and DiBA runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"powercap/internal/asciiplot"
+	"powercap/internal/experiments"
+)
+
+type runner func(scale experiments.Scale, seed int64) (experiments.Table, error)
+
+var registry = map[string]runner{
+	"fig4.2": func(experiments.Scale, int64) (experiments.Table, error) { return experiments.Fig42() },
+	"fig4.3": experiments.Fig43,
+	"table4.2": func(s experiments.Scale, seed int64) (experiments.Table, error) {
+		return experiments.Table42(s, seed)
+	},
+	"fig4.4": experiments.Fig44,
+	"fig4.5": experiments.Fig45,
+	"fig4.6": experiments.Fig46,
+	"fig4.7": experiments.Fig47,
+	"fig4.8": func(_ experiments.Scale, seed int64) (experiments.Table, error) {
+		return experiments.Fig48(seed)
+	},
+	"fig4.9": func(_ experiments.Scale, seed int64) (experiments.Table, error) {
+		return experiments.Fig49(seed)
+	},
+	"fig4.10":  experiments.Fig410,
+	"table3.2": experiments.Table32,
+	"fig3.1": func(_ experiments.Scale, seed int64) (experiments.Table, error) {
+		return experiments.Fig31(seed)
+	},
+	"fig3.5":    experiments.Fig35,
+	"fig3.7":    experiments.Fig37,
+	"fig5.2":    experiments.Fig52,
+	"fig5.3":    experiments.Fig53,
+	"fig3.4":    experiments.Fig34,
+	"fig3.10":   experiments.Fig310,
+	"fig3.11":   experiments.Fig311,
+	"fig3.12":   experiments.Fig312,
+	"fig3.13":   experiments.Fig313,
+	"fig3.14":   experiments.Fig314,
+	"table5.2":  experiments.Table52,
+	"ablation":  experiments.Ablation,
+	"failure":   experiments.Failure,
+	"async":     experiments.Async,
+	"hierarchy": experiments.Hierarchy,
+	"fxplore":   experiments.FXplore,
+	"safety":    experiments.Safety,
+	"scaling":   experiments.Scaling,
+	"fig5.4":    experiments.Fig54,
+	"fig5.5":    experiments.Fig55,
+	"fig5.7":    experiments.Fig57,
+}
+
+func ids() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	full := flag.Bool("full", false, "run at the paper's full scale (slow)")
+	seed := flag.Int64("seed", 1, "random seed")
+	csvDir := flag.String("csv", "", "also write each result as <dir>/<id>.csv")
+	plot := flag.Bool("plot", false, "render figures as ASCII line charts below each table")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: repro [-full] [-seed N] <experiment ids...|all|list>\n\nexperiments:\n")
+		for _, id := range ids() {
+			fmt.Fprintf(os.Stderr, "  %s\n", id)
+		}
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+
+	var selected []string
+	switch args[0] {
+	case "list":
+		for _, id := range ids() {
+			fmt.Println(id)
+		}
+		return
+	case "all":
+		selected = ids()
+	default:
+		selected = args
+	}
+
+	exit := 0
+	for _, id := range selected {
+		r, ok := registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "repro: unknown experiment %q (try 'repro list')\n", id)
+			exit = 1
+			continue
+		}
+		start := time.Now()
+		t, err := r(scale, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s failed: %v\n", id, err)
+			exit = 1
+			continue
+		}
+		t.Fprint(os.Stdout)
+		if *plot {
+			if chart := renderChart(t); chart != "" {
+				fmt.Println(chart)
+			}
+		}
+		fmt.Printf("  (%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, id, t); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: writing %s.csv: %v\n", id, err)
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+// renderChart plots the table's numeric columns against its first numeric
+// column. Tables without at least two numeric columns render nothing.
+func renderChart(t experiments.Table) string {
+	if len(t.Rows) < 2 {
+		return ""
+	}
+	numeric := func(col int) ([]float64, bool) {
+		out := make([]float64, len(t.Rows))
+		for r, row := range t.Rows {
+			if col >= len(row) {
+				return nil, false
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(row[col]), 64)
+			if err != nil {
+				return nil, false
+			}
+			out[r] = v
+		}
+		return out, true
+	}
+	var x []float64
+	xCol := -1
+	for c := range t.Columns {
+		if vals, ok := numeric(c); ok {
+			x, xCol = vals, c
+			break
+		}
+	}
+	if xCol < 0 {
+		return ""
+	}
+	// Anchor the Y axis on the first numeric column after X and only plot
+	// columns on a comparable scale, so e.g. percentage columns don't
+	// squash SNP curves.
+	var series []asciiplot.Series
+	var lo, hi float64
+	for c := xCol + 1; c < len(t.Columns); c++ {
+		vals, ok := numeric(c)
+		if !ok {
+			continue
+		}
+		vMin, vMax := vals[0], vals[0]
+		for _, v := range vals {
+			if v < vMin {
+				vMin = v
+			}
+			if v > vMax {
+				vMax = v
+			}
+		}
+		if len(series) == 0 {
+			lo, hi = vMin, vMax
+		} else {
+			span := hi - lo
+			if span == 0 {
+				span = 1
+			}
+			if vMin < lo-2*span || vMax > hi+2*span {
+				continue // different scale; skip
+			}
+		}
+		series = append(series, asciiplot.Series{Name: t.Columns[c], X: x, Y: vals})
+	}
+	if len(series) == 0 {
+		return ""
+	}
+	return asciiplot.Render(series, asciiplot.Options{
+		Title: fmt.Sprintf("  %s vs %s", t.ID, t.Columns[xCol]),
+	})
+}
+
+func writeCSV(dir, id string, t experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}

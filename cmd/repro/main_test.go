@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"powercap/internal/experiments"
+)
+
+func TestRegistryCoversDesignIndex(t *testing.T) {
+	// Every experiment the DESIGN.md index names must be runnable.
+	for _, id := range []string{
+		"fig4.2", "fig4.3", "table4.2", "fig4.4", "fig4.5", "fig4.6",
+		"fig4.7", "fig4.8", "fig4.9", "fig4.10",
+		"table3.2", "fig3.1", "fig3.4", "fig3.5", "fig3.7", "fig3.10", "fig3.11", "fig3.12", "fig3.13", "fig3.14",
+		"table5.2", "fig5.2", "fig5.3", "fig5.4", "fig5.5", "fig5.7",
+		"ablation", "failure", "async", "hierarchy", "fxplore", "safety", "scaling",
+	} {
+		if _, ok := registry[id]; !ok {
+			t.Fatalf("experiment %q missing from the registry", id)
+		}
+	}
+	if len(registry) != 33 {
+		t.Fatalf("registry has %d entries; update this test when adding experiments", len(registry))
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	got := ids()
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("ids not sorted: %q before %q", got[i-1], got[i])
+		}
+	}
+}
+
+func TestRenderChartNumericTable(t *testing.T) {
+	tab := experiments.Table{
+		ID:      "demo",
+		Columns: []string{"x", "label", "y1", "y2"},
+	}
+	tab.AddRow(1, "a", 10.0, 11.0)
+	tab.AddRow(2, "b", 20.0, 19.0)
+	tab.AddRow(3, "c", 30.0, 31.0)
+	out := renderChart(tab)
+	if out == "" {
+		t.Fatal("numeric table must render")
+	}
+	if !strings.Contains(out, "* y1") || !strings.Contains(out, "o y2") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if strings.Contains(out, "label") {
+		t.Fatal("non-numeric column must not be plotted")
+	}
+}
+
+func TestRenderChartScaleFilter(t *testing.T) {
+	tab := experiments.Table{ID: "demo", Columns: []string{"x", "snp", "pct"}}
+	tab.AddRow(1, 0.90, 500.0)
+	tab.AddRow(2, 0.95, 300.0)
+	out := renderChart(tab)
+	if !strings.Contains(out, "* snp") {
+		t.Fatal("anchor series missing")
+	}
+	if strings.Contains(out, "pct") {
+		t.Fatal("wild-scale series must be filtered out")
+	}
+}
+
+func TestRenderChartNothingNumeric(t *testing.T) {
+	tab := experiments.Table{ID: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow("x", "y")
+	tab.AddRow("z", "w")
+	if out := renderChart(tab); out != "" {
+		t.Fatalf("non-numeric table must not render, got %q", out)
+	}
+	one := experiments.Table{ID: "demo", Columns: []string{"a"}}
+	one.AddRow(1.0)
+	if out := renderChart(one); out != "" {
+		t.Fatal("single-column table must not render")
+	}
+}
+
+func TestWriteCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	tab := experiments.Table{ID: "demo", Columns: []string{"a"}, Notes: []string{"n"}}
+	tab.AddRow(1)
+	if err := writeCSV(dir, "demo", tab); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "demo.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a\n1\n# n\n" {
+		t.Fatalf("csv = %q", data)
+	}
+}

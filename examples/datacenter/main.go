@@ -1,0 +1,122 @@
+// Datacenter: the Chapter 3 pipeline end to end — a total facility budget
+// is split self-consistently between computing and cooling (Algorithm 1),
+// with the computing share allocated by the predictor-driven
+// multiple-choice knapsack budgeter over discrete power caps.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"powercap/internal/knapsack"
+	"powercap/internal/predict"
+	"powercap/internal/stats"
+	"powercap/internal/thermal"
+	"powercap/internal/workload"
+)
+
+func main() {
+	const (
+		nServers = 800 // 80 racks × 10 servers
+		racks    = 80
+		totalMW  = 0.168 // total facility budget (0.67 MW-equivalent at 3200 servers)
+	)
+	srv := workload.Chapter3Server
+	caps := workload.CapGrid(srv, 5)
+	rng := rand.New(rand.NewSource(11))
+
+	// 1. Train the throughput predictor on characterization data.
+	train, _, err := predict.TrainTestSplit(workload.Desktop, srv, caps, 150, 1, 0.01, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := predict.Train(predict.QuadraticLLCTP, train)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Current cluster state: workload sets and one runtime observation
+	// per server at the present cap.
+	sets := make([]workload.Set, nServers)
+	obs := make([]workload.Observation, nServers)
+	for i := range sets {
+		sets[i] = workload.NewHeteroSet(workload.Desktop, rng)
+		obs[i] = sets[i].Observe(145, srv, 0.01, rng)
+	}
+
+	// 3. Thermal model of the room (the stand-in for the one-time CFD run).
+	room, err := thermal.NewDefaultRoom(1.8*40/float64(nServers/racks), 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The computing budgeter: knapsack over predicted ANPs. Transient
+	// intermediate budgets below the idle floor are clamped (the fixed
+	// point itself is feasible).
+	minComputing := srv.IdleWatts * nServers
+	budgeter := func(bs float64) ([]float64, error) {
+		if bs < minComputing {
+			bs = minComputing
+		}
+		choices, err := knapsack.CapGridChoices(nServers, caps, func(i int, cap float64) float64 {
+			return model.Predict(obs[i], cap)
+		})
+		if err != nil {
+			return nil, err
+		}
+		p := knapsack.Problem{Choices: choices, Budget: bs, StepW: 5}
+		sol, err := knapsack.Solve(p)
+		if err != nil {
+			return nil, err
+		}
+		alloc := knapsack.Alloc(p, sol)
+		rackPow := make([]float64, racks)
+		for i, w := range alloc {
+			rackPow[i/(nServers/racks)] += w
+		}
+		return rackPow, nil
+	}
+
+	// 5. Self-consistent total partition (Algorithm 1).
+	total := totalMW * 1e6
+	part, err := room.SelfConsistent(total, budgeter, 50, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total budget     %8.1f kW\n", total/1000)
+	fmt.Printf("computing        %8.1f kW\n", part.Computing/1000)
+	fmt.Printf("cooling          %8.1f kW (%.1f%% of total)\n",
+		part.Cooling/1000, 100*part.Cooling/total)
+	fmt.Printf("CRAC supply      %8.1f °C (CoP %.2f)\n", part.SupplyC, thermal.CoP(part.SupplyC))
+	fmt.Printf("converged        %v in %d iterations\n", part.Converged, len(part.Steps))
+
+	// 6. Final server caps under the computing budget, and their quality
+	// against ground truth.
+	choices, err := knapsack.CapGridChoices(nServers, caps, func(i int, cap float64) float64 {
+		return model.Predict(obs[i], cap)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := knapsack.Problem{Choices: choices, Budget: part.Computing, StepW: 5}
+	sol, err := knapsack.Solve(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alloc := knapsack.Alloc(p, sol)
+	anps := make([]float64, nServers)
+	for i := range anps {
+		anps[i] = sets[i].GroundTruth(alloc[i], srv) / sets[i].Peak(srv)
+	}
+	fmt.Printf("\nSNP (geom mean)  %8.4f\n", stats.GeoMean(anps))
+	fmt.Printf("unfairness (CV)  %8.4f\n", stats.CoeffVar(anps))
+	hist := map[float64]int{}
+	for _, w := range alloc {
+		hist[w]++
+	}
+	fmt.Println("\ncap distribution:")
+	for _, c := range caps {
+		fmt.Printf("  %3.0f W: %4d servers\n", c, hist[c])
+	}
+}

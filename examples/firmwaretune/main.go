@@ -1,0 +1,66 @@
+// Firmware tuning (Chapter 6 extension): explore server firmware
+// configurations with FXplore-S instead of brute force, partition a
+// workload fleet into sub-clusters with FXplore-SC, and map fresh
+// workloads online without a single extra reboot.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"powercap/internal/firmware"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(6))
+
+	// 1. One workload, one server: sequential search vs brute force.
+	w := firmware.Generate("cg-like", 5, rng)
+	bf := firmware.BruteForce(w, firmware.MinRuntime)
+	sq := firmware.SequentialSearch(w, firmware.MinRuntime)
+	fmt.Printf("single workload (%d firmware options):\n", w.NumOptions())
+	fmt.Printf("  all-enabled baseline : runtime %.1f s\n", w.Runtime(firmware.AllEnabled(5)))
+	fmt.Printf("  brute force          : runtime %.1f s with %2d reboots → %s\n", bf.Value, bf.Evaluations, bf.Best)
+	fmt.Printf("  FXplore-S            : runtime %.1f s with %2d reboots → %s\n", sq.Value, sq.Evaluations, sq.Best)
+	en := firmware.SequentialSearch(w, firmware.MinEnergy)
+	fmt.Printf("  FXplore-S (energy)   : energy %.0f J → %s\n", en.Value, en.Best)
+
+	// 2. A fleet of 32 workloads, 4 sub-clusters.
+	ws := make([]*firmware.Workload, 32)
+	for i := range ws {
+		ws[i] = firmware.Generate(fmt.Sprintf("w%02d", i), 5, rng)
+	}
+	res, err := firmware.SubClusterSearch(ws, 4, firmware.MinRuntime, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfleet of %d workloads → 4 sub-clusters (%d reboots total):\n", len(ws), res.Evaluations)
+	var clustered, baseline float64
+	for i, w := range ws {
+		clustered += w.Runtime(res.Clusters[res.Assign[i]].Config)
+		baseline += w.Runtime(firmware.AllEnabled(5))
+	}
+	for c, cl := range res.Clusters {
+		fmt.Printf("  sub-cluster %d: %2d workloads, config %s\n", c, len(cl.Members), cl.Config)
+	}
+	fmt.Printf("  total runtime %.0f s vs %.0f s all-enabled (%.1f%% faster)\n",
+		clustered, baseline, 100*(baseline-clustered)/baseline)
+
+	// 3. Online mapping: new workloads land on a sub-cluster from their
+	// performance counters alone.
+	fmt.Println("\nonline mapping of fresh workloads (no reboots):")
+	var mapped, base float64
+	for i := 0; i < 5; i++ {
+		fresh := firmware.Generate(fmt.Sprintf("new%d", i), 5, rng)
+		c, cfg, err := res.Map(fresh.Features)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  new%d → sub-cluster %d (%s): %.1f s (all-enabled %.1f s)\n",
+			i, c, cfg, fresh.Runtime(cfg), fresh.Runtime(firmware.AllEnabled(5)))
+		mapped += fresh.Runtime(cfg)
+		base += fresh.Runtime(firmware.AllEnabled(5))
+	}
+	fmt.Printf("  aggregate: %.1f%% faster than all-enabled\n", 100*(base-mapped)/base)
+}

@@ -1,0 +1,3 @@
+module powercap
+
+go 1.22

@@ -1,0 +1,130 @@
+// Package asciiplot renders line charts as plain text, so the repro tool
+// can show the paper's *figures* as figures in a terminal, not only as
+// number tables. It is deliberately simple: a character canvas, one marker
+// per series, min/max-labelled axes, and a legend.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers cycles per series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Options configure rendering.
+type Options struct {
+	// Width and Height are the canvas size in characters (excluding axis
+	// labels). Zero selects 64×16.
+	Width, Height int
+	// Title is printed above the chart.
+	Title string
+}
+
+// Render draws the series onto a text canvas. Series with mismatched X/Y
+// lengths or no points are skipped. It returns "" when nothing is
+// plottable.
+func Render(series []Series, opt Options) string {
+	if opt.Width <= 0 {
+		opt.Width = 64
+	}
+	if opt.Height <= 0 {
+		opt.Height = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	var plottable []Series
+	for _, s := range series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			continue
+		}
+		ok := true
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) || math.IsInf(s.X[i], 0) || math.IsInf(s.Y[i], 0) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		plottable = append(plottable, s)
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if len(plottable) == 0 {
+		return ""
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	w, h := opt.Width, opt.Height
+	canvas := make([][]byte, h)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range plottable {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(w-1)))
+			row := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(h-1)))
+			r := h - 1 - row
+			if r >= 0 && r < h && col >= 0 && col < w {
+				canvas[r][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opt.Title)
+	}
+	yHi := trimNum(maxY)
+	yLo := trimNum(minY)
+	labelW := len(yHi)
+	if len(yLo) > labelW {
+		labelW = len(yLo)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", labelW)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", labelW, yHi)
+		}
+		if r == h-1 {
+			label = fmt.Sprintf("%*s", labelW, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(canvas[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", w))
+	xLo, xHi := trimNum(minX), trimNum(maxX)
+	pad := w - len(xLo) - len(xHi)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", labelW), xLo, strings.Repeat(" ", pad), xHi)
+	for si, s := range plottable {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// trimNum formats a float compactly.
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.4g", v)
+	return s
+}

@@ -1,0 +1,79 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderEmpty(t *testing.T) {
+	if got := Render(nil, Options{}); got != "" {
+		t.Fatalf("empty input must render nothing, got %q", got)
+	}
+	// Mismatched lengths are skipped.
+	s := []Series{{Name: "bad", X: []float64{1, 2}, Y: []float64{1}}}
+	if got := Render(s, Options{}); got != "" {
+		t.Fatalf("mismatched series must be skipped, got %q", got)
+	}
+}
+
+func TestRenderSkipsNaN(t *testing.T) {
+	nan := []Series{{Name: "n", X: []float64{1, 2}, Y: []float64{1, nanf()}}}
+	if got := Render(nan, Options{}); got != "" {
+		t.Fatal("NaN series must be skipped")
+	}
+}
+
+func nanf() float64 {
+	var z float64
+	return z / z
+}
+
+func TestRenderPlacesCorners(t *testing.T) {
+	s := []Series{{Name: "diag", X: []float64{0, 10}, Y: []float64{0, 10}}}
+	out := Render(s, Options{Width: 11, Height: 5, Title: "T"})
+	lines := strings.Split(out, "\n")
+	if lines[0] != "T" {
+		t.Fatalf("title missing: %q", lines[0])
+	}
+	// Top row holds the max point at the right edge; bottom canvas row the
+	// min at the left edge.
+	top := lines[1]
+	if !strings.HasSuffix(top, "*") {
+		t.Fatalf("max point not at top right: %q", top)
+	}
+	bottom := lines[5]
+	if !strings.Contains(bottom, "|*") {
+		t.Fatalf("min point not at bottom left: %q", bottom)
+	}
+	// Axis labels appear.
+	if !strings.Contains(out, "10") || !strings.Contains(out, "0") {
+		t.Fatal("axis labels missing")
+	}
+	// Legend names the series with its marker.
+	if !strings.Contains(out, "* diag") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestRenderTwoSeriesDistinctMarkers(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+		{Name: "b", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+	}
+	out := Render(s, Options{Width: 21, Height: 7})
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatalf("markers/legend wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("both markers must appear on the canvas")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	s := []Series{{Name: "c", X: []float64{5, 5, 5}, Y: []float64{3, 3, 3}}}
+	out := Render(s, Options{Width: 10, Height: 4})
+	if out == "" || !strings.Contains(out, "*") {
+		t.Fatalf("constant series must still render:\n%s", out)
+	}
+}

@@ -1,0 +1,257 @@
+// Package baseline implements the comparison allocators of the evaluation:
+// uniform power division, the throughput-per-Watt greedy of prior work
+// ("previous-greedy"), and the primal-dual decomposition scheme
+// (Algorithm 3) that Chapter 4 benchmarks DiBA against.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"powercap/internal/workload"
+)
+
+// ErrInfeasible mirrors the solver package: the budget cannot cover every
+// node's idle power.
+var ErrInfeasible = errors.New("baseline: budget below total idle power")
+
+func checkFeasible(us []workload.Utility, budget float64) error {
+	if len(us) == 0 {
+		return errors.New("baseline: no utilities")
+	}
+	var minSum float64
+	for _, u := range us {
+		minSum += u.MinPower()
+	}
+	if budget < minSum {
+		return fmt.Errorf("%w: budget %.1f < Σ idle %.1f", ErrInfeasible, budget, minSum)
+	}
+	return nil
+}
+
+// Uniform divides the budget evenly, clamped to each node's cap range. Any
+// watts freed by clamping at the top are redistributed evenly among nodes
+// with headroom so the budget is fully used when possible.
+func Uniform(us []workload.Utility, budget float64) ([]float64, error) {
+	if err := checkFeasible(us, budget); err != nil {
+		return nil, err
+	}
+	n := len(us)
+	alloc := make([]float64, n)
+	capped := make([]bool, n)
+	remaining := budget
+	free := n
+	// Iteratively spread: evenly among uncapped nodes, clamping as needed.
+	for free > 0 {
+		share := remaining / float64(free)
+		progressed := false
+		for i, u := range us {
+			if capped[i] {
+				continue
+			}
+			v := share
+			if v >= u.MaxPower() {
+				v = u.MaxPower()
+				progressed = true
+				capped[i] = true
+				free--
+			} else if v < u.MinPower() {
+				v = u.MinPower()
+			}
+			alloc[i] = v
+		}
+		var sum float64
+		for _, v := range alloc {
+			sum += v
+		}
+		if !progressed {
+			break
+		}
+		remaining = budget
+		for i := range alloc {
+			if capped[i] {
+				remaining -= alloc[i]
+			}
+		}
+	}
+	return alloc, nil
+}
+
+// Greedy is the "previous-greedy" method: rank servers by current
+// throughput per Watt (measured at a common probe cap) and hand out power
+// in rank order — the more efficient a server looks right now, the more
+// power it gets. As the text observes, this chases raw throughput and can
+// misallocate when ANP curves cross (Fig. 3.1, observation 3).
+func Greedy(us []workload.Utility, budget float64) ([]float64, error) {
+	if err := checkFeasible(us, budget); err != nil {
+		return nil, err
+	}
+	n := len(us)
+	type ranked struct {
+		idx int
+		tpw float64
+	}
+	rs := make([]ranked, n)
+	for i, u := range us {
+		probe := u.MinPower()
+		rs[i] = ranked{idx: i, tpw: u.Value(probe) / probe}
+	}
+	sort.Slice(rs, func(a, b int) bool { return rs[a].tpw > rs[b].tpw })
+
+	alloc := make([]float64, n)
+	remaining := budget
+	for i, u := range us {
+		alloc[i] = u.MinPower()
+		remaining -= u.MinPower()
+	}
+	for _, r := range rs {
+		if remaining <= 0 {
+			break
+		}
+		u := us[r.idx]
+		give := math.Min(remaining, u.MaxPower()-u.MinPower())
+		alloc[r.idx] += give
+		remaining -= give
+	}
+	return alloc, nil
+}
+
+// PDOptions configure the primal-dual decomposition algorithm.
+type PDOptions struct {
+	// Step is the price update step ε; 0 selects 1e-4 (per-node watts scale).
+	Step float64
+	// MaxIters bounds iterations; 0 selects 20000.
+	MaxIters int
+	// Tol is the convergence threshold on the budget residual per node;
+	// 0 selects 1e-3 W.
+	Tol float64
+}
+
+// PDResult reports the primal-dual run.
+type PDResult struct {
+	Alloc      []float64
+	Price      float64
+	Iterations int
+	// Converged is false when MaxIters was exhausted first.
+	Converged bool
+	// PriceTrace holds λ_t per iteration (for diagnostics/plots).
+	PriceTrace []float64
+}
+
+// PrimalDual runs Algorithm 3: the coordinator iterates the price
+//
+//	λ_{t+1} = [λ_t − ε (P − Σ p_i^t)]⁺
+//
+// and every node best-responds p_i^{t+1} = argmax r_i(p) − λ_t p. The
+// iteration count it returns drives the communication-time model of
+// Table 4.2.
+func PrimalDual(us []workload.Utility, budget float64, opt PDOptions) (PDResult, error) {
+	if err := checkFeasible(us, budget); err != nil {
+		return PDResult{}, err
+	}
+	if opt.MaxIters == 0 {
+		opt.MaxIters = 20000
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-2
+	}
+	n := len(us)
+	alloc := make([]float64, n)
+	lambda := 0.0
+	trace := make([]float64, 0, 256)
+	respond := func(l float64) float64 {
+		var sum float64
+		for i, u := range us {
+			if br, ok := u.(workload.BestResponder); ok {
+				alloc[i] = br.BestResponse(l)
+			} else {
+				alloc[i] = numericBestResponse(u, l)
+			}
+			sum += alloc[i]
+		}
+		return sum
+	}
+	if opt.Step == 0 {
+		// Condition the price update on the aggregate response slope
+		// |dΣp/dλ|. The slope varies along λ as nodes clamp at their cap
+		// ranges, so sample it across the whole relevant bracket and step
+		// with 1/max|slope|: then every update is a contraction and the
+		// iteration cannot oscillate.
+		var lambdaHi float64
+		for _, u := range us {
+			if g := u.Grad(u.MinPower()); g > lambdaHi {
+				lambdaHi = g
+			}
+		}
+		if lambdaHi <= 0 {
+			lambdaHi = 1
+		}
+		const samples = 16
+		var maxSlope float64
+		prevL, prevG := 0.0, respond(0)
+		for k := 1; k <= samples; k++ {
+			l := lambdaHi * float64(k) / samples
+			g := respond(l)
+			if s := math.Abs(g-prevG) / (l - prevL); s > maxSlope {
+				maxSlope = s
+			}
+			prevL, prevG = l, g
+		}
+		if maxSlope < 1e-9 {
+			maxSlope = float64(n)
+		}
+		opt.Step = 1 / maxSlope
+	}
+	iters := 0
+	converged := false
+	for ; iters < opt.MaxIters; iters++ {
+		sum := respond(lambda)
+		residual := budget - sum
+		trace = append(trace, lambda)
+		if math.Abs(residual) <= opt.Tol*float64(n) && (residual >= 0 || lambda > 0) {
+			// Stop when the residual is small; if the budget is slack with
+			// λ=0 that is the unconstrained optimum and also fine.
+			converged = true
+			break
+		}
+		if residual >= 0 && lambda == 0 {
+			// Slack budget at zero price: unconstrained optimum reached.
+			converged = true
+			break
+		}
+		lambda = math.Max(0, lambda-opt.Step*residual)
+	}
+	// Safety: if the final responses still exceed the budget (e.g. MaxIters
+	// hit while λ was catching up), nudge the price up until feasible so the
+	// reported allocation is always usable.
+	for respond(lambda) > budget && lambda < 1e6 {
+		lambda = (lambda + 1e-6) * 1.02
+	}
+	out := make([]float64, n)
+	copy(out, alloc)
+	return PDResult{Alloc: out, Price: lambda, Iterations: len(trace), Converged: converged, PriceTrace: trace}, nil
+}
+
+func numericBestResponse(u workload.Utility, lambda float64) float64 {
+	const phi = 0.6180339887498949
+	a, b := u.MinPower(), u.MaxPower()
+	span := b - a
+	obj := func(p float64) float64 { return u.Value(p) - lambda*p }
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := obj(x1), obj(x2)
+	for b-a > 1e-9*span {
+		if f1 < f2 {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = obj(x2)
+		} else {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = obj(x1)
+		}
+	}
+	return (a + b) / 2
+}

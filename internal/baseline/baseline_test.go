@@ -1,0 +1,249 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"powercap/internal/metrics"
+	"powercap/internal/solver"
+	"powercap/internal/workload"
+)
+
+func mkCluster(t testing.TB, n int, seed int64) []workload.Utility {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.UtilitySlice()
+}
+
+func TestUniformEvenSplit(t *testing.T) {
+	us := mkCluster(t, 10, 1)
+	budget := 1500.0
+	alloc, err := Uniform(us, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range alloc {
+		if math.Abs(p-150) > 1e-9 {
+			t.Fatalf("node %d alloc %v, want 150", i, p)
+		}
+	}
+	if !metrics.Feasible(us, alloc, budget, 1e-9) {
+		t.Fatal("uniform must be feasible")
+	}
+}
+
+func TestUniformClampsAndRedistributes(t *testing.T) {
+	// One node with a low max cap forces redistribution.
+	qSmall, _ := workload.NewQuadratic(0, 1, 0, 100, 120)
+	qBig1, _ := workload.NewQuadratic(0, 1, 0, 100, 300)
+	qBig2, _ := workload.NewQuadratic(0, 1, 0, 100, 300)
+	us := []workload.Utility{qSmall, qBig1, qBig2}
+	budget := 600.0
+	alloc, err := Uniform(us, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc[0] != 120 {
+		t.Fatalf("small node alloc %v, want capped 120", alloc[0])
+	}
+	if math.Abs(alloc[1]-240) > 1e-6 || math.Abs(alloc[2]-240) > 1e-6 {
+		t.Fatalf("big nodes must share the slack evenly: %v", alloc)
+	}
+	if math.Abs(metrics.TotalPower(alloc)-budget) > 1e-6 {
+		t.Fatalf("budget must be fully used: %v", metrics.TotalPower(alloc))
+	}
+}
+
+func TestUniformInfeasible(t *testing.T) {
+	us := mkCluster(t, 10, 2)
+	if _, err := Uniform(us, 500); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+	if _, err := Uniform(nil, 500); err == nil {
+		t.Fatal("empty cluster must error")
+	}
+}
+
+func TestGreedyFeasibleAndOrdered(t *testing.T) {
+	us := mkCluster(t, 20, 3)
+	budget := 20 * 140.0
+	alloc, err := Greedy(us, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !metrics.Feasible(us, alloc, budget, 1e-6) {
+		t.Fatal("greedy must be feasible")
+	}
+	if math.Abs(metrics.TotalPower(alloc)-budget) > 1e-6 {
+		t.Fatal("greedy must spend the whole budget when caps allow")
+	}
+	// The highest throughput-per-Watt node must be saturated before any
+	// lower-ranked node receives more than idle.
+	bestIdx, bestTPW := -1, -1.0
+	for i, u := range us {
+		if tpw := u.Value(u.MinPower()) / u.MinPower(); tpw > bestTPW {
+			bestTPW, bestIdx = tpw, i
+		}
+	}
+	if alloc[bestIdx] != us[bestIdx].MaxPower() {
+		t.Fatalf("highest-TPW node %d not saturated: %v", bestIdx, alloc[bestIdx])
+	}
+}
+
+func TestGreedyInfeasible(t *testing.T) {
+	us := mkCluster(t, 5, 4)
+	if _, err := Greedy(us, 100); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestPrimalDualConvergesToOptimal(t *testing.T) {
+	us := mkCluster(t, 50, 5)
+	budget := 50 * 160.0
+	opt, err := solver.Optimal(us, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := PrimalDual(us, budget, PDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pd.Converged {
+		t.Fatal("PD must converge on this instance")
+	}
+	if !metrics.Feasible(us, pd.Alloc, budget*1.001, 1e-6) {
+		t.Fatal("PD allocation grossly infeasible")
+	}
+	pu, _ := metrics.TotalUtility(us, pd.Alloc)
+	if gap := (opt.Utility - pu) / opt.Utility; gap > 0.01 {
+		t.Fatalf("PD utility gap %v > 1%%", gap)
+	}
+	if math.Abs(pd.Price-opt.Price)/math.Max(opt.Price, 1e-9) > 0.1 {
+		t.Fatalf("PD price %v far from optimal price %v", pd.Price, opt.Price)
+	}
+}
+
+func TestPrimalDualSlackBudget(t *testing.T) {
+	us := mkCluster(t, 10, 6)
+	pd, err := PrimalDual(us, 10*500, PDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pd.Converged || pd.Price != 0 {
+		t.Fatalf("slack budget: converged=%v price=%v, want true/0", pd.Converged, pd.Price)
+	}
+	if pd.Iterations != 1 {
+		t.Fatalf("slack budget should converge immediately, took %d", pd.Iterations)
+	}
+}
+
+func TestPrimalDualInfeasible(t *testing.T) {
+	us := mkCluster(t, 5, 7)
+	if _, err := PrimalDual(us, 100, PDOptions{}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestPrimalDualIterationTraceGrows(t *testing.T) {
+	us := mkCluster(t, 30, 8)
+	pd, err := PrimalDual(us, 30*150, PDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pd.PriceTrace) != pd.Iterations {
+		t.Fatalf("trace length %d != iterations %d", len(pd.PriceTrace), pd.Iterations)
+	}
+	if pd.PriceTrace[0] != 0 {
+		t.Fatal("price must start at 0")
+	}
+}
+
+// Property: PD ends feasible (within tolerance) and between uniform and
+// optimal utility on random constrained instances.
+func TestPrimalDualSandwichProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0, rng)
+		if err != nil {
+			return false
+		}
+		us := a.UtilitySlice()
+		budget := float64(n) * (120 + rng.Float64()*60)
+		opt, err := solver.Optimal(us, budget)
+		if err != nil {
+			return false
+		}
+		pd, err := PrimalDual(us, budget, PDOptions{})
+		if err != nil {
+			return false
+		}
+		pu, _ := metrics.TotalUtility(us, pd.Alloc)
+		return pu <= opt.Utility+1e-6 && metrics.Feasible(us, pd.Alloc, budget*1.002, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// opaque hides the closed-form best response, forcing the golden-section
+// fallback.
+type opaque struct{ q workload.Quadratic }
+
+func (o opaque) Value(p float64) float64 { return o.q.Value(p) }
+func (o opaque) Grad(p float64) float64  { return o.q.Grad(p) }
+func (o opaque) MinPower() float64       { return o.q.MinPower() }
+func (o opaque) MaxPower() float64       { return o.q.MaxPower() }
+func (o opaque) Peak() float64           { return o.q.Peak() }
+
+func TestPrimalDualNumericFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a, err := workload.Assign(workload.HPC, 12, workload.DefaultServer, 0.05, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := make([]workload.Utility, 12)
+	for i, q := range a.Utilities {
+		us[i] = opaque{q}
+	}
+	budget := 12 * 160.0
+	pd, err := PrimalDual(us, budget, PDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pd.Converged {
+		t.Fatal("numeric-fallback PD must converge")
+	}
+	// Cross-check against the closed-form path.
+	ref, err := PrimalDual(a.UtilitySlice(), budget, PDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pd.Price-ref.Price) > 0.05*math.Max(ref.Price, 1e-9) {
+		t.Fatalf("fallback price %v far from closed-form %v", pd.Price, ref.Price)
+	}
+}
+
+func TestGreedyExactBudgetAtIdle(t *testing.T) {
+	us := mkCluster(t, 5, 22)
+	budget := 0.0
+	for _, u := range us {
+		budget += u.MinPower()
+	}
+	alloc, err := Greedy(us, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range us {
+		if alloc[i] != u.MinPower() {
+			t.Fatalf("node %d must sit at idle with a floor budget", i)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package capping simulates the per-server DVFS feedback power-capping
+// controller of Fig. 2.1 / Section 3.2: every control period the controller
+// compares measured power against the allocated cap and steps the
+// processor's p-state down when over and up when under. This is the
+// actuator that turns the caps computed by any budgeting algorithm into
+// enforced server behaviour; the cluster simulator drives one instance per
+// server.
+package capping
+
+import (
+	"errors"
+	"math/rand"
+
+	"powercap/internal/workload"
+)
+
+// Sample is one control-period observation of a capped server.
+type Sample struct {
+	// Level is the DVFS level index in effect during the period.
+	Level int
+	// Power is the measured average power (W), including measurement noise.
+	Power float64
+	// Throughput is the attained throughput (BIPS) for the period.
+	Throughput float64
+	// OverCap reports whether measured power exceeded the cap this period.
+	OverCap bool
+}
+
+// Controller is a deadband feedback controller over discrete DVFS levels.
+type Controller struct {
+	server workload.Server
+	bench  workload.Benchmark
+	levels []float64
+	cap    float64
+	level  int
+	// NoiseRel is the relative std-dev of the power measurement; the
+	// controller must tolerate it without oscillating out of the deadband.
+	NoiseRel float64
+	// Deadband is the hysteresis in watts around the cap within which the
+	// controller holds its level. Defaults to half the local per-level
+	// power difference when zero.
+	Deadband float64
+}
+
+// NewController builds a controller for the given benchmark running on the
+// given server, starting at the lowest DVFS level with the cap wide open.
+func NewController(b workload.Benchmark, s workload.Server) (*Controller, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(workload.DVFSLevels) < 2 {
+		return nil, errors.New("capping: need at least two DVFS levels")
+	}
+	return &Controller{
+		server: s,
+		bench:  b,
+		levels: workload.DVFSLevels,
+		cap:    s.MaxWatts,
+	}, nil
+}
+
+// SetCap sets the power cap in watts (clamped into the server's range).
+func (c *Controller) SetCap(w float64) {
+	if w < c.server.IdleWatts {
+		w = c.server.IdleWatts
+	}
+	if w > c.server.MaxWatts {
+		w = c.server.MaxWatts
+	}
+	c.cap = w
+}
+
+// Cap returns the current cap.
+func (c *Controller) Cap() float64 { return c.cap }
+
+// Level returns the current DVFS level index.
+func (c *Controller) Level() int { return c.level }
+
+// levelPower returns the true full-load power at level i.
+func (c *Controller) levelPower(i int) float64 {
+	fmin, fmax := c.levels[0], c.levels[len(c.levels)-1]
+	return workload.PowerAtDVFS(c.server, c.levels[i], fmin, fmax)
+}
+
+// Tick executes one control period: measure power at the current level,
+// compare against the cap, and move one p-state. rng may be nil when
+// NoiseRel is zero.
+func (c *Controller) Tick(rng *rand.Rand) Sample {
+	truePower := c.levelPower(c.level)
+	measured := truePower
+	if c.NoiseRel > 0 {
+		measured *= 1 + c.NoiseRel*rng.NormFloat64()
+	}
+	deadband := c.Deadband
+	if deadband == 0 {
+		// Half the gap to the neighboring level, so the controller cannot
+		// chatter between two levels on noise alone.
+		hi := c.level
+		if hi < len(c.levels)-1 {
+			hi++
+		}
+		lo := c.level
+		if lo > 0 {
+			lo--
+		}
+		deadband = (c.levelPower(hi) - c.levelPower(lo)) / 4
+	}
+	switch {
+	case measured > c.cap && c.level > 0:
+		c.level--
+	case measured < c.cap-deadband && c.level < len(c.levels)-1:
+		// Only step up if the next level would not overshoot the cap.
+		if c.levelPower(c.level+1) <= c.cap {
+			c.level++
+		}
+	}
+	effective := c.levelPower(c.level)
+	throughput := c.bench.GroundTruth(effective, c.server.IdleWatts, c.server.MaxWatts)
+	return Sample{
+		Level:      c.level,
+		Power:      effective,
+		Throughput: throughput,
+		OverCap:    effective > c.cap,
+	}
+}
+
+// Settle runs the controller for the given number of periods and returns
+// the final sample — the steady state the budgeting layer assumes when it
+// treats a cap as enforced.
+func (c *Controller) Settle(periods int, rng *rand.Rand) Sample {
+	var s Sample
+	for i := 0; i < periods; i++ {
+		s = c.Tick(rng)
+	}
+	return s
+}

@@ -1,0 +1,145 @@
+package capping
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"powercap/internal/workload"
+)
+
+func mkController(t *testing.T, name string) *Controller {
+	t.Helper()
+	b, err := workload.ByName(workload.HPC, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewController(b, workload.DefaultServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	b := workload.HPC[0]
+	if _, err := NewController(b, workload.Server{}); err == nil {
+		t.Fatal("invalid server must be rejected")
+	}
+}
+
+func TestSetCapClamps(t *testing.T) {
+	c := mkController(t, "LU")
+	c.SetCap(1)
+	if c.Cap() != workload.DefaultServer.IdleWatts {
+		t.Fatalf("cap below range must clamp to idle, got %v", c.Cap())
+	}
+	c.SetCap(9999)
+	if c.Cap() != workload.DefaultServer.MaxWatts {
+		t.Fatalf("cap above range must clamp to max, got %v", c.Cap())
+	}
+}
+
+func TestControllerConvergesBelowCap(t *testing.T) {
+	c := mkController(t, "BT")
+	for _, cap := range []float64{120, 140, 160, 180, 200} {
+		c.SetCap(cap)
+		s := c.Settle(50, nil)
+		if s.Power > cap+1e-9 {
+			t.Fatalf("cap %v: settled power %v exceeds cap", cap, s.Power)
+		}
+		// And it should be the highest level fitting under the cap.
+		if s.Level+1 < len(workload.DVFSLevels) {
+			nextPower := workload.PowerAtDVFS(workload.DefaultServer,
+				workload.DVFSLevels[s.Level+1], workload.DVFSLevels[0], workload.DVFSLevels[len(workload.DVFSLevels)-1])
+			if nextPower <= cap {
+				t.Fatalf("cap %v: level %d not maximal (next level power %v fits)", cap, s.Level, nextPower)
+			}
+		}
+	}
+}
+
+func TestHigherCapNeverLowersThroughput(t *testing.T) {
+	c := mkController(t, "EP")
+	prev := -1.0
+	for cap := 110.0; cap <= 200; cap += 10 {
+		c.SetCap(cap)
+		s := c.Settle(50, nil)
+		if s.Throughput < prev-1e-9 {
+			t.Fatalf("throughput decreased when cap rose to %v", cap)
+		}
+		prev = s.Throughput
+	}
+}
+
+func TestControllerReactsToCapDrop(t *testing.T) {
+	c := mkController(t, "SP")
+	c.SetCap(200)
+	before := c.Settle(50, nil)
+	if before.Level == 0 {
+		t.Fatal("open cap must drive a high level")
+	}
+	c.SetCap(120)
+	after := c.Settle(50, nil)
+	if after.Power > 120 {
+		t.Fatalf("power %v exceeds lowered cap", after.Power)
+	}
+	if after.Level >= before.Level {
+		t.Fatal("lower cap must reduce the level")
+	}
+}
+
+func TestControllerStableUnderNoise(t *testing.T) {
+	c := mkController(t, "MG")
+	c.NoiseRel = 0.02
+	c.SetCap(160)
+	rng := rand.New(rand.NewSource(5))
+	c.Settle(50, rng)
+	// After settling, the level must stay within one step and power within
+	// cap for the vast majority of periods.
+	over := 0
+	minL, maxL := c.Level(), c.Level()
+	for i := 0; i < 500; i++ {
+		s := c.Tick(rng)
+		if s.OverCap {
+			over++
+		}
+		if s.Level < minL {
+			minL = s.Level
+		}
+		if s.Level > maxL {
+			maxL = s.Level
+		}
+	}
+	if maxL-minL > 1 {
+		t.Fatalf("level chattering across %d levels", maxL-minL+1)
+	}
+	if over > 25 { // 5 %
+		t.Fatalf("over-cap in %d/500 noisy periods", over)
+	}
+}
+
+// Property: from any starting cap sequence, settled power never exceeds the
+// final cap, for any benchmark.
+func TestSettleRespectsCapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := workload.HPC[rng.Intn(len(workload.HPC))]
+		c, err := NewController(b, workload.DefaultServer)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 4; k++ {
+			cap := 100 + rng.Float64()*100
+			c.SetCap(cap)
+			s := c.Settle(40, nil)
+			if s.Power > c.Cap()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,288 @@
+// Package cluster ties the pieces into the time-stepped simulation the
+// dynamic experiments run on: a DiBA engine over a communication graph,
+// per-server workloads with churn, a budget schedule, and the centralized
+// oracle recomputed as a reference. It reproduces the settings of
+// Figs. 4.4–4.7: budgets that change minute to minute, workloads that
+// complete and are replaced by random draws from the benchmark pool, and
+// SNP tracked against the optimum over simulated time.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"powercap/internal/diba"
+	"powercap/internal/metrics"
+	"powercap/internal/solver"
+	"powercap/internal/topology"
+	"powercap/internal/workload"
+)
+
+// Config describes a simulated cluster.
+type Config struct {
+	// N is the number of servers. Required.
+	N int
+	// Graph is the DiBA communication graph; nil selects a ring.
+	Graph *topology.Graph
+	// Server is the servers' power model; zero value selects
+	// workload.DefaultServer.
+	Server workload.Server
+	// Catalog is the benchmark pool; nil selects workload.HPC.
+	Catalog []workload.Benchmark
+	// Seed drives all randomness (assignment, churn, measurement noise).
+	Seed int64
+	// RoundsPerSecond is how many DiBA rounds run per simulated second;
+	// 0 selects 100 (one exchange every 10 ms, well within the measured
+	// 210 µs per round).
+	RoundsPerSecond int
+	// ChurnPerSecond is each server's per-second probability of finishing
+	// its workload and drawing a new one (Fig. 4.7's dynamic-workload mode).
+	ChurnPerSecond float64
+	// MeasureNoise is the relative error of the throughput sweeps used to
+	// fit new utilities on churn.
+	MeasureNoise float64
+	// Diba configures the allocation algorithm.
+	Diba diba.Config
+	// Phased optionally gives servers phase-cycling applications: entry i
+	// (may be nil) replaces churn for server i — each simulated second the
+	// phase clock advances and on a transition the server's utility is
+	// refit to the new phase.
+	Phased []*workload.Phased
+	// Enforce, when true, actuates every second's caps through per-server
+	// DVFS feedback controllers (EnforceCaps) and reports the measured
+	// power and throughput in the samples — the full capping stack rather
+	// than the model shortcut.
+	Enforce bool
+}
+
+// BudgetEvent changes the cluster budget at a simulated second, as in the
+// demand-response scenarios of Figs. 4.4–4.6.
+type BudgetEvent struct {
+	AtSecond int
+	Budget   float64
+}
+
+// Sample is one per-second observation of the simulated cluster.
+type Sample struct {
+	Second     int
+	Budget     float64
+	Power      float64
+	Utility    float64
+	OptUtility float64
+	SNP        float64
+	OptSNP     float64
+	// Churned is how many servers swapped workloads this second.
+	Churned int
+	// EnforcedPower and EnforcedThroughput are the DVFS controllers'
+	// measured outputs (only when Config.Enforce is set; otherwise zero).
+	// Discrete p-states undershoot the continuous caps, so EnforcedPower
+	// ≤ Power.
+	EnforcedPower      float64
+	EnforcedThroughput float64
+}
+
+// Sim is a running cluster simulation.
+type Sim struct {
+	cfg    Config
+	engine *diba.Engine
+	us     []workload.Utility
+	bench  []workload.Benchmark
+	rng    *rand.Rand
+	budget float64
+}
+
+// NewSim builds the cluster: assigns workloads, fits utilities, and places
+// the DiBA engine at its feasible starting state under initialBudget.
+func NewSim(cfg Config, initialBudget float64) (*Sim, error) {
+	if cfg.N <= 0 {
+		return nil, errors.New("cluster: N must be positive")
+	}
+	if cfg.Graph == nil {
+		cfg.Graph = topology.Ring(cfg.N)
+	}
+	if cfg.Graph.N() != cfg.N {
+		return nil, fmt.Errorf("cluster: graph size %d != N %d", cfg.Graph.N(), cfg.N)
+	}
+	if cfg.Phased != nil && len(cfg.Phased) != cfg.N {
+		return nil, fmt.Errorf("cluster: Phased has %d entries, want %d", len(cfg.Phased), cfg.N)
+	}
+	if (cfg.Server == workload.Server{}) {
+		cfg.Server = workload.DefaultServer
+	}
+	if cfg.Catalog == nil {
+		cfg.Catalog = workload.HPC
+	}
+	if cfg.RoundsPerSecond == 0 {
+		cfg.RoundsPerSecond = 100
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	a, err := workload.Assign(cfg.Catalog, cfg.N, cfg.Server, 0.05, cfg.MeasureNoise, rng)
+	if err != nil {
+		return nil, err
+	}
+	us := a.UtilitySlice()
+	en, err := diba.New(cfg.Graph, us, initialBudget, cfg.Diba)
+	if err != nil {
+		return nil, err
+	}
+	return &Sim{
+		cfg:    cfg,
+		engine: en,
+		us:     us,
+		bench:  a.Benchmarks,
+		rng:    rng,
+		budget: initialBudget,
+	}, nil
+}
+
+// Engine exposes the underlying DiBA engine (read-mostly; prefer Run).
+func (s *Sim) Engine() *diba.Engine { return s.engine }
+
+// Utilities returns the live utility slice (shared with the engine).
+func (s *Sim) Utilities() []workload.Utility { return s.us }
+
+// snapshot evaluates the current allocation and its optimal reference.
+func (s *Sim) snapshot(second, churned int) (Sample, error) {
+	alloc := s.engine.Alloc()
+	rep, err := metrics.Evaluate(s.us, alloc, metrics.Arithmetic)
+	if err != nil {
+		return Sample{}, err
+	}
+	opt, err := solver.Optimal(s.us, s.budget)
+	if err != nil {
+		return Sample{}, err
+	}
+	optRep, err := metrics.Evaluate(s.us, opt.Alloc, metrics.Arithmetic)
+	if err != nil {
+		return Sample{}, err
+	}
+	util, err := metrics.TotalUtility(s.us, alloc)
+	if err != nil {
+		return Sample{}, err
+	}
+	var enfPower, enfThroughput float64
+	if s.cfg.Enforce {
+		enf, err := EnforceCaps(s.bench, s.cfg.Server, alloc, s.cfg.MeasureNoise, 30, s.rng)
+		if err != nil {
+			return Sample{}, err
+		}
+		enfPower, enfThroughput = enf.TotalPower, enf.TotalThroughput
+	}
+	return Sample{
+		Second:             second,
+		Budget:             s.budget,
+		Power:              s.engine.TotalPower(),
+		Utility:            util,
+		OptUtility:         opt.Utility,
+		SNP:                rep.SNP,
+		OptSNP:             optRep.SNP,
+		Churned:            churned,
+		EnforcedPower:      enfPower,
+		EnforcedThroughput: enfThroughput,
+	}, nil
+}
+
+// Run simulates the given number of seconds, applying budget events and
+// workload churn, and returns one sample per second (plus one for the
+// initial state at second 0).
+func (s *Sim) Run(seconds int, events []BudgetEvent) ([]Sample, error) {
+	byTime := make(map[int]float64, len(events))
+	for _, ev := range events {
+		byTime[ev.AtSecond] = ev.Budget
+	}
+	samples := make([]Sample, 0, seconds+1)
+	first, err := s.snapshot(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	samples = append(samples, first)
+	for sec := 1; sec <= seconds; sec++ {
+		if b, ok := byTime[sec]; ok {
+			if err := s.engine.SetBudget(b); err != nil {
+				return nil, fmt.Errorf("cluster: budget event at %ds: %w", sec, err)
+			}
+			s.budget = b
+		}
+		churned := 0
+		if s.cfg.ChurnPerSecond > 0 {
+			for i := 0; i < s.cfg.N; i++ {
+				if s.rng.Float64() < s.cfg.ChurnPerSecond {
+					if err := s.churn(i); err != nil {
+						return nil, err
+					}
+					churned++
+				}
+			}
+		}
+		for i, ph := range s.cfg.Phased {
+			if ph == nil {
+				continue
+			}
+			if ph.Advance(1, s.rng) {
+				q := ph.Utility(s.cfg.Server)
+				s.bench[i] = ph.Current()
+				s.us[i] = q
+				if err := s.engine.SetUtility(i, q); err != nil {
+					return nil, err
+				}
+				churned++
+			}
+		}
+		for r := 0; r < s.cfg.RoundsPerSecond; r++ {
+			s.engine.Step()
+		}
+		smp, err := s.snapshot(sec, churned)
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, smp)
+	}
+	return samples, nil
+}
+
+// churn replaces server i's workload with a fresh random draw and refits
+// its utility, exactly as the dynamic-workload experiment does.
+func (s *Sim) churn(i int) error {
+	b := s.cfg.Catalog[s.rng.Intn(len(s.cfg.Catalog))].Perturb(s.rng, 0.05)
+	q, err := workload.FitFromSweep(b, s.cfg.Server, s.cfg.MeasureNoise, s.rng)
+	if err != nil {
+		return err
+	}
+	s.bench[i] = b
+	s.us[i] = q
+	return s.engine.SetUtility(i, q)
+}
+
+// TraceRound is one per-round observation used by the step-response detail
+// plots (Figs. 4.5–4.6).
+type TraceRound struct {
+	Round   int
+	Power   float64
+	Utility float64
+	Budget  float64
+}
+
+// Trace runs the engine for the given number of rounds with no events and
+// records power and utility each round.
+func (s *Sim) Trace(rounds int) []TraceRound {
+	out := make([]TraceRound, 0, rounds+1)
+	out = append(out, TraceRound{Round: 0, Power: s.engine.TotalPower(), Utility: s.engine.TotalUtility(), Budget: s.budget})
+	for r := 1; r <= rounds; r++ {
+		s.engine.Step()
+		out = append(out, TraceRound{Round: r, Power: s.engine.TotalPower(), Utility: s.engine.TotalUtility(), Budget: s.budget})
+	}
+	return out
+}
+
+// SetBudget changes the cluster budget immediately (between Run segments).
+func (s *Sim) SetBudget(b float64) error {
+	if err := s.engine.SetBudget(b); err != nil {
+		return err
+	}
+	s.budget = b
+	return nil
+}
+
+// Budget returns the current budget.
+func (s *Sim) Budget() float64 { return s.budget }

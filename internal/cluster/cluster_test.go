@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"testing"
+
+	"powercap/internal/topology"
+	"powercap/internal/workload"
+)
+
+func TestNewSimValidation(t *testing.T) {
+	if _, err := NewSim(Config{N: 0}, 1000); err == nil {
+		t.Fatal("N=0 must be rejected")
+	}
+	if _, err := NewSim(Config{N: 10, Graph: topology.Ring(5)}, 2000); err == nil {
+		t.Fatal("graph/N mismatch must be rejected")
+	}
+	if _, err := NewSim(Config{N: 10}, 100); err == nil {
+		t.Fatal("infeasible budget must be rejected")
+	}
+}
+
+func TestRunStaticBudgetConvergesNearOptimal(t *testing.T) {
+	sim, err := NewSim(Config{N: 100, Seed: 1}, 100*172)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := sim.Run(10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 11 {
+		t.Fatalf("got %d samples, want 11", len(samples))
+	}
+	last := samples[len(samples)-1]
+	if last.Power > last.Budget {
+		t.Fatalf("power %v exceeds budget %v", last.Power, last.Budget)
+	}
+	if last.Utility < 0.99*last.OptUtility {
+		t.Fatalf("utility %v below 99%% of optimal %v after 10 s", last.Utility, last.OptUtility)
+	}
+	if last.SNP <= 0 || last.SNP > 1+1e-9 {
+		t.Fatalf("SNP out of range: %v", last.SNP)
+	}
+	if last.SNP > last.OptSNP+1e-9 {
+		t.Fatalf("SNP %v above optimal %v", last.SNP, last.OptSNP)
+	}
+}
+
+func TestRunBudgetEventsNeverViolate(t *testing.T) {
+	sim, err := NewSim(Config{N: 100, Seed: 2}, 100*190)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []BudgetEvent{
+		{AtSecond: 3, Budget: 100 * 170},
+		{AtSecond: 6, Budget: 100 * 185},
+		{AtSecond: 9, Budget: 100 * 175},
+	}
+	samples, err := sim.Run(12, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if s.Power > s.Budget+1e-6 {
+			t.Fatalf("second %d: power %v exceeds budget %v", s.Second, s.Power, s.Budget)
+		}
+	}
+	// The budget changes must be visible in the samples.
+	if samples[3].Budget != 100*170 || samples[6].Budget != 100*185 {
+		t.Fatal("budget events not applied at the right seconds")
+	}
+	// Re-convergence after the final change.
+	last := samples[len(samples)-1]
+	if last.Utility < 0.985*last.OptUtility {
+		t.Fatalf("utility %v below 98.5%% of optimal %v after events", last.Utility, last.OptUtility)
+	}
+}
+
+func TestRunInfeasibleBudgetEvent(t *testing.T) {
+	sim, err := NewSim(Config{N: 10, Seed: 3}, 10*180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(3, []BudgetEvent{{AtSecond: 1, Budget: 100}}); err == nil {
+		t.Fatal("infeasible budget event must error")
+	}
+}
+
+func TestChurnKeepsFeasibilityAndTracksOptimal(t *testing.T) {
+	sim, err := NewSim(Config{N: 100, Seed: 4, ChurnPerSecond: 0.05, MeasureNoise: 0.01}, 100*180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := sim.Run(30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalChurn := 0
+	for _, s := range samples {
+		totalChurn += s.Churned
+		if s.Power > s.Budget+1e-6 {
+			t.Fatalf("second %d: power %v exceeds budget %v", s.Second, s.Power, s.Budget)
+		}
+	}
+	if totalChurn == 0 {
+		t.Fatal("churn never happened with 5%/s on 100 nodes over 30 s")
+	}
+	last := samples[len(samples)-1]
+	if last.Utility < 0.97*last.OptUtility {
+		t.Fatalf("utility %v strayed from optimal %v under churn", last.Utility, last.OptUtility)
+	}
+}
+
+func TestTraceStepResponse(t *testing.T) {
+	sim, err := NewSim(Config{N: 50, Seed: 5}, 50*190)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Settle, then cut the budget and trace the detail.
+	if _, err := sim.Run(5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.SetBudget(50 * 170); err != nil {
+		t.Fatal(err)
+	}
+	tr := sim.Trace(200)
+	if len(tr) != 201 {
+		t.Fatalf("trace length %d, want 201", len(tr))
+	}
+	// Power must comply immediately after the cut (Fig. 4.5's "computing
+	// power decreases immediately").
+	if tr[0].Power > 50*170 {
+		t.Fatalf("power %v not cut immediately", tr[0].Power)
+	}
+	// And recover utility over the trace without ever violating.
+	for _, r := range tr {
+		if r.Power > r.Budget+1e-6 {
+			t.Fatalf("round %d: power %v exceeds budget", r.Round, r.Power)
+		}
+	}
+	if tr[len(tr)-1].Utility <= tr[0].Utility {
+		t.Fatal("utility must recover after the immediate cut")
+	}
+}
+
+func TestBudgetAccessors(t *testing.T) {
+	sim, err := NewSim(Config{N: 10, Seed: 6}, 10*180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Budget() != 1800 {
+		t.Fatal("wrong budget")
+	}
+	if sim.Engine() == nil || len(sim.Utilities()) != 10 {
+		t.Fatal("accessors broken")
+	}
+	if err := sim.SetBudget(10 * 150); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Budget() != 1500 {
+		t.Fatal("SetBudget not applied")
+	}
+	if err := sim.SetBudget(1); err == nil {
+		t.Fatal("infeasible SetBudget must error")
+	}
+}
+
+func TestPhasedWorkloadsTracked(t *testing.T) {
+	const n = 60
+	phased := make([]*workload.Phased, n)
+	ep, _ := workload.ByName(workload.HPC, "EP")
+	ra, _ := workload.ByName(workload.HPC, "RA")
+	// A third of the servers run a two-phase solver alternating between
+	// compute- and memory-bound behaviour every ~20 s.
+	for i := 0; i < n; i += 3 {
+		p, err := workload.NewPhased("solver", []workload.Benchmark{ep, ra}, []float64{20, 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		phased[i] = p
+	}
+	sim, err := NewSim(Config{N: n, Seed: 8, Phased: phased}, 170*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := sim.Run(120, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transitions := 0
+	for _, s := range samples {
+		transitions += s.Churned
+		if s.Power > s.Budget+1e-6 {
+			t.Fatalf("second %d: phased workload broke the budget", s.Second)
+		}
+	}
+	if transitions < 20 {
+		t.Fatalf("expected many phase transitions, saw %d", transitions)
+	}
+	// Despite continuous phase churn the allocation stays near optimal.
+	last := samples[len(samples)-1]
+	if last.Utility < 0.97*last.OptUtility {
+		t.Fatalf("utility %v strayed from optimal %v under phases", last.Utility, last.OptUtility)
+	}
+}
+
+func TestPhasedLengthValidation(t *testing.T) {
+	if _, err := NewSim(Config{N: 5, Phased: make([]*workload.Phased, 3)}, 5*180); err == nil {
+		t.Fatal("Phased length mismatch must be rejected")
+	}
+}

@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+
+	"powercap/internal/capping"
+	"powercap/internal/workload"
+)
+
+// Enforcement closes the loop the budgeting layer assumes: the caps any
+// allocator computes are handed to one DVFS feedback controller per server
+// (Fig. 2.1), which settles each machine at the highest p-state whose
+// power fits under its cap. EnforceCaps runs that actuation and reports
+// what the hardware would actually deliver.
+
+// Enforcement is the settled state of the whole cluster's controllers.
+type Enforcement struct {
+	// Samples holds each server's settled control-period observation.
+	Samples []capping.Sample
+	// TotalPower is the measured Σ power after settling — at or below the
+	// sum of caps, typically below (discrete p-states undershoot).
+	TotalPower float64
+	// TotalThroughput is the measured Σ throughput.
+	TotalThroughput float64
+}
+
+// EnforceCaps settles one feedback controller per server at the given caps
+// and returns the cluster's measured state. noise is the controllers'
+// power-measurement noise; settle is the number of control periods to run
+// (the paper's controller converges within a handful).
+func EnforceCaps(benchs []workload.Benchmark, s workload.Server, caps []float64, noise float64, settle int, rng *rand.Rand) (Enforcement, error) {
+	if len(benchs) != len(caps) {
+		return Enforcement{}, errors.New("cluster: benchmarks/caps length mismatch")
+	}
+	if settle <= 0 {
+		settle = 30
+	}
+	out := Enforcement{Samples: make([]capping.Sample, len(caps))}
+	for i, b := range benchs {
+		ctl, err := capping.NewController(b, s)
+		if err != nil {
+			return Enforcement{}, err
+		}
+		ctl.NoiseRel = noise
+		ctl.SetCap(caps[i])
+		smp := ctl.Settle(settle, rng)
+		out.Samples[i] = smp
+		out.TotalPower += smp.Power
+		out.TotalThroughput += smp.Throughput
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"powercap/internal/diba"
+	"powercap/internal/solver"
+	"powercap/internal/topology"
+	"powercap/internal/workload"
+)
+
+func TestEnforceCapsValidation(t *testing.T) {
+	if _, err := EnforceCaps(workload.HPC[:2], workload.DefaultServer, []float64{150}, 0, 10, nil); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := EnforceCaps(workload.HPC[:1], workload.Server{}, []float64{150}, 0, 10, nil); err == nil {
+		t.Fatal("invalid server must error")
+	}
+}
+
+func TestEnforceCapsRespectsEveryCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 40
+	benchs := make([]workload.Benchmark, n)
+	caps := make([]float64, n)
+	for i := range benchs {
+		benchs[i] = workload.HPC[rng.Intn(len(workload.HPC))]
+		caps[i] = 115 + rng.Float64()*80
+	}
+	enf, err := EnforceCaps(benchs, workload.DefaultServer, caps, 0, 30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var capSum float64
+	for i, smp := range enf.Samples {
+		if smp.Power > caps[i]+1e-9 {
+			t.Fatalf("server %d measured %v W over cap %v W", i, smp.Power, caps[i])
+		}
+		capSum += caps[i]
+	}
+	if enf.TotalPower > capSum {
+		t.Fatal("total measured power exceeds total caps")
+	}
+}
+
+func TestEndToEndDiBAThenEnforce(t *testing.T) {
+	// The full stack: fit models, allocate with DiBA, actuate with the
+	// DVFS controllers, and confirm (a) the cluster budget is respected by
+	// the *measured* power and (b) the delivered throughput lands near the
+	// model's prediction.
+	const n = 60
+	budget := 165.0 * n
+	rng := rand.New(rand.NewSource(2))
+	a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := a.UtilitySlice()
+	en, err := diba.New(topology.Ring(n), us, budget, diba.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := solver.Optimal(us, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := en.RunToTarget(opt.Utility, 0.99, 20000); !res.Converged {
+		t.Fatal("DiBA did not converge")
+	}
+	caps := en.Alloc()
+
+	enf, err := EnforceCaps(a.Benchmarks, workload.DefaultServer, caps, 0.01, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enf.TotalPower > budget {
+		t.Fatalf("measured cluster power %v exceeds budget %v", enf.TotalPower, budget)
+	}
+	// Discrete p-states undershoot the continuous caps, so the delivered
+	// throughput trails the model — but not by much.
+	modelThroughput := en.TotalUtility()
+	if enf.TotalThroughput < 0.85*modelThroughput {
+		t.Fatalf("delivered throughput %v below 85%% of the model's %v", enf.TotalThroughput, modelThroughput)
+	}
+	if enf.TotalThroughput > 1.1*modelThroughput {
+		t.Fatalf("delivered throughput %v implausibly above the model's %v", enf.TotalThroughput, modelThroughput)
+	}
+}
+
+func TestSimWithEnforcement(t *testing.T) {
+	sim, err := NewSim(Config{N: 50, Seed: 9, Enforce: true, MeasureNoise: 0.01}, 50*170)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := sim.Run(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if s.EnforcedPower <= 0 || s.EnforcedThroughput <= 0 {
+			t.Fatalf("second %d: enforcement not reported", s.Second)
+		}
+		// Controllers can only undershoot the caps, never overshoot.
+		if s.EnforcedPower > s.Power+1e-9 {
+			t.Fatalf("second %d: enforced power %v above cap sum %v", s.Second, s.EnforcedPower, s.Power)
+		}
+		if s.EnforcedPower > s.Budget {
+			t.Fatalf("second %d: enforced power above budget", s.Second)
+		}
+	}
+}

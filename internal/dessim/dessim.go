@@ -1,0 +1,243 @@
+// Package dessim is the discrete-event queueing simulator Chapter 5 uses
+// to derive per-server-type utilizations: jobs arrive in a Poisson stream,
+// are queued, and a greedy scheduler assigns each to the most
+// energy-efficient free server (highest throughput per Watt), matching the
+// scheduler of Section 5.3. The long-run utilization per server type feeds
+// the probabilistic rack-layout optimization.
+package dessim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"sort"
+)
+
+// ServerType describes one hardware class of Table 5.1.
+type ServerType struct {
+	Name string
+	// Count is how many servers of this type exist.
+	Count int
+	// ThroughputPerWatt ranks scheduling preference (higher first).
+	ThroughputPerWatt float64
+	// SpeedFactor scales job service times (faster machines, shorter jobs).
+	SpeedFactor float64
+}
+
+// Config configures a simulation run.
+type Config struct {
+	Types []ServerType
+	// ArrivalRate λ is mean job arrivals per second.
+	ArrivalRate float64
+	// MeanJobSeconds is the mean service time on a SpeedFactor-1 server.
+	MeanJobSeconds float64
+	// Horizon is the simulated duration in seconds.
+	Horizon float64
+	// WarmupFraction of the horizon is excluded from statistics; 0 selects
+	// 0.1.
+	WarmupFraction float64
+	Seed           int64
+}
+
+// Result reports the long-run statistics.
+type Result struct {
+	// Utilization is the mean busy fraction per server type, aligned with
+	// Config.Types.
+	Utilization []float64
+	// Completed is the number of jobs that finished in the measured window.
+	Completed int
+	// MeanQueueLen is the time-averaged queue length.
+	MeanQueueLen float64
+}
+
+type event struct {
+	at   float64
+	kind int // 0 arrival, 1 departure
+	srv  int // server index for departures
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int            { return len(q) }
+func (q eventQueue) Less(i, j int) bool  { return q[i].at < q[j].at }
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// rankHeap is a min-heap of free server indices ordered by scheduling
+// preference rank.
+type rankHeap struct {
+	items []int
+	rank  []int
+}
+
+func (h rankHeap) Len() int            { return len(h.items) }
+func (h rankHeap) Less(i, j int) bool  { return h.rank[h.items[i]] < h.rank[h.items[j]] }
+func (h rankHeap) Swap(i, j int)       { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *rankHeap) Push(x interface{}) { h.items = append(h.items, x.(int)) }
+func (h *rankHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	v := old[n-1]
+	h.items = old[:n-1]
+	return v
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (Result, error) {
+	if len(cfg.Types) == 0 {
+		return Result{}, errors.New("dessim: no server types")
+	}
+	if cfg.ArrivalRate <= 0 || cfg.MeanJobSeconds <= 0 || cfg.Horizon <= 0 {
+		return Result{}, errors.New("dessim: rates and horizon must be positive")
+	}
+	if cfg.WarmupFraction == 0 {
+		cfg.WarmupFraction = 0.1
+	}
+	if cfg.WarmupFraction < 0 || cfg.WarmupFraction >= 1 {
+		return Result{}, errors.New("dessim: warmup fraction must lie in [0,1)")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Flatten servers; order them by scheduling preference once.
+	type server struct {
+		typeIdx int
+		speed   float64
+		busy    bool
+		// busySince tracks the start of the current busy period.
+		busySince float64
+	}
+	var servers []server
+	for ti, st := range cfg.Types {
+		if st.Count <= 0 || st.SpeedFactor <= 0 {
+			return Result{}, errors.New("dessim: invalid server type")
+		}
+		for k := 0; k < st.Count; k++ {
+			servers = append(servers, server{typeIdx: ti, speed: st.SpeedFactor})
+		}
+	}
+	// Preference rank: highest throughput/Watt first (greedy scheduler).
+	// A min-heap of free servers keyed by rank makes each placement O(log n).
+	rank := make([]int, len(servers))
+	order := make([]int, len(servers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return cfg.Types[servers[order[a]].typeIdx].ThroughputPerWatt >
+			cfg.Types[servers[order[b]].typeIdx].ThroughputPerWatt
+	})
+	for r, si := range order {
+		rank[si] = r
+	}
+	free := &rankHeap{rank: rank}
+	for _, si := range order {
+		free.items = append(free.items, si) // already in rank order
+	}
+
+	warmEnd := cfg.Horizon * cfg.WarmupFraction
+	busyTime := make([]float64, len(cfg.Types))
+	var queue int
+	var queueArea float64
+	lastT := 0.0
+	completed := 0
+
+	q := &eventQueue{}
+	heap.Push(q, event{at: rng.ExpFloat64() / cfg.ArrivalRate, kind: 0})
+
+	startJob := func(now float64) bool {
+		if free.Len() == 0 {
+			return false
+		}
+		si := heap.Pop(free).(int)
+		servers[si].busy = true
+		servers[si].busySince = now
+		dur := rng.ExpFloat64() * cfg.MeanJobSeconds / servers[si].speed
+		heap.Push(q, event{at: now + dur, kind: 1, srv: si})
+		return true
+	}
+
+	for q.Len() > 0 {
+		ev := heap.Pop(q).(event)
+		if ev.at > cfg.Horizon {
+			break
+		}
+		// Accumulate queue-length area in the measured window.
+		if ev.at > warmEnd {
+			from := lastT
+			if from < warmEnd {
+				from = warmEnd
+			}
+			queueArea += float64(queue) * (ev.at - from)
+		}
+		lastT = ev.at
+		switch ev.kind {
+		case 0: // arrival
+			if !startJob(ev.at) {
+				queue++
+			}
+			heap.Push(q, event{at: ev.at + rng.ExpFloat64()/cfg.ArrivalRate, kind: 0})
+		case 1: // departure
+			s := &servers[ev.srv]
+			start := s.busySince
+			if start < warmEnd {
+				start = warmEnd
+			}
+			if ev.at > warmEnd {
+				busyTime[s.typeIdx] += ev.at - start
+				completed++
+			}
+			s.busy = false
+			heap.Push(free, ev.srv)
+			if queue > 0 {
+				queue--
+				startJob(ev.at)
+			}
+		}
+	}
+	// Account for servers still busy at the horizon.
+	for _, s := range servers {
+		if s.busy {
+			start := s.busySince
+			if start < warmEnd {
+				start = warmEnd
+			}
+			if cfg.Horizon > start {
+				busyTime[s.typeIdx] += cfg.Horizon - start
+			}
+		}
+	}
+
+	window := cfg.Horizon - warmEnd
+	util := make([]float64, len(cfg.Types))
+	for ti, st := range cfg.Types {
+		util[ti] = busyTime[ti] / (window * float64(st.Count))
+		if util[ti] > 1 {
+			util[ti] = 1
+		}
+	}
+	return Result{
+		Utilization:  util,
+		Completed:    completed,
+		MeanQueueLen: queueArea / window,
+	}, nil
+}
+
+// Table51 is the four-class server mix of Table 5.1, with efficiency
+// ranking D > B > A > C (server D is the most energy-efficient, so the
+// greedy scheduler fills it first — the behaviour Fig. 5.3 shows).
+func Table51(racks, serversPerRack int) []ServerType {
+	per := racks * serversPerRack / 4
+	return []ServerType{
+		{Name: "A", Count: per, ThroughputPerWatt: 0.055, SpeedFactor: 0.95},
+		{Name: "B", Count: per, ThroughputPerWatt: 0.070, SpeedFactor: 1.0},
+		{Name: "C", Count: per, ThroughputPerWatt: 0.045, SpeedFactor: 1.1},
+		{Name: "D", Count: per, ThroughputPerWatt: 0.085, SpeedFactor: 1.05},
+	}
+}

@@ -1,0 +1,147 @@
+package dessim
+
+import (
+	"testing"
+)
+
+func baseConfig(lambda float64, seed int64) Config {
+	return Config{
+		Types:          Table51(80, 40),
+		ArrivalRate:    lambda,
+		MeanJobSeconds: 120,
+		Horizon:        6000,
+		Seed:           seed,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config must error")
+	}
+	c := baseConfig(8, 1)
+	c.ArrivalRate = 0
+	if _, err := Run(c); err == nil {
+		t.Fatal("zero arrival rate must error")
+	}
+	c = baseConfig(8, 1)
+	c.WarmupFraction = 1
+	if _, err := Run(c); err == nil {
+		t.Fatal("warmup=1 must error")
+	}
+	c = baseConfig(8, 1)
+	c.Types = []ServerType{{Name: "x", Count: 0, SpeedFactor: 1}}
+	if _, err := Run(c); err == nil {
+		t.Fatal("zero-count type must error")
+	}
+}
+
+func TestUtilizationIncreasesWithArrivalRate(t *testing.T) {
+	var prev float64 = -1
+	for _, lambda := range []float64{8, 16, 24} {
+		res, err := Run(baseConfig(lambda, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mean float64
+		for _, u := range res.Utilization {
+			mean += u
+		}
+		mean /= float64(len(res.Utilization))
+		if mean <= prev {
+			t.Fatalf("λ=%v: mean utilization %v did not increase from %v", lambda, mean, prev)
+		}
+		prev = mean
+	}
+}
+
+func TestGreedySchedulerPrefersEfficientType(t *testing.T) {
+	// At low load, the efficient type (D) must be used far more than the
+	// least efficient (C), matching Fig. 5.3.
+	res, err := Run(baseConfig(8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := Table51(80, 40)
+	var uD, uC float64
+	for i, st := range types {
+		switch st.Name {
+		case "D":
+			uD = res.Utilization[i]
+		case "C":
+			uC = res.Utilization[i]
+		}
+	}
+	if uD <= uC {
+		t.Fatalf("efficient type D (%.3f) must be busier than C (%.3f) at low load", uD, uC)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	res, err := Run(baseConfig(24, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range res.Utilization {
+		if u < 0 || u > 1 {
+			t.Fatalf("type %d utilization %v out of [0,1]", i, u)
+		}
+	}
+	if res.Completed <= 0 {
+		t.Fatal("no jobs completed")
+	}
+	if res.MeanQueueLen < 0 {
+		t.Fatal("negative queue length")
+	}
+}
+
+func TestOverloadSaturates(t *testing.T) {
+	// Offered load far above capacity: everything saturates and the queue
+	// grows.
+	cfg := baseConfig(200, 5)
+	cfg.Horizon = 1500
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range res.Utilization {
+		if u < 0.9 {
+			t.Fatalf("type %d utilization %v under overload", i, u)
+		}
+	}
+	if res.MeanQueueLen < 10 {
+		t.Fatalf("queue must build under overload, got %v", res.MeanQueueLen)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a, err := Run(baseConfig(12, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseConfig(12, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed || a.MeanQueueLen != b.MeanQueueLen {
+		t.Fatal("same seed must reproduce results")
+	}
+	for i := range a.Utilization {
+		if a.Utilization[i] != b.Utilization[i] {
+			t.Fatal("same seed must reproduce utilizations")
+		}
+	}
+}
+
+func TestTable51Shape(t *testing.T) {
+	types := Table51(80, 40)
+	if len(types) != 4 {
+		t.Fatal("four server classes expected")
+	}
+	total := 0
+	for _, st := range types {
+		total += st.Count
+	}
+	if total != 3200 {
+		t.Fatalf("total servers %d, want 3200", total)
+	}
+}

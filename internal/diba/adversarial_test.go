@@ -1,0 +1,92 @@
+package diba
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"powercap/internal/topology"
+)
+
+// adversarialTransport wraps a Transport and injects the duplicates a
+// real network stack can produce on retransmit/reconnect; BSP agents must
+// drop them and converge to the identical result. (Cross-sender
+// reordering and ahead-of-round delivery are already exercised by the
+// asynchronous goroutine scheduling: a fast neighbor legitimately runs a
+// full round ahead.) Holding messages back is deliberately *not* done —
+// an adversary that starves the last gather of a run would deadlock any
+// blocking BSP implementation, ours included.
+type adversarialTransport struct {
+	inner Transport
+	rng   *rand.Rand
+	mu    sync.Mutex
+}
+
+func (a *adversarialTransport) Send(to int, m Message) error {
+	if err := a.inner.Send(to, m); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	dup := a.rng.Float64() < 0.25
+	a.mu.Unlock()
+	if dup {
+		return a.inner.Send(to, m)
+	}
+	return nil
+}
+
+func (a *adversarialTransport) Recv() (Message, error) { return a.inner.Recv() }
+
+func (a *adversarialTransport) Close() error { return a.inner.Close() }
+
+func TestAgentsSurviveDuplicatesAndReordering(t *testing.T) {
+	n := 16
+	us := mkCluster(t, n, 95)
+	g := topology.Ring(n)
+	budget := 170.0 * float64(n)
+	const rounds = 500
+
+	// Reference: clean engine run.
+	en, err := New(g, us, budget, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < rounds; k++ {
+		en.Step()
+	}
+	want := en.Alloc()
+
+	var totalIdle float64
+	for _, u := range us {
+		totalIdle += u.MinPower()
+	}
+	// Mailboxes need room for the duplicates.
+	net := NewChanNetwork(n, 128)
+	states := make([]AgentState, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr := &adversarialTransport{inner: net.Endpoint(i), rng: rand.New(rand.NewSource(int64(100 + i)))}
+			a, err := NewAgent(i, g.Neighbors(i), us[i], budget, n, totalIdle, Config{}, tr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			states[i], errs[i] = a.Run(rounds)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+	}
+	for i := range want {
+		if states[i].Power != want[i] {
+			t.Fatalf("node %d diverged under adversarial delivery: %v vs %v", i, states[i].Power, want[i])
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package diba
+
+import (
+	"fmt"
+	"sort"
+
+	"powercap/internal/workload"
+)
+
+// Agent is one server's DiBA controller running over a Transport — the unit
+// that would be deployed per machine in a real cluster. It executes the
+// identical per-node rule as the synchronous Engine (nodeRule), in
+// bulk-synchronous rounds: broadcast the local estimate, gather every
+// neighbor's, step.
+type Agent struct {
+	// ID is the agent's node id, unique within the cluster.
+	ID int
+	// Neighbors are the node ids this agent exchanges estimates with.
+	Neighbors []int
+
+	util workload.Utility
+	cfg  Config
+	tr   Transport
+
+	p, e float64
+	// pending buffers messages that arrived early: a neighbor may run up to
+	// one round ahead of us (it cannot advance further without our current
+	// message). Keyed by round, then by sender.
+	pending map[int]map[int]Message
+	round   int
+}
+
+// AgentState is an agent's externally visible state after a run.
+type AgentState struct {
+	ID     int
+	Power  float64
+	E      float64
+	Rounds int
+}
+
+// NewAgent constructs an agent. budget and clusterSize let the agent derive
+// its initial estimate locally: it starts at its idle cap with an even
+// share of the cluster surplus, exactly as Engine does.
+func NewAgent(id int, neighbors []int, u workload.Utility, budget float64, clusterSize int, totalIdle float64, cfg Config, tr Transport) (*Agent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(neighbors) == 0 {
+		return nil, fmt.Errorf("diba: agent %d has no neighbors", id)
+	}
+	share := (totalIdle - budget) / float64(clusterSize)
+	if share >= 0 {
+		return nil, fmt.Errorf("diba: budget %.1f cannot cover cluster idle power %.1f", budget, totalIdle)
+	}
+	ns := append([]int(nil), neighbors...)
+	sort.Ints(ns)
+	return &Agent{
+		ID:        id,
+		Neighbors: ns,
+		util:      u,
+		cfg:       cfg.withDefaults(),
+		tr:        tr,
+		p:         u.MinPower(),
+		e:         share,
+		pending:   make(map[int]map[int]Message),
+	}, nil
+}
+
+// Power returns the agent's current power cap.
+func (a *Agent) Power() float64 { return a.p }
+
+// Estimate returns the agent's current surplus estimate.
+func (a *Agent) Estimate() float64 { return a.e }
+
+// Run executes the given number of BSP rounds and returns the final state.
+func (a *Agent) Run(rounds int) (AgentState, error) {
+	for r := 0; r < rounds; r++ {
+		if err := a.StepOnce(); err != nil {
+			return AgentState{}, fmt.Errorf("diba: agent %d round %d: %w", a.ID, r, err)
+		}
+	}
+	return AgentState{ID: a.ID, Power: a.p, E: a.e, Rounds: a.round}, nil
+}
+
+// StepOnce performs one BSP round: broadcast the current estimate, gather
+// one message from every neighbor for this round, apply nodeRule.
+func (a *Agent) StepOnce() error {
+	out := Message{From: a.ID, Round: a.round, E: a.e, Degree: len(a.Neighbors)}
+	for _, nb := range a.Neighbors {
+		if err := a.tr.Send(nb, out); err != nil {
+			return err
+		}
+	}
+	got, err := a.gather()
+	if err != nil {
+		return err
+	}
+	nbrE := make([]float64, len(a.Neighbors))
+	nbrDeg := make([]int, len(a.Neighbors))
+	for k, nb := range a.Neighbors {
+		m := got[nb]
+		nbrE[k] = m.E
+		nbrDeg[k] = m.Degree
+	}
+	cfg := a.cfg
+	cfg.Eta = a.cfg.etaAt(a.round)
+	phat, outflow := nodeRule(cfg, a.util, a.p, a.e, len(a.Neighbors), nbrE, nbrDeg)
+	a.p += phat
+	// Grouped exactly as Engine.Step computes it so that agents and engine
+	// stay bitwise identical (float addition is not associative).
+	a.e = a.e + phat - outflow
+	a.round++
+	return nil
+}
+
+// gather collects this round's message from every neighbor, buffering any
+// early messages from the next round.
+func (a *Agent) gather() (map[int]Message, error) {
+	need := make(map[int]bool, len(a.Neighbors))
+	for _, nb := range a.Neighbors {
+		need[nb] = true
+	}
+	got := a.pending[a.round]
+	if got == nil {
+		got = make(map[int]Message, len(a.Neighbors))
+	} else {
+		delete(a.pending, a.round)
+		for from := range got {
+			delete(need, from)
+		}
+	}
+	for len(need) > 0 {
+		m, err := a.tr.Recv()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case m.Round == a.round:
+			if need[m.From] {
+				got[m.From] = m
+				delete(need, m.From)
+			}
+		case m.Round > a.round:
+			buf := a.pending[m.Round]
+			if buf == nil {
+				buf = make(map[int]Message)
+				a.pending[m.Round] = buf
+			}
+			buf[m.From] = m
+		default:
+			// Stale duplicate; BSP semantics make these impossible with a
+			// reliable ordered transport, so drop defensively.
+		}
+	}
+	return got, nil
+}
+
+// SetBudgetDelta applies a cluster budget change of totalDelta watts,
+// shifting this agent's estimate by its 1/N share — the local action every
+// agent takes when the new budget is announced. If the estimate turns
+// non-negative the agent sheds power immediately, down to its idle cap.
+func (a *Agent) SetBudgetDelta(totalDelta float64, clusterSize int) {
+	a.e -= totalDelta / float64(clusterSize)
+	if a.e >= 0 {
+		drop := a.e + 0.01
+		if maxDrop := a.p - a.util.MinPower(); drop > maxDrop {
+			drop = maxDrop
+		}
+		a.p -= drop
+		a.e -= drop
+	}
+}

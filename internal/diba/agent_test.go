@@ -1,0 +1,281 @@
+package diba
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"powercap/internal/topology"
+	"powercap/internal/workload"
+)
+
+func TestAgentsMatchEngineExactly(t *testing.T) {
+	// The goroutine agents and the synchronous engine run the same rule in
+	// the same BSP order, so after the same number of rounds their states
+	// must agree bitwise.
+	n := 40
+	us := mkCluster(t, n, 21)
+	budget := float64(n) * 170
+	g := topology.Ring(n)
+	const rounds = 300
+
+	en, err := New(g, us, budget, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < rounds; k++ {
+		en.Step()
+	}
+	want := en.Alloc()
+
+	got, err := RunAgents(g, us, budget, Config{}, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("node %d: agents %v != engine %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAgentsMatchEngineOnIrregularGraph(t *testing.T) {
+	n := 30
+	us := mkCluster(t, n, 22)
+	budget := float64(n) * 168
+	rng := rand.New(rand.NewSource(23))
+	g := topology.ConnectedErdosRenyi(n, 70, rng)
+	const rounds = 200
+
+	en, err := New(g, us, budget, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < rounds; k++ {
+		en.Step()
+	}
+	want := en.Alloc()
+	got, err := RunAgents(g, us, budget, Config{}, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("node %d: agents %v != engine %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewAgentValidation(t *testing.T) {
+	us := mkCluster(t, 4, 24)
+	net := NewChanNetwork(4, 16)
+	if _, err := NewAgent(0, nil, us[0], 700, 4, 400, Config{}, net.Endpoint(0)); err == nil {
+		t.Fatal("agent without neighbors must be rejected")
+	}
+	if _, err := NewAgent(0, []int{1}, us[0], 300, 4, 400, Config{}, net.Endpoint(0)); err == nil {
+		t.Fatal("budget below idle power must be rejected")
+	}
+	if _, err := NewAgent(0, []int{1}, us[0], 700, 4, 400, Config{Gamma: 7}, net.Endpoint(0)); err == nil {
+		t.Fatal("bad config must be rejected")
+	}
+}
+
+func TestRunAgentsValidation(t *testing.T) {
+	us := mkCluster(t, 4, 25)
+	if _, err := RunAgents(topology.Ring(5), us, 900, Config{}, 10); err == nil {
+		t.Fatal("size mismatch must be rejected")
+	}
+	if _, err := RunAgents(topology.NewGraph(4), us, 900, Config{}, 10); err == nil {
+		t.Fatal("disconnected graph must be rejected")
+	}
+}
+
+func TestAgentBudgetDelta(t *testing.T) {
+	us := mkCluster(t, 4, 26)
+	net := NewChanNetwork(4, 16)
+	a, err := NewAgent(0, []int{1}, us[0], 4*180, 4, 400, Config{}, net.Endpoint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := a.Estimate()
+	a.SetBudgetDelta(-40, 4) // budget cut of 40 W total
+	if a.Estimate() >= e0+10+1e-9 && a.Estimate() >= 0 {
+		t.Fatal("estimate must shift by the per-node share or power must shed")
+	}
+	if a.Estimate() >= 0 {
+		t.Fatalf("estimate must stay negative after moderate cut, got %v", a.Estimate())
+	}
+}
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	t0, err := NewTCPTransport(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+	t1, err := NewTCPTransport(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	addrs := map[int]string{0: t0.Addr(), 1: t1.Addr()}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errs := make(chan error, 2)
+	go func() {
+		defer wg.Done()
+		errs <- t0.ConnectNeighbors([]int{1}, addrs, 2*time.Second)
+	}()
+	go func() {
+		defer wg.Done()
+		errs <- t1.ConnectNeighbors([]int{0}, addrs, 2*time.Second)
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := Message{From: 0, Round: 3, E: -1.25, Degree: 1}
+	if err := t0.Send(1, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := t1.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	// And the reverse direction over the same connection.
+	want2 := Message{From: 1, Round: 3, E: -0.5, Degree: 1}
+	if err := t1.Send(0, want2); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := t0.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != want2 {
+		t.Fatalf("got %+v, want %+v", got2, want2)
+	}
+}
+
+func TestAgentsOverTCPMatchEngine(t *testing.T) {
+	// Full DiBA over real sockets on a small ring.
+	n := 6
+	us := mkCluster(t, n, 27)
+	budget := float64(n) * 170
+	g := topology.Ring(n)
+	const rounds = 120
+
+	en, err := New(g, us, budget, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < rounds; k++ {
+		en.Step()
+	}
+	want := en.Alloc()
+
+	trs := make([]*TCPTransport, n)
+	addrs := make(map[int]string, n)
+	for i := 0; i < n; i++ {
+		tr, err := NewTCPTransport(i, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		trs[i] = tr
+		addrs[i] = tr.Addr()
+	}
+	var totalIdle float64
+	for _, u := range us {
+		totalIdle += u.MinPower()
+	}
+	var wg sync.WaitGroup
+	results := make([]AgentState, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := trs[i].ConnectNeighbors(g.Neighbors(i), addrs, 5*time.Second); err != nil {
+				errs[i] = err
+				return
+			}
+			a, err := NewAgent(i, g.Neighbors(i), us[i], budget, n, totalIdle, Config{}, trs[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = a.Run(rounds)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+	}
+	for i := range want {
+		if diff := results[i].Power - want[i]; diff != 0 {
+			t.Fatalf("node %d over TCP: %v != engine %v", i, results[i].Power, want[i])
+		}
+	}
+}
+
+func TestChanNetworkUnknownAgent(t *testing.T) {
+	net := NewChanNetwork(2, 4)
+	ep := net.Endpoint(0)
+	if err := ep.Send(5, Message{}); err == nil {
+		t.Fatal("send to unknown agent must fail")
+	}
+	if err := ep.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPSendWithoutConnection(t *testing.T) {
+	tr, err := NewTCPTransport(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.Send(3, Message{}); err == nil {
+		t.Fatal("send without connection must fail")
+	}
+}
+
+func TestTCPConnectMissingAddress(t *testing.T) {
+	tr, err := NewTCPTransport(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	err = tr.ConnectNeighbors([]int{1}, map[int]string{}, 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("missing neighbor address must fail")
+	}
+}
+
+func ExampleRunAgents() {
+	rng := rand.New(rand.NewSource(1))
+	a, _ := workload.Assign(workload.HPC, 12, workload.DefaultServer, 0, 0, rng)
+	alloc, err := RunAgents(topology.Ring(12), a.UtilitySlice(), 12*170, Config{}, 500)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var sum float64
+	for _, p := range alloc {
+		sum += p
+	}
+	fmt.Printf("within budget: %v\n", sum <= 12*170)
+	// Output: within budget: true
+}

@@ -1,0 +1,258 @@
+package diba
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"powercap/internal/topology"
+	"powercap/internal/workload"
+)
+
+// Asynchronous (gossip) operation. The synchronous engine and the BSP
+// agents advance in lock-step rounds; a real cluster has no barrier — the
+// text contrasts the primal-dual scheme, which "is synchronized ... usually
+// provided through Network Time Protocol", with DiBA's locality. This file
+// implements DiBA without any synchrony assumption.
+//
+// The synchronous flow rule cannot be reused directly: its conservation
+// argument needs both endpoints of an edge to compute the identical
+// transfer from a shared snapshot. Without rounds there is no shared
+// snapshot. Instead the async protocol makes estimate mass *explicitly
+// travel in messages*:
+//
+//   - when node i activates, it may push part of its estimate to a
+//     neighbor: it subtracts Δ from e_i and sends Δ;
+//   - the receiver adds Δ to e_j on delivery.
+//
+// Conservation then holds unconditionally — Σ e(nodes) + Σ Δ(in flight)
+// = Σ p − P at every instant, whatever the delays or interleavings —
+// which the property tests assert at arbitrary points of random
+// schedules. Safety is receiver-protected: a node whose estimate is pushed
+// toward zero by in-flight mass sheds power through the usual emergency
+// path, and senders bound each push by γ·(−e_j)/(deg_j+1) using their
+// (possibly stale) view of the receiver, which keeps such events rare.
+
+// AsyncCluster simulates gossip-scheduled DiBA: node activations are drawn
+// one at a time (uniformly or from any schedule), and messages experience
+// arbitrary (bounded) delivery delay. It is a simulation harness — the
+// per-node logic is what a fully asynchronous deployment would run.
+type AsyncCluster struct {
+	g      *topology.Graph
+	us     []workload.Utility
+	cfg    Config
+	budget float64
+	p, e   []float64
+	// view[i][k] is node i's last-received estimate of its k-th neighbor
+	// (ordered as g.Neighbors(i)).
+	view [][]float64
+	// inFlight holds estimate mass travelling in messages.
+	inFlight []asyncMsg
+	// maxDelay is the maximum number of activations a message may wait
+	// before delivery (1 = deliver before the next activation).
+	maxDelay int
+	rng      *rand.Rand
+	steps    int
+}
+
+type asyncMsg struct {
+	to    int
+	from  int
+	delta float64 // estimate mass being transferred
+	e     float64 // sender's estimate after the move, for the view update
+	due   int     // activation count at which this message is deliverable
+}
+
+// NewAsync builds a gossip cluster. maxDelay ≥ 1 bounds message delay in
+// units of activations; seed drives the activation and delay schedule.
+func NewAsync(g *topology.Graph, us []workload.Utility, budget float64, cfg Config, maxDelay int, seed int64) (*AsyncCluster, error) {
+	if g.N() != len(us) {
+		return nil, fmt.Errorf("diba: graph has %d nodes but %d utilities given", g.N(), len(us))
+	}
+	if len(us) == 0 {
+		return nil, errors.New("diba: empty cluster")
+	}
+	if !g.Connected() {
+		return nil, errors.New("diba: communication graph must be connected")
+	}
+	if maxDelay < 1 {
+		return nil, errors.New("diba: maxDelay must be at least 1")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	var minSum float64
+	for _, u := range us {
+		minSum += u.MinPower()
+	}
+	if budget <= minSum {
+		return nil, fmt.Errorf("diba: budget %.1f W cannot cover total idle power %.1f W", budget, minSum)
+	}
+	n := len(us)
+	ac := &AsyncCluster{
+		g:        g,
+		us:       us,
+		cfg:      cfg,
+		budget:   budget,
+		p:        make([]float64, n),
+		e:        make([]float64, n),
+		view:     make([][]float64, n),
+		maxDelay: maxDelay,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	share := (minSum - budget) / float64(n)
+	for i, u := range us {
+		ac.p[i] = u.MinPower()
+		ac.e[i] = share
+		ns := g.Neighbors(i)
+		ac.view[i] = make([]float64, len(ns))
+		for k := range ns {
+			// Initial views are exact: every node starts from the same
+			// published (budget, N) and can derive them.
+			ac.view[i][k] = share
+		}
+	}
+	return ac, nil
+}
+
+// Step activates one uniformly random node: deliver its due messages, let
+// it move power and push estimate mass, and enqueue its outgoing messages.
+// It returns the node activated.
+func (ac *AsyncCluster) Step() int {
+	ac.steps++
+	// Deliver all due messages (to any node — the network runs on its own
+	// clock).
+	kept := ac.inFlight[:0]
+	for _, m := range ac.inFlight {
+		if m.due <= ac.steps {
+			ac.deliver(m)
+		} else {
+			kept = append(kept, m)
+		}
+	}
+	ac.inFlight = kept
+
+	i := ac.rng.Intn(len(ac.us))
+	ac.activate(i)
+	return i
+}
+
+func (ac *AsyncCluster) deliver(m asyncMsg) {
+	ac.e[m.to] += m.delta
+	// Update the receiver's view of the sender.
+	ns := ac.g.Neighbors(m.to)
+	for k, nb := range ns {
+		if nb == m.from {
+			ac.view[m.to][k] = m.e
+			break
+		}
+	}
+}
+
+// activate runs node i's local logic once.
+func (ac *AsyncCluster) activate(i int) {
+	u := ac.us[i]
+	ns := ac.g.Neighbors(i)
+	deg := len(ns)
+
+	// Power move: same barrier-Newton rule as the synchronous engine,
+	// against the node's own (always current) estimate.
+	nbrDeg := make([]int, deg)
+	for k, nb := range ns {
+		nbrDeg[k] = ac.g.Degree(nb)
+	}
+	phat, _ := nodeRule(ac.cfg, u, ac.p[i], ac.e[i], deg, nil, nil)
+	ac.p[i] += phat
+	ac.e[i] += phat
+
+	if ac.e[i] >= 0 {
+		// Emergency: shed immediately down to the floor; leftover positive
+		// estimate is pushed out below (its neighbors' slack absorbs it).
+		drop := ac.e[i] + 0.01
+		if maxDrop := ac.p[i] - u.MinPower(); drop > maxDrop {
+			drop = maxDrop
+		}
+		ac.p[i] -= drop
+		ac.e[i] -= drop
+	}
+
+	// Estimate pushes: sender-initiated transfers based on the last-known
+	// neighbor views. The transfer leaves e_i now and arrives later.
+	for k, nb := range ns {
+		t := edgeTransfer(ac.cfg, ac.e[i], ac.view[i][k], deg, ac.g.Degree(nb))
+		if t == 0 {
+			continue
+		}
+		ac.e[i] -= t
+		ac.view[i][k] += t // optimistic: assume the neighbor will absorb it
+		ac.inFlight = append(ac.inFlight, asyncMsg{
+			to:    nb,
+			from:  i,
+			delta: t,
+			e:     ac.e[i],
+			due:   ac.steps + 1 + ac.rng.Intn(ac.maxDelay),
+		})
+	}
+}
+
+// Run executes the given number of activations.
+func (ac *AsyncCluster) Run(activations int) {
+	for k := 0; k < activations; k++ {
+		ac.Step()
+	}
+}
+
+// Flush delivers every in-flight message immediately (e.g. before reading
+// a consistent final state).
+func (ac *AsyncCluster) Flush() {
+	for _, m := range ac.inFlight {
+		ac.deliver(m)
+	}
+	ac.inFlight = ac.inFlight[:0]
+}
+
+// Alloc returns a copy of the power caps.
+func (ac *AsyncCluster) Alloc() []float64 {
+	out := make([]float64, len(ac.p))
+	copy(out, ac.p)
+	return out
+}
+
+// TotalPower returns Σ p_i.
+func (ac *AsyncCluster) TotalPower() float64 {
+	var s float64
+	for _, v := range ac.p {
+		s += v
+	}
+	return s
+}
+
+// TotalUtility returns Σ r_i(p_i).
+func (ac *AsyncCluster) TotalUtility() float64 {
+	var s float64
+	for i, u := range ac.us {
+		s += u.Value(ac.p[i])
+	}
+	return s
+}
+
+// CheckConservation verifies Σe + in-flight mass = Σp − P within tol —
+// the async invariant, valid at any instant of any schedule.
+func (ac *AsyncCluster) CheckConservation(tol float64) error {
+	var sumE, sumP float64
+	for i := range ac.e {
+		sumE += ac.e[i]
+		sumP += ac.p[i]
+	}
+	for _, m := range ac.inFlight {
+		sumE += m.delta
+	}
+	if diff := sumE - (sumP - ac.budget); diff > tol || diff < -tol {
+		return fmt.Errorf("diba: async conservation violated: Σe+flight=%g, Σp−P=%g", sumE, sumP-ac.budget)
+	}
+	return nil
+}
+
+// Budget returns the cluster budget.
+func (ac *AsyncCluster) Budget() float64 { return ac.budget }

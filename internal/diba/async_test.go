@@ -1,0 +1,150 @@
+package diba
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"powercap/internal/solver"
+	"powercap/internal/topology"
+)
+
+func TestNewAsyncValidation(t *testing.T) {
+	us := mkCluster(t, 10, 41)
+	if _, err := NewAsync(topology.Ring(10), us, 500, Config{}, 3, 1); err == nil {
+		t.Fatal("infeasible budget must be rejected")
+	}
+	if _, err := NewAsync(topology.Ring(12), us, 2000, Config{}, 3, 1); err == nil {
+		t.Fatal("size mismatch must be rejected")
+	}
+	if _, err := NewAsync(topology.Ring(10), us, 2000, Config{}, 0, 1); err == nil {
+		t.Fatal("maxDelay < 1 must be rejected")
+	}
+	if _, err := NewAsync(topology.NewGraph(10), us, 2000, Config{}, 3, 1); err == nil {
+		t.Fatal("disconnected graph must be rejected")
+	}
+}
+
+func TestAsyncConvergesNearOptimal(t *testing.T) {
+	n := 100
+	us := mkCluster(t, n, 42)
+	budget := float64(n) * 170
+	opt, err := solver.Optimal(us, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := NewAsync(topology.Ring(n), us, budget, Config{}, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Activations are per-node events; n·rounds activations correspond
+	// loosely to `rounds` synchronous rounds.
+	ac.Run(n * 3000)
+	ac.Flush()
+	if got := ac.TotalUtility(); got < 0.985*opt.Utility {
+		t.Fatalf("async utility %v below 98.5%% of optimal %v", got, opt.Utility)
+	}
+	if ac.TotalPower() > budget {
+		t.Fatalf("async power %v exceeds budget %v", ac.TotalPower(), budget)
+	}
+	if err := ac.CheckConservation(1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncConservationUnderRandomSchedules(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(30)
+		us := mkCluster(t, n, seed)
+		budget := float64(n) * (150 + rng.Float64()*40)
+		delay := 1 + rng.Intn(8)
+		ac, err := NewAsync(topology.Ring(n), us, budget, Config{}, delay, seed)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 500; k++ {
+			ac.Step()
+			// The async invariant must hold at *every* instant, with mass
+			// in flight.
+			if ac.CheckConservation(1e-6) != nil {
+				return false
+			}
+		}
+		ac.Flush()
+		return ac.CheckConservation(1e-6) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncBudgetSafetyInPractice(t *testing.T) {
+	// The async protocol's hard guarantee is conservation; budget safety is
+	// receiver-protected and bounded by in-flight mass. Measure the worst
+	// observed overshoot across a long delayed-message run: it must be
+	// negligible relative to the budget.
+	n := 60
+	us := mkCluster(t, n, 43)
+	budget := float64(n) * 168
+	ac, err := NewAsync(topology.Ring(n), us, budget, Config{}, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for k := 0; k < n*2000; k++ {
+		ac.Step()
+		if over := ac.TotalPower() - budget; over > worst {
+			worst = over
+		}
+	}
+	if worst > 0.001*budget {
+		t.Fatalf("async overshoot %v W exceeds 0.1%% of the budget", worst)
+	}
+}
+
+func TestAsyncDelayToleranceDegradesGracefully(t *testing.T) {
+	// Longer message delays may slow convergence but must not break it.
+	n := 60
+	us := mkCluster(t, n, 44)
+	budget := float64(n) * 172
+	opt, err := solver.Optimal(us, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delay := range []int{1, 5, 20} {
+		ac, err := NewAsync(topology.Ring(n), us, budget, Config{}, delay, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ac.Run(n * 4000)
+		ac.Flush()
+		if got := ac.TotalUtility(); got < 0.97*opt.Utility {
+			t.Fatalf("delay %d: utility %v below 97%% of optimal %v", delay, got, opt.Utility)
+		}
+	}
+}
+
+func TestAsyncMatchesSyncQuality(t *testing.T) {
+	// Gossip and BSP must land at essentially the same allocation quality.
+	n := 80
+	us := mkCluster(t, n, 45)
+	budget := float64(n) * 170
+	en, err := New(topology.Ring(n), us, budget, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3000; k++ {
+		en.Step()
+	}
+	ac, err := NewAsync(topology.Ring(n), us, budget, Config{}, 3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac.Run(n * 3000)
+	ac.Flush()
+	syncU, asyncU := en.TotalUtility(), ac.TotalUtility()
+	if asyncU < 0.99*syncU {
+		t.Fatalf("async quality %v below 99%% of sync %v", asyncU, syncU)
+	}
+}

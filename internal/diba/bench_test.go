@@ -1,0 +1,90 @@
+package diba
+
+import (
+	"math/rand"
+	"testing"
+
+	"powercap/internal/topology"
+	"powercap/internal/workload"
+)
+
+// Micro-benchmarks for the per-round cost that Table 4.2's computation
+// column is built from.
+
+func benchCluster(b *testing.B, n int) []workload.Utility {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a.UtilitySlice()
+}
+
+func benchmarkStep(b *testing.B, n int) {
+	us := benchCluster(b, n)
+	en, err := New(topology.Ring(n), us, 170*float64(n), Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en.Step()
+	}
+}
+
+func BenchmarkEngineStep100(b *testing.B)  { benchmarkStep(b, 100) }
+func BenchmarkEngineStep1000(b *testing.B) { benchmarkStep(b, 1000) }
+func BenchmarkEngineStep6400(b *testing.B) { benchmarkStep(b, 6400) }
+
+func BenchmarkAsyncActivation(b *testing.B) {
+	us := benchCluster(b, 1000)
+	ac, err := NewAsync(topology.Ring(1000), us, 170000, Config{}, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ac.Step()
+	}
+}
+
+func BenchmarkHierStep(b *testing.B) {
+	const nRacks, perRack = 10, 40
+	n := nRacks * perRack
+	us := benchCluster(b, n)
+	g := topology.NewGraph(n)
+	rackOf := make([]int, n)
+	for k := 0; k < nRacks; k++ {
+		base := k * perRack
+		for j := 0; j < perRack; j++ {
+			rackOf[base+j] = k
+			_ = g.AddEdge(base+j, base+(j+1)%perRack)
+		}
+		_ = g.AddEdge(base, ((k+1)%nRacks)*perRack)
+	}
+	racks := Racks{RackOf: rackOf, RackBudget: make([]float64, nRacks)}
+	for k := range racks.RackBudget {
+		racks.RackBudget[k] = 170 * perRack
+	}
+	en, err := NewHier(g, us, 165*float64(n), racks, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en.Step()
+	}
+}
+
+func BenchmarkEngineStepParallel6400(b *testing.B) {
+	us := benchCluster(b, 6400)
+	en, err := New(topology.Ring(6400), us, 170*6400, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en.StepParallel(0)
+	}
+}

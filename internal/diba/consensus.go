@@ -1,0 +1,45 @@
+package diba
+
+import (
+	"errors"
+
+	"powercap/internal/topology"
+)
+
+// AverageConsensus runs classic diffusion averaging over the graph: every
+// round each node moves χ·(z_j − z_i) along each edge, with χ safely below
+// 1/(maxdeg+1). After enough rounds every node's value approaches the
+// global mean of the inputs.
+//
+// In this repository it is the telemetry counterpart of the allocation
+// algorithm: seeded with each node's power draw, it gives *every* node an
+// estimate of the cluster's mean (hence total) draw with no coordinator —
+// the same way DiBA's e-estimates spread budget information. The sum of
+// the values is conserved exactly every round, so the estimates are never
+// collectively biased.
+func AverageConsensus(g *topology.Graph, values []float64, rounds int) ([]float64, error) {
+	n := g.N()
+	if n != len(values) {
+		return nil, errors.New("diba: values length must match graph size")
+	}
+	if n == 0 {
+		return nil, errors.New("diba: empty graph")
+	}
+	if !g.Connected() {
+		return nil, errors.New("diba: consensus needs a connected graph")
+	}
+	chi := 1.0 / float64(g.MaxDegree()+1)
+	cur := append([]float64(nil), values...)
+	next := make([]float64, n)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < n; i++ {
+			v := cur[i]
+			for _, j := range g.Neighbors(i) {
+				v += chi * (cur[j] - cur[i])
+			}
+			next[i] = v
+		}
+		cur, next = next, cur
+	}
+	return cur, nil
+}

@@ -1,0 +1,95 @@
+package diba
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"powercap/internal/stats"
+	"powercap/internal/topology"
+)
+
+func TestAverageConsensusValidation(t *testing.T) {
+	if _, err := AverageConsensus(topology.Ring(4), []float64{1}, 10); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := AverageConsensus(topology.NewGraph(0), nil, 10); err == nil {
+		t.Fatal("empty graph must error")
+	}
+	if _, err := AverageConsensus(topology.NewGraph(3), []float64{1, 2, 3}, 10); err == nil {
+		t.Fatal("disconnected graph must error")
+	}
+}
+
+func TestAverageConsensusConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 40
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 100 + rng.Float64()*100
+	}
+	mean := stats.Mean(vals)
+	out, err := AverageConsensus(topology.ChordalRing(n, 6), vals, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if math.Abs(v-mean) > 1e-6*mean {
+			t.Fatalf("node %d estimate %v far from mean %v", i, v, mean)
+		}
+	}
+}
+
+func TestAverageConsensusTelemetry(t *testing.T) {
+	// The operational use: every node learns the cluster's total draw.
+	n := 60
+	us := mkCluster(t, n, 97)
+	en, err := New(topology.Ring(n), us, float64(n)*170, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en.RunToQuiescence(1e-3, 20, 30000)
+	draws := en.Alloc()
+	total := en.TotalPower()
+	est, err := AverageConsensus(topology.Ring(n), draws, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range est {
+		if math.Abs(v*float64(n)-total) > 0.001*total {
+			t.Fatalf("node %d total estimate %v vs true %v", i, v*float64(n), total)
+		}
+	}
+}
+
+// Properties: the sum is conserved exactly each run, and the value spread
+// never increases (diffusion is a contraction).
+func TestAverageConsensusProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		m := n + rng.Intn(2*n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := topology.ConnectedErdosRenyi(n, m, rng)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 50
+		}
+		out, err := AverageConsensus(g, vals, 50)
+		if err != nil {
+			return false
+		}
+		if math.Abs(stats.Sum(out)-stats.Sum(vals)) > 1e-6*(1+math.Abs(stats.Sum(vals))) {
+			return false
+		}
+		spreadBefore := stats.Max(vals) - stats.Min(vals)
+		spreadAfter := stats.Max(out) - stats.Min(out)
+		return spreadAfter <= spreadBefore+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,549 @@
+package diba
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"powercap/internal/metrics"
+	"powercap/internal/solver"
+	"powercap/internal/topology"
+	"powercap/internal/workload"
+)
+
+func mkCluster(t testing.TB, n int, seed int64) []workload.Utility {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.UtilitySlice()
+}
+
+func TestNewValidation(t *testing.T) {
+	us := mkCluster(t, 10, 1)
+	if _, err := New(topology.Ring(10), us, 500, Config{}); err == nil {
+		t.Fatal("budget below idle power must be rejected")
+	}
+	if _, err := New(topology.Ring(12), us, 2000, Config{}); err == nil {
+		t.Fatal("node/utility count mismatch must be rejected")
+	}
+	if _, err := New(topology.Ring(10), us, 2000, Config{Gamma: 2}); err == nil {
+		t.Fatal("invalid Gamma must be rejected")
+	}
+	g := topology.NewGraph(10) // edgeless: disconnected
+	if _, err := New(g, us, 2000, Config{}); err == nil {
+		t.Fatal("disconnected graph must be rejected")
+	}
+	if _, err := New(topology.NewGraph(0), nil, 2000, Config{}); err == nil {
+		t.Fatal("empty cluster must be rejected")
+	}
+}
+
+func TestInitialStateFeasible(t *testing.T) {
+	us := mkCluster(t, 20, 2)
+	en, err := New(topology.Ring(20), us, 20*170, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := en.CheckInvariant(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range en.Alloc() {
+		if p != us[i].MinPower() {
+			t.Fatalf("node %d must start at idle power", i)
+		}
+	}
+}
+
+func TestInvariantsEveryRound(t *testing.T) {
+	us := mkCluster(t, 50, 3)
+	budget := 50 * 168.0
+	en, err := New(topology.Ring(50), us, budget, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2000; k++ {
+		en.Step()
+		if err := en.CheckInvariant(1e-6); err != nil {
+			t.Fatalf("round %d: %v", k, err)
+		}
+		if en.TotalPower() > budget {
+			t.Fatalf("round %d: budget violated: %v > %v", k, en.TotalPower(), budget)
+		}
+	}
+}
+
+func TestConvergesTo99PercentOnRing(t *testing.T) {
+	for _, n := range []int{100, 400} {
+		us := mkCluster(t, n, 4)
+		budget := float64(n) * 170
+		opt, err := solver.Optimal(us, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		en, err := New(topology.Ring(n), us, budget, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := en.RunToTarget(opt.Utility, 0.99, 5000)
+		if !res.Converged {
+			t.Fatalf("N=%d: not converged in 5000 rounds (ratio %v)", n, res.Utility/opt.Utility)
+		}
+		if res.Power > budget {
+			t.Fatalf("N=%d: power %v exceeds budget %v", n, res.Power, budget)
+		}
+		if !metrics.Feasible(us, en.Alloc(), budget, 1e-6) {
+			t.Fatalf("N=%d: final allocation infeasible", n)
+		}
+	}
+}
+
+func TestConvergesOnOtherTopologies(t *testing.T) {
+	n := 100
+	us := mkCluster(t, n, 5)
+	budget := float64(n) * 170
+	opt, err := solver.Optimal(us, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	graphs := map[string]*topology.Graph{
+		"chordal":  topology.ChordalRing(n, 7),
+		"er":       topology.ConnectedErdosRenyi(n, 300, rng),
+		"complete": topology.Complete(n),
+	}
+	for name, g := range graphs {
+		en, err := New(g, us, budget, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := en.RunToTarget(opt.Utility, 0.99, 8000)
+		if !res.Converged {
+			t.Fatalf("%s: not converged (ratio %v)", name, res.Utility/opt.Utility)
+		}
+	}
+}
+
+func TestHigherConnectivityConvergesFaster(t *testing.T) {
+	n := 100
+	us := mkCluster(t, n, 6)
+	budget := float64(n) * 168
+	opt, err := solver.Optimal(us, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(g *topology.Graph) int {
+		en, err := New(g, us, budget, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return en.RunToTarget(opt.Utility, 0.99, 30000).Iterations
+	}
+	ring := run(topology.Ring(n))
+	rng := rand.New(rand.NewSource(8))
+	dense := run(topology.ConnectedErdosRenyi(n, 600, rng))
+	if dense >= ring {
+		t.Fatalf("dense graph (%d iters) must converge faster than ring (%d iters)", dense, ring)
+	}
+}
+
+func TestRunToQuiescence(t *testing.T) {
+	n := 60
+	us := mkCluster(t, n, 9)
+	budget := float64(n) * 172
+	en, err := New(topology.Ring(n), us, budget, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := en.RunToQuiescence(1e-3, 20, 200000)
+	if !res.Converged {
+		t.Fatal("quiescence not reached")
+	}
+	opt, _ := solver.Optimal(us, budget)
+	if res.Utility < 0.985*opt.Utility {
+		t.Fatalf("quiescent utility %v below 98.5%% of optimal %v", res.Utility, opt.Utility)
+	}
+}
+
+func TestBudgetDropImmediatePowerCut(t *testing.T) {
+	n := 100
+	us := mkCluster(t, n, 10)
+	en, err := New(topology.Ring(n), us, float64(n)*190, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := solver.Optimal(us, float64(n)*190)
+	en.RunToTarget(opt.Utility, 0.99, 10000)
+
+	newBudget := float64(n) * 170
+	if err := en.SetBudget(newBudget); err != nil {
+		t.Fatal(err)
+	}
+	// Feasibility must be restored immediately, before any new rounds.
+	if en.TotalPower() > newBudget {
+		t.Fatalf("power %v exceeds new budget %v right after the cut", en.TotalPower(), newBudget)
+	}
+	if err := en.CheckInvariant(1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// And the engine re-converges near the new optimum.
+	opt2, _ := solver.Optimal(us, newBudget)
+	res := en.RunToTarget(opt2.Utility, 0.99, 10000)
+	if !res.Converged {
+		t.Fatalf("no re-convergence after budget drop (ratio %v)", res.Utility/opt2.Utility)
+	}
+}
+
+func TestBudgetRise(t *testing.T) {
+	n := 100
+	us := mkCluster(t, n, 11)
+	en, err := New(topology.Ring(n), us, float64(n)*170, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := solver.Optimal(us, float64(n)*170)
+	en.RunToTarget(opt.Utility, 0.99, 10000)
+	before := en.TotalUtility()
+
+	if err := en.SetBudget(float64(n) * 190); err != nil {
+		t.Fatal(err)
+	}
+	if err := en.CheckInvariant(1e-6); err != nil {
+		t.Fatal(err)
+	}
+	opt2, _ := solver.Optimal(us, float64(n)*190)
+	res := en.RunToTarget(opt2.Utility, 0.99, 10000)
+	if !res.Converged {
+		t.Fatalf("no re-convergence after budget rise (ratio %v)", res.Utility/opt2.Utility)
+	}
+	if res.Utility <= before {
+		t.Fatal("more budget must raise utility")
+	}
+}
+
+func TestSetBudgetInfeasibleRejected(t *testing.T) {
+	n := 10
+	us := mkCluster(t, n, 12)
+	en, err := New(topology.Ring(n), us, float64(n)*170, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := en.SetBudget(500); err == nil {
+		t.Fatal("budget below idle power must be rejected")
+	}
+	if en.Budget() != float64(n)*170 {
+		t.Fatal("rejected budget change must not alter state")
+	}
+}
+
+func TestWorkloadChangeLocality(t *testing.T) {
+	// Fig. 4.9: after a single node's utility changes, the power deltas at
+	// re-convergence concentrate around the perturbed node.
+	n := 100
+	us := mkCluster(t, n, 13)
+	budget := float64(n) * 172
+	en, err := New(topology.Ring(n), us, budget, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en.RunToQuiescence(1e-4, 30, 200000)
+	before := en.Alloc()
+
+	// Swap node 50's workload for one with the opposite character, so the
+	// equilibrium genuinely moves there (memory-bound RA sheds most of its
+	// power).
+	ra, _ := workload.ByName(workload.HPC, "RA")
+	newU := workload.TrueUtility(ra, workload.DefaultServer)
+	if err := en.SetUtility(50, newU); err != nil {
+		t.Fatal(err)
+	}
+	us[50] = newU
+	en.RunToQuiescence(1e-4, 30, 200000)
+	after := en.Alloc()
+
+	var near, far, nearN, farN float64
+	for i := range after {
+		d := math.Abs(after[i] - before[i])
+		dist := ringDist(i, 50, n)
+		if dist <= 10 {
+			near += d
+			nearN++
+		} else if dist >= 30 {
+			far += d
+			farN++
+		}
+	}
+	if d50 := math.Abs(after[50] - before[50]); d50 < 20 {
+		t.Fatalf("perturbed node must move substantially, moved %v W", d50)
+	}
+	if near/nearN <= 3*far/farN {
+		t.Fatalf("perturbation must stay local: near/node=%v far/node=%v", near/nearN, far/farN)
+	}
+	if err := en.CheckInvariant(1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ringDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+func TestSetUtilityValidation(t *testing.T) {
+	us := mkCluster(t, 10, 14)
+	en, err := New(topology.Ring(10), us, 1800, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := en.SetUtility(99, us[0]); err == nil {
+		t.Fatal("out-of-range node must be rejected")
+	}
+}
+
+func TestPriceApproachesOptimalDual(t *testing.T) {
+	n := 200
+	us := mkCluster(t, n, 15)
+	budget := float64(n) * 170
+	opt, err := solver.Optimal(us, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := New(topology.Ring(n), us, budget, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en.RunToQuiescence(1e-4, 30, 50000)
+	price := en.Price()
+	if price <= 0 || math.IsInf(price, 1) {
+		t.Fatalf("degenerate price %v", price)
+	}
+	if math.Abs(price-opt.Price)/opt.Price > 0.5 {
+		t.Fatalf("implied price %v too far from dual %v", price, opt.Price)
+	}
+}
+
+func TestEstimateErrorDecaysAfterPerturbation(t *testing.T) {
+	// Fig. 4.8: the estimate disturbance decays over iterations.
+	n := 100
+	us := mkCluster(t, n, 16)
+	budget := float64(n) * 172
+	en, err := New(topology.Ring(n), us, budget, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en.RunToQuiescence(1e-4, 30, 200000)
+	ra, _ := workload.ByName(workload.HPC, "RA")
+	if err := en.SetUtility(50, workload.TrueUtility(ra, workload.DefaultServer)); err != nil {
+		t.Fatal(err)
+	}
+	spread := func() float64 {
+		es := en.Estimates()
+		var mean float64
+		for _, v := range es {
+			mean += v
+		}
+		mean /= float64(len(es))
+		var s float64
+		for _, v := range es {
+			s += math.Abs(v - mean)
+		}
+		return s
+	}
+	for k := 0; k < 50; k++ {
+		en.Step()
+	}
+	early := spread()
+	for k := 0; k < 3000; k++ {
+		en.Step()
+	}
+	late := spread()
+	if late > early {
+		t.Fatalf("estimate spread must decay: early=%v late=%v", early, late)
+	}
+}
+
+func TestStepReportsMaxMove(t *testing.T) {
+	us := mkCluster(t, 20, 17)
+	en, err := New(topology.Ring(20), us, 20*175, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	move := en.Step()
+	if move <= 0 {
+		t.Fatal("first round from idle must move power")
+	}
+	if move > (Config{}).withDefaults().MaxMoveW+1e-9 {
+		t.Fatalf("move %v exceeds MaxMoveW", move)
+	}
+}
+
+func TestEdgeTransferAntisymmetric(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eA := -rng.Float64()*10 - 1e-6
+		eB := -rng.Float64()*10 - 1e-6
+		dA := 1 + rng.Intn(6)
+		dB := 1 + rng.Intn(6)
+		ab := edgeTransfer(cfg, eA, eB, dA, dB)
+		ba := edgeTransfer(cfg, eB, eA, dB, dA)
+		return math.Abs(ab+ba) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeTransferCannotCrossZero(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eA := -rng.Float64() * 10
+		eB := -rng.Float64() * 10
+		dA := 1 + rng.Intn(6)
+		dB := 1 + rng.Intn(6)
+		t := edgeTransfer(cfg, eA, eB, dA, dB)
+		// Receiving endpoint's estimate after dB (resp. dA) such inflows
+		// stays negative.
+		afterB := eB + float64(dB)*math.Max(t, 0)
+		afterA := eA + float64(dA)*math.Max(-t, 0)
+		return afterB < 0 && afterA < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: invariants hold after arbitrary interleavings of rounds, budget
+// changes and workload swaps.
+func TestInvariantUnderRandomEventsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.1, 0.01, rng)
+		if err != nil {
+			return false
+		}
+		us := a.UtilitySlice()
+		budget := float64(n) * (150 + rng.Float64()*40)
+		en, err := New(topology.Ring(n), us, budget, Config{})
+		if err != nil {
+			return false
+		}
+		for ev := 0; ev < 30; ev++ {
+			switch rng.Intn(3) {
+			case 0:
+				for k := 0; k < 20; k++ {
+					en.Step()
+				}
+			case 1:
+				nb := float64(n) * (150 + rng.Float64()*40)
+				if err := en.SetBudget(nb); err != nil {
+					return false
+				}
+			case 2:
+				b := workload.HPC[rng.Intn(len(workload.HPC))]
+				if err := en.SetUtility(rng.Intn(n), workload.TrueUtility(b, workload.DefaultServer)); err != nil {
+					return false
+				}
+			}
+			// Conservation holds unconditionally, even mid-recovery from a
+			// harsh budget cut.
+			if err := en.CheckConservation(1e-5); err != nil {
+				return false
+			}
+			// Strict feasibility holds whenever all estimates are negative;
+			// a harsh cut may leave some transiently non-negative.
+			if en.CheckFeasible() == nil && en.TotalPower() > en.Budget() {
+				return false
+			}
+		}
+		// After the event storm settles, feasibility must be restored.
+		for k := 0; k < 500; k++ {
+			en.Step()
+		}
+		return en.CheckFeasible() == nil && en.TotalPower() <= en.Budget()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEtaAnnealingRecoversBarrierBias(t *testing.T) {
+	n := 80
+	us := mkCluster(t, n, 81)
+	budget := float64(n) * 170
+	opt, err := solver.Optimal(us, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cfg Config) float64 {
+		en, err := New(topology.Ring(n), us, budget, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 8000; k++ {
+			en.Step()
+			if en.TotalPower() > budget {
+				t.Fatalf("round %d: budget violated under annealing", k)
+			}
+		}
+		return en.TotalUtility() / opt.Utility
+	}
+	plain := run(Config{})
+	annealed := run(Config{EtaMin: 0.001})
+	if annealed <= plain {
+		t.Fatalf("annealing must improve the asymptote: plain %v, annealed %v", plain, annealed)
+	}
+	if annealed < 0.998 {
+		t.Fatalf("annealed asymptote %v should approach 1", annealed)
+	}
+}
+
+func TestEtaAnnealingValidation(t *testing.T) {
+	us := mkCluster(t, 10, 82)
+	if _, err := New(topology.Ring(10), us, 1800, Config{EtaMin: -1}); err == nil {
+		t.Fatal("negative EtaMin must be rejected")
+	}
+}
+
+func TestStepParallelMatchesSequential(t *testing.T) {
+	n := 500
+	us := mkCluster(t, n, 83)
+	budget := float64(n) * 170
+	seq, err := New(topology.Ring(n), us, budget, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(topology.Ring(n), us, budget, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 400; k++ {
+		a1 := seq.Step()
+		a2 := par.StepParallel(4)
+		if a1 != a2 {
+			t.Fatalf("round %d: activity differs: %v vs %v", k, a1, a2)
+		}
+	}
+	p1, p2 := seq.Alloc(), par.Alloc()
+	e1, e2 := seq.Estimates(), par.Estimates()
+	for i := range p1 {
+		if p1[i] != p2[i] || e1[i] != e2[i] {
+			t.Fatalf("node %d: parallel state diverged", i)
+		}
+	}
+	// workers ≤ 1 falls back to the sequential path.
+	if par.StepParallel(1) != seq.Step() {
+		t.Fatal("single-worker fallback diverged")
+	}
+}

@@ -1,0 +1,115 @@
+package diba
+
+import (
+	"fmt"
+
+	"powercap/internal/topology"
+)
+
+// Node failures. The text motivates decentralization with fault isolation:
+// "the failure in one or few servers or the communication breakdown can be
+// mitigated as the overall performance of the system does not hinge on a
+// particular unit", and suggests equipping the ring with chords so the
+// communication graph stays connected when nodes die. FailNode models a
+// crashed server: it stops computing, stops exchanging estimates, and its
+// power draw drops to zero (the machine is down).
+//
+// Accounting: the failed node's state (p_i, e_i) leaves the system, and the
+// surviving budget is set to P − p_i + e_i, which preserves the
+// conservation identity Σe = Σp − P over the survivors *exactly*. Since
+// e_i < 0, the survivors' budget is strictly below P minus the dead node's
+// draw — conservative by construction, so feasibility is never endangered
+// by a crash. An operator who wants the survivors to reclaim the dead
+// node's full share afterwards broadcasts a budget update (SetBudget),
+// which redistributes safely through the usual shedding path.
+
+// FailNode removes node i from the computation: its edges are dropped from
+// the communication graph, its power is treated as zero, and the cluster
+// budget shrinks by one per-node share. An error is returned if the
+// failure would disconnect the surviving communication graph (a ring needs
+// chords to survive, which is exactly the text's point) or leave it
+// infeasible.
+func (en *Engine) FailNode(i int) error {
+	n := len(en.us)
+	if i < 0 || i >= n {
+		return fmt.Errorf("diba: node %d out of range", i)
+	}
+	if en.failed(i) {
+		return fmt.Errorf("diba: node %d already failed", i)
+	}
+	g := en.g.RemoveNode(i)
+	if !survivorsConnected(g, en.deadSet(), i) {
+		return fmt.Errorf("diba: failing node %d disconnects the survivors", i)
+	}
+	newBudget := en.budget - en.p[i] + en.e[i]
+	var minSum float64
+	for j, u := range en.us {
+		if j == i || en.failed(j) {
+			continue
+		}
+		minSum += u.MinPower()
+	}
+	if newBudget <= minSum {
+		return fmt.Errorf("diba: post-failure budget %.1f W cannot cover survivors' idle power %.1f W", newBudget, minSum)
+	}
+
+	en.g = g
+	if en.dead == nil {
+		en.dead = make(map[int]bool)
+	}
+	en.dead[i] = true
+	en.p[i] = 0
+	en.e[i] = 0
+	en.budget = newBudget
+	return nil
+}
+
+// failed reports whether node i has been failed.
+func (en *Engine) failed(i int) bool { return en.dead[i] }
+
+// Failed returns the failed node ids (unordered).
+func (en *Engine) Failed() []int {
+	out := make([]int, 0, len(en.dead))
+	for i := range en.dead {
+		out = append(out, i)
+	}
+	return out
+}
+
+func (en *Engine) deadSet() map[int]bool { return en.dead }
+
+// survivorsConnected checks connectivity of g restricted to live nodes,
+// with extra treated as dead.
+func survivorsConnected(g *topology.Graph, dead map[int]bool, extra int) bool {
+	n := g.N()
+	isDead := func(v int) bool { return v == extra || dead[v] }
+	start := -1
+	live := 0
+	for v := 0; v < n; v++ {
+		if !isDead(v) {
+			live++
+			if start < 0 {
+				start = v
+			}
+		}
+	}
+	if live <= 1 {
+		return live == 1
+	}
+	seen := make([]bool, n)
+	stack := []int{start}
+	seen[start] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Neighbors(v) {
+			if !seen[w] && !isDead(w) {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == live
+}

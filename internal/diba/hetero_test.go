@@ -1,0 +1,72 @@
+package diba
+
+import (
+	"math/rand"
+	"testing"
+
+	"powercap/internal/metrics"
+	"powercap/internal/solver"
+	"powercap/internal/topology"
+	"powercap/internal/workload"
+)
+
+// DiBA never assumes homogeneous hardware: every node carries its own cap
+// range inside its utility. This test mixes three server classes in one
+// cluster — the "replacement and upgrade" heterogeneity the text says real
+// clusters accumulate — and checks convergence and per-class range safety.
+func TestHeterogeneousServerClasses(t *testing.T) {
+	classes := []workload.Server{
+		{IdleWatts: 110, MaxWatts: 200}, // current generation
+		{IdleWatts: 80, MaxWatts: 140},  // old low-power nodes
+		{IdleWatts: 150, MaxWatts: 300}, // fat dual-socket boxes
+	}
+	const perClass = 30
+	n := perClass * len(classes)
+	rng := rand.New(rand.NewSource(51))
+	us := make([]workload.Utility, 0, n)
+	srvOf := make([]workload.Server, 0, n)
+	for _, srv := range classes {
+		a, err := workload.Assign(workload.HPC, perClass, srv, 0.05, 0.01, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		us = append(us, a.UtilitySlice()...)
+		for k := 0; k < perClass; k++ {
+			srvOf = append(srvOf, srv)
+		}
+	}
+	// Interleave classes around the ring so neighbors differ.
+	perm := rng.Perm(n)
+	shuffledUs := make([]workload.Utility, n)
+	shuffledSrv := make([]workload.Server, n)
+	for i, j := range perm {
+		shuffledUs[i] = us[j]
+		shuffledSrv[i] = srvOf[j]
+	}
+
+	budget := 160.0 * float64(n)
+	opt, err := solver.Optimal(shuffledUs, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := New(topology.Ring(n), shuffledUs, budget, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := en.RunToTarget(opt.Utility, 0.99, 30000)
+	if !res.Converged {
+		t.Fatalf("heterogeneous cluster did not converge (ratio %v)", res.Utility/opt.Utility)
+	}
+	if !metrics.Feasible(shuffledUs, en.Alloc(), budget, 1e-6) {
+		t.Fatal("allocation infeasible")
+	}
+	for i, p := range en.Alloc() {
+		if p < shuffledSrv[i].IdleWatts-1e-9 || p > shuffledSrv[i].MaxWatts+1e-9 {
+			t.Fatalf("node %d cap %v outside its class range [%v,%v]",
+				i, p, shuffledSrv[i].IdleWatts, shuffledSrv[i].MaxWatts)
+		}
+	}
+	if err := en.CheckInvariant(1e-6); err != nil {
+		t.Fatal(err)
+	}
+}

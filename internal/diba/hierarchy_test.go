@@ -1,0 +1,243 @@
+package diba
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"powercap/internal/solver"
+	"powercap/internal/topology"
+	"powercap/internal/workload"
+)
+
+// rackTopology builds a graph whose racks are internally ringed and whose
+// rack leaders (first member of each rack) form a cluster ring.
+func rackTopology(nRacks, perRack int) (*topology.Graph, Racks) {
+	n := nRacks * perRack
+	g := topology.NewGraph(n)
+	rackOf := make([]int, n)
+	for k := 0; k < nRacks; k++ {
+		base := k * perRack
+		for j := 0; j < perRack; j++ {
+			rackOf[base+j] = k
+			if perRack > 1 {
+				_ = g.AddEdge(base+j, base+(j+1)%perRack)
+			}
+		}
+	}
+	for k := 0; k < nRacks; k++ {
+		_ = g.AddEdge(k*perRack, ((k+1)%nRacks)*perRack)
+	}
+	return g, Racks{RackOf: rackOf}
+}
+
+func hierFixture(t *testing.T, nRacks, perRack int, rackBudgetPer, clusterPer float64, seed int64) (*HierEngine, []workload.Utility, solver.Hierarchy) {
+	t.Helper()
+	g, racks := rackTopology(nRacks, perRack)
+	n := nRacks * perRack
+	rng := rand.New(rand.NewSource(seed))
+	a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := a.UtilitySlice()
+	racks.RackBudget = make([]float64, nRacks)
+	for k := range racks.RackBudget {
+		racks.RackBudget[k] = rackBudgetPer * float64(perRack)
+	}
+	en, err := NewHier(g, us, clusterPer*float64(n), racks, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := solver.Hierarchy{RackOf: racks.RackOf, RackBudget: racks.RackBudget}
+	return en, us, sh
+}
+
+func TestNewHierValidation(t *testing.T) {
+	g, racks := rackTopology(4, 5)
+	us := mkCluster(t, 20, 61)
+	racks.RackBudget = []float64{900, 900, 900, 900}
+	if _, err := NewHier(g, us[:10], 20*170, racks, Config{}); err == nil {
+		t.Fatal("size mismatch must be rejected")
+	}
+	if _, err := NewHier(g, us, 500, racks, Config{}); err == nil {
+		t.Fatal("infeasible cluster budget must be rejected")
+	}
+	bad := Racks{RackOf: racks.RackOf, RackBudget: []float64{900, 900, 900, 100}}
+	if _, err := NewHier(g, us, 20*170, bad, Config{}); err == nil {
+		t.Fatal("rack budget below rack idle power must be rejected")
+	}
+	wrongRack := Racks{RackOf: make([]int, 20), RackBudget: []float64{900, 900}}
+	for i := range wrongRack.RackOf {
+		wrongRack.RackOf[i] = 3 // out of range
+	}
+	if _, err := NewHier(g, us, 20*170, wrongRack, Config{}); err == nil {
+		t.Fatal("invalid rack index must be rejected")
+	}
+	// Internally disconnected rack: assign alternating nodes of one ring
+	// rack to two racks.
+	g2, racks2 := rackTopology(2, 6)
+	racks2.RackBudget = []float64{1200, 1200}
+	bad2 := append([]int(nil), racks2.RackOf...)
+	bad2[1] = 1 // node 1 sits inside rack 0's ring but belongs to rack 1
+	if _, err := NewHier(g2, us[:12], 12*170, Racks{RackOf: bad2, RackBudget: racks2.RackBudget}, Config{}); err == nil {
+		t.Fatal("internally disconnected rack must be rejected")
+	}
+}
+
+func TestHierInvariantsEveryRound(t *testing.T) {
+	en, _, _ := hierFixture(t, 5, 8, 150, 145, 62)
+	for k := 0; k < 2000; k++ {
+		en.Step()
+		if err := en.CheckInvariant(1e-6); err != nil {
+			t.Fatalf("round %d: %v", k, err)
+		}
+		// Both constraint families respected every round.
+		if en.TotalPower() > en.budget {
+			t.Fatalf("round %d: cluster budget violated", k)
+		}
+		for rk := range en.racks.RackBudget {
+			if en.RackPower(rk) > en.racks.RackBudget[rk] {
+				t.Fatalf("round %d: rack %d PDU violated", k, rk)
+			}
+		}
+	}
+}
+
+func TestHierConvergesToHierarchicalOptimum(t *testing.T) {
+	// Tight rack budgets genuinely bind: the flat optimum is infeasible
+	// and the engine must find the rack-constrained one.
+	en, us, sh := hierFixture(t, 5, 8, 150, 160, 63)
+	opt, err := solver.OptimalHierarchical(us, 160*40, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the rack constraints actually bite.
+	flat, err := solver.Optimal(us, 160*40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Utility <= opt.Utility {
+		t.Fatal("fixture broken: rack constraints do not bind")
+	}
+	res := en.RunToTarget(opt.Utility, 0.99, 30000)
+	if !res.Converged {
+		t.Fatalf("hier engine did not converge (ratio %v)", res.Utility/opt.Utility)
+	}
+	if res.Utility > opt.Utility+1e-6 {
+		t.Fatal("cannot beat the rack-constrained optimum")
+	}
+}
+
+func TestHierWithSlackRacksMatchesFlat(t *testing.T) {
+	// Generous rack budgets reduce the problem to plain DiBA.
+	en, us, _ := hierFixture(t, 5, 8, 400, 160, 64)
+	flat, err := solver.Optimal(us, 160*40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := en.RunToTarget(flat.Utility, 0.99, 30000)
+	if !res.Converged {
+		t.Fatalf("slack-rack hier engine must match flat optimum (ratio %v)", res.Utility/flat.Utility)
+	}
+}
+
+func TestOptimalHierarchicalAgainstBruteForce(t *testing.T) {
+	// Two racks × two nodes, grid cross-check.
+	q1, _ := workload.NewQuadratic(0, 6, -0.02, 110, 200)
+	q2, _ := workload.NewQuadratic(0, 3, -0.006, 110, 200)
+	q3, _ := workload.NewQuadratic(0, 5, -0.015, 110, 200)
+	q4, _ := workload.NewQuadratic(0, 2, -0.004, 110, 200)
+	us := []workload.Utility{q1, q2, q3, q4}
+	h := solver.Hierarchy{RackOf: []int{0, 0, 1, 1}, RackBudget: []float64{300, 330}}
+	budget := 600.0
+	res, err := solver.OptimalHierarchical(us, budget, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := -1.0
+	for p1 := 110.0; p1 <= 190; p1 += 1 {
+		for p3 := 110.0; p3 <= 200; p3 += 1 {
+			p2 := 300 - p1
+			p4min := 110.0
+			p4 := budget - p1 - p2 - p3
+			if p4 > 330-p3 {
+				p4 = 330 - p3
+			}
+			if p2 < 110 || p2 > 200 || p4 < p4min || p4 > 200 {
+				continue
+			}
+			v := q1.Value(p1) + q2.Value(p2) + q3.Value(p3) + q4.Value(p4)
+			if v > best {
+				best = v
+			}
+		}
+	}
+	if res.Utility < best-0.01*best {
+		t.Fatalf("hierarchical solver %v below grid search %v", res.Utility, best)
+	}
+}
+
+func TestOptimalHierarchicalValidation(t *testing.T) {
+	us := mkCluster(t, 4, 65)
+	if _, err := solver.OptimalHierarchical(nil, 100, solver.Hierarchy{}); err == nil {
+		t.Fatal("empty must error")
+	}
+	h := solver.Hierarchy{RackOf: []int{0, 0, 1, 1}, RackBudget: []float64{100, 500}}
+	if _, err := solver.OptimalHierarchical(us, 4*180, h); err == nil {
+		t.Fatal("rack below idle must error")
+	}
+	h2 := solver.Hierarchy{RackOf: []int{0, 0, 1, 1}, RackBudget: []float64{500, 500}}
+	if _, err := solver.OptimalHierarchical(us, 100, h2); err == nil {
+		t.Fatal("cluster below idle must error")
+	}
+	h3 := solver.Hierarchy{RackOf: []int{0, 0, 5, 1}, RackBudget: []float64{500, 500}}
+	if _, err := solver.OptimalHierarchical(us, 4*180, h3); err == nil {
+		t.Fatal("bad rack index must error")
+	}
+}
+
+// Property: on random rack structures and budgets, the hierarchical engine
+// keeps both conservation identities and never violates any budget at any
+// round.
+func TestHierInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nRacks := 2 + rng.Intn(4)
+		perRack := 3 + rng.Intn(6)
+		g, racks := rackTopology(nRacks, perRack)
+		n := nRacks * perRack
+		a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.1, 0.01, rng)
+		if err != nil {
+			return false
+		}
+		us := a.UtilitySlice()
+		racks.RackBudget = make([]float64, nRacks)
+		for k := range racks.RackBudget {
+			racks.RackBudget[k] = (130 + rng.Float64()*60) * float64(perRack)
+		}
+		cluster := (125 + rng.Float64()*60) * float64(n)
+		en, err := NewHier(g, us, cluster, racks, Config{})
+		if err != nil {
+			return true // infeasible draw; nothing to test
+		}
+		for k := 0; k < 300; k++ {
+			en.Step()
+			if en.CheckInvariant(1e-5) != nil {
+				return false
+			}
+			if en.TotalPower() > cluster {
+				return false
+			}
+			for rk := range racks.RackBudget {
+				if en.RackPower(rk) > racks.RackBudget[rk] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

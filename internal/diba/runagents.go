@@ -1,0 +1,58 @@
+package diba
+
+import (
+	"fmt"
+	"sync"
+
+	"powercap/internal/topology"
+	"powercap/internal/workload"
+)
+
+// RunAgents deploys one goroutine-backed Agent per node of g, wired through
+// an in-process ChanNetwork, runs the given number of BSP rounds, and
+// returns the final power allocation. Because every agent executes the same
+// nodeRule the synchronous Engine uses, the result matches Engine.Step run
+// the same number of times exactly — the tests assert bitwise equality.
+func RunAgents(g *topology.Graph, us []workload.Utility, budget float64, cfg Config, rounds int) ([]float64, error) {
+	n := g.N()
+	if n != len(us) {
+		return nil, fmt.Errorf("diba: graph has %d nodes but %d utilities given", n, len(us))
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("diba: communication graph must be connected")
+	}
+	var totalIdle float64
+	for _, u := range us {
+		totalIdle += u.MinPower()
+	}
+	net := NewChanNetwork(n, 4*(g.MaxDegree()+1))
+	agents := make([]*Agent, n)
+	for i := 0; i < n; i++ {
+		a, err := NewAgent(i, g.Neighbors(i), us[i], budget, n, totalIdle, cfg, net.Endpoint(i))
+		if err != nil {
+			return nil, err
+		}
+		agents[i] = a
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := range agents {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = agents[i].Run(rounds)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("diba: agent %d failed: %w", i, err)
+		}
+	}
+	alloc := make([]float64, n)
+	for i, a := range agents {
+		alloc[i] = a.Power()
+	}
+	return alloc, nil
+}

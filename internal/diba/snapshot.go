@@ -1,0 +1,114 @@
+package diba
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Operational checkpointing. A deployment restarting its control plane
+// (upgrade, crash of the monitoring host running a simulation twin, …)
+// should resume from the last known state instead of re-ramping the whole
+// cluster from idle. Snapshot captures exactly the algorithm state — caps,
+// estimates, budget, round count — and Restore resumes, re-validating the
+// invariants before accepting it.
+
+// Snapshot is the serializable state of an Engine.
+type Snapshot struct {
+	Version int       `json:"version"`
+	Budget  float64   `json:"budget"`
+	Iter    int       `json:"iter"`
+	P       []float64 `json:"p"`
+	E       []float64 `json:"e"`
+	Dead    []int     `json:"dead,omitempty"`
+}
+
+// snapshotVersion guards the wire format.
+const snapshotVersion = 1
+
+// Snapshot captures the engine's current state.
+func (en *Engine) Snapshot() Snapshot {
+	s := Snapshot{
+		Version: snapshotVersion,
+		Budget:  en.budget,
+		Iter:    en.iter,
+		P:       append([]float64(nil), en.p...),
+		E:       append([]float64(nil), en.e...),
+	}
+	for i := range en.dead {
+		s.Dead = append(s.Dead, i)
+	}
+	return s
+}
+
+// WriteSnapshot serializes the engine state as JSON.
+func (en *Engine) WriteSnapshot(w io.Writer) error {
+	return json.NewEncoder(w).Encode(en.Snapshot())
+}
+
+// Restore replaces the engine's state with the snapshot after validating
+// shape and invariants (conservation to 1e-6·N and per-node cap ranges).
+// The topology and utilities are the receiver's own — a snapshot only
+// carries dynamic state.
+func (en *Engine) Restore(s Snapshot) error {
+	if s.Version != snapshotVersion {
+		return fmt.Errorf("diba: snapshot version %d unsupported", s.Version)
+	}
+	n := len(en.us)
+	if len(s.P) != n || len(s.E) != n {
+		return fmt.Errorf("diba: snapshot for %d nodes, engine has %d", len(s.P), n)
+	}
+	dead := make(map[int]bool, len(s.Dead))
+	for _, i := range s.Dead {
+		if i < 0 || i >= n {
+			return fmt.Errorf("diba: snapshot dead node %d out of range", i)
+		}
+		dead[i] = true
+	}
+	var sumE, sumP float64
+	for i := 0; i < n; i++ {
+		if dead[i] {
+			if s.P[i] != 0 || s.E[i] != 0 {
+				return fmt.Errorf("diba: snapshot dead node %d carries state", i)
+			}
+			continue
+		}
+		u := en.us[i]
+		if s.P[i] < u.MinPower()-1e-9 || s.P[i] > u.MaxPower()+1e-9 {
+			return fmt.Errorf("diba: snapshot cap p[%d]=%g outside [%g,%g]", i, s.P[i], u.MinPower(), u.MaxPower())
+		}
+		if s.E[i] >= 0 {
+			return fmt.Errorf("diba: snapshot estimate e[%d]=%g not strictly negative", i, s.E[i])
+		}
+		sumE += s.E[i]
+		sumP += s.P[i]
+	}
+	if diff := sumE - (sumP - s.Budget); diff > 1e-6*float64(n) || diff < -1e-6*float64(n) {
+		return errors.New("diba: snapshot violates conservation")
+	}
+	copy(en.p, s.P)
+	copy(en.e, s.E)
+	en.budget = s.Budget
+	en.iter = s.Iter
+	// Dead nodes must also leave the communication graph, exactly as
+	// FailNode arranged in the engine that took the snapshot — otherwise
+	// live neighbors would exchange flows with a zeroed phantom estimate
+	// and break conservation.
+	for i := range dead {
+		if !en.dead[i] {
+			en.g = en.g.RemoveNode(i)
+		}
+	}
+	en.dead = dead
+	return nil
+}
+
+// ReadSnapshot deserializes and applies a snapshot.
+func (en *Engine) ReadSnapshot(r io.Reader) error {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("diba: decoding snapshot: %w", err)
+	}
+	return en.Restore(s)
+}

@@ -1,0 +1,175 @@
+package diba
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"powercap/internal/solver"
+	"powercap/internal/topology"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	n := 40
+	us := mkCluster(t, n, 71)
+	budget := 170.0 * float64(n)
+	en, err := New(topology.Ring(n), us, budget, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 500; k++ {
+		en.Step()
+	}
+	var buf bytes.Buffer
+	if err := en.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh engine over the same cluster resumes exactly.
+	en2, err := New(topology.Ring(n), us, budget, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := en2.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a1, a2 := en.Alloc(), en2.Alloc()
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("cap %d differs after restore", i)
+		}
+	}
+	if en2.Iter() != en.Iter() || en2.Budget() != en.Budget() {
+		t.Fatal("metadata not restored")
+	}
+	// And both evolve identically afterwards.
+	for k := 0; k < 200; k++ {
+		en.Step()
+		en2.Step()
+	}
+	a1, a2 = en.Alloc(), en2.Alloc()
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("evolution diverged at node %d after restore", i)
+		}
+	}
+}
+
+func TestSnapshotResumeConvergence(t *testing.T) {
+	// Restart mid-transient: resuming must converge to the same optimum
+	// without re-ramping from idle.
+	n := 60
+	us := mkCluster(t, n, 72)
+	budget := 172.0 * float64(n)
+	opt, err := solver.Optimal(us, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := New(topology.Ring(n), us, budget, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 50; k++ { // mid-ramp
+		en.Step()
+	}
+	snap := en.Snapshot()
+	en2, err := New(topology.Ring(n), us, budget, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := en2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if en2.TotalPower() <= float64(n)*us[0].MinPower()+1 {
+		t.Fatal("restored engine must not be back at idle")
+	}
+	res := en2.RunToTarget(opt.Utility, 0.99, 20000)
+	if !res.Converged {
+		t.Fatal("restored engine failed to converge")
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	n := 10
+	us := mkCluster(t, n, 73)
+	en, err := New(topology.Ring(n), us, 1800, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := en.Snapshot()
+
+	bad := good
+	bad.Version = 99
+	if err := en.Restore(bad); err == nil {
+		t.Fatal("wrong version must be rejected")
+	}
+	bad = good
+	bad.P = bad.P[:5]
+	if err := en.Restore(bad); err == nil {
+		t.Fatal("wrong length must be rejected")
+	}
+	bad = en.Snapshot()
+	bad.E[3] = 0.5
+	if err := en.Restore(bad); err == nil {
+		t.Fatal("non-negative estimate must be rejected")
+	}
+	bad = en.Snapshot()
+	bad.P[2] = 5000
+	if err := en.Restore(bad); err == nil {
+		t.Fatal("out-of-range cap must be rejected")
+	}
+	bad = en.Snapshot()
+	bad.Budget += 100 // breaks conservation
+	if err := en.Restore(bad); err == nil {
+		t.Fatal("conservation-breaking snapshot must be rejected")
+	}
+	bad = en.Snapshot()
+	bad.Dead = []int{42}
+	if err := en.Restore(bad); err == nil {
+		t.Fatal("out-of-range dead node must be rejected")
+	}
+	if err := en.ReadSnapshot(strings.NewReader("{garbage")); err == nil {
+		t.Fatal("malformed JSON must be rejected")
+	}
+}
+
+func TestSnapshotWithFailedNodes(t *testing.T) {
+	n := 20
+	us := mkCluster(t, n, 74)
+	en, err := New(topology.ChordalRing(n, 5), us, float64(n)*175, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en.RunToQuiescence(1e-3, 10, 20000)
+	if err := en.FailNode(4); err != nil {
+		t.Fatal(err)
+	}
+	snap := en.Snapshot()
+	if len(snap.Dead) != 1 || snap.Dead[0] != 4 {
+		t.Fatalf("dead list = %v", snap.Dead)
+	}
+	en2, err := New(topology.ChordalRing(n, 5), us, float64(n)*175, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := en2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := en2.Failed(); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("restored dead list = %v", got)
+	}
+	if err := en2.CheckConservation(1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// Stepping after restore must keep conservation: the dead node's edges
+	// must be gone (a phantom zero-estimate neighbor would siphon mass).
+	for k := 0; k < 500; k++ {
+		en2.Step()
+		if err := en2.CheckConservation(1e-6); err != nil {
+			t.Fatalf("step %d after restore: %v", k, err)
+		}
+	}
+	if en2.Alloc()[4] != 0 {
+		t.Fatal("dead node must stay at zero draw after restore")
+	}
+}

@@ -1,0 +1,214 @@
+package diba
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPTransport implements Transport over real TCP sockets — the deployment
+// path of the dissertation's "working prototype of DiBA on a real
+// experimental cluster". Each agent listens on its own address and keeps
+// one persistent connection per neighbor; messages are newline-delimited
+// JSON. The dial direction is deterministic (lower id dials higher id) so
+// exactly one connection exists per edge.
+type TCPTransport struct {
+	id    int
+	ln    net.Listener
+	inbox chan Message
+
+	mu    sync.Mutex
+	conns map[int]*tcpConn
+	wg    sync.WaitGroup
+	done  chan struct{}
+}
+
+type tcpConn struct {
+	c   net.Conn
+	enc *json.Encoder
+	mu  sync.Mutex
+}
+
+type tcpHello struct {
+	From int `json:"hello"`
+}
+
+// NewTCPTransport starts listening on addr (e.g. "127.0.0.1:9000") for
+// agent id. Call ConnectNeighbors afterwards, once every agent in the
+// cluster is listening.
+func NewTCPTransport(id int, addr string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("diba: agent %d listen: %w", id, err)
+	}
+	t := &TCPTransport{
+		id:    id,
+		ln:    ln,
+		inbox: make(chan Message, 1024),
+		conns: make(map[int]*tcpConn),
+		done:  make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's listen address.
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.handleIncoming(c)
+	}
+}
+
+// handleIncoming reads the peer's hello, registers the connection, then
+// pumps messages into the inbox.
+func (t *TCPTransport) handleIncoming(c net.Conn) {
+	defer t.wg.Done()
+	dec := json.NewDecoder(bufio.NewReader(c))
+	var hello tcpHello
+	if err := dec.Decode(&hello); err != nil {
+		c.Close()
+		return
+	}
+	t.register(hello.From, c)
+	t.pump(dec, c)
+}
+
+func (t *TCPTransport) register(peer int, c net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if old, ok := t.conns[peer]; ok {
+		old.c.Close()
+	}
+	t.conns[peer] = &tcpConn{c: c, enc: json.NewEncoder(c)}
+}
+
+func (t *TCPTransport) pump(dec *json.Decoder, c net.Conn) {
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			c.Close()
+			return
+		}
+		select {
+		case t.inbox <- m:
+		case <-t.done:
+			c.Close()
+			return
+		}
+	}
+}
+
+// ConnectNeighbors dials every neighbor whose id is greater than ours
+// (lower id dials, higher id accepts) and waits until connections for all
+// neighbors exist or the timeout expires. addrs maps node id to listen
+// address.
+func (t *TCPTransport) ConnectNeighbors(neighbors []int, addrs map[int]string, timeout time.Duration) error {
+	deadlineAll := time.Now().Add(timeout)
+	for _, nb := range neighbors {
+		if nb > t.id {
+			addr, ok := addrs[nb]
+			if !ok {
+				return fmt.Errorf("diba: no address for neighbor %d", nb)
+			}
+			// Peers start in arbitrary order; retry refused dials until the
+			// deadline so a daemon may come up before its higher-id
+			// neighbors are listening.
+			var c net.Conn
+			var err error
+			for {
+				c, err = net.DialTimeout("tcp", addr, timeout)
+				if err == nil || time.Now().After(deadlineAll) {
+					break
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			if err != nil {
+				return fmt.Errorf("diba: agent %d dial %d: %w", t.id, nb, err)
+			}
+			enc := json.NewEncoder(c)
+			if err := enc.Encode(tcpHello{From: t.id}); err != nil {
+				c.Close()
+				return err
+			}
+			t.register(nb, c)
+			t.wg.Add(1)
+			go func(c net.Conn) {
+				defer t.wg.Done()
+				t.pump(json.NewDecoder(bufio.NewReader(c)), c)
+			}(c)
+		}
+	}
+	// Wait for inbound connections from lower-id neighbors.
+	deadline := deadlineAll
+	for {
+		t.mu.Lock()
+		missing := 0
+		for _, nb := range neighbors {
+			if _, ok := t.conns[nb]; !ok {
+				missing++
+			}
+		}
+		t.mu.Unlock()
+		if missing == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("diba: agent %d timed out waiting for %d neighbor connection(s)", t.id, missing)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Send writes the message to the persistent connection for the target
+// neighbor.
+func (t *TCPTransport) Send(to int, m Message) error {
+	t.mu.Lock()
+	conn, ok := t.conns[to]
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("diba: agent %d has no connection to %d", t.id, to)
+	}
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	return conn.enc.Encode(m)
+}
+
+// Recv blocks for the next inbound message.
+func (t *TCPTransport) Recv() (Message, error) {
+	select {
+	case m := <-t.inbox:
+		return m, nil
+	case <-t.done:
+		return Message{}, fmt.Errorf("diba: transport %d closed", t.id)
+	}
+}
+
+// Close shuts the listener and all connections down.
+func (t *TCPTransport) Close() error {
+	select {
+	case <-t.done:
+		return nil
+	default:
+	}
+	close(t.done)
+	err := t.ln.Close()
+	t.mu.Lock()
+	for _, c := range t.conns {
+		c.c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return err
+}

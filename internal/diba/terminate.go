@@ -1,0 +1,126 @@
+package diba
+
+import (
+	"fmt"
+	"math"
+)
+
+// Distributed termination. The Engine detects quiescence with a global
+// view; real agents have none. RunUntilQuiet gives agents a coordinator-
+// free stopping rule built from two piggybacked fields:
+//
+//   - Quiet: a min-consensus of "rounds since my power move exceeded tol".
+//     Each round a node's view becomes min(own counter, neighbors' views
+//     from last round); once every node has been quiet for a while, the
+//     minimum seen anywhere rises together across the graph (with at most
+//     diameter rounds of lag).
+//   - Stop: when a node's Quiet view crosses the settle threshold at round
+//     t, it proposes the stop round t+margin and floods the *minimum*
+//     proposal. Because all nodes cross within diameter rounds of each
+//     other and margin exceeds the diameter, every node learns the same
+//     minimal proposal in time — and all agents halt at exactly the same
+//     round, so no gather ever blocks on a stopped neighbor.
+//
+// The rule is conservative: margin > graph diameter is required for
+// agreement (a ring of N needs margin ≥ N/2; callers who know only N can
+// pass N). If maxRounds elapses first, agents stop there — also all at the
+// same round, keeping the BSP exchange deadlock-free.
+
+// QuietConfig parameterizes RunUntilQuiet.
+type QuietConfig struct {
+	// TolW is the power-move magnitude below which a round counts as quiet.
+	TolW float64
+	// Settle is how many consecutive quiet rounds (as seen by the global
+	// minimum) trigger a stop proposal.
+	Settle int
+	// Margin is added to the proposal round; it must exceed the
+	// communication graph's diameter for all agents to agree.
+	Margin int
+	// MaxRounds bounds the run unconditionally.
+	MaxRounds int
+}
+
+// Validate reports configuration errors.
+func (q QuietConfig) Validate() error {
+	if q.TolW <= 0 || q.Settle <= 0 || q.Margin <= 0 || q.MaxRounds <= 0 {
+		return fmt.Errorf("diba: QuietConfig fields must be positive: %+v", q)
+	}
+	return nil
+}
+
+// RunUntilQuiet runs BSP rounds until the distributed stopping rule fires
+// (or MaxRounds elapses) and returns the final state. Every agent in the
+// cluster must use the same QuietConfig, or they will disagree on the stop
+// round and deadlock.
+func (a *Agent) RunUntilQuiet(q QuietConfig) (AgentState, error) {
+	if err := q.Validate(); err != nil {
+		return AgentState{}, err
+	}
+	ownQuiet := 0
+	quietView := 0
+	stopAt := math.MaxInt
+	for a.round < q.MaxRounds {
+		if a.round >= stopAt {
+			break
+		}
+		outStop := 0 // 0 encodes "no proposal yet" on the wire
+		if stopAt != math.MaxInt {
+			outStop = stopAt
+		}
+		out := Message{
+			From:   a.ID,
+			Round:  a.round,
+			E:      a.e,
+			Degree: len(a.Neighbors),
+			Quiet:  quietView,
+			Stop:   outStop,
+		}
+		for _, nb := range a.Neighbors {
+			if err := a.tr.Send(nb, out); err != nil {
+				return AgentState{}, err
+			}
+		}
+		got, err := a.gather()
+		if err != nil {
+			return AgentState{}, err
+		}
+		nbrE := make([]float64, len(a.Neighbors))
+		nbrDeg := make([]int, len(a.Neighbors))
+		minNbrQuiet := math.MaxInt
+		for k, nb := range a.Neighbors {
+			m := got[nb]
+			nbrE[k] = m.E
+			nbrDeg[k] = m.Degree
+			if m.Quiet < minNbrQuiet {
+				minNbrQuiet = m.Quiet
+			}
+			if m.Stop != 0 && m.Stop < stopAt {
+				stopAt = m.Stop
+			}
+		}
+		cfg := a.cfg
+		cfg.Eta = a.cfg.etaAt(a.round)
+		phat, outflow := nodeRule(cfg, a.util, a.p, a.e, len(a.Neighbors), nbrE, nbrDeg)
+		a.p += phat
+		a.e = a.e + phat - outflow
+		a.round++
+
+		if math.Abs(phat) < q.TolW {
+			ownQuiet++
+		} else {
+			ownQuiet = 0
+		}
+		// Aged min-consensus: a neighbor's view is one round old, and quiet
+		// counters grow by one per quiet round, so add the age before
+		// taking the minimum. (Without the +1 the historical zero would
+		// flood the graph and the view could never rise.)
+		quietView = ownQuiet
+		if minNbrQuiet != math.MaxInt && minNbrQuiet+1 < quietView {
+			quietView = minNbrQuiet + 1
+		}
+		if quietView >= q.Settle && stopAt == math.MaxInt {
+			stopAt = a.round + q.Margin
+		}
+	}
+	return AgentState{ID: a.ID, Power: a.p, E: a.e, Rounds: a.round}, nil
+}

@@ -1,0 +1,117 @@
+package diba
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"powercap/internal/solver"
+	"powercap/internal/topology"
+)
+
+// runQuietAgents spawns one goroutine agent per ring node running
+// RunUntilQuiet and returns their final states.
+func runQuietAgents(t *testing.T, n int, budgetPer float64, q QuietConfig, seed int64) []AgentState {
+	t.Helper()
+	us := mkCluster(t, n, seed)
+	g := topology.Ring(n)
+	var totalIdle float64
+	for _, u := range us {
+		totalIdle += u.MinPower()
+	}
+	net := NewChanNetwork(n, 4*(g.MaxDegree()+1))
+	states := make([]AgentState, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, err := NewAgent(i, g.Neighbors(i), us[i], budgetPer*float64(n), n, totalIdle, Config{}, net.Endpoint(i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			states[i], errs[i] = a.RunUntilQuiet(q)
+		}(i)
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("agents deadlocked")
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+	}
+	return states
+}
+
+func TestRunUntilQuietAllStopTogether(t *testing.T) {
+	n := 24
+	q := QuietConfig{TolW: 1e-3, Settle: 30, Margin: n, MaxRounds: 60000}
+	states := runQuietAgents(t, n, 172, q, 91)
+	stopRound := states[0].Rounds
+	var total float64
+	for i, st := range states {
+		if st.Rounds != stopRound {
+			t.Fatalf("agent %d stopped at round %d, agent 0 at %d", i, st.Rounds, stopRound)
+		}
+		total += st.Power
+	}
+	if stopRound >= q.MaxRounds {
+		t.Fatal("termination rule never fired")
+	}
+	budget := 172.0 * float64(n)
+	if total > budget {
+		t.Fatalf("final power %v exceeds budget %v", total, budget)
+	}
+	// The self-terminated allocation is near optimal.
+	us := mkCluster(t, n, 91)
+	opt, err := solver.Optimal(us, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var util float64
+	for i, st := range states {
+		util += us[i].Value(st.Power)
+	}
+	if util < 0.985*opt.Utility {
+		t.Fatalf("self-terminated utility %v below 98.5%% of optimal %v", util, opt.Utility)
+	}
+}
+
+func TestRunUntilQuietMaxRoundsFallback(t *testing.T) {
+	// An unreachable tolerance: all agents must still stop together at
+	// MaxRounds without deadlocking.
+	n := 12
+	q := QuietConfig{TolW: 1e-300, Settle: 10, Margin: n, MaxRounds: 400}
+	states := runQuietAgents(t, n, 170, q, 92)
+	for i, st := range states {
+		if st.Rounds != 400 {
+			t.Fatalf("agent %d stopped at %d, want MaxRounds 400", i, st.Rounds)
+		}
+	}
+}
+
+func TestQuietConfigValidation(t *testing.T) {
+	us := mkCluster(t, 4, 93)
+	net := NewChanNetwork(4, 8)
+	a, err := NewAgent(0, []int{1}, us[0], 4*170, 4, 4*us[0].MinPower(), Config{}, net.Endpoint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []QuietConfig{
+		{},
+		{TolW: 1, Settle: 1, Margin: 1},
+		{TolW: -1, Settle: 1, Margin: 1, MaxRounds: 10},
+	}
+	for _, q := range bad {
+		if _, err := a.RunUntilQuiet(q); err == nil {
+			t.Fatalf("config %+v must be rejected", q)
+		}
+	}
+}

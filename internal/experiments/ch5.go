@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"powercap/internal/dessim"
+	"powercap/internal/layout"
+	"powercap/internal/stats"
+	"powercap/internal/thermal"
+)
+
+// ch5Specs are the four heterogeneous server classes of Table 5.1 with
+// their power envelopes (idle ≈ 45% of peak, the non-energy-proportional
+// behaviour the text cites) and efficiency ranking D > B > A > C.
+type ch5Spec struct {
+	Name  string
+	IdleW float64
+	DynW  float64 // extra watts at full utilization
+}
+
+var ch5Specs = []ch5Spec{
+	{Name: "A", IdleW: 120, DynW: 140}, // i7 920 box
+	{Name: "B", IdleW: 100, DynW: 120}, // i5 3450S box
+	{Name: "C", IdleW: 160, DynW: 200}, // dual Xeon E5530 box
+	{Name: "D", IdleW: 80, DynW: 100},  // Phenom II box
+}
+
+// ch5Room is the Chapter 5 evaluation room: 80 racks, 20 per server type,
+// with the thermal model scaled to the servers-per-rack in use.
+type ch5Room struct {
+	room           *thermal.Room
+	serversPerRack int
+	// typeOf[rack] is the rack's server class index.
+	typeOf []int
+}
+
+func newCh5Room(serversPerRack int) (*ch5Room, error) {
+	riseCPerKW := 1.8 * 40 / float64(serversPerRack)
+	room, err := thermal.NewDefaultRoom(riseCPerKW, 25) // Ch5 assumes a 25 °C limit
+	if err != nil {
+		return nil, err
+	}
+	n := room.N()
+	typeOf := make([]int, n)
+	for i := range typeOf {
+		typeOf[i] = i / (n / len(ch5Specs))
+	}
+	return &ch5Room{room: room, serversPerRack: serversPerRack, typeOf: typeOf}, nil
+}
+
+// rackPowers returns per-rack draw for given per-type utilizations under
+// the idle or nap policy (Eqs. 5.3/5.4).
+func (r *ch5Room) rackPowers(util []float64, nap bool) []float64 {
+	out := make([]float64, len(r.typeOf))
+	for rack, ti := range r.typeOf {
+		u := util[ti]
+		spec := ch5Specs[ti]
+		var perServer float64
+		switch {
+		case nap && u == 0:
+			perServer = 0
+		default:
+			perServer = spec.IdleW + u*spec.DynW
+		}
+		out[rack] = perServer * float64(r.serversPerRack)
+	}
+	return out
+}
+
+// coolingFor evaluates an assignment's expected cooling power over the
+// scenarios.
+func (r *ch5Room) coolingFor(p layout.Problem, a layout.Assignment) (coolW, tsup float64) {
+	n := p.N()
+	q := make([]float64, n)
+	var wsum float64
+	var lastTsup float64
+	for _, s := range p.Scenarios {
+		for loc := 0; loc < n; loc++ {
+			q[loc] = s.Power[a[loc]]
+		}
+		rise := p.Rise.MulVec(q)
+		maxRise := 0.0
+		var total float64
+		for i, v := range rise {
+			if v > maxRise {
+				maxRise = v
+			}
+			total += q[i]
+		}
+		ts := r.room.RedlineC - maxRise
+		lastTsup = ts
+		coolW += s.Weight * total / thermal.CoP(ts)
+		wsum += s.Weight
+	}
+	return coolW / wsum, lastTsup
+}
+
+// obliviousCooling is the heterogeneity-oblivious baseline: expected
+// cooling over random placements.
+func (r *ch5Room) obliviousCooling(p layout.Problem, trials int, rng *rand.Rand) float64 {
+	var sum float64
+	for k := 0; k < trials; k++ {
+		c, _ := r.coolingFor(p, layout.RandomOblivious(p.N(), rng))
+		sum += c
+	}
+	return sum / float64(trials)
+}
+
+// Table52 reproduces Table 5.2: supply temperature and cooling power of
+// the planning methods at full utilization.
+func Table52(scale Scale, seed int64) (Table, error) {
+	perRack := scale.pick(10, 40)
+	r, err := newCh5Room(perRack)
+	if err != nil {
+		return Table{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	util := []float64{1, 1, 1, 1}
+	prob := layout.Problem{
+		Rise:      r.room.RiseMatrix(),
+		Scenarios: []layout.Scenario{{Weight: 1, Power: r.rackPowers(util, false)}},
+	}
+	t := Table{
+		ID:      "table5.2",
+		Title:   fmt.Sprintf("Layout planning at full utilization (80 racks × %d servers)", perRack),
+		Columns: []string{"method", "t_sup (°C)", "cooling (kW)", "saving vs oblivious %"},
+		Notes: []string{
+			"expected shape: anneal (ILP stand-in) ≥ greedy ≥ oblivious savings; paper: ILP 38.5% over oblivious, 5.6% over greedy",
+		},
+	}
+	obl := r.obliviousCooling(prob, 40, rng)
+	addRow := func(name string, a layout.Assignment) {
+		cool, tsup := r.coolingFor(prob, a)
+		t.AddRow(name, fmt.Sprintf("%.1f", tsup), fmt.Sprintf("%.1f", cool/1000),
+			fmt.Sprintf("%.1f", 100*(obl-cool)/obl))
+	}
+	an, err := layout.Anneal(prob, scale.pick(4000, 20000), rng)
+	if err != nil {
+		return Table{}, err
+	}
+	addRow("anneal (ILP stand-in)", an)
+	ls, err := layout.LocalSearch(prob, nil, scale.pick(4000, 20000), rng)
+	if err != nil {
+		return Table{}, err
+	}
+	addRow("local search", ls)
+	g, err := layout.Greedy(prob)
+	if err != nil {
+		return Table{}, err
+	}
+	addRow("greedy", g)
+	t.AddRow("oblivious (random mean)", "-", fmt.Sprintf("%.1f", obl/1000), "0.0")
+	return t, nil
+}
+
+// utilizationsFor runs the queueing simulator at each arrival rate and
+// returns per-type utilizations.
+func utilizationsFor(lambdas []float64, perRack int, seed int64, horizon float64) (map[float64][]float64, error) {
+	out := make(map[float64][]float64, len(lambdas))
+	for _, l := range lambdas {
+		res, err := dessim.Run(dessim.Config{
+			Types:          dessim.Table51(80, perRack),
+			ArrivalRate:    l * float64(perRack) / 40, // scale offered load with cluster size
+			MeanJobSeconds: 120,
+			Horizon:        horizon,
+			Seed:           seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[l] = res.Utilization
+	}
+	return out, nil
+}
+
+// figCoolingReduction is the shared engine of Figs. 5.4/5.5.
+func figCoolingReduction(id, title string, nap bool, scale Scale, seed int64) (Table, error) {
+	perRack := scale.pick(10, 40)
+	r, err := newCh5Room(perRack)
+	if err != nil {
+		return Table{}, err
+	}
+	lambdas := []float64{8, 12, 16, 20, 24}
+	utils, err := utilizationsFor(lambdas, perRack, seed, float64(scale.pick(3000, 8000)))
+	if err != nil {
+		return Table{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"λ (jobs/s)", "mean util", "anneal red. %", "local search red. %", "greedy red. %"},
+		Notes: []string{
+			"expected shape: all planners cut cooling vs oblivious; anneal ≥ heuristics; paper bands: ILP 18.6–36.9%, heuristics 13.2–33.2%",
+		},
+	}
+	for _, l := range lambdas {
+		util := utils[l]
+		prob := layout.Problem{
+			Rise:      r.room.RiseMatrix(),
+			Scenarios: []layout.Scenario{{Weight: 1, Power: r.rackPowers(util, nap)}},
+		}
+		obl := r.obliviousCooling(prob, 30, rng)
+		red := func(a layout.Assignment, err error) (string, error) {
+			if err != nil {
+				return "", err
+			}
+			c, _ := r.coolingFor(prob, a)
+			return fmt.Sprintf("%.1f", 100*(obl-c)/obl), nil
+		}
+		an, err := red(layout.Anneal(prob, scale.pick(3000, 12000), rng))
+		if err != nil {
+			return Table{}, err
+		}
+		ls, err := red(layout.LocalSearch(prob, nil, scale.pick(3000, 12000), rng))
+		if err != nil {
+			return Table{}, err
+		}
+		g, err := red(layout.Greedy(prob))
+		if err != nil {
+			return Table{}, err
+		}
+		t.AddRow(l, fmt.Sprintf("%.2f", stats.Mean(util)), an, ls, g)
+	}
+	return t, nil
+}
+
+// Fig54 reproduces Fig. 5.4: cooling-power reduction vs arrival rate when
+// idle servers keep drawing idle power.
+func Fig54(scale Scale, seed int64) (Table, error) {
+	return figCoolingReduction("fig5.4", "Cooling reduction vs oblivious planning (idle policy)", false, scale, seed)
+}
+
+// Fig55 reproduces Fig. 5.5: same with idle servers napping at ~zero power.
+func Fig55(scale Scale, seed int64) (Table, error) {
+	return figCoolingReduction("fig5.5", "Cooling reduction vs oblivious planning (nap policy)", true, scale, seed)
+}
+
+// Fig57 reproduces Fig. 5.7: probabilistic layout planning under two
+// real-cluster arrival-rate distributions (the institution's and Google's),
+// for both power policies.
+func Fig57(scale Scale, seed int64) (Table, error) {
+	perRack := scale.pick(10, 40)
+	r, err := newCh5Room(perRack)
+	if err != nil {
+		return Table{}, err
+	}
+	lambdas := []float64{8, 12, 16, 20, 24}
+	utils, err := utilizationsFor(lambdas, perRack, seed, float64(scale.pick(3000, 8000)))
+	if err != nil {
+		return Table{}, err
+	}
+	// Arrival-rate pdfs: the institution's cluster runs hot (mass at high
+	// λ), Google's diurnal trace spends most time at moderate load
+	// (Fig. 5.6's character).
+	pdfs := map[string][]float64{
+		"institution": {0.05, 0.10, 0.20, 0.30, 0.35},
+		"google":      {0.15, 0.30, 0.30, 0.17, 0.08},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := Table{
+		ID:      "fig5.7",
+		Title:   "Probabilistic layout planning under arrival-rate distributions",
+		Columns: []string{"trace", "policy", "anneal red. %", "local search red. %", "greedy red. %"},
+		Notes: []string{
+			"expected shape: consistent cooling reductions for both traces and both policies; larger for the hotter institution trace",
+		},
+	}
+	for _, trace := range []string{"institution", "google"} {
+		for _, nap := range []bool{false, true} {
+			var scens []layout.Scenario
+			for li, l := range lambdas {
+				scens = append(scens, layout.Scenario{
+					Weight: pdfs[trace][li],
+					Power:  r.rackPowers(utils[l], nap),
+				})
+			}
+			prob := layout.Problem{Rise: r.room.RiseMatrix(), Scenarios: scens}
+			obl := r.obliviousCooling(prob, 20, rng)
+			red := func(a layout.Assignment, err error) (string, error) {
+				if err != nil {
+					return "", err
+				}
+				c, _ := r.coolingFor(prob, a)
+				return fmt.Sprintf("%.1f", 100*(obl-c)/obl), nil
+			}
+			an, err := red(layout.Anneal(prob, scale.pick(2000, 8000), rng))
+			if err != nil {
+				return Table{}, err
+			}
+			ls, err := red(layout.LocalSearch(prob, nil, scale.pick(2000, 8000), rng))
+			if err != nil {
+				return Table{}, err
+			}
+			g, err := red(layout.Greedy(prob))
+			if err != nil {
+				return Table{}, err
+			}
+			policy := "idle"
+			if nap {
+				policy = "nap"
+			}
+			t.AddRow(trace, policy, an, ls, g)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig311Trajectory(t *testing.T) {
+	tab, err := Fig311(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 3 {
+		t.Fatal("trajectory too short to be meaningful")
+	}
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Fatalf("trajectory did not converge: %s", n)
+		}
+	}
+	// The residual (last column) must shrink from first to last step.
+	first := cellF(t, tab, 0, 3)
+	last := cellF(t, tab, len(tab.Rows)-1, 3)
+	if abs(last) >= abs(first) {
+		t.Fatalf("residual must shrink: %v → %v", first, last)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestFig34Contraction(t *testing.T) {
+	tab, err := Fig34(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every reported ratio must be below ~1 (contraction), allowing the
+	// discretization-noise guard to have trimmed the tail.
+	for r := 1; r < len(tab.Rows); r++ {
+		ratio := cellF(t, tab, r, 2)
+		if ratio >= 1.05 {
+			t.Fatalf("row %d: ratio %v not contracting", r, ratio)
+		}
+	}
+}
+
+func TestFig313Savings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bisections over budgets are slow")
+	}
+	tab, err := Fig313(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab.Rows {
+		pred := cellF(t, tab, r, 3)
+		oracle := cellF(t, tab, r, 4)
+		if pred <= 0 {
+			t.Fatalf("row %d: predictor+knapsack must save power vs uniform, got %v%%", r, pred)
+		}
+		if oracle < pred-0.5 {
+			t.Fatalf("row %d: oracle (%v%%) must not lose to predictor (%v%%)", r, oracle, pred)
+		}
+	}
+}
+
+func TestFig314MethodAboveUniform(t *testing.T) {
+	tab, err := Fig314(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawSolve := false
+	for r := range tab.Rows {
+		stage := cell(t, tab, r, 1)
+		if stage == "random init" {
+			continue // the paper's first 15 s: caps are random, uniform may win
+		}
+		sawSolve = true
+		if cellF(t, tab, r, 2) <= cellF(t, tab, r, 3) {
+			t.Fatalf("row %d (%s): method SNP must beat uniform", r, stage)
+		}
+	}
+	if !sawSolve {
+		t.Fatal("no post-solve stages present")
+	}
+}
+
+func TestFig55AndFig57Positive(t *testing.T) {
+	for _, f := range []func(Scale, int64) (Table, error){Fig55, Fig57} {
+		tab, err := f(Quick, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range tab.Rows {
+			for c := len(tab.Columns) - 3; c < len(tab.Columns); c++ {
+				if cellF(t, tab, r, c) <= 0 {
+					t.Fatalf("%s row %d col %d: planner lost to oblivious", tab.ID, r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestAsyncMatchesSync(t *testing.T) {
+	tab, err := Async(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("want sync + 3 delay rows, got %d", len(tab.Rows))
+	}
+	sync := cellF(t, tab, 0, 1)
+	for r := 1; r < len(tab.Rows); r++ {
+		if got := cellF(t, tab, r, 1); got < sync-0.01 {
+			t.Fatalf("row %d: gossip ratio %v more than a point below sync %v", r, got, sync)
+		}
+		if over := cellF(t, tab, r, 2); over > 1 {
+			t.Fatalf("row %d: overshoot %v W too large", r, over)
+		}
+		if res := cellF(t, tab, r, 3); res != 0 {
+			t.Fatalf("row %d: conservation residual flagged", r)
+		}
+	}
+}
+
+func TestHierarchyShape(t *testing.T) {
+	tab, err := Hierarchy(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevOpt := 2.0
+	for r := range tab.Rows {
+		optRatio := cellF(t, tab, r, 1)
+		if optRatio > prevOpt+1e-9 {
+			t.Fatalf("row %d: tighter PDUs cannot raise the optimum", r)
+		}
+		prevOpt = optRatio
+		if got := cellF(t, tab, r, 2); got < 0.985 {
+			t.Fatalf("row %d: engine at %v of the hierarchical optimum", r, got)
+		}
+		if cellF(t, tab, r, 4) != 0 {
+			t.Fatalf("row %d: PDU violations occurred", r)
+		}
+		if cellF(t, tab, r, 3) < 0 {
+			t.Fatalf("row %d: negative worst margin", r)
+		}
+	}
+}
+
+func TestFXploreShape(t *testing.T) {
+	tab, err := FXplore(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("want 6 policy rows, got %d", len(tab.Rows))
+	}
+	brute := cellF(t, tab, 1, 1)
+	seq := cellF(t, tab, 2, 1)
+	if brute >= 1 == false && seq >= 1 {
+		t.Fatal("searches must beat the all-enabled baseline")
+	}
+	if seq > brute*1.01 {
+		t.Fatalf("FXplore-S (%v) must track brute force (%v)", seq, brute)
+	}
+	if cellF(t, tab, 2, 2) >= cellF(t, tab, 1, 2) {
+		t.Fatal("FXplore-S must cost fewer reboots than brute force")
+	}
+	// κ monotonicity: more sub-clusters, smaller gap.
+	g2 := cellF(t, tab, 3, 3)
+	g8 := cellF(t, tab, 5, 3)
+	if g8 > g2+1e-9 {
+		t.Fatalf("gap must shrink with κ: κ=2 %v vs κ=8 %v", g2, g8)
+	}
+}
+
+func TestFig31Crossover(t *testing.T) {
+	tab, err := Fig31(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range tab.Notes {
+		if n == "crossover present: true" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Fig 3.1's defining crossover is missing")
+	}
+}
+
+func TestFig35Fig37Fig53Shapes(t *testing.T) {
+	for _, f := range []func(Scale, int64) (Table, error){Fig35, Fig37, Fig53, Fig52} {
+		tab, err := f(Quick, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range tab.Notes {
+			if strings.Contains(n, "WARNING") {
+				t.Fatalf("%s: %s", tab.ID, n)
+			}
+		}
+	}
+}
+
+func TestSafetyOrdering(t *testing.T) {
+	tab, err := Safety(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatal("want three schemes")
+	}
+	cent := cellF(t, tab, 0, 1)
+	pd := cellF(t, tab, 1, 1)
+	diba := cellF(t, tab, 2, 1)
+	if !(diba < cent && cent < pd) {
+		t.Fatalf("compliance ordering broken: diba %v, cent %v, pd %v", diba, cent, pd)
+	}
+	if diba > 5 {
+		t.Fatalf("DiBA compliance %v ms not near-immediate", diba)
+	}
+	if cent < 50*diba {
+		t.Fatal("the decentralized speedup must be large")
+	}
+}
+
+func TestFig43ShapeStableAcrossSeeds(t *testing.T) {
+	// The headline result must not depend on the workload draw.
+	for _, seed := range []int64{2, 3, 5} {
+		tab, err := Fig43(Quick, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range tab.Rows {
+			uniform := cellF(t, tab, r, 1)
+			diba := cellF(t, tab, r, 3)
+			opt := cellF(t, tab, r, 4)
+			if diba <= uniform {
+				t.Fatalf("seed %d row %d: DiBA must beat uniform", seed, r)
+			}
+			if diba < 0.98*opt {
+				t.Fatalf("seed %d row %d: DiBA strayed from optimal", seed, r)
+			}
+		}
+	}
+}
+
+func TestScalingFlat(t *testing.T) {
+	tab, err := Scaling(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cellF(t, tab, 0, 1)
+	for r := range tab.Rows {
+		ring := cellF(t, tab, r, 1)
+		chord := cellF(t, tab, r, 2)
+		if ring > 3*first {
+			t.Fatalf("ring rounds not flat: %v vs %v at the smallest size", ring, first)
+		}
+		if chord > ring {
+			t.Fatalf("row %d: chords must not slow convergence (%v vs %v)", r, chord, ring)
+		}
+	}
+}

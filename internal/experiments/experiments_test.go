@@ -1,0 +1,366 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cell(t *testing.T, tab Table, row, col int) string {
+	t.Helper()
+	if row >= len(tab.Rows) || col >= len(tab.Rows[row]) {
+		t.Fatalf("%s: cell (%d,%d) out of range", tab.ID, row, col)
+	}
+	return tab.Rows[row][col]
+}
+
+func cellF(t *testing.T, tab Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell(t, tab, row, col), 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d) = %q not numeric: %v", tab.ID, row, col, cell(t, tab, row, col), err)
+	}
+	return v
+}
+
+func TestTableFprint(t *testing.T) {
+	tab := Table{ID: "x", Title: "demo", Columns: []string{"a", "bb"}, Notes: []string{"n1"}}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("s", "t")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x — demo ==", "a", "bb", "2.5", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := Table{ID: "x", Columns: []string{"a", "b"}, Notes: []string{"n"}}
+	tab.AddRow(1, "two")
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,two\n# n\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestScalePick(t *testing.T) {
+	if Quick.pick(1, 2) != 1 || Full.pick(1, 2) != 2 {
+		t.Fatal("pick wrong")
+	}
+}
+
+func TestFig42Shape(t *testing.T) {
+	tab, err := Fig42()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 5 {
+		t.Fatal("too few power points")
+	}
+	// All four series end at 1 (normalized) and are non-decreasing.
+	last := len(tab.Rows) - 1
+	for col := 1; col <= 4; col++ {
+		if v := cellF(t, tab, last, col); v < 0.999 {
+			t.Fatalf("series %d does not reach 1: %v", col, v)
+		}
+		prev := -1.0
+		for r := range tab.Rows {
+			v := cellF(t, tab, r, col)
+			if v < prev-1e-9 {
+				t.Fatalf("series %d decreasing at row %d", col, r)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestFig43Shape(t *testing.T) {
+	tab, err := Fig43(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("want 6 budget rows, got %d", len(tab.Rows))
+	}
+	var firstGain, lastGain float64
+	for r := range tab.Rows {
+		uniform := cellF(t, tab, r, 1)
+		pd := cellF(t, tab, r, 2)
+		diba := cellF(t, tab, r, 3)
+		opt := cellF(t, tab, r, 4)
+		if !(uniform < pd && uniform < diba) {
+			t.Fatalf("row %d: uniform must lose to PD and DiBA", r)
+		}
+		if pd > opt+1e-6 || diba > opt+1e-6 {
+			t.Fatalf("row %d: nothing may beat the optimum", r)
+		}
+		if diba < 0.98*opt {
+			t.Fatalf("row %d: DiBA %v strayed >2%% from optimal %v", r, diba, opt)
+		}
+		gain := cellF(t, tab, r, 6)
+		if r == 0 {
+			firstGain = gain
+		}
+		lastGain = gain
+	}
+	if lastGain >= firstGain {
+		t.Fatalf("DiBA's gain over uniform must shrink with budget: %v → %v", firstGain, lastGain)
+	}
+}
+
+func TestTable42Shape(t *testing.T) {
+	tab, err := Table42(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("want 3 cluster sizes, got %d", len(tab.Rows))
+	}
+	// Centralized and PD communication grow with N; DiBA communication does
+	// not scale with N (allow fluctuation from iteration-count noise).
+	for r := 1; r < len(tab.Rows); r++ {
+		if cellF(t, tab, r, 2) <= cellF(t, tab, r-1, 2) {
+			t.Fatal("centralized comm must grow with N")
+		}
+		if cellF(t, tab, r, 3) <= cellF(t, tab, r, 2) {
+			t.Fatal("sampled p95 must exceed the deterministic mean")
+		}
+		if cellF(t, tab, r, 5) <= cellF(t, tab, r-1, 5) {
+			t.Fatal("PD comm must grow with N")
+		}
+	}
+	last := len(tab.Rows) - 1
+	if cellF(t, tab, last, 7) > 3*cellF(t, tab, 0, 7) {
+		t.Fatal("DiBA comm must stay roughly flat in N")
+	}
+	// At the largest size, DiBA must beat PD overall.
+	if cellF(t, tab, last, 7) >= cellF(t, tab, last, 5) {
+		t.Fatal("DiBA must beat PD communication at scale")
+	}
+}
+
+func TestFig44NoViolations(t *testing.T) {
+	tab, err := Fig44(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab.Rows {
+		if cellF(t, tab, r, 2) > cellF(t, tab, r, 1)+1e-9 {
+			t.Fatalf("row %d: power exceeds budget", r)
+		}
+	}
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "violations") && !strings.Contains(n, ": 0 (must be 0)") {
+			t.Fatalf("violations note reports non-zero: %s", n)
+		}
+	}
+}
+
+func TestFig45Fig46StepResponses(t *testing.T) {
+	drop, err := Fig45(Quick, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range drop.Notes {
+		if strings.Contains(n, "VIOLATION") {
+			t.Fatalf("budget drop violated: %s", n)
+		}
+	}
+	// Utility recovers after the cut.
+	if cellF(t, drop, len(drop.Rows)-1, 2) <= cellF(t, drop, 0, 2) {
+		t.Fatal("utility must recover after the drop")
+	}
+	jump, err := Fig46(Quick, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Power ramps up and never exceeds the new budget.
+	first := cellF(t, jump, 0, 1)
+	last := cellF(t, jump, len(jump.Rows)-1, 1)
+	if last <= first {
+		t.Fatal("power must ramp up after the jump")
+	}
+	for r := range jump.Rows {
+		if cellF(t, jump, r, 1) > cellF(t, jump, r, 3)+1e-9 {
+			t.Fatalf("row %d: overshoot", r)
+		}
+	}
+}
+
+func TestFig48Decays(t *testing.T) {
+	tab, err := Fig48(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cellF(t, tab, 0, 1)
+	last := cellF(t, tab, len(tab.Rows)-1, 1)
+	if last >= first {
+		t.Fatalf("node-50 disturbance must decay: %v → %v", first, last)
+	}
+}
+
+func TestFig49Locality(t *testing.T) {
+	tab, err := Fig49(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cellF(t, tab, 0, 1) < 5*cellF(t, tab, len(tab.Rows)-1, 1) {
+		t.Fatal("perturbed node's change must dwarf the far field")
+	}
+}
+
+func TestFig410DegreeTrend(t *testing.T) {
+	tab, err := Fig410(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 3 {
+		t.Fatal("too few degree bins")
+	}
+	first := cellF(t, tab, 0, 1)
+	last := cellF(t, tab, len(tab.Rows)-1, 1)
+	if last >= first {
+		t.Fatalf("iterations must fall with degree: %v → %v", first, last)
+	}
+}
+
+func TestTable32Ordering(t *testing.T) {
+	tab, err := Table32(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatal("six model families expected")
+	}
+	ours := cellF(t, tab, 0, 1)
+	prevCubic := cellF(t, tab, 4, 1)
+	prevLinear := cellF(t, tab, 5, 1)
+	if !(ours < prevCubic && prevCubic < prevLinear) {
+		t.Fatalf("Table 3.2 ordering broken: %v, %v, %v", ours, prevCubic, prevLinear)
+	}
+}
+
+func TestFig310CoolingShare(t *testing.T) {
+	tab, err := Fig310(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab.Rows {
+		share := cellF(t, tab, r, 3)
+		if share < 20 || share > 45 {
+			t.Fatalf("row %d: cooling share %v%% outside plausible band", r, share)
+		}
+	}
+	if cellF(t, tab, len(tab.Rows)-1, 3) < cellF(t, tab, 0, 3) {
+		t.Fatal("cooling share must grow with budget")
+	}
+}
+
+func TestFig312MethodOrdering(t *testing.T) {
+	tab, err := Fig312(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows come in groups of four: uniform, greedy, predictor, oracle.
+	for g := 0; g+3 < len(tab.Rows); g += 4 {
+		uni := cellF(t, tab, g, 3)
+		pred := cellF(t, tab, g+2, 3)
+		oracle := cellF(t, tab, g+3, 3)
+		if pred < uni-1e-4 {
+			t.Fatalf("group %d: predictor+knapsack (%v) lost to uniform (%v)", g, pred, uni)
+		}
+		if pred > oracle+5e-3 {
+			t.Fatalf("group %d: predictor (%v) implausibly beat oracle (%v)", g, pred, oracle)
+		}
+	}
+}
+
+func TestTable52Ordering(t *testing.T) {
+	tab, err := Table52(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anneal := cellF(t, tab, 0, 3)
+	greedy := cellF(t, tab, 2, 3)
+	if anneal < greedy-0.5 {
+		t.Fatalf("anneal (%v%%) must not lose to greedy (%v%%)", anneal, greedy)
+	}
+	if anneal < 5 {
+		t.Fatalf("anneal saving %v%% implausibly small", anneal)
+	}
+}
+
+func TestAblationStory(t *testing.T) {
+	tab, err := Ablation(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]string{}
+	for _, r := range tab.Rows {
+		byName[r[0]] = r
+	}
+	def := byName["default (newton, one-sided caps)"]
+	if def == nil || def[1] == "DNF" {
+		t.Fatal("default variant must converge")
+	}
+	fixed := byName["fixed gradient step (400 W·W/BIPS)"]
+	if fixed == nil || fixed[1] != "DNF" {
+		t.Fatal("fixed-step variant must fail to converge (the limit cycle)")
+	}
+	small := byName["η=0.002 (10× smaller)"]
+	if small == nil || small[1] == "DNF" {
+		t.Fatal("small-η variant should still converge, just slower")
+	}
+}
+
+func TestFailureRecovery(t *testing.T) {
+	tab, err := Failure(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("want initial + 4 crashes, got %d rows", len(tab.Rows))
+	}
+	for r := range tab.Rows {
+		if strings.Contains(cell(t, tab, r, 0), "VIOLATION") {
+			t.Fatalf("row %d violated the budget", r)
+		}
+		if cellF(t, tab, r, 3) > cellF(t, tab, r, 2)+1e-9 {
+			t.Fatalf("row %d: power above budget", r)
+		}
+		if cellF(t, tab, r, 4) < 0.99 {
+			t.Fatalf("row %d: survivor ratio %v below 99%%", r, cellF(t, tab, r, 4))
+		}
+	}
+	foundContrast := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "refused as expected") {
+			foundContrast = true
+		}
+	}
+	if !foundContrast {
+		t.Fatal("plain-ring contrast note missing")
+	}
+}
+
+func TestFig54AllPositive(t *testing.T) {
+	tab, err := Fig54(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab.Rows {
+		for c := 2; c <= 4; c++ {
+			if cellF(t, tab, r, c) <= 0 {
+				t.Fatalf("row %d col %d: planner lost to oblivious", r, c)
+			}
+		}
+	}
+}

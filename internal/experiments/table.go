@@ -1,0 +1,127 @@
+// Package experiments regenerates every table and figure of the source
+// text's evaluation. Each experiment is a function returning a Table —
+// the same rows/series the paper reports — so the cmd/repro binary and the
+// repository benchmarks share one implementation. The DESIGN.md
+// per-experiment index maps experiment IDs to these functions.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	// ID is the experiment id, e.g. "fig4.3" or "table4.2".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns are the column headers.
+	Columns []string
+	// Rows are formatted cells.
+	Rows [][]string
+	// Notes carry the expected shape from the paper and any caveats.
+	Notes []string
+}
+
+// AddRow appends a formatted row built from the arguments.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table as aligned text.
+func (t Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV emits the table as CSV (header row first, notes as trailing
+// comment lines), the format downstream plotting scripts consume.
+func (t Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scale selects experiment sizing: Full reproduces the paper's parameters,
+// Quick shrinks cluster sizes and iteration budgets for CI and benchmarks
+// while preserving every qualitative shape.
+type Scale int
+
+const (
+	Quick Scale = iota
+	Full
+)
+
+// pick returns quick or full depending on the scale.
+func (s Scale) pick(quick, full int) int {
+	if s == Full {
+		return full
+	}
+	return quick
+}

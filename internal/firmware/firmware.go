@@ -1,0 +1,462 @@
+// Package firmware reproduces the search algorithms of Chapter 6
+// (FXplore): finding server firmware configurations that minimize a
+// workload's runtime or energy. The chapter's hardware observations —
+// configurations matter a lot, optima are workload-specific, and options
+// interact non-additively (Observations #1–#3) — are modeled by a
+// synthetic response surface with per-option main effects and pairwise
+// interaction terms. On top of it we implement:
+//
+//   - brute-force enumeration (the 2^N baseline),
+//   - FXplore-S, the sequential disable-and-lock search (Algorithm 7),
+//     which explores O(N²) configurations,
+//   - FXplore-SC, the k-means sub-clustering of workloads by their
+//     performance-counter features (Algorithm 8), and
+//   - nearest-neighbor mapping of new workloads onto sub-clusters
+//     (the online mode).
+//
+// The hardware-bound measurements of Figs. 6.2–6.11 have no faithful
+// synthetic equivalent; this package reproduces the algorithms and their
+// relative behaviour (near-optimality at quadratic cost), not the absolute
+// numbers.
+package firmware
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Options are the five firmware settings of Table 6.1.
+var Options = []string{"HP", "CP", "CTB", "MTB", "HT"}
+
+// Config is a bitmask over options: bit i set means option i is enabled.
+type Config uint32
+
+// Enabled reports whether option i is enabled.
+func (c Config) Enabled(i int) bool { return c&(1<<uint(i)) != 0 }
+
+// With returns the config with option i forced to the given state.
+func (c Config) With(i int, on bool) Config {
+	if on {
+		return c | (1 << uint(i))
+	}
+	return c &^ (1 << uint(i))
+}
+
+// AllEnabled returns the baseline configuration with every option on.
+func AllEnabled(nOptions int) Config { return Config(1<<uint(nOptions)) - 1 }
+
+// String renders the config as the list of enabled option names.
+func (c Config) String() string {
+	out := ""
+	for i, name := range Options {
+		if c.Enabled(i) {
+			if out != "" {
+				out += "+"
+			}
+			out += name
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+// Workload is a synthetic application with a firmware response surface:
+// runtime(config) = base · Π_i effect_i(enabled_i) · Π_{i<j} pair_ij, and
+// a feature vector standing in for its performance-counter signature.
+type Workload struct {
+	Name string
+	// Features are the PMC-like signature (normalized), used for
+	// sub-clustering and online mapping.
+	Features []float64
+
+	base float64
+	// main[i] multiplies runtime when option i is enabled (values < 1 help).
+	main []float64
+	// pair[i][j] multiplies runtime when options i and j are both enabled —
+	// the non-additive interactions of Observation #3.
+	pair [][]float64
+	// power draw model: idleW plus per-option adders when enabled.
+	idleW    float64
+	powerAdd []float64
+}
+
+// Runtime returns the workload's runtime under the configuration.
+func (w *Workload) Runtime(c Config) float64 {
+	r := w.base
+	n := len(w.main)
+	for i := 0; i < n; i++ {
+		if c.Enabled(i) {
+			r *= w.main[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !c.Enabled(i) {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if c.Enabled(j) {
+				r *= w.pair[i][j]
+			}
+		}
+	}
+	return r
+}
+
+// Power returns the average power draw under the configuration.
+func (w *Workload) Power(c Config) float64 {
+	p := w.idleW
+	for i := range w.powerAdd {
+		if c.Enabled(i) {
+			p += w.powerAdd[i]
+		}
+	}
+	return p
+}
+
+// Energy returns runtime × power.
+func (w *Workload) Energy(c Config) float64 { return w.Runtime(c) * w.Power(c) }
+
+// NumOptions returns the workload's firmware option count.
+func (w *Workload) NumOptions() int { return len(w.main) }
+
+// Generate synthesizes a workload with nOptions firmware options whose
+// response surface is tied to a random memory-boundedness character, so
+// that similar feature vectors imply similar optimal configurations — the
+// property FXplore-SC exploits.
+func Generate(name string, nOptions int, rng *rand.Rand) *Workload {
+	memBound := rng.Float64() // 0 compute-bound … 1 memory-bound
+	threadScale := rng.Float64()
+	w := &Workload{
+		Name: name,
+		// Feature vector: LLC misses, IPC (inverted memBound), branch
+		// misses, L1 refs, thread friendliness — noisy functions of the
+		// latent character.
+		Features: []float64{
+			clamp01(memBound + 0.08*rng.NormFloat64()),
+			clamp01(1 - memBound + 0.08*rng.NormFloat64()),
+			clamp01(0.3 + 0.2*rng.NormFloat64()),
+			clamp01(0.5 + 0.5*memBound*rng.Float64()),
+			clamp01(threadScale + 0.08*rng.NormFloat64()),
+		},
+		base:     60 + rng.Float64()*120,
+		main:     make([]float64, nOptions),
+		pair:     make([][]float64, nOptions),
+		idleW:    80,
+		powerAdd: make([]float64, nOptions),
+	}
+	for i := range w.pair {
+		w.pair[i] = make([]float64, nOptions)
+		for j := range w.pair[i] {
+			w.pair[i][j] = 1
+		}
+	}
+	for i := 0; i < nOptions; i++ {
+		// Semantics for the canonical five options; extra options beyond
+		// them get mild random effects (the scalability study of Fig. 6.9).
+		switch {
+		case i == 0 || i == 1: // prefetchers: help memory-bound, can hurt compute
+			w.main[i] = 1 - 0.25*memBound + 0.06*(1-memBound)*rng.Float64()
+		case i == 2: // CPU turbo: helps compute-bound
+			w.main[i] = 1 - 0.22*(1-memBound) + 0.02*rng.Float64()
+		case i == 3: // memory turbo: helps memory-bound
+			w.main[i] = 1 - 0.18*memBound + 0.02*rng.Float64()
+		case i == 4: // hyper-threading: helps thread-scalable, hurts others
+			w.main[i] = 1 - 0.2*threadScale + 0.15*(1-threadScale)
+		default:
+			w.main[i] = 1 + 0.08*rng.NormFloat64()
+		}
+		if w.main[i] < 0.5 {
+			w.main[i] = 0.5
+		}
+		w.powerAdd[i] = 4 + 10*rng.Float64()
+	}
+	// Interactions: prefetchers overlap (diminishing returns); the two
+	// turbos contend for the power budget; HT changes prefetch utility.
+	setPair := func(a, b int, v float64) {
+		if a < nOptions && b < nOptions {
+			w.pair[a][b] = v
+			w.pair[b][a] = v
+		}
+	}
+	setPair(0, 1, 1+0.12*memBound)                  // HP×CP partly redundant
+	setPair(2, 3, 1+0.05+0.05*rng.Float64())        // CTB×MTB contention
+	setPair(0, 3, 1-0.08*memBound)                  // HP×MTB synergize on memory
+	setPair(0, 4, 1+0.1*(1-threadScale))            // HT thrashes the prefetcher
+	setPair(2, 4, 1+0.06*threadScale*rng.Float64()) // turbo×HT thermal clash
+	return w
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Objective selects what the searches minimize.
+type Objective int
+
+const (
+	MinRuntime Objective = iota
+	MinEnergy
+)
+
+func (o Objective) eval(w *Workload, c Config) float64 {
+	if o == MinEnergy {
+		return w.Energy(c)
+	}
+	return w.Runtime(c)
+}
+
+// SearchResult reports a configuration search.
+type SearchResult struct {
+	Best Config
+	// Value is the objective at Best.
+	Value float64
+	// Evaluations is how many configurations were measured (each costs a
+	// server reboot in the real system, which is why FXplore-S's O(N²)
+	// matters against 2^N).
+	Evaluations int
+}
+
+// BruteForce enumerates all 2^N configurations — the baseline FXplore
+// accelerates.
+func BruteForce(w *Workload, obj Objective) SearchResult {
+	n := w.NumOptions()
+	best := Config(0)
+	bestV := math.Inf(1)
+	total := 1 << uint(n)
+	for c := 0; c < total; c++ {
+		if v := obj.eval(w, Config(c)); v < bestV {
+			bestV = v
+			best = Config(c)
+		}
+	}
+	return SearchResult{Best: best, Value: bestV, Evaluations: total}
+}
+
+// SequentialSearch is FXplore-S (Algorithm 7): start with every option
+// enabled and free; each round, tentatively disable every free option,
+// keep the disabling that helps the objective most, and lock it. After all
+// rounds, return the best configuration seen anywhere along the way.
+func SequentialSearch(w *Workload, obj Objective) SearchResult {
+	n := w.NumOptions()
+	cur := AllEnabled(n)
+	free := make([]bool, n)
+	for i := range free {
+		free[i] = true
+	}
+	best := cur
+	bestV := obj.eval(w, cur)
+	evals := 1
+	for round := 0; round < n; round++ {
+		lock := -1
+		lockV := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !free[i] {
+				continue
+			}
+			v := obj.eval(w, cur.With(i, false))
+			evals++
+			if v < lockV {
+				lockV = v
+				lock = i
+			}
+			if v < bestV {
+				bestV = v
+				best = cur.With(i, false)
+			}
+		}
+		if lock < 0 {
+			break
+		}
+		cur = cur.With(lock, false)
+		free[lock] = false
+	}
+	return SearchResult{Best: best, Value: bestV, Evaluations: evals}
+}
+
+// SubCluster is one FXplore-SC group: a centroid in feature space and the
+// firmware configuration derived from its representative workload.
+type SubCluster struct {
+	Centroid []float64
+	Config   Config
+	Members  []int
+}
+
+// SubClusterResult is the offline output of FXplore-SC.
+type SubClusterResult struct {
+	Clusters []SubCluster
+	// Assign[w] is workload w's cluster index.
+	Assign []int
+	// Evaluations counts configuration measurements (reboots) spent.
+	Evaluations int
+}
+
+// SubClusterSearch is FXplore-SC (Algorithm 8): k-means the workloads'
+// feature vectors into k groups, run FXplore-S once per group on the
+// member closest to the centroid, and adopt that configuration for the
+// whole group.
+func SubClusterSearch(ws []*Workload, k int, obj Objective, rng *rand.Rand) (SubClusterResult, error) {
+	if k <= 0 || k > len(ws) {
+		return SubClusterResult{}, fmt.Errorf("firmware: k=%d out of range for %d workloads", k, len(ws))
+	}
+	points := make([][]float64, len(ws))
+	for i, w := range ws {
+		points[i] = w.Features
+	}
+	assign, centroids, err := KMeans(points, k, 100, rng)
+	if err != nil {
+		return SubClusterResult{}, err
+	}
+	res := SubClusterResult{Assign: assign, Clusters: make([]SubCluster, k)}
+	for c := 0; c < k; c++ {
+		var members []int
+		for i, a := range assign {
+			if a == c {
+				members = append(members, i)
+			}
+		}
+		res.Clusters[c] = SubCluster{Centroid: centroids[c], Members: members}
+		if len(members) == 0 {
+			res.Clusters[c].Config = AllEnabled(ws[0].NumOptions())
+			continue
+		}
+		// Representative: the member nearest the centroid.
+		rep := members[0]
+		repD := math.Inf(1)
+		for _, m := range members {
+			if d := sqDist(ws[m].Features, centroids[c]); d < repD {
+				repD = d
+				rep = m
+			}
+		}
+		sr := SequentialSearch(ws[rep], obj)
+		res.Clusters[c].Config = sr.Best
+		res.Evaluations += sr.Evaluations
+	}
+	return res, nil
+}
+
+// Map performs the online step: place a new workload (by its measured
+// feature vector) on the nearest sub-cluster and return that cluster's
+// pre-computed configuration. No reboot needed.
+func (r SubClusterResult) Map(features []float64) (int, Config, error) {
+	if len(r.Clusters) == 0 {
+		return 0, 0, errors.New("firmware: no clusters")
+	}
+	best := 0
+	bestD := math.Inf(1)
+	for c, cl := range r.Clusters {
+		if d := sqDist(features, cl.Centroid); d < bestD {
+			bestD = d
+			best = c
+		}
+	}
+	return best, r.Clusters[best].Config, nil
+}
+
+// KMeans runs Lloyd's algorithm with k-means++-style seeding on the given
+// points and returns assignments and centroids.
+func KMeans(points [][]float64, k, maxIters int, rng *rand.Rand) ([]int, [][]float64, error) {
+	n := len(points)
+	if n == 0 || k <= 0 || k > n {
+		return nil, nil, fmt.Errorf("firmware: bad kmeans input (n=%d, k=%d)", n, k)
+	}
+	dim := len(points[0])
+	for _, p := range points {
+		if len(p) != dim {
+			return nil, nil, errors.New("firmware: ragged feature vectors")
+		}
+	}
+	// Seeding: first centroid uniform, others proportional to squared
+	// distance from the nearest existing centroid.
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, append([]float64(nil), points[rng.Intn(n)]...))
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		var sum float64
+		for i, p := range points {
+			d2[i] = math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < d2[i] {
+					d2[i] = d
+				}
+			}
+			sum += d2[i]
+		}
+		pick := n - 1
+		if sum > 0 {
+			r := rng.Float64() * sum
+			acc := 0.0
+			for i, d := range d2 {
+				acc += d
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		} else {
+			pick = rng.Intn(n)
+		}
+		centroids = append(centroids, append([]float64(nil), points[pick]...))
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, p := range points {
+			best := 0
+			bestD := math.Inf(1)
+			for c := range centroids {
+				if d := sqDist(p, centroids[c]); d < bestD {
+					bestD = d
+					best = c
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			counts[assign[i]]++
+			for d, v := range p {
+				sums[assign[i]][d] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue // keep the old centroid for empty clusters
+			}
+			for d := range centroids[c] {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+	}
+	return assign, centroids, nil
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,277 @@
+package firmware
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigBits(t *testing.T) {
+	c := Config(0)
+	c = c.With(0, true).With(3, true)
+	if !c.Enabled(0) || !c.Enabled(3) || c.Enabled(1) {
+		t.Fatalf("bit ops broken: %b", c)
+	}
+	c = c.With(0, false)
+	if c.Enabled(0) {
+		t.Fatal("With(false) must clear")
+	}
+	if AllEnabled(5) != 0b11111 {
+		t.Fatalf("AllEnabled(5) = %b", AllEnabled(5))
+	}
+	if Config(0).String() != "none" {
+		t.Fatal("empty config string")
+	}
+	if AllEnabled(2).String() != "HP+CP" {
+		t.Fatalf("string = %q", AllEnabled(2).String())
+	}
+}
+
+func TestGenerateWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		w := Generate("w", 5, rng)
+		if w.NumOptions() != 5 || len(w.Features) != 5 {
+			t.Fatal("wrong dimensions")
+		}
+		for c := Config(0); c < 32; c++ {
+			if r := w.Runtime(c); r <= 0 || math.IsNaN(r) {
+				t.Fatalf("runtime(%v) = %v", c, r)
+			}
+			if p := w.Power(c); p < w.idleW {
+				t.Fatalf("power below idle: %v", p)
+			}
+			if e := w.Energy(c); e != w.Runtime(c)*w.Power(c) {
+				t.Fatal("energy inconsistent")
+			}
+		}
+		for _, f := range w.Features {
+			if f < 0 || f > 1 {
+				t.Fatalf("feature out of [0,1]: %v", f)
+			}
+		}
+	}
+}
+
+func TestOptimaAreWorkloadSpecific(t *testing.T) {
+	// Observation #2: different workloads have different optima, and the
+	// runtime optimum can differ from the energy optimum.
+	rng := rand.New(rand.NewSource(2))
+	optima := map[Config]bool{}
+	energyDiffers := false
+	for i := 0; i < 30; i++ {
+		w := Generate("w", 5, rng)
+		rt := BruteForce(w, MinRuntime)
+		en := BruteForce(w, MinEnergy)
+		optima[rt.Best] = true
+		if rt.Best != en.Best {
+			energyDiffers = true
+		}
+	}
+	if len(optima) < 3 {
+		t.Fatalf("only %d distinct runtime optima across 30 workloads", len(optima))
+	}
+	if !energyDiffers {
+		t.Fatal("energy and runtime optima never differed")
+	}
+}
+
+func TestAllEnabledIsNotAlwaysOptimal(t *testing.T) {
+	// Observation #2's surprise: enabling everything is frequently not best.
+	rng := rand.New(rand.NewSource(3))
+	notAll := 0
+	for i := 0; i < 40; i++ {
+		w := Generate("w", 5, rng)
+		if BruteForce(w, MinRuntime).Best != AllEnabled(5) {
+			notAll++
+		}
+	}
+	if notAll < 10 {
+		t.Fatalf("all-enabled optimal in %d/40 cases — interactions too weak", 40-notAll)
+	}
+}
+
+func TestSequentialSearchNearOptimalAndCheap(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var worstGap float64
+	for i := 0; i < 100; i++ {
+		w := Generate("w", 5, rng)
+		bf := BruteForce(w, MinRuntime)
+		sr := SequentialSearch(w, MinRuntime)
+		if sr.Evaluations >= bf.Evaluations {
+			t.Fatalf("FXplore-S used %d evals ≥ brute force %d", sr.Evaluations, bf.Evaluations)
+		}
+		gap := (sr.Value - bf.Value) / bf.Value
+		if gap < -1e-12 {
+			t.Fatal("cannot beat brute force")
+		}
+		if gap > worstGap {
+			worstGap = gap
+		}
+	}
+	// The paper reports FXplore-S matching brute force on most workloads;
+	// allow small misses from interactions but no blowups.
+	if worstGap > 0.05 {
+		t.Fatalf("worst FXplore-S gap %.3f > 5%%", worstGap)
+	}
+}
+
+func TestSequentialSearchQuadraticScaling(t *testing.T) {
+	// Evaluations must grow like N², not 2^N (Fig. 6.9's scalability).
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{5, 8, 12, 16} {
+		w := Generate("w", n, rng)
+		sr := SequentialSearch(w, MinRuntime)
+		wantMax := 1 + n*(n+1)/2
+		if sr.Evaluations > wantMax {
+			t.Fatalf("n=%d: %d evals > bound %d", n, sr.Evaluations, wantMax)
+		}
+	}
+}
+
+func TestKMeansBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Two well-separated blobs.
+	var pts [][]float64
+	for i := 0; i < 20; i++ {
+		pts = append(pts, []float64{0.1 + 0.02*rng.NormFloat64(), 0.1 + 0.02*rng.NormFloat64()})
+	}
+	for i := 0; i < 20; i++ {
+		pts = append(pts, []float64{0.9 + 0.02*rng.NormFloat64(), 0.9 + 0.02*rng.NormFloat64()})
+	}
+	assign, cents, err := KMeans(pts, 2, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cents) != 2 {
+		t.Fatal("want 2 centroids")
+	}
+	// All of blob 1 in one cluster, all of blob 2 in the other.
+	for i := 1; i < 20; i++ {
+		if assign[i] != assign[0] {
+			t.Fatal("blob 1 split")
+		}
+	}
+	for i := 21; i < 40; i++ {
+		if assign[i] != assign[20] {
+			t.Fatal("blob 2 split")
+		}
+	}
+	if assign[0] == assign[20] {
+		t.Fatal("blobs merged")
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, _, err := KMeans(nil, 2, 10, rng); err == nil {
+		t.Fatal("empty points must error")
+	}
+	if _, _, err := KMeans([][]float64{{1}}, 2, 10, rng); err == nil {
+		t.Fatal("k>n must error")
+	}
+	if _, _, err := KMeans([][]float64{{1, 2}, {1}}, 1, 10, rng); err == nil {
+		t.Fatal("ragged vectors must error")
+	}
+}
+
+func TestSubClusterSearchBeatsBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ws := make([]*Workload, 24)
+	for i := range ws {
+		ws[i] = Generate("w", 5, rng)
+	}
+	res, err := SubClusterSearch(ws, 4, MinRuntime, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 4 {
+		t.Fatal("want 4 clusters")
+	}
+	// Using each workload's sub-cluster config must on average beat the
+	// all-enabled baseline (Fig. 6.10's finding), and cost far fewer
+	// reboots than per-workload brute force.
+	var clustered, baselineT float64
+	for i, w := range ws {
+		cfg := res.Clusters[res.Assign[i]].Config
+		clustered += w.Runtime(cfg)
+		baselineT += w.Runtime(AllEnabled(5))
+	}
+	if clustered >= baselineT {
+		t.Fatalf("sub-cluster configs (%.1f) must beat all-enabled (%.1f)", clustered, baselineT)
+	}
+	if res.Evaluations >= len(ws)*32 {
+		t.Fatal("sub-clustering must cost fewer evaluations than per-workload brute force")
+	}
+}
+
+func TestSubClusterSearchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ws := []*Workload{Generate("w", 5, rng)}
+	if _, err := SubClusterSearch(ws, 0, MinRuntime, rng); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	if _, err := SubClusterSearch(ws, 2, MinRuntime, rng); err == nil {
+		t.Fatal("k>n must error")
+	}
+}
+
+func TestOnlineMapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ws := make([]*Workload, 30)
+	for i := range ws {
+		ws[i] = Generate("w", 5, rng)
+	}
+	res, err := SubClusterSearch(ws, 4, MinRuntime, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mapping a training workload's own features must return its cluster's
+	// config, and mapping must beat all-enabled on fresh workloads in
+	// aggregate.
+	ci, cfg, err := res.Map(ws[0].Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != res.Clusters[ci].Config {
+		t.Fatal("inconsistent mapping")
+	}
+	var mapped, baseline float64
+	for i := 0; i < 30; i++ {
+		fresh := Generate("new", 5, rng)
+		_, cfg, err := res.Map(fresh.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapped += fresh.Runtime(cfg)
+		baseline += fresh.Runtime(AllEnabled(5))
+	}
+	if mapped >= baseline {
+		t.Fatalf("online mapping (%.1f) must beat all-enabled (%.1f) on fresh workloads", mapped, baseline)
+	}
+	empty := SubClusterResult{}
+	if _, _, err := empty.Map([]float64{1}); err == nil {
+		t.Fatal("empty result must error")
+	}
+}
+
+// Property: FXplore-S never returns a value worse than the all-enabled
+// baseline, for any option count and objective.
+func TestSequentialAtLeastBaselineProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		w := Generate("w", n, rng)
+		for _, obj := range []Objective{MinRuntime, MinEnergy} {
+			sr := SequentialSearch(w, obj)
+			if sr.Value > obj.eval(w, AllEnabled(n))+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package knapsack
+
+import (
+	"math/rand"
+	"testing"
+
+	"powercap/internal/workload"
+)
+
+// The DP's O(n·r·B_s) is Chapter 3's stated complexity; this measures its
+// constant at the paper's scale.
+func benchmarkSolve(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(1))
+	s := workload.Chapter3Server
+	caps := workload.CapGrid(s, 5)
+	sets := make([]workload.Set, n)
+	for i := range sets {
+		sets[i] = workload.NewHeteroSet(workload.Desktop, rng)
+	}
+	choices, err := CapGridChoices(n, caps, func(i int, cap float64) float64 {
+		return sets[i].GroundTruth(cap, s)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := Problem{Choices: choices, Budget: 148 * float64(n), StepW: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolve400(b *testing.B)  { benchmarkSolve(b, 400) }
+func BenchmarkSolve3200(b *testing.B) { benchmarkSolve(b, 3200) }

@@ -1,0 +1,26 @@
+package knapsack_test
+
+import (
+	"fmt"
+
+	"powercap/internal/knapsack"
+)
+
+// Three servers pick from two caps each under a 410 W budget. Server 2's
+// upgrade is worth the most log-ANP, server 0's the least, so the budget
+// funds servers 1 and 2.
+func ExampleSolve() {
+	choices := [][]knapsack.Choice{
+		{{Watts: 130, Value: -0.10}, {Watts: 150, Value: 0}},
+		{{Watts: 130, Value: -0.30}, {Watts: 150, Value: 0}},
+		{{Watts: 130, Value: -0.60}, {Watts: 150, Value: 0}},
+	}
+	p := knapsack.Problem{Choices: choices, Budget: 430, StepW: 5}
+	sol, err := knapsack.Solve(p)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("picks %v, %.0f W, value %.2f\n", sol.Pick, sol.Watts, sol.Value)
+	// Output: picks [0 1 1], 430 W, value -0.10
+}

@@ -1,0 +1,182 @@
+// Package knapsack implements Chapter 3's optimal computing-power budgeter:
+// the multiple-choice knapsack formulation in which every server is a
+// class, the discrete power caps are the class's items, and the product of
+// ANPs (equivalently Σ log ANP) is maximized subject to the computing
+// budget (Algorithm 2). The DP is exact over the discretized budget.
+package knapsack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Choice is one selectable power cap for a server.
+type Choice struct {
+	// Watts is the cap's power draw.
+	Watts float64
+	// Value is the objective contribution, typically log(ANP) — the DP
+	// maximizes the sum, i.e. the ANP product.
+	Value float64
+}
+
+// Problem is a multiple-choice knapsack instance: one choice list per
+// server and a total budget in watts.
+type Problem struct {
+	Choices [][]Choice
+	Budget  float64
+	// StepW is the DP's budget granularity in watts; 0 selects the GCD-ish
+	// default of 1 W.
+	StepW float64
+}
+
+// Solution is the chosen cap index per server.
+type Solution struct {
+	Pick []int
+	// Watts is the total power of the selection.
+	Watts float64
+	// Value is the total objective Σ value (log-product).
+	Value float64
+}
+
+var (
+	// ErrInfeasible is returned when even the cheapest choice per server
+	// exceeds the budget.
+	ErrInfeasible = errors.New("knapsack: budget below cheapest selection")
+	errEmpty      = errors.New("knapsack: empty problem")
+)
+
+// Solve runs the exact dynamic program. Complexity O(n·r·W/step), the
+// O(n·r·B_s) of the text.
+func Solve(p Problem) (Solution, error) {
+	n := len(p.Choices)
+	if n == 0 {
+		return Solution{}, errEmpty
+	}
+	step := p.StepW
+	if step == 0 {
+		step = 1
+	}
+	// Normalize: subtract each server's cheapest choice from its options so
+	// the DP budget axis only carries increments (the w_j of Eq. 3.6).
+	minTotal := 0.0
+	for i, cs := range p.Choices {
+		if len(cs) == 0 {
+			return Solution{}, fmt.Errorf("knapsack: server %d has no choices", i)
+		}
+		minW := cs[0].Watts
+		for _, c := range cs {
+			if c.Watts < minW {
+				minW = c.Watts
+			}
+		}
+		minTotal += minW
+	}
+	if p.Budget < minTotal {
+		return Solution{}, fmt.Errorf("%w: budget %.1f < minimum %.1f", ErrInfeasible, p.Budget, minTotal)
+	}
+	W := int((p.Budget - minTotal) / step)
+
+	const neg = math.SmallestNonzeroFloat64 - math.MaxFloat64
+	// dp[w] is the best value over processed servers using ≤ w increment
+	// units; pick[i][w] the choice index achieving it.
+	dp := make([]float64, W+1)
+	next := make([]float64, W+1)
+	picks := make([][]int16, n)
+
+	// Base: zero servers processed.
+	for w := range dp {
+		dp[w] = 0
+	}
+	mins := make([]float64, n)
+	for i, cs := range p.Choices {
+		minW := cs[0].Watts
+		for _, c := range cs {
+			if c.Watts < minW {
+				minW = c.Watts
+			}
+		}
+		mins[i] = minW
+	}
+	for i, cs := range p.Choices {
+		pick := make([]int16, W+1)
+		for w := 0; w <= W; w++ {
+			best := neg
+			bestJ := -1
+			for j, c := range cs {
+				units := int(math.Round((c.Watts - mins[i]) / step))
+				if units > w {
+					continue
+				}
+				if prev := dp[w-units]; prev != neg {
+					if v := prev + c.Value; v > best {
+						best = v
+						bestJ = j
+					}
+				}
+			}
+			next[w] = best
+			pick[w] = int16(bestJ)
+		}
+		picks[i] = pick
+		dp, next = next, dp
+	}
+
+	// Backtrack from the full budget.
+	sol := Solution{Pick: make([]int, n)}
+	w := W
+	for i := n - 1; i >= 0; i-- {
+		j := int(picks[i][w])
+		if j < 0 {
+			return Solution{}, errors.New("knapsack: internal backtrack failure")
+		}
+		sol.Pick[i] = j
+		c := p.Choices[i][j]
+		sol.Watts += c.Watts
+		sol.Value += c.Value
+		w -= int(math.Round((c.Watts - mins[i]) / step))
+	}
+	return sol, nil
+}
+
+// CapGridChoices builds the per-server choice lists from a throughput
+// predictor: value = log(predicted ANP) at each cap of the grid, where ANP
+// normalizes by the predicted throughput at the top cap (the "ideal
+// throughput" of the text). predict(i, cap) must return server i's
+// predicted throughput at the cap.
+func CapGridChoices(n int, caps []float64, predict func(i int, cap float64) float64) ([][]Choice, error) {
+	if n <= 0 || len(caps) == 0 {
+		return nil, errEmpty
+	}
+	top := caps[len(caps)-1]
+	out := make([][]Choice, n)
+	for i := 0; i < n; i++ {
+		ideal := predict(i, top)
+		if ideal <= 0 {
+			return nil, fmt.Errorf("knapsack: server %d has non-positive ideal throughput", i)
+		}
+		cs := make([]Choice, len(caps))
+		for j, cap := range caps {
+			v := predict(i, cap)
+			if v <= 0 {
+				v = 1e-9 * ideal
+			}
+			anp := v / ideal
+			if anp > 1 {
+				anp = 1
+			}
+			cs[j] = Choice{Watts: cap, Value: math.Log(anp)}
+		}
+		out[i] = cs
+	}
+	return out, nil
+}
+
+// Alloc converts a solution back into per-server watt allocations.
+func Alloc(p Problem, sol Solution) []float64 {
+	out := make([]float64, len(sol.Pick))
+	for i, j := range sol.Pick {
+		out[i] = p.Choices[i][j].Watts
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package knapsack
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"powercap/internal/workload"
+)
+
+func TestSolveEmptyAndInvalid(t *testing.T) {
+	if _, err := Solve(Problem{}); err == nil {
+		t.Fatal("empty problem must error")
+	}
+	if _, err := Solve(Problem{Choices: [][]Choice{{}}, Budget: 10}); err == nil {
+		t.Fatal("server without choices must error")
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := Problem{
+		Choices: [][]Choice{{{Watts: 100, Value: 0}}, {{Watts: 100, Value: 0}}},
+		Budget:  150,
+	}
+	if _, err := Solve(p); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestSolveTrivialAllMin(t *testing.T) {
+	p := Problem{
+		Choices: [][]Choice{
+			{{Watts: 100, Value: -1}, {Watts: 150, Value: 0}},
+			{{Watts: 100, Value: -1}, {Watts: 150, Value: 0}},
+		},
+		Budget: 200,
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Pick[0] != 0 || sol.Pick[1] != 0 {
+		t.Fatalf("tight budget must pick minimums, got %v", sol.Pick)
+	}
+	if sol.Watts != 200 || sol.Value != -2 {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestSolvePrefersHigherValuePerWatt(t *testing.T) {
+	// Budget allows upgrading exactly one server; server 1's upgrade is
+	// worth more for the same watts.
+	p := Problem{
+		Choices: [][]Choice{
+			{{Watts: 100, Value: 0}, {Watts: 150, Value: 0.1}},
+			{{Watts: 100, Value: 0}, {Watts: 150, Value: 0.9}},
+		},
+		Budget: 250,
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Pick[0] != 0 || sol.Pick[1] != 1 {
+		t.Fatalf("must upgrade server 1: %v", sol.Pick)
+	}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(4)
+		r := 2 + rng.Intn(4)
+		choices := make([][]Choice, n)
+		for i := range choices {
+			cs := make([]Choice, r)
+			for j := range cs {
+				cs[j] = Choice{
+					Watts: float64(10 + 5*j),
+					Value: rng.Float64() * float64(j+1),
+				}
+			}
+			choices[i] = cs
+		}
+		budget := float64(10*n) + rng.Float64()*float64(5*r*n)
+		p := Problem{Choices: choices, Budget: budget, StepW: 5}
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Brute force.
+		best := math.Inf(-1)
+		var rec func(i int, watts, value float64)
+		rec = func(i int, watts, value float64) {
+			if watts > budget {
+				return
+			}
+			if i == n {
+				if value > best {
+					best = value
+				}
+				return
+			}
+			for _, c := range choices[i] {
+				rec(i+1, watts+c.Watts, value+c.Value)
+			}
+		}
+		rec(0, 0, 0)
+		if math.Abs(sol.Value-best) > 1e-9 {
+			t.Fatalf("trial %d: DP value %v != brute force %v", trial, sol.Value, best)
+		}
+		if sol.Watts > budget+1e-9 {
+			t.Fatalf("trial %d: selection %v exceeds budget %v", trial, sol.Watts, budget)
+		}
+	}
+}
+
+func TestCapGridChoicesFromSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := workload.Chapter3Server
+	caps := workload.CapGrid(s, 5)
+	sets := make([]workload.Set, 10)
+	for i := range sets {
+		sets[i] = workload.NewHeteroSet(workload.Desktop, rng)
+	}
+	choices, err := CapGridChoices(len(sets), caps, func(i int, cap float64) float64 {
+		return sets[i].GroundTruth(cap, s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cs := range choices {
+		if len(cs) != len(caps) {
+			t.Fatalf("server %d has %d choices, want %d", i, len(cs), len(caps))
+		}
+		// Values must be non-decreasing in watts (more power never hurts)
+		// and end at log(1)=0.
+		for j := 1; j < len(cs); j++ {
+			if cs[j].Value < cs[j-1].Value-1e-9 {
+				t.Fatalf("server %d: value decreasing at cap %v", i, cs[j].Watts)
+			}
+		}
+		if last := cs[len(cs)-1].Value; math.Abs(last) > 1e-12 {
+			t.Fatalf("server %d: top-cap log-ANP = %v, want 0", i, last)
+		}
+	}
+
+	sol, err := Solve(Problem{Choices: choices, Budget: 10 * 145, StepW: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := Alloc(Problem{Choices: choices}, sol)
+	var sum float64
+	for _, w := range alloc {
+		sum += w
+	}
+	if sum != sol.Watts || sum > 10*145 {
+		t.Fatalf("allocation inconsistent: sum %v, sol.Watts %v", sum, sol.Watts)
+	}
+}
+
+func TestCapGridChoicesValidation(t *testing.T) {
+	if _, err := CapGridChoices(0, []float64{1}, nil); err == nil {
+		t.Fatal("n=0 must error")
+	}
+	if _, err := CapGridChoices(1, []float64{130}, func(int, float64) float64 { return 0 }); err == nil {
+		t.Fatal("non-positive ideal throughput must error")
+	}
+}
+
+// Property: the DP solution is feasible and no single-server upgrade or
+// downgrade improves it without violating the budget (local optimality of
+// an exact solution).
+func TestSolveLocalOptimalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		caps := []float64{130, 135, 140, 145, 150, 155, 160, 165}
+		choices := make([][]Choice, n)
+		for i := range choices {
+			cs := make([]Choice, len(caps))
+			v := -rng.Float64()
+			for j := range cs {
+				cs[j] = Choice{Watts: caps[j], Value: v * float64(len(caps)-1-j) / float64(len(caps)-1)}
+			}
+			choices[i] = cs
+		}
+		budget := float64(n)*130 + rng.Float64()*float64(n*35)
+		p := Problem{Choices: choices, Budget: budget, StepW: 5}
+		sol, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		if sol.Watts > budget+1e-9 {
+			return false
+		}
+		// No single-coordinate improvement.
+		for i := range choices {
+			for j, c := range choices[i] {
+				if j == sol.Pick[i] {
+					continue
+				}
+				newWatts := sol.Watts - choices[i][sol.Pick[i]].Watts + c.Watts
+				newValue := sol.Value - choices[i][sol.Pick[i]].Value + c.Value
+				if newWatts <= budget && newValue > sol.Value+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

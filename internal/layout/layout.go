@@ -1,0 +1,353 @@
+// Package layout solves the Chapter 5 rack-layout problem: place n
+// heterogeneous racks onto n room locations to minimize the hottest inlet
+// rise max_i (M·X·p)_i — equivalently maximize the CRAC supply temperature
+// and minimize cooling power. Implemented planners: the greedy and
+// local-search heuristics (Algorithms 5 and 6), an exact branch-and-bound
+// (the stdlib replacement for the paper's ILP, exact for small instances),
+// and simulated annealing for full 80-rack rooms. The probabilistic
+// formulation of Section 5.2.2 — expected hottest rise over a distribution
+// of utilization scenarios — is supported by every planner through the
+// Scenario weights.
+package layout
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"powercap/internal/linalg"
+)
+
+// Assignment maps location → rack index (a permutation).
+type Assignment []int
+
+// Valid reports whether a is a permutation of 0..n-1.
+func (a Assignment) Valid() bool {
+	seen := make([]bool, len(a))
+	for _, r := range a {
+		if r < 0 || r >= len(a) || seen[r] {
+			return false
+		}
+		seen[r] = true
+	}
+	return true
+}
+
+// Clone returns a copy.
+func (a Assignment) Clone() Assignment { return append(Assignment(nil), a...) }
+
+// Scenario is one operating condition: per-rack power draws with a
+// probability weight. A single scenario with weight 1 is the deterministic
+// problem of Section 5.2.1.
+type Scenario struct {
+	Weight float64
+	// Power[rack] is the rack's draw in this scenario (W).
+	Power []float64
+}
+
+// Problem is a layout instance.
+type Problem struct {
+	// Rise is the location-indexed inlet-rise operator (°C per W), e.g.
+	// thermal.Room.RiseMatrix.
+	Rise *linalg.Matrix
+	// Scenarios carry the rack power distribution; weights need not be
+	// normalized (Cost normalizes).
+	Scenarios []Scenario
+}
+
+// Validate reports structural errors.
+func (p Problem) Validate() error {
+	if p.Rise == nil || p.Rise.Rows() != p.Rise.Cols() {
+		return errors.New("layout: rise matrix must be square")
+	}
+	if len(p.Scenarios) == 0 {
+		return errors.New("layout: need at least one scenario")
+	}
+	n := p.Rise.Rows()
+	var w float64
+	for i, s := range p.Scenarios {
+		if len(s.Power) != n {
+			return fmt.Errorf("layout: scenario %d has %d racks, want %d", i, len(s.Power), n)
+		}
+		if s.Weight < 0 {
+			return fmt.Errorf("layout: scenario %d has negative weight", i)
+		}
+		w += s.Weight
+	}
+	if w <= 0 {
+		return errors.New("layout: total scenario weight must be positive")
+	}
+	return nil
+}
+
+// N returns the number of racks/locations.
+func (p Problem) N() int { return p.Rise.Rows() }
+
+// Cost returns the weighted expected hottest inlet rise of the assignment:
+// Σ_s w_s · max_i (Rise·q_s)_i with q_s[loc] = Power_s[a[loc]].
+func (p Problem) Cost(a Assignment) float64 {
+	n := p.N()
+	q := make([]float64, n)
+	var total, wsum float64
+	for _, s := range p.Scenarios {
+		for loc := 0; loc < n; loc++ {
+			q[loc] = s.Power[a[loc]]
+		}
+		rise := p.Rise.MulVec(q)
+		m := 0.0
+		for _, v := range rise {
+			if v > m {
+				m = v
+			}
+		}
+		total += s.Weight * m
+		wsum += s.Weight
+	}
+	return total / wsum
+}
+
+// meanPower returns the scenario-weighted mean power per rack, the ranking
+// signal the greedy planner uses.
+func (p Problem) meanPower() []float64 {
+	n := p.N()
+	mean := make([]float64, n)
+	var wsum float64
+	for _, s := range p.Scenarios {
+		wsum += s.Weight
+		for r, v := range s.Power {
+			mean[r] += s.Weight * v
+		}
+	}
+	for r := range mean {
+		mean[r] /= wsum
+	}
+	return mean
+}
+
+// Greedy is Algorithm 5: rank locations by how strongly they heat the rest
+// of the room (column sums of the rise operator — the "recirculation effect
+// on others") and racks by power, then pair the most power-hungry rack with
+// the least-recirculating location, and so on.
+func Greedy(p Problem) (Assignment, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	colSum := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += p.Rise.At(i, j)
+		}
+		colSum[j] = s
+	}
+	locs := make([]int, n)
+	racks := make([]int, n)
+	for i := range locs {
+		locs[i] = i
+		racks[i] = i
+	}
+	sort.Slice(locs, func(a, b int) bool { return colSum[locs[a]] < colSum[locs[b]] })
+	mean := p.meanPower()
+	sort.Slice(racks, func(a, b int) bool { return mean[racks[a]] > mean[racks[b]] })
+	out := make(Assignment, n)
+	for k := 0; k < n; k++ {
+		out[locs[k]] = racks[k]
+	}
+	return out, nil
+}
+
+// LocalSearch is Algorithm 6: starting from start (or a random permutation
+// when nil), repeatedly try random pairwise swaps and keep improvements.
+func LocalSearch(p Problem, start Assignment, iters int, rng *rand.Rand) (Assignment, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	cur := start.Clone()
+	if cur == nil {
+		cur = randomAssignment(n, rng)
+	}
+	if !cur.Valid() || len(cur) != n {
+		return nil, errors.New("layout: invalid starting assignment")
+	}
+	best := p.Cost(cur)
+	for k := 0; k < iters; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		cur[i], cur[j] = cur[j], cur[i]
+		if c := p.Cost(cur); c <= best {
+			best = c
+		} else {
+			cur[i], cur[j] = cur[j], cur[i]
+		}
+	}
+	return cur, nil
+}
+
+// Anneal refines an assignment by simulated annealing — the large-instance
+// stand-in for the paper's ILP. Starting from the greedy solution it
+// accepts worsening swaps with Boltzmann probability under a geometric
+// cooling schedule, then finishes with pure descent.
+func Anneal(p Problem, iters int, rng *rand.Rand) (Assignment, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	cur, err := Greedy(p)
+	if err != nil {
+		return nil, err
+	}
+	curCost := p.Cost(cur)
+	best := cur.Clone()
+	bestCost := curCost
+	temp := curCost * 0.1
+	cooling := math.Pow(1e-3, 1/float64(maxI(iters, 1)))
+	for k := 0; k < iters; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		cur[i], cur[j] = cur[j], cur[i]
+		c := p.Cost(cur)
+		if c <= curCost || rng.Float64() < math.Exp((curCost-c)/temp) {
+			curCost = c
+			if c < bestCost {
+				bestCost = c
+				best = cur.Clone()
+			}
+		} else {
+			cur[i], cur[j] = cur[j], cur[i]
+		}
+		temp *= cooling
+	}
+	// Final descent from the best state.
+	out, err := LocalSearch(p, best, iters/2, rng)
+	if err != nil {
+		return nil, err
+	}
+	if p.Cost(out) < bestCost {
+		return out, nil
+	}
+	return best, nil
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MaxExactN caps the exact solver's instance size; branch-and-bound over
+// permutations is exponential.
+const MaxExactN = 11
+
+// Exact solves the instance optimally by branch-and-bound over
+// assignments, pruning on the monotone partial-cost lower bound (placing
+// more racks can only raise inlet temperatures, since the rise operator is
+// non-negative). It refuses instances with more than MaxExactN racks.
+func Exact(p Problem) (Assignment, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	if n > MaxExactN {
+		return nil, fmt.Errorf("layout: exact solver capped at %d racks (got %d)", MaxExactN, n)
+	}
+	// Place racks in descending mean-power order for early pruning.
+	mean := p.meanPower()
+	rackOrder := make([]int, n)
+	for i := range rackOrder {
+		rackOrder[i] = i
+	}
+	sort.Slice(rackOrder, func(a, b int) bool { return mean[rackOrder[a]] > mean[rackOrder[b]] })
+
+	// Partial rise per scenario per location.
+	rises := make([][]float64, len(p.Scenarios))
+	for s := range rises {
+		rises[s] = make([]float64, n)
+	}
+	var wsum float64
+	for _, s := range p.Scenarios {
+		wsum += s.Weight
+	}
+	partialCost := func() float64 {
+		var total float64
+		for si, s := range p.Scenarios {
+			m := 0.0
+			for _, v := range rises[si] {
+				if v > m {
+					m = v
+				}
+			}
+			total += s.Weight * m
+		}
+		return total / wsum
+	}
+
+	usedLoc := make([]bool, n)
+	bestAssign := randomAssignment(n, rand.New(rand.NewSource(1)))
+	// Seed the incumbent with greedy for tighter pruning.
+	if g, err := Greedy(p); err == nil {
+		bestAssign = g
+	}
+	bestCost := p.Cost(bestAssign)
+	cur := make(Assignment, n)
+
+	var rec func(k int)
+	rec = func(k int) {
+		if partialCost() >= bestCost {
+			return
+		}
+		if k == n {
+			if c := partialCost(); c < bestCost {
+				bestCost = c
+				bestAssign = cur.Clone()
+			}
+			return
+		}
+		rack := rackOrder[k]
+		for loc := 0; loc < n; loc++ {
+			if usedLoc[loc] {
+				continue
+			}
+			usedLoc[loc] = true
+			cur[loc] = rack
+			for si, s := range p.Scenarios {
+				pw := s.Power[rack]
+				for i := 0; i < n; i++ {
+					rises[si][i] += p.Rise.At(i, loc) * pw
+				}
+			}
+			rec(k + 1)
+			for si, s := range p.Scenarios {
+				pw := s.Power[rack]
+				for i := 0; i < n; i++ {
+					rises[si][i] -= p.Rise.At(i, loc) * pw
+				}
+			}
+			usedLoc[loc] = false
+		}
+	}
+	rec(0)
+	return bestAssign, nil
+}
+
+// RandomOblivious returns a heterogeneity-oblivious placement: a uniformly
+// random permutation, the baseline the paper compares against.
+func RandomOblivious(n int, rng *rand.Rand) Assignment {
+	return randomAssignment(n, rng)
+}
+
+func randomAssignment(n int, rng *rand.Rand) Assignment {
+	out := make(Assignment, n)
+	for i, v := range rng.Perm(n) {
+		out[i] = v
+	}
+	return out
+}

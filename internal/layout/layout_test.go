@@ -1,0 +1,273 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"powercap/internal/linalg"
+	"powercap/internal/thermal"
+)
+
+// smallProblem builds an n-rack instance from a synthetic room with a
+// heterogeneous power spread.
+func smallProblem(t testing.TB, rows, perRow int, seed int64) Problem {
+	t.Helper()
+	l := thermal.Layout{Rows: rows, RacksPerRow: perRow}
+	d, err := l.SynthesizeD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.Rows()
+	kInv := make([]float64, n)
+	for i := range kInv {
+		kInv[i] = 0.001
+	}
+	room, err := thermal.NewRoom(d, kInv, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	power := make([]float64, n)
+	for i := range power {
+		power[i] = 3000 + rng.Float64()*7000
+	}
+	return Problem{Rise: room.RiseMatrix(), Scenarios: []Scenario{{Weight: 1, Power: power}}}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Problem{}).Validate(); err == nil {
+		t.Fatal("nil rise must be rejected")
+	}
+	p := smallProblem(t, 2, 4, 1)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Problem{Rise: p.Rise, Scenarios: []Scenario{{Weight: 1, Power: []float64{1}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("wrong power length must be rejected")
+	}
+	neg := Problem{Rise: p.Rise, Scenarios: []Scenario{{Weight: -1, Power: p.Scenarios[0].Power}}}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative weight must be rejected")
+	}
+	zero := Problem{Rise: p.Rise, Scenarios: []Scenario{{Weight: 0, Power: p.Scenarios[0].Power}}}
+	if err := zero.Validate(); err == nil {
+		t.Fatal("zero total weight must be rejected")
+	}
+}
+
+func TestAssignmentValid(t *testing.T) {
+	if !(Assignment{2, 0, 1}).Valid() {
+		t.Fatal("permutation must be valid")
+	}
+	if (Assignment{0, 0, 1}).Valid() {
+		t.Fatal("duplicate must be invalid")
+	}
+	if (Assignment{0, 3, 1}).Valid() {
+		t.Fatal("out of range must be invalid")
+	}
+}
+
+func TestGreedyProducesValidAssignment(t *testing.T) {
+	p := smallProblem(t, 2, 5, 2)
+	a, err := Greedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Valid() {
+		t.Fatal("greedy must return a permutation")
+	}
+}
+
+func TestGreedyBeatsRandomOnAverage(t *testing.T) {
+	// Needs a room large enough to have interior/edge structure for the
+	// ranking to exploit; tiny rooms are all edge.
+	p := smallProblem(t, 4, 10, 3)
+	g, err := Greedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc := p.Cost(g)
+	rng := rand.New(rand.NewSource(4))
+	var worse int
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		if p.Cost(RandomOblivious(p.N(), rng)) >= gc {
+			worse++
+		}
+	}
+	if worse < trials*3/4 {
+		t.Fatalf("greedy must beat at least 75%% of random placements, beat %d/%d", worse, trials)
+	}
+}
+
+func TestLocalSearchImprovesStart(t *testing.T) {
+	p := smallProblem(t, 2, 5, 5)
+	rng := rand.New(rand.NewSource(6))
+	start := RandomOblivious(p.N(), rng)
+	startCost := p.Cost(start)
+	improved, err := LocalSearch(p, start, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !improved.Valid() {
+		t.Fatal("local search must return a permutation")
+	}
+	if p.Cost(improved) > startCost {
+		t.Fatal("local search must never worsen its start")
+	}
+}
+
+func TestLocalSearchInvalidStart(t *testing.T) {
+	p := smallProblem(t, 2, 4, 7)
+	rng := rand.New(rand.NewSource(8))
+	if _, err := LocalSearch(p, Assignment{0, 0, 1}, 10, rng); err == nil {
+		t.Fatal("invalid start must be rejected")
+	}
+}
+
+func TestExactOptimalOnTinyInstances(t *testing.T) {
+	// Exhaustive cross-check on 6 racks.
+	p := smallProblem(t, 2, 3, 9)
+	a, err := Exact(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Valid() {
+		t.Fatal("exact must return a permutation")
+	}
+	best := p.Cost(a)
+	perm := make(Assignment, p.N())
+	var rec func(k int, used []bool)
+	found := false
+	rec = func(k int, used []bool) {
+		if k == p.N() {
+			if c := p.Cost(perm); c < best-1e-12 {
+				found = true
+			}
+			return
+		}
+		for r := 0; r < p.N(); r++ {
+			if used[r] {
+				continue
+			}
+			used[r] = true
+			perm[k] = r
+			rec(k+1, used)
+			used[r] = false
+		}
+	}
+	rec(0, make([]bool, p.N()))
+	if found {
+		t.Fatal("exhaustive search found a better assignment than Exact")
+	}
+}
+
+func TestExactBeatsHeuristics(t *testing.T) {
+	p := smallProblem(t, 2, 4, 10)
+	rng := rand.New(rand.NewSource(11))
+	ex, err := Exact(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := Greedy(p)
+	ls, _ := LocalSearch(p, nil, 3000, rng)
+	if p.Cost(ex) > p.Cost(g)+1e-12 {
+		t.Fatal("exact must not lose to greedy")
+	}
+	if p.Cost(ex) > p.Cost(ls)+1e-12 {
+		t.Fatal("exact must not lose to local search")
+	}
+}
+
+func TestExactRefusesLargeInstances(t *testing.T) {
+	p := smallProblem(t, 4, 10, 12)
+	if _, err := Exact(p); err == nil {
+		t.Fatal("exact must refuse 40 racks")
+	}
+}
+
+func TestAnnealAtLeastAsGoodAsGreedy(t *testing.T) {
+	p := smallProblem(t, 3, 5, 13)
+	rng := rand.New(rand.NewSource(14))
+	an, err := Anneal(p, 4000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := Greedy(p)
+	if !an.Valid() {
+		t.Fatal("anneal must return a permutation")
+	}
+	if p.Cost(an) > p.Cost(g)+1e-12 {
+		t.Fatalf("anneal (%v) must not lose to its greedy start (%v)", p.Cost(an), p.Cost(g))
+	}
+}
+
+func TestProbabilisticScenariosChangeOptimum(t *testing.T) {
+	// Two scenarios weighting different racks as hot: the weighted cost
+	// must differ from either single-scenario cost for a fixed layout.
+	p := smallProblem(t, 2, 3, 15)
+	n := p.N()
+	powA := make([]float64, n)
+	powB := make([]float64, n)
+	for i := range powA {
+		powA[i] = 3000
+		powB[i] = 3000
+	}
+	powA[0] = 10000
+	powB[n-1] = 10000
+	probA := Problem{Rise: p.Rise, Scenarios: []Scenario{{Weight: 1, Power: powA}}}
+	probAB := Problem{Rise: p.Rise, Scenarios: []Scenario{{Weight: 1, Power: powA}, {Weight: 1, Power: powB}}}
+	a := Assignment{0, 1, 2, 3, 4, 5}
+	ca := probA.Cost(a)
+	cab := probAB.Cost(a)
+	if ca == cab {
+		t.Fatal("mixed scenarios must change the cost")
+	}
+	// Weighted cost must lie between the two single-scenario costs.
+	probB := Problem{Rise: p.Rise, Scenarios: []Scenario{{Weight: 1, Power: powB}}}
+	cb := probB.Cost(a)
+	lo, hi := ca, cb
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if cab < lo-1e-12 || cab > hi+1e-12 {
+		t.Fatalf("mixed cost %v outside [%v, %v]", cab, lo, hi)
+	}
+}
+
+// Property: every planner returns a valid permutation whose cost is finite
+// and positive, and local search never worsens greedy when seeded with it.
+func TestPlannersWellBehavedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := smallProblem(t, 2, 3+rng.Intn(3), seed)
+		g, err := Greedy(p)
+		if err != nil || !g.Valid() {
+			return false
+		}
+		ls, err := LocalSearch(p, g, 500, rng)
+		if err != nil || !ls.Valid() {
+			return false
+		}
+		return p.Cost(ls) <= p.Cost(g)+1e-12 && p.Cost(ls) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostMatchesManualComputation(t *testing.T) {
+	// 2×2 hand-checked instance.
+	rise := linalg.NewFromRows([][]float64{{0.001, 0.002}, {0.003, 0.0005}})
+	p := Problem{Rise: rise, Scenarios: []Scenario{{Weight: 1, Power: []float64{1000, 2000}}}}
+	// Assignment [0,1]: q = [1000, 2000]; rise = [1+4, 3+1] = [5, 4] → 5.
+	if got := p.Cost(Assignment{0, 1}); got != 5 {
+		t.Fatalf("cost = %v, want 5", got)
+	}
+	// Assignment [1,0]: q = [2000, 1000]; rise = [2+2, 6+0.5] = [4, 6.5] → 6.5.
+	if got := p.Cost(Assignment{1, 0}); got != 6.5 {
+		t.Fatalf("cost = %v, want 6.5", got)
+	}
+}

@@ -1,0 +1,346 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewFromRowsAndRow(t *testing.T) {
+	m := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+	r := m.Row(1)
+	r[0] = 99 // must be a copy
+	if m.At(1, 0) != 3 {
+		t.Fatal("Row must return a copy")
+	}
+}
+
+func TestNewFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	NewFromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestIdentityMul(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	got := Identity(2).Mul(a)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if got.At(i, j) != a.At(i, j) {
+				t.Fatalf("I·A != A at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := NewFromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	got := a.Mul(b)
+	want := NewFromRows([][]float64{{58, 64}, {139, 154}})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("(%d,%d) = %v, want %v", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.MulVec([]float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Fatalf("got %v, want [3 7]", got)
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 3).Mul(New(2, 2))
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("shape %dx%d, want 3x2", at.Rows(), at.Cols())
+	}
+	if at.At(2, 1) != 6 {
+		t.Fatalf("At(2,1) = %v, want 6", at.At(2, 1))
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewFromRows([][]float64{{4, 3}, {2, 1}})
+	sum := a.Add(b)
+	if sum.At(0, 0) != 5 || sum.At(1, 1) != 5 {
+		t.Fatal("Add wrong")
+	}
+	diff := a.Sub(b)
+	if diff.At(0, 0) != -3 || diff.At(1, 1) != 3 {
+		t.Fatal("Sub wrong")
+	}
+	sc := a.Scale(2)
+	if sc.At(1, 0) != 6 {
+		t.Fatal("Scale wrong")
+	}
+	// Originals untouched.
+	if a.At(0, 0) != 1 {
+		t.Fatal("Add/Sub/Scale must not mutate receiver")
+	}
+}
+
+func TestSolveKnown(t *testing.T) {
+	a := NewFromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a, NewFromRows([][]float64{{5}, {10}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(x.At(0, 0), 1, 1e-12) || !almost(x.At(1, 0), 3, 1e-12) {
+		t.Fatalf("x = [%v %v], want [1 3]", x.At(0, 0), x.At(1, 0))
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Leading zero pivot forces a row swap.
+	a := NewFromRows([][]float64{{0, 1}, {1, 0}})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := f.SolveVec([]float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(x[0], 3, 1e-12) || !almost(x[1], 2, 1e-12) {
+		t.Fatalf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestFactorSingular(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Factor(a); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := NewFromRows([][]float64{{3, 8}, {4, 6}})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(f.Det(), -14, 1e-10) {
+		t.Fatalf("det = %v, want -14", f.Det())
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(8)
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonally dominant: nonsingular
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod := a.Mul(inv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !almost(prod.At(i, j), want, 1e-8) {
+					t.Fatalf("n=%d: (A·A⁻¹)(%d,%d) = %v", n, i, j, prod.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestLeastSquaresExactPolynomial(t *testing.T) {
+	// y = 2 + 3x − x² sampled exactly must be recovered exactly.
+	xs := []float64{-2, -1, 0, 1, 2, 3}
+	a := New(len(xs), 3)
+	b := make([]float64, len(xs))
+	for i, x := range xs {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		a.Set(i, 2, x*x)
+		b[i] = 2 + 3*x - x*x
+	}
+	c, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almost(c[i], want[i], 1e-9) {
+			t.Fatalf("c[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 1 + 2x with symmetric noise; the LS solution of this crafted
+	// set is exactly the noiseless line.
+	xs := []float64{0, 0, 1, 1}
+	ys := []float64{0.9, 1.1, 2.9, 3.1}
+	a := New(4, 2)
+	for i, x := range xs {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+	}
+	c, err := LeastSquares(a, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(c[0], 1, 1e-12) || !almost(c[1], 2, 1e-12) {
+		t.Fatalf("c = %v, want [1 2]", c)
+	}
+}
+
+// Property: solving A·x = b then multiplying back recovers b.
+func TestSolveRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64() * 10
+		}
+		lu, err := Factor(a)
+		if err != nil {
+			return false
+		}
+		x, err := lu.SolveVec(b)
+		if err != nil {
+			return false
+		}
+		back := a.MulVec(x)
+		for i := range b {
+			if !almost(back[i], b[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (Aᵀ)ᵀ = A and (A·B)ᵀ = Bᵀ·Aᵀ.
+func TestTransposeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c, k := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a, b := New(r, c), New(c, k)
+		for i := range a.data {
+			a.data[i] = rng.NormFloat64()
+		}
+		for i := range b.data {
+			b.data[i] = rng.NormFloat64()
+		}
+		att := a.T().T()
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				if att.At(i, j) != a.At(i, j) {
+					return false
+				}
+			}
+		}
+		lhs := a.Mul(b).T()
+		rhs := b.T().Mul(a.T())
+		for i := 0; i < k; i++ {
+			for j := 0; j < r; j++ {
+				if !almost(lhs.At(i, j), rhs.At(i, j), 1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveShapeMismatch(t *testing.T) {
+	a := Identity(2)
+	if _, err := Solve(a, New(3, 1)); err == nil {
+		t.Fatal("row mismatch must error")
+	}
+	if _, err := Factor(New(2, 3)); err == nil {
+		t.Fatal("non-square factor must error")
+	}
+	f, _ := Factor(a)
+	if _, err := f.SolveVec([]float64{1}); err == nil {
+		t.Fatal("rhs length mismatch must error")
+	}
+}
+
+func TestLeastSquaresShapeMismatch(t *testing.T) {
+	if _, err := LeastSquares(New(2, 1), []float64{1, 2, 3}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestDiagonal(t *testing.T) {
+	d := Diagonal([]float64{2, 3})
+	if d.At(0, 0) != 2 || d.At(1, 1) != 3 || d.At(0, 1) != 0 {
+		t.Fatal("Diagonal wrong")
+	}
+}

@@ -1,0 +1,24 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"powercap/internal/metrics"
+	"powercap/internal/workload"
+)
+
+// Evaluate an allocation: a starved steep workload drags the SNP down and
+// the unfairness up.
+func ExampleEvaluate() {
+	steep, _ := workload.NewQuadratic(0, 2, 0, 100, 200) // linear to 400 BIPS-ish
+	flat, _ := workload.NewQuadratic(300, 0.5, 0, 100, 200)
+	us := []workload.Utility{steep, flat}
+
+	fair, _ := metrics.Evaluate(us, []float64{200, 200}, metrics.Arithmetic)
+	starved, _ := metrics.Evaluate(us, []float64{100, 200}, metrics.Arithmetic)
+	fmt.Printf("both fed : SNP %.2f, unfairness %.2f\n", fair.SNP, fair.Unfairness)
+	fmt.Printf("starved  : SNP %.2f, unfairness %.2f\n", starved.SNP, starved.Unfairness)
+	// Output:
+	// both fed : SNP 1.00, unfairness 0.00
+	// starved  : SNP 0.75, unfairness 0.33
+}

@@ -1,0 +1,126 @@
+// Package metrics computes the normalized performance metrics the
+// dissertation evaluates every budgeting method with: application normalized
+// performance (ANP), system normalized performance (SNP, arithmetic mean in
+// Chapter 4, geometric mean in Chapter 3), slowdown norm, and unfairness
+// (the coefficient of variation of the ANPs).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"powercap/internal/stats"
+	"powercap/internal/workload"
+)
+
+// ANP returns the application normalized performance of one node: attained
+// throughput over peak throughput, in [0, 1] for utilities that peak inside
+// their cap range.
+func ANP(u workload.Utility, p float64) float64 {
+	peak := u.Peak()
+	if peak == 0 {
+		return 0
+	}
+	return u.Value(p) / peak
+}
+
+// ANPs returns the per-node ANP vector for an allocation.
+func ANPs(us []workload.Utility, alloc []float64) ([]float64, error) {
+	if len(us) != len(alloc) {
+		return nil, fmt.Errorf("metrics: %d utilities but %d allocations", len(us), len(alloc))
+	}
+	out := make([]float64, len(us))
+	for i, u := range us {
+		out[i] = ANP(u, alloc[i])
+	}
+	return out, nil
+}
+
+// Kind selects how per-node ANPs aggregate into SNP.
+type Kind int
+
+const (
+	// Arithmetic is the Chapter 4 definition: SNP = mean of ANPs.
+	Arithmetic Kind = iota
+	// Geometric is the Chapter 3 definition: SNP = geometric mean of ANPs.
+	Geometric
+)
+
+// SNP aggregates an ANP vector into the system normalized performance.
+func SNP(anps []float64, kind Kind) float64 {
+	if kind == Geometric {
+		return stats.GeoMean(anps)
+	}
+	return stats.Mean(anps)
+}
+
+// SlowdownNorm returns the cluster slowdown norm (Σ 1/ANP_i)/N. Nodes with
+// zero ANP make the norm +Inf.
+func SlowdownNorm(anps []float64) float64 {
+	if len(anps) == 0 {
+		return 0
+	}
+	var s float64
+	for _, a := range anps {
+		if a == 0 {
+			return math.Inf(1)
+		}
+		s += 1 / a
+	}
+	return s / float64(len(anps))
+}
+
+// Unfairness returns the coefficient of variation of the ANPs.
+func Unfairness(anps []float64) float64 { return stats.CoeffVar(anps) }
+
+// Report bundles the three headline metrics for one allocation.
+type Report struct {
+	SNP        float64
+	Slowdown   float64
+	Unfairness float64
+}
+
+// Evaluate computes all three metrics for an allocation using the given SNP
+// aggregation.
+func Evaluate(us []workload.Utility, alloc []float64, kind Kind) (Report, error) {
+	anps, err := ANPs(us, alloc)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		SNP:        SNP(anps, kind),
+		Slowdown:   SlowdownNorm(anps),
+		Unfairness: Unfairness(anps),
+	}, nil
+}
+
+// TotalUtility returns Σ r_i(p_i), the objective of problem (4.1).
+func TotalUtility(us []workload.Utility, alloc []float64) (float64, error) {
+	if len(us) != len(alloc) {
+		return 0, fmt.Errorf("metrics: %d utilities but %d allocations", len(us), len(alloc))
+	}
+	var s float64
+	for i, u := range us {
+		s += u.Value(alloc[i])
+	}
+	return s, nil
+}
+
+// TotalPower returns Σ p_i.
+func TotalPower(alloc []float64) float64 { return stats.Sum(alloc) }
+
+// Feasible reports whether an allocation respects the global budget and the
+// per-node cap ranges, within tol watts.
+func Feasible(us []workload.Utility, alloc []float64, budget, tol float64) bool {
+	if len(us) != len(alloc) {
+		return false
+	}
+	var sum float64
+	for i, u := range us {
+		if alloc[i] < u.MinPower()-tol || alloc[i] > u.MaxPower()+tol {
+			return false
+		}
+		sum += alloc[i]
+	}
+	return sum <= budget+tol
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"powercap/internal/workload"
+)
+
+func mkUtil(t *testing.T, a0, a1, a2 float64) workload.Quadratic {
+	t.Helper()
+	q, err := workload.NewQuadratic(a0, a1, a2, 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestANP(t *testing.T) {
+	q := mkUtil(t, 0, 1, 0) // linear: value p, peak 200
+	if got := ANP(q, 100); got != 0.5 {
+		t.Fatalf("ANP = %v, want 0.5", got)
+	}
+	if got := ANP(q, 200); got != 1 {
+		t.Fatalf("ANP at peak = %v, want 1", got)
+	}
+}
+
+func TestANPsAndErrors(t *testing.T) {
+	us := []workload.Utility{mkUtil(t, 0, 1, 0), mkUtil(t, 0, 2, 0)}
+	anps, err := ANPs(us, []float64{200, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anps[0] != 1 || anps[1] != 0.5 {
+		t.Fatalf("anps = %v", anps)
+	}
+	if _, err := ANPs(us, []float64{1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestSNPKinds(t *testing.T) {
+	anps := []float64{1, 0.25}
+	if got := SNP(anps, Arithmetic); got != 0.625 {
+		t.Fatalf("arithmetic SNP = %v", got)
+	}
+	if got := SNP(anps, Geometric); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("geometric SNP = %v, want 0.5", got)
+	}
+}
+
+func TestSlowdownNorm(t *testing.T) {
+	if got := SlowdownNorm([]float64{1, 0.5}); got != 1.5 {
+		t.Fatalf("slowdown = %v, want 1.5", got)
+	}
+	if got := SlowdownNorm(nil); got != 0 {
+		t.Fatalf("empty slowdown = %v", got)
+	}
+	if got := SlowdownNorm([]float64{1, 0}); !math.IsInf(got, 1) {
+		t.Fatalf("zero ANP must give +Inf, got %v", got)
+	}
+}
+
+func TestUnfairness(t *testing.T) {
+	if got := Unfairness([]float64{0.8, 0.8, 0.8}); got > 1e-12 {
+		t.Fatalf("equal ANPs must be perfectly fair, got %v", got)
+	}
+	if Unfairness([]float64{0.2, 1.0}) <= Unfairness([]float64{0.55, 0.65}) {
+		t.Fatal("wider spread must be less fair")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	us := []workload.Utility{mkUtil(t, 0, 1, 0), mkUtil(t, 0, 1, 0)}
+	r, err := Evaluate(us, []float64{200, 200}, Arithmetic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SNP != 1 || r.Slowdown != 1 || r.Unfairness != 0 {
+		t.Fatalf("perfect allocation report = %+v", r)
+	}
+	if _, err := Evaluate(us, []float64{1}, Arithmetic); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestTotalUtilityAndPower(t *testing.T) {
+	us := []workload.Utility{mkUtil(t, 0, 1, 0), mkUtil(t, 0, 2, 0)}
+	tu, err := TotalUtility(us, []float64{150, 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tu != 150+300 {
+		t.Fatalf("total utility = %v, want 450", tu)
+	}
+	if TotalPower([]float64{150, 150}) != 300 {
+		t.Fatal("total power wrong")
+	}
+	if _, err := TotalUtility(us, []float64{1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	us := []workload.Utility{mkUtil(t, 0, 1, 0), mkUtil(t, 0, 1, 0)}
+	if !Feasible(us, []float64{100, 150}, 250, 1e-9) {
+		t.Fatal("allocation at budget must be feasible")
+	}
+	if Feasible(us, []float64{100, 151}, 250, 1e-9) {
+		t.Fatal("over-budget must be infeasible")
+	}
+	if Feasible(us, []float64{99, 100}, 250, 1e-9) {
+		t.Fatal("below idle power must be infeasible")
+	}
+	if Feasible(us, []float64{100, 201}, 400, 1e-9) {
+		t.Fatal("above max power must be infeasible")
+	}
+	if Feasible(us, []float64{100}, 400, 1e-9) {
+		t.Fatal("length mismatch must be infeasible")
+	}
+}

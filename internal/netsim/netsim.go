@@ -1,0 +1,120 @@
+// Package netsim models the communication cost of the three allocation
+// architectures, following Section 4.4's methodology: the measured average
+// latencies of reading and writing a packet on TCP sockets between two
+// cluster nodes (≈200 µs and ≈10 µs) drive a queueing model of the
+// coordinator's uplink/downlink in the centralized and primal-dual schemes,
+// while DiBA's neighbor exchanges proceed in parallel and cost one
+// read+write per round regardless of cluster size. These are the models
+// behind Table 4.2.
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// LinkModel carries the per-packet service times of one TCP hop.
+type LinkModel struct {
+	// Read is the time for a node to read one packet from a socket.
+	Read time.Duration
+	// Write is the time to write one packet to a socket.
+	Write time.Duration
+}
+
+// Measured is the link model measured on the experimental cluster
+// (Section 4.4.2): reading ≈ 200 µs, writing ≈ 10 µs.
+var Measured = LinkModel{Read: 200 * time.Microsecond, Write: 10 * time.Microsecond}
+
+// perPacket is the coordinator-side cost of handling one node's packet.
+func (l LinkModel) perPacket() time.Duration { return l.Read + l.Write }
+
+// CentralizedRound returns the communication time of one centralized
+// round-trip: the coordinator serially reads all n utility reports
+// ("uplink") and serially writes the n cap assignments back ("downlink").
+func (l LinkModel) CentralizedRound(n int) time.Duration {
+	return time.Duration(n) * l.perPacket()
+}
+
+// PDTotal returns the primal-dual scheme's communication time: every
+// iteration repeats the coordinator's serial gather/scatter of n packets.
+func (l LinkModel) PDTotal(n, iters int) time.Duration {
+	return time.Duration(iters) * l.CentralizedRound(n)
+}
+
+// DiBARound returns one DiBA round's communication time: each node writes
+// to and reads from its neighbors over independent links in parallel, so
+// the round costs one read plus one write regardless of cluster size (the
+// per-neighbor exchanges overlap).
+func (l LinkModel) DiBARound() time.Duration { return l.perPacket() }
+
+// DiBATotal returns DiBA's communication time for the given number of
+// rounds — flat in cluster size.
+func (l LinkModel) DiBATotal(iters int) time.Duration {
+	return time.Duration(iters) * l.DiBARound()
+}
+
+// SampledGather draws the coordinator's uplink time for n nodes with
+// exponentially distributed per-packet service (mean Read), matching the
+// Poisson arrival model of the text. It is always at least the
+// deterministic serial time's order of magnitude; use it to add realistic
+// jitter to the Table 4.2 reproduction.
+func (l LinkModel) SampledGather(n int, rng *rand.Rand) time.Duration {
+	var total float64
+	mean := float64(l.Read)
+	for i := 0; i < n; i++ {
+		total += rng.ExpFloat64() * mean
+	}
+	return time.Duration(total)
+}
+
+// Architecture labels the three schemes of Table 4.2.
+type Architecture int
+
+const (
+	Centralized Architecture = iota
+	PrimalDual
+	DiBA
+)
+
+func (a Architecture) String() string {
+	switch a {
+	case Centralized:
+		return "centralized"
+	case PrimalDual:
+		return "primal-dual"
+	case DiBA:
+		return "DiBA"
+	default:
+		return "unknown"
+	}
+}
+
+// Cost is one Table 4.2 cell pair: computation and communication time.
+type Cost struct {
+	Comp time.Duration
+	Comm time.Duration
+}
+
+// Total returns computation plus communication.
+func (c Cost) Total() time.Duration { return c.Comp + c.Comm }
+
+// Millis renders a duration in fractional milliseconds, the unit of
+// Table 4.2.
+func Millis(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+// PacketsPerIteration returns the number of packets exchanged per iteration
+// by each scheme: 2N for the coordinator schemes (one up, one down per
+// node), d·N for DiBA on a graph with average degree d (Section 4.3.2).
+func PacketsPerIteration(a Architecture, n int, avgDegree float64) int {
+	switch a {
+	case Centralized, PrimalDual:
+		return 2 * n
+	case DiBA:
+		return int(math.Round(avgDegree * float64(n)))
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,97 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestCentralizedRoundMatchesPaperScale(t *testing.T) {
+	// Table 4.2 reports ≈86 ms of centralized communication at 400 nodes:
+	// 400 × (200+10) µs = 84 ms.
+	got := Measured.CentralizedRound(400)
+	if got != 84*time.Millisecond {
+		t.Fatalf("got %v, want 84ms", got)
+	}
+}
+
+func TestCentralizedRoundScalesLinearly(t *testing.T) {
+	a := Measured.CentralizedRound(400)
+	b := Measured.CentralizedRound(800)
+	if b != 2*a {
+		t.Fatalf("doubling nodes must double the round: %v vs %v", a, b)
+	}
+}
+
+func TestPDTotal(t *testing.T) {
+	// 6 iterations at 400 nodes ≈ the paper's 517 ms (we get 504 ms with
+	// deterministic service times).
+	got := Measured.PDTotal(400, 6)
+	if got != 504*time.Millisecond {
+		t.Fatalf("got %v, want 504ms", got)
+	}
+}
+
+func TestDiBAFlatInN(t *testing.T) {
+	// DiBA's round cost carries no N dependence at all.
+	if Measured.DiBARound() != 210*time.Microsecond {
+		t.Fatalf("round = %v, want 210µs", Measured.DiBARound())
+	}
+	// 133 rounds ≈ the paper's ≈28 ms.
+	got := Measured.DiBATotal(133)
+	if got < 27*time.Millisecond || got > 29*time.Millisecond {
+		t.Fatalf("133 rounds = %v, want ≈28ms", got)
+	}
+}
+
+func TestSampledGatherNearDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1000
+	var sum time.Duration
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		sum += Measured.SampledGather(n, rng)
+	}
+	mean := sum / trials
+	want := time.Duration(n) * Measured.Read
+	ratio := float64(mean) / float64(want)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("sampled mean %v too far from %v", mean, want)
+	}
+}
+
+func TestArchitectureString(t *testing.T) {
+	if Centralized.String() != "centralized" || PrimalDual.String() != "primal-dual" || DiBA.String() != "DiBA" {
+		t.Fatal("wrong labels")
+	}
+	if Architecture(99).String() != "unknown" {
+		t.Fatal("unknown label")
+	}
+}
+
+func TestCostTotalAndMillis(t *testing.T) {
+	c := Cost{Comp: time.Millisecond, Comm: 2 * time.Millisecond}
+	if c.Total() != 3*time.Millisecond {
+		t.Fatal("Total wrong")
+	}
+	if Millis(c.Total()) != 3 {
+		t.Fatal("Millis wrong")
+	}
+}
+
+func TestPacketsPerIteration(t *testing.T) {
+	if PacketsPerIteration(Centralized, 100, 0) != 200 {
+		t.Fatal("centralized packets")
+	}
+	if PacketsPerIteration(PrimalDual, 100, 0) != 200 {
+		t.Fatal("PD packets")
+	}
+	// Ring: average degree 2 → 2N packets, matching the text's observation
+	// that DiBA on a ring matches PD's packet count but in parallel.
+	if PacketsPerIteration(DiBA, 100, 2) != 200 {
+		t.Fatal("DiBA ring packets")
+	}
+	if PacketsPerIteration(Architecture(9), 10, 1) != 0 {
+		t.Fatal("unknown arch packets")
+	}
+}

@@ -1,0 +1,75 @@
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stochastic coordinator model. The deterministic formulas in this package
+// give the mean picture; Section 4.4.1's methodology draws uplink packet
+// handling times from a Poisson process ("the packets arrival time are
+// drawn from the Poisson distribution with average inter-arrival time of
+// 200µs"). GatherScatter simulates the coordinator's serial queue with
+// exponential per-packet service, giving the full distribution of round
+// times — the jitter real coordinators see on top of the mean.
+
+// RoundStats summarizes sampled coordinator rounds.
+type RoundStats struct {
+	Mean time.Duration
+	P50  time.Duration
+	P95  time.Duration
+	Max  time.Duration
+}
+
+// GatherScatter samples the duration of `rounds` coordinator round-trips
+// with n nodes: n uplink packets served serially with exponential service
+// time (mean Read) followed by n serial downlink writes (mean Write).
+func (l LinkModel) GatherScatter(n, rounds int, rng *rand.Rand) (RoundStats, error) {
+	if n <= 0 || rounds <= 0 {
+		return RoundStats{}, errors.New("netsim: n and rounds must be positive")
+	}
+	samples := make([]float64, rounds)
+	readMean := float64(l.Read)
+	writeMean := float64(l.Write)
+	for r := 0; r < rounds; r++ {
+		var total float64
+		for i := 0; i < n; i++ {
+			total += rng.ExpFloat64() * readMean
+			total += rng.ExpFloat64() * writeMean
+		}
+		samples[r] = total
+	}
+	sort.Float64s(samples)
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	at := func(q float64) time.Duration {
+		idx := int(q * float64(rounds-1))
+		return time.Duration(samples[idx])
+	}
+	return RoundStats{
+		Mean: time.Duration(sum / float64(rounds)),
+		P50:  at(0.50),
+		P95:  at(0.95),
+		Max:  time.Duration(samples[rounds-1]),
+	}, nil
+}
+
+// DiBARoundSampled samples one DiBA round's communication time with
+// exponential per-packet service: each node's exchanges run in parallel,
+// so the round is the maximum over nodes of (read+write) — with n nodes
+// the expected maximum grows only logarithmically, which is why sampled
+// DiBA rounds stay tightly bounded where coordinator rounds balloon.
+func (l LinkModel) DiBARoundSampled(n int, rng *rand.Rand) time.Duration {
+	var worst float64
+	for i := 0; i < n; i++ {
+		d := rng.ExpFloat64()*float64(l.Read) + rng.ExpFloat64()*float64(l.Write)
+		if d > worst {
+			worst = d
+		}
+	}
+	return time.Duration(worst)
+}

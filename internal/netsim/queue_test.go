@@ -1,0 +1,74 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestGatherScatterValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Measured.GatherScatter(0, 10, rng); err == nil {
+		t.Fatal("n=0 must error")
+	}
+	if _, err := Measured.GatherScatter(10, 0, rng); err == nil {
+		t.Fatal("rounds=0 must error")
+	}
+}
+
+func TestGatherScatterMeanMatchesDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 400
+	st, err := Measured.GatherScatter(n, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Measured.CentralizedRound(n)
+	ratio := float64(st.Mean) / float64(want)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("sampled mean %v too far from deterministic %v", st.Mean, want)
+	}
+	if st.P50 > st.P95 || st.P95 > st.Max {
+		t.Fatalf("quantiles out of order: %+v", st)
+	}
+	if st.P95 <= st.P50 {
+		t.Fatal("there must be jitter above the median")
+	}
+}
+
+func TestGatherScatterScalesWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	small, err := Measured.GatherScatter(100, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Measured.GatherScatter(800, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Mean < 6*small.Mean {
+		t.Fatalf("8× nodes must cost ≈8× time: %v vs %v", big.Mean, small.Mean)
+	}
+}
+
+func TestDiBARoundSampledGrowsSlowly(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mean := func(n int) time.Duration {
+		var sum time.Duration
+		const trials = 300
+		for i := 0; i < trials; i++ {
+			sum += Measured.DiBARoundSampled(n, rng)
+		}
+		return sum / trials
+	}
+	small := mean(100)
+	big := mean(6400)
+	// Max of exponentials grows like ln(n): 64× the nodes must cost far
+	// less than 64× — under 3× here.
+	if big > 3*small {
+		t.Fatalf("parallel round grew too fast: %v → %v", small, big)
+	}
+	if big <= small {
+		t.Fatal("expected some growth from the max over more nodes")
+	}
+}

@@ -1,0 +1,355 @@
+// Package predict implements the Chapter 3 throughput predictors: given a
+// server's runtime observation at its current power cap (attained
+// throughput, power, and LLC miss rate), estimate its throughput at every
+// other cap. Six model families are reproduced, matching Table 3.2:
+//
+//	quadratic-LLC+TP  — quadratic in p, parameters from τ/p and exp(β·LLC) (Eq. 3.8)
+//	linear-LLC+TP     — linear in p, same parameter estimator
+//	linear-TP         — linear in p, parameters from τ/p only
+//	exponential-LLC   — quadratic in p, parameters from exp(β·LLC) only
+//	previous-cubic    — one global workload-independent cubic scaling curve
+//	previous-linear   — one global workload-independent linear scaling curve
+//
+// The parametric families are trained by fitting each training workload
+// set's cap sweep with the model's polynomial, then regressing each
+// polynomial coefficient on the observation features; the "previous"
+// baselines learn a single normalized curve for all workloads, which is
+// exactly why they trail on heterogeneous mixes.
+package predict
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"powercap/internal/linalg"
+	"powercap/internal/stats"
+	"powercap/internal/workload"
+)
+
+// Kind selects a model family.
+type Kind int
+
+const (
+	QuadraticLLCTP Kind = iota
+	LinearLLCTP
+	LinearTP
+	ExponentialLLC
+	PreviousCubic
+	PreviousLinear
+)
+
+// Kinds lists every family in Table 3.2 order.
+var Kinds = []Kind{QuadraticLLCTP, LinearLLCTP, LinearTP, ExponentialLLC, PreviousCubic, PreviousLinear}
+
+func (k Kind) String() string {
+	switch k {
+	case QuadraticLLCTP:
+		return "quadratic-LLC+TP"
+	case LinearLLCTP:
+		return "linear-LLC+TP"
+	case LinearTP:
+		return "linear-TP"
+	case ExponentialLLC:
+		return "exponential-LLC"
+	case PreviousCubic:
+		return "previous-cubic"
+	case PreviousLinear:
+		return "previous-linear"
+	default:
+		return "unknown"
+	}
+}
+
+// Entry is one characterization record: a workload set swept over the cap
+// grid, with the observation features recorded at every cap.
+type Entry struct {
+	Set workload.Set
+	Obs []workload.Observation // one per cap, ascending caps
+}
+
+// DB is a characterization database over a fixed cap grid.
+type DB struct {
+	Server workload.Server
+	Caps   []float64
+	Data   []Entry
+}
+
+// BuildDB sweeps every set over the cap grid with the given measurement
+// noise, producing the characterization database the predictors train on —
+// the synthetic stand-in for the paper's pfmon/multimeter trace library.
+func BuildDB(sets []workload.Set, s workload.Server, caps []float64, noise float64, rng *rand.Rand) (*DB, error) {
+	if len(sets) == 0 || len(caps) < 3 {
+		return nil, errors.New("predict: need sets and at least 3 caps")
+	}
+	db := &DB{Server: s, Caps: caps, Data: make([]Entry, len(sets))}
+	for i, set := range sets {
+		obs := make([]workload.Observation, len(caps))
+		for j, c := range caps {
+			obs[j] = set.Observe(c, s, noise, rng)
+		}
+		db.Data[i] = Entry{Set: set, Obs: obs}
+	}
+	return db, nil
+}
+
+// Model predicts throughput at a target cap from one observation.
+type Model interface {
+	// Name returns the family label used in Table 3.2.
+	Name() string
+	// Predict estimates the throughput at targetCap given the observation
+	// at the current cap.
+	Predict(obs workload.Observation, targetCap float64) float64
+}
+
+// Train fits the selected family on the database.
+func Train(kind Kind, db *DB) (Model, error) {
+	switch kind {
+	case QuadraticLLCTP:
+		return trainParametric(db, 2, true, true)
+	case LinearLLCTP:
+		return trainParametric(db, 1, true, true)
+	case LinearTP:
+		return trainParametric(db, 1, true, false)
+	case ExponentialLLC:
+		return trainParametric(db, 2, false, true)
+	case PreviousCubic:
+		return trainGlobal(db, 3)
+	case PreviousLinear:
+		return trainGlobal(db, 1)
+	default:
+		return nil, fmt.Errorf("predict: unknown model kind %d", kind)
+	}
+}
+
+// parametric is the Eq. 3.8 family: per-set polynomial coefficients are a
+// learned function of the observation features. Following the text — "the
+// model coefficients for the current power cap" — a separate regression is
+// trained per observation cap, because the throughput/Watt feature shifts
+// with the cap it is measured at.
+type parametric struct {
+	name string
+	// degree of the throughput polynomial in p (1 or 2).
+	degree int
+	// useTP / useLLC select which features enter the coefficient model.
+	useTP, useLLC bool
+	// beta4 is the exponent inside exp(β₄·LLC), grid-searched at training.
+	beta4 float64
+	// caps is the training cap grid; betas[c][j] are the regression weights
+	// for coefficient a_j when observing at cap index c.
+	caps  []float64
+	betas [][][]float64
+}
+
+func featureVec(useTP, useLLC bool, beta4, tpw, llc float64) []float64 {
+	f := []float64{1}
+	if useTP {
+		f = append(f, tpw)
+	}
+	if useLLC {
+		f = append(f, math.Exp(beta4*llc))
+	}
+	return f
+}
+
+func trainParametric(db *DB, degree int, useTP, useLLC bool) (Model, error) {
+	name := map[[3]int]string{
+		{2, 1, 1}: QuadraticLLCTP.String(),
+		{1, 1, 1}: LinearLLCTP.String(),
+		{1, 1, 0}: LinearTP.String(),
+		{2, 0, 1}: ExponentialLLC.String(),
+	}[[3]int{degree, b2i(useTP), b2i(useLLC)}]
+
+	// Step 1: fit each training set's own polynomial over its sweep.
+	coeffs := make([][]float64, len(db.Data)) // per set: a_0..a_degree
+	for i, e := range db.Data {
+		xs := make([]float64, len(e.Obs))
+		ys := make([]float64, len(e.Obs))
+		for j, o := range e.Obs {
+			xs[j] = o.Cap
+			ys[j] = o.Throughput
+		}
+		c, err := stats.PolyFit(xs, ys, degree)
+		if err != nil {
+			return nil, fmt.Errorf("predict: fitting set %d: %w", i, err)
+		}
+		coeffs[i] = c
+	}
+
+	// Step 2: regress every coefficient a_j on the observation features,
+	// separately per observation cap, grid searching the LLC exponent β₄.
+	fit := func(beta4 float64) ([][][]float64, float64) {
+		nf := 1 + b2i(useTP) + b2i(useLLC)
+		betas := make([][][]float64, len(db.Caps))
+		var sse float64
+		for c := range db.Caps {
+			betas[c] = make([][]float64, degree+1)
+			for j := 0; j <= degree; j++ {
+				a := linalg.New(len(db.Data), nf)
+				y := make([]float64, len(db.Data))
+				for i, e := range db.Data {
+					o := e.Obs[c]
+					fv := featureVec(useTP, useLLC, beta4, o.Throughput/o.Cap, o.LLC)
+					for k, v := range fv {
+						a.Set(i, k, v)
+					}
+					y[i] = coeffs[i][j]
+				}
+				b, err := linalg.LeastSquares(a, y)
+				if err != nil {
+					return nil, math.Inf(1)
+				}
+				betas[c][j] = b
+				for i := range y {
+					pred := 0.0
+					o := db.Data[i].Obs[c]
+					fv := featureVec(useTP, useLLC, beta4, o.Throughput/o.Cap, o.LLC)
+					for k, v := range fv {
+						pred += b[k] * v
+					}
+					d := pred - y[i]
+					sse += d * d
+				}
+			}
+		}
+		return betas, sse
+	}
+	bestBeta4, bestSSE := 0.0, math.Inf(1)
+	var bestBetas [][][]float64
+	if useLLC {
+		for _, b4 := range []float64{-0.5, -0.3, -0.2, -0.15, -0.1, -0.07, -0.05, -0.03, -0.02, -0.01} {
+			betas, sse := fit(b4)
+			if sse < bestSSE {
+				bestSSE, bestBeta4, bestBetas = sse, b4, betas
+			}
+		}
+	} else {
+		bestBetas, _ = fit(0)
+	}
+	if bestBetas == nil {
+		return nil, errors.New("predict: coefficient regression failed")
+	}
+	caps := append([]float64(nil), db.Caps...)
+	return &parametric{name: name, degree: degree, useTP: useTP, useLLC: useLLC, beta4: bestBeta4, caps: caps, betas: bestBetas}, nil
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (m *parametric) Name() string { return m.name }
+
+func (m *parametric) Predict(obs workload.Observation, targetCap float64) float64 {
+	// Select the coefficient regression trained at the cap closest to the
+	// observation's.
+	c := 0
+	for i, cap := range m.caps {
+		if math.Abs(cap-obs.Cap) < math.Abs(m.caps[c]-obs.Cap) {
+			c = i
+		}
+	}
+	fv := featureVec(m.useTP, m.useLLC, m.beta4, obs.Throughput/obs.Cap, obs.LLC)
+	poly := make([]float64, m.degree+1)
+	for j := range poly {
+		for k, v := range fv {
+			poly[j] += m.betas[c][j][k] * v
+		}
+	}
+	pred := stats.PolyEval(poly, targetCap)
+	// Anchor the curve at the observation: shift so the model reproduces
+	// the measured throughput at the current cap, as the runtime predictor
+	// must (the paper predicts the *change* in throughput).
+	atObs := stats.PolyEval(poly, obs.Cap)
+	return obs.Throughput + (pred - atObs)
+}
+
+// global is the "previous" family: one normalized scaling curve shared by
+// all workloads; prediction rescales the observed throughput by the curve
+// ratio.
+type global struct {
+	name  string
+	curve []float64 // normalized throughput vs cap, polynomial coefficients
+}
+
+func trainGlobal(db *DB, degree int) (Model, error) {
+	name := PreviousLinear.String()
+	if degree == 3 {
+		name = PreviousCubic.String()
+	}
+	var xs, ys []float64
+	for _, e := range db.Data {
+		top := e.Obs[len(e.Obs)-1].Throughput
+		if top <= 0 {
+			continue
+		}
+		for _, o := range e.Obs {
+			xs = append(xs, o.Cap)
+			ys = append(ys, o.Throughput/top)
+		}
+	}
+	c, err := stats.PolyFit(xs, ys, degree)
+	if err != nil {
+		return nil, err
+	}
+	return &global{name: name, curve: c}, nil
+}
+
+func (m *global) Name() string { return m.name }
+
+func (m *global) Predict(obs workload.Observation, targetCap float64) float64 {
+	denom := stats.PolyEval(m.curve, obs.Cap)
+	if denom <= 0 {
+		return obs.Throughput
+	}
+	return obs.Throughput * stats.PolyEval(m.curve, targetCap) / denom
+}
+
+// Evaluate measures a model's mean absolute relative error over a test
+// database: predict every cap's true throughput from the observation at
+// every other cap.
+func Evaluate(m Model, db *DB) float64 {
+	var preds, truths []float64
+	for _, e := range db.Data {
+		for from, o := range e.Obs {
+			for to, cap := range db.Caps {
+				if to == from {
+					continue
+				}
+				preds = append(preds, m.Predict(o, cap))
+				truths = append(truths, e.Set.GroundTruth(cap, db.Server))
+			}
+		}
+	}
+	return stats.MeanAbsPctError(preds, truths)
+}
+
+// TrainTestSplit builds train and test databases from homogeneous and
+// heterogeneous sets drawn from the catalog — the 50/50 mix of the
+// Table 3.2 evaluation.
+func TrainTestSplit(catalog []workload.Benchmark, s workload.Server, caps []float64, nTrain, nTest int, noise float64, rng *rand.Rand) (train, test *DB, err error) {
+	mkSets := func(n int) []workload.Set {
+		sets := make([]workload.Set, 0, n)
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				b := catalog[rng.Intn(len(catalog))].Perturb(rng, 0.05)
+				sets = append(sets, workload.NewHomoSet(b))
+			} else {
+				sets = append(sets, workload.NewHeteroSet(catalog, rng))
+			}
+		}
+		return sets
+	}
+	train, err = BuildDB(mkSets(nTrain), s, caps, noise, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	test, err = BuildDB(mkSets(nTest), s, caps, noise, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}

@@ -1,0 +1,143 @@
+package predict
+
+import (
+	"math/rand"
+	"testing"
+
+	"powercap/internal/workload"
+)
+
+func buildDBs(t *testing.T, seed int64, noise float64) (train, test *DB) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	caps := workload.CapGrid(workload.Chapter3Server, 5)
+	train, test, err := TrainTestSplit(workload.Desktop, workload.Chapter3Server, caps, 120, 60, noise, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+func TestBuildDBValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := BuildDB(nil, workload.Chapter3Server, workload.CapGrid(workload.Chapter3Server, 5), 0, rng); err == nil {
+		t.Fatal("empty set list must be rejected")
+	}
+	sets := []workload.Set{workload.NewHomoSet(workload.Desktop[0])}
+	if _, err := BuildDB(sets, workload.Chapter3Server, []float64{130, 165}, 0, rng); err == nil {
+		t.Fatal("too few caps must be rejected")
+	}
+}
+
+func TestTrainUnknownKind(t *testing.T) {
+	train, _ := buildDBs(t, 2, 0.01)
+	if _, err := Train(Kind(42), train); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := []string{"quadratic-LLC+TP", "linear-LLC+TP", "linear-TP", "exponential-LLC", "previous-cubic", "previous-linear"}
+	for i, k := range Kinds {
+		if k.String() != want[i] {
+			t.Fatalf("kind %d label %q, want %q", i, k.String(), want[i])
+		}
+	}
+	if Kind(42).String() != "unknown" {
+		t.Fatal("unknown label")
+	}
+}
+
+func TestAllModelsTrainAndPredictFinite(t *testing.T) {
+	train, test := buildDBs(t, 3, 0.01)
+	for _, k := range Kinds {
+		m, err := Train(k, train)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if m.Name() != k.String() {
+			t.Fatalf("name mismatch: %q vs %q", m.Name(), k.String())
+		}
+		e := test.Data[0]
+		got := m.Predict(e.Obs[0], 165)
+		if got <= 0 || got != got {
+			t.Fatalf("%v: degenerate prediction %v", k, got)
+		}
+	}
+}
+
+func TestPredictionAnchoredAtObservation(t *testing.T) {
+	train, test := buildDBs(t, 4, 0.01)
+	m, err := Train(QuadraticLLCTP, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := test.Data[0].Obs[3]
+	if got := m.Predict(o, o.Cap); got != o.Throughput {
+		t.Fatalf("predicting the observed cap must return the observation: %v vs %v", got, o.Throughput)
+	}
+}
+
+func TestOurModelBeatsGlobalBaselines(t *testing.T) {
+	train, test := buildDBs(t, 5, 0.01)
+	errs := map[Kind]float64{}
+	for _, k := range Kinds {
+		m, err := Train(k, train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[k] = Evaluate(m, test)
+	}
+	// The Table 3.2 ordering we must preserve: our quadratic model beats
+	// both workload-independent baselines, and the cubic baseline beats the
+	// linear one.
+	if errs[QuadraticLLCTP] >= errs[PreviousCubic] {
+		t.Fatalf("quadratic-LLC+TP (%.4f) must beat previous-cubic (%.4f)", errs[QuadraticLLCTP], errs[PreviousCubic])
+	}
+	if errs[QuadraticLLCTP] >= errs[PreviousLinear] {
+		t.Fatalf("quadratic-LLC+TP (%.4f) must beat previous-linear (%.4f)", errs[QuadraticLLCTP], errs[PreviousLinear])
+	}
+	if errs[PreviousCubic] >= errs[PreviousLinear] {
+		t.Fatalf("previous-cubic (%.4f) must beat previous-linear (%.4f)", errs[PreviousCubic], errs[PreviousLinear])
+	}
+	// And the full-feature model is at least as good as the reduced ones.
+	if errs[QuadraticLLCTP] > errs[LinearTP]+1e-9 {
+		t.Fatalf("quadratic-LLC+TP (%.4f) must not trail linear-TP (%.4f)", errs[QuadraticLLCTP], errs[LinearTP])
+	}
+	// Sanity: our model's error is small in absolute terms (paper: 1.37%).
+	if errs[QuadraticLLCTP] > 0.05 {
+		t.Fatalf("quadratic-LLC+TP error %.4f implausibly high", errs[QuadraticLLCTP])
+	}
+}
+
+func TestEvaluateZeroForOracle(t *testing.T) {
+	// A model that returns the ground truth must evaluate to ~0 error on a
+	// noiseless DB.
+	rng := rand.New(rand.NewSource(6))
+	caps := workload.CapGrid(workload.Chapter3Server, 5)
+	sets := []workload.Set{workload.NewHomoSet(workload.Desktop[1]), workload.NewHeteroSet(workload.Desktop, rng)}
+	db, err := BuildDB(sets, workload.Chapter3Server, caps, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := oracle{db: db}
+	if got := Evaluate(o, db); got > 1e-12 {
+		t.Fatalf("oracle error %v, want 0", got)
+	}
+}
+
+type oracle struct{ db *DB }
+
+func (o oracle) Name() string { return "oracle" }
+func (o oracle) Predict(obs workload.Observation, target float64) float64 {
+	// Identify the entry by its observation — works because the DB is
+	// noiseless and entries differ.
+	for _, e := range o.db.Data {
+		for _, eo := range e.Obs {
+			if eo == obs {
+				return e.Set.GroundTruth(target, o.db.Server)
+			}
+		}
+	}
+	return obs.Throughput
+}

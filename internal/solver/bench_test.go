@@ -1,0 +1,50 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"powercap/internal/workload"
+)
+
+func benchUtilities(b *testing.B, n int) []workload.Utility {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a.UtilitySlice()
+}
+
+func benchmarkOptimal(b *testing.B, n int) {
+	us := benchUtilities(b, n)
+	budget := 170.0 * float64(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimal(us, budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimal400(b *testing.B)  { benchmarkOptimal(b, 400) }
+func BenchmarkOptimal6400(b *testing.B) { benchmarkOptimal(b, 6400) }
+
+func BenchmarkOptimalHierarchical(b *testing.B) {
+	const n = 400
+	us := benchUtilities(b, n)
+	h := Hierarchy{RackOf: make([]int, n), RackBudget: make([]float64, 10)}
+	for i := range h.RackOf {
+		h.RackOf[i] = i / (n / 10)
+	}
+	for k := range h.RackBudget {
+		h.RackBudget[k] = 160 * float64(n/10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimalHierarchical(us, 165*float64(n), h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

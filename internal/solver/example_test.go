@@ -1,0 +1,22 @@
+package solver_test
+
+import (
+	"fmt"
+
+	"powercap/internal/solver"
+	"powercap/internal/workload"
+)
+
+// Two servers share 320 W: one compute-bound (steep utility), one
+// memory-bound (flat). The oracle gives the steep one the lion's share.
+func ExampleOptimal() {
+	steep, _ := workload.NewQuadratic(0, 6, -0.01, 110, 200)
+	flat, _ := workload.NewQuadratic(0, 1, -0.004, 110, 200)
+	res, err := solver.Optimal([]workload.Utility{steep, flat}, 320)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("steep: %.0f W, flat: %.0f W, price %.2f\n", res.Alloc[0], res.Alloc[1], res.Price)
+	// Output: steep: 200 W, flat: 120 W, price 0.04
+}

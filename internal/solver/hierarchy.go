@@ -1,0 +1,151 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+
+	"powercap/internal/workload"
+)
+
+// Hierarchical budgets. Real power delivery is nested: servers hang off
+// rack PDUs with their own breaker limits, and the racks share the
+// facility budget. The optimization becomes
+//
+//	max Σ r_i(p_i)
+//	s.t. Σ_i p_i ≤ P            (cluster)
+//	     Σ_{i∈rack k} p_i ≤ B_k (each rack)
+//	     p_i ∈ [idle_i, max_i]
+//
+// Still concave with nested coupling constraints; the KKT system solves by
+// bisection at two levels: an outer cluster price λ, and for each rack an
+// inner price µ_k = max(λ, rack's own binding price) — a rack whose PDU
+// binds charges its members more than the shared price.
+
+// Hierarchy assigns each node to a rack and each rack a budget.
+type Hierarchy struct {
+	// RackOf[i] is node i's rack index in [0, len(RackBudget)).
+	RackOf []int
+	// RackBudget[k] is rack k's PDU limit in watts.
+	RackBudget []float64
+}
+
+// Validate checks shape and ranges against n nodes.
+func (h Hierarchy) Validate(n int) error {
+	if len(h.RackOf) != n {
+		return fmt.Errorf("solver: RackOf has %d entries, want %d", len(h.RackOf), n)
+	}
+	for i, k := range h.RackOf {
+		if k < 0 || k >= len(h.RackBudget) {
+			return fmt.Errorf("solver: node %d assigned to invalid rack %d", i, k)
+		}
+	}
+	for k, b := range h.RackBudget {
+		if b <= 0 {
+			return fmt.Errorf("solver: rack %d has non-positive budget", k)
+		}
+	}
+	return nil
+}
+
+// Members returns the node lists per rack.
+func (h Hierarchy) Members() [][]int {
+	out := make([][]int, len(h.RackBudget))
+	for i, k := range h.RackOf {
+		out[k] = append(out[k], i)
+	}
+	return out
+}
+
+// OptimalHierarchical solves the rack-constrained problem exactly.
+func OptimalHierarchical(us []workload.Utility, clusterBudget float64, h Hierarchy) (Result, error) {
+	n := len(us)
+	if n == 0 {
+		return Result{}, errors.New("solver: no utilities")
+	}
+	if err := h.Validate(n); err != nil {
+		return Result{}, err
+	}
+	members := h.Members()
+	// Feasibility: every rack and the cluster must cover idle power.
+	var minTotal float64
+	for k, m := range members {
+		var rackMin float64
+		for _, i := range m {
+			rackMin += us[i].MinPower()
+		}
+		if rackMin > h.RackBudget[k] {
+			return Result{}, fmt.Errorf("%w: rack %d idle power %.1f exceeds its budget %.1f",
+				ErrInfeasible, k, rackMin, h.RackBudget[k])
+		}
+		minTotal += rackMin
+	}
+	if clusterBudget < minTotal {
+		return Result{}, fmt.Errorf("%w: cluster budget %.1f < Σ idle %.1f", ErrInfeasible, clusterBudget, minTotal)
+	}
+
+	alloc := make([]float64, n)
+	// rackRespond fills alloc for rack k at cluster price λ, respecting the
+	// rack budget via an inner price bisection, and returns the rack total.
+	rackRespond := func(k int, lambda float64) float64 {
+		m := members[k]
+		sumAt := func(mu float64) float64 {
+			var s float64
+			for _, i := range m {
+				alloc[i] = bestResponse(us[i], mu)
+				s += alloc[i]
+			}
+			return s
+		}
+		if s := sumAt(lambda); s <= h.RackBudget[k] {
+			return s
+		}
+		// Rack binds: raise the rack price above λ until the PDU fits.
+		lo, hi := lambda, lambda
+		for _, i := range m {
+			if g := us[i].Grad(us[i].MinPower()); g > hi {
+				hi = g
+			}
+		}
+		hi++
+		for it := 0; it < 100 && hi-lo > 1e-12*(1+hi); it++ {
+			mid := (lo + hi) / 2
+			if sumAt(mid) > h.RackBudget[k] {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return sumAt(hi)
+	}
+	respond := func(lambda float64) float64 {
+		var total float64
+		for k := range members {
+			total += rackRespond(k, lambda)
+		}
+		return total
+	}
+
+	iters := 0
+	if sum := respond(0); sum <= clusterBudget {
+		return finish(us, alloc, 0, 0), nil
+	}
+	var lambdaHi float64
+	for _, u := range us {
+		if g := u.Grad(u.MinPower()); g > lambdaHi {
+			lambdaHi = g
+		}
+	}
+	lambdaHi++
+	lo, hi := 0.0, lambdaHi
+	for hi-lo > 1e-12*(1+lambdaHi) && iters < 200 {
+		mid := (lo + hi) / 2
+		if respond(mid) > clusterBudget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		iters++
+	}
+	respond(hi)
+	return finish(us, alloc, hi, iters), nil
+}

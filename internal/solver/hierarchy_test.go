@@ -1,0 +1,180 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"powercap/internal/workload"
+)
+
+func hierFor(n, racks int) Hierarchy {
+	h := Hierarchy{RackOf: make([]int, n), RackBudget: make([]float64, racks)}
+	per := n / racks
+	for i := range h.RackOf {
+		h.RackOf[i] = i / per
+	}
+	return h
+}
+
+func TestHierarchyValidate(t *testing.T) {
+	h := hierFor(8, 2)
+	h.RackBudget = []float64{1000, 1000}
+	if err := h.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(9); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	bad := h
+	bad.RackOf = append([]int(nil), h.RackOf...)
+	bad.RackOf[3] = 7
+	if err := bad.Validate(8); err == nil {
+		t.Fatal("rack index out of range must fail")
+	}
+	neg := h
+	neg.RackBudget = []float64{1000, -5}
+	if err := neg.Validate(8); err == nil {
+		t.Fatal("non-positive rack budget must fail")
+	}
+	members := h.Members()
+	if len(members) != 2 || len(members[0]) != 4 || members[1][0] != 4 {
+		t.Fatalf("Members wrong: %v", members)
+	}
+}
+
+func TestOptimalHierarchicalSlackRacksMatchesFlat(t *testing.T) {
+	us := mkCluster(t, 20, 101)
+	h := hierFor(20, 4)
+	for k := range h.RackBudget {
+		h.RackBudget[k] = 5 * 400 // far above anything 5 servers can draw
+	}
+	budget := 20 * 160.0
+	flat, err := Optimal(us, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := OptimalHierarchical(us, budget, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(flat.Utility-hier.Utility) > 1e-6*flat.Utility {
+		t.Fatalf("slack racks must reduce to the flat problem: %v vs %v", hier.Utility, flat.Utility)
+	}
+}
+
+func TestOptimalHierarchicalBindingRack(t *testing.T) {
+	us := mkCluster(t, 20, 102)
+	h := hierFor(20, 4)
+	for k := range h.RackBudget {
+		h.RackBudget[k] = 5 * 300
+	}
+	h.RackBudget[1] = 5 * 130 // one starved rack
+	budget := 20 * 165.0
+	res, err := OptimalHierarchical(us, budget, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The starved rack's members must respect its PDU.
+	var rack1 float64
+	for i := 5; i < 10; i++ {
+		rack1 += res.Alloc[i]
+	}
+	if rack1 > h.RackBudget[1]+1e-6 {
+		t.Fatalf("rack 1 draw %v exceeds its PDU %v", rack1, h.RackBudget[1])
+	}
+	// And the utility must fall below the unconstrained optimum.
+	flat, err := Optimal(us, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utility >= flat.Utility {
+		t.Fatal("binding PDU must cost utility")
+	}
+	// Every allocation inside its box.
+	for i, u := range us {
+		if res.Alloc[i] < u.MinPower()-1e-9 || res.Alloc[i] > u.MaxPower()+1e-9 {
+			t.Fatalf("node %d cap %v out of range", i, res.Alloc[i])
+		}
+	}
+}
+
+func TestOptimalHierarchicalSlackClusterBudget(t *testing.T) {
+	// Cluster budget slack, only rack budgets bind: price 0 path.
+	us := mkCluster(t, 8, 103)
+	h := hierFor(8, 2)
+	h.RackBudget = []float64{4 * 150, 4 * 150}
+	res, err := OptimalHierarchical(us, 8*1000, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Price != 0 {
+		t.Fatalf("slack cluster budget must have zero price, got %v", res.Price)
+	}
+	for k := 0; k < 2; k++ {
+		var sum float64
+		for i := 4 * k; i < 4*(k+1); i++ {
+			sum += res.Alloc[i]
+		}
+		if sum > h.RackBudget[k]+1e-6 {
+			t.Fatalf("rack %d over PDU: %v", k, sum)
+		}
+	}
+}
+
+func TestOptimalHierarchicalErrors(t *testing.T) {
+	us := mkCluster(t, 8, 104)
+	if _, err := OptimalHierarchical(nil, 100, Hierarchy{}); err == nil {
+		t.Fatal("empty must error")
+	}
+	h := hierFor(8, 2)
+	h.RackBudget = []float64{100, 4 * 300}
+	if _, err := OptimalHierarchical(us, 8*200, h); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("rack below idle must be ErrInfeasible, got %v", err)
+	}
+	h.RackBudget = []float64{4 * 300, 4 * 300}
+	if _, err := OptimalHierarchical(us, 10, h); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("cluster below idle must be ErrInfeasible, got %v", err)
+	}
+}
+
+// Property: the hierarchical optimum never exceeds the flat optimum, and
+// tightening one rack can only lower it.
+func TestHierarchicalMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	for trial := 0; trial < 15; trial++ {
+		n := 12
+		a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.1, 0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		us := a.UtilitySlice()
+		budget := float64(n) * (150 + rng.Float64()*30)
+		flat, err := Optimal(us, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := hierFor(n, 3)
+		for k := range h.RackBudget {
+			h.RackBudget[k] = 4 * (150 + rng.Float64()*40)
+		}
+		loose, err := OptimalHierarchical(us, budget, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loose.Utility > flat.Utility+1e-6 {
+			t.Fatal("hierarchical cannot beat flat")
+		}
+		tight := h
+		tight.RackBudget = append([]float64(nil), h.RackBudget...)
+		tight.RackBudget[0] = 4 * 135
+		tres, err := OptimalHierarchical(us, budget, tight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tres.Utility > loose.Utility+1e-6 {
+			t.Fatal("tightening a rack cannot raise utility")
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package solver provides the centralized optimizer for the cluster
+// power-budgeting problem (Eqs. 4.1–4.3):
+//
+//	max Σ r_i(p_i)   s.t.   Σ p_i ≤ P,   p_i ∈ [p_i_idle, p_i_max].
+//
+// The original evaluation used CVX as the centralized reference. The problem
+// is concave with a single coupling constraint, so its KKT system is solved
+// exactly by bisection on the shared power price λ: each node's best
+// response p_i(λ) = argmax r_i(p) − λp is non-increasing in λ, and the
+// optimal λ* makes Σ p_i(λ*) = P (or λ* = 0 when the budget is slack).
+// This gives the same optimum CVX produced for the authors, with stdlib
+// only. A projected-gradient method is also provided as a generic
+// alternative and cross-check.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"powercap/internal/workload"
+)
+
+// ErrInfeasible is returned when the budget cannot cover every node's idle
+// power — no cap assignment can satisfy the constraint.
+var ErrInfeasible = errors.New("solver: budget below total idle power")
+
+// Result is the output of a centralized solve.
+type Result struct {
+	// Alloc is the optimal power cap per node.
+	Alloc []float64
+	// Price is the optimal dual variable λ* of the budget constraint
+	// (0 when the budget is slack).
+	Price float64
+	// Utility is Σ r_i at the optimum.
+	Utility float64
+	// Iterations is the number of bisection steps performed.
+	Iterations int
+}
+
+// bestResponse returns argmax_p r(p) − λp, using the closed form when the
+// utility provides one and golden-section search otherwise.
+func bestResponse(u workload.Utility, lambda float64) float64 {
+	if br, ok := u.(workload.BestResponder); ok {
+		return br.BestResponse(lambda)
+	}
+	// Golden-section search on the concave objective.
+	const phi = 0.6180339887498949
+	lo, hi := u.MinPower(), u.MaxPower()
+	obj := func(p float64) float64 { return u.Value(p) - lambda*p }
+	a, b := lo, hi
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := obj(x1), obj(x2)
+	for b-a > 1e-9*(hi-lo) {
+		if f1 < f2 {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = obj(x2)
+		} else {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = obj(x1)
+		}
+	}
+	return (a + b) / 2
+}
+
+// Optimal solves the budgeting problem exactly. It returns ErrInfeasible if
+// P < Σ p_i_idle. When P ≥ Σ p_i_max the unconstrained optimum (every node
+// at its own peak-response cap) is returned with zero price.
+func Optimal(us []workload.Utility, budget float64) (Result, error) {
+	n := len(us)
+	if n == 0 {
+		return Result{}, errors.New("solver: no utilities")
+	}
+	var minSum float64
+	for _, u := range us {
+		if u.MinPower() >= u.MaxPower() {
+			return Result{}, fmt.Errorf("solver: node has empty cap range [%g,%g]", u.MinPower(), u.MaxPower())
+		}
+		minSum += u.MinPower()
+	}
+	if budget < minSum {
+		return Result{}, fmt.Errorf("%w: budget %.1f < Σ idle %.1f", ErrInfeasible, budget, minSum)
+	}
+
+	alloc := make([]float64, n)
+	respond := func(lambda float64) float64 {
+		var sum float64
+		for i, u := range us {
+			alloc[i] = bestResponse(u, lambda)
+			sum += alloc[i]
+		}
+		return sum
+	}
+
+	// λ = 0: unconstrained responses. If already within budget we are done.
+	if sum := respond(0); sum <= budget {
+		return finish(us, alloc, 0, 0), nil
+	}
+
+	// Bracket λ*: at λ_hi = max gradient at the range bottoms, every node
+	// best-responds with its minimum power, which is feasible.
+	var lambdaHi float64
+	for _, u := range us {
+		if g := u.Grad(u.MinPower()); g > lambdaHi {
+			lambdaHi = g
+		}
+	}
+	lambdaHi += 1 // strictly above every gradient
+	lo, hi := 0.0, lambdaHi
+	iters := 0
+	for hi-lo > 1e-12*(1+lambdaHi) && iters < 200 {
+		mid := (lo + hi) / 2
+		if respond(mid) > budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		iters++
+	}
+	sum := respond(hi) // guaranteed ≤ budget side of the bracket
+
+	// Distribute any residual (from flat spots in best responses) greedily
+	// to the nodes with the highest marginal utility without violating caps.
+	distributeResidual(us, alloc, budget-sum, hi)
+	return finish(us, alloc, hi, iters), nil
+}
+
+// distributeResidual hands out leftover watts (from degenerate/linear
+// utilities whose best response jumps) in marginal-utility order. For
+// strictly concave utilities the residual is ~0 and this is a no-op.
+func distributeResidual(us []workload.Utility, alloc []float64, residual, lambda float64) {
+	if residual <= 1e-9 {
+		return
+	}
+	for i, u := range us {
+		if residual <= 1e-9 {
+			return
+		}
+		// Only nodes whose gradient at the current point still meets the
+		// price deserve more power.
+		if u.Grad(alloc[i]) >= lambda-1e-9 {
+			room := u.MaxPower() - alloc[i]
+			give := math.Min(room, residual)
+			alloc[i] += give
+			residual -= give
+		}
+	}
+}
+
+func finish(us []workload.Utility, alloc []float64, price float64, iters int) Result {
+	out := make([]float64, len(alloc))
+	copy(out, alloc)
+	var util float64
+	for i, u := range us {
+		util += u.Value(out[i])
+	}
+	return Result{Alloc: out, Price: price, Utility: util, Iterations: iters}
+}
+
+// PGOptions configure ProjectedGradient.
+type PGOptions struct {
+	// Step is the gradient step size; 0 selects a conservative default.
+	Step float64
+	// MaxIters bounds the iteration count; 0 selects 10000.
+	MaxIters int
+	// Tol stops when the utility improves by less than Tol per sweep;
+	// 0 selects 1e-10.
+	Tol float64
+}
+
+// ProjectedGradient solves the same problem by gradient ascent with
+// projection onto the budget simplex intersected with the box constraints.
+// It is slower than Optimal but makes no structural assumptions beyond
+// concavity; the tests cross-check the two.
+func ProjectedGradient(us []workload.Utility, budget float64, opt PGOptions) (Result, error) {
+	n := len(us)
+	if n == 0 {
+		return Result{}, errors.New("solver: no utilities")
+	}
+	var minSum float64
+	for _, u := range us {
+		minSum += u.MinPower()
+	}
+	if budget < minSum {
+		return Result{}, fmt.Errorf("%w: budget %.1f < Σ idle %.1f", ErrInfeasible, budget, minSum)
+	}
+	if opt.Step == 0 {
+		opt.Step = 0.5
+	}
+	if opt.MaxIters == 0 {
+		opt.MaxIters = 10000
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-10
+	}
+
+	// Start feasible: idle power plus an even share of the slack.
+	alloc := make([]float64, n)
+	slack := budget - minSum
+	for i, u := range us {
+		alloc[i] = u.MinPower() + math.Min(slack/float64(n), u.MaxPower()-u.MinPower())
+	}
+	prevUtil := math.Inf(-1)
+	iters := 0
+	for ; iters < opt.MaxIters; iters++ {
+		for i, u := range us {
+			alloc[i] += opt.Step * u.Grad(alloc[i])
+		}
+		projectBudgetBox(us, alloc, budget)
+		var util float64
+		for i, u := range us {
+			util += u.Value(alloc[i])
+		}
+		if util-prevUtil < opt.Tol && iters > 10 {
+			prevUtil = util
+			break
+		}
+		prevUtil = util
+	}
+	return finish(us, alloc, 0, iters), nil
+}
+
+// projectBudgetBox projects alloc onto {p : Σp ≤ B, min ≤ p ≤ max} by
+// clamping to the box and, if the budget is exceeded, bisecting a uniform
+// shift µ such that Σ clamp(p_i − µ) = B (the standard simplex projection
+// generalized to boxes).
+func projectBudgetBox(us []workload.Utility, alloc []float64, budget float64) {
+	var sum float64
+	for i, u := range us {
+		if alloc[i] < u.MinPower() {
+			alloc[i] = u.MinPower()
+		}
+		if alloc[i] > u.MaxPower() {
+			alloc[i] = u.MaxPower()
+		}
+		sum += alloc[i]
+	}
+	if sum <= budget {
+		return
+	}
+	// Bisect the shift µ ∈ [0, max span].
+	var hiShift float64
+	for i, u := range us {
+		if s := alloc[i] - u.MinPower(); s > hiShift {
+			hiShift = s
+		}
+	}
+	lo, hi := 0.0, hiShift
+	shifted := func(mu float64) float64 {
+		var s float64
+		for i, u := range us {
+			v := alloc[i] - mu
+			if v < u.MinPower() {
+				v = u.MinPower()
+			}
+			s += v
+		}
+		return s
+	}
+	for hi-lo > 1e-12*(1+hiShift) {
+		mid := (lo + hi) / 2
+		if shifted(mid) > budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	for i, u := range us {
+		v := alloc[i] - hi
+		if v < u.MinPower() {
+			v = u.MinPower()
+		}
+		alloc[i] = v
+	}
+}

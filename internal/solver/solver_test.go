@@ -1,0 +1,238 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"powercap/internal/metrics"
+	"powercap/internal/workload"
+)
+
+func mkCluster(t testing.TB, n int, seed int64) []workload.Utility {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.UtilitySlice()
+}
+
+func TestOptimalSlackBudget(t *testing.T) {
+	us := mkCluster(t, 20, 1)
+	// Budget above everyone's max: each node takes its peak-response cap,
+	// price zero.
+	res, err := Optimal(us, 20*250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Price != 0 {
+		t.Fatalf("price = %v, want 0 for slack budget", res.Price)
+	}
+	for i, u := range us {
+		// With λ=0 the best response maximizes r alone.
+		want := u.(workload.Quadratic).BestResponse(0)
+		if math.Abs(res.Alloc[i]-want) > 1e-9 {
+			t.Fatalf("node %d alloc %v, want %v", i, res.Alloc[i], want)
+		}
+	}
+}
+
+func TestOptimalInfeasible(t *testing.T) {
+	us := mkCluster(t, 10, 2)
+	_, err := Optimal(us, 999) // < 10×100 idle
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestOptimalEmpty(t *testing.T) {
+	if _, err := Optimal(nil, 100); err == nil {
+		t.Fatal("empty cluster must error")
+	}
+}
+
+func TestOptimalTightBudgetFeasibleAndKKT(t *testing.T) {
+	us := mkCluster(t, 50, 3)
+	budget := 50 * 150.0 // midway: genuinely constraining
+	res, err := Optimal(us, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !metrics.Feasible(us, res.Alloc, budget, 1e-6) {
+		t.Fatal("optimal allocation must be feasible")
+	}
+	if got := metrics.TotalPower(res.Alloc); math.Abs(got-budget) > 0.01 {
+		t.Fatalf("constraining budget must bind: Σp = %v, budget %v", got, budget)
+	}
+	if res.Price <= 0 {
+		t.Fatal("binding budget must have positive price")
+	}
+	// KKT: every interior node's gradient equals the price; boundary nodes
+	// may deviate in the right direction.
+	for i, u := range us {
+		g := u.Grad(res.Alloc[i])
+		switch {
+		case res.Alloc[i] <= u.MinPower()+1e-6:
+			if g > res.Price+1e-4 {
+				t.Fatalf("node %d at min with gradient %v above price %v", i, g, res.Price)
+			}
+		case res.Alloc[i] >= u.MaxPower()-1e-6:
+			if g < res.Price-1e-4 {
+				t.Fatalf("node %d at max with gradient %v below price %v", i, g, res.Price)
+			}
+		default:
+			if math.Abs(g-res.Price) > 1e-4 {
+				t.Fatalf("node %d interior gradient %v != price %v", i, g, res.Price)
+			}
+		}
+	}
+}
+
+func TestOptimalBeatsUniformAndRandom(t *testing.T) {
+	us := mkCluster(t, 100, 4)
+	budget := 100 * 166.0
+	res, err := Optimal(us, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := make([]float64, len(us))
+	for i := range uniform {
+		uniform[i] = budget / float64(len(us))
+	}
+	uu, _ := metrics.TotalUtility(us, uniform)
+	if res.Utility < uu-1e-9 {
+		t.Fatalf("optimal %v must beat uniform %v", res.Utility, uu)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		randAlloc := make([]float64, len(us))
+		var sum float64
+		for i, u := range us {
+			randAlloc[i] = u.MinPower() + rng.Float64()*(u.MaxPower()-u.MinPower())
+			sum += randAlloc[i]
+		}
+		if sum > budget { // scale into feasibility
+			scale := (budget - 100*100) / (sum - 100*100)
+			for i := range randAlloc {
+				randAlloc[i] = 100 + (randAlloc[i]-100)*scale
+			}
+		}
+		ru, _ := metrics.TotalUtility(us, randAlloc)
+		if res.Utility < ru-1e-6 {
+			t.Fatalf("optimal %v beaten by random feasible %v", res.Utility, ru)
+		}
+	}
+}
+
+func TestOptimalMatchesBruteForceOnSmallDiscrete(t *testing.T) {
+	// Two nodes, exhaustive grid cross-check.
+	q1, _ := workload.NewQuadratic(0, 6, -0.02, 100, 200)
+	q2, _ := workload.NewQuadratic(0, 3, -0.005, 100, 200)
+	us := []workload.Utility{q1, q2}
+	budget := 320.0
+	res, err := Optimal(us, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := -1.0
+	for p1 := 100.0; p1 <= 200; p1 += 0.25 {
+		p2 := budget - p1
+		if p2 < 100 || p2 > 200 {
+			continue
+		}
+		v := q1.Value(p1) + q2.Value(p2)
+		if v > best {
+			best = v
+		}
+	}
+	if math.Abs(res.Utility-best) > 1e-3*best {
+		t.Fatalf("bisection utility %v vs brute force %v", res.Utility, best)
+	}
+}
+
+func TestProjectedGradientMatchesOptimal(t *testing.T) {
+	us := mkCluster(t, 30, 5)
+	budget := 30 * 160.0
+	exact, err := Optimal(us, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := ProjectedGradient(us, budget, PGOptions{Step: 2, MaxIters: 50000, Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !metrics.Feasible(us, pg.Alloc, budget, 1e-6) {
+		t.Fatal("PG allocation must be feasible")
+	}
+	if rel := (exact.Utility - pg.Utility) / exact.Utility; rel > 1e-3 {
+		t.Fatalf("PG within 0.1%% of optimal expected; gap %v", rel)
+	}
+}
+
+func TestProjectedGradientInfeasible(t *testing.T) {
+	us := mkCluster(t, 5, 6)
+	if _, err := ProjectedGradient(us, 10, PGOptions{}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+	if _, err := ProjectedGradient(nil, 10, PGOptions{}); err == nil {
+		t.Fatal("empty cluster must error")
+	}
+}
+
+func TestBestResponseNumericFallback(t *testing.T) {
+	// A utility that hides its closed form: wrap a quadratic.
+	q, _ := workload.NewQuadratic(0, 5, -0.02, 100, 200)
+	w := opaque{q}
+	for _, lambda := range []float64{0.1, 1, 3} {
+		got := bestResponse(w, lambda)
+		want := q.BestResponse(lambda)
+		if math.Abs(got-want) > 1e-4 {
+			t.Fatalf("λ=%v: numeric %v vs closed form %v", lambda, got, want)
+		}
+	}
+}
+
+// opaque strips the BestResponder implementation from a quadratic.
+type opaque struct{ q workload.Quadratic }
+
+func (o opaque) Value(p float64) float64 { return o.q.Value(p) }
+func (o opaque) Grad(p float64) float64  { return o.q.Grad(p) }
+func (o opaque) MinPower() float64       { return o.q.MinPower() }
+func (o opaque) MaxPower() float64       { return o.q.MaxPower() }
+func (o opaque) Peak() float64           { return o.q.Peak() }
+
+// Property: on random clusters and budgets, Optimal is feasible and not
+// worse than uniform.
+func TestOptimalDominatesUniformProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.1, 0.01, rng)
+		if err != nil {
+			return false
+		}
+		us := a.UtilitySlice()
+		budget := float64(n) * (110 + rng.Float64()*100)
+		res, err := Optimal(us, budget)
+		if err != nil {
+			return false
+		}
+		if !metrics.Feasible(us, res.Alloc, budget, 1e-6) {
+			return false
+		}
+		per := budget / float64(n)
+		uniform := make([]float64, n)
+		for i, u := range us {
+			uniform[i] = math.Min(per, u.MaxPower())
+		}
+		uu, _ := metrics.TotalUtility(us, uniform)
+		return res.Utility >= uu-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

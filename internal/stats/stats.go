@@ -1,0 +1,238 @@
+// Package stats provides descriptive statistics and small regression
+// utilities used throughout the evaluation harness: means (arithmetic and
+// geometric), coefficient of variation (the text's unfairness metric),
+// polynomial least-squares regression (used for the Fig. 4.10 cubic fit and
+// the throughput models), and simple distribution helpers.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"powercap/internal/linalg"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, computed in log space for
+// numerical robustness. All inputs must be positive; it returns 0 for an
+// empty slice and NaN if any element is non-positive.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CoeffVar returns the coefficient of variation σ/μ — the dissertation's
+// "unfairness" metric over per-workload ANPs. It returns 0 when the mean
+// is 0.
+func CoeffVar(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// Min returns the minimum of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// PolyFit fits a polynomial of the given degree to (xs, ys) by least squares
+// and returns the coefficients c where y ≈ c[0] + c[1]x + … + c[deg]x^deg.
+func PolyFit(xs, ys []float64, degree int) ([]float64, error) {
+	if len(xs) != len(ys) {
+		return nil, linalg.ErrShape
+	}
+	a := linalg.New(len(xs), degree+1)
+	for i, x := range xs {
+		v := 1.0
+		for j := 0; j <= degree; j++ {
+			a.Set(i, j, v)
+			v *= x
+		}
+	}
+	return linalg.LeastSquares(a, ys)
+}
+
+// PolyEval evaluates the polynomial with coefficients c at x (Horner form).
+func PolyEval(c []float64, x float64) float64 {
+	var y float64
+	for i := len(c) - 1; i >= 0; i-- {
+		y = y*x + c[i]
+	}
+	return y
+}
+
+// MeanAbsError returns the mean |pred−truth| over the paired slices.
+func MeanAbsError(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic("stats: length mismatch")
+	}
+	var s float64
+	for i := range pred {
+		s += math.Abs(pred[i] - truth[i])
+	}
+	return s / float64(len(pred))
+}
+
+// MeanAbsPctError returns the mean |pred−truth|/|truth| (as a fraction) over
+// the paired slices. Entries with truth == 0 are skipped.
+func MeanAbsPctError(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic("stats: length mismatch")
+	}
+	var s float64
+	var n int
+	for i := range pred {
+		if truth[i] == 0 {
+			continue
+		}
+		s += math.Abs(pred[i]-truth[i]) / math.Abs(truth[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// RSquared returns the coefficient of determination of predictions against
+// observations.
+func RSquared(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic("stats: length mismatch")
+	}
+	m := Mean(truth)
+	var ssRes, ssTot float64
+	for i := range truth {
+		d := truth[i] - pred[i]
+		ssRes += d * d
+		e := truth[i] - m
+		ssTot += e * e
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Histogram bins xs into n equal-width bins over [min, max] and returns the
+// bin counts and bin edges (n+1 edges). Values exactly at max land in the
+// last bin.
+func Histogram(xs []float64, n int, min, max float64) (counts []int, edges []float64) {
+	counts = make([]int, n)
+	edges = make([]float64, n+1)
+	width := (max - min) / float64(n)
+	for i := range edges {
+		edges[i] = min + float64(i)*width
+	}
+	for _, x := range xs {
+		if x < min || x > max {
+			continue
+		}
+		b := int((x - min) / width)
+		if b == n {
+			b = n - 1
+		}
+		counts[b]++
+	}
+	return counts, edges
+}
+
+// Normalize scales xs so that it sums to 1. It returns a copy; if the sum is
+// 0 the copy is returned unchanged.
+func Normalize(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	s := Sum(out)
+	if s == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] /= s
+	}
+	return out
+}

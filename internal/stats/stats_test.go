@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !almost(got, 2, 1e-12) {
+		t.Fatalf("GeoMean = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 2, 2}); !almost(got, 2, 1e-12) {
+		t.Fatalf("GeoMean = %v, want 2", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Fatal("GeoMean with non-positive input must be NaN")
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+}
+
+func TestGeoMeanLEArithMean(t *testing.T) {
+	// AM-GM inequality on positive data.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*10 + 0.01
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almost(got, 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almost(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestCoeffVar(t *testing.T) {
+	if CoeffVar([]float64{5, 5, 5}) != 0 {
+		t.Fatal("constant data must have zero CV")
+	}
+	if CoeffVar([]float64{0, 0}) != 0 {
+		t.Fatal("zero-mean data must return 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := CoeffVar(xs); !almost(got, 2.0/5.0, 1e-12) {
+		t.Fatalf("CV = %v, want 0.4", got)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 || Max(xs) != 5 || Sum(xs) != 12 {
+		t.Fatalf("Min/Max/Sum wrong: %v %v %v", Min(xs), Max(xs), Sum(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Fatalf("p25 = %v", got)
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{0, 10}, 50); got != 5 {
+		t.Fatalf("p50 of {0,10} = %v, want 5", got)
+	}
+}
+
+func TestPolyFitRecoversExactCubic(t *testing.T) {
+	c := []float64{1, -2, 0.5, 0.25}
+	xs := []float64{-3, -2, -1, 0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = PolyEval(c, x)
+	}
+	got, err := PolyFit(xs, ys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c {
+		if !almost(got[i], c[i], 1e-8) {
+			t.Fatalf("coef[%d] = %v, want %v", i, got[i], c[i])
+		}
+	}
+}
+
+func TestPolyFitLengthMismatch(t *testing.T) {
+	if _, err := PolyFit([]float64{1, 2}, []float64{1}, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPolyEvalHorner(t *testing.T) {
+	// 2 + 3x + x² at x=2 → 2+6+4 = 12.
+	if got := PolyEval([]float64{2, 3, 1}, 2); got != 12 {
+		t.Fatalf("PolyEval = %v, want 12", got)
+	}
+	if got := PolyEval(nil, 5); got != 0 {
+		t.Fatalf("PolyEval(nil) = %v, want 0", got)
+	}
+}
+
+func TestErrorsAndR2(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	truth := []float64{1, 2, 3}
+	if MeanAbsError(pred, truth) != 0 {
+		t.Fatal("MAE of perfect prediction must be 0")
+	}
+	if MeanAbsPctError(pred, truth) != 0 {
+		t.Fatal("MAPE of perfect prediction must be 0")
+	}
+	if got := RSquared(pred, truth); !almost(got, 1, 1e-12) {
+		t.Fatalf("R² = %v, want 1", got)
+	}
+	pred2 := []float64{2, 3, 4}
+	if got := MeanAbsError(pred2, truth); !almost(got, 1, 1e-12) {
+		t.Fatalf("MAE = %v, want 1", got)
+	}
+	// MAPE skips zero-truth entries.
+	if got := MeanAbsPctError([]float64{1, 5}, []float64{0, 4}); !almost(got, 0.25, 1e-12) {
+		t.Fatalf("MAPE = %v, want 0.25", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, edges := Histogram([]float64{0, 0.5, 1, 1.5, 2}, 2, 0, 2)
+	if len(edges) != 3 || edges[0] != 0 || edges[2] != 2 {
+		t.Fatalf("edges = %v", edges)
+	}
+	// 0, 0.5 in first bin; 1, 1.5, 2 in second (2 lands in last bin).
+	if counts[0] != 2 || counts[1] != 3 {
+		t.Fatalf("counts = %v, want [2 3]", counts)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{1, 3})
+	if !almost(out[0], 0.25, 1e-12) || !almost(out[1], 0.75, 1e-12) {
+		t.Fatalf("Normalize = %v", out)
+	}
+	zero := Normalize([]float64{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatal("Normalize of zeros must stay zeros")
+	}
+}
+
+// Property: PolyFit of degree d on ≥ d+1 distinct points of an exact degree-d
+// polynomial reproduces its values at arbitrary points.
+func TestPolyFitInterpolationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(3)
+		c := make([]float64, d+1)
+		for i := range c {
+			c[i] = rng.NormFloat64()
+		}
+		xs := make([]float64, d+3)
+		for i := range xs {
+			xs[i] = float64(i) - 2
+		}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = PolyEval(c, x)
+		}
+		got, err := PolyFit(xs, ys, d)
+		if err != nil {
+			return false
+		}
+		for x := -5.0; x <= 5; x += 0.7 {
+			if !almost(PolyEval(got, x), PolyEval(c, x), 1e-6*(1+math.Abs(PolyEval(c, x)))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,20 @@
+package thermal_test
+
+import (
+	"fmt"
+
+	"powercap/internal/thermal"
+)
+
+// The CoP model of Eq. 3.2: warmer supply air is cheaper to produce, so
+// the same heat costs less to remove.
+func ExampleCoP() {
+	heatW := 100000.0
+	for _, t := range []float64{15.0, 20.0, 25.0} {
+		fmt.Printf("t_sup %.0f °C: CoP %.2f, cooling %.1f kW\n", t, thermal.CoP(t), heatW/thermal.CoP(t)/1000)
+	}
+	// Output:
+	// t_sup 15 °C: CoP 2.00, cooling 50.0 kW
+	// t_sup 20 °C: CoP 3.19, cooling 31.3 kW
+	// t_sup 25 °C: CoP 4.73, cooling 21.2 kW
+}

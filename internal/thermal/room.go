@@ -1,0 +1,154 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"powercap/internal/linalg"
+)
+
+// Layout describes the physical arrangement used to synthesize the heat
+// cross-interference matrix: racks in rows of equal length, alternating
+// cold/hot aisles, CRACs at the room sides — the 8×10 arrangement of the
+// experimental cluster (Fig. 3.9 / Fig. 5.1).
+type Layout struct {
+	Rows        int
+	RacksPerRow int
+	// AisleCoupling scales recirculation between facing rows sharing a hot
+	// aisle relative to within-row coupling. Default 1.6.
+	AisleCoupling float64
+	// DecayLength is the recirculation decay length in rack pitches.
+	// Default 2.5.
+	DecayLength float64
+	// Intensity scales the whole matrix; rows of D sum to roughly this
+	// value in the room's interior. Must stay below 1; default 0.42,
+	// calibrated so the minimum sufficient cooling lands in the paper's
+	// 30–38% share of total power at the experimental utilizations.
+	Intensity float64
+	// EdgeBoost multiplies couplings involving row-end racks, which recirculate
+	// around the row ends in real rooms. Default 1.5.
+	EdgeBoost float64
+	// CenterBoost strengthens recirculation for racks far from the CRACs at
+	// the room sides: real rooms are hottest mid-row, which is what makes
+	// placement matter. Couplings scale by up to (1+CenterBoost) at the
+	// room center. Default 2.5.
+	CenterBoost float64
+}
+
+// DefaultLayout is the 80-rack experimental room.
+var DefaultLayout = Layout{Rows: 8, RacksPerRow: 10}
+
+func (l Layout) withDefaults() Layout {
+	if l.AisleCoupling == 0 {
+		l.AisleCoupling = 1.6
+	}
+	if l.DecayLength == 0 {
+		l.DecayLength = 2.5
+	}
+	if l.Intensity == 0 {
+		l.Intensity = 0.42
+	}
+	if l.EdgeBoost == 0 {
+		l.EdgeBoost = 1.5
+	}
+	if l.CenterBoost == 0 {
+		l.CenterBoost = 2.5
+	}
+	return l
+}
+
+// centrality returns how far column c sits from the room sides, 0 at the
+// edges to 1 at the exact center.
+func centrality(c, perRow int) float64 {
+	if perRow <= 1 {
+		return 0
+	}
+	half := float64(perRow-1) / 2
+	d := math.Abs(float64(c) - half)
+	return 1 - d/half
+}
+
+// position returns rack r's row and column.
+func (l Layout) position(r int) (row, col int) {
+	return r / l.RacksPerRow, r % l.RacksPerRow
+}
+
+// SynthesizeD builds the synthetic heat cross-interference matrix for the
+// layout. It is non-negative with row sums below Intensity·EdgeBoost < 1,
+// recirculation decays exponentially with rack distance, racks facing each
+// other across a hot aisle couple more strongly, and row-end racks couple
+// more (heat wraps around row ends).
+func (l Layout) SynthesizeD() (*linalg.Matrix, error) {
+	l = l.withDefaults()
+	n := l.Rows * l.RacksPerRow
+	if n == 0 {
+		return nil, fmt.Errorf("thermal: empty layout")
+	}
+	if l.Intensity*l.EdgeBoost >= 1 {
+		return nil, fmt.Errorf("thermal: Intensity·EdgeBoost = %.2f must stay below 1", l.Intensity*l.EdgeBoost)
+	}
+	d := linalg.New(n, n)
+	raw := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ri, ci := l.position(i)
+		var rowSum float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			rj, cj := l.position(j)
+			dx := float64(ci - cj)
+			dy := float64(ri-rj) * 2 // rows are farther apart than rack pitch
+			dist := math.Sqrt(dx*dx + dy*dy)
+			w := math.Exp(-dist / l.DecayLength)
+			// Hot-aisle pairing: rows (0,1), (2,3), … exhaust into the same
+			// aisle, so facing racks recirculate into each other strongly.
+			if ri/2 == rj/2 && ri != rj {
+				w *= l.AisleCoupling
+			}
+			// Row-end racks see wrap-around recirculation.
+			if ci == 0 || ci == l.RacksPerRow-1 || cj == 0 || cj == l.RacksPerRow-1 {
+				w *= l.EdgeBoost
+			}
+			// Mid-row racks sit farthest from the CRACs at the room sides
+			// and recirculate hardest.
+			w *= (1 + l.CenterBoost*centrality(ci, l.RacksPerRow)) *
+				(1 + l.CenterBoost*centrality(cj, l.RacksPerRow))
+			d.Set(i, j, w)
+			rowSum += w
+		}
+		raw[i] = rowSum
+	}
+	// Normalize so the largest row sum equals Intensity (uniform scaling
+	// preserves the spatial structure).
+	maxRow := 0.0
+	for _, v := range raw {
+		if v > maxRow {
+			maxRow = v
+		}
+	}
+	scale := l.Intensity / maxRow
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d.Set(i, j, d.At(i, j)*scale)
+		}
+	}
+	return d, nil
+}
+
+// NewDefaultRoom builds the 80-rack experimental room with a uniform
+// outlet-rise coefficient and the 24 °C redline the Chapter 3 experiments
+// assume. riseCPerKW is the outlet temperature rise per kW of rack power
+// (≈1 °C/kW for a well-ventilated 40U rack).
+func NewDefaultRoom(riseCPerKW, redlineC float64) (*Room, error) {
+	d, err := DefaultLayout.SynthesizeD()
+	if err != nil {
+		return nil, err
+	}
+	n := d.Rows()
+	kInv := make([]float64, n)
+	for i := range kInv {
+		kInv[i] = riseCPerKW / 1000
+	}
+	return NewRoom(d, kInv, redlineC)
+}

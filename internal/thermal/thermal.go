@@ -1,0 +1,210 @@
+// Package thermal models the cluster's cooling: the CRAC coefficient of
+// performance (Eq. 3.2), the heat cross-interference matrix model that
+// replaces CFD at runtime (Eqs. 3.3–3.5), the maximum safe supply
+// temperature, the minimum sufficient cooling power (Eq. 3.1), and the
+// self-consistent total-power partition of Algorithm 1.
+//
+// The paper derives the cross-interference matrix D once from CFD
+// (6SigmaRoom) simulations of the physical room; we generate a synthetic D
+// with the same structural properties — non-negative, spectral radius well
+// below one, recirculation decaying with rack distance, stronger coupling
+// within a hot aisle and at row ends — and then use the identical matrix
+// model everywhere.
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"powercap/internal/linalg"
+)
+
+// CoP returns the coefficient of performance of the chilled-water CRAC
+// units at supply temperature t (°C): 0.0068·t² + 0.0008·t + 0.458, the
+// HP Utility datacenter model of Moore et al. used throughout the text.
+func CoP(t float64) float64 {
+	return 0.0068*t*t + 0.0008*t + 0.458
+}
+
+// Room is a thermal model of the machine room: n racks with a heat
+// cross-interference matrix D and per-rack heat capacity coefficients K.
+type Room struct {
+	n int
+	// d is the heat cross-interference matrix: d(i,j) is the contribution
+	// of rack j's power to rack i's inlet temperature rise.
+	d *linalg.Matrix
+	// kInv is K⁻¹'s diagonal: °C of outlet rise per watt for each rack.
+	kInv []float64
+	// m is (K − DᵀK)⁻¹ − K⁻¹, precomputed: inlet rise = m·P (Eq. 3.5).
+	m *linalg.Matrix
+	// RedlineC is the manufacturer's maximum safe inlet temperature.
+	RedlineC float64
+}
+
+// NewRoom validates the matrices and precomputes the inlet-rise operator.
+// kInvDiag[i] is the i-th rack's outlet temperature rise per watt.
+func NewRoom(d *linalg.Matrix, kInvDiag []float64, redlineC float64) (*Room, error) {
+	n := d.Rows()
+	if d.Cols() != n {
+		return nil, errors.New("thermal: D must be square")
+	}
+	if len(kInvDiag) != n {
+		return nil, errors.New("thermal: K diagonal length mismatch")
+	}
+	for i := 0; i < n; i++ {
+		if kInvDiag[i] <= 0 {
+			return nil, fmt.Errorf("thermal: non-positive K⁻¹[%d]", i)
+		}
+		var row float64
+		for j := 0; j < n; j++ {
+			if d.At(i, j) < 0 {
+				return nil, fmt.Errorf("thermal: negative D(%d,%d)", i, j)
+			}
+			row += d.At(i, j)
+		}
+		if row >= 1 {
+			return nil, fmt.Errorf("thermal: row %d of D sums to %.3f ≥ 1 (unstable recirculation)", i, row)
+		}
+	}
+	// K has diagonal 1/kInv; M = (K − DᵀK)⁻¹ − K⁻¹ (Eq. 3.5).
+	k := make([]float64, n)
+	for i := range k {
+		k[i] = 1 / kInvDiag[i]
+	}
+	kmat := linalg.Diagonal(k)
+	a := kmat.Sub(d.T().Mul(kmat))
+	inv, err := linalg.Inverse(a)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: K − DᵀK singular: %w", err)
+	}
+	m := inv.Sub(linalg.Diagonal(kInvDiag))
+	return &Room{n: n, d: d.Clone(), kInv: append([]float64(nil), kInvDiag...), m: m, RedlineC: redlineC}, nil
+}
+
+// N returns the number of racks.
+func (r *Room) N() int { return r.n }
+
+// D returns the heat cross-interference matrix (shared; do not mutate).
+func (r *Room) D() *linalg.Matrix { return r.d }
+
+// RiseMatrix returns the location-indexed inlet-rise operator M of Eq. 3.5
+// (inlet rise = M·P). The layout planners optimize over it directly
+// (shared; do not mutate).
+func (r *Room) RiseMatrix() *linalg.Matrix { return r.m }
+
+// InletRise returns each rack's inlet temperature rise above the supply
+// temperature for the given per-rack power vector (Eq. 3.5).
+func (r *Room) InletRise(power []float64) ([]float64, error) {
+	if len(power) != r.n {
+		return nil, errors.New("thermal: power vector length mismatch")
+	}
+	return r.m.MulVec(power), nil
+}
+
+// MaxSupplyTemp returns the highest CRAC supply temperature that keeps
+// every rack's inlet at or below the redline for the given power vector:
+// t_sup = t_red − max_i (M·P)_i.
+func (r *Room) MaxSupplyTemp(power []float64) (float64, error) {
+	rise, err := r.InletRise(power)
+	if err != nil {
+		return 0, err
+	}
+	maxRise := 0.0
+	for _, v := range rise {
+		if v > maxRise {
+			maxRise = v
+		}
+	}
+	return r.RedlineC - maxRise, nil
+}
+
+// CoolingPower returns the minimum sufficient CRAC power for the given
+// computing power vector: Σp / CoP(t_sup) at the maximum safe supply
+// temperature (Eq. 3.1).
+func (r *Room) CoolingPower(power []float64) (cooling, tsup float64, err error) {
+	tsup, err = r.MaxSupplyTemp(power)
+	if err != nil {
+		return 0, 0, err
+	}
+	cop := CoP(tsup)
+	if cop <= 0 {
+		return 0, 0, fmt.Errorf("thermal: non-positive CoP at %.1f °C", tsup)
+	}
+	var sum float64
+	for _, p := range power {
+		sum += p
+	}
+	return sum / cop, tsup, nil
+}
+
+// PartitionStep is one iteration of the self-consistent budgeting loop.
+type PartitionStep struct {
+	Computing float64
+	Cooling   float64
+	SupplyC   float64
+}
+
+// Partition is the result of the self-consistent total-power split.
+type Partition struct {
+	Computing float64
+	Cooling   float64
+	SupplyC   float64
+	// Steps is the convergence trajectory (Fig. 3.11).
+	Steps []PartitionStep
+	// Converged is false when the iteration cap was reached first.
+	Converged bool
+}
+
+// SelfConsistent runs Algorithm 1: split total budget B into computing and
+// cooling so that the cooling power exactly suffices to extract the heat of
+// the computing allocation. budgeter(Bs) must return the per-rack power
+// allocation the computing layer produces under computing budget Bs (the
+// knapsack budgeter in the paper). tolW is the convergence tolerance on
+// |Bs + Bcrac − B|.
+func (r *Room) SelfConsistent(total float64, budgeter func(computingBudget float64) ([]float64, error), tolW float64, maxIters int) (Partition, error) {
+	if total <= 0 {
+		return Partition{}, errors.New("thermal: non-positive total budget")
+	}
+	if maxIters <= 0 {
+		maxIters = 50
+	}
+	// Initialize cooling from the allocation at the full budget, as the
+	// algorithm initializes from an initial CFD run.
+	alloc, err := budgeter(total)
+	if err != nil {
+		return Partition{}, err
+	}
+	cooling, tsup, err := r.CoolingPower(alloc)
+	if err != nil {
+		return Partition{}, err
+	}
+	part := Partition{}
+	for k := 0; k < maxIters; k++ {
+		computing := total - cooling
+		if computing <= 0 {
+			return Partition{}, fmt.Errorf("thermal: cooling demand %.0f W exceeds total budget %.0f W", cooling, total)
+		}
+		alloc, err = budgeter(computing)
+		if err != nil {
+			return Partition{}, err
+		}
+		cooling, tsup, err = r.CoolingPower(alloc)
+		if err != nil {
+			return Partition{}, err
+		}
+		part.Steps = append(part.Steps, PartitionStep{Computing: computing, Cooling: cooling, SupplyC: tsup})
+		if math.Abs(computing+cooling-total) <= tolW {
+			part.Computing = computing
+			part.Cooling = cooling
+			part.SupplyC = tsup
+			part.Converged = true
+			return part, nil
+		}
+	}
+	last := part.Steps[len(part.Steps)-1]
+	part.Computing = last.Computing
+	part.Cooling = last.Cooling
+	part.SupplyC = last.SupplyC
+	return part, nil
+}

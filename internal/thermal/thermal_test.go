@@ -1,0 +1,267 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"powercap/internal/linalg"
+)
+
+func TestCoPMatchesPublishedPoints(t *testing.T) {
+	// CoP(15) = 0.0068·225 + 0.0008·15 + 0.458 = 2.0. CoP grows with t.
+	if got := CoP(15); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("CoP(15) = %v, want 2.0", got)
+	}
+	if CoP(25) <= CoP(15) {
+		t.Fatal("CoP must increase with supply temperature")
+	}
+}
+
+func TestNewRoomValidation(t *testing.T) {
+	d := linalg.New(2, 3)
+	if _, err := NewRoom(d, []float64{1, 1}, 24); err == nil {
+		t.Fatal("non-square D must be rejected")
+	}
+	d2 := linalg.New(2, 2)
+	if _, err := NewRoom(d2, []float64{1}, 24); err == nil {
+		t.Fatal("K length mismatch must be rejected")
+	}
+	if _, err := NewRoom(d2, []float64{1, 0}, 24); err == nil {
+		t.Fatal("non-positive K must be rejected")
+	}
+	d2.Set(0, 1, -0.1)
+	if _, err := NewRoom(d2, []float64{1, 1}, 24); err == nil {
+		t.Fatal("negative D entry must be rejected")
+	}
+	d3 := linalg.New(2, 2)
+	d3.Set(0, 1, 1.2)
+	if _, err := NewRoom(d3, []float64{1, 1}, 24); err == nil {
+		t.Fatal("row sum ≥ 1 must be rejected")
+	}
+}
+
+func TestInletRiseNoRecirculationIsZero(t *testing.T) {
+	// With D = 0, inlet temperature equals the supply temperature exactly:
+	// M = K⁻¹ − K⁻¹ = 0.
+	d := linalg.New(3, 3)
+	room, err := NewRoom(d, []float64{0.001, 0.001, 0.001}, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rise, err := room.InletRise([]float64{10000, 10000, 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range rise {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("rack %d rise %v, want 0 without recirculation", i, v)
+		}
+	}
+}
+
+func TestInletRiseTwoRackClosedForm(t *testing.T) {
+	// Two racks, one-way recirculation: rack 1 ingests fraction a of rack
+	// 0's heat. Then inlet rise of rack 1 = a·k⁻¹·p0/(appropriately
+	// amplified series); with only D(1,0)=a nonzero, (I−Dᵀ)⁻¹ = I + Dᵀ
+	// exactly... Dᵀ(0,1)=a. M = K⁻¹[(I−Dᵀ)⁻¹ − I] = K⁻¹·Dᵀ.
+	// So rise_0 = k⁻¹·a·p1?? — note the transpose: Eq. 3.5's M·P assigns
+	// the rise at the rack D says is affected. Verify numerically against
+	// the direct formula.
+	a := 0.3
+	d := linalg.New(2, 2)
+	d.Set(1, 0, a) // rack 0's power raises rack 1's inlet
+	kInv := []float64{0.002, 0.002}
+	room, err := NewRoom(d, kInv, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []float64{5000, 0}
+	rise, err := room.InletRise(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct evaluation of Eq. 3.5: M = (K − DᵀK)⁻¹ − K⁻¹.
+	k := linalg.Diagonal([]float64{1 / kInv[0], 1 / kInv[1]})
+	inv, err := linalg.Inverse(k.Sub(d.T().Mul(k)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := inv.Sub(linalg.Diagonal(kInv)).MulVec(p)
+	for i := range rise {
+		if math.Abs(rise[i]-want[i]) > 1e-9 {
+			t.Fatalf("rise[%d] = %v, want %v", i, rise[i], want[i])
+		}
+	}
+}
+
+func TestMoreRackPowerLowersSupplyTemp(t *testing.T) {
+	room, err := NewDefaultRoom(1.0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := room.N()
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := range lo {
+		lo[i] = 4000
+		hi[i] = 9000
+	}
+	tLo, err := room.MaxSupplyTemp(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tHi, err := room.MaxSupplyTemp(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tHi >= tLo {
+		t.Fatalf("hotter room must need colder supply: %v vs %v", tHi, tLo)
+	}
+	if tLo > 24 {
+		t.Fatalf("supply temperature %v above redline", tLo)
+	}
+}
+
+func TestCoolingPowerShare(t *testing.T) {
+	// With the experimental parameters, cooling lands in the paper's
+	// 30–38 % of total power band.
+	room, err := NewDefaultRoom(1.0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := room.N()
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 6000 // 40 servers × 150 W
+	}
+	cooling, tsup, err := room.CoolingPower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tsup <= 0 || tsup > 24 {
+		t.Fatalf("supply temperature %v out of range", tsup)
+	}
+	total := cooling + float64(n)*6000
+	share := cooling / total
+	if share < 0.20 || share > 0.45 {
+		t.Fatalf("cooling share %.3f outside plausible band", share)
+	}
+}
+
+func TestSynthesizeDStructure(t *testing.T) {
+	d, err := DefaultLayout.SynthesizeD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.Rows()
+	if n != 80 {
+		t.Fatalf("N = %d, want 80", n)
+	}
+	for i := 0; i < n; i++ {
+		if d.At(i, i) != 0 {
+			t.Fatal("no self-recirculation")
+		}
+		var row float64
+		for j := 0; j < n; j++ {
+			if d.At(i, j) < 0 {
+				t.Fatal("negative recirculation")
+			}
+			row += d.At(i, j)
+		}
+		if row >= 1 {
+			t.Fatalf("row %d sums to %v ≥ 1", i, row)
+		}
+	}
+	// Nearby racks couple more than distant ones.
+	near := d.At(0, 1)
+	far := d.At(0, 79)
+	if near <= far {
+		t.Fatalf("near coupling %v must exceed far coupling %v", near, far)
+	}
+}
+
+func TestSynthesizeDValidation(t *testing.T) {
+	if _, err := (Layout{Rows: 0, RacksPerRow: 0}).SynthesizeD(); err == nil {
+		t.Fatal("empty layout must be rejected")
+	}
+	bad := Layout{Rows: 2, RacksPerRow: 2, Intensity: 0.9, EdgeBoost: 1.5}
+	if _, err := bad.SynthesizeD(); err == nil {
+		t.Fatal("unstable intensity must be rejected")
+	}
+}
+
+func TestSelfConsistentPartition(t *testing.T) {
+	room, err := NewDefaultRoom(1.0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := room.N()
+	// Simple budgeter: spread the computing budget uniformly.
+	budgeter := func(bs float64) ([]float64, error) {
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = bs / float64(n)
+		}
+		return p, nil
+	}
+	total := 720000.0 // 0.72 MW, the Fig. 3.11 case
+	part, err := room.SelfConsistent(total, budgeter, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.Converged {
+		t.Fatal("partition must converge")
+	}
+	if math.Abs(part.Computing+part.Cooling-total) > 1 {
+		t.Fatalf("partition %v + %v != %v", part.Computing, part.Cooling, total)
+	}
+	share := part.Cooling / total
+	if share < 0.2 || share > 0.45 {
+		t.Fatalf("cooling share %.3f outside the paper's band", share)
+	}
+	if len(part.Steps) == 0 {
+		t.Fatal("trajectory must be recorded")
+	}
+}
+
+func TestSelfConsistentRatioOfDistanceContracts(t *testing.T) {
+	// Fig. 3.4: successive distances to the fixed point shrink.
+	room, err := NewDefaultRoom(1.0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := room.N()
+	budgeter := func(bs float64) ([]float64, error) {
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = bs / float64(n)
+		}
+		return p, nil
+	}
+	part, err := room.SelfConsistent(660000, budgeter, 1e-6, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.Converged {
+		t.Fatal("must converge")
+	}
+	star := part.Computing
+	prev := math.Inf(1)
+	for k, s := range part.Steps[:len(part.Steps)-1] {
+		d := math.Abs(s.Computing - star)
+		if d > prev*1.0001 {
+			t.Fatalf("step %d: distance %v grew from %v", k, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestSelfConsistentErrors(t *testing.T) {
+	room, err := NewDefaultRoom(1.0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := room.SelfConsistent(0, nil, 1, 10); err == nil {
+		t.Fatal("zero budget must error")
+	}
+}

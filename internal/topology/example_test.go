@@ -1,0 +1,19 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"powercap/internal/topology"
+)
+
+// Chords shrink a ring's diameter — the fault-tolerance/latency trade the
+// text suggests for DiBA's communication graph.
+func ExampleChordalRing() {
+	ring := topology.Ring(100)
+	chordal := topology.ChordalRing(100, 10)
+	fmt.Printf("ring: diameter %d, avg degree %.0f\n", ring.Diameter(), ring.AvgDegree())
+	fmt.Printf("chordal: diameter %d, avg degree %.0f\n", chordal.Diameter(), chordal.AvgDegree())
+	// Output:
+	// ring: diameter 50, avg degree 2
+	// chordal: diameter 9, avg degree 4
+}

@@ -1,0 +1,338 @@
+// Package topology builds the communication graphs that DiBA's distributed
+// computation runs over: the ring used throughout the evaluation, rings
+// augmented with chords for fault tolerance, the star of the centralized and
+// primal-dual schemes, the two-tier star of the cluster's physical network,
+// and connected Erdős–Rényi random graphs for the Fig. 4.10 connectivity
+// study.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Graph is an undirected simple graph over nodes 0..N-1 stored as adjacency
+// lists. Neighbor lists are kept sorted in ascending order and never contain
+// duplicates or self-loops.
+type Graph struct {
+	adj [][]int
+}
+
+// NewGraph returns an edgeless graph with n nodes.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic("topology: negative node count")
+	}
+	return &Graph{adj: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// Neighbors returns the (shared, read-only) sorted neighbor list of node i.
+func (g *Graph) Neighbors(i int) []int { return g.adj[i] }
+
+// Degree returns the degree of node i.
+func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
+
+// HasEdge reports whether nodes a and b are adjacent.
+func (g *Graph) HasEdge(a, b int) bool {
+	for _, v := range g.adj[a] {
+		if v == b {
+			return true
+		}
+		if v > b {
+			return false
+		}
+	}
+	return false
+}
+
+// AddEdge inserts the undirected edge {a,b}. Self-loops and duplicate edges
+// are rejected with an error.
+func (g *Graph) AddEdge(a, b int) error {
+	n := g.N()
+	if a < 0 || a >= n || b < 0 || b >= n {
+		return fmt.Errorf("topology: edge (%d,%d) out of range 0..%d", a, b, n-1)
+	}
+	if a == b {
+		return fmt.Errorf("topology: self-loop at %d", a)
+	}
+	if g.HasEdge(a, b) {
+		return fmt.Errorf("topology: duplicate edge (%d,%d)", a, b)
+	}
+	g.adj[a] = insertSorted(g.adj[a], b)
+	g.adj[b] = insertSorted(g.adj[b], a)
+	return nil
+}
+
+func insertSorted(s []int, v int) []int {
+	i := 0
+	for i < len(s) && s[i] < v {
+		i++
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// Edges returns every undirected edge once, as ordered pairs (a < b).
+func (g *Graph) Edges() [][2]int {
+	var out [][2]int
+	for a, ns := range g.adj {
+		for _, b := range ns {
+			if a < b {
+				out = append(out, [2]int{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, ns := range g.adj {
+		total += len(ns)
+	}
+	return total / 2
+}
+
+// AvgDegree returns the average node degree 2|E|/N.
+func (g *Graph) AvgDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return 2 * float64(g.NumEdges()) / float64(g.N())
+}
+
+// Connected reports whether the graph is connected (true for N ≤ 1).
+func (g *Graph) Connected() bool {
+	n := g.N()
+	if n <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
+// Diameter returns the longest shortest-path length in the graph via BFS
+// from every node. It returns -1 for a disconnected graph and 0 for N ≤ 1.
+func (g *Graph) Diameter() int {
+	n := g.N()
+	if n <= 1 {
+		return 0
+	}
+	diam := 0
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue = append(queue[:0], s)
+		reached := 1
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[v] {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					if dist[w] > diam {
+						diam = dist[w]
+					}
+					reached++
+					queue = append(queue, w)
+				}
+			}
+		}
+		if reached != n {
+			return -1
+		}
+	}
+	return diam
+}
+
+// MaxDegree returns the largest node degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for _, ns := range g.adj {
+		if len(ns) > m {
+			m = len(ns)
+		}
+	}
+	return m
+}
+
+// Ring returns the cycle graph over n ≥ 3 nodes — the topology DiBA's
+// evaluation uses by default.
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic("topology: ring needs at least 3 nodes")
+	}
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		_ = g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// ChordalRing returns a ring over n nodes augmented with chords connecting
+// each node i to i+stride (mod n), the fault-tolerant variant the text
+// suggests for surviving node failures. stride must be in [2, n-2] and is
+// skipped where it would duplicate a ring edge.
+func ChordalRing(n, stride int) *Graph {
+	g := Ring(n)
+	if stride < 2 || stride > n-2 {
+		panic("topology: chord stride out of range")
+	}
+	for i := 0; i < n; i++ {
+		j := (i + stride) % n
+		if !g.HasEdge(i, j) {
+			_ = g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Star returns a star with the hub at node 0 and n-1 leaves — the logical
+// topology of the centralized and primal-dual schemes.
+func Star(n int) *Graph {
+	if n < 2 {
+		panic("topology: star needs at least 2 nodes")
+	}
+	g := NewGraph(n)
+	for i := 1; i < n; i++ {
+		_ = g.AddEdge(0, i)
+	}
+	return g
+}
+
+// TwoTierStar models the cluster's physical network: node 0 is the core
+// switch, nodes 1..numRacks are top-of-rack switches, and the remaining
+// serversPerRack·numRacks nodes are servers attached to their rack switch.
+// Server k of rack r is node 1+numRacks+r·serversPerRack+k.
+func TwoTierStar(numRacks, serversPerRack int) *Graph {
+	if numRacks < 1 || serversPerRack < 1 {
+		panic("topology: invalid two-tier dimensions")
+	}
+	n := 1 + numRacks + numRacks*serversPerRack
+	g := NewGraph(n)
+	for r := 0; r < numRacks; r++ {
+		tor := 1 + r
+		_ = g.AddEdge(0, tor)
+		for k := 0; k < serversPerRack; k++ {
+			_ = g.AddEdge(tor, 1+numRacks+r*serversPerRack+k)
+		}
+	}
+	return g
+}
+
+// ErdosRenyi samples G(n, m): a graph chosen uniformly among all simple
+// graphs with n nodes and m edges (the model used in Fig. 4.10). It panics
+// if m exceeds n(n-1)/2.
+func ErdosRenyi(n, m int, rng *rand.Rand) *Graph {
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		panic("topology: too many edges requested")
+	}
+	g := NewGraph(n)
+	for g.NumEdges() < m {
+		a := rng.Intn(n)
+		b := rng.Intn(n)
+		if a == b || g.HasEdge(a, b) {
+			continue
+		}
+		_ = g.AddEdge(a, b)
+	}
+	return g
+}
+
+// ConnectedErdosRenyi samples G(n, m) conditioned on connectivity,
+// matching the text's "connected Erdős–Rényi random graphs". Above the
+// connectivity threshold (m ≳ n·ln(n)/2) it rejection-samples true G(n, m);
+// in the sparse regime, where connected graphs are exponentially rare and
+// rejection would never terminate, it falls back to a uniform random
+// spanning tree plus uniformly random extra edges — connected by
+// construction with the same edge count. It panics if m < n-1.
+func ConnectedErdosRenyi(n, m int, rng *rand.Rand) *Graph {
+	if m < n-1 {
+		panic("topology: fewer edges than a spanning tree")
+	}
+	const rejectionTries = 200
+	for try := 0; try < rejectionTries; try++ {
+		g := ErdosRenyi(n, m, rng)
+		if g.Connected() {
+			return g
+		}
+	}
+	// Sparse regime: random-walk spanning tree (uniform over trees on the
+	// complete graph, by Broder/Aldous), then top up with random edges.
+	g := NewGraph(n)
+	visited := make([]bool, n)
+	cur := rng.Intn(n)
+	visited[cur] = true
+	remaining := n - 1
+	for remaining > 0 {
+		next := rng.Intn(n)
+		if next == cur {
+			continue
+		}
+		if !visited[next] {
+			_ = g.AddEdge(cur, next)
+			visited[next] = true
+			remaining--
+		}
+		cur = next
+	}
+	for g.NumEdges() < m {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b || g.HasEdge(a, b) {
+			continue
+		}
+		_ = g.AddEdge(a, b)
+	}
+	return g
+}
+
+// Complete returns the complete graph on n nodes.
+func Complete(n int) *Graph {
+	g := NewGraph(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			_ = g.AddEdge(a, b)
+		}
+	}
+	return g
+}
+
+// RemoveNode returns a copy of g with node v isolated (all incident edges
+// dropped). Node ids are preserved; the node stays in the graph with degree
+// zero. This models a crashed server in the fault-tolerance experiments.
+func (g *Graph) RemoveNode(v int) *Graph {
+	out := NewGraph(g.N())
+	for a, ns := range g.adj {
+		for _, b := range ns {
+			if a < b && a != v && b != v {
+				_ = out.AddEdge(a, b)
+			}
+		}
+	}
+	return out
+}

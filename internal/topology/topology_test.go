@@ -1,0 +1,290 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Fatal("self-loop must be rejected")
+	}
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Fatal("out-of-range edge must be rejected")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Fatal("duplicate edge must be rejected")
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge must be undirected")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := NewGraph(5)
+	for _, b := range []int{4, 1, 3, 2} {
+		if err := g.AddEdge(0, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ns := g.Neighbors(0)
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1] >= ns[i] {
+			t.Fatalf("neighbors not sorted: %v", ns)
+		}
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := Ring(10)
+	if g.NumEdges() != 10 {
+		t.Fatalf("ring edges = %d, want 10", g.NumEdges())
+	}
+	for i := 0; i < 10; i++ {
+		if g.Degree(i) != 2 {
+			t.Fatalf("node %d degree = %d, want 2", i, g.Degree(i))
+		}
+	}
+	if !g.Connected() {
+		t.Fatal("ring must be connected")
+	}
+	if d := g.Diameter(); d != 5 {
+		t.Fatalf("ring-10 diameter = %d, want 5", d)
+	}
+	if got := g.AvgDegree(); got != 2 {
+		t.Fatalf("avg degree = %v, want 2", got)
+	}
+}
+
+func TestRingTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Ring(2)
+}
+
+func TestChordalRing(t *testing.T) {
+	g := ChordalRing(10, 3)
+	if !g.Connected() {
+		t.Fatal("chordal ring must be connected")
+	}
+	// Every node gains exactly two chord endpoints when stride ∤ pattern.
+	for i := 0; i < 10; i++ {
+		if g.Degree(i) != 4 {
+			t.Fatalf("node %d degree = %d, want 4", i, g.Degree(i))
+		}
+	}
+	if g.Diameter() >= Ring(10).Diameter() {
+		t.Fatal("chords must shrink the diameter")
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(8)
+	if g.Degree(0) != 7 {
+		t.Fatalf("hub degree = %d, want 7", g.Degree(0))
+	}
+	for i := 1; i < 8; i++ {
+		if g.Degree(i) != 1 {
+			t.Fatalf("leaf %d degree = %d, want 1", i, g.Degree(i))
+		}
+	}
+	if g.Diameter() != 2 {
+		t.Fatalf("star diameter = %d, want 2", g.Diameter())
+	}
+}
+
+func TestTwoTierStar(t *testing.T) {
+	g := TwoTierStar(4, 10)
+	if g.N() != 1+4+40 {
+		t.Fatalf("N = %d, want 45", g.N())
+	}
+	if g.Degree(0) != 4 {
+		t.Fatalf("core degree = %d, want 4", g.Degree(0))
+	}
+	for r := 0; r < 4; r++ {
+		if got := g.Degree(1 + r); got != 11 { // core + 10 servers
+			t.Fatalf("ToR %d degree = %d, want 11", r, got)
+		}
+	}
+	if !g.Connected() {
+		t.Fatal("two-tier star must be connected")
+	}
+	if g.Diameter() != 4 {
+		t.Fatalf("diameter = %d, want 4", g.Diameter())
+	}
+}
+
+func TestErdosRenyiEdgeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := ErdosRenyi(20, 50, rng)
+	if g.NumEdges() != 50 {
+		t.Fatalf("edges = %d, want 50", g.NumEdges())
+	}
+	if g.N() != 20 {
+		t.Fatalf("N = %d, want 20", g.N())
+	}
+}
+
+func TestConnectedErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		g := ConnectedErdosRenyi(30, 35, rng)
+		if !g.Connected() {
+			t.Fatal("must be connected")
+		}
+		if g.NumEdges() != 35 {
+			t.Fatalf("edges = %d, want 35", g.NumEdges())
+		}
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(6)
+	if g.NumEdges() != 15 {
+		t.Fatalf("K6 edges = %d, want 15", g.NumEdges())
+	}
+	if g.Diameter() != 1 {
+		t.Fatalf("K6 diameter = %d, want 1", g.Diameter())
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := NewGraph(4)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(2, 3)
+	if g.Connected() {
+		t.Fatal("must be disconnected")
+	}
+	if g.Diameter() != -1 {
+		t.Fatal("diameter of disconnected graph must be -1")
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	g := Ring(6)
+	h := g.RemoveNode(2)
+	if h.Degree(2) != 0 {
+		t.Fatal("removed node must be isolated")
+	}
+	if h.NumEdges() != 4 {
+		t.Fatalf("edges after removal = %d, want 4", h.NumEdges())
+	}
+	// Ring minus one node stays connected among the others but the graph as
+	// a whole (with the isolated node) is disconnected.
+	if h.Connected() {
+		t.Fatal("graph with isolated node is disconnected")
+	}
+	// Original untouched.
+	if g.Degree(2) != 2 {
+		t.Fatal("RemoveNode must not mutate the receiver")
+	}
+}
+
+func TestEdgesEnumeration(t *testing.T) {
+	g := Ring(4)
+	edges := g.Edges()
+	if len(edges) != 4 {
+		t.Fatalf("len(edges) = %d, want 4", len(edges))
+	}
+	for _, e := range edges {
+		if e[0] >= e[1] {
+			t.Fatalf("edge %v not ordered", e)
+		}
+	}
+}
+
+// Property: handshake lemma — sum of degrees equals twice the edge count,
+// on random ER graphs.
+func TestHandshakeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		maxE := n * (n - 1) / 2
+		m := rng.Intn(maxE + 1)
+		g := ErdosRenyi(n, m, rng)
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += g.Degree(i)
+		}
+		return sum == 2*g.NumEdges() && g.NumEdges() == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: neighbor lists are mutual — j ∈ N(i) ⇔ i ∈ N(j).
+func TestSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		m := n + rng.Intn(n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := ConnectedErdosRenyi(n, m, rng)
+		for i := 0; i < n; i++ {
+			for _, j := range g.Neighbors(i) {
+				if !g.HasEdge(j, i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnBadParameters(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewGraph(-1)", func() { NewGraph(-1) })
+	mustPanic("Star(1)", func() { Star(1) })
+	mustPanic("ChordalRing stride 1", func() { ChordalRing(10, 1) })
+	mustPanic("ChordalRing stride n-1", func() { ChordalRing(10, 9) })
+	mustPanic("TwoTierStar(0,1)", func() { TwoTierStar(0, 1) })
+	mustPanic("ER too many edges", func() { ErdosRenyi(3, 10, rand.New(rand.NewSource(1))) })
+	mustPanic("ConnectedER too few edges", func() { ConnectedErdosRenyi(5, 3, rand.New(rand.NewSource(1))) })
+}
+
+func TestTrivialGraphProperties(t *testing.T) {
+	empty := NewGraph(0)
+	if empty.AvgDegree() != 0 || !empty.Connected() || empty.Diameter() != 0 {
+		t.Fatal("empty graph properties wrong")
+	}
+	single := NewGraph(1)
+	if !single.Connected() || single.Diameter() != 0 || single.MaxDegree() != 0 {
+		t.Fatal("single-node graph properties wrong")
+	}
+}
+
+func TestConnectedErdosRenyiSparseFallback(t *testing.T) {
+	// Far below the connectivity threshold rejection can't succeed; the
+	// spanning-tree fallback must deliver a connected graph with the exact
+	// edge count.
+	rng := rand.New(rand.NewSource(5))
+	g := ConnectedErdosRenyi(200, 200, rng)
+	if !g.Connected() {
+		t.Fatal("sparse fallback must be connected")
+	}
+	if g.NumEdges() != 200 {
+		t.Fatalf("edges = %d, want 200", g.NumEdges())
+	}
+}

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Catalog I/O. The benchmark catalogs shipped here are synthetic stand-ins
+// (DESIGN.md, substitution 1); a deployment that has characterized its own
+// machines replaces them with measured parameters. WriteCatalog/ReadCatalog
+// serialize catalogs as JSON so such curves live in version-controlled
+// config rather than Go source.
+
+// WriteCatalog serializes a catalog as indented JSON.
+func WriteCatalog(w io.Writer, catalog []Benchmark) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(catalog)
+}
+
+// ReadCatalog deserializes and validates a catalog.
+func ReadCatalog(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("workload: decoding catalog: %w", err)
+	}
+	if err := ValidateCatalog(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ValidateCatalog checks every benchmark's parameters and name uniqueness.
+func ValidateCatalog(catalog []Benchmark) error {
+	if len(catalog) == 0 {
+		return fmt.Errorf("workload: empty catalog")
+	}
+	seen := make(map[string]bool, len(catalog))
+	for i, b := range catalog {
+		if b.Name == "" {
+			return fmt.Errorf("workload: catalog entry %d has no name", i)
+		}
+		if seen[b.Name] {
+			return fmt.Errorf("workload: duplicate benchmark name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.PeakBIPS <= 0 {
+			return fmt.Errorf("workload: %s: PeakBIPS must be positive", b.Name)
+		}
+		if b.Base <= 0 || b.Base >= 1 {
+			return fmt.Errorf("workload: %s: Base %g outside (0,1)", b.Name, b.Base)
+		}
+		if b.MemBound <= 0 || b.MemBound > 1 {
+			return fmt.Errorf("workload: %s: MemBound %g outside (0,1]", b.Name, b.MemBound)
+		}
+		if b.SatFrac < 0 || b.SatFrac > 1 {
+			return fmt.Errorf("workload: %s: SatFrac %g outside [0,1]", b.Name, b.SatFrac)
+		}
+		if b.LLCPerKInst < 0 {
+			return fmt.Errorf("workload: %s: negative LLC rate", b.Name)
+		}
+	}
+	return nil
+}

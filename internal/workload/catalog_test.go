@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCatalogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCatalog(&buf, HPC); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCatalog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(HPC) {
+		t.Fatalf("round trip lost entries: %d vs %d", len(got), len(HPC))
+	}
+	for i := range got {
+		if got[i] != HPC[i] {
+			t.Fatalf("entry %d changed: %+v vs %+v", i, got[i], HPC[i])
+		}
+	}
+}
+
+func TestShippedCatalogsValidate(t *testing.T) {
+	for _, cat := range [][]Benchmark{HPC, Desktop} {
+		if err := ValidateCatalog(cat); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReadCatalogRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "{not json",
+		"empty":        "[]",
+		"no name":      `[{"PeakBIPS":1,"Base":0.5,"MemBound":0.5}]`,
+		"bad peak":     `[{"Name":"x","PeakBIPS":0,"Base":0.5,"MemBound":0.5}]`,
+		"bad base":     `[{"Name":"x","PeakBIPS":1,"Base":1.5,"MemBound":0.5}]`,
+		"bad membound": `[{"Name":"x","PeakBIPS":1,"Base":0.5,"MemBound":0}]`,
+		"bad satfrac":  `[{"Name":"x","PeakBIPS":1,"Base":0.5,"MemBound":0.5,"SatFrac":2}]`,
+		"negative llc": `[{"Name":"x","PeakBIPS":1,"Base":0.5,"MemBound":0.5,"LLCPerKInst":-1}]`,
+		"duplicate":    `[{"Name":"x","PeakBIPS":1,"Base":0.5,"MemBound":0.5},{"Name":"x","PeakBIPS":1,"Base":0.5,"MemBound":0.5}]`,
+	}
+	for label, in := range cases {
+		if _, err := ReadCatalog(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: must be rejected", label)
+		}
+	}
+}
+
+func TestCustomCatalogDrivesAssign(t *testing.T) {
+	custom := `[
+	  {"Name":"batch","PeakBIPS":10,"Base":0.3,"MemBound":0.2,"SatFrac":1,"LLCPerKInst":1},
+	  {"Name":"serve","PeakBIPS":5,"Base":0.8,"MemBound":0.9,"SatFrac":0.4,"LLCPerKInst":9}
+	]`
+	cat, err := ReadCatalog(strings.NewReader(custom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	a, err := Assign(cat, 6, DefaultServer, 0, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, b := range a.Benchmarks {
+		seen[b.Name] = true
+	}
+	if !seen["batch"] || !seen["serve"] {
+		t.Fatal("custom catalog entries must drive the assignment")
+	}
+	// The saturating "serve" workload's fitted model must flatten inside
+	// the cap range.
+	for i, b := range a.Benchmarks {
+		if b.Name == "serve" {
+			q := a.Utilities[i]
+			if q.Grad(DefaultServer.MaxWatts-1) > q.Grad(DefaultServer.IdleWatts+1) {
+				t.Fatal("saturating workload should have a decaying gradient")
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// Real applications move through phases — the text re-solves budgets
+// periodically "because workloads change their characteristics during
+// runtime". Phased models such an application: it cycles through a
+// sequence of per-phase benchmarks (e.g. a compute-heavy solve phase, a
+// memory-heavy assembly phase), each with a dwell time, so the utility the
+// budgeter should use drifts on a timescale the controller must track.
+type Phased struct {
+	// Name labels the phased application.
+	Name string
+	// Phases are the per-phase behaviours.
+	Phases []Benchmark
+	// DwellSeconds is each phase's mean duration.
+	DwellSeconds []float64
+
+	phase     int
+	remaining float64
+}
+
+// NewPhased validates and builds a phased workload starting in phase 0.
+func NewPhased(name string, phases []Benchmark, dwellSeconds []float64) (*Phased, error) {
+	if len(phases) < 2 {
+		return nil, errors.New("workload: a phased workload needs at least two phases")
+	}
+	if len(phases) != len(dwellSeconds) {
+		return nil, errors.New("workload: phases/dwell length mismatch")
+	}
+	for _, d := range dwellSeconds {
+		if d <= 0 {
+			return nil, errors.New("workload: non-positive dwell time")
+		}
+	}
+	return &Phased{
+		Name:         name,
+		Phases:       phases,
+		DwellSeconds: dwellSeconds,
+		remaining:    dwellSeconds[0],
+	}, nil
+}
+
+// Current returns the benchmark of the active phase.
+func (p *Phased) Current() Benchmark { return p.Phases[p.phase] }
+
+// Phase returns the active phase index.
+func (p *Phased) Phase() int { return p.phase }
+
+// Advance moves simulated time forward by dt seconds and reports whether a
+// phase transition occurred. Dwell times are exponentially distributed
+// around their means when rng is non-nil, deterministic otherwise.
+func (p *Phased) Advance(dt float64, rng *rand.Rand) bool {
+	changed := false
+	for dt > 0 {
+		if dt < p.remaining {
+			p.remaining -= dt
+			break
+		}
+		dt -= p.remaining
+		p.phase = (p.phase + 1) % len(p.Phases)
+		mean := p.DwellSeconds[p.phase]
+		if rng != nil {
+			p.remaining = rng.ExpFloat64() * mean
+			if p.remaining < mean/10 {
+				p.remaining = mean / 10 // avoid zero-length phases
+			}
+		} else {
+			p.remaining = mean
+		}
+		changed = true
+	}
+	return changed
+}
+
+// Utility fits the active phase's quadratic model on server s (noise-free;
+// callers wanting measurement error should sweep and fit themselves).
+func (p *Phased) Utility(s Server) Quadratic {
+	return TrueUtility(p.Current(), s)
+}

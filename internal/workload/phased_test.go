@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func phasedFixture(t *testing.T) *Phased {
+	t.Helper()
+	ep, _ := ByName(HPC, "EP")
+	ra, _ := ByName(HPC, "RA")
+	p, err := NewPhased("solver", []Benchmark{ep, ra}, []float64{10, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPhasedValidation(t *testing.T) {
+	ep, _ := ByName(HPC, "EP")
+	if _, err := NewPhased("x", []Benchmark{ep}, []float64{1}); err == nil {
+		t.Fatal("single phase must be rejected")
+	}
+	if _, err := NewPhased("x", []Benchmark{ep, ep}, []float64{1}); err == nil {
+		t.Fatal("length mismatch must be rejected")
+	}
+	if _, err := NewPhased("x", []Benchmark{ep, ep}, []float64{1, 0}); err == nil {
+		t.Fatal("zero dwell must be rejected")
+	}
+}
+
+func TestPhasedDeterministicCycle(t *testing.T) {
+	p := phasedFixture(t)
+	if p.Phase() != 0 || p.Current().Name != "EP" {
+		t.Fatal("must start in phase 0")
+	}
+	if p.Advance(9, nil) {
+		t.Fatal("no transition before the dwell elapses")
+	}
+	if !p.Advance(1, nil) {
+		t.Fatal("transition at exactly the dwell boundary")
+	}
+	if p.Current().Name != "RA" {
+		t.Fatalf("phase 1 must be RA, got %s", p.Current().Name)
+	}
+	// 5 s of RA then back to EP; a 20 s jump crosses multiple boundaries.
+	if !p.Advance(20, nil) {
+		t.Fatal("long advance must cross transitions")
+	}
+	if p.Phase() >= len(p.Phases) {
+		t.Fatal("phase index out of range")
+	}
+}
+
+func TestPhasedUtilityTracksPhase(t *testing.T) {
+	p := phasedFixture(t)
+	s := DefaultServer
+	epU := p.Utility(s)
+	p.Advance(10, nil)
+	raU := p.Utility(s)
+	// EP (compute-bound) gains far more over the cap range than RA.
+	epGain := epU.Value(s.MaxWatts) - epU.Value(s.IdleWatts)
+	raGain := raU.Value(s.MaxWatts) - raU.Value(s.IdleWatts)
+	if epGain <= raGain {
+		t.Fatalf("EP-phase gain %v must exceed RA-phase gain %v", epGain, raGain)
+	}
+}
+
+func TestPhasedRandomDwellsStayPositive(t *testing.T) {
+	p := phasedFixture(t)
+	rng := rand.New(rand.NewSource(3))
+	transitions := 0
+	for k := 0; k < 1000; k++ {
+		if p.Advance(1, rng) {
+			transitions++
+		}
+	}
+	if transitions < 50 {
+		t.Fatalf("expected many transitions over 1000 s, got %d", transitions)
+	}
+}

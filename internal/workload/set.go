@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"math/rand"
+)
+
+// Chapter 3 runs four workload instances per server (one per core of the
+// quad-core i7) and budgets power over a discrete cap grid. Set models such
+// a four-member workload set; it is the unit the throughput predictor and
+// the knapsack budgeter operate on.
+
+// SetKind distinguishes the two workload-composition cases of Fig. 3.12.
+type SetKind int
+
+const (
+	// HomoWithin: four instances of the same benchmark on one server
+	// ("heterogeneous across servers, homogeneous within server").
+	HomoWithin SetKind = iota
+	// HeteroWithin: four different benchmarks co-located on one server.
+	HeteroWithin
+)
+
+func (k SetKind) String() string {
+	if k == HomoWithin {
+		return "homogeneous-within"
+	}
+	return "heterogeneous-within"
+}
+
+// Set is a four-member workload set running on one server.
+type Set struct {
+	Members [4]Benchmark
+	Kind    SetKind
+}
+
+// NewHomoSet builds a set of four instances of benchmark b.
+func NewHomoSet(b Benchmark) Set {
+	return Set{Members: [4]Benchmark{b, b, b, b}, Kind: HomoWithin}
+}
+
+// NewHeteroSet draws four distinct benchmarks from catalog at random.
+// The catalog must hold at least four entries.
+func NewHeteroSet(catalog []Benchmark, rng *rand.Rand) Set {
+	if len(catalog) < 4 {
+		panic("workload: catalog too small for a heterogeneous set")
+	}
+	perm := rng.Perm(len(catalog))
+	var s Set
+	for i := 0; i < 4; i++ {
+		s.Members[i] = catalog[perm[i]]
+	}
+	s.Kind = HeteroWithin
+	return s
+}
+
+// GroundTruth returns the set's true aggregate throughput (BIPS) under
+// power cap p on server s: the mean of the members' whole-server curves.
+// Co-located heterogeneous members additionally interfere on shared caches;
+// following the text's observation that "interactions between the workloads
+// within the servers reduce the accuracy of the throughput predictor", the
+// interference term bends the curve by an amount invisible to the quadratic
+// family, so models fitted at one cap extrapolate slightly worse.
+func (ws Set) GroundTruth(p float64, s Server) float64 {
+	var sum float64
+	for _, b := range ws.Members {
+		sum += b.GroundTruth(p, s.IdleWatts, s.MaxWatts)
+	}
+	mean := sum / 4
+	if ws.Kind == HeteroWithin {
+		x := (clamp(p, s.IdleWatts, s.MaxWatts) - s.IdleWatts) / (s.MaxWatts - s.IdleWatts)
+		spread := ws.llcSpread()
+		// Contention penalty, strongest mid-range where co-runners compete
+		// hardest for the shared cache; bounded by 6 % at maximal spread.
+		mean *= 1 - 0.06*spread*4*x*(1-x)*x
+	}
+	return mean
+}
+
+// llcSpread returns the normalized spread of members' LLC intensities, the
+// driver of co-location interference (0 for homogeneous sets).
+func (ws Set) llcSpread() float64 {
+	lo, hi := ws.Members[0].LLCPerKInst, ws.Members[0].LLCPerKInst
+	for _, b := range ws.Members[1:] {
+		if b.LLCPerKInst < lo {
+			lo = b.LLCPerKInst
+		}
+		if b.LLCPerKInst > hi {
+			hi = b.LLCPerKInst
+		}
+	}
+	const llcScale = 16.0
+	return (hi - lo) / llcScale
+}
+
+// LLC returns the set's mean last-level-cache miss intensity (misses per
+// 1000 instructions), the performance-counter signal the Chapter 3
+// predictor keys on.
+func (ws Set) LLC() float64 {
+	var sum float64
+	for _, b := range ws.Members {
+		sum += b.LLCPerKInst
+	}
+	return sum / 4
+}
+
+// Peak returns the set's true throughput at the highest cap, the "ideal
+// throughput" Chapter 3 normalizes ANP against.
+func (ws Set) Peak(s Server) float64 { return ws.GroundTruth(s.MaxWatts, s) }
+
+// Observation is one runtime measurement of a capped server: what the power
+// monitor and PMU deliver to the budgeter.
+type Observation struct {
+	Cap        float64 // enforced power cap (W)
+	Throughput float64 // measured BIPS
+	LLC        float64 // measured LLC misses per 1000 instructions
+}
+
+// Observe measures the set at cap p with relative measurement noise.
+func (ws Set) Observe(p float64, s Server, noise float64, rng *rand.Rand) Observation {
+	r := ws.GroundTruth(p, s)
+	l := ws.LLC()
+	if noise > 0 {
+		r *= 1 + noise*rng.NormFloat64()
+		l *= 1 + noise*rng.NormFloat64()
+		if l < 0 {
+			l = 0
+		}
+		if r < 0 {
+			r = 0
+		}
+	}
+	return Observation{Cap: p, Throughput: r, LLC: l}
+}
+
+// CapGrid returns the discrete power caps p0, p0+step, …, up to MaxWatts
+// inclusive — e.g. 130, 135, …, 165 W for the Chapter 3 server (r = 8 caps).
+func CapGrid(s Server, step float64) []float64 {
+	if step <= 0 {
+		panic("workload: non-positive cap step")
+	}
+	var grid []float64
+	for p := s.IdleWatts; p <= s.MaxWatts+1e-9; p += step {
+		grid = append(grid, p)
+	}
+	return grid
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DVFSLevels are the processor frequencies (GHz) of the reference Xeon
+// L5520, which scales from 1.60 GHz to 2.27 GHz (Section 4.4.1).
+var DVFSLevels = []float64{1.60, 1.73, 1.86, 2.00, 2.13, 2.27}
+
+// PowerAtDVFS returns the full-load power draw of server s at frequency f
+// given the frequency range [fmin, fmax]. Dynamic power grows super-linearly
+// with frequency (voltage scales with it); a 40 % linear / 60 % cubic blend
+// reproduces the convex shape of measured DVFS sweeps.
+func PowerAtDVFS(s Server, f, fmin, fmax float64) float64 {
+	if fmax <= fmin {
+		panic("workload: empty frequency range")
+	}
+	x := (f - fmin) / (fmax - fmin)
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	return s.IdleWatts + (s.MaxWatts-s.IdleWatts)*(0.4*x+0.6*x*x*x)
+}
+
+// Sweep simulates the paper's characterization procedure: run benchmark b at
+// every DVFS level on server s, measure power and throughput, and return the
+// paired samples. noise is the relative standard deviation of the throughput
+// measurement (the paper's multimeter/pfmon pipeline has small but nonzero
+// error).
+func Sweep(b Benchmark, s Server, noise float64, rng *rand.Rand) (powers, throughputs []float64) {
+	fmin, fmax := DVFSLevels[0], DVFSLevels[len(DVFSLevels)-1]
+	powers = make([]float64, len(DVFSLevels))
+	throughputs = make([]float64, len(DVFSLevels))
+	for i, f := range DVFSLevels {
+		p := PowerAtDVFS(s, f, fmin, fmax)
+		r := b.GroundTruth(p, s.IdleWatts, s.MaxWatts)
+		if noise > 0 {
+			r *= 1 + noise*rng.NormFloat64()
+		}
+		if r < 0 {
+			r = 0
+		}
+		powers[i] = p
+		throughputs[i] = r
+	}
+	return powers, throughputs
+}
+
+// FitFromSweep runs a sweep and fits the quadratic throughput model, the
+// exact "learn the throughput function on-the-fly" procedure of
+// Section 4.4.1.
+func FitFromSweep(b Benchmark, s Server, noise float64, rng *rand.Rand) (Quadratic, error) {
+	p, r := Sweep(b, s, noise, rng)
+	q, err := FitQuadratic(p, r, s.IdleWatts, s.MaxWatts)
+	if err != nil {
+		return Quadratic{}, fmt.Errorf("workload: fitting %s: %w", b.Name, err)
+	}
+	return q, nil
+}
+
+// Assignment is a cluster-wide draw of workloads: one benchmark instance and
+// its fitted utility per server.
+type Assignment struct {
+	Benchmarks []Benchmark
+	Utilities  []Quadratic
+}
+
+// Assign draws a benchmark uniformly at random from catalog for each of n
+// servers — guaranteeing every benchmark type appears at least once when
+// n ≥ len(catalog), as the simulation setup requires — perturbs its curve
+// per-server by perturb, fits utilities from noisy sweeps, and returns the
+// assignment. noise and perturb may be zero for exact models.
+func Assign(catalog []Benchmark, n int, s Server, perturb, noise float64, rng *rand.Rand) (Assignment, error) {
+	if len(catalog) == 0 {
+		return Assignment{}, fmt.Errorf("workload: empty catalog")
+	}
+	if err := s.Validate(); err != nil {
+		return Assignment{}, err
+	}
+	a := Assignment{
+		Benchmarks: make([]Benchmark, n),
+		Utilities:  make([]Quadratic, n),
+	}
+	for i := 0; i < n; i++ {
+		var b Benchmark
+		if i < len(catalog) && n >= len(catalog) {
+			b = catalog[i] // seed one of each type first
+		} else {
+			b = catalog[rng.Intn(len(catalog))]
+		}
+		if perturb > 0 {
+			b = b.Perturb(rng, perturb)
+		}
+		q, err := FitFromSweep(b, s, noise, rng)
+		if err != nil {
+			return Assignment{}, err
+		}
+		a.Benchmarks[i] = b
+		a.Utilities[i] = q
+	}
+	return a, nil
+}
+
+// UtilitySlice converts the assignment's quadratics to the Utility
+// interface, the form the allocators accept.
+func (a Assignment) UtilitySlice() []Utility {
+	out := make([]Utility, len(a.Utilities))
+	for i := range a.Utilities {
+		out[i] = a.Utilities[i]
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"powercap/internal/linalg"
+)
+
+// Server describes the power-cap range of one physical server, matching the
+// Dell PowerEdge C1100 class machines of the evaluation: the cap can be
+// enforced anywhere between the idle-power floor and the maximum draw.
+type Server struct {
+	IdleWatts float64
+	MaxWatts  float64
+}
+
+// DefaultServer is the reference server used by the Chapter 4 experiments,
+// modeled on the dual-socket Dell PowerEdge C1100 of the evaluation
+// (idle ≈ 120 W, peak ≈ 250 W). With 1000 servers its cap range makes the
+// paper's 166–186 kW cluster budgets genuinely constraining: a uniform
+// split sits at roughly a third of each server's dynamic range.
+var DefaultServer = Server{IdleWatts: 110, MaxWatts: 200}
+
+// Chapter3Server is the quad-core i7 reference server of Chapter 3, with the
+// discrete cap grid 130 W … 165 W in 5 W steps.
+var Chapter3Server = Server{IdleWatts: 130, MaxWatts: 165}
+
+// Validate reports an error if the cap range is empty or non-physical.
+func (s Server) Validate() error {
+	if s.IdleWatts <= 0 || s.MaxWatts <= s.IdleWatts {
+		return fmt.Errorf("workload: invalid server power range [%g, %g]", s.IdleWatts, s.MaxWatts)
+	}
+	return nil
+}
+
+// Utility is the per-node objective r_i(p_i) every allocator consumes: the
+// throughput the node attains when capped at p watts, defined on
+// [MinPower, MaxPower]. Implementations must be continuous, non-decreasing
+// and concave on the range for the optimality guarantees of the solvers to
+// hold; the quadratic fits produced by this package satisfy that by
+// construction.
+type Utility interface {
+	// Value returns the throughput at power cap p. Arguments outside the
+	// range are clamped.
+	Value(p float64) float64
+	// Grad returns dValue/dp at p (one-sided at the range ends).
+	Grad(p float64) float64
+	// MinPower returns the lowest enforceable cap (idle power).
+	MinPower() float64
+	// MaxPower returns the highest meaningful cap.
+	MaxPower() float64
+	// Peak returns the maximum attainable throughput on the cap range,
+	// used to normalize ANP = Value/Peak.
+	Peak() float64
+}
+
+// BestResponder is implemented by utilities that can compute
+// argmax_p { Value(p) − λ·p } in closed form. The primal-dual baseline and
+// the centralized oracle use it; callers fall back to numeric search when a
+// Utility does not implement it.
+type BestResponder interface {
+	// BestResponse returns the cap in [MinPower, MaxPower] maximizing
+	// Value(p) − λ·p.
+	BestResponse(lambda float64) float64
+}
+
+// Quadratic is a fitted throughput model r(p) = A0 + A1·p + A2·p² on
+// [MinW, MaxW], the model family of Eq. 3.7 and the Chapter 4 throughput
+// functions. A2 ≤ 0 (concavity) is enforced at construction.
+//
+// When the fitted parabola peaks inside the cap range — a workload that
+// saturates before the top cap — the model is flat beyond the vertex: a
+// capped server never draws more power than its workload can use, so
+// raising the cap past the saturation point leaves throughput at the peak
+// (it does not bend down). Value and Grad evaluate at the effective draw
+// min(p, vertex).
+type Quadratic struct {
+	A0, A1, A2 float64
+	MinW, MaxW float64
+}
+
+// ErrNotConcave is returned when a quadratic fit comes out convex, which
+// the noise levels used in this repository should never produce.
+var ErrNotConcave = errors.New("workload: fitted quadratic is not concave")
+
+// NewQuadratic validates and returns a quadratic utility.
+func NewQuadratic(a0, a1, a2, minW, maxW float64) (Quadratic, error) {
+	if minW >= maxW {
+		return Quadratic{}, fmt.Errorf("workload: empty power range [%g, %g]", minW, maxW)
+	}
+	if a2 > 0 {
+		return Quadratic{}, ErrNotConcave
+	}
+	q := Quadratic{A0: a0, A1: a1, A2: a2, MinW: minW, MaxW: maxW}
+	if q.Grad(minW) < 0 {
+		return Quadratic{}, fmt.Errorf("workload: quadratic decreasing at range start (grad %g)", q.Grad(minW))
+	}
+	return q, nil
+}
+
+func (q Quadratic) clamp(p float64) float64 {
+	if p < q.MinW {
+		return q.MinW
+	}
+	if p > q.MaxW {
+		return q.MaxW
+	}
+	return p
+}
+
+// effective returns the power the server actually draws under cap p: the
+// cap clamped to the range, and never past the model's vertex (saturation).
+func (q Quadratic) effective(p float64) float64 {
+	p = q.clamp(p)
+	if q.A2 < 0 {
+		if v := -q.A1 / (2 * q.A2); p > v {
+			p = v
+		}
+	}
+	return p
+}
+
+// Value returns r(p) with p clamped to the cap range and to the saturation
+// point, making the model monotone non-decreasing.
+func (q Quadratic) Value(p float64) float64 {
+	p = q.effective(p)
+	return q.A0 + q.A1*p + q.A2*p*p
+}
+
+// Grad returns r'(p) at the effective draw (0 beyond saturation).
+func (q Quadratic) Grad(p float64) float64 {
+	p = q.effective(p)
+	return q.A1 + 2*q.A2*p
+}
+
+// MinPower returns the lowest enforceable cap.
+func (q Quadratic) MinPower() float64 { return q.MinW }
+
+// MaxPower returns the highest meaningful cap.
+func (q Quadratic) MaxPower() float64 { return q.MaxW }
+
+// Peak returns the maximum of r over the cap range. For a concave quadratic
+// this is either the vertex or the upper range end.
+func (q Quadratic) Peak() float64 {
+	if q.A2 < 0 {
+		vertex := -q.A1 / (2 * q.A2)
+		if vertex >= q.MinW && vertex <= q.MaxW {
+			return q.Value(vertex)
+		}
+	}
+	vLo, vHi := q.Value(q.MinW), q.Value(q.MaxW)
+	if vLo > vHi {
+		return vLo
+	}
+	return vHi
+}
+
+// BestResponse returns argmax_p { r(p) − λp } on the cap range, in closed
+// form: the stationary point (A1−λ)/(−2A2) clamped, or an endpoint when the
+// quadratic degenerates to a line.
+func (q Quadratic) BestResponse(lambda float64) float64 {
+	if q.A2 == 0 {
+		if q.A1 > lambda {
+			return q.MaxW
+		}
+		return q.MinW
+	}
+	return q.clamp((lambda - q.A1) / (2 * q.A2))
+}
+
+// FitQuadratic least-squares fits r(p) = a0 + a1 p + a2 p² to sweep samples
+// and returns the resulting utility bounded to [minW, maxW]. At least three
+// samples are required. If the unconstrained fit is (slightly) convex due to
+// noise, the curvature is clamped to zero and a line is refit, keeping the
+// model concave as the algorithms require.
+func FitQuadratic(powers, throughputs []float64, minW, maxW float64) (Quadratic, error) {
+	if len(powers) != len(throughputs) {
+		return Quadratic{}, linalg.ErrShape
+	}
+	if len(powers) < 3 {
+		return Quadratic{}, errors.New("workload: need at least 3 sweep samples")
+	}
+	a := linalg.New(len(powers), 3)
+	for i, p := range powers {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, p)
+		a.Set(i, 2, p*p)
+	}
+	c, err := linalg.LeastSquares(a, throughputs)
+	if err != nil {
+		return Quadratic{}, err
+	}
+	if c[2] > 0 {
+		// Refit as a non-decreasing line.
+		al := linalg.New(len(powers), 2)
+		for i, p := range powers {
+			al.Set(i, 0, 1)
+			al.Set(i, 1, p)
+		}
+		cl, err := linalg.LeastSquares(al, throughputs)
+		if err != nil {
+			return Quadratic{}, err
+		}
+		c = []float64{cl[0], cl[1], 0}
+	}
+	q, err := NewQuadratic(c[0], c[1], c[2], minW, maxW)
+	if err != nil {
+		return Quadratic{}, fmt.Errorf("fit rejected: %w", err)
+	}
+	return q, nil
+}
+
+// TrueUtility returns the noise-free quadratic utility of the benchmark on
+// the given server — the "oracle" model the paper's oracle+knapsack
+// comparison uses: the least-squares quadratic of a dense noiseless sweep
+// of the ground-truth curve. For benchmarks without interior saturation
+// the ground truth is itself quadratic and the fit is exact.
+func TrueUtility(b Benchmark, s Server) Quadratic {
+	const samples = 28
+	powers := make([]float64, samples)
+	values := make([]float64, samples)
+	span := s.MaxWatts - s.IdleWatts
+	for i := 0; i < samples; i++ {
+		p := s.IdleWatts + span*float64(i)/float64(samples-1)
+		powers[i] = p
+		values[i] = b.GroundTruth(p, s.IdleWatts, s.MaxWatts)
+	}
+	q, err := FitQuadratic(powers, values, s.IdleWatts, s.MaxWatts)
+	if err != nil {
+		panic(fmt.Sprintf("workload: internal error building true utility for %s: %v", b.Name, err))
+	}
+	return q
+}

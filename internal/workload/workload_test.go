@@ -1,0 +1,441 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCatalogsWellFormed(t *testing.T) {
+	for _, cat := range [][]Benchmark{HPC, Desktop} {
+		for _, b := range cat {
+			if b.Name == "" || b.PeakBIPS <= 0 {
+				t.Fatalf("malformed benchmark %+v", b)
+			}
+			if b.Base <= 0 || b.Base >= 1 {
+				t.Fatalf("%s: Base %v out of (0,1)", b.Name, b.Base)
+			}
+			if b.MemBound <= 0 || b.MemBound > 1 {
+				t.Fatalf("%s: MemBound %v out of (0,1]", b.Name, b.MemBound)
+			}
+		}
+	}
+	if len(HPC) != 10 {
+		t.Fatalf("HPC catalog has %d entries, want 10 (Table 4.1)", len(HPC))
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName(HPC, "EP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Suite != "NPB" {
+		t.Fatalf("EP suite = %s", b.Suite)
+	}
+	if _, err := ByName(HPC, "nope"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}
+
+func TestGroundTruthEndpointsAndMonotonicity(t *testing.T) {
+	s := DefaultServer
+	for _, b := range HPC {
+		atMin := b.GroundTruth(s.IdleWatts, s.IdleWatts, s.MaxWatts)
+		atMax := b.GroundTruth(s.MaxWatts, s.IdleWatts, s.MaxWatts)
+		if !almost(atMin, b.Base*b.PeakBIPS, 1e-9) {
+			t.Fatalf("%s: value at min cap = %v, want %v", b.Name, atMin, b.Base*b.PeakBIPS)
+		}
+		if !almost(atMax, b.PeakBIPS, 1e-9) {
+			t.Fatalf("%s: value at max cap = %v, want peak %v", b.Name, atMax, b.PeakBIPS)
+		}
+		prev := atMin
+		for p := s.IdleWatts + 1; p <= s.MaxWatts; p++ {
+			v := b.GroundTruth(p, s.IdleWatts, s.MaxWatts)
+			if v < prev-1e-9 {
+				t.Fatalf("%s: ground truth decreasing at %v W", b.Name, p)
+			}
+			prev = v
+		}
+		// Clamping.
+		if b.GroundTruth(0, s.IdleWatts, s.MaxWatts) != atMin {
+			t.Fatalf("%s: clamping below range failed", b.Name)
+		}
+		if b.GroundTruth(1e6, s.IdleWatts, s.MaxWatts) != atMax {
+			t.Fatalf("%s: clamping above range failed", b.Name)
+		}
+	}
+}
+
+func TestMemBoundOrderingOfGains(t *testing.T) {
+	// Compute-bound EP must gain more from extra power than memory-bound RA.
+	s := DefaultServer
+	ep, _ := ByName(HPC, "EP")
+	ra, _ := ByName(HPC, "RA")
+	gain := func(b Benchmark) float64 {
+		lo := b.GroundTruth(s.IdleWatts, s.IdleWatts, s.MaxWatts)
+		hi := b.GroundTruth(s.MaxWatts, s.IdleWatts, s.MaxWatts)
+		return hi / lo
+	}
+	if gain(ep) <= gain(ra) {
+		t.Fatalf("EP relative gain %v must exceed RA's %v", gain(ep), gain(ra))
+	}
+}
+
+func TestServerValidate(t *testing.T) {
+	if err := DefaultServer.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Server{IdleWatts: 0, MaxWatts: 10}).Validate(); err == nil {
+		t.Fatal("zero idle power must be invalid")
+	}
+	if err := (Server{IdleWatts: 10, MaxWatts: 10}).Validate(); err == nil {
+		t.Fatal("empty range must be invalid")
+	}
+}
+
+func TestNewQuadraticValidation(t *testing.T) {
+	if _, err := NewQuadratic(0, 1, 0.5, 0, 1); err != ErrNotConcave {
+		t.Fatalf("convex quadratic must be rejected, got %v", err)
+	}
+	if _, err := NewQuadratic(0, 1, 0, 5, 5); err == nil {
+		t.Fatal("empty power range must be rejected")
+	}
+	if _, err := NewQuadratic(0, -1, 0, 0, 1); err == nil {
+		t.Fatal("decreasing utility must be rejected")
+	}
+}
+
+func TestQuadraticValueGradPeak(t *testing.T) {
+	// r(p) = 10 + 2p − 0.01p² on [10, 90]: vertex at p=100, beyond range,
+	// so peak at p=90.
+	q, err := NewQuadratic(10, 2, -0.01, 10, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Value(50); !almost(got, 10+100-25, 1e-12) {
+		t.Fatalf("Value(50) = %v, want 85", got)
+	}
+	if got := q.Grad(50); !almost(got, 1, 1e-12) {
+		t.Fatalf("Grad(50) = %v, want 1", got)
+	}
+	if got := q.Peak(); !almost(got, q.Value(90), 1e-12) {
+		t.Fatalf("Peak = %v, want %v", got, q.Value(90))
+	}
+	// Interior vertex case.
+	q2, _ := NewQuadratic(0, 2, -0.02, 10, 90)
+	if got := q2.Peak(); !almost(got, q2.Value(50), 1e-12) {
+		t.Fatalf("interior peak = %v, want %v", got, q2.Value(50))
+	}
+	// Clamping of Value outside range.
+	if q.Value(0) != q.Value(10) || q.Value(1000) != q.Value(90) {
+		t.Fatal("Value must clamp")
+	}
+}
+
+func TestQuadraticGradMatchesNumeric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a2 := -rng.Float64() * 0.01
+		a1 := rng.Float64()*2 + 5 // keep increasing at range start
+		q, err := NewQuadratic(rng.Float64()*10, a1, a2, 100, 200)
+		if err != nil {
+			return true // skip rejected params
+		}
+		for p := 110.0; p < 190; p += 17 {
+			h := 1e-6
+			num := (q.Value(p+h) - q.Value(p-h)) / (2 * h)
+			if !almost(q.Grad(p), num, 1e-4) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestResponseOptimality(t *testing.T) {
+	q, _ := NewQuadratic(0, 5, -0.02, 100, 200)
+	for _, lambda := range []float64{0, 0.5, 1, 2, 5, 10} {
+		p := q.BestResponse(lambda)
+		if p < q.MinPower()-1e-9 || p > q.MaxPower()+1e-9 {
+			t.Fatalf("λ=%v: best response %v out of range", lambda, p)
+		}
+		obj := func(x float64) float64 { return q.Value(x) - lambda*x }
+		best := obj(p)
+		for x := q.MinPower(); x <= q.MaxPower(); x += 0.5 {
+			if obj(x) > best+1e-9 {
+				t.Fatalf("λ=%v: grid point %v beats best response %v", lambda, x, p)
+			}
+		}
+	}
+}
+
+func TestBestResponseLinearDegenerate(t *testing.T) {
+	q, _ := NewQuadratic(0, 2, 0, 100, 200)
+	if q.BestResponse(1) != 200 {
+		t.Fatal("steeper-than-price line must saturate at max")
+	}
+	if q.BestResponse(3) != 100 {
+		t.Fatal("shallower-than-price line must drop to min")
+	}
+}
+
+func TestFitQuadraticCloseToTruthOnNoiselessSweep(t *testing.T) {
+	// The 6-point DVFS fit must stay close to the dense-sweep TrueUtility.
+	// For benchmarks without interior saturation both are the exact same
+	// quadratic; for saturating benchmarks the quadratic family only
+	// approximates the kinked ground truth, so allow a few percent.
+	s := DefaultServer
+	rng := rand.New(rand.NewSource(3))
+	for _, b := range HPC {
+		q, err := FitFromSweep(b, s, 0, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		truth := TrueUtility(b, s)
+		tol := 1e-6 * b.PeakBIPS
+		if b.SatFrac > 0 && b.SatFrac < 1 {
+			tol = 0.06 * b.PeakBIPS
+		}
+		for p := s.IdleWatts; p <= s.MaxWatts; p += 10 {
+			if !almost(q.Value(p), truth.Value(p), tol) {
+				t.Fatalf("%s: fit %v vs truth %v at %v W", b.Name, q.Value(p), truth.Value(p), p)
+			}
+		}
+	}
+}
+
+func TestTrueUtilityMatchesGroundTruth(t *testing.T) {
+	s := DefaultServer
+	for _, b := range HPC {
+		q := TrueUtility(b, s)
+		tol := 1e-9
+		if b.SatFrac > 0 && b.SatFrac < 1 {
+			// Quadratic approximation of the saturating (kinked) curve.
+			tol = 0.13
+		}
+		for p := s.IdleWatts; p <= s.MaxWatts; p += 7 {
+			want := b.GroundTruth(p, s.IdleWatts, s.MaxWatts)
+			if !almost(q.Value(p), want, tol*(1+want)) {
+				t.Fatalf("%s: TrueUtility(%v) = %v, want %v", b.Name, p, q.Value(p), want)
+			}
+		}
+	}
+}
+
+func TestQuadraticFlatPastVertex(t *testing.T) {
+	// A model whose parabola peaks inside the range must be flat (not
+	// decreasing) beyond the vertex: a capped server cannot be forced to
+	// draw more power than its workload uses.
+	q2, err := NewQuadratic(0, 6, -0.02, 110, 200) // vertex at 150
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := q2.Value(150)
+	for p := 150.0; p <= 200; p += 10 {
+		if !almost(q2.Value(p), peak, 1e-12) {
+			t.Fatalf("Value(%v) = %v, want flat %v", p, q2.Value(p), peak)
+		}
+	}
+	if q2.Grad(180) != 0 {
+		t.Fatalf("gradient past saturation = %v, want 0", q2.Grad(180))
+	}
+	if !almost(q2.Peak(), peak, 1e-12) {
+		t.Fatalf("Peak = %v, want %v", q2.Peak(), peak)
+	}
+}
+
+func TestFitQuadraticNoisyStaysConcaveAndClose(t *testing.T) {
+	s := DefaultServer
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		b := HPC[rng.Intn(len(HPC))]
+		q, err := FitFromSweep(b, s, 0.02, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.A2 > 0 {
+			t.Fatal("fit must be concave")
+		}
+		truth := TrueUtility(b, s)
+		// Mid-range error bounded by a few percent.
+		p := 150.0
+		if math.Abs(q.Value(p)-truth.Value(p))/truth.Value(p) > 0.1 {
+			t.Fatalf("%s: noisy fit off by >10%% at %v W", b.Name, p)
+		}
+	}
+}
+
+func TestFitQuadraticErrors(t *testing.T) {
+	if _, err := FitQuadratic([]float64{1, 2}, []float64{1, 2}, 0, 1); err == nil {
+		t.Fatal("need ≥3 samples")
+	}
+	if _, err := FitQuadratic([]float64{1, 2, 3}, []float64{1, 2}, 0, 1); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestPowerAtDVFSMonotone(t *testing.T) {
+	s := DefaultServer
+	fmin, fmax := DVFSLevels[0], DVFSLevels[len(DVFSLevels)-1]
+	prev := -1.0
+	for _, f := range DVFSLevels {
+		p := PowerAtDVFS(s, f, fmin, fmax)
+		if p <= prev {
+			t.Fatalf("power not increasing at %v GHz", f)
+		}
+		prev = p
+	}
+	if got := PowerAtDVFS(s, fmin, fmin, fmax); got != s.IdleWatts {
+		t.Fatalf("min-frequency power = %v, want idle %v", got, s.IdleWatts)
+	}
+	if got := PowerAtDVFS(s, fmax, fmin, fmax); !almost(got, s.MaxWatts, 1e-9) {
+		t.Fatalf("max-frequency power = %v, want max %v", got, s.MaxWatts)
+	}
+}
+
+func TestAssignCoversCatalogAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, err := Assign(HPC, 50, DefaultServer, 0.05, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Benchmarks) != 50 || len(a.Utilities) != 50 {
+		t.Fatal("wrong assignment size")
+	}
+	seen := map[string]bool{}
+	for _, b := range a.Benchmarks {
+		seen[b.Name] = true
+	}
+	for _, b := range HPC {
+		if !seen[b.Name] {
+			t.Fatalf("benchmark %s missing from assignment", b.Name)
+		}
+	}
+	for i, q := range a.Utilities {
+		if q.MinPower() != DefaultServer.IdleWatts || q.MaxPower() != DefaultServer.MaxWatts {
+			t.Fatalf("utility %d has wrong power range", i)
+		}
+	}
+	us := a.UtilitySlice()
+	if len(us) != 50 {
+		t.Fatal("UtilitySlice wrong length")
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Assign(nil, 5, DefaultServer, 0, 0, rng); err == nil {
+		t.Fatal("empty catalog must error")
+	}
+	if _, err := Assign(HPC, 5, Server{}, 0, 0, rng); err == nil {
+		t.Fatal("invalid server must error")
+	}
+}
+
+func TestPerturbStaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b, _ := ByName(HPC, "CG")
+	for i := 0; i < 200; i++ {
+		p := b.Perturb(rng, 0.2)
+		if p.Base < 0.05 || p.Base > 0.95 || p.MemBound < 0.02 || p.MemBound > 1 || p.PeakBIPS <= 0 {
+			t.Fatalf("perturbed benchmark out of range: %+v", p)
+		}
+	}
+}
+
+func TestSetConstruction(t *testing.T) {
+	b, _ := ByName(Desktop, "mcf")
+	hs := NewHomoSet(b)
+	if hs.Kind != HomoWithin {
+		t.Fatal("wrong kind")
+	}
+	for _, m := range hs.Members {
+		if m.Name != "mcf" {
+			t.Fatal("homogeneous set must repeat the benchmark")
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	het := NewHeteroSet(Desktop, rng)
+	names := map[string]bool{}
+	for _, m := range het.Members {
+		names[m.Name] = true
+	}
+	if len(names) != 4 {
+		t.Fatalf("heterogeneous set must have 4 distinct members, got %d", len(names))
+	}
+}
+
+func TestSetGroundTruthProperties(t *testing.T) {
+	s := Chapter3Server
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		ws := NewHeteroSet(Desktop, rng)
+		prev := -1.0
+		for p := s.IdleWatts; p <= s.MaxWatts; p += 1 {
+			v := ws.GroundTruth(p, s)
+			if v <= 0 {
+				t.Fatal("set throughput must be positive")
+			}
+			if v < prev-1e-6 {
+				t.Fatalf("set throughput decreasing at %v W", p)
+			}
+			prev = v
+		}
+		if ws.Peak(s) != ws.GroundTruth(s.MaxWatts, s) {
+			t.Fatal("Peak must be the max-cap value")
+		}
+	}
+}
+
+func TestHomoSetMatchesMemberCurve(t *testing.T) {
+	s := Chapter3Server
+	b, _ := ByName(Desktop, "namd")
+	ws := NewHomoSet(b)
+	for p := s.IdleWatts; p <= s.MaxWatts; p += 5 {
+		want := b.GroundTruth(p, s.IdleWatts, s.MaxWatts)
+		if !almost(ws.GroundTruth(p, s), want, 1e-12) {
+			t.Fatal("homogeneous set must equal its member's curve")
+		}
+	}
+}
+
+func TestObserveNoiseless(t *testing.T) {
+	s := Chapter3Server
+	b, _ := ByName(Desktop, "gcc")
+	ws := NewHomoSet(b)
+	obs := ws.Observe(150, s, 0, nil)
+	if obs.Cap != 150 || !almost(obs.Throughput, ws.GroundTruth(150, s), 1e-12) || !almost(obs.LLC, ws.LLC(), 1e-12) {
+		t.Fatalf("noiseless observation mismatch: %+v", obs)
+	}
+}
+
+func TestCapGrid(t *testing.T) {
+	grid := CapGrid(Chapter3Server, 5)
+	if len(grid) != 8 {
+		t.Fatalf("grid length = %d, want 8 (130..165)", len(grid))
+	}
+	if grid[0] != 130 || grid[7] != 165 {
+		t.Fatalf("grid = %v", grid)
+	}
+}
+
+func TestSweepDeterministicWithoutNoise(t *testing.T) {
+	b, _ := ByName(HPC, "LU")
+	p1, r1 := Sweep(b, DefaultServer, 0, nil)
+	p2, r2 := Sweep(b, DefaultServer, 0, nil)
+	for i := range p1 {
+		if p1[i] != p2[i] || r1[i] != r2[i] {
+			t.Fatal("noiseless sweep must be deterministic")
+		}
+	}
+	if len(p1) != len(DVFSLevels) {
+		t.Fatal("one sample per DVFS level")
+	}
+}
