@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"powercap/internal/diba"
+	"powercap/internal/experiments"
+	"powercap/internal/parallel"
+	"powercap/internal/topology"
+	"powercap/internal/workload"
+)
+
+// repro bench: a machine-readable performance baseline. It times every
+// registry experiment plus the DiBA engine micro-benchmarks and writes
+// BENCH_<date>.json, so regressions show up as a diff between two committed
+// baselines (compare ns_per_op / allocs_per_op across files).
+
+type benchResult struct {
+	Name        string `json:"name"`
+	Runs        int    `json:"runs"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+}
+
+type benchReport struct {
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Workers    int           `json:"workers"`
+	Scale      string        `json:"scale"`
+	Seed       int64         `json:"seed"`
+	Results    []benchResult `json:"results"`
+}
+
+// measure runs fn repeatedly (after one untimed warm-up) until minTime has
+// elapsed or maxRuns runs completed, and reports per-op time and
+// allocations. Mallocs/TotalAlloc are monotonic counters, so the deltas are
+// valid whether or not a GC happens mid-measurement.
+func measure(name string, minTime time.Duration, maxRuns int, fn func() error) (benchResult, error) {
+	if err := fn(); err != nil {
+		return benchResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	runs := 0
+	for runs < maxRuns && (runs == 0 || time.Since(start) < minTime) {
+		if err := fn(); err != nil {
+			return benchResult{}, fmt.Errorf("%s: %w", name, err)
+		}
+		runs++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return benchResult{
+		Name:        name,
+		Runs:        runs,
+		NsPerOp:     elapsed.Nanoseconds() / int64(runs),
+		AllocsPerOp: (after.Mallocs - before.Mallocs) / uint64(runs),
+		BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(runs),
+	}, nil
+}
+
+// benchEngine times raw DiBA rounds at a given cluster size.
+func benchEngine(n int, parallelStep bool, seed int64) (benchResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0, rng)
+	if err != nil {
+		return benchResult{}, err
+	}
+	en, err := diba.New(topology.Ring(n), a.UtilitySlice(), 170*float64(n), diba.Config{})
+	if err != nil {
+		return benchResult{}, err
+	}
+	name := fmt.Sprintf("diba.Step/n=%d", n)
+	step := func() error { en.Step(); return nil }
+	if parallelStep {
+		name = fmt.Sprintf("diba.StepParallel/n=%d", n)
+		step = func() error { en.StepParallel(0); return nil }
+	}
+	return measure(name, 300*time.Millisecond, 1_000_000, step)
+}
+
+func runBench(scale experiments.Scale, seed int64, out string) error {
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	}
+	scaleName := "quick"
+	if scale == experiments.Full {
+		scaleName = "full"
+	}
+	report := benchReport{
+		Date:       time.Now().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    parallel.Workers(),
+		Scale:      scaleName,
+		Seed:       seed,
+	}
+
+	for _, n := range []int{1000, 10000} {
+		for _, par := range []bool{false, true} {
+			res, err := benchEngine(n, par, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-28s %5d runs  %12d ns/op  %6d allocs/op\n",
+				res.Name, res.Runs, res.NsPerOp, res.AllocsPerOp)
+			report.Results = append(report.Results, res)
+		}
+	}
+
+	for _, id := range ids() {
+		r := registry[id]
+		res, err := measure("experiment/"+id, 200*time.Millisecond, 3, func() error {
+			_, err := r(scale, seed)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-28s %5d runs  %12d ns/op  %6d allocs/op\n",
+			res.Name, res.Runs, res.NsPerOp, res.AllocsPerOp)
+		report.Results = append(report.Results, res)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", out, len(report.Results))
+	return nil
+}

@@ -2,13 +2,17 @@
 // evaluation. Each experiment id (see DESIGN.md's per-experiment index)
 // maps to one subcommand:
 //
-//	repro [-full] [-seed N] all
+//	repro [-full] [-seed N] [-j N] all
 //	repro [-full] [-seed N] fig4.3 table4.2 ...
+//	repro bench
 //	repro list
 //
 // By default experiments run at the Quick scale (smaller clusters, same
 // qualitative shapes); -full selects the paper's parameters and can take
-// many minutes for the large knapsack and DiBA runs.
+// many minutes for the large knapsack and DiBA runs. -j runs experiments
+// (and their internal sweeps) on that many workers; all modeled output is
+// byte-identical at any -j, only wall-clock time and the measured-timing
+// cells change. bench writes a machine-readable BENCH_<date>.json baseline.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -23,6 +28,7 @@ import (
 
 	"powercap/internal/asciiplot"
 	"powercap/internal/experiments"
+	"powercap/internal/parallel"
 )
 
 type runner func(scale experiments.Scale, seed int64) (experiments.Table, error)
@@ -81,12 +87,20 @@ func ids() []string {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	full := flag.Bool("full", false, "run at the paper's full scale (slow)")
 	seed := flag.Int64("seed", 1, "random seed")
 	csvDir := flag.String("csv", "", "also write each result as <dir>/<id>.csv")
 	plot := flag.Bool("plot", false, "render figures as ASCII line charts below each table")
+	jobs := flag.Int("j", 0, "worker count for experiments and their sweeps (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	benchOut := flag.String("benchout", "", "bench: output path (default BENCH_<date>.json)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: repro [-full] [-seed N] <experiment ids...|all|list>\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: repro [-full] [-seed N] [-j N] <experiment ids...|all|bench|list>\n\nexperiments:\n")
 		for _, id := range ids() {
 			fmt.Fprintf(os.Stderr, "  %s\n", id)
 		}
@@ -95,11 +109,41 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	scale := experiments.Quick
 	if *full {
 		scale = experiments.Full
+	}
+	parallel.SetWorkers(*jobs)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			}
+		}()
 	}
 
 	var selected []string
@@ -108,7 +152,13 @@ func main() {
 		for _, id := range ids() {
 			fmt.Println(id)
 		}
-		return
+		return 0
+	case "bench":
+		if err := runBench(scale, *seed, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: bench: %v\n", err)
+			return 1
+		}
+		return 0
 	case "all":
 		selected = ids()
 	default:
@@ -116,6 +166,7 @@ func main() {
 	}
 
 	exit := 0
+	var runJobs []experiments.Job
 	for _, id := range selected {
 		r, ok := registry[id]
 		if !ok {
@@ -123,28 +174,32 @@ func main() {
 			exit = 1
 			continue
 		}
-		start := time.Now()
-		t, err := r(scale, *seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "repro: %s failed: %v\n", id, err)
+		id := id
+		runJobs = append(runJobs, experiments.Job{ID: id, Run: func() (experiments.Table, error) {
+			return r(scale, *seed)
+		}})
+	}
+	experiments.RunJobs(runJobs, func(res experiments.JobResult) {
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s failed: %v\n", res.ID, res.Err)
 			exit = 1
-			continue
+			return
 		}
-		t.Fprint(os.Stdout)
+		res.Table.Fprint(os.Stdout)
 		if *plot {
-			if chart := renderChart(t); chart != "" {
+			if chart := renderChart(res.Table); chart != "" {
 				fmt.Println(chart)
 			}
 		}
-		fmt.Printf("  (%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  (%s in %v)\n\n", res.ID, res.Elapsed.Round(time.Millisecond))
 		if *csvDir != "" {
-			if err := writeCSV(*csvDir, id, t); err != nil {
-				fmt.Fprintf(os.Stderr, "repro: writing %s.csv: %v\n", id, err)
+			if err := writeCSV(*csvDir, res.ID, res.Table); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: writing %s.csv: %v\n", res.ID, err)
 				exit = 1
 			}
 		}
-	}
-	os.Exit(exit)
+	})
+	return exit
 }
 
 // renderChart plots the table's numeric columns against its first numeric

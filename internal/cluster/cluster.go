@@ -14,6 +14,7 @@ import (
 
 	"powercap/internal/diba"
 	"powercap/internal/metrics"
+	"powercap/internal/parallel"
 	"powercap/internal/solver"
 	"powercap/internal/topology"
 	"powercap/internal/workload"
@@ -183,10 +184,141 @@ func (s *Sim) snapshot(second, churned int) (Sample, error) {
 	}, nil
 }
 
+// pendingSnap captures everything a per-second sample needs so that the
+// expensive part — the centralized oracle (solver.Optimal) plus the metric
+// evaluations — can be computed after the time loop, fanned across workers.
+// us is nil when the utilities are static for the whole run (no churn, no
+// phases), in which case the live slice is used directly.
+type pendingSnap struct {
+	second, churned int
+	budget, power   float64
+	alloc           []float64
+	us              []workload.Utility
+}
+
+// snapshotBatch bounds how many deferred snapshots accumulate before a
+// flush, keeping the captured alloc/us copies to a few MB even on
+// hour-long full-scale runs.
+const snapshotBatch = 256
+
+// evalSnapshot computes a Sample from captured state. It touches nothing
+// on the Sim, so flushes may run it concurrently across snapshots.
+func evalSnapshot(us []workload.Utility, ps pendingSnap) (Sample, error) {
+	rep, err := metrics.Evaluate(us, ps.alloc, metrics.Arithmetic)
+	if err != nil {
+		return Sample{}, err
+	}
+	opt, err := solver.Optimal(us, ps.budget)
+	if err != nil {
+		return Sample{}, err
+	}
+	optRep, err := metrics.Evaluate(us, opt.Alloc, metrics.Arithmetic)
+	if err != nil {
+		return Sample{}, err
+	}
+	util, err := metrics.TotalUtility(us, ps.alloc)
+	if err != nil {
+		return Sample{}, err
+	}
+	return Sample{
+		Second:     ps.second,
+		Budget:     ps.budget,
+		Power:      ps.power,
+		Utility:    util,
+		OptUtility: opt.Utility,
+		SNP:        rep.SNP,
+		OptSNP:     optRep.SNP,
+		Churned:    ps.churned,
+	}, nil
+}
+
 // Run simulates the given number of seconds, applying budget events and
 // workload churn, and returns one sample per second (plus one for the
 // initial state at second 0).
+//
+// Unless Config.Enforce is set, the per-second oracle/metric evaluation is
+// deferred and computed in batches on up to parallel.Workers() goroutines.
+// Each snapshot is evaluated from state captured at its own second, so the
+// samples are identical to the sequential schedule at any worker count.
 func (s *Sim) Run(seconds int, events []BudgetEvent) ([]Sample, error) {
+	if s.cfg.Enforce {
+		// DVFS enforcement consumes s.rng inside each snapshot, so the
+		// measurement schedule only makes sense evaluated in time order.
+		return s.runEnforced(seconds, events)
+	}
+	byTime := make(map[int]float64, len(events))
+	for _, ev := range events {
+		byTime[ev.AtSecond] = ev.Budget
+	}
+	mutable := s.cfg.ChurnPerSecond > 0 || s.cfg.Phased != nil
+	samples := make([]Sample, 0, seconds+1)
+	batch := make([]pendingSnap, 0, snapshotBatch)
+	capture := func(second, churned int) {
+		ps := pendingSnap{
+			second:  second,
+			churned: churned,
+			budget:  s.budget,
+			power:   s.engine.TotalPower(),
+			alloc:   s.engine.Alloc(),
+		}
+		if mutable {
+			ps.us = append([]workload.Utility(nil), s.us...)
+		}
+		batch = append(batch, ps)
+	}
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		out := make([]Sample, len(batch))
+		err := parallel.ForEach(len(batch), func(k int) error {
+			us := batch[k].us
+			if us == nil {
+				us = s.us
+			}
+			smp, err := evalSnapshot(us, batch[k])
+			out[k] = smp
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		samples = append(samples, out...)
+		batch = batch[:0]
+		return nil
+	}
+	capture(0, 0)
+	for sec := 1; sec <= seconds; sec++ {
+		if b, ok := byTime[sec]; ok {
+			if err := s.engine.SetBudget(b); err != nil {
+				return nil, fmt.Errorf("cluster: budget event at %ds: %w", sec, err)
+			}
+			s.budget = b
+		}
+		churned, err := s.advanceWorkloads()
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < s.cfg.RoundsPerSecond; r++ {
+			s.engine.StepAuto()
+		}
+		capture(sec, churned)
+		if len(batch) >= snapshotBatch {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// runEnforced is the sequential path used when caps are actuated through
+// the DVFS controllers: every snapshot draws measurement noise from s.rng,
+// so evaluation order is part of the simulated schedule.
+func (s *Sim) runEnforced(seconds int, events []BudgetEvent) ([]Sample, error) {
 	byTime := make(map[int]float64, len(events))
 	for _, ev := range events {
 		byTime[ev.AtSecond] = ev.Budget
@@ -204,33 +336,12 @@ func (s *Sim) Run(seconds int, events []BudgetEvent) ([]Sample, error) {
 			}
 			s.budget = b
 		}
-		churned := 0
-		if s.cfg.ChurnPerSecond > 0 {
-			for i := 0; i < s.cfg.N; i++ {
-				if s.rng.Float64() < s.cfg.ChurnPerSecond {
-					if err := s.churn(i); err != nil {
-						return nil, err
-					}
-					churned++
-				}
-			}
-		}
-		for i, ph := range s.cfg.Phased {
-			if ph == nil {
-				continue
-			}
-			if ph.Advance(1, s.rng) {
-				q := ph.Utility(s.cfg.Server)
-				s.bench[i] = ph.Current()
-				s.us[i] = q
-				if err := s.engine.SetUtility(i, q); err != nil {
-					return nil, err
-				}
-				churned++
-			}
+		churned, err := s.advanceWorkloads()
+		if err != nil {
+			return nil, err
 		}
 		for r := 0; r < s.cfg.RoundsPerSecond; r++ {
-			s.engine.Step()
+			s.engine.StepAuto()
 		}
 		smp, err := s.snapshot(sec, churned)
 		if err != nil {
@@ -239,6 +350,37 @@ func (s *Sim) Run(seconds int, events []BudgetEvent) ([]Sample, error) {
 		samples = append(samples, smp)
 	}
 	return samples, nil
+}
+
+// advanceWorkloads applies one second of churn and phase transitions and
+// returns how many servers swapped utilities.
+func (s *Sim) advanceWorkloads() (int, error) {
+	churned := 0
+	if s.cfg.ChurnPerSecond > 0 {
+		for i := 0; i < s.cfg.N; i++ {
+			if s.rng.Float64() < s.cfg.ChurnPerSecond {
+				if err := s.churn(i); err != nil {
+					return 0, err
+				}
+				churned++
+			}
+		}
+	}
+	for i, ph := range s.cfg.Phased {
+		if ph == nil {
+			continue
+		}
+		if ph.Advance(1, s.rng) {
+			q := ph.Utility(s.cfg.Server)
+			s.bench[i] = ph.Current()
+			s.us[i] = q
+			if err := s.engine.SetUtility(i, q); err != nil {
+				return 0, err
+			}
+			churned++
+		}
+	}
+	return churned, nil
 }
 
 // churn replaces server i's workload with a fresh random draw and refits
@@ -269,7 +411,7 @@ func (s *Sim) Trace(rounds int) []TraceRound {
 	out := make([]TraceRound, 0, rounds+1)
 	out = append(out, TraceRound{Round: 0, Power: s.engine.TotalPower(), Utility: s.engine.TotalUtility(), Budget: s.budget})
 	for r := 1; r <= rounds; r++ {
-		s.engine.Step()
+		s.engine.StepAuto()
 		out = append(out, TraceRound{Round: r, Power: s.engine.TotalPower(), Utility: s.engine.TotalUtility(), Budget: s.budget})
 	}
 	return out

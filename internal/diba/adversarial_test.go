@@ -70,7 +70,7 @@ func TestAgentsSurviveDuplicatesAndReordering(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			tr := &adversarialTransport{inner: net.Endpoint(i), rng: rand.New(rand.NewSource(int64(100 + i)))}
-			a, err := NewAgent(i, g.Neighbors(i), us[i], budget, n, totalIdle, Config{}, tr)
+			a, err := NewAgent(i, g.NeighborsInts(i), us[i], budget, n, totalIdle, Config{}, tr)
 			if err != nil {
 				errs[i] = err
 				return

@@ -96,11 +96,11 @@ func (a *Agent) StepOnce() error {
 		return err
 	}
 	nbrE := make([]float64, len(a.Neighbors))
-	nbrDeg := make([]int, len(a.Neighbors))
+	nbrDeg := make([]int32, len(a.Neighbors))
 	for k, nb := range a.Neighbors {
 		m := got[nb]
 		nbrE[k] = m.E
-		nbrDeg[k] = m.Degree
+		nbrDeg[k] = int32(m.Degree)
 	}
 	cfg := a.cfg
 	cfg.Eta = a.cfg.etaAt(a.round)

@@ -205,11 +205,11 @@ func TestAgentsOverTCPMatchEngine(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := trs[i].ConnectNeighbors(g.Neighbors(i), addrs, 5*time.Second); err != nil {
+			if err := trs[i].ConnectNeighbors(g.NeighborsInts(i), addrs, 5*time.Second); err != nil {
 				errs[i] = err
 				return
 			}
-			a, err := NewAgent(i, g.Neighbors(i), us[i], budget, n, totalIdle, Config{}, trs[i])
+			a, err := NewAgent(i, g.NeighborsInts(i), us[i], budget, n, totalIdle, Config{}, trs[i])
 			if err != nil {
 				errs[i] = err
 				return

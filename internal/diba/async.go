@@ -143,7 +143,7 @@ func (ac *AsyncCluster) deliver(m asyncMsg) {
 	// Update the receiver's view of the sender.
 	ns := ac.g.Neighbors(m.to)
 	for k, nb := range ns {
-		if nb == m.from {
+		if int(nb) == m.from {
 			ac.view[m.to][k] = m.e
 			break
 		}
@@ -157,11 +157,8 @@ func (ac *AsyncCluster) activate(i int) {
 	deg := len(ns)
 
 	// Power move: same barrier-Newton rule as the synchronous engine,
-	// against the node's own (always current) estimate.
-	nbrDeg := make([]int, deg)
-	for k, nb := range ns {
-		nbrDeg[k] = ac.g.Degree(nb)
-	}
+	// against the node's own (always current) estimate; flows are
+	// sender-initiated below, so no neighbor snapshot is passed.
 	phat, _ := nodeRule(ac.cfg, u, ac.p[i], ac.e[i], deg, nil, nil)
 	ac.p[i] += phat
 	ac.e[i] += phat
@@ -180,14 +177,14 @@ func (ac *AsyncCluster) activate(i int) {
 	// Estimate pushes: sender-initiated transfers based on the last-known
 	// neighbor views. The transfer leaves e_i now and arrives later.
 	for k, nb := range ns {
-		t := edgeTransfer(ac.cfg, ac.e[i], ac.view[i][k], deg, ac.g.Degree(nb))
+		t := edgeTransfer(ac.cfg, ac.e[i], ac.view[i][k], deg, ac.g.Degree(int(nb)))
 		if t == 0 {
 			continue
 		}
 		ac.e[i] -= t
 		ac.view[i][k] += t // optimistic: assume the neighbor will absorb it
 		ac.inFlight = append(ac.inFlight, asyncMsg{
-			to:    nb,
+			to:    int(nb),
 			from:  i,
 			delta: t,
 			e:     ac.e[i],

@@ -37,6 +37,30 @@ func BenchmarkEngineStep100(b *testing.B)  { benchmarkStep(b, 100) }
 func BenchmarkEngineStep1000(b *testing.B) { benchmarkStep(b, 1000) }
 func BenchmarkEngineStep6400(b *testing.B) { benchmarkStep(b, 6400) }
 
+// The cost of a full convergence run, including the per-round aggregate
+// queries (TotalUtility for the target check) that Step amortizes
+// incrementally.
+func BenchmarkRunToTarget1000(b *testing.B) {
+	us := benchCluster(b, 1000)
+	g := topology.Ring(1000)
+	ref := func() float64 {
+		en, err := New(g, us, 170_000, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		en.RunToQuiescence(1e-3, 20, 50_000)
+		return en.TotalUtility()
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en, err := New(g, us, 170_000, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		en.RunToTarget(ref, 0.99, 5000)
+	}
+}
+
 func BenchmarkAsyncActivation(b *testing.B) {
 	us := benchCluster(b, 1000)
 	ac, err := NewAsync(topology.Ring(1000), us, 170000, Config{}, 4, 1)

@@ -163,6 +163,37 @@ type Engine struct {
 	iter         int
 	// dead marks failed nodes (see failure.go).
 	dead map[int]bool
+
+	// Flattened topology cache (see rebuildTopoCache): the graph's CSR view
+	// plus per-node degrees and, aligned with nbrs, each neighbor's degree.
+	// Degrees are static during a run, so the hot loop passes nbrDeg
+	// segments to nodeRule without any per-round gather.
+	off, nbrs []int32
+	deg       []int32
+	nbrDeg    []int32
+
+	// Incremental aggregates (see refreshAggregates): Σp and Σr(p) over
+	// live nodes, updated from per-node deltas each round so the
+	// convergence check and telemetry reads are O(1) instead of an O(N)
+	// re-sweep. uVal caches each live node's current utility value; dP/dU
+	// are per-round delta scratch for the parallel path, reduced in index
+	// order so serial and parallel rounds stay bitwise identical.
+	sumP, sumU float64
+	uVal       []float64
+	dP, dU     []float64
+
+	// Quadratic fast path (see rebuildQuadCache and roundQuad): when every
+	// utility is a workload.Quadratic — true for all fitted workloads — the
+	// hot loop dispatches to roundQuad, whose concrete-typed calls inline
+	// where the interface calls in nodeRule cannot. quadV caches each
+	// model's saturation vertex (+Inf when none) and chiE the per-edge
+	// diffusion coefficient, both loop-invariant divisions otherwise paid
+	// on every evaluation. Both rules perform the same arithmetic, so the
+	// paths are bitwise interchangeable.
+	qs      []workload.Quadratic
+	quadV   []float64
+	chiE    []float64
+	allQuad bool
 }
 
 // New builds an engine over graph g (one node per utility) with the given
@@ -200,13 +231,109 @@ func New(g *topology.Graph, us []workload.Utility, budget float64, cfg Config) (
 		e:      make([]float64, n),
 		pNext:  make([]float64, n),
 		eNext:  make([]float64, n),
+		uVal:   make([]float64, n),
+		dP:     make([]float64, n),
+		dU:     make([]float64, n),
 	}
 	surplusShare := (minSum - budget) / float64(n) // negative
 	for i, u := range us {
 		e.p[i] = u.MinPower()
 		e.e[i] = surplusShare
 	}
+	e.rebuildTopoCache()
+	e.rebuildQuadCache()
+	e.refreshAggregates()
 	return e, nil
+}
+
+// rebuildQuadCache refreshes the concrete-typed utility cache backing the
+// quadratic fast path, including each model's precomputed saturation
+// vertex. Must be called whenever en.us changes.
+func (en *Engine) rebuildQuadCache() {
+	n := len(en.us)
+	if cap(en.qs) < n {
+		en.qs = make([]workload.Quadratic, n)
+		en.quadV = make([]float64, n)
+	} else {
+		en.qs = en.qs[:n]
+		en.quadV = en.quadV[:n]
+	}
+	en.allQuad = true
+	for i, u := range en.us {
+		q, ok := u.(workload.Quadratic)
+		if !ok {
+			en.allQuad = false
+			return
+		}
+		en.qs[i] = q
+		if q.A2 < 0 {
+			// The exact expression Quadratic.effective evaluates per call.
+			en.quadV[i] = -q.A1 / (2 * q.A2)
+		} else {
+			en.quadV[i] = math.Inf(1)
+		}
+	}
+}
+
+// rebuildTopoCache refreshes the engine's flattened view of the (static
+// between failures) communication graph. Must be called whenever en.g is
+// replaced, and before any parallel round so goroutines never trigger the
+// graph's lazy CSR seal concurrently.
+func (en *Engine) rebuildTopoCache() {
+	en.off, en.nbrs = en.g.CSR()
+	n := en.g.N()
+	if cap(en.deg) < n {
+		en.deg = make([]int32, n)
+	} else {
+		en.deg = en.deg[:n]
+	}
+	for i := 0; i < n; i++ {
+		en.deg[i] = en.off[i+1] - en.off[i]
+	}
+	if cap(en.nbrDeg) < len(en.nbrs) {
+		en.nbrDeg = make([]int32, len(en.nbrs))
+	} else {
+		en.nbrDeg = en.nbrDeg[:len(en.nbrs)]
+	}
+	for k, j := range en.nbrs {
+		en.nbrDeg[k] = en.deg[j]
+	}
+	// Per-edge diffusion coefficient: χ clamped to the stability limit
+	// 1/(maxdeg+1), the value edgeTransfer derives per call. StepE and the
+	// degrees are static between topology changes.
+	if cap(en.chiE) < len(en.nbrs) {
+		en.chiE = make([]float64, len(en.nbrs))
+	} else {
+		en.chiE = en.chiE[:len(en.nbrs)]
+	}
+	for i := 0; i < n; i++ {
+		for k := en.off[i]; k < en.off[i+1]; k++ {
+			chi := en.cfg.StepE
+			if lim := 1 / float64(max(int(en.deg[i]), int(en.nbrDeg[k]))+1); chi > lim {
+				chi = lim
+			}
+			en.chiE[k] = chi
+		}
+	}
+}
+
+// refreshAggregates recomputes the cached Σp, Σr(p) and per-node utility
+// values from scratch. Called at construction and after any out-of-band
+// state change (SetBudget, SetUtility, FailNode, Restore); the per-round
+// paths maintain the sums incrementally.
+func (en *Engine) refreshAggregates() {
+	var sumP, sumU float64
+	for i, u := range en.us {
+		if en.dead[i] {
+			en.uVal[i] = 0
+			continue
+		}
+		sumP += en.p[i]
+		v := u.Value(en.p[i])
+		en.uVal[i] = v
+		sumU += v
+	}
+	en.sumP, en.sumU = sumP, sumU
 }
 
 // N returns the cluster size.
@@ -232,26 +359,13 @@ func (en *Engine) Estimates() []float64 {
 	return out
 }
 
-// TotalPower returns Σ p_i.
-func (en *Engine) TotalPower() float64 {
-	var s float64
-	for _, v := range en.p {
-		s += v
-	}
-	return s
-}
+// TotalPower returns Σ p_i over live nodes. The sum is maintained
+// incrementally by the round updates, so this is a field read.
+func (en *Engine) TotalPower() float64 { return en.sumP }
 
-// TotalUtility returns Σ r_i(p_i) over live nodes.
-func (en *Engine) TotalUtility() float64 {
-	var s float64
-	for i, u := range en.us {
-		if en.dead[i] {
-			continue
-		}
-		s += u.Value(en.p[i])
-	}
-	return s
-}
+// TotalUtility returns Σ r_i(p_i) over live nodes. The sum is maintained
+// incrementally by the round updates, so this is a field read.
+func (en *Engine) TotalUtility() float64 { return en.sumU }
 
 // nodeRule computes one node's round from its own state and its neighbors'
 // last-round estimates: the power move p̂ and the net estimate outflow.
@@ -261,7 +375,7 @@ func (en *Engine) TotalUtility() float64 {
 // ownE/ownP are the node's state; grad is r'(ownP); deg its degree;
 // nbrE/nbrDeg the neighbors' estimates and degrees. All quantities are from
 // the same round snapshot.
-func nodeRule(cfg Config, u workload.Utility, ownP, ownE float64, deg int, nbrE []float64, nbrDeg []int) (phat, outflow float64) {
+func nodeRule(cfg Config, u workload.Utility, ownP, ownE float64, deg int, nbrE []float64, nbrDeg []int32) (phat, outflow float64) {
 	if ownE >= 0 {
 		// Constraint-violation emergency (possible transiently after a harsh
 		// budget cut): shed power as fast as allowed; flows below will drain
@@ -309,7 +423,7 @@ func nodeRule(cfg Config, u workload.Utility, ownP, ownE float64, deg int, nbrE 
 	// transfer from the shared round snapshot and conservation holds
 	// without extra coordination.
 	for k, ej := range nbrE {
-		outflow += edgeTransfer(cfg, ownE, ej, deg, nbrDeg[k])
+		outflow += edgeTransfer(cfg, ownE, ej, deg, int(nbrDeg[k]))
 	}
 	return phat, outflow
 }
@@ -331,6 +445,127 @@ func curvature(u workload.Utility, p float64) float64 {
 	return (u.Grad(hi) - u.Grad(lo)) / (hi - lo)
 }
 
+// roundQuad is nodeRule specialized to the concrete workload.Quadratic
+// model every fitted workload uses. The engine's hot loop dispatches here
+// when Engine.allQuad holds. Three loop-invariant quantities are
+// precomputed instead of re-derived per call: the quadratic's saturation
+// vertex (quadV, a division inside every Grad/Value evaluation), the
+// per-edge diffusion coefficient χ (chiE, a division per edge per round),
+// and neighbor estimates are read straight off the CSR arrays rather than
+// through a gather buffer. The float arithmetic MUST stay identical to
+// nodeRule's — the fast and generic engine paths, and the agents running
+// the generic rule, are required to produce bitwise-identical
+// trajectories; TestQuadFastPathMatchesGenericRule pins this.
+func (en *Engine) roundQuad(cfg Config, i int) (phat, outflow float64) {
+	q := en.qs[i]
+	v := en.quadV[i]
+	ownP, ownE := en.p[i], en.e[i]
+	if ownE >= 0 {
+		phat = -cfg.MaxMoveW
+	} else if cfg.FixedStepP > 0 {
+		phat = cfg.FixedStepP * (quadGradV(q, v, ownP) + cfg.Eta/ownE)
+	} else {
+		gp := quadGradV(q, v, ownP) + cfg.Eta/ownE
+		curv := -quadCurvatureV(q, v, ownP) + cfg.Eta/(ownE*ownE)
+		if curv < 1e-9 {
+			curv = 1e-9
+		}
+		phat = cfg.Damping * gp / curv
+		if maxUp := (1 - cfg.Gamma) / 2 * (-ownE); phat > maxUp {
+			phat = maxUp
+		}
+	}
+	if phat > cfg.MaxMoveW {
+		phat = cfg.MaxMoveW
+	}
+	if phat < -cfg.MaxMoveW {
+		phat = -cfg.MaxMoveW
+	}
+	if ownP+phat > q.MaxW {
+		phat = q.MaxW - ownP
+	}
+	if ownP+phat < q.MinW {
+		phat = q.MinW - ownP
+	}
+	lo, hi := en.off[i], en.off[i+1]
+	deg := int(hi - lo)
+	for k := lo; k < hi; k++ {
+		outflow += edgeTransferChi(cfg, ownE, en.e[en.nbrs[k]], deg, int(en.nbrDeg[k]), en.chiE[k])
+	}
+	return phat, outflow
+}
+
+// quadEffectiveV mirrors Quadratic.effective with the saturation vertex
+// precomputed (math.Inf(1) when the model has none, so the comparison is
+// always false).
+func quadEffectiveV(q workload.Quadratic, v, p float64) float64 {
+	if p < q.MinW {
+		p = q.MinW
+	}
+	if p > q.MaxW {
+		p = q.MaxW
+	}
+	if p > v {
+		p = v
+	}
+	return p
+}
+
+// quadGradV mirrors Quadratic.Grad using the precomputed vertex.
+func quadGradV(q workload.Quadratic, v, p float64) float64 {
+	p = quadEffectiveV(q, v, p)
+	return q.A1 + 2*q.A2*p
+}
+
+// quadValueV mirrors Quadratic.Value using the precomputed vertex.
+func quadValueV(q workload.Quadratic, v, p float64) float64 {
+	p = quadEffectiveV(q, v, p)
+	return q.A0 + q.A1*p + q.A2*p*p
+}
+
+// quadCurvatureV mirrors curvature for the concrete quadratic model. Keep
+// the secant formula (not the closed-form 2·A2) so the two paths compute
+// bitwise-identical floats at the range ends.
+func quadCurvatureV(q workload.Quadratic, v, p float64) float64 {
+	const h = 0.5
+	lo, hi := p-h, p+h
+	if lo < q.MinW {
+		lo = q.MinW
+	}
+	if hi > q.MaxW {
+		hi = q.MaxW
+	}
+	if hi <= lo {
+		return 0
+	}
+	return (quadGradV(q, v, hi) - quadGradV(q, v, lo)) / (hi - lo)
+}
+
+// edgeTransferChi is edgeTransfer with the clamped diffusion coefficient χ
+// supplied by the caller (precomputed per CSR edge slot — it depends only
+// on the two endpoint degrees and cfg.StepE, all static between topology
+// changes).
+func edgeTransferChi(cfg Config, eA, eB float64, degA, degB int, chi float64) float64 {
+	t := chi * (eA - eB)
+	if cfg.TwoSidedCaps {
+		capEdge := math.Max(0, cfg.Gamma*math.Min((-eA)/float64(degA+1), (-eB)/float64(degB+1)))
+		if t > capEdge {
+			t = capEdge
+		}
+		if t < -capEdge {
+			t = -capEdge
+		}
+		return t
+	}
+	if hi := math.Max(0, cfg.Gamma*(-eB)/float64(degB+1)); t > hi {
+		t = hi
+	}
+	if lo := math.Min(0, -cfg.Gamma*(-eA)/float64(degA+1)); t < lo {
+		t = lo
+	}
+	return t
+}
+
 // edgeTransfer returns the clamped estimate transfer from the endpoint with
 // state (eA, degA) to the endpoint with state (eB, degB). A positive
 // transfer raises eB (toward zero) and is therefore bounded by B's slack;
@@ -340,7 +575,7 @@ func curvature(u workload.Utility, p float64) float64 {
 // inflow (its bound floors at zero).
 func edgeTransfer(cfg Config, eA, eB float64, degA, degB int) float64 {
 	chi := cfg.StepE
-	if lim := 1 / float64(maxInt(degA, degB)+1); chi > lim {
+	if lim := 1 / float64(max(degA, degB)+1); chi > lim {
 		chi = lim
 	}
 	t := chi * (eA - eB)
@@ -364,13 +599,6 @@ func edgeTransfer(cfg Config, eA, eB float64, degA, degB int) float64 {
 	return t
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // Step advances the whole cluster by one synchronous round and returns the
 // round's activity: the largest absolute power move or estimate flow. Both
 // must die out for the system to be at its fixed point (small power moves
@@ -380,24 +608,37 @@ func (en *Engine) Step() float64 {
 	n := len(en.us)
 	var activity float64
 	var nbrE []float64
-	var nbrDeg []int
 	cfg := en.cfg
 	cfg.Eta = en.cfg.etaAt(en.iter)
+	sumP, sumU := en.sumP, en.sumU
 	for i := 0; i < n; i++ {
 		if en.dead[i] {
 			en.pNext[i], en.eNext[i] = 0, 0
 			continue
 		}
-		ns := en.g.Neighbors(i)
-		nbrE = nbrE[:0]
-		nbrDeg = nbrDeg[:0]
-		for _, j := range ns {
-			nbrE = append(nbrE, en.e[j])
-			nbrDeg = append(nbrDeg, en.g.Degree(j))
+		var phat, outflow float64
+		if en.allQuad {
+			phat, outflow = en.roundQuad(cfg, i)
+		} else {
+			lo, hi := en.off[i], en.off[i+1]
+			nbrE = nbrE[:0]
+			for _, j := range en.nbrs[lo:hi] {
+				nbrE = append(nbrE, en.e[j])
+			}
+			phat, outflow = nodeRule(cfg, en.us[i], en.p[i], en.e[i], int(hi-lo), nbrE, en.nbrDeg[lo:hi])
 		}
-		phat, outflow := nodeRule(cfg, en.us[i], en.p[i], en.e[i], len(ns), nbrE, nbrDeg)
-		en.pNext[i] = en.p[i] + phat
+		pn := en.p[i] + phat
+		en.pNext[i] = pn
 		en.eNext[i] = en.e[i] + phat - outflow
+		var un float64
+		if en.allQuad {
+			un = quadValueV(en.qs[i], en.quadV[i], pn)
+		} else {
+			un = en.us[i].Value(pn)
+		}
+		sumP += phat
+		sumU += un - en.uVal[i]
+		en.uVal[i] = un
 		if m := math.Abs(phat); m > activity {
 			activity = m
 		}
@@ -405,10 +646,27 @@ func (en *Engine) Step() float64 {
 			activity = m
 		}
 	}
+	en.sumP, en.sumU = sumP, sumU
 	en.p, en.pNext = en.pNext, en.p
 	en.e, en.eNext = en.eNext, en.e
 	en.iter++
 	return activity
+}
+
+// stepParallelThreshold is the cluster size above which the run loops
+// switch from Step to StepParallel: below it the fork/join overhead beats
+// the per-round work. StepParallel computes bitwise-identical state, so the
+// switch never changes results.
+const stepParallelThreshold = 4096
+
+// StepAuto advances one round, choosing Step or StepParallel by cluster
+// size. The two are bitwise identical, so callers see one deterministic
+// sequence of states either way.
+func (en *Engine) StepAuto() float64 {
+	if len(en.us) >= stepParallelThreshold {
+		return en.StepParallel(0)
+	}
+	return en.Step()
 }
 
 // RunResult summarizes a Run.
@@ -424,16 +682,19 @@ type RunResult struct {
 
 // RunToTarget iterates until the total utility reaches frac (e.g. 0.99) of
 // the given reference utility — the text's convergence criterion
-// (Eq. 4.11) — or maxIters rounds elapse.
+// (Eq. 4.11) — or maxIters rounds elapse. With the incrementally
+// maintained aggregate the per-round convergence check is a single field
+// read rather than the two O(N) utility sweeps it used to cost.
 func (en *Engine) RunToTarget(ref, frac float64, maxIters int) RunResult {
+	tol := (1 - frac) * math.Abs(ref)
 	for k := 0; k < maxIters; k++ {
-		if math.Abs(ref-en.TotalUtility()) <= (1-frac)*math.Abs(ref) {
-			return RunResult{Iterations: k, Converged: true, Utility: en.TotalUtility(), Power: en.TotalPower()}
+		if u := en.sumU; math.Abs(ref-u) <= tol {
+			return RunResult{Iterations: k, Converged: true, Utility: u, Power: en.sumP}
 		}
-		en.Step()
+		en.StepAuto()
 	}
-	conv := math.Abs(ref-en.TotalUtility()) <= (1-frac)*math.Abs(ref)
-	return RunResult{Iterations: maxIters, Converged: conv, Utility: en.TotalUtility(), Power: en.TotalPower()}
+	conv := math.Abs(ref-en.sumU) <= tol
+	return RunResult{Iterations: maxIters, Converged: conv, Utility: en.sumU, Power: en.sumP}
 }
 
 // RunToQuiescence iterates until the largest per-round power move stays
@@ -442,17 +703,17 @@ func (en *Engine) RunToTarget(ref, frac float64, maxIters int) RunResult {
 func (en *Engine) RunToQuiescence(tolW float64, settle, maxIters int) RunResult {
 	quiet := 0
 	for k := 0; k < maxIters; k++ {
-		move := en.Step()
+		move := en.StepAuto()
 		if move < tolW {
 			quiet++
 			if quiet >= settle {
-				return RunResult{Iterations: k + 1, Converged: true, Utility: en.TotalUtility(), Power: en.TotalPower()}
+				return RunResult{Iterations: k + 1, Converged: true, Utility: en.sumU, Power: en.sumP}
 			}
 		} else {
 			quiet = 0
 		}
 	}
-	return RunResult{Iterations: maxIters, Converged: false, Utility: en.TotalUtility(), Power: en.TotalPower()}
+	return RunResult{Iterations: maxIters, Converged: false, Utility: en.sumU, Power: en.sumP}
 }
 
 // SetBudget applies a new cluster budget. Every node locally shifts its
@@ -496,6 +757,7 @@ func (en *Engine) SetBudget(newBudget float64) error {
 		}
 	}
 	en.budget = newBudget
+	en.refreshAggregates()
 	return nil
 }
 
@@ -524,6 +786,8 @@ func (en *Engine) SetUtility(i int, u workload.Utility) error {
 		// A forced rise may push the estimate non-negative; shed elsewhere
 		// is not locally possible, so flag via feasibility check in tests.
 	}
+	en.rebuildQuadCache()
+	en.refreshAggregates()
 	return nil
 }
 

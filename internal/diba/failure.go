@@ -61,6 +61,8 @@ func (en *Engine) FailNode(i int) error {
 	en.p[i] = 0
 	en.e[i] = 0
 	en.budget = newBudget
+	en.rebuildTopoCache()
+	en.refreshAggregates()
 	return nil
 }
 
@@ -104,10 +106,10 @@ func survivorsConnected(g *topology.Graph, dead map[int]bool, extra int) bool {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, w := range g.Neighbors(v) {
-			if !seen[w] && !isDead(w) {
+			if !seen[w] && !isDead(int(w)) {
 				seen[w] = true
 				count++
-				stack = append(stack, w)
+				stack = append(stack, int(w))
 			}
 		}
 	}

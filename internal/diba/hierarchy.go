@@ -138,9 +138,9 @@ func rackConnected(g *topology.Graph, rackOf []int, members []int) bool {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, w := range g.Neighbors(v) {
-			if rackOf[w] == rack && !seen[w] {
-				seen[w] = true
-				stack = append(stack, w)
+			if rackOf[w] == rack && !seen[int(w)] {
+				seen[int(w)] = true
+				stack = append(stack, int(w))
 			}
 		}
 	}
@@ -184,7 +184,7 @@ func (h *HierEngine) Step() float64 {
 		var eOut, fOut float64
 		di := h.g.Degree(i)
 		for _, j := range h.g.Neighbors(i) {
-			eOut += edgeTransfer(h.cfg, h.e[i], h.e[j], di, h.g.Degree(j))
+			eOut += edgeTransfer(h.cfg, h.e[i], h.e[j], di, h.g.Degree(int(j)))
 			if h.racks.RackOf[j] == h.racks.RackOf[i] {
 				fOut += edgeTransfer(h.cfg, h.f[i], h.f[j], h.rackDeg[i], h.rackDeg[j])
 			}

@@ -9,9 +9,12 @@ import (
 // StepParallel advances one synchronous round using the given number of
 // worker goroutines (0 selects GOMAXPROCS). It computes exactly the same
 // state as Step — every node reads only the previous round's snapshot and
-// writes only its own slots, so the result is deterministic and bitwise
-// identical regardless of worker count. Worth using from a few thousand
-// nodes upward; below that the fork/join overhead dominates.
+// writes only its own slots, and the incremental power/utility aggregates
+// are reduced from per-node deltas in index order after the join, the same
+// addition sequence the serial loop performs — so the result is
+// deterministic and bitwise identical regardless of worker count. Worth
+// using from a few thousand nodes upward; below that the fork/join
+// overhead dominates.
 func (en *Engine) StepParallel(workers int) float64 {
 	n := len(en.us)
 	if workers <= 0 {
@@ -42,23 +45,35 @@ func (en *Engine) StepParallel(workers int) float64 {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			var nbrE []float64
-			var nbrDeg []int
 			var activity float64
 			for i := lo; i < hi; i++ {
 				if en.dead[i] {
 					en.pNext[i], en.eNext[i] = 0, 0
 					continue
 				}
-				ns := en.g.Neighbors(i)
-				nbrE = nbrE[:0]
-				nbrDeg = nbrDeg[:0]
-				for _, j := range ns {
-					nbrE = append(nbrE, en.e[j])
-					nbrDeg = append(nbrDeg, en.g.Degree(j))
+				var phat, outflow float64
+				if en.allQuad {
+					phat, outflow = en.roundQuad(cfg, i)
+				} else {
+					nlo, nhi := en.off[i], en.off[i+1]
+					nbrE = nbrE[:0]
+					for _, j := range en.nbrs[nlo:nhi] {
+						nbrE = append(nbrE, en.e[j])
+					}
+					phat, outflow = nodeRule(cfg, en.us[i], en.p[i], en.e[i], int(nhi-nlo), nbrE, en.nbrDeg[nlo:nhi])
 				}
-				phat, outflow := nodeRule(cfg, en.us[i], en.p[i], en.e[i], len(ns), nbrE, nbrDeg)
-				en.pNext[i] = en.p[i] + phat
+				pn := en.p[i] + phat
+				en.pNext[i] = pn
 				en.eNext[i] = en.e[i] + phat - outflow
+				var un float64
+				if en.allQuad {
+					un = quadValueV(en.qs[i], en.quadV[i], pn)
+				} else {
+					un = en.us[i].Value(pn)
+				}
+				en.dP[i] = phat
+				en.dU[i] = un - en.uVal[i]
+				en.uVal[i] = un
 				if m := math.Abs(phat); m > activity {
 					activity = m
 				}
@@ -70,14 +85,25 @@ func (en *Engine) StepParallel(workers int) float64 {
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	// Reduce the aggregate deltas serially in index order — float addition
+	// is not associative, and this order is exactly what Step produces.
+	sumP, sumU := en.sumP, en.sumU
+	for i := 0; i < n; i++ {
+		if en.dead[i] {
+			continue
+		}
+		sumP += en.dP[i]
+		sumU += en.dU[i]
+	}
+	en.sumP, en.sumU = sumP, sumU
 	en.p, en.pNext = en.pNext, en.p
 	en.e, en.eNext = en.eNext, en.e
 	en.iter++
-	var max float64
+	var maxAct float64
 	for _, a := range activities {
-		if a > max {
-			max = a
+		if a > maxAct {
+			maxAct = a
 		}
 	}
-	return max
+	return maxAct
 }

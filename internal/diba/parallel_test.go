@@ -1,0 +1,161 @@
+package diba
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"powercap/internal/topology"
+	"powercap/internal/workload"
+)
+
+// The determinism contract of StepParallel: whatever the worker count, a
+// parallel round computes exactly the same floats as a serial one — state,
+// activity signal, and the incrementally maintained aggregates. The
+// experiment harness leans on this to keep -j N output byte-identical to
+// -j 1.
+
+func parallelTestGraphs(t *testing.T, n int) map[string]func() *topology.Graph {
+	t.Helper()
+	return map[string]func() *topology.Graph{
+		"ring":    func() *topology.Graph { return topology.Ring(n) },
+		"chordal": func() *topology.Graph { return topology.ChordalRing(n, 7) },
+		"random": func() *topology.Graph {
+			return topology.ConnectedErdosRenyi(n, 2*n, rand.New(rand.NewSource(11)))
+		},
+	}
+}
+
+func newTestEngine(t *testing.T, g *topology.Graph, n int) *Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := New(g, a.UtilitySlice(), 172*float64(n), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return en
+}
+
+func requireIdentical(t *testing.T, serial, parallel *Engine, round int, label string) {
+	t.Helper()
+	ps, es := serial.Alloc(), serial.Estimates()
+	pp, ep := parallel.Alloc(), parallel.Estimates()
+	for i := range ps {
+		if ps[i] != pp[i] {
+			t.Fatalf("%s round %d: p[%d] diverged: serial %v parallel %v", label, round, i, ps[i], pp[i])
+		}
+		if es[i] != ep[i] {
+			t.Fatalf("%s round %d: e[%d] diverged: serial %v parallel %v", label, round, i, es[i], ep[i])
+		}
+	}
+	if serial.TotalPower() != parallel.TotalPower() {
+		t.Fatalf("%s round %d: ΣP diverged: %v vs %v", label, round, serial.TotalPower(), parallel.TotalPower())
+	}
+	if serial.TotalUtility() != parallel.TotalUtility() {
+		t.Fatalf("%s round %d: ΣU diverged: %v vs %v", label, round, serial.TotalUtility(), parallel.TotalUtility())
+	}
+}
+
+func TestStepParallelBitwiseIdentical(t *testing.T) {
+	const n, rounds = 120, 150
+	workerCounts := []int{1, 2, 3, runtime.GOMAXPROCS(0)}
+	for name, build := range parallelTestGraphs(t, n) {
+		for _, w := range workerCounts {
+			serial := newTestEngine(t, build(), n)
+			par := newTestEngine(t, build(), n)
+			for r := 0; r < rounds; r++ {
+				actS := serial.Step()
+				actP := par.StepParallel(w)
+				if actS != actP {
+					t.Fatalf("%s w=%d round %d: activity diverged: %v vs %v", name, w, r, actS, actP)
+				}
+			}
+			requireIdentical(t, serial, par, rounds, name)
+		}
+	}
+}
+
+func TestStepParallelBitwiseIdenticalWithDeadNodes(t *testing.T) {
+	const n, rounds = 100, 120
+	for _, w := range []int{2, 3} {
+		// Chords keep the survivors connected when nodes die.
+		serial := newTestEngine(t, topology.ChordalRing(n, 9), n)
+		par := newTestEngine(t, topology.ChordalRing(n, 9), n)
+		for r := 0; r < rounds; r++ {
+			if r == 40 || r == 80 {
+				victim := 13 * r % n
+				if err := serial.FailNode(victim); err != nil {
+					t.Fatal(err)
+				}
+				if err := par.FailNode(victim); err != nil {
+					t.Fatal(err)
+				}
+			}
+			actS := serial.Step()
+			actP := par.StepParallel(w)
+			if actS != actP {
+				t.Fatalf("w=%d round %d: activity diverged: %v vs %v", w, r, actS, actP)
+			}
+			if r%20 == 0 {
+				requireIdentical(t, serial, par, r, "dead-nodes")
+			}
+		}
+		requireIdentical(t, serial, par, rounds, "dead-nodes")
+	}
+}
+
+// The incremental aggregates must track a from-scratch recomputation: drift
+// beyond float noise would silently corrupt the convergence criterion.
+func TestIncrementalAggregatesMatchFullSweep(t *testing.T) {
+	const n = 200
+	en := newTestEngine(t, topology.Ring(n), n)
+	fullSums := func() (sumP, sumU float64) {
+		for i, p := range en.p {
+			if en.dead[i] {
+				continue
+			}
+			sumP += p
+			sumU += en.us[i].Value(p)
+		}
+		return
+	}
+	for r := 0; r < 500; r++ {
+		en.Step()
+	}
+	wantP, wantU := fullSums()
+	if d := en.TotalPower() - wantP; d > 1e-7 || d < -1e-7 {
+		t.Fatalf("ΣP drifted: incremental %v, full sweep %v", en.TotalPower(), wantP)
+	}
+	if d := en.TotalUtility() - wantU; d > 1e-7 || d < -1e-7 {
+		t.Fatalf("ΣU drifted: incremental %v, full sweep %v", en.TotalUtility(), wantU)
+	}
+}
+
+func benchmarkStepVsParallel(b *testing.B, n int, parallel bool) {
+	rng := rand.New(rand.NewSource(1))
+	a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	en, err := New(topology.Ring(n), a.UtilitySlice(), 170*float64(n), Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if parallel {
+			en.StepParallel(0)
+		} else {
+			en.Step()
+		}
+	}
+}
+
+func BenchmarkStepSerial1000(b *testing.B)    { benchmarkStepVsParallel(b, 1000, false) }
+func BenchmarkStepParallel1000(b *testing.B)  { benchmarkStepVsParallel(b, 1000, true) }
+func BenchmarkStepSerial10000(b *testing.B)   { benchmarkStepVsParallel(b, 10000, false) }
+func BenchmarkStepParallel10000(b *testing.B) { benchmarkStepVsParallel(b, 10000, true) }

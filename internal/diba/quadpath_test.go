@@ -1,0 +1,74 @@
+package diba
+
+import (
+	"testing"
+
+	"powercap/internal/topology"
+	"powercap/internal/workload"
+)
+
+// The engine dispatches to roundQuad (precomputed saturation vertex and
+// per-edge χ, no interface calls) whenever every utility is a concrete
+// workload.Quadratic. That specialization must be invisible: the fast and
+// generic paths are required to produce bitwise-identical trajectories,
+// because agents and the TCP daemon run the generic rule and the repo's
+// determinism guarantees compare engine and agent floats with ==.
+func TestQuadFastPathMatchesGenericRule(t *testing.T) {
+	const n, rounds = 140, 200
+	build := func() *Engine { return newTestEngine(t, topology.ChordalRing(n, 7), n) }
+
+	fast := build()
+	generic := build()
+	if !fast.allQuad {
+		t.Fatal("fitted workloads should enable the quad fast path")
+	}
+	generic.allQuad = false // force the interface-dispatch path
+
+	for r := 0; r < rounds; r++ {
+		if r == 60 {
+			// Out-of-band utility swap: rebuildQuadCache must refresh the
+			// precomputed vertex or the fast path diverges here.
+			q, err := workload.NewQuadratic(2, 1.4, -0.004, 60, 210)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fast.SetUtility(17, q); err != nil {
+				t.Fatal(err)
+			}
+			if err := generic.SetUtility(17, q); err != nil {
+				t.Fatal(err)
+			}
+			generic.allQuad = false // SetUtility re-detects; re-force
+		}
+		if r == 120 {
+			if err := fast.FailNode(33); err != nil {
+				t.Fatal(err)
+			}
+			if err := generic.FailNode(33); err != nil {
+				t.Fatal(err)
+			}
+		}
+		actF := fast.Step()
+		actG := generic.Step()
+		if actF != actG {
+			t.Fatalf("round %d: activity diverged: fast %v generic %v", r, actF, actG)
+		}
+		if r%25 == 0 {
+			requireIdentical(t, generic, fast, r, "quad-fast-path")
+		}
+	}
+	requireIdentical(t, generic, fast, rounds, "quad-fast-path")
+
+	// And the parallel step must agree with the generic serial path too.
+	fastPar := build()
+	genSerial := build()
+	genSerial.allQuad = false
+	for r := 0; r < rounds; r++ {
+		actP := fastPar.StepParallel(3)
+		actS := genSerial.Step()
+		if actP != actS {
+			t.Fatalf("round %d: parallel fast path diverged from generic serial: %v vs %v", r, actP, actS)
+		}
+	}
+	requireIdentical(t, genSerial, fastPar, rounds, "quad-fast-path-parallel")
+}

@@ -28,7 +28,7 @@ func RunAgents(g *topology.Graph, us []workload.Utility, budget float64, cfg Con
 	net := NewChanNetwork(n, 4*(g.MaxDegree()+1))
 	agents := make([]*Agent, n)
 	for i := 0; i < n; i++ {
-		a, err := NewAgent(i, g.Neighbors(i), us[i], budget, n, totalIdle, cfg, net.Endpoint(i))
+		a, err := NewAgent(i, g.NeighborsInts(i), us[i], budget, n, totalIdle, cfg, net.Endpoint(i))
 		if err != nil {
 			return nil, err
 		}

@@ -101,6 +101,8 @@ func (en *Engine) Restore(s Snapshot) error {
 		}
 	}
 	en.dead = dead
+	en.rebuildTopoCache()
+	en.refreshAggregates()
 	return nil
 }
 

@@ -85,12 +85,12 @@ func (a *Agent) RunUntilQuiet(q QuietConfig) (AgentState, error) {
 			return AgentState{}, err
 		}
 		nbrE := make([]float64, len(a.Neighbors))
-		nbrDeg := make([]int, len(a.Neighbors))
+		nbrDeg := make([]int32, len(a.Neighbors))
 		minNbrQuiet := math.MaxInt
 		for k, nb := range a.Neighbors {
 			m := got[nb]
 			nbrE[k] = m.E
-			nbrDeg[k] = m.Degree
+			nbrDeg[k] = int32(m.Degree)
 			if m.Quiet < minNbrQuiet {
 				minNbrQuiet = m.Quiet
 			}

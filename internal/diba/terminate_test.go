@@ -28,7 +28,7 @@ func runQuietAgents(t *testing.T, n int, budgetPer float64, q QuietConfig, seed 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			a, err := NewAgent(i, g.Neighbors(i), us[i], budgetPer*float64(n), n, totalIdle, Config{}, net.Endpoint(i))
+			a, err := NewAgent(i, g.NeighborsInts(i), us[i], budgetPer*float64(n), n, totalIdle, Config{}, net.Endpoint(i))
 			if err != nil {
 				errs[i] = err
 				return

@@ -10,6 +10,7 @@ import (
 	"powercap/internal/diba"
 	"powercap/internal/metrics"
 	"powercap/internal/netsim"
+	"powercap/internal/parallel"
 	"powercap/internal/solver"
 	"powercap/internal/stats"
 	"powercap/internal/topology"
@@ -68,47 +69,69 @@ func Fig43(scale Scale, seed int64) (Table, error) {
 	}
 	us := a.UtilitySlice()
 
-	var pdGains, dibaGains []float64
+	// The budget sweep points are independent (they share only the
+	// read-only utility slice), so fan them across workers and emit rows in
+	// sweep order afterwards.
+	var budgets []float64
 	for per := 166.0; per <= 186.0+1e-9; per += 4 {
-		budget := per * float64(n)
+		budgets = append(budgets, per*float64(n))
+	}
+	type fig43Row struct {
+		uniSNP, pdSNP, diSNP, optSNP float64
+		pdGain, diGain               float64
+	}
+	rows := make([]fig43Row, len(budgets))
+	err = parallel.ForEach(len(budgets), func(k int) error {
+		budget := budgets[k]
 		uni, err := baseline.Uniform(us, budget)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		uniRep, err := metrics.Evaluate(us, uni, metrics.Arithmetic)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		pd, err := baseline.PrimalDual(us, budget, baseline.PDOptions{})
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		pdRep, err := metrics.Evaluate(us, pd.Alloc, metrics.Arithmetic)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		opt, err := solver.Optimal(us, budget)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		optRep, err := metrics.Evaluate(us, opt.Alloc, metrics.Arithmetic)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		en, err := diba.New(topology.Ring(n), us, budget, diba.Config{})
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		en.RunToTarget(opt.Utility, 0.995, scale.pick(3000, 20000))
 		diRep, err := metrics.Evaluate(us, en.Alloc(), metrics.Arithmetic)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
-		pdGain := 100 * (pdRep.SNP - uniRep.SNP) / uniRep.SNP
-		diGain := 100 * (diRep.SNP - uniRep.SNP) / uniRep.SNP
-		pdGains = append(pdGains, pdGain)
-		dibaGains = append(dibaGains, diGain)
-		t.AddRow(budget/1000, uniRep.SNP, pdRep.SNP, diRep.SNP, optRep.SNP, pdGain, diGain)
+		rows[k] = fig43Row{
+			uniSNP: uniRep.SNP, pdSNP: pdRep.SNP, diSNP: diRep.SNP, optSNP: optRep.SNP,
+			pdGain: 100 * (pdRep.SNP - uniRep.SNP) / uniRep.SNP,
+			diGain: 100 * (diRep.SNP - uniRep.SNP) / uniRep.SNP,
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	var pdGains, dibaGains []float64
+	for k, budget := range budgets {
+		r := rows[k]
+		pdGains = append(pdGains, r.pdGain)
+		dibaGains = append(dibaGains, r.diGain)
+		t.AddRow(budget/1000, r.uniSNP, r.pdSNP, r.diSNP, r.optSNP, r.pdGain, r.diGain)
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("measured mean gain over uniform: PD %.1f%%, DiBA %.1f%% (paper: 14.7%% / 14.5%%)",
 		stats.Mean(pdGains), stats.Mean(dibaGains)))
@@ -136,11 +159,23 @@ func Table42(scale Scale, seed int64) (Table, error) {
 			"absolute centralized comp is far below the paper's CVX times — the oracle here is an exact bisection, not an interior-point solver",
 		},
 	}
-	for _, n := range ns {
-		rng := rand.New(rand.NewSource(seed))
+	// Each cluster size is independent, with its own RNG (seed + index).
+	// The comp columns are wall-clock measurements, so running sizes
+	// concurrently trades some timing fidelity for throughput; the modeled
+	// comm columns and iteration counts stay deterministic regardless.
+	type table42Row struct {
+		centComp, centComm, centP95 time.Duration
+		pdComp, pdComm              time.Duration
+		dibaComp, dibaComm          time.Duration
+		pdIters, dibaIters          int
+	}
+	rows := make([]table42Row, len(ns))
+	err := parallel.ForEach(len(ns), func(k int) error {
+		n := ns[k]
+		rng := rand.New(rand.NewSource(seed + int64(k)))
 		a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0.01, rng)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		us := a.UtilitySlice()
 		budget := 170.0 * float64(n)
@@ -149,13 +184,13 @@ func Table42(scale Scale, seed int64) (Table, error) {
 		start := time.Now()
 		opt, err := solver.Optimal(us, budget)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		centComp := time.Since(start)
 		centComm := netsim.Measured.CentralizedRound(n)
 		commStats, err := netsim.Measured.GatherScatter(n, 100, rng)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 
 		// Primal-dual: measure per-iteration local computation (all nodes in
@@ -163,7 +198,7 @@ func Table42(scale Scale, seed int64) (Table, error) {
 		start = time.Now()
 		pd, err := baseline.PrimalDual(us, budget, baseline.PDOptions{})
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		pdWall := time.Since(start)
 		// The measured wall time covers all nodes sequentially; a node's
@@ -174,7 +209,7 @@ func Table42(scale Scale, seed int64) (Table, error) {
 		// DiBA: run to the 99% criterion, measure per-node per-round cost.
 		en, err := diba.New(topology.Ring(n), us, budget, diba.Config{})
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		start = time.Now()
 		res := en.RunToTarget(opt.Utility, 0.99, 30000)
@@ -183,18 +218,29 @@ func Table42(scale Scale, seed int64) (Table, error) {
 		if iters == 0 {
 			iters = 1
 		}
-		dibaComp := time.Duration(float64(diWall) / float64(n)) // per node, all rounds
-		dibaComm := netsim.Measured.DiBATotal(iters)
-
+		rows[k] = table42Row{
+			centComp: centComp, centComm: centComm, centP95: commStats.P95,
+			pdComp: pdComp, pdComm: pdComm,
+			dibaComp: time.Duration(float64(diWall) / float64(n)), // per node, all rounds
+			dibaComm: netsim.Measured.DiBATotal(iters),
+			pdIters:  pd.Iterations, dibaIters: iters,
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for k, n := range ns {
+		r := rows[k]
 		t.AddRow(n,
-			fmt.Sprintf("%.2f", netsim.Millis(centComp)),
-			fmt.Sprintf("%.2f", netsim.Millis(centComm)),
-			fmt.Sprintf("%.2f", netsim.Millis(commStats.P95)),
-			fmt.Sprintf("%.3f", netsim.Millis(pdComp)),
-			fmt.Sprintf("%.1f", netsim.Millis(pdComm)),
-			fmt.Sprintf("%.3f", netsim.Millis(dibaComp)),
-			fmt.Sprintf("%.1f", netsim.Millis(dibaComm)),
-			pd.Iterations, iters)
+			fmt.Sprintf("%.2f", netsim.Millis(r.centComp)),
+			fmt.Sprintf("%.2f", netsim.Millis(r.centComm)),
+			fmt.Sprintf("%.2f", netsim.Millis(r.centP95)),
+			fmt.Sprintf("%.3f", netsim.Millis(r.pdComp)),
+			fmt.Sprintf("%.1f", netsim.Millis(r.pdComm)),
+			fmt.Sprintf("%.3f", netsim.Millis(r.dibaComp)),
+			fmt.Sprintf("%.1f", netsim.Millis(r.dibaComm)),
+			r.pdIters, r.dibaIters)
 	}
 	return t, nil
 }
@@ -482,18 +528,27 @@ func Fig410(scale Scale, seed int64) (Table, error) {
 		return Table{}, err
 	}
 
-	var degs, iters []float64
-	for k := 0; k < samplesCount; k++ {
+	// Every sample draws its graph from its own RNG (seed + sample index),
+	// so the sample set is fixed whatever the worker count or completion
+	// order; the bins below then see identical data at any -j.
+	degs := make([]float64, samplesCount)
+	iters := make([]float64, samplesCount)
+	err = parallel.ForEach(samplesCount, func(k int) error {
+		srng := rand.New(rand.NewSource(seed + int64(k)))
 		// Vary edge counts from barely connected to dense.
-		m := n + rng.Intn(5*n)
-		g := topology.ConnectedErdosRenyi(n, m, rng)
+		m := n + srng.Intn(5*n)
+		g := topology.ConnectedErdosRenyi(n, m, srng)
 		en, err := diba.New(g, us, budget, diba.Config{})
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		res := en.RunToTarget(opt.Utility, 0.99, 30000)
-		degs = append(degs, g.AvgDegree())
-		iters = append(iters, float64(res.Iterations))
+		degs[k] = g.AvgDegree()
+		iters[k] = float64(res.Iterations)
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
 	coefs, err := stats.PolyFit(degs, iters, 3)
 	if err != nil {

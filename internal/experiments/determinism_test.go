@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"powercap/internal/parallel"
+)
+
+// The parallelized sweeps must not leak the worker count into results:
+// every sweep point gets its own RNG (seed + index) and writes only its own
+// slot, so a table built at -j 8 is identical to one built at -j 1. Timing
+// experiments (table4.2) are excluded — their comp columns are wall-clock
+// measurements and nondeterministic by nature, at any worker count.
+func TestSweepsIdenticalAcrossWorkerCounts(t *testing.T) {
+	const seed = 1
+	cases := map[string]func() (Table, error){
+		"scaling": func() (Table, error) { return Scaling(Quick, seed) },
+		"fig4.3":  func() (Table, error) { return Fig43(Quick, seed) },
+		"fig4.10": func() (Table, error) { return Fig410(Quick, seed) },
+		"fig4.4":  func() (Table, error) { return Fig44(Quick, seed) },
+	}
+	defer parallel.SetWorkers(0)
+	for name, run := range cases {
+		parallel.SetWorkers(1)
+		serial, err := run()
+		if err != nil {
+			t.Fatalf("%s at -j1: %v", name, err)
+		}
+		parallel.SetWorkers(8)
+		wide, err := run()
+		if err != nil {
+			t.Fatalf("%s at -j8: %v", name, err)
+		}
+		if !reflect.DeepEqual(serial, wide) {
+			t.Errorf("%s: table differs between 1 and 8 workers\n-j1: %+v\n-j8: %+v", name, serial, wide)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"time"
+
+	"powercap/internal/parallel"
+)
+
+// Job is one experiment scheduled on the runner: an id from the registry
+// and the closure that produces its table.
+type Job struct {
+	ID  string
+	Run func() (Table, error)
+}
+
+// JobResult is the outcome of one Job.
+type JobResult struct {
+	ID      string
+	Table   Table
+	Err     error
+	Elapsed time.Duration
+}
+
+// RunJobs executes the jobs on up to parallel.Workers() goroutines and
+// streams results to emit in job order: result i is delivered as soon as
+// job i has finished AND every earlier job's result has been emitted. emit
+// runs on the calling goroutine, so callers may print directly. The job
+// order — and therefore the emitted output — is independent of the worker
+// count; only wall-clock time changes.
+func RunJobs(jobs []Job, emit func(JobResult)) {
+	n := len(jobs)
+	if n == 0 {
+		return
+	}
+	w := parallel.Workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for _, j := range jobs {
+			emit(runJob(j))
+		}
+		return
+	}
+	results := make([]JobResult, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	sem := make(chan struct{}, w)
+	for i := range jobs {
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = runJob(jobs[i])
+			close(done[i])
+		}(i)
+	}
+	for i := range jobs {
+		<-done[i]
+		emit(results[i])
+	}
+}
+
+func runJob(j Job) JobResult {
+	start := time.Now()
+	tab, err := j.Run()
+	return JobResult{ID: j.ID, Table: tab, Err: err, Elapsed: time.Since(start)}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"powercap/internal/diba"
+	"powercap/internal/parallel"
 	"powercap/internal/solver"
 	"powercap/internal/topology"
 	"powercap/internal/workload"
@@ -29,17 +30,26 @@ func Scaling(scale Scale, seed int64) (Table, error) {
 			"expected shape: rounds roughly flat in N on the ring (the paper's ≈constant-iterations claim); chords shave the constant",
 		},
 	}
-	for _, n := range ns {
-		rng := rand.New(rand.NewSource(seed))
+	// Cluster sizes are independent sweep points: fan them across workers
+	// with one RNG per point (seed + index) so results do not depend on the
+	// worker count or execution order.
+	type scalingRow struct {
+		ringIters, chordIters int
+		ringRatio             float64
+	}
+	rows := make([]scalingRow, len(ns))
+	err := parallel.ForEach(len(ns), func(k int) error {
+		n := ns[k]
+		rng := rand.New(rand.NewSource(seed + int64(k)))
 		a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0.01, rng)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		us := a.UtilitySlice()
 		budget := 170.0 * float64(n)
 		opt, err := solver.Optimal(us, budget)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		run := func(g *topology.Graph) (int, float64, error) {
 			en, err := diba.New(g, us, budget, diba.Config{})
@@ -51,7 +61,7 @@ func Scaling(scale Scale, seed int64) (Table, error) {
 		}
 		ringIters, ringRatio, err := run(topology.Ring(n))
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		stride := intSqrt(n)
 		if stride < 2 {
@@ -59,9 +69,16 @@ func Scaling(scale Scale, seed int64) (Table, error) {
 		}
 		chordIters, _, err := run(topology.ChordalRing(n, stride))
 		if err != nil {
-			return Table{}, err
+			return err
 		}
-		t.AddRow(n, ringIters, chordIters, fmt.Sprintf("%.4f", ringRatio))
+		rows[k] = scalingRow{ringIters: ringIters, chordIters: chordIters, ringRatio: ringRatio}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for k, n := range ns {
+		t.AddRow(n, rows[k].ringIters, rows[k].chordIters, fmt.Sprintf("%.4f", rows[k].ringRatio))
 	}
 	return t, nil
 }

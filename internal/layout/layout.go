@@ -206,7 +206,7 @@ func Anneal(p Problem, iters int, rng *rand.Rand) (Assignment, error) {
 	best := cur.Clone()
 	bestCost := curCost
 	temp := curCost * 0.1
-	cooling := math.Pow(1e-3, 1/float64(maxI(iters, 1)))
+	cooling := math.Pow(1e-3, 1/float64(max(iters, 1)))
 	for k := 0; k < iters; k++ {
 		i, j := rng.Intn(n), rng.Intn(n)
 		if i == j {
@@ -234,13 +234,6 @@ func Anneal(p Problem, iters int, rng *rand.Rand) (Assignment, error) {
 		return out, nil
 	}
 	return best, nil
-}
-
-func maxI(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // MaxExactN caps the exact solver's instance size; branch-and-bound over

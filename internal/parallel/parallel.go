@@ -1,0 +1,88 @@
+// Package parallel holds the repository's deterministic fan-out
+// primitives. One process-wide worker setting (the repro binary's -j flag)
+// governs every layer that fans work across goroutines: the experiment
+// runner, the per-experiment sweep loops, and the cluster simulation's
+// snapshot evaluation.
+//
+// The contract throughout is that parallelism must never change results:
+// work items are independent, write only their own index, and are reduced
+// in index order afterwards — so output is byte-identical at any worker
+// count.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers holds the configured fan-out width; 0 selects GOMAXPROCS.
+var workers atomic.Int64
+
+// SetWorkers sets the process-wide fan-out width. n ≤ 0 restores the
+// default (GOMAXPROCS).
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workers.Store(int64(n))
+}
+
+// Workers returns the resolved fan-out width (at least 1).
+func Workers() int {
+	if n := int(workers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0,n) on up to Workers() goroutines
+// and returns the error of the lowest failing index (deterministic whatever
+// the interleaving). fn must write only state owned by its index.
+func ForEach(n int, fn func(i int) error) error {
+	return ForEachN(n, Workers(), fn)
+}
+
+// ForEachN is ForEach with an explicit worker count (0 = GOMAXPROCS).
+func ForEachN(n, w int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

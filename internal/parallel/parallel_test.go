@@ -1,0 +1,58 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		if err := ForEachN(n, w, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("w=%d: index %d visited %d times", w, i, got)
+			}
+		}
+	}
+}
+
+// ForEach must report the lowest failing index's error so failures are
+// deterministic whatever the goroutine interleaving.
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	want := errors.New("boom 3")
+	for _, w := range []int{1, 4} {
+		err := ForEachN(10, w, func(i int) error {
+			if i == 3 {
+				return want
+			}
+			if i == 7 {
+				return fmt.Errorf("boom 7")
+			}
+			return nil
+		})
+		if err != want {
+			t.Fatalf("w=%d: got %v, want %v", w, err, want)
+		}
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d, want 3", got)
+	}
+	SetWorkers(0)
+	if got := Workers(); got < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", got)
+	}
+}

@@ -9,13 +9,34 @@ package topology
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 )
 
-// Graph is an undirected simple graph over nodes 0..N-1 stored as adjacency
-// lists. Neighbor lists are kept sorted in ascending order and never contain
-// duplicates or self-loops.
+// Graph is an undirected simple graph over nodes 0..N-1. Edges are inserted
+// through per-node sorted adjacency lists; reads go through a compressed
+// sparse row (CSR) view — one backing []int32 of concatenated neighbor ids
+// plus an offsets array — that is rebuilt lazily after mutation. The flat
+// layout keeps the engine's per-round neighbor sweeps on contiguous memory
+// instead of chasing one heap slice per node.
+//
+// The lazy rebuild is internally synchronized (double-checked atomic flag
+// plus a rebuild mutex), so any number of goroutines may read a quiescent
+// graph concurrently — agents fanning out over a shared topology need no
+// extra coordination. Mutation (AddEdge) is not goroutine-safe and must not
+// overlap with reads.
 type Graph struct {
-	adj [][]int
+	// adj is the build-phase adjacency: sorted, duplicate-free neighbor
+	// lists, the source of truth for mutation.
+	adj [][]int32
+	// off/nbr form the sealed CSR view: node i's neighbors are
+	// nbr[off[i]:off[i+1]], valid while dirty is false.
+	off []int32
+	nbr []int32
+	// dirty is atomic so concurrent readers can skip a clean seal without
+	// locking; sealMu serializes the rebuild itself.
+	dirty  atomic.Bool
+	sealMu sync.Mutex
 }
 
 // NewGraph returns an edgeless graph with n nodes.
@@ -23,29 +44,98 @@ func NewGraph(n int) *Graph {
 	if n < 0 {
 		panic("topology: negative node count")
 	}
-	return &Graph{adj: make([][]int, n)}
+	g := &Graph{adj: make([][]int32, n)}
+	g.dirty.Store(true)
+	return g
 }
 
 // N returns the number of nodes.
 func (g *Graph) N() int { return len(g.adj) }
 
-// Neighbors returns the (shared, read-only) sorted neighbor list of node i.
-func (g *Graph) Neighbors(i int) []int { return g.adj[i] }
+// Seal (re)builds the CSR view from the adjacency lists. Read accessors
+// call it implicitly, and concurrent callers are safe: the fast path is a
+// single atomic load, and when a rebuild is needed the last writer's
+// dirty.Store(false) publishes the finished CSR arrays to every goroutine
+// that subsequently observes the flag clear.
+func (g *Graph) Seal() {
+	if !g.dirty.Load() {
+		return
+	}
+	g.sealMu.Lock()
+	defer g.sealMu.Unlock()
+	if !g.dirty.Load() {
+		return
+	}
+	n := len(g.adj)
+	total := 0
+	for _, ns := range g.adj {
+		total += len(ns)
+	}
+	if cap(g.off) < n+1 {
+		g.off = make([]int32, n+1)
+	} else {
+		g.off = g.off[:n+1]
+	}
+	if cap(g.nbr) < total {
+		g.nbr = make([]int32, 0, total)
+	} else {
+		g.nbr = g.nbr[:0]
+	}
+	g.off[0] = 0
+	for i, ns := range g.adj {
+		g.nbr = append(g.nbr, ns...)
+		g.off[i+1] = int32(len(g.nbr))
+	}
+	g.dirty.Store(false)
+}
+
+// CSR returns the sealed offsets and neighbor arrays: node i's neighbors
+// are nbr[off[i]:off[i+1]]. Both slices are shared and read-only.
+func (g *Graph) CSR() (off, nbr []int32) {
+	g.Seal()
+	return g.off, g.nbr
+}
+
+// Neighbors returns the (shared, read-only) sorted neighbor list of node i,
+// a zero-copy slice of the CSR backing array.
+func (g *Graph) Neighbors(i int) []int32 {
+	g.Seal()
+	return g.nbr[g.off[i]:g.off[i+1]]
+}
+
+// NeighborsInts returns a freshly allocated []int copy of node i's neighbor
+// list, for callers that keep node ids in the int domain (agent
+// construction, config plumbing). Not for hot loops.
+func (g *Graph) NeighborsInts(i int) []int {
+	ns := g.Neighbors(i)
+	out := make([]int, len(ns))
+	for k, v := range ns {
+		out[k] = int(v)
+	}
+	return out
+}
 
 // Degree returns the degree of node i.
-func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
+func (g *Graph) Degree(i int) int {
+	g.Seal()
+	return int(g.off[i+1] - g.off[i])
+}
 
 // HasEdge reports whether nodes a and b are adjacent.
 func (g *Graph) HasEdge(a, b int) bool {
-	for _, v := range g.adj[a] {
-		if v == b {
-			return true
-		}
-		if v > b {
-			return false
+	// Binary search the sorted build list: usable mid-construction without
+	// forcing a CSR rebuild per probe.
+	ns := g.adj[a]
+	lo, hi := 0, len(ns)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(ns[mid]) < b {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return false
+	return lo < len(ns) && int(ns[lo]) == b
 }
 
 // AddEdge inserts the undirected edge {a,b}. Self-loops and duplicate edges
@@ -61,12 +151,13 @@ func (g *Graph) AddEdge(a, b int) error {
 	if g.HasEdge(a, b) {
 		return fmt.Errorf("topology: duplicate edge (%d,%d)", a, b)
 	}
-	g.adj[a] = insertSorted(g.adj[a], b)
-	g.adj[b] = insertSorted(g.adj[b], a)
+	g.adj[a] = insertSorted(g.adj[a], int32(b))
+	g.adj[b] = insertSorted(g.adj[b], int32(a))
+	g.dirty.Store(true)
 	return nil
 }
 
-func insertSorted(s []int, v int) []int {
+func insertSorted(s []int32, v int32) []int32 {
 	i := 0
 	for i < len(s) && s[i] < v {
 		i++
@@ -82,8 +173,8 @@ func (g *Graph) Edges() [][2]int {
 	var out [][2]int
 	for a, ns := range g.adj {
 		for _, b := range ns {
-			if a < b {
-				out = append(out, [2]int{a, b})
+			if a < int(b) {
+				out = append(out, [2]int{a, int(b)})
 			}
 		}
 	}
@@ -113,14 +204,15 @@ func (g *Graph) Connected() bool {
 	if n <= 1 {
 		return true
 	}
+	off, nbr := g.CSR()
 	seen := make([]bool, n)
-	stack := []int{0}
+	stack := []int32{0}
 	seen[0] = true
 	count := 1
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, w := range g.adj[v] {
+		for _, w := range nbr[off[v]:off[v+1]] {
 			if !seen[w] {
 				seen[w] = true
 				count++
@@ -138,20 +230,21 @@ func (g *Graph) Diameter() int {
 	if n <= 1 {
 		return 0
 	}
+	off, nbr := g.CSR()
 	diam := 0
 	dist := make([]int, n)
-	queue := make([]int, 0, n)
+	queue := make([]int32, 0, n)
 	for s := 0; s < n; s++ {
 		for i := range dist {
 			dist[i] = -1
 		}
 		dist[s] = 0
-		queue = append(queue[:0], s)
+		queue = append(queue[:0], int32(s))
 		reached := 1
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, w := range g.adj[v] {
+			for _, w := range nbr[off[v]:off[v+1]] {
 				if dist[w] < 0 {
 					dist[w] = dist[v] + 1
 					if dist[w] > diam {
@@ -329,8 +422,8 @@ func (g *Graph) RemoveNode(v int) *Graph {
 	out := NewGraph(g.N())
 	for a, ns := range g.adj {
 		for _, b := range ns {
-			if a < b && a != v && b != v {
-				_ = out.AddEdge(a, b)
+			if a < int(b) && a != v && int(b) != v {
+				_ = out.AddEdge(a, int(b))
 			}
 		}
 	}

@@ -233,7 +233,7 @@ func TestSymmetryProperty(t *testing.T) {
 		g := ConnectedErdosRenyi(n, m, rng)
 		for i := 0; i < n; i++ {
 			for _, j := range g.Neighbors(i) {
-				if !g.HasEdge(j, i) {
+				if !g.HasEdge(int(j), i) {
 					return false
 				}
 			}
