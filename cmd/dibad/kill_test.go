@@ -1,0 +1,113 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestClusterSurvivesKilledDaemon is the daemon-level fault drill: five real
+// dibad processes form a ring with stride-2 chords, one of them is armed
+// with a deterministic crash point that dies mid-broadcast, and the
+// survivors must detect the death, repair over the chords, agree on the
+// shrunk budget, and terminate together via the distributed quiescence rule.
+func TestClusterSurvivesKilledDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a 5-process TCP cluster")
+	}
+	bin := filepath.Join(t.TempDir(), "dibad")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building dibad: %v\n%s", err, out)
+	}
+
+	const n, victim = 5, 2
+	addrs := make([]string, n)
+	var peers strings.Builder
+	peers.WriteString("chord 2\n")
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+		fmt.Fprintf(&peers, "%d %s\n", i, addrs[i])
+	}
+	peersPath := filepath.Join(t.TempDir(), "peers.txt")
+	if err := os.WriteFile(peersPath, []byte(peers.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	benches := []string{"EP", "CG", "FT", "MG", "LU"}
+	outs := make([]string, n)
+	errs := make([]error, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		args := []string{
+			"-id", fmt.Sprint(i), "-peers", peersPath, "-budget", "850",
+			"-workload", benches[i], "-connect-timeout", "20s",
+			"-gather-timeout", "500ms", "-heartbeat", "50ms",
+		}
+		if i == victim {
+			// An odd send budget dies between the two neighbor sends of one
+			// broadcast — the asymmetric case the reconciliation must handle.
+			args = append(args, "-rounds", "100000", "-chaos-seed", "5", "-chaos-crash-after", "101")
+		} else {
+			args = append(args, "-rounds", "0") // run until cluster-quiet
+		}
+		go func(i int, args []string) {
+			out, err := exec.CommandContext(ctx, bin, args...).CombinedOutput()
+			outs[i], errs[i] = string(out), err
+			done <- i
+		}(i, args)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+
+	if errs[victim] == nil {
+		t.Errorf("victim exited cleanly; want a crash\n%s", outs[victim])
+	}
+	report := regexp.MustCompile(`agent \d+: workload=\S+ cap=\S+ estimate=\S+ rounds=(\d+) budget=(\S+)W dead=\[([^\]]*)\]`)
+	var rounds, budget string
+	for i := 0; i < n; i++ {
+		if i == victim {
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("survivor %d failed: %v\n%s", i, errs[i], outs[i])
+		}
+		m := report.FindStringSubmatch(outs[i])
+		if m == nil {
+			t.Fatalf("survivor %d printed no report line:\n%s", i, outs[i])
+		}
+		if m[3] != fmt.Sprint(victim) {
+			t.Errorf("survivor %d dead set [%s], want [%d]", i, m[3], victim)
+		}
+		if rounds == "" {
+			rounds, budget = m[1], m[2]
+			continue
+		}
+		// The quiescence rule and the epidemic must leave every survivor
+		// with the identical stop round and budget view.
+		if m[1] != rounds {
+			t.Errorf("survivor %d stopped at round %s, others at %s", i, m[1], rounds)
+		}
+		if m[2] != budget {
+			t.Errorf("survivor %d budget view %sW, others %sW", i, m[2], budget)
+		}
+	}
+	if b, err := strconv.ParseFloat(budget, 64); err != nil || b >= 850 {
+		t.Errorf("budget view %sW not shrunk below the configured 850W (parse err %v)", budget, err)
+	}
+}

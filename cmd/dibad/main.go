@@ -4,11 +4,19 @@
 // estimates with its ring neighbors over TCP.
 //
 // A cluster is described by a peers file with one "id host:port" line per
-// agent; the ring is implied by id order. Example for a three-node cluster:
+// agent; the ring is implied by id order. An optional "chord <stride>"
+// directive equips the ring with standby chord links (each node also
+// connects to id±stride): they carry no estimate traffic in normal
+// operation, but if a node dies the survivors activate them to keep the
+// graph connected — the text's suggested repair topology. Example for a
+// five-node cluster with chords:
 //
+//	chord 2
 //	0 10.0.0.1:7946
 //	1 10.0.0.2:7946
 //	2 10.0.0.3:7946
+//	3 10.0.0.4:7946
+//	4 10.0.0.5:7946
 //
 // Run on each machine:
 //
@@ -18,6 +26,43 @@
 // sweep, joins the ring, runs the given number of DiBA rounds and prints
 // the resulting power cap. For a single-machine demonstration across
 // processes, see examples/tcpcluster which spawns agents on localhost.
+//
+// # Fault tolerance
+//
+// By default a daemon blocks forever if a neighbor goes silent. The
+// following flags enable detection and recovery (see internal/diba's
+// repair.go for the full fault model):
+//
+//	-gather-timeout 500ms  declare a neighbor dead after this much silence
+//	                       in one round's gather (0 disables detection)
+//	-heartbeat 100ms       transport-level liveness beacons; a peer whose
+//	                       heartbeats still arrive is slow, not dead (the
+//	                       detector grants it 3 intervals of grace)
+//	-repair-margin 12      rounds between detection and chord activation;
+//	                       must exceed the graph diameter (0 = cluster size)
+//	-no-recover            fail fast with an error instead of repairing
+//
+// On a detected death the survivors gossip the dead node's frozen state,
+// shrink their budget view by its share (P − p_dead + e_dead), drop the
+// dead edges and, if chords are configured, activate them at an agreed
+// round. The final report line then shows the shrunk budget and dead set.
+//
+// # Chaos injection
+//
+// For fault-drill runs, the daemon can wrap its transport in the seeded
+// fault injector (internal/diba's FaultTransport). All injection is
+// deterministic per (seed, link, message index):
+//
+//	-chaos-seed 7            master seed (0 disables injection entirely)
+//	-chaos-drop 0.01         probability a sent message is lost forever
+//	-chaos-delay 0.2         probability a message is delayed …
+//	-chaos-max-delay 5ms     … by up to this much
+//	-chaos-dup 0.1           probability a message is delivered twice
+//	-chaos-reorder 0.1       probability two messages on a link swap
+//	-chaos-crash-after 1000  crash this daemon after that many sends
+//	                         (-1 = never); crossing the threshold mid-round
+//	                         truncates the broadcast, the hardest case for
+//	                         the survivors' budget reconciliation
 package main
 
 import (
@@ -30,6 +75,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -47,13 +93,25 @@ func main() {
 	timeout := flag.Duration("connect-timeout", 10*time.Second, "neighbor connect timeout")
 	seed := flag.Int64("seed", 1, "seed for the characterization sweep noise")
 	statusAddr := flag.String("status", "", "optional HTTP status endpoint, e.g. 127.0.0.1:8080 (GET /status)")
+	chord := flag.Int("chord", 0, "standby chord stride (0 = peers-file 'chord' directive, if any)")
+	gatherTimeout := flag.Duration("gather-timeout", 0, "declare a silent neighbor dead after this long (0 = detection off)")
+	heartbeat := flag.Duration("heartbeat", 0, "transport heartbeat interval (0 = off)")
+	repairMargin := flag.Int("repair-margin", 0, "rounds between death detection and chord activation (0 = cluster size)")
+	noRecover := flag.Bool("no-recover", false, "fail with an error on a detected death instead of repairing")
+	chaosSeed := flag.Int64("chaos-seed", 0, "fault injection seed (0 = no injection)")
+	chaosDrop := flag.Float64("chaos-drop", 0, "probability a sent message is permanently lost")
+	chaosDelay := flag.Float64("chaos-delay", 0, "probability a sent message is delayed")
+	chaosMaxDelay := flag.Duration("chaos-max-delay", 2*time.Millisecond, "maximum injected delay")
+	chaosDup := flag.Float64("chaos-dup", 0, "probability a sent message is duplicated")
+	chaosReorder := flag.Float64("chaos-reorder", 0, "probability two messages on a link are swapped")
+	chaosCrashAfter := flag.Int("chaos-crash-after", -1, "crash this daemon after that many sends (-1 = never)")
 	flag.Parse()
 
 	if *id < 0 || *peersPath == "" || *budget <= 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	addrs, err := readPeers(*peersPath)
+	addrs, fileStride, err := readPeers(*peersPath)
 	if err != nil {
 		log.Fatalf("dibad: %v", err)
 	}
@@ -64,6 +122,13 @@ func main() {
 	self, ok := addrs[*id]
 	if !ok {
 		log.Fatalf("dibad: id %d not present in peers file", *id)
+	}
+	stride := *chord
+	if stride == 0 {
+		stride = fileStride
+	}
+	if stride != 0 && (stride < 2 || stride > n-2) {
+		log.Fatalf("dibad: chord stride %d out of range [2, %d]", stride, n-2)
 	}
 
 	b, err := workload.ByName(workload.HPC, *bench)
@@ -77,15 +142,37 @@ func main() {
 		log.Fatalf("dibad: characterizing %s: %v", *bench, err)
 	}
 
-	tr, err := diba.NewTCPTransport(*id, self)
+	var opts []diba.TCPOption
+	if *heartbeat > 0 {
+		opts = append(opts, diba.WithHeartbeat(*heartbeat))
+	}
+	tcp, err := diba.NewTCPTransport(*id, self, opts...)
 	if err != nil {
 		log.Fatalf("dibad: %v", err)
 	}
-	defer tr.Close()
+	defer tcp.Close()
 	neighbors := []int{(*id + n - 1) % n, (*id + 1) % n}
-	log.Printf("dibad: agent %d listening on %s, ring neighbors %v", *id, tr.Addr(), neighbors)
-	if err := tr.ConnectNeighbors(neighbors, addrs, *timeout); err != nil {
+	standby := chordPartners(*id, n, stride, neighbors)
+	log.Printf("dibad: agent %d listening on %s, ring neighbors %v, standby chords %v", *id, tcp.Addr(), neighbors, standby)
+	if err := tcp.ConnectNeighbors(append(append([]int{}, neighbors...), standby...), addrs, *timeout); err != nil {
 		log.Fatalf("dibad: %v", err)
+	}
+
+	var tr diba.Transport = tcp
+	if *chaosSeed != 0 {
+		plan := &diba.FaultPlan{
+			Seed:        *chaosSeed,
+			DropProb:    *chaosDrop,
+			DelayProb:   *chaosDelay,
+			MaxDelay:    *chaosMaxDelay,
+			DupProb:     *chaosDup,
+			ReorderProb: *chaosReorder,
+		}
+		if *chaosCrashAfter >= 0 {
+			plan.CrashAfterSends = map[int]int{*id: *chaosCrashAfter}
+		}
+		log.Printf("dibad: agent %d chaos injection on: %v", *id, plan)
+		tr = diba.NewFaultTransport(tcp, *id, plan)
 	}
 
 	// Every agent derives its initial estimate from the published cluster
@@ -95,12 +182,29 @@ func main() {
 	if err != nil {
 		log.Fatalf("dibad: %v", err)
 	}
+	if len(standby) > 0 {
+		agent.SetStandby(standby)
+	}
+	if *gatherTimeout > 0 {
+		fp := diba.FaultPolicy{
+			GatherTimeout: *gatherTimeout,
+			RepairMargin:  *repairMargin,
+			Recover:       !*noRecover,
+			OnEvent: func(ev diba.FaultEvent) {
+				log.Printf("dibad: agent %d round %d %s node %d: %s", *id, ev.Round, ev.Kind, ev.Node, ev.Info)
+			},
+		}
+		if *heartbeat > 0 {
+			fp.HeartbeatGrace = 3 * *heartbeat
+		}
+		agent.SetFaultPolicy(fp)
+	}
 	var status statusServer
 	if *statusAddr != "" {
 		status.start(*statusAddr, *id, *bench)
 	}
 	start := time.Now()
-	finalRounds := 0
+	var final diba.AgentState
 	if *rounds == 0 {
 		// Coordinator-free stopping: every agent runs the same rule and all
 		// halt at the identical round (margin n exceeds any ring diameter).
@@ -108,7 +212,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("dibad: %v", err)
 		}
-		finalRounds = st.Rounds
+		final = st
 		status.update(agent.Power(), agent.Estimate(), st.Rounds)
 	} else {
 		for r := 0; r < *rounds; r++ {
@@ -117,10 +221,38 @@ func main() {
 			}
 			status.update(agent.Power(), agent.Estimate(), r+1)
 		}
-		finalRounds = *rounds
+		final = diba.AgentState{Power: agent.Power(), E: agent.Estimate(), Rounds: *rounds, Budget: agent.Budget(), Dead: agent.DeadNodes()}
 	}
-	fmt.Printf("agent %d: workload=%s cap=%.2fW estimate=%.4f rounds=%d elapsed=%v\n",
-		*id, *bench, agent.Power(), agent.Estimate(), finalRounds, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("agent %d: workload=%s cap=%.2fW estimate=%.4f rounds=%d budget=%.2fW dead=%v elapsed=%v\n",
+		*id, *bench, final.Power, final.E, final.Rounds, final.Budget, final.Dead, time.Since(start).Round(time.Millisecond))
+}
+
+// chordPartners returns the standby chord neighbors id±stride (mod n),
+// excluding self and anything already a ring neighbor.
+func chordPartners(id, n, stride int, ring []int) []int {
+	if stride == 0 {
+		return nil
+	}
+	inRing := func(x int) bool {
+		for _, r := range ring {
+			if r == x {
+				return true
+			}
+		}
+		return false
+	}
+	set := map[int]bool{}
+	for _, c := range []int{(id + stride) % n, (id - stride + n) % n} {
+		if c != id && !inRing(c) {
+			set[c] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // statusServer exposes the agent's live state over HTTP for operators.
@@ -170,13 +302,16 @@ func (s *statusServer) update(capW, est float64, round int) {
 	s.round.Store(int64(round))
 }
 
-func readPeers(path string) (map[int]string, error) {
+// readPeers parses a peers file: one "id host:port" per line, plus an
+// optional "chord <stride>" directive selecting the standby chord topology.
+func readPeers(path string) (map[int]string, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
 	out := make(map[int]string)
+	stride := 0
 	sc := bufio.NewScanner(f)
 	line := 0
 	for sc.Scan() {
@@ -185,18 +320,24 @@ func readPeers(path string) (map[int]string, error) {
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
+		if rest, ok := strings.CutPrefix(text, "chord "); ok {
+			if _, err := fmt.Sscanf(rest, "%d", &stride); err != nil || stride < 2 {
+				return nil, 0, fmt.Errorf("peers file line %d: bad chord directive %q", line, text)
+			}
+			continue
+		}
 		var id int
 		var addr string
 		if _, err := fmt.Sscanf(text, "%d %s", &id, &addr); err != nil {
-			return nil, fmt.Errorf("peers file line %d: %v", line, err)
+			return nil, 0, fmt.Errorf("peers file line %d: %v", line, err)
 		}
 		if _, dup := out[id]; dup {
-			return nil, fmt.Errorf("peers file line %d: duplicate id %d", line, id)
+			return nil, 0, fmt.Errorf("peers file line %d: duplicate id %d", line, id)
 		}
 		out[id] = addr
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return out, nil
+	return out, stride, nil
 }

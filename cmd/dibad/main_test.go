@@ -17,7 +17,7 @@ func writeTemp(t *testing.T, content string) string {
 
 func TestReadPeers(t *testing.T) {
 	path := writeTemp(t, "# comment\n0 10.0.0.1:7946\n1 10.0.0.2:7946\n\n2 10.0.0.3:7946\n")
-	peers, err := readPeers(path)
+	peers, stride, err := readPeers(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,25 +27,61 @@ func TestReadPeers(t *testing.T) {
 	if peers[1] != "10.0.0.2:7946" {
 		t.Fatalf("peer 1 = %q", peers[1])
 	}
+	if stride != 0 {
+		t.Fatalf("stride = %d without a chord directive", stride)
+	}
+}
+
+func TestReadPeersChordDirective(t *testing.T) {
+	path := writeTemp(t, "chord 2\n0 a:1\n1 b:2\n2 c:3\n3 d:4\n4 e:5\n")
+	peers, stride, err := readPeers(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 5 || stride != 2 {
+		t.Fatalf("got %d peers stride %d, want 5 peers stride 2", len(peers), stride)
+	}
+}
+
+func TestReadPeersBadChord(t *testing.T) {
+	path := writeTemp(t, "chord one\n0 a:1\n")
+	if _, _, err := readPeers(path); err == nil {
+		t.Fatal("bad chord directive must error")
+	}
 }
 
 func TestReadPeersDuplicate(t *testing.T) {
 	path := writeTemp(t, "0 a:1\n0 b:2\n")
-	if _, err := readPeers(path); err == nil {
+	if _, _, err := readPeers(path); err == nil {
 		t.Fatal("duplicate id must error")
 	}
 }
 
 func TestReadPeersMalformed(t *testing.T) {
 	path := writeTemp(t, "zero a:1\n")
-	if _, err := readPeers(path); err == nil {
+	if _, _, err := readPeers(path); err == nil {
 		t.Fatal("malformed line must error")
 	}
 }
 
 func TestReadPeersMissingFile(t *testing.T) {
-	if _, err := readPeers("/nonexistent/peers.txt"); err == nil {
+	if _, _, err := readPeers("/nonexistent/peers.txt"); err == nil {
 		t.Fatal("missing file must error")
+	}
+}
+
+func TestChordPartners(t *testing.T) {
+	ring := []int{4, 6}
+	got := chordPartners(5, 12, 3, ring)
+	if len(got) != 2 || got[0] != 2 || got[1] != 8 {
+		t.Fatalf("chordPartners(5, 12, 3) = %v, want [2 8]", got)
+	}
+	if got := chordPartners(0, 12, 0, ring); got != nil {
+		t.Fatalf("stride 0 must yield no chords, got %v", got)
+	}
+	// Antipodal stride: both directions land on the same node.
+	if got := chordPartners(1, 4, 2, []int{0, 2}); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("chordPartners(1, 4, 2) = %v, want [3]", got)
 	}
 }
 

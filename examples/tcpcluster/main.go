@@ -3,11 +3,20 @@
 // exactly as the per-machine daemon (cmd/dibad) would be across a rack.
 // No agent ever sees more than its two neighbors' estimates, yet the
 // cluster lands within 1% of the centralized optimum.
+//
+// With -fail N the example becomes a fault drill: agent N's transport is
+// severed mid-run (a crash), the survivors detect the silence, gossip the
+// dead node's frozen state, shrink their budget view by its share, activate
+// the stride -chord standby links to keep the ring connected, and converge
+// on the reduced budget — with the conservation identity Σe = Σp − P′
+// holding on the survivor set.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"sync"
 	"time"
@@ -18,6 +27,10 @@ import (
 )
 
 func main() {
+	fail := flag.Int("fail", -1, "agent id to crash mid-run (-1 = fault-free)")
+	chord := flag.Int("chord", 3, "standby chord stride used for repair when -fail is set")
+	flag.Parse()
+
 	const (
 		n      = 12
 		budget = 12 * 170.0
@@ -55,7 +68,17 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			neighbors := []int{(i + n - 1) % n, (i + 1) % n}
-			if err := transports[i].ConnectNeighbors(neighbors, addrs, 5*time.Second); err != nil {
+			links := append([]int{}, neighbors...)
+			var standby []int
+			if *fail >= 0 {
+				for _, c := range []int{(i + *chord) % n, (i - *chord + n) % n} {
+					if c != i && c != neighbors[0] && c != neighbors[1] {
+						standby = append(standby, c)
+					}
+				}
+				links = append(links, standby...)
+			}
+			if err := transports[i].ConnectNeighbors(links, addrs, 5*time.Second); err != nil {
 				errs[i] = err
 				return
 			}
@@ -63,6 +86,29 @@ func main() {
 			if err != nil {
 				errs[i] = err
 				return
+			}
+			if *fail >= 0 {
+				agent.SetStandby(standby)
+				agent.SetFaultPolicy(diba.FaultPolicy{
+					GatherTimeout: 250 * time.Millisecond,
+					Recover:       true,
+					OnEvent: func(ev diba.FaultEvent) {
+						log.Printf("agent %d round %d: %s node %d: %s", i, ev.Round, ev.Kind, ev.Node, ev.Info)
+					},
+				})
+				if i == *fail {
+					// The victim runs a few hundred rounds, then its process
+					// "dies": the transport is torn down mid-protocol and the
+					// goroutine exits without a farewell.
+					for r := 0; r < 300; r++ {
+						if errs[i] = agent.StepOnce(); errs[i] != nil {
+							return
+						}
+					}
+					results[i] = diba.AgentState{ID: i, Power: agent.Power(), E: agent.Estimate(), Rounds: 300}
+					transports[i].Close()
+					return
+				}
 			}
 			results[i], errs[i] = agent.Run(rounds)
 		}(i)
@@ -76,11 +122,42 @@ func main() {
 	elapsed := time.Since(start)
 
 	var total, utility float64
+	var sumE float64
 	fmt.Printf("\n%5s %-5s %9s\n", "agent", "bench", "cap")
 	for i, st := range results {
-		fmt.Printf("%5d %-5s %8.2fW\n", i, assign.Benchmarks[i].Name, st.Power)
+		tag := ""
+		if i == *fail {
+			tag = "  (crashed at round 300)"
+		}
+		fmt.Printf("%5d %-5s %8.2fW%s\n", i, assign.Benchmarks[i].Name, st.Power, tag)
+		if i == *fail {
+			continue
+		}
 		total += st.Power
+		sumE += st.E
 		utility += us[i].Value(st.Power)
+	}
+	if *fail >= 0 {
+		// Survivors must agree on the dead set and the shrunk budget, and the
+		// conservation identity must hold on it.
+		view := results[(*fail+1)%n]
+		for i, st := range results {
+			if i == *fail {
+				continue
+			}
+			if len(st.Dead) != 1 || st.Dead[0] != *fail || st.Budget != view.Budget {
+				log.Fatalf("agent %d disagrees: dead=%v budget=%.3f (want dead=[%d] budget=%.3f)", i, st.Dead, st.Budget, *fail, view.Budget)
+			}
+		}
+		gap := sumE - (total - view.Budget)
+		fmt.Printf("\nsurvivors agree: dead=%v, budget view %.2fW (was %.0fW)\n", view.Dead, view.Budget, budget)
+		fmt.Printf("conservation on survivors: Σe − (Σp − P′) = %.2e\n", gap)
+		if math.Abs(gap) > 1e-6 {
+			log.Fatalf("conservation violated after failure: gap %v", gap)
+		}
+		fmt.Printf("total %.1fW of %.2fW post-failure budget (violation-free: %v), %v\n",
+			total, view.Budget, total <= view.Budget, elapsed.Round(time.Millisecond))
+		return
 	}
 	opt, err := solver.Optimal(us, budget)
 	if err != nil {

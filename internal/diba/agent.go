@@ -1,8 +1,10 @@
 package diba
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"powercap/internal/workload"
 )
@@ -12,10 +14,16 @@ import (
 // identical per-node rule as the synchronous Engine (nodeRule), in
 // bulk-synchronous rounds: broadcast the local estimate, gather every
 // neighbor's, step.
+//
+// With a FaultPolicy installed (SetFaultPolicy), the agent additionally
+// detects dead neighbors, repairs the topology over standby chords, and
+// reconciles the budget — see repair.go for the full fault model.
 type Agent struct {
 	// ID is the agent's node id, unique within the cluster.
 	ID int
-	// Neighbors are the node ids this agent exchanges estimates with.
+	// Neighbors are the node ids this agent exchanges estimates with. With
+	// fault tolerance enabled the set can shrink (dead neighbors removed)
+	// and grow (standby chords activated) between rounds.
 	Neighbors []int
 
 	util workload.Utility
@@ -28,6 +36,38 @@ type Agent struct {
 	// message). Keyed by round, then by sender.
 	pending map[int]map[int]Message
 	round   int
+
+	// Fault tolerance state (repair.go). All nil/zero unless SetFaultPolicy
+	// enabled detection, so the fault-free path carries no overhead and its
+	// arithmetic is untouched.
+	fp      FaultPolicy
+	standby []int
+	// budget0 is the configured cluster budget; budget is this agent's
+	// current view after subtracting every known dead node's frozen share.
+	budget0, budget float64
+	clusterSize     int
+	// lastFrom holds the freshest estimate message seen per peer — the
+	// candidate frozen state should that peer die.
+	lastFrom map[int]Message
+	// usedRound records, per peer, the highest round whose nodeRule
+	// computation consumed that peer's message. Compensation is only valid
+	// for a round we actually computed with the dead node's message.
+	usedRound map[int]int
+	dead      map[int]*deadRecord
+	// histE/histDeg snapshot the agent's estimate and degree at the start
+	// of recent rounds (the values its broadcasts carried), for computing
+	// the unmatched final-round edge flow. Pruned to a sliding window.
+	histE   map[int]float64
+	histDeg map[int]int
+	// comp accumulates pending estimate corrections (compensations and
+	// their undos); folded into e at the end of the round so the exact
+	// fault-free float grouping below is never disturbed.
+	comp float64
+	// heard is the agent-level liveness clock: the wall time of the last
+	// message of any kind received from each peer. It complements the
+	// transport's PeerLiveness (which in-process transports lack) so triage
+	// can tell a stalled-but-beaconing peer from a dead one.
+	heard map[int]time.Time
 }
 
 // AgentState is an agent's externally visible state after a run.
@@ -36,6 +76,10 @@ type AgentState struct {
 	Power  float64
 	E      float64
 	Rounds int
+	// Budget is the agent's final view of the cluster budget (shrunk by
+	// failures it learned of); Dead lists the node ids it believes dead.
+	Budget float64
+	Dead   []int
 }
 
 // NewAgent constructs an agent. budget and clusterSize let the agent derive
@@ -55,14 +99,17 @@ func NewAgent(id int, neighbors []int, u workload.Utility, budget float64, clust
 	ns := append([]int(nil), neighbors...)
 	sort.Ints(ns)
 	return &Agent{
-		ID:        id,
-		Neighbors: ns,
-		util:      u,
-		cfg:       cfg.withDefaults(),
-		tr:        tr,
-		p:         u.MinPower(),
-		e:         share,
-		pending:   make(map[int]map[int]Message),
+		ID:          id,
+		Neighbors:   ns,
+		util:        u,
+		cfg:         cfg.withDefaults(),
+		tr:          tr,
+		p:           u.MinPower(),
+		e:           share,
+		pending:     make(map[int]map[int]Message),
+		budget0:     budget,
+		budget:      budget,
+		clusterSize: clusterSize,
 	}, nil
 }
 
@@ -79,28 +126,54 @@ func (a *Agent) Run(rounds int) (AgentState, error) {
 			return AgentState{}, fmt.Errorf("diba: agent %d round %d: %w", a.ID, r, err)
 		}
 	}
-	return AgentState{ID: a.ID, Power: a.p, E: a.e, Rounds: a.round}, nil
+	return a.state(), nil
+}
+
+func (a *Agent) state() AgentState {
+	return AgentState{ID: a.ID, Power: a.p, E: a.e, Rounds: a.round, Budget: a.budget, Dead: a.DeadNodes()}
 }
 
 // StepOnce performs one BSP round: broadcast the current estimate, gather
 // one message from every neighbor for this round, apply nodeRule.
 func (a *Agent) StepOnce() error {
-	out := Message{From: a.ID, Round: a.round, E: a.e, Degree: len(a.Neighbors)}
+	_, _, err := a.runRound(0, 0)
+	return err
+}
+
+// runRound executes one BSP round with the given termination fields
+// piggybacked, returning the gathered messages and this node's power move.
+func (a *Agent) runRound(quietView, stopProposal int) (map[int]Message, float64, error) {
+	a.beginRound()
+	out := Message{
+		From:   a.ID,
+		Round:  a.round,
+		E:      a.e,
+		Degree: len(a.Neighbors),
+		Quiet:  quietView,
+		Stop:   stopProposal,
+		P:      a.p,
+	}
 	for _, nb := range a.Neighbors {
-		if err := a.tr.Send(nb, out); err != nil {
-			return err
+		if err := a.sendRound(nb, out); err != nil {
+			return nil, 0, err
 		}
 	}
 	got, err := a.gather()
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
-	nbrE := make([]float64, len(a.Neighbors))
-	nbrDeg := make([]int32, len(a.Neighbors))
-	for k, nb := range a.Neighbors {
-		m := got[nb]
-		nbrE[k] = m.E
-		nbrDeg[k] = int32(m.Degree)
+	nbrE := make([]float64, 0, len(a.Neighbors))
+	nbrDeg := make([]int32, 0, len(a.Neighbors))
+	for _, nb := range a.Neighbors {
+		m, ok := got[nb]
+		if !ok {
+			// Neighbor declared dead mid-gather: its edge moves no flow this
+			// round (neither side computes it), which keeps the per-edge
+			// antisymmetry — and hence conservation — intact.
+			continue
+		}
+		nbrE = append(nbrE, m.E)
+		nbrDeg = append(nbrDeg, int32(m.Degree))
 	}
 	cfg := a.cfg
 	cfg.Eta = a.cfg.etaAt(a.round)
@@ -110,14 +183,35 @@ func (a *Agent) StepOnce() error {
 	// stay bitwise identical (float addition is not associative).
 	a.e = a.e + phat - outflow
 	a.round++
-	return nil
+	a.finishRound(got)
+	return got, phat, nil
+}
+
+// sendRound broadcasts one round message to nb. With fault tolerance on, a
+// send failure to a (possibly dead) neighbor is not fatal — detection
+// happens in gather — except ErrCrashed, which means *we* are the injected
+// casualty and must stop like a crashed process would.
+func (a *Agent) sendRound(nb int, out Message) error {
+	err := a.tr.Send(nb, out)
+	if err == nil || (a.ftEnabled() && !errors.Is(err, ErrCrashed)) {
+		return nil
+	}
+	return err
 }
 
 // gather collects this round's message from every neighbor, buffering any
-// early messages from the next round.
+// early messages from the next round. With a FaultPolicy installed it waits
+// at most GatherTimeout per silent neighbor (modulo heartbeat grace),
+// declaring unresponsive neighbors dead instead of blocking forever.
 func (a *Agent) gather() (map[int]Message, error) {
+	ft := a.ftEnabled()
 	need := make(map[int]bool, len(a.Neighbors))
 	for _, nb := range a.Neighbors {
+		if ft {
+			if rec := a.dead[nb]; rec != nil && a.round > rec.lastRound {
+				continue // dead before this round; no message will come
+			}
+		}
 		need[nb] = true
 	}
 	got := a.pending[a.round]
@@ -129,10 +223,88 @@ func (a *Agent) gather() (map[int]Message, error) {
 			delete(need, from)
 		}
 	}
+	var deadlineAt, hardAt, nextBeacon time.Time
+	var beaconEvery time.Duration
+	if ft {
+		now := time.Now()
+		deadlineAt = now.Add(a.fp.GatherTimeout)
+		maxStall := a.fp.MaxStall
+		if maxStall <= 0 {
+			maxStall = 10 * a.fp.GatherTimeout
+		}
+		hardAt = now.Add(maxStall)
+		// While stalled, beacon liveness to our links several times per
+		// timeout window. Detection of a real death stalls this agent for
+		// GatherTimeout, which delays its own broadcast by the same amount;
+		// without beacons, its neighbors' timeouts would fire in a race
+		// with that delayed broadcast and a false-suspicion wave could
+		// sweep the whole cluster.
+		beaconEvery = a.fp.GatherTimeout / 4
+		if beaconEvery < time.Millisecond {
+			beaconEvery = time.Millisecond
+		}
+		nextBeacon = now.Add(beaconEvery)
+	}
 	for len(need) > 0 {
-		m, err := a.tr.Recv()
+		var m Message
+		var err error
+		if ft {
+			until := deadlineAt
+			if nextBeacon.Before(until) {
+				until = nextBeacon
+			}
+			wait := time.Until(until)
+			if wait <= 0 {
+				wait = time.Millisecond
+			}
+			m, err = recvTimeout(a.tr, wait)
+			if errors.Is(err, ErrRecvTimeout) {
+				now := time.Now()
+				if !now.Before(nextBeacon) {
+					a.beacon()
+					nextBeacon = now.Add(beaconEvery)
+				}
+				if now.Before(deadlineAt) {
+					continue
+				}
+				silent := a.triage(need, hardAt)
+				if len(silent) == 0 {
+					// Every missing peer showed recent liveness; keep waiting.
+					deadlineAt = now.Add(a.fp.GatherTimeout)
+					continue
+				}
+				if !a.fp.Recover {
+					return nil, fmt.Errorf("diba: agent %d round %d: neighbor(s) %v silent past %v", a.ID, a.round, silent, a.fp.GatherTimeout)
+				}
+				a.declareDead(silent)
+				a.refreshNeed(need)
+				deadlineAt = now.Add(a.fp.GatherTimeout)
+				continue
+			}
+		} else {
+			m, err = a.tr.Recv()
+		}
 		if err != nil {
 			return nil, err
+		}
+		if ft {
+			a.heard[m.From] = time.Now()
+		}
+		switch m.Kind {
+		case MsgHeartbeat:
+			continue // transport liveness beacon that leaked through
+		case MsgNodeDead:
+			if !ft {
+				continue // mixed cluster: ignore epidemics we cannot act on
+			}
+			if err := a.applyDeadReport(m); err != nil {
+				return nil, err
+			}
+			a.refreshNeed(need)
+			continue
+		}
+		if ft {
+			a.noteRound(m)
 		}
 		switch {
 		case m.Round == a.round:
@@ -148,8 +320,8 @@ func (a *Agent) gather() (map[int]Message, error) {
 			}
 			buf[m.From] = m
 		default:
-			// Stale duplicate; BSP semantics make these impossible with a
-			// reliable ordered transport, so drop defensively.
+			// Stale duplicate; reliable ordered transports never produce one
+			// in fault-free BSP, and the chaos transport may — drop it.
 		}
 	}
 	return got, nil
@@ -160,9 +332,11 @@ func (a *Agent) gather() (map[int]Message, error) {
 // agent takes when the new budget is announced. If the estimate turns
 // non-negative the agent sheds power immediately, down to its idle cap.
 func (a *Agent) SetBudgetDelta(totalDelta float64, clusterSize int) {
+	a.budget0 += totalDelta
+	a.budget += totalDelta
 	a.e -= totalDelta / float64(clusterSize)
 	if a.e >= 0 {
-		drop := a.e + 0.01
+		drop := a.e + emergencyShedMarginW
 		if maxDrop := a.p - a.util.MinPower(); drop > maxDrop {
 			drop = maxDrop
 		}

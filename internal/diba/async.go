@@ -166,7 +166,7 @@ func (ac *AsyncCluster) activate(i int) {
 	if ac.e[i] >= 0 {
 		// Emergency: shed immediately down to the floor; leftover positive
 		// estimate is pushed out below (its neighbors' slack absorbs it).
-		drop := ac.e[i] + 0.01
+		drop := ac.e[i] + emergencyShedMarginW
 		if maxDrop := ac.p[i] - u.MinPower(); drop > maxDrop {
 			drop = maxDrop
 		}

@@ -716,6 +716,17 @@ func (en *Engine) RunToQuiescence(tolW float64, settle, maxIters int) RunResult 
 	return RunResult{Iterations: maxIters, Converged: false, Utility: en.sumU, Power: en.sumP}
 }
 
+// emergencyShedMarginW is the extra margin, in watts, a node sheds beyond
+// its overdraft when a budget cut turns its surplus estimate non-negative.
+// The safety argument for the flow caps is receiver-protected: every
+// per-edge cap is derived from the *negative* slack −e of the endpoints, so
+// a node sitting exactly at e = 0 would deadlock (zero caps, no flow can
+// drain it). Restoring a strictly negative margin re-arms the caps and lets
+// neighbors absorb the remainder. The value is deliberately tiny relative
+// to any realistic per-server budget share so it cannot mask a real
+// violation.
+const emergencyShedMarginW = 0.01
+
 // SetBudget applies a new cluster budget. Every node locally shifts its
 // estimate by (P_old − P_new)/N, preserving the conservation invariant. On
 // a budget cut a node whose estimate would turn non-negative immediately
@@ -747,7 +758,7 @@ func (en *Engine) SetBudget(newBudget float64) error {
 		en.e[i] += shift
 		if en.e[i] >= 0 {
 			// Shed enough power to restore a small negative margin.
-			drop := en.e[i] + 0.01
+			drop := en.e[i] + emergencyShedMarginW
 			maxDrop := en.p[i] - u.MinPower()
 			if drop > maxDrop {
 				drop = maxDrop

@@ -1,0 +1,360 @@
+package diba
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Fault injection. The paper's core argument for decentralization is fault
+// isolation, so the failure paths must be as testable as the happy path.
+// FaultTransport decorates any Transport with seeded, deterministic fault
+// injection: delay, duplication, reordering, link partitions, permanent
+// message loss, and endpoint crashes. Every random decision is drawn from a
+// per-directed-link RNG seeded by (plan seed, from, to) in send order, so a
+// given seed always yields the same fault schedule on every link regardless
+// of goroutine interleaving — chaos runs are reproducible bug reports.
+//
+// Fidelity notes. Delay, duplication and reordering model what reliable
+// transports actually do under congestion and reconnection, and BSP agents
+// are provably insensitive to them (gather is order-independent and
+// deduplicating), so a chaos run under those faults must produce bitwise
+// the same result as a clean run — the tests pin that. A partition is a
+// link outage with buffering: messages are held and flushed when the window
+// ends, which is how a TCP link with retransmission behaves. Permanent
+// single-message loss (DropProb) cannot happen on a healthy reliable link —
+// it models crash-truncated streams — so it stalls plain BSP agents by
+// design; use it only with the failure detector enabled.
+
+// ErrCrashed is returned by a FaultTransport endpoint once its configured
+// crash point has been reached: the node is dead, and the injected error is
+// how the "process" discovers it (a real crashed process simply stops).
+var ErrCrashed = errors.New("diba: endpoint crashed (fault injection)")
+
+// FaultPlan is a deterministic, seeded fault schedule shared by all
+// endpoints of one cluster. The zero value injects nothing.
+type FaultPlan struct {
+	// Seed drives every injection decision. Two runs with equal plans see
+	// identical per-link fault schedules.
+	Seed int64
+	// DelayProb is the probability a message is held for a uniform duration
+	// in (0, MaxDelay] before delivery.
+	DelayProb float64
+	MaxDelay  time.Duration
+	// DupProb is the probability a message is delivered twice.
+	DupProb float64
+	// ReorderProb is the probability a message is held back and delivered
+	// after the next message on the same link (a flush timer bounds the
+	// hold so a final message cannot be withheld forever).
+	ReorderProb float64
+	// DropProb is the probability a message is silently lost, permanently.
+	// See the package note: this stalls BSP agents unless failure detection
+	// is on.
+	DropProb float64
+	// CrashAfterSends, per node id, crashes the endpoint after that many
+	// successful sends: the send that crosses the threshold and everything
+	// after it fail with ErrCrashed. Mid-round thresholds truncate a
+	// broadcast partway — the hardest failure mode for the budget
+	// reconciliation, which must then converge on the latest frozen state
+	// any survivor observed.
+	CrashAfterSends map[int]int
+	// Partitions are timed link outages (both directions); held messages
+	// flush when the window closes.
+	Partitions []Partition
+
+	state *faultState
+	once  sync.Once
+}
+
+// Partition is a bidirectional link outage between nodes A and B, starting
+// Start after the fabric's first use and lasting Dur.
+type Partition struct {
+	A, B  int
+	Start time.Duration
+	Dur   time.Duration
+}
+
+type faultState struct {
+	mu      sync.Mutex
+	lanes   map[[2]int]*laneState
+	sent    map[int]int
+	crashed map[int]bool
+	start   time.Time
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+type laneState struct {
+	rng  *rand.Rand
+	held []Message // partition buffer or reorder hold, in order
+	// reorderHold marks the held buffer as a reorder swap: the next send
+	// ships before it. A partition backlog (reorderHold false) ships ahead
+	// of the next send instead, preserving order.
+	reorderHold bool
+	seq         uint64 // guards the flush timer
+}
+
+func (p *FaultPlan) runtime() *faultState {
+	p.once.Do(func() {
+		p.state = &faultState{
+			lanes:   make(map[[2]int]*laneState),
+			sent:    make(map[int]int),
+			crashed: make(map[int]bool),
+			start:   time.Now(),
+		}
+	})
+	return p.state
+}
+
+// laneSeed mixes the plan seed with the directed link identity (splitmix64
+// finalizer) so each lane's decision stream is independent and stable.
+func laneSeed(seed int64, from, to int) int64 {
+	z := uint64(seed) ^ (uint64(from)+1)*0x9e3779b97f4a7c15 ^ (uint64(to)+1)*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+func (s *faultState) lane(seed int64, from, to int) *laneState {
+	key := [2]int{from, to}
+	l := s.lanes[key]
+	if l == nil {
+		l = &laneState{rng: rand.New(rand.NewSource(laneSeed(seed, from, to)))}
+		s.lanes[key] = l
+	}
+	return l
+}
+
+// FaultTransport wraps one endpoint of a cluster under a shared FaultPlan.
+type FaultTransport struct {
+	inner Transport
+	id    int
+	plan  *FaultPlan
+}
+
+// NewFaultTransport decorates inner (the endpoint of node id) with the
+// plan's fault schedule. All endpoints of one cluster must share the same
+// *FaultPlan value.
+func NewFaultTransport(inner Transport, id int, plan *FaultPlan) *FaultTransport {
+	plan.runtime()
+	return &FaultTransport{inner: inner, id: id, plan: plan}
+}
+
+// inPartition reports whether the from↔to link is inside an outage window
+// at time now.
+func (p *FaultPlan) inPartition(from, to int, now time.Duration) bool {
+	for _, pt := range p.Partitions {
+		if (pt.A == from && pt.B == to) || (pt.A == to && pt.B == from) {
+			if now >= pt.Start && now < pt.Start+pt.Dur {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Send applies the lane's next scheduled faults to m and forwards the
+// survivors to the inner transport.
+func (ft *FaultTransport) Send(to int, m Message) error {
+	p := ft.plan
+	s := p.runtime()
+	s.mu.Lock()
+	if s.crashed[ft.id] {
+		s.mu.Unlock()
+		return ErrCrashed
+	}
+	if limit, ok := p.CrashAfterSends[ft.id]; ok && s.sent[ft.id] >= limit {
+		s.crashed[ft.id] = true
+		s.mu.Unlock()
+		return ErrCrashed
+	}
+	s.sent[ft.id]++
+	l := s.lane(p.Seed, ft.id, to)
+
+	// Draw the lane's decisions in a fixed order so the schedule depends
+	// only on (seed, link, message index).
+	drop := p.DropProb > 0 && l.rng.Float64() < p.DropProb
+	dup := p.DupProb > 0 && l.rng.Float64() < p.DupProb
+	var delay time.Duration
+	if p.DelayProb > 0 && l.rng.Float64() < p.DelayProb && p.MaxDelay > 0 {
+		delay = time.Duration(1 + l.rng.Int63n(int64(p.MaxDelay)))
+	}
+	reorder := p.ReorderProb > 0 && l.rng.Float64() < p.ReorderProb
+
+	if drop {
+		s.mu.Unlock()
+		return nil
+	}
+
+	// A message arriving on a partitioned link queues behind the outage
+	// (any reorder hold joins the backlog, losing its swap).
+	if p.inPartition(ft.id, to, time.Since(s.start)) {
+		l.held = append(l.held, m)
+		l.reorderHold = false
+		l.seq++
+		ft.scheduleFlush(s, l, to, ft.healDelay(ft.id, to, time.Since(s.start)))
+		s.mu.Unlock()
+		return nil
+	}
+
+	if reorder && len(l.held) == 0 {
+		// Hold this message back; it ships after the NEXT send on the lane
+		// (or after the flush timer, so a stream's last message cannot be
+		// withheld forever).
+		l.held = append(l.held, m)
+		l.reorderHold = true
+		l.seq++
+		ft.scheduleFlush(s, l, to, maxDuration(p.MaxDelay, 5*time.Millisecond))
+		s.mu.Unlock()
+		return nil
+	}
+
+	// Release whatever the lane was holding: a healed partition backlog
+	// ships before this message (order preserved); a reorder hold ships
+	// after it (the swap).
+	pending := l.held
+	swap := l.reorderHold
+	l.held = nil
+	l.reorderHold = false
+	l.seq++
+	s.mu.Unlock()
+	if !swap {
+		for _, hm := range pending {
+			if err := ft.deliver(to, hm, 0, false); err != nil {
+				return err
+			}
+		}
+	}
+	err := ft.deliver(to, m, delay, dup)
+	if swap {
+		for _, hm := range pending {
+			if e := ft.deliver(to, hm, 0, false); err == nil {
+				err = e
+			}
+		}
+	}
+	return err
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// healDelay returns how long until the current partition window on the link
+// closes.
+func (ft *FaultTransport) healDelay(from, to int, now time.Duration) time.Duration {
+	var d time.Duration = 5 * time.Millisecond
+	for _, pt := range ft.plan.Partitions {
+		if (pt.A == from && pt.B == to) || (pt.A == to && pt.B == from) {
+			if end := pt.Start + pt.Dur; now < end && end-now > d {
+				d = end - now
+			}
+		}
+	}
+	return d
+}
+
+// scheduleFlush arms a timer that delivers the lane's held messages if no
+// later send has flushed them first. Caller holds s.mu.
+func (ft *FaultTransport) scheduleFlush(s *faultState, l *laneState, to int, after time.Duration) {
+	seq := l.seq
+	s.wg.Add(1)
+	time.AfterFunc(after, func() {
+		defer s.wg.Done()
+		s.mu.Lock()
+		if l.seq != seq || len(l.held) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		held := l.held
+		l.held = nil
+		s.mu.Unlock()
+		for _, hm := range held {
+			_ = ft.inner.Send(to, hm)
+		}
+	})
+}
+
+// deliver forwards m (and an optional duplicate) after an optional delay.
+func (ft *FaultTransport) deliver(to int, m Message, delay time.Duration, dup bool) error {
+	send := func() error {
+		err := ft.inner.Send(to, m)
+		if dup {
+			_ = ft.inner.Send(to, m)
+		}
+		return err
+	}
+	if delay <= 0 {
+		return send()
+	}
+	s := ft.plan.runtime()
+	s.wg.Add(1)
+	time.AfterFunc(delay, func() {
+		defer s.wg.Done()
+		_ = send()
+	})
+	return nil
+}
+
+// Recv forwards to the inner transport, surfacing the crash once the
+// endpoint is dead so a crashed "process" stops instead of blocking.
+func (ft *FaultTransport) Recv() (Message, error) {
+	if ft.crashedNow() {
+		return Message{}, ErrCrashed
+	}
+	return ft.inner.Recv()
+}
+
+// RecvTimeout forwards deadline-aware receive to the inner transport.
+func (ft *FaultTransport) RecvTimeout(d time.Duration) (Message, error) {
+	if ft.crashedNow() {
+		return Message{}, ErrCrashed
+	}
+	return recvTimeout(ft.inner, d)
+}
+
+// LastHeard delegates to the inner transport's liveness clock, when it has
+// one.
+func (ft *FaultTransport) LastHeard(peer int) (time.Time, bool) {
+	if pl, ok := ft.inner.(PeerLiveness); ok {
+		return pl.LastHeard(peer)
+	}
+	return time.Time{}, false
+}
+
+func (ft *FaultTransport) crashedNow() bool {
+	s := ft.plan.runtime()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed[ft.id]
+}
+
+// Crashed reports whether node id's endpoint has hit its crash point.
+func (p *FaultPlan) Crashed(id int) bool {
+	s := p.runtime()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed[id]
+}
+
+// Close closes the inner transport. The plan's in-flight timers drain via
+// Quiesce, not here, because endpoints share the plan.
+func (ft *FaultTransport) Close() error { return ft.inner.Close() }
+
+// Quiesce blocks until every delayed or held delivery scheduled so far has
+// fired. Call it before tearing a test cluster down so no timer goroutine
+// outlives the run.
+func (p *FaultPlan) Quiesce() {
+	p.runtime().wg.Wait()
+}
+
+// String summarizes the plan for logs.
+func (p *FaultPlan) String() string {
+	return fmt.Sprintf("seed=%d delay=%.2f(max %v) dup=%.2f reorder=%.2f drop=%.2f crash=%v partitions=%d",
+		p.Seed, p.DelayProb, p.MaxDelay, p.DupProb, p.ReorderProb, p.DropProb, p.CrashAfterSends, len(p.Partitions))
+}

@@ -1,0 +1,396 @@
+package diba
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"powercap/internal/topology"
+)
+
+// recordingTransport captures sends for schedule-determinism assertions.
+type recordingTransport struct {
+	mu   sync.Mutex
+	sent []Message
+}
+
+func (r *recordingTransport) Send(to int, m Message) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m.Dead = to // reuse a spare field to record the destination
+	r.sent = append(r.sent, m)
+	return nil
+}
+func (r *recordingTransport) Recv() (Message, error) { select {} }
+func (r *recordingTransport) Close() error           { return nil }
+
+func driveSchedule(seed int64) []Message {
+	rec := &recordingTransport{}
+	plan := &FaultPlan{Seed: seed, DropProb: 0.2, DupProb: 0.2, ReorderProb: 0.2}
+	ft := NewFaultTransport(rec, 0, plan)
+	for i := 0; i < 200; i++ {
+		_ = ft.Send(i%3+1, Message{From: 0, Round: i, E: float64(i)})
+	}
+	plan.Quiesce()
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return append([]Message(nil), rec.sent...)
+}
+
+func TestFaultScheduleDeterministic(t *testing.T) {
+	// Same seed → the exact same sequence of deliveries (drops, dups and
+	// reorders all land identically); different seed → a different one.
+	a, b := driveSchedule(42), driveSchedule(42)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different delivery counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at delivery %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := driveSchedule(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical fault schedule")
+	}
+}
+
+func TestFaultTransportCrashPoint(t *testing.T) {
+	rec := &recordingTransport{}
+	plan := &FaultPlan{Seed: 1, CrashAfterSends: map[int]int{0: 3}}
+	ft := NewFaultTransport(rec, 0, plan)
+	for i := 0; i < 3; i++ {
+		if err := ft.Send(1, Message{Round: i}); err != nil {
+			t.Fatalf("send %d before the crash point: %v", i, err)
+		}
+	}
+	if err := ft.Send(1, Message{Round: 3}); err != ErrCrashed {
+		t.Fatalf("send past the crash point: got %v, want ErrCrashed", err)
+	}
+	if !plan.Crashed(0) {
+		t.Fatal("plan must report node 0 crashed")
+	}
+	if _, err := ft.Recv(); err != ErrCrashed {
+		t.Fatalf("recv after crash: got %v, want ErrCrashed", err)
+	}
+}
+
+func TestChaosDelayDupReorderBitwise(t *testing.T) {
+	// Delay, duplication and reordering are exactly the faults a reliable
+	// transport's retransmission produces, and the BSP gather is provably
+	// insensitive to them (order-independent, deduplicating). A chaos run
+	// under those faults must therefore be *bitwise identical* to the clean
+	// engine run — the strongest possible pinning of the fault-free path.
+	n := 16
+	us := mkCluster(t, n, 31)
+	budget := float64(n) * 170
+	g := topology.Ring(n)
+	const rounds = 150
+
+	en, err := New(g, us, budget, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < rounds; k++ {
+		en.Step()
+	}
+	want := en.Alloc()
+
+	plan := &FaultPlan{
+		Seed:        7,
+		DelayProb:   0.3,
+		MaxDelay:    2 * time.Millisecond,
+		DupProb:     0.2,
+		ReorderProb: 0.2,
+	}
+	fp := FaultPolicy{GatherTimeout: 5 * time.Second, Recover: true}
+	states, err := RunAgentsUnderFaults(g, us, budget, Config{}, rounds, plan, fp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range states {
+		if st.Power != want[i] {
+			t.Fatalf("node %d under chaos: %v != engine %v", i, st.Power, want[i])
+		}
+		if len(st.Dead) != 0 {
+			t.Fatalf("node %d falsely declared %v dead under benign chaos", i, st.Dead)
+		}
+	}
+}
+
+func TestPartitionHealsBitwise(t *testing.T) {
+	// A short link partition buffers traffic and flushes it at heal — a
+	// delay in disguise — so the run must still match the engine bitwise.
+	n := 10
+	us := mkCluster(t, n, 32)
+	budget := float64(n) * 170
+	g := topology.Ring(n)
+	const rounds = 120
+
+	en, err := New(g, us, budget, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < rounds; k++ {
+		en.Step()
+	}
+	want := en.Alloc()
+
+	plan := &FaultPlan{
+		Seed:       11,
+		Partitions: []Partition{{A: 2, B: 3, Start: 0, Dur: 30 * time.Millisecond}},
+	}
+	fp := FaultPolicy{GatherTimeout: 5 * time.Second, Recover: true}
+	states, err := RunAgentsUnderFaults(g, us, budget, Config{}, rounds, plan, fp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range states {
+		if st.Power != want[i] {
+			t.Fatalf("node %d across partition: %v != engine %v", i, st.Power, want[i])
+		}
+	}
+}
+
+// ringStandby builds the standby chord sets for a ring of n with the given
+// stride.
+func ringStandby(n, stride int) [][]int {
+	out := make([][]int, n)
+	for i := 0; i < n; i++ {
+		prev, next := (i+n-1)%n, (i+1)%n
+		for _, c := range []int{(i + stride) % n, (i - stride + n) % n} {
+			if c != i && c != prev && c != next {
+				out[i] = append(out[i], c)
+			}
+		}
+	}
+	return out
+}
+
+func TestCrashMidBroadcastRepairAndConservation(t *testing.T) {
+	// The acceptance scenario: one agent crashes partway through a
+	// broadcast (the hardest case — its neighbors see different final
+	// rounds and must reconcile via the epidemic's max-merge). Survivors
+	// must detect it, agree on the frozen state, shrink the budget to
+	// P − p_dead + e_dead, activate chords, and keep the conservation
+	// identity Σe = Σp − P′ on the survivor set.
+	checkGoroutineLeak(t)
+	n := 10
+	const victim = 4
+	us := mkCluster(t, n, 33)
+	budget := float64(n) * 170
+	g := topology.Ring(n)
+	const rounds = 400
+
+	// Victim degree is 2, so an odd crash threshold lands mid-broadcast:
+	// round 150's message reaches one ring neighbor but not the other.
+	plan := &FaultPlan{Seed: 5, CrashAfterSends: map[int]int{victim: 301}}
+	fp := FaultPolicy{GatherTimeout: 300 * time.Millisecond, Recover: true}
+	states, err := RunAgentsUnderFaults(g, us, budget, Config{}, rounds, plan, fp, ringStandby(n, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vz := states[victim]
+	if vz.Rounds >= rounds {
+		t.Fatalf("victim ran all %d rounds; crash not injected", rounds)
+	}
+	wantBudget := budget - (vz.Power - vz.E)
+	var sumP, sumE float64
+	for i, st := range states {
+		if i == victim {
+			continue
+		}
+		if st.Rounds != rounds {
+			t.Fatalf("survivor %d stopped at round %d, want %d", i, st.Rounds, rounds)
+		}
+		if len(st.Dead) != 1 || st.Dead[0] != victim {
+			t.Fatalf("survivor %d dead set %v, want [%d]", i, st.Dead, victim)
+		}
+		if diff := st.Budget - wantBudget; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("survivor %d budget view %v, want %v (frozen state p=%v e=%v)", i, st.Budget, wantBudget, vz.Power, vz.E)
+		}
+		if st.E >= 0 {
+			t.Fatalf("survivor %d estimate %v not negative (feasibility lost)", i, st.E)
+		}
+		sumP += st.Power
+		sumE += st.E
+	}
+	if gap := sumE - (sumP - wantBudget); gap > 1e-6 || gap < -1e-6 {
+		t.Fatalf("conservation violated on survivors: Σe − (Σp − P′) = %v", gap)
+	}
+	if sumP > wantBudget {
+		t.Fatalf("survivors exceed the reconciled budget: Σp = %v > %v", sumP, wantBudget)
+	}
+}
+
+func TestRunUntilQuietToleratesDeath(t *testing.T) {
+	// The distributed stopping rule must keep working when membership
+	// shrinks mid-run: all survivors halt at the identical round.
+	checkGoroutineLeak(t)
+	n := 8
+	const victim = 3
+	us := mkCluster(t, n, 34)
+	budget := float64(n) * 170
+	g := topology.Ring(n)
+	var totalIdle float64
+	for _, u := range us {
+		totalIdle += u.MinPower()
+	}
+	standby := ringStandby(n, 2)
+
+	// Crash early (mid round 10) so the death happens well before the
+	// cluster settles.
+	plan := &FaultPlan{Seed: 9, CrashAfterSends: map[int]int{victim: 21}}
+	fp := FaultPolicy{GatherTimeout: 300 * time.Millisecond, Recover: true}
+	net := NewChanNetwork(n, 128)
+
+	var wg sync.WaitGroup
+	states := make([]AgentState, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, err := NewAgent(i, g.NeighborsInts(i), us[i], budget, n, totalIdle, Config{}, NewFaultTransport(net.Endpoint(i), i, plan))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			a.SetFaultPolicy(fp)
+			a.SetStandby(standby[i])
+			st, err := a.RunUntilQuiet(QuietConfig{TolW: 1e-3, Settle: 30, Margin: n, MaxRounds: 50000})
+			if err != nil {
+				if strings.Contains(err.Error(), "crashed") {
+					_ = a.tr.Close() // the injected casualty falls silent
+					return
+				}
+				errs[i] = err
+				return
+			}
+			states[i] = st
+		}(i)
+	}
+	wg.Wait()
+	plan.Quiesce()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+	}
+	stopRound := 0
+	for i, st := range states {
+		if i == victim {
+			continue
+		}
+		if st.Rounds == 50000 {
+			t.Fatalf("survivor %d hit MaxRounds; stopping rule broke", i)
+		}
+		if stopRound == 0 {
+			stopRound = st.Rounds
+		} else if st.Rounds != stopRound {
+			t.Fatalf("survivor %d stopped at round %d, others at %d", i, st.Rounds, stopRound)
+		}
+		if len(st.Dead) != 1 || st.Dead[0] != victim {
+			t.Fatalf("survivor %d dead set %v, want [%d]", i, st.Dead, victim)
+		}
+	}
+}
+
+func TestFaultPolicyFaultFreeBitwise(t *testing.T) {
+	// Installing a FaultPolicy must not perturb the fault-free arithmetic:
+	// with no faults injected, the run stays bitwise identical to the
+	// engine (the TestQuadFastPathMatchesGenericRule-style pinning the
+	// acceptance criteria require).
+	n := 20
+	us := mkCluster(t, n, 35)
+	budget := float64(n) * 170
+	g := topology.Ring(n)
+	const rounds = 200
+
+	en, err := New(g, us, budget, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < rounds; k++ {
+		en.Step()
+	}
+	want := en.Alloc()
+
+	fp := FaultPolicy{GatherTimeout: 5 * time.Second, Recover: true}
+	states, err := RunAgentsUnderFaults(g, us, budget, Config{}, rounds, nil, fp, ringStandby(n, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range states {
+		if st.Power != want[i] {
+			t.Fatalf("node %d with fault policy: %v != engine %v", i, st.Power, want[i])
+		}
+		if st.Budget != budget {
+			t.Fatalf("node %d budget view drifted to %v without any failure", i, st.Budget)
+		}
+	}
+}
+
+func TestGatherErrorsNotHangsOnSilence(t *testing.T) {
+	// Regression for the original hang: with Recover off, a silent
+	// neighbor must surface as an error, promptly.
+	us := mkCluster(t, 3, 36)
+	net := NewChanNetwork(3, 16)
+	var totalIdle float64
+	for _, u := range us {
+		totalIdle += u.MinPower()
+	}
+	a, err := NewAgent(0, []int{1, 2}, us[0], 3*170, 3, totalIdle, Config{}, net.Endpoint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetFaultPolicy(FaultPolicy{GatherTimeout: 100 * time.Millisecond, Recover: false})
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Run(5)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("gather with silent neighbors must error")
+		}
+		if !strings.Contains(err.Error(), "silent") {
+			t.Fatalf("error %q does not name the silent neighbors", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("gather hung on silent neighbors despite the fault policy")
+	}
+}
+
+// checkGoroutineLeak fails the test if goroutines outlive it (stray fault
+// timers, transport pumps). Registered as a cleanup so it runs last.
+func checkGoroutineLeak(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		if t.Failed() {
+			return
+		}
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+	})
+}

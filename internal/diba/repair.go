@@ -1,0 +1,453 @@
+package diba
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Failure detection and ring repair for the message-passing agents — the
+// deployable counterpart of the synchronous simulator's FailNode
+// (failure.go). The text motivates decentralization with fault isolation
+// and suggests equipping the ring with chords so the communication graph
+// stays connected when nodes die; this file implements that end to end:
+//
+//  1. Detection. gather() (agent.go) waits at most FaultPolicy.GatherTimeout
+//     for a silent neighbor, granting extensions while the transport's
+//     heartbeat clock still shows the peer alive, then declares it dead.
+//  2. Epidemic. The detector floods a NodeDead record — the dead node's
+//     identity, its final broadcast round L, its frozen state (p_d, e_d)
+//     from that broadcast, and a proposed chord-activation round — over all
+//     links, active and standby. Receivers merge records (max L wins, min
+//     activation round wins), re-flooding on every improvement, so all
+//     survivors converge on one view.
+//  3. Repair. Standby chord links activate at the agreed round. Because the
+//     activation round exceeds detection by a margin larger than the graph
+//     diameter, every survivor learns it before its own round counter gets
+//     there — the same flood-a-minimum trick the termination rule uses —
+//     and both endpoints of each chord start exchanging estimates at the
+//     identical round, keeping the BSP exchange deadlock-free.
+//  4. Budget reconciliation. The dead node's state leaves the system and
+//     each survivor's budget view shrinks to P − p_d + e_d, which preserves
+//     Σe = Σp − P′ over the survivors exactly (failure.go proves the same
+//     accounting safe in the simulator; e_d < 0 makes it conservative).
+//     Survivors' estimates need no adjustment — except for the one
+//     asymmetric round: a neighbor that computed round L with the dead
+//     node's final message moved an edge flow the dead node never matched,
+//     and adds exactly that flow back (reconcile). The identity then holds
+//     to float precision whenever some survivor observed the final
+//     broadcast; if the node died between computing a round and announcing
+//     it, the unobservable last update leaves an error of one round's edge
+//     flow — the detection limit of a crash-stop model.
+//
+// What is tolerated: any number of node crashes that leave the active
+// graph connected (a ring survives one; chords extend that), transient
+// link loss (transport reconnect + replay), and message delay, duplication
+// and reordering. What is not: byzantine nodes, network partitions that
+// persist past the detection timeout (each side will declare the other
+// dead), and crashes before a node's first broadcast (no frozen state to
+// account with).
+
+// FaultPolicy configures an agent's failure detection and recovery. The
+// zero value disables detection entirely: gather blocks forever on a silent
+// neighbor, the pre-fault-tolerance behavior.
+type FaultPolicy struct {
+	// GatherTimeout is how long one round's gather may wait on a silent
+	// neighbor before it is suspected. 0 disables failure detection.
+	GatherTimeout time.Duration
+	// HeartbeatGrace keeps a suspected neighbor alive while the transport
+	// heard from it (any traffic, heartbeats included) within this window —
+	// distinguishing slow from dead. Requires a PeerLiveness transport;
+	// 0 disables grace (suspicion is death).
+	HeartbeatGrace time.Duration
+	// MaxStall bounds one gather's total wait regardless of grace
+	// extensions. 0 selects 10× GatherTimeout.
+	MaxStall time.Duration
+	// RepairMargin is the number of rounds between detection and chord
+	// activation. It must exceed the communication graph's diameter so the
+	// epidemic reaches every survivor before the activation round; 0
+	// selects the cluster size, which always suffices.
+	RepairMargin int
+	// Recover selects what a detected death does: true repairs the ring
+	// and continues; false fails the run with a descriptive error (for
+	// deployments that prefer crash-and-restart).
+	Recover bool
+	// OnEvent, when set, observes detection and repair events (logging,
+	// metrics). Called from the agent's own goroutine.
+	OnEvent func(FaultEvent)
+}
+
+// FaultEvent describes one detection/repair action for observability.
+type FaultEvent struct {
+	Round int
+	Kind  string // "suspect-dead", "record", "repair", "budget"
+	Node  int
+	Info  string
+}
+
+// deadRecord is an agent's view of one dead node, merged across the
+// epidemic.
+type deadRecord struct {
+	node int
+	// lastRound is the dead node's final broadcast round L (the highest
+	// round any survivor received from it); -1 if it was never heard.
+	lastRound int
+	// frozenP/frozenE are the state carried by that final broadcast — the
+	// node's power and estimate when it stopped computing.
+	frozenP, frozenE float64
+	// activateAt is the agreed chord-activation round (minimum over all
+	// proposals seen).
+	activateAt int
+	// compensated is the unmatched final-round edge flow this agent added
+	// back to its own estimate (0 if it was not an affected neighbor).
+	compensated float64
+	activated   bool
+}
+
+// SetFaultPolicy installs the failure detection and recovery policy. Call
+// before the first round.
+func (a *Agent) SetFaultPolicy(fp FaultPolicy) {
+	a.fp = fp
+	if a.ftEnabled() && a.lastFrom == nil {
+		a.lastFrom = make(map[int]Message)
+		a.usedRound = make(map[int]int)
+		a.dead = make(map[int]*deadRecord)
+		a.histE = make(map[int]float64)
+		a.histDeg = make(map[int]int)
+		a.heard = make(map[int]time.Time)
+	}
+}
+
+// SetStandby registers standby chord links: node ids this agent can reach
+// (connections exist) but does not exchange estimates with until a failure
+// triggers repair, at which point they join Neighbors at the agreed round.
+func (a *Agent) SetStandby(chords []int) {
+	a.standby = append([]int(nil), chords...)
+	sort.Ints(a.standby)
+}
+
+// Budget returns the agent's current view of the cluster budget: the
+// configured budget shrunk by P − p_d + e_d for every known dead node.
+func (a *Agent) Budget() float64 { return a.budget }
+
+// DeadNodes returns the ids this agent believes dead, sorted.
+func (a *Agent) DeadNodes() []int {
+	out := make([]int, 0, len(a.dead))
+	for id := range a.dead {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (a *Agent) ftEnabled() bool { return a.fp.GatherTimeout > 0 }
+
+func (a *Agent) event(kind string, node int, info string) {
+	if a.fp.OnEvent != nil {
+		a.fp.OnEvent(FaultEvent{Round: a.round, Kind: kind, Node: node, Info: info})
+	}
+}
+
+// beginRound runs the membership housekeeping that must happen between
+// rounds: fire due chord activations, drop edges to nodes dead since before
+// this round, and snapshot the round's starting state for the flow
+// compensation. It is a no-op with fault tolerance disabled, keeping the
+// fault-free path untouched.
+func (a *Agent) beginRound() {
+	if !a.ftEnabled() {
+		return
+	}
+	for _, rec := range a.dead {
+		if !rec.activated && rec.activateAt > 0 && a.round >= rec.activateAt {
+			rec.activated = true
+			a.activateStandby()
+		}
+		if a.round > rec.lastRound {
+			a.removeNeighbor(rec.node)
+		}
+	}
+	// Periodic anti-entropy while a repair is pending, in case an epidemic
+	// message was lost to a full mailbox or flaky link.
+	if len(a.dead) > 0 && a.round%8 == 0 {
+		for _, rec := range a.dead {
+			if !rec.activated {
+				a.gossipRecord(rec)
+			}
+		}
+	}
+	a.histE[a.round] = a.e
+	a.histDeg[a.round] = len(a.Neighbors)
+	delete(a.histE, a.round-16)
+	delete(a.histDeg, a.round-16)
+}
+
+// activateStandby merges the standby chords into the active neighbor set.
+func (a *Agent) activateStandby() {
+	if len(a.standby) == 0 {
+		return
+	}
+	added := 0
+	for _, s := range a.standby {
+		if a.dead[s] != nil || a.hasNeighbor(s) || s == a.ID {
+			continue
+		}
+		a.Neighbors = append(a.Neighbors, s)
+		added++
+	}
+	a.standby = nil
+	sort.Ints(a.Neighbors)
+	a.event("repair", a.ID, fmt.Sprintf("activated %d chord link(s), degree now %d", added, len(a.Neighbors)))
+}
+
+func (a *Agent) hasNeighbor(id int) bool {
+	for _, nb := range a.Neighbors {
+		if nb == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Agent) removeNeighbor(id int) {
+	for k, nb := range a.Neighbors {
+		if nb == id {
+			a.Neighbors = append(a.Neighbors[:k], a.Neighbors[k+1:]...)
+			return
+		}
+	}
+}
+
+// links returns every id this agent can talk to: active neighbors plus
+// standby chords, excluding known-dead nodes.
+func (a *Agent) links() []int {
+	out := make([]int, 0, len(a.Neighbors)+len(a.standby))
+	for _, nb := range a.Neighbors {
+		if a.dead[nb] == nil {
+			out = append(out, nb)
+		}
+	}
+	for _, s := range a.standby {
+		if a.dead[s] == nil && !a.hasNeighbor(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// noteRound tracks the freshest estimate message per peer (the would-be
+// frozen state) and revises a dead record upward when a late message proves
+// the node broadcast further than previously known.
+func (a *Agent) noteRound(m Message) {
+	if m.Kind != MsgEstimate {
+		return
+	}
+	if cur, ok := a.lastFrom[m.From]; !ok || m.Round > cur.Round {
+		a.lastFrom[m.From] = m
+	}
+	if rec := a.dead[m.From]; rec != nil && m.Round > rec.lastRound {
+		a.mergeDead(m.From, m.Round, m.P, m.E, rec.activateAt)
+	}
+}
+
+// declareDead records first-hand detections: the peers were silent past the
+// policy's timeout. Their frozen state is the last round message each sent
+// us (BSP guarantees the detector's copy is at most one round behind the
+// true final broadcast; the epidemic's max-merge closes that gap when
+// another neighbor saw more).
+func (a *Agent) declareDead(ids []int) {
+	margin := a.fp.RepairMargin
+	if margin <= 0 {
+		margin = a.clusterSize
+	}
+	for _, id := range ids {
+		lastRound, fP, fE := -1, 0.0, 0.0
+		if last, ok := a.lastFrom[id]; ok {
+			lastRound, fP, fE = last.Round, last.P, last.E
+		}
+		a.event("suspect-dead", id, fmt.Sprintf("silent past %v (last broadcast round %d)", a.fp.GatherTimeout, lastRound))
+		a.mergeDead(id, lastRound, fP, fE, a.round+margin)
+	}
+}
+
+// applyDeadReport merges an epidemic record received from a peer. It
+// returns an error only when the cluster has declared *this* agent dead —
+// a false positive the agent cannot recover from (survivors have already
+// dropped its edges), so it must stop rather than corrupt the budget.
+func (a *Agent) applyDeadReport(m Message) error {
+	if m.Dead == a.ID {
+		return fmt.Errorf("diba: agent %d declared dead by the cluster (report from %d); stopping", a.ID, m.From)
+	}
+	a.mergeDead(m.Dead, m.Round, m.P, m.E, m.Act)
+	return nil
+}
+
+// mergeDead folds one report (first- or second-hand) into the record set:
+// the highest final round wins the frozen state, the lowest activation
+// round wins the repair schedule, and any improvement re-floods and
+// re-reconciles.
+func (a *Agent) mergeDead(dead, lastRound int, fP, fE float64, act int) {
+	// Our own inbox may know a fresher final broadcast than the report.
+	if last, ok := a.lastFrom[dead]; ok && last.Round > lastRound {
+		lastRound, fP, fE = last.Round, last.P, last.E
+	}
+	rec := a.dead[dead]
+	improved := false
+	if rec == nil {
+		rec = &deadRecord{node: dead, lastRound: lastRound, frozenP: fP, frozenE: fE, activateAt: act}
+		a.dead[dead] = rec
+		improved = true
+	} else {
+		if lastRound > rec.lastRound {
+			rec.lastRound, rec.frozenP, rec.frozenE = lastRound, fP, fE
+			improved = true
+		}
+		if act > 0 && !rec.activated && (rec.activateAt <= 0 || act < rec.activateAt) {
+			rec.activateAt = act
+			improved = true
+		}
+	}
+	if improved {
+		a.reconcile(rec)
+		a.gossipRecord(rec)
+		a.event("record", dead, fmt.Sprintf("final round %d, frozen p=%.3f e=%.3f, repair at round %d", rec.lastRound, rec.frozenP, rec.frozenE, rec.activateAt))
+	}
+}
+
+// reconcile recomputes this agent's compensation for rec and the budget
+// view. The compensation: if this agent computed a round using the dead
+// node's *final* broadcast (round L), the edge flow it moved that round was
+// never matched by the dead side — the frozen state predates round L — so
+// it adds exactly that flow back. usedRound gates the "we actually computed
+// with it" condition: a late message that was received but never consumed
+// creates no unmatched flow. Any previous compensation is first undone, so
+// upward revisions of L stay exact.
+func (a *Agent) reconcile(rec *deadRecord) {
+	if rec.compensated != 0 {
+		a.comp -= rec.compensated
+		rec.compensated = 0
+	}
+	if last, ok := a.lastFrom[rec.node]; ok && last.Round == rec.lastRound && a.usedRound[rec.node] == rec.lastRound {
+		if ownE, ok2 := a.histE[rec.lastRound]; ok2 {
+			t := edgeTransfer(a.cfg, ownE, last.E, a.histDeg[rec.lastRound], last.Degree)
+			rec.compensated = t
+			a.comp += t
+		}
+	}
+	a.recomputeBudget()
+}
+
+// recomputeBudget rebuilds the budget view from the original budget and the
+// frozen state of every known dead node: P′ = P − Σ (p_d − e_d).
+func (a *Agent) recomputeBudget() {
+	b := a.budget0
+	for _, rec := range a.dead {
+		b -= rec.frozenP - rec.frozenE
+	}
+	if b != a.budget {
+		a.budget = b
+		a.event("budget", a.ID, fmt.Sprintf("cluster budget view now %.3f W", b))
+	}
+}
+
+// gossipRecord floods rec over every live link, active and standby. Send
+// errors are ignored: the periodic anti-entropy in beginRound and the
+// other survivors' relays provide redundancy.
+func (a *Agent) gossipRecord(rec *deadRecord) {
+	out := Message{
+		Kind:  MsgNodeDead,
+		From:  a.ID,
+		Dead:  rec.node,
+		Round: rec.lastRound,
+		P:     rec.frozenP,
+		E:     rec.frozenE,
+		Act:   rec.activateAt,
+	}
+	for _, nb := range a.links() {
+		_ = a.tr.Send(nb, out)
+	}
+}
+
+// beacon broadcasts an application-level liveness heartbeat over every live
+// link. gather calls it while stalled past its beacon interval, so neighbors
+// waiting on this agent's next broadcast can tell "stalled detecting a
+// failure" from "dead": a real death stalls its detectors for GatherTimeout,
+// which delays their own broadcasts by the same amount, and without beacons
+// those delayed broadcasts would race their neighbors' timeouts — one crash
+// would cascade into a cluster-wide wave of false suspicions.
+func (a *Agent) beacon() {
+	out := Message{Kind: MsgHeartbeat, From: a.ID, Round: a.round}
+	for _, nb := range a.links() {
+		_ = a.tr.Send(nb, out)
+	}
+}
+
+// triage inspects the still-needed peers after a gather timeout: peers heard
+// from recently — on the agent's own clock (round traffic, gossip, beacons)
+// or the transport's heartbeat clock — stay alive, the rest are returned for
+// death declaration. Past the hard stall bound everyone still missing is
+// returned.
+func (a *Agent) triage(need map[int]bool, hardAt time.Time) []int {
+	now := time.Now()
+	pastHard := now.After(hardAt)
+	grace := a.fp.HeartbeatGrace
+	if grace <= 0 {
+		grace = a.fp.GatherTimeout
+	}
+	pl, hasPL := a.tr.(PeerLiveness)
+	var deadNow []int
+	for nb := range need {
+		if !pastHard {
+			heard := a.heard[nb]
+			if hasPL {
+				if ts, ok := pl.LastHeard(nb); ok && ts.After(heard) {
+					heard = ts
+				}
+			}
+			if !heard.IsZero() && now.Sub(heard) < grace {
+				continue // alive but slow; keep waiting
+			}
+		}
+		deadNow = append(deadNow, nb)
+	}
+	sort.Ints(deadNow)
+	return deadNow
+}
+
+// refreshNeed drops every peer now known dead from the gather's need set. A
+// dead peer's message either already arrived (then it is in got/pending, not
+// in need) or was lost with the link — waiting longer cannot produce it, and
+// keeping the entry would stall the gather forever re-declaring the same
+// death. Computing without a lost final broadcast is safe for conservation:
+// neither side moves that round's flow on the edge, so nothing is unmatched
+// (usedRound then correctly withholds the compensation).
+func (a *Agent) refreshNeed(need map[int]bool) {
+	for nb := range need {
+		if a.dead[nb] != nil {
+			delete(need, nb)
+		}
+	}
+}
+
+// finishRound runs after a round's estimate update: it records which peers'
+// messages the computation consumed, re-checks compensation for any record
+// that has none yet (the round just computed may have been a dead
+// neighbor's final broadcast round), and folds pending correction mass into
+// the estimate — after the exact fault-free grouping, never inside it.
+func (a *Agent) finishRound(got map[int]Message) {
+	if !a.ftEnabled() {
+		return
+	}
+	r := a.round - 1 // the round just computed
+	for nb := range got {
+		a.usedRound[nb] = r
+	}
+	for _, rec := range a.dead {
+		if rec.compensated == 0 {
+			a.reconcile(rec)
+		}
+	}
+	if a.comp != 0 {
+		a.e += a.comp
+		a.comp = 0
+	}
+}

@@ -1,6 +1,7 @@
 package diba
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -55,4 +56,77 @@ func RunAgents(g *topology.Graph, us []workload.Utility, budget float64, cfg Con
 		alloc[i] = a.Power()
 	}
 	return alloc, nil
+}
+
+// RunAgentsUnderFaults deploys one goroutine-backed Agent per node like
+// RunAgents, but wires every endpoint through a FaultTransport driven by
+// plan (nil injects nothing), installs fp on every agent, and registers
+// standby[i] as node i's standby chord links (standby may be nil). A node
+// that hits its injected crash point simply stops — its last state is
+// returned with its error slot nil, like a process that died — while any
+// other agent error fails the run. The returned states carry each agent's
+// final budget view and dead set so tests can assert the survivors'
+// reconciliation.
+func RunAgentsUnderFaults(g *topology.Graph, us []workload.Utility, budget float64, cfg Config, rounds int, plan *FaultPlan, fp FaultPolicy, standby [][]int) ([]AgentState, error) {
+	n := g.N()
+	if n != len(us) {
+		return nil, fmt.Errorf("diba: graph has %d nodes but %d utilities given", n, len(us))
+	}
+	if standby != nil && len(standby) != n {
+		return nil, fmt.Errorf("diba: standby has %d entries for %d nodes", len(standby), n)
+	}
+	var totalIdle float64
+	for _, u := range us {
+		totalIdle += u.MinPower()
+	}
+	// Generous mailboxes: on top of the ≤2 outstanding round messages per
+	// sender, chaos duplication and failure epidemics add bounded bursts,
+	// and a full mailbox drops gossip (recovered by anti-entropy) but must
+	// not drop round traffic.
+	net := NewChanNetwork(n, 16*(g.MaxDegree()+2))
+	agents := make([]*Agent, n)
+	for i := 0; i < n; i++ {
+		var tr Transport = net.Endpoint(i)
+		if plan != nil {
+			tr = NewFaultTransport(tr, i, plan)
+		}
+		a, err := NewAgent(i, g.NeighborsInts(i), us[i], budget, n, totalIdle, cfg, tr)
+		if err != nil {
+			return nil, err
+		}
+		a.SetFaultPolicy(fp)
+		if standby != nil {
+			a.SetStandby(standby[i])
+		}
+		agents[i] = a
+	}
+
+	var wg sync.WaitGroup
+	states := make([]AgentState, n)
+	errs := make([]error, n)
+	for i := range agents {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := agents[i].Run(rounds)
+			if err != nil && errors.Is(err, ErrCrashed) {
+				// The injected casualty: record how far it got and fall
+				// silent, exactly like a crashed process.
+				states[i] = agents[i].state()
+				_ = agents[i].tr.Close()
+				return
+			}
+			states[i], errs[i] = st, err
+		}(i)
+	}
+	wg.Wait()
+	if plan != nil {
+		plan.Quiesce()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("diba: agent %d failed: %w", i, err)
+		}
+	}
+	return states, nil
 }

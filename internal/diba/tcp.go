@@ -9,21 +9,91 @@ import (
 	"time"
 )
 
+// tcpOptions are the transport's robustness knobs, set via TCPOption. The
+// defaults preserve the original behavior on healthy links while bounding
+// every blocking operation: writes carry a deadline (a stuck peer cannot
+// wedge the sender), dials get a short per-attempt budget under the overall
+// connect deadline, and a broken outbound link is redialed with exponential
+// backoff before the peer is given up on.
+type tcpOptions struct {
+	writeTimeout   time.Duration
+	dialTimeout    time.Duration
+	heartbeat      time.Duration
+	reconnectMin   time.Duration
+	reconnectMax   time.Duration
+	reconnectTries int
+}
+
+func defaultTCPOptions() tcpOptions {
+	return tcpOptions{
+		writeTimeout:   30 * time.Second,
+		dialTimeout:    2 * time.Second,
+		heartbeat:      0, // off unless enabled
+		reconnectMin:   50 * time.Millisecond,
+		reconnectMax:   2 * time.Second,
+		reconnectTries: 8,
+	}
+}
+
+// TCPOption customizes a TCPTransport.
+type TCPOption func(*tcpOptions)
+
+// WithWriteTimeout bounds each Send's socket write; 0 disables the deadline.
+func WithWriteTimeout(d time.Duration) TCPOption {
+	return func(o *tcpOptions) { o.writeTimeout = d }
+}
+
+// WithDialTimeout sets the per-attempt dial budget used by ConnectNeighbors
+// and the reconnect loop (always additionally capped by the overall
+// deadline).
+func WithDialTimeout(d time.Duration) TCPOption {
+	return func(o *tcpOptions) { o.dialTimeout = d }
+}
+
+// WithHeartbeat enables periodic liveness beacons on every connection.
+// Heartbeats never reach the inbox; they only refresh LastHeard, letting a
+// failure detector distinguish a slow peer from a dead one.
+func WithHeartbeat(interval time.Duration) TCPOption {
+	return func(o *tcpOptions) { o.heartbeat = interval }
+}
+
+// WithReconnect tunes the exponential-backoff redial of broken outbound
+// links: the first retry waits min, doubling up to max, for at most tries
+// attempts. tries = 0 disables reconnection.
+func WithReconnect(min, max time.Duration, tries int) TCPOption {
+	return func(o *tcpOptions) { o.reconnectMin, o.reconnectMax, o.reconnectTries = min, max, tries }
+}
+
 // TCPTransport implements Transport over real TCP sockets — the deployment
 // path of the dissertation's "working prototype of DiBA on a real
 // experimental cluster". Each agent listens on its own address and keeps
 // one persistent connection per neighbor; messages are newline-delimited
 // JSON. The dial direction is deterministic (lower id dials higher id) so
 // exactly one connection exists per edge.
+//
+// Fault behavior: every socket write carries a deadline, optional
+// heartbeats feed a per-peer LastHeard clock, and when an outbound link
+// breaks the dialing side redials with exponential backoff, replaying the
+// last message sent to the peer (receivers deduplicate, so replay is safe).
+// A link that stays down past the retry budget is abandoned; subsequent
+// Sends to that peer fail and its LastHeard goes stale, which is what the
+// agent-level failure detector keys on.
 type TCPTransport struct {
 	id    int
 	ln    net.Listener
 	inbox chan Message
+	opt   tcpOptions
 
-	mu    sync.Mutex
-	conns map[int]*tcpConn
-	wg    sync.WaitGroup
-	done  chan struct{}
+	mu           sync.Mutex
+	conns        map[int]*tcpConn
+	addrs        map[int]string // learned in ConnectNeighbors, for redial
+	lastSent     map[int]Message
+	haveSent     map[int]bool
+	lastHeard    map[int]time.Time
+	reconnecting map[int]bool
+
+	wg   sync.WaitGroup
+	done chan struct{}
 }
 
 type tcpConn struct {
@@ -39,20 +109,33 @@ type tcpHello struct {
 // NewTCPTransport starts listening on addr (e.g. "127.0.0.1:9000") for
 // agent id. Call ConnectNeighbors afterwards, once every agent in the
 // cluster is listening.
-func NewTCPTransport(id int, addr string) (*TCPTransport, error) {
+func NewTCPTransport(id int, addr string, opts ...TCPOption) (*TCPTransport, error) {
+	opt := defaultTCPOptions()
+	for _, o := range opts {
+		o(&opt)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("diba: agent %d listen: %w", id, err)
 	}
 	t := &TCPTransport{
-		id:    id,
-		ln:    ln,
-		inbox: make(chan Message, 1024),
-		conns: make(map[int]*tcpConn),
-		done:  make(chan struct{}),
+		id:           id,
+		ln:           ln,
+		inbox:        make(chan Message, 1024),
+		opt:          opt,
+		conns:        make(map[int]*tcpConn),
+		lastSent:     make(map[int]Message),
+		haveSent:     make(map[int]bool),
+		lastHeard:    make(map[int]time.Time),
+		reconnecting: make(map[int]bool),
+		done:         make(chan struct{}),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
+	if opt.heartbeat > 0 {
+		t.wg.Add(1)
+		go t.heartbeatLoop()
+	}
 	return t, nil
 }
 
@@ -71,8 +154,9 @@ func (t *TCPTransport) acceptLoop() {
 	}
 }
 
-// handleIncoming reads the peer's hello, registers the connection, then
-// pumps messages into the inbox.
+// handleIncoming reads the peer's hello, registers the connection, replays
+// the last message we sent the peer (it may have been lost with the old
+// link; receivers dedup), then pumps messages into the inbox.
 func (t *TCPTransport) handleIncoming(c net.Conn) {
 	defer t.wg.Done()
 	dec := json.NewDecoder(bufio.NewReader(c))
@@ -82,7 +166,8 @@ func (t *TCPTransport) handleIncoming(c net.Conn) {
 		return
 	}
 	t.register(hello.From, c)
-	t.pump(dec, c)
+	t.replayLast(hello.From)
+	t.pump(hello.From, dec, c)
 }
 
 func (t *TCPTransport) register(peer int, c net.Conn) {
@@ -92,14 +177,58 @@ func (t *TCPTransport) register(peer int, c net.Conn) {
 		old.c.Close()
 	}
 	t.conns[peer] = &tcpConn{c: c, enc: json.NewEncoder(c)}
+	t.lastHeard[peer] = time.Now()
 }
 
-func (t *TCPTransport) pump(dec *json.Decoder, c net.Conn) {
+// replayLast re-sends the last message addressed to peer, if any — the one
+// that may have been in flight when the previous connection died.
+func (t *TCPTransport) replayLast(peer int) {
+	t.mu.Lock()
+	m, ok := t.lastSent[peer], t.haveSent[peer]
+	t.mu.Unlock()
+	if ok {
+		_ = t.Send(peer, m)
+	}
+}
+
+// heartbeatLoop beacons on every live connection so peers can tell slow
+// from dead.
+func (t *TCPTransport) heartbeatLoop() {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.opt.heartbeat)
+	defer tick.Stop()
+	hb := Message{From: t.id, Kind: MsgHeartbeat}
+	for {
+		select {
+		case <-t.done:
+			return
+		case <-tick.C:
+			t.mu.Lock()
+			peers := make([]int, 0, len(t.conns))
+			for p := range t.conns {
+				peers = append(peers, p)
+			}
+			t.mu.Unlock()
+			for _, p := range peers {
+				_ = t.writeTo(p, hb, false)
+			}
+		}
+	}
+}
+
+func (t *TCPTransport) pump(peer int, dec *json.Decoder, c net.Conn) {
 	for {
 		var m Message
 		if err := dec.Decode(&m); err != nil {
 			c.Close()
+			t.maybeReconnect(peer, c)
 			return
+		}
+		t.mu.Lock()
+		t.lastHeard[m.From] = time.Now()
+		t.mu.Unlock()
+		if m.Kind == MsgHeartbeat {
+			continue
 		}
 		select {
 		case t.inbox <- m:
@@ -110,11 +239,99 @@ func (t *TCPTransport) pump(dec *json.Decoder, c net.Conn) {
 	}
 }
 
+// maybeReconnect redials peer with exponential backoff after its link
+// broke. Only the dialing side (peer id greater than ours) redials — the
+// accepting side waits for the peer to come back — and only one reconnect
+// loop runs per peer.
+func (t *TCPTransport) maybeReconnect(peer int, broken net.Conn) {
+	select {
+	case <-t.done:
+		return
+	default:
+	}
+	if peer <= t.id || t.opt.reconnectTries <= 0 {
+		return
+	}
+	t.mu.Lock()
+	addr, known := t.addrs[peer]
+	cur, hasCur := t.conns[peer]
+	if !known || t.reconnecting[peer] || (hasCur && cur.c != broken) {
+		// Unknown address, a loop already running, or the connection was
+		// already replaced (e.g. the peer re-dialed us): nothing to do.
+		t.mu.Unlock()
+		return
+	}
+	t.reconnecting[peer] = true
+	t.mu.Unlock()
+
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		defer func() {
+			t.mu.Lock()
+			t.reconnecting[peer] = false
+			t.mu.Unlock()
+		}()
+		backoff := t.opt.reconnectMin
+		for try := 0; try < t.opt.reconnectTries; try++ {
+			timer := time.NewTimer(backoff)
+			select {
+			case <-t.done:
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+			if backoff *= 2; backoff > t.opt.reconnectMax {
+				backoff = t.opt.reconnectMax
+			}
+			if err := t.dialPeer(peer, addr, t.opt.dialTimeout); err == nil {
+				t.replayLast(peer)
+				return
+			}
+		}
+	}()
+}
+
+// dialPeer dials addr, performs the hello handshake, registers the
+// connection and starts its pump.
+func (t *TCPTransport) dialPeer(peer int, addr string, timeout time.Duration) error {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return err
+	}
+	if t.opt.writeTimeout > 0 {
+		c.SetWriteDeadline(time.Now().Add(t.opt.writeTimeout))
+	}
+	if err := json.NewEncoder(c).Encode(tcpHello{From: t.id}); err != nil {
+		c.Close()
+		return err
+	}
+	c.SetWriteDeadline(time.Time{})
+	t.register(peer, c)
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.pump(peer, json.NewDecoder(bufio.NewReader(c)), c)
+	}()
+	return nil
+}
+
 // ConnectNeighbors dials every neighbor whose id is greater than ours
 // (lower id dials, higher id accepts) and waits until connections for all
 // neighbors exist or the timeout expires. addrs maps node id to listen
-// address.
+// address. Each individual dial attempt gets at most the per-attempt dial
+// budget (WithDialTimeout), so one unresponsive peer cannot consume the
+// whole deadline that the remaining dials still need.
 func (t *TCPTransport) ConnectNeighbors(neighbors []int, addrs map[int]string, timeout time.Duration) error {
+	t.mu.Lock()
+	if t.addrs == nil {
+		t.addrs = make(map[int]string, len(addrs))
+	}
+	for id, a := range addrs {
+		t.addrs[id] = a
+	}
+	t.mu.Unlock()
+
 	deadlineAll := time.Now().Add(timeout)
 	for _, nb := range neighbors {
 		if nb > t.id {
@@ -124,11 +341,20 @@ func (t *TCPTransport) ConnectNeighbors(neighbors []int, addrs map[int]string, t
 			}
 			// Peers start in arbitrary order; retry refused dials until the
 			// deadline so a daemon may come up before its higher-id
-			// neighbors are listening.
-			var c net.Conn
+			// neighbors are listening. Each attempt is individually capped
+			// so a black-holed peer fails fast and the retry loop (not one
+			// blocking dial) owns the overall deadline.
 			var err error
 			for {
-				c, err = net.DialTimeout("tcp", addr, timeout)
+				attempt := t.opt.dialTimeout
+				if remaining := time.Until(deadlineAll); attempt > remaining {
+					attempt = remaining
+				}
+				if attempt <= 0 {
+					err = fmt.Errorf("diba: deadline exceeded")
+				} else {
+					err = t.dialPeer(nb, addr, attempt)
+				}
 				if err == nil || time.Now().After(deadlineAll) {
 					break
 				}
@@ -137,21 +363,9 @@ func (t *TCPTransport) ConnectNeighbors(neighbors []int, addrs map[int]string, t
 			if err != nil {
 				return fmt.Errorf("diba: agent %d dial %d: %w", t.id, nb, err)
 			}
-			enc := json.NewEncoder(c)
-			if err := enc.Encode(tcpHello{From: t.id}); err != nil {
-				c.Close()
-				return err
-			}
-			t.register(nb, c)
-			t.wg.Add(1)
-			go func(c net.Conn) {
-				defer t.wg.Done()
-				t.pump(json.NewDecoder(bufio.NewReader(c)), c)
-			}(c)
 		}
 	}
 	// Wait for inbound connections from lower-id neighbors.
-	deadline := deadlineAll
 	for {
 		t.mu.Lock()
 		missing := 0
@@ -164,25 +378,48 @@ func (t *TCPTransport) ConnectNeighbors(neighbors []int, addrs map[int]string, t
 		if missing == 0 {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadlineAll) {
 			return fmt.Errorf("diba: agent %d timed out waiting for %d neighbor connection(s)", t.id, missing)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
 }
 
-// Send writes the message to the persistent connection for the target
-// neighbor.
-func (t *TCPTransport) Send(to int, m Message) error {
+// writeTo encodes m on the persistent connection to peer, under the write
+// deadline. record selects whether the message is remembered for replay
+// after a reconnect (round messages are; heartbeats are not).
+func (t *TCPTransport) writeTo(to int, m Message, record bool) error {
 	t.mu.Lock()
 	conn, ok := t.conns[to]
+	if record {
+		t.lastSent[to] = m
+		t.haveSent[to] = true
+	}
 	t.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("diba: agent %d has no connection to %d", t.id, to)
 	}
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
-	return conn.enc.Encode(m)
+	if t.opt.writeTimeout > 0 {
+		conn.c.SetWriteDeadline(time.Now().Add(t.opt.writeTimeout))
+	}
+	err := conn.enc.Encode(m)
+	if err != nil {
+		// A failed write leaves the stream in an undefined state; drop the
+		// connection so the reconnect path (or the peer's redial) replaces
+		// it rather than corrupting framing.
+		conn.c.Close()
+	}
+	return err
+}
+
+// Send writes the message to the persistent connection for the target
+// neighbor. The write carries a deadline, so a stuck peer cannot block the
+// sender forever; a failed or deadline-exceeded write tears the connection
+// down and lets the reconnect path re-establish it.
+func (t *TCPTransport) Send(to int, m Message) error {
+	return t.writeTo(to, m, m.Kind != MsgHeartbeat)
 }
 
 // Recv blocks for the next inbound message.
@@ -193,6 +430,29 @@ func (t *TCPTransport) Recv() (Message, error) {
 	case <-t.done:
 		return Message{}, fmt.Errorf("diba: transport %d closed", t.id)
 	}
+}
+
+// RecvTimeout returns the next inbound message or ErrRecvTimeout after d.
+func (t *TCPTransport) RecvTimeout(d time.Duration) (Message, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case m := <-t.inbox:
+		return m, nil
+	case <-t.done:
+		return Message{}, fmt.Errorf("diba: transport %d closed", t.id)
+	case <-timer.C:
+		return Message{}, ErrRecvTimeout
+	}
+}
+
+// LastHeard reports when traffic (rounds or heartbeats) last arrived from
+// peer. It implements PeerLiveness for the agent's failure detector.
+func (t *TCPTransport) LastHeard(peer int) (time.Time, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ts, ok := t.lastHeard[peer]
+	return ts, ok
 }
 
 // Close shuts the listener and all connections down.

@@ -67,30 +67,15 @@ func (a *Agent) RunUntilQuiet(q QuietConfig) (AgentState, error) {
 		if stopAt != math.MaxInt {
 			outStop = stopAt
 		}
-		out := Message{
-			From:   a.ID,
-			Round:  a.round,
-			E:      a.e,
-			Degree: len(a.Neighbors),
-			Quiet:  quietView,
-			Stop:   outStop,
-		}
-		for _, nb := range a.Neighbors {
-			if err := a.tr.Send(nb, out); err != nil {
-				return AgentState{}, err
-			}
-		}
-		got, err := a.gather()
+		got, phat, err := a.runRound(quietView, outStop)
 		if err != nil {
 			return AgentState{}, err
 		}
-		nbrE := make([]float64, len(a.Neighbors))
-		nbrDeg := make([]int32, len(a.Neighbors))
+		// Membership may have changed mid-round (a neighbor declared dead
+		// contributes no message), so the consensus fields fold over the
+		// messages actually gathered rather than the static neighbor list.
 		minNbrQuiet := math.MaxInt
-		for k, nb := range a.Neighbors {
-			m := got[nb]
-			nbrE[k] = m.E
-			nbrDeg[k] = int32(m.Degree)
+		for _, m := range got {
 			if m.Quiet < minNbrQuiet {
 				minNbrQuiet = m.Quiet
 			}
@@ -98,12 +83,6 @@ func (a *Agent) RunUntilQuiet(q QuietConfig) (AgentState, error) {
 				stopAt = m.Stop
 			}
 		}
-		cfg := a.cfg
-		cfg.Eta = a.cfg.etaAt(a.round)
-		phat, outflow := nodeRule(cfg, a.util, a.p, a.e, len(a.Neighbors), nbrE, nbrDeg)
-		a.p += phat
-		a.e = a.e + phat - outflow
-		a.round++
 
 		if math.Abs(phat) < q.TolW {
 			ownQuiet++
@@ -122,5 +101,5 @@ func (a *Agent) RunUntilQuiet(q QuietConfig) (AgentState, error) {
 			stopAt = a.round + q.Margin
 		}
 	}
-	return AgentState{ID: a.ID, Power: a.p, E: a.e, Rounds: a.round}, nil
+	return a.state(), nil
 }

@@ -1,14 +1,33 @@
 package diba
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
+)
+
+// Message kinds. The zero value is a normal estimate (round) message so that
+// the pre-fault-tolerance wire format is unchanged; control-plane messages
+// (heartbeats, failure epidemics) are tagged explicitly.
+const (
+	// MsgEstimate is a normal BSP round message.
+	MsgEstimate = 0
+	// MsgHeartbeat is a transport-level liveness beacon. Transports filter
+	// heartbeats out of the inbox where they can; agents drop any that leak
+	// through.
+	MsgHeartbeat = 1
+	// MsgNodeDead is the failure epidemic: a survivor announcing a dead
+	// node's identity, its frozen state, and the agreed repair round. See
+	// repair.go.
+	MsgNodeDead = 2
 )
 
 // Message is the single message type DiBA agents exchange: one scalar
 // estimate per neighbor per round, plus the sender's degree (needed for the
-// symmetric per-edge flow caps; it is constant, but carrying it keeps the
-// protocol stateless).
+// symmetric per-edge flow caps; carrying it also makes the protocol robust
+// to membership changes — a receiver always uses the degree the sender
+// actually computed with).
 type Message struct {
 	From   int     `json:"from"`
 	Round  int     `json:"round"`
@@ -18,6 +37,19 @@ type Message struct {
 	// RunUntilQuiet (see terminate.go); both are zero during plain Run.
 	Quiet int `json:"quiet,omitempty"`
 	Stop  int `json:"stop,omitempty"`
+	// P is the sender's current power cap. It does not enter the round
+	// arithmetic; it is carried so that, if the sender dies, its neighbors
+	// hold its frozen state for the budget reconciliation (failure.go
+	// derives the survivors' budget as P − p_dead + e_dead).
+	P float64 `json:"p,omitempty"`
+	// Kind tags control-plane messages; 0 (MsgEstimate) is a round message.
+	Kind int `json:"kind,omitempty"`
+	// Dead and Act are the MsgNodeDead payload: the dead node id and the
+	// agreed chord-activation round. For a MsgNodeDead, Round/E/P carry the
+	// dead node's final broadcast round and frozen estimate/power, not the
+	// sender's.
+	Dead int `json:"dead,omitempty"`
+	Act  int `json:"act,omitempty"`
 }
 
 // Transport moves messages between one agent and its neighbors. Send must
@@ -30,14 +62,50 @@ type Transport interface {
 	Close() error
 }
 
+// ErrRecvTimeout is returned by TimeoutRecver.RecvTimeout when no message
+// arrived within the deadline. It is the signal the failure detector in
+// Agent.gather is built on.
+var ErrRecvTimeout = errors.New("diba: recv timeout")
+
+// TimeoutRecver is implemented by transports that support deadline-aware
+// receive. All transports in this package implement it; the failure
+// detector requires it (a Transport without RecvTimeout can only block).
+type TimeoutRecver interface {
+	RecvTimeout(d time.Duration) (Message, error)
+}
+
+// PeerLiveness is implemented by transports that track per-peer liveness
+// (e.g. TCPTransport's heartbeats). The failure detector uses it to
+// distinguish a slow peer (recent heartbeat, keep waiting) from a dead one.
+type PeerLiveness interface {
+	// LastHeard returns the last time any traffic arrived from peer, and
+	// whether the peer has been heard from at all.
+	LastHeard(peer int) (time.Time, bool)
+}
+
+// recvTimeout receives with a deadline when the transport supports it and
+// d > 0, falling back to a blocking Recv otherwise.
+func recvTimeout(tr Transport, d time.Duration) (Message, error) {
+	if d > 0 {
+		if tm, ok := tr.(TimeoutRecver); ok {
+			return tm.RecvTimeout(d)
+		}
+	}
+	return tr.Recv()
+}
+
 // ChanNetwork is an in-process transport fabric: one buffered mailbox per
 // agent, delivery by channel send. It implements reliable, ordered,
 // asynchronous delivery — the semantics of the TCP links the prototype
-// cluster uses, without the sockets.
+// cluster uses, without the sockets. A closed endpoint behaves like a dead
+// host: its own sends fail, sends to it fail, and its Recv unblocks with an
+// error. A full mailbox is an error, never an indefinite block, so a stalled
+// receiver cannot wedge its senders.
 type ChanNetwork struct {
 	mu        sync.Mutex
 	mailboxes []chan Message
-	closed    bool
+	closed    []bool
+	done      []chan struct{}
 }
 
 // NewChanNetwork creates a fabric for n agents with the given per-agent
@@ -45,10 +113,12 @@ type ChanNetwork struct {
 // blocking in BSP rounds).
 func NewChanNetwork(n, capacity int) *ChanNetwork {
 	boxes := make([]chan Message, n)
+	done := make([]chan struct{}, n)
 	for i := range boxes {
 		boxes[i] = make(chan Message, capacity)
+		done[i] = make(chan struct{})
 	}
-	return &ChanNetwork{mailboxes: boxes}
+	return &ChanNetwork{mailboxes: boxes, closed: make([]bool, n), done: done}
 }
 
 // Endpoint returns agent id's transport endpoint.
@@ -62,19 +132,68 @@ type chanEndpoint struct {
 }
 
 func (ep *chanEndpoint) Send(to int, m Message) error {
-	if to < 0 || to >= len(ep.net.mailboxes) {
+	cn := ep.net
+	if to < 0 || to >= len(cn.mailboxes) {
 		return fmt.Errorf("diba: send to unknown agent %d", to)
 	}
-	ep.net.mailboxes[to] <- m
-	return nil
+	cn.mu.Lock()
+	senderClosed, targetClosed := cn.closed[ep.id], cn.closed[to]
+	cn.mu.Unlock()
+	if senderClosed {
+		return fmt.Errorf("diba: endpoint %d is closed", ep.id)
+	}
+	if targetClosed {
+		return fmt.Errorf("diba: endpoint %d is closed (peer down)", to)
+	}
+	select {
+	case cn.mailboxes[to] <- m:
+		return nil
+	default:
+		return fmt.Errorf("diba: mailbox of agent %d full (capacity %d)", to, cap(cn.mailboxes[to]))
+	}
 }
 
 func (ep *chanEndpoint) Recv() (Message, error) {
-	m, ok := <-ep.net.mailboxes[ep.id]
-	if !ok {
+	select {
+	case m := <-ep.net.mailboxes[ep.id]:
+		return m, nil
+	case <-ep.net.done[ep.id]:
+		// Drain any message that raced the close; then report closure.
+		select {
+		case m := <-ep.net.mailboxes[ep.id]:
+			return m, nil
+		default:
+		}
 		return Message{}, fmt.Errorf("diba: agent %d mailbox closed", ep.id)
 	}
-	return m, nil
 }
 
-func (ep *chanEndpoint) Close() error { return nil }
+// RecvTimeout receives the next message or returns ErrRecvTimeout after d.
+func (ep *chanEndpoint) RecvTimeout(d time.Duration) (Message, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case m := <-ep.net.mailboxes[ep.id]:
+		return m, nil
+	case <-ep.net.done[ep.id]:
+		select {
+		case m := <-ep.net.mailboxes[ep.id]:
+			return m, nil
+		default:
+		}
+		return Message{}, fmt.Errorf("diba: agent %d mailbox closed", ep.id)
+	case <-timer.C:
+		return Message{}, ErrRecvTimeout
+	}
+}
+
+func (ep *chanEndpoint) Close() error {
+	cn := ep.net
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if !cn.closed[ep.id] {
+		cn.closed[ep.id] = true
+		close(cn.done[ep.id])
+	}
+	return nil
+}
