@@ -10,7 +10,10 @@ import (
 
 	"powercap/internal/diba"
 	"powercap/internal/experiments"
+	"powercap/internal/knapsack"
+	"powercap/internal/layout"
 	"powercap/internal/parallel"
+	"powercap/internal/thermal"
 	"powercap/internal/topology"
 	"powercap/internal/workload"
 )
@@ -87,6 +90,99 @@ func benchEngine(n int, parallelStep bool, seed int64) (benchResult, error) {
 	return measure(name, 300*time.Millisecond, 1_000_000, step)
 }
 
+// benchCentralized times the centralized comparator stack's hot paths:
+// the MCKP budgeter (cold solve, warm workspace re-solve, SolveAll budget
+// read-off), the thermal room evaluation, and the layout local search.
+func benchCentralized(seed int64) ([]benchResult, error) {
+	var out []benchResult
+	add := func(res benchResult, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-28s %5d runs  %12d ns/op  %6d allocs/op\n",
+			res.Name, res.Runs, res.NsPerOp, res.AllocsPerOp)
+		out = append(out, res)
+		return nil
+	}
+
+	// MCKP over the Chapter 3 cap grid at 400 servers (the quick fig3.13
+	// size).
+	const n = 400
+	rng := rand.New(rand.NewSource(seed))
+	srv := workload.Chapter3Server
+	caps := workload.CapGrid(srv, 5)
+	sets := make([]workload.Set, n)
+	for i := range sets {
+		sets[i] = workload.NewHeteroSet(workload.Desktop, rng)
+	}
+	choices, err := knapsack.CapGridChoices(n, caps, func(i int, cap float64) float64 {
+		return sets[i].GroundTruth(cap, srv)
+	})
+	if err != nil {
+		return nil, err
+	}
+	prob := knapsack.Problem{Choices: choices, Budget: 148 * n, StepW: 5}
+	if err := add(measure("knapsack.Solve/n=400", 200*time.Millisecond, 10_000, func() error {
+		_, err := knapsack.Solve(prob)
+		return err
+	})); err != nil {
+		return nil, err
+	}
+	var ws knapsack.Workspace
+	var sol knapsack.Solution
+	if err := add(measure("knapsack.SolveTo/warm/n=400", 200*time.Millisecond, 10_000, func() error {
+		return ws.SolveTo(&sol, prob)
+	})); err != nil {
+		return nil, err
+	}
+	all, err := ws.SolveAll(prob)
+	if err != nil {
+		return nil, err
+	}
+	budget := 140.0 * n
+	if err := add(measure("knapsack.SolveAll.At/n=400", 100*time.Millisecond, 1_000_000, func() error {
+		err := all.SolveTo(&sol, budget)
+		budget += 1
+		if budget > 148*n {
+			budget = 140 * n
+		}
+		return err
+	})); err != nil {
+		return nil, err
+	}
+
+	// Thermal room evaluation at the default 80-rack room.
+	room, err := thermal.NewDefaultRoom(1.8, 24)
+	if err != nil {
+		return nil, err
+	}
+	power := make([]float64, room.N())
+	for i := range power {
+		power[i] = 4000 + 50*float64(i%7)
+	}
+	if err := add(measure("thermal.CoolingPower/n=80", 100*time.Millisecond, 1_000_000, func() error {
+		_, _, err := room.CoolingPower(power)
+		return err
+	})); err != nil {
+		return nil, err
+	}
+
+	// Layout local search on the full room, one scenario, quick iteration
+	// count (the fig5.4 shape).
+	lrng := rand.New(rand.NewSource(seed))
+	lp := layout.Problem{
+		Rise:      room.RiseMatrix(),
+		Scenarios: []layout.Scenario{{Weight: 1, Power: power}},
+	}
+	if err := add(measure("layout.LocalSearch/n=80", 300*time.Millisecond, 1000, func() error {
+		_, err := layout.LocalSearch(lp, nil, 3000, lrng)
+		return err
+	})); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 func runBench(scale experiments.Scale, seed int64, out string) error {
 	if out == "" {
 		out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
@@ -115,6 +211,12 @@ func runBench(scale experiments.Scale, seed int64, out string) error {
 			report.Results = append(report.Results, res)
 		}
 	}
+
+	central, err := benchCentralized(seed)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, central...)
 
 	for _, id := range ids() {
 		r := registry[id]

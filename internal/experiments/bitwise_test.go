@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The optimized centralized stack (workspace-reuse knapsack, SolveAll-fed
+// self-consistent partition, incremental layout search) must reproduce the
+// committed result files byte for byte at the same seed: speed work is not
+// allowed to move a single digit. fig3.11 and fig5.7 are checked against
+// results_quick.txt, fig3.13 (and fig5.5, layout's other full-scale table)
+// against results_full_dynamics.txt.
+//
+// results_full_ch35.txt's fig3.10/fig3.12 sections are NOT asserted: those
+// two predate the PR 1 pipeline rework (the committed v0 tables no longer
+// match the pre-optimization HEAD either, verified with the unmodified
+// binary), so they cannot serve as a reference for this PR's invariance.
+
+// tableSection extracts the "== id — ..." section of a results file, with
+// the wall-clock "(id in 1.2s)" lines stripped.
+func tableSection(t *testing.T, path, id string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	timing := regexp.MustCompile(`^\s*\(` + regexp.QuoteMeta(id) + ` in [^)]+\)$`)
+	var out strings.Builder
+	in, skipBlank := false, false
+	for _, line := range strings.SplitAfter(string(data), "\n") {
+		if strings.HasPrefix(line, "== ") {
+			in = strings.HasPrefix(line, "== "+id+" — ")
+		}
+		if !in {
+			continue
+		}
+		if timing.MatchString(strings.TrimSuffix(line, "\n")) {
+			// Drop the runner's wall-clock line and the blank line it adds.
+			skipBlank = true
+			continue
+		}
+		if skipBlank && line == "\n" {
+			skipBlank = false
+			continue
+		}
+		skipBlank = false
+		out.WriteString(line)
+	}
+	if out.Len() == 0 {
+		t.Fatalf("section %s not found in %s", id, path)
+	}
+	return out.String()
+}
+
+func renderTable(t *testing.T, tab Table, err error) string {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	return sb.String()
+}
+
+func resultsPath(t *testing.T, name string) string {
+	t.Helper()
+	// The test runs in internal/experiments; the results live at the repo
+	// root.
+	return filepath.Join("..", "..", name)
+}
+
+func TestBitwiseIdenticalToCommittedResults(t *testing.T) {
+	const seed = 1
+	cases := []struct {
+		id   string
+		file string
+		run  func() (Table, error)
+	}{
+		{"fig3.11", "results_quick.txt", func() (Table, error) { return Fig311(Quick, seed) }},
+		{"fig5.7", "results_quick.txt", func() (Table, error) { return Fig57(Quick, seed) }},
+		{"fig3.13", "results_quick.txt", func() (Table, error) { return Fig313(Quick, seed) }},
+	}
+	for _, c := range cases {
+		t.Run(c.id, func(t *testing.T) {
+			want := tableSection(t, resultsPath(t, c.file), c.id)
+			tab, err := c.run()
+			got := renderTable(t, tab, err)
+			if got != want {
+				t.Errorf("%s differs from committed %s at seed %d\ngot:\n%s\nwant:\n%s",
+					c.id, c.file, seed, got, want)
+			}
+		})
+	}
+}
+
+// Full-scale byte-identity: fig3.13 at 800 servers used to take 17 s of
+// knapsack bisection; with the single-DP budgeter it runs in well under a
+// second, so it can be asserted even in short mode. fig5.5 exercises the
+// incremental layout search at the full 80-rack room.
+func TestBitwiseIdenticalFullScale(t *testing.T) {
+	const seed = 1
+	cases := []struct {
+		id  string
+		run func() (Table, error)
+	}{
+		{"fig3.13", func() (Table, error) { return Fig313(Full, seed) }},
+		{"fig5.5", func() (Table, error) { return Fig55(Full, seed) }},
+	}
+	for _, c := range cases {
+		t.Run(c.id, func(t *testing.T) {
+			if testing.Short() && c.id == "fig5.5" {
+				t.Skip("full-scale layout run skipped in short mode")
+			}
+			want := tableSection(t, resultsPath(t, "results_full_dynamics.txt"), c.id)
+			tab, err := c.run()
+			got := renderTable(t, tab, err)
+			if got != want {
+				t.Errorf("%s differs from committed results_full_dynamics.txt at seed %d\ngot:\n%s\nwant:\n%s",
+					c.id, seed, got, want)
+			}
+		})
+	}
+}

@@ -23,6 +23,9 @@ type ch3Cluster struct {
 	obs   []workload.Observation
 	model predict.Model
 	rng   *rand.Rand
+	// ws and sol keep the knapsack DP tables alive across re-budgets.
+	ws  knapsack.Workspace
+	sol knapsack.Solution
 }
 
 // newCh3Cluster builds the cluster. heteroWithin selects the Fig. 3.12(b)
@@ -139,26 +142,47 @@ func (c *ch3Cluster) greedyAlloc(budget float64) []float64 {
 	return out
 }
 
-// knapsackAlloc budgets with the multiple-choice knapsack over predicted
-// (or oracle) throughputs.
-func (c *ch3Cluster) knapsackAlloc(budget float64, oracle bool) ([]float64, error) {
-	n := len(c.sets)
-	predictFn := func(i int, cap float64) float64 {
+// capChoices builds the per-server choice lists over the cap grid from the
+// predicted (or oracle) throughputs. The lists depend only on the current
+// observations and workload sets, not on the budget.
+func (c *ch3Cluster) capChoices(oracle bool) ([][]knapsack.Choice, error) {
+	return knapsack.CapGridChoices(len(c.sets), c.caps, func(i int, cap float64) float64 {
 		if oracle {
 			return c.sets[i].GroundTruth(cap, c.server)
 		}
 		return c.model.Predict(c.obs[i], cap)
-	}
-	choices, err := knapsack.CapGridChoices(n, c.caps, predictFn)
+	})
+}
+
+// knapsackAlloc budgets with the multiple-choice knapsack over predicted
+// (or oracle) throughputs. The DP tables are reused across calls; loops
+// that sweep budgets over unchanged observations should use
+// knapsackBudgeter instead, which also reuses the choice lists and the DP
+// itself.
+func (c *ch3Cluster) knapsackAlloc(budget float64, oracle bool) ([]float64, error) {
+	choices, err := c.capChoices(oracle)
 	if err != nil {
 		return nil, err
 	}
 	p := knapsack.Problem{Choices: choices, Budget: budget, StepW: 5}
-	sol, err := knapsack.Solve(p)
+	if err := c.ws.SolveTo(&c.sol, p); err != nil {
+		return nil, err
+	}
+	return knapsack.Alloc(p, c.sol), nil
+}
+
+// knapsackBudgeter builds the choice lists once and runs the DP once at
+// the ceiling budget; every budget at or below it is then answered by
+// backtrack alone with bit-identical results, so the self-consistent
+// partition loop and the budget bisections cost one DP instead of one per
+// probe. Valid until the next observeAll (the choices snapshot the current
+// observations).
+func (c *ch3Cluster) knapsackBudgeter(ceiling float64, oracle bool) (*knapsack.Budgeter, error) {
+	choices, err := c.capChoices(oracle)
 	if err != nil {
 		return nil, err
 	}
-	return knapsack.Alloc(p, sol), nil
+	return knapsack.NewBudgeter(knapsack.Problem{Choices: choices, Budget: ceiling, StepW: 5})
 }
 
 // Table32 reproduces Table 3.2: throughput-prediction error of the six
@@ -204,6 +228,9 @@ func Table32(scale Scale, seed int64) (Table, error) {
 type ch3Room struct {
 	room           *thermal.Room
 	serversPerRack int
+	// rack is the reused per-rack aggregation buffer; rackPower's result is
+	// consumed (by CoolingPower) before the next call, never retained.
+	rack []float64
 }
 
 func newCh3Room(nServers int) (*ch3Room, error) {
@@ -220,11 +247,14 @@ func newCh3Room(nServers int) (*ch3Room, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ch3Room{room: room, serversPerRack: perRack}, nil
+	return &ch3Room{room: room, serversPerRack: perRack, rack: make([]float64, room.N())}, nil
 }
 
 func (r *ch3Room) rackPower(alloc []float64) []float64 {
-	out := make([]float64, r.room.N())
+	out := r.rack
+	for i := range out {
+		out[i] = 0
+	}
 	for i, p := range alloc {
 		out[i/r.serversPerRack] += p
 	}
@@ -254,7 +284,13 @@ func Fig310(scale Scale, seed int64) (Table, error) {
 			"expected shape: cooling takes ≈30–38% of total and its share grows with the budget",
 		},
 	}
-	budgeter := func(bs float64) ([]float64, error) { return c.knapsackAlloc(bs, true) }
+	// One DP at the largest total serves every budget the partition loops
+	// probe across all five cases.
+	kb, err := c.knapsackBudgeter(0.72e6*factor, true)
+	if err != nil {
+		return Table{}, err
+	}
+	budgeter := kb.Alloc
 	var shares []float64
 	for _, totalMW := range []float64{0.60, 0.63, 0.66, 0.69, 0.72} {
 		total := totalMW * 1e6 * factor
@@ -307,7 +343,11 @@ func Fig311(scale Scale, seed int64) (Table, error) {
 		return Table{}, err
 	}
 	total := 0.72e6 * float64(n) / 3200
-	part, err := r.roomPartition(total, c.server.IdleWatts*float64(n), func(bs float64) ([]float64, error) { return c.knapsackAlloc(bs, true) })
+	kb, err := c.knapsackBudgeter(total, true)
+	if err != nil {
+		return Table{}, err
+	}
+	part, err := r.roomPartition(total, c.server.IdleWatts*float64(n), kb.Alloc)
 	if err != nil {
 		return Table{}, err
 	}
@@ -340,7 +380,11 @@ func Fig34(scale Scale, seed int64) (Table, error) {
 		return Table{}, err
 	}
 	total := 0.66e6 * float64(n) / 3200
-	part, err := r.roomPartition(total, c.server.IdleWatts*float64(n), func(bs float64) ([]float64, error) { return c.knapsackAlloc(bs, true) })
+	kb, err := c.knapsackBudgeter(total, true)
+	if err != nil {
+		return Table{}, err
+	}
+	part, err := r.roomPartition(total, c.server.IdleWatts*float64(n), kb.Alloc)
 	if err != nil {
 		return Table{}, err
 	}
@@ -394,6 +438,15 @@ func Fig312(scale Scale, seed int64) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
+		// One DP per method at the largest budget covers the whole sweep.
+		predB, err := c.knapsackBudgeter(158*float64(n), false)
+		if err != nil {
+			return Table{}, err
+		}
+		oracleB, err := c.knapsackBudgeter(158*float64(n), true)
+		if err != nil {
+			return Table{}, err
+		}
 		for _, per := range []float64{138, 143, 148, 153, 158} {
 			budget := per * float64(n)
 			type method struct {
@@ -403,12 +456,12 @@ func Fig312(scale Scale, seed int64) (Table, error) {
 			var methods []method
 			methods = append(methods, method{"uniform", c.uniformAlloc(budget)})
 			methods = append(methods, method{"previous-greedy", c.greedyAlloc(budget)})
-			pk, err := c.knapsackAlloc(budget, false)
+			pk, err := predB.Alloc(budget)
 			if err != nil {
 				return Table{}, err
 			}
 			methods = append(methods, method{"predictor+knapsack", pk})
-			ok, err := c.knapsackAlloc(budget, true)
+			ok, err := oracleB.Alloc(budget)
 			if err != nil {
 				return Table{}, err
 			}
@@ -472,8 +525,18 @@ func Fig313(scale Scale, seed int64) (Table, error) {
 	}
 	uniform := func(b float64) ([]float64, error) { return c.uniformAlloc(b), nil }
 	greedy := func(b float64) ([]float64, error) { return c.greedyAlloc(b), nil }
-	pred := func(b float64) ([]float64, error) { return c.knapsackAlloc(b, false) }
-	oracle := func(b float64) ([]float64, error) { return c.knapsackAlloc(b, true) }
+	// The bisections probe hundreds of budgets below MaxWatts·n; one DP per
+	// knapsack method answers all of them.
+	predB, err := c.knapsackBudgeter(c.server.MaxWatts*float64(n), false)
+	if err != nil {
+		return Table{}, err
+	}
+	oracleB, err := c.knapsackBudgeter(c.server.MaxWatts*float64(n), true)
+	if err != nil {
+		return Table{}, err
+	}
+	pred := predB.Alloc
+	oracle := oracleB.Alloc
 	for _, target := range []float64{0.90, 0.92, 0.94, 0.96, 0.98} {
 		ub, err := minBudget(uniform, target)
 		if err != nil {

@@ -33,6 +33,9 @@ type ch5Room struct {
 	serversPerRack int
 	// typeOf[rack] is the rack's server class index.
 	typeOf []int
+	// q and rise are coolingFor's reused scratch vectors; the oblivious
+	// baseline evaluates dozens of random placements per figure row.
+	q, rise []float64
 }
 
 func newCh5Room(serversPerRack int) (*ch5Room, error) {
@@ -46,7 +49,8 @@ func newCh5Room(serversPerRack int) (*ch5Room, error) {
 	for i := range typeOf {
 		typeOf[i] = i / (n / len(ch5Specs))
 	}
-	return &ch5Room{room: room, serversPerRack: serversPerRack, typeOf: typeOf}, nil
+	return &ch5Room{room: room, serversPerRack: serversPerRack, typeOf: typeOf,
+		q: make([]float64, n), rise: make([]float64, n)}, nil
 }
 
 // rackPowers returns per-rack draw for given per-type utilizations under
@@ -72,14 +76,14 @@ func (r *ch5Room) rackPowers(util []float64, nap bool) []float64 {
 // scenarios.
 func (r *ch5Room) coolingFor(p layout.Problem, a layout.Assignment) (coolW, tsup float64) {
 	n := p.N()
-	q := make([]float64, n)
+	q := r.q
 	var wsum float64
 	var lastTsup float64
 	for _, s := range p.Scenarios {
 		for loc := 0; loc < n; loc++ {
 			q[loc] = s.Power[a[loc]]
 		}
-		rise := p.Rise.MulVec(q)
+		rise := p.Rise.MulVecTo(r.rise, q)
 		maxRise := 0.0
 		var total float64
 		for i, v := range rise {

@@ -34,3 +34,60 @@ func benchmarkSolve(b *testing.B, n int) {
 
 func BenchmarkSolve400(b *testing.B)  { benchmarkSolve(b, 400) }
 func BenchmarkSolve3200(b *testing.B) { benchmarkSolve(b, 3200) }
+
+func benchProblem(b *testing.B, n int) Problem {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	s := workload.Chapter3Server
+	caps := workload.CapGrid(s, 5)
+	sets := make([]workload.Set, n)
+	for i := range sets {
+		sets[i] = workload.NewHeteroSet(workload.Desktop, rng)
+	}
+	choices, err := CapGridChoices(n, caps, func(i int, cap float64) float64 {
+		return sets[i].GroundTruth(cap, s)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return Problem{Choices: choices, Budget: 148 * float64(n), StepW: 5}
+}
+
+// The warm-workspace re-solve: the DP without any of the allocation.
+func BenchmarkSolveToWarm400(b *testing.B) {
+	p := benchProblem(b, 400)
+	var ws Workspace
+	var sol Solution
+	if err := ws.SolveTo(&sol, p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ws.SolveTo(&sol, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The SolveAll budget read-off: what each probe of a bisection or
+// partition loop costs after the one ceiling DP.
+func BenchmarkSolveAllAt400(b *testing.B) {
+	p := benchProblem(b, 400)
+	all, err := SolveAll(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sol Solution
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		budget := all.MinTotal() + float64(i%7000)
+		if budget > p.Budget {
+			budget = p.Budget
+		}
+		if err := all.SolveTo(&sol, budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

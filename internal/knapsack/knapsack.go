@@ -3,6 +3,15 @@
 // class, the discrete power caps are the class's items, and the product of
 // ANPs (equivalently Σ log ANP) is maximized subject to the computing
 // budget (Algorithm 2). The DP is exact over the discretized budget.
+//
+// The solver is built for repetition: a Workspace keeps the DP tables and
+// choice preprocessing alive across calls, SolveAll runs the DP once at a
+// ceiling budget and answers any smaller discretized budget by backtrack
+// alone (the table for budget W is a prefix of the table for any larger
+// budget), and a Budgeter wraps SolveAll behind the plain
+// budget→allocation signature the self-consistent partition loop and the
+// budget bisections use. All entry points produce bit-identical solutions
+// to the straightforward from-scratch DP.
 package knapsack
 
 import (
@@ -46,23 +55,100 @@ var (
 	errEmpty      = errors.New("knapsack: empty problem")
 )
 
+// budgetEps absorbs float representation error when discretizing the
+// budget axis: a budget that is one ulp under an integer multiple of the
+// step must not silently lose a whole step of headroom. It is the floor
+// counterpart of the math.Round used to snap choice watts onto the grid —
+// far smaller than half a step, far larger than accumulated rounding noise
+// on any realistic budget magnitude.
+const budgetEps = 1e-9
+
+// item is a preprocessed choice: watts snapped onto the increment grid
+// once, with its index in the original choice list.
+type item struct {
+	units int
+	watts float64
+	value float64
+	orig  int32
+}
+
+const neg = math.SmallestNonzeroFloat64 - math.MaxFloat64
+
+// Workspace holds the DP tables, the preprocessed (dominance-pruned)
+// choice lists and the backtrack matrix, all grow-only so repeated solves
+// allocate nothing in steady state. The zero value is ready to use. A
+// Workspace is not safe for concurrent use, and the *AllSolutions returned
+// by SolveAll reads the workspace's tables: it is valid only until the
+// next Prepare/Solve/SolveAll call on the same workspace.
+type Workspace struct {
+	dp, next []float64
+	picks    []int16 // flat n×(maxW+1); row i starts at i*(maxW+1)
+	arena    []item  // pruned items, all servers back to back
+	off      []int32 // arena offsets; server i's items are arena[off[i]:off[i+1]]
+	mins     []float64
+	units    []int // per-class scratch during pruning
+
+	all AllSolutions
+}
+
 // Solve runs the exact dynamic program. Complexity O(n·r·W/step), the
-// O(n·r·B_s) of the text.
+// O(n·r·B_s) of the text. It is a convenience wrapper over a throwaway
+// Workspace; loops should hold a Workspace (or a Budgeter) instead.
 func Solve(p Problem) (Solution, error) {
+	return new(Workspace).Solve(p)
+}
+
+// SolveAll runs the DP once at p.Budget and returns a handle answering any
+// budget up to p.Budget. See Workspace.SolveAll.
+func SolveAll(p Problem) (*AllSolutions, error) {
+	return new(Workspace).SolveAll(p)
+}
+
+// Solve runs the exact DP at p.Budget, reusing the workspace's tables.
+func (ws *Workspace) Solve(p Problem) (Solution, error) {
+	var sol Solution
+	if err := ws.SolveTo(&sol, p); err != nil {
+		return Solution{}, err
+	}
+	return sol, nil
+}
+
+// SolveTo is Solve with caller-owned solution storage: sol.Pick is reused
+// when its capacity suffices, so a re-solve of a same-shaped problem
+// performs no allocation at all.
+func (ws *Workspace) SolveTo(sol *Solution, p Problem) error {
+	all, err := ws.SolveAll(p)
+	if err != nil {
+		return err
+	}
+	return all.SolveTo(sol, p.Budget)
+}
+
+// SolveAll prepares the instance and runs the DP once at the ceiling
+// budget p.Budget, keeping the full backtrack matrix. The returned handle
+// reads off the exact optimal selection for any budget ≤ p.Budget in
+// O(n) — the DP table at a smaller budget is a prefix of the table at a
+// larger one, so fifty solves of a shrinking budget (Algorithm 1's
+// partition loop, the budget bisection of Fig. 3.13) cost one DP. The
+// handle aliases the workspace's tables and is invalidated by the next
+// call on ws.
+func (ws *Workspace) SolveAll(p Problem) (*AllSolutions, error) {
 	n := len(p.Choices)
 	if n == 0 {
-		return Solution{}, errEmpty
+		return nil, errEmpty
 	}
 	step := p.StepW
 	if step == 0 {
 		step = 1
 	}
+
 	// Normalize: subtract each server's cheapest choice from its options so
 	// the DP budget axis only carries increments (the w_j of Eq. 3.6).
+	ws.mins = grow(ws.mins, n)
 	minTotal := 0.0
 	for i, cs := range p.Choices {
 		if len(cs) == 0 {
-			return Solution{}, fmt.Errorf("knapsack: server %d has no choices", i)
+			return nil, fmt.Errorf("knapsack: server %d has no choices", i)
 		}
 		minW := cs[0].Watts
 		for _, c := range cs {
@@ -70,73 +156,225 @@ func Solve(p Problem) (Solution, error) {
 				minW = c.Watts
 			}
 		}
+		ws.mins[i] = minW
 		minTotal += minW
 	}
 	if p.Budget < minTotal {
-		return Solution{}, fmt.Errorf("%w: budget %.1f < minimum %.1f", ErrInfeasible, p.Budget, minTotal)
+		return nil, fmt.Errorf("%w: budget %.1f < minimum %.1f", ErrInfeasible, p.Budget, minTotal)
 	}
-	W := int((p.Budget - minTotal) / step)
+	W := discretize(p.Budget-minTotal, step)
 
-	const neg = math.SmallestNonzeroFloat64 - math.MaxFloat64
+	ws.prepareItems(p, step)
+
 	// dp[w] is the best value over processed servers using ≤ w increment
-	// units; pick[i][w] the choice index achieving it.
-	dp := make([]float64, W+1)
-	next := make([]float64, W+1)
-	picks := make([][]int16, n)
-
-	// Base: zero servers processed.
+	// units; picks row i holds the winning (pruned) choice index at every w.
+	stride := W + 1
+	ws.dp = grow(ws.dp, stride)
+	ws.next = grow(ws.next, stride)
+	if need := n * stride; cap(ws.picks) < need {
+		ws.picks = make([]int16, need)
+	} else {
+		ws.picks = ws.picks[:need]
+	}
+	dp, next := ws.dp[:stride], ws.next[:stride]
 	for w := range dp {
 		dp[w] = 0
 	}
-	mins := make([]float64, n)
-	for i, cs := range p.Choices {
-		minW := cs[0].Watts
-		for _, c := range cs {
-			if c.Watts < minW {
-				minW = c.Watts
-			}
+	for i := 0; i < n; i++ {
+		pick := ws.picks[i*stride : (i+1)*stride]
+		for w := range next {
+			next[w] = neg
+			pick[w] = -1
 		}
-		mins[i] = minW
-	}
-	for i, cs := range p.Choices {
-		pick := make([]int16, W+1)
-		for w := 0; w <= W; w++ {
-			best := neg
-			bestJ := -1
-			for j, c := range cs {
-				units := int(math.Round((c.Watts - mins[i]) / step))
-				if units > w {
-					continue
-				}
-				if prev := dp[w-units]; prev != neg {
-					if v := prev + c.Value; v > best {
-						best = v
-						bestJ = j
-					}
+		// Choice-outer, budget-inner: the per-choice increment is loaded
+		// once and the dp/next rows stream sequentially. Replacing only on
+		// strict improvement keeps the lowest-index winner, exactly like
+		// the scan over choices at each w.
+		for j, it := range ws.items(i) {
+			u, v := it.units, it.value
+			for w := u; w <= W; w++ {
+				if cand := dp[w-u] + v; cand > next[w] {
+					next[w] = cand
+					pick[w] = int16(j)
 				}
 			}
-			next[w] = best
-			pick[w] = int16(bestJ)
 		}
-		picks[i] = pick
 		dp, next = next, dp
 	}
 
-	// Backtrack from the full budget.
-	sol := Solution{Pick: make([]int, n)}
-	w := W
-	for i := n - 1; i >= 0; i-- {
-		j := int(picks[i][w])
-		if j < 0 {
-			return Solution{}, errors.New("knapsack: internal backtrack failure")
+	ws.all = AllSolutions{ws: ws, n: n, step: step, minTotal: minTotal, maxW: W, stride: stride}
+	return &ws.all, nil
+}
+
+// prepareItems snaps every choice onto the increment grid once and applies
+// exact dominance pruning per server: choice k is dropped when another
+// choice j needs no more units and pays at least as much (strictly more
+// when j comes later in the list, so ties keep the first choice — the one
+// the plain DP's lowest-index tie-break would have reported). A dropped
+// choice can never be the winning pick at any budget, so pruning changes
+// neither the DP values nor the reported solution, it only shrinks the
+// O(n·r·W) inner loop. LP-dominance (convex-hull) pruning is deliberately
+// NOT applied: an LP-dominated choice can still be the exact integer
+// optimum, and this solver's contract is exactness.
+func (ws *Workspace) prepareItems(p Problem, step float64) {
+	n := len(p.Choices)
+	ws.off = growInt32(ws.off, n+1)
+	ws.arena = ws.arena[:0]
+	for i, cs := range p.Choices {
+		ws.off[i] = int32(len(ws.arena))
+		ws.units = growInt(ws.units, len(cs))
+		us := ws.units[:len(cs)]
+		for k, c := range cs {
+			us[k] = int(math.Round((c.Watts - ws.mins[i]) / step))
 		}
-		sol.Pick[i] = j
-		c := p.Choices[i][j]
-		sol.Watts += c.Watts
-		sol.Value += c.Value
-		w -= int(math.Round((c.Watts - mins[i]) / step))
+		for k, c := range cs {
+			dominated := false
+			for j, cj := range cs {
+				if j == k || us[j] > us[k] {
+					continue
+				}
+				if (j < k && cj.Value >= c.Value) || (j > k && cj.Value > c.Value) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				ws.arena = append(ws.arena, item{units: us[k], watts: c.Watts, value: c.Value, orig: int32(k)})
+			}
+		}
+	}
+	ws.off[n] = int32(len(ws.arena))
+}
+
+func (ws *Workspace) items(i int) []item {
+	return ws.arena[ws.off[i]:ws.off[i+1]]
+}
+
+// discretize converts a watt span to whole increment units, flooring with
+// budgetEps so representation error one ulp under a grid point does not
+// cost a unit.
+func discretize(span, step float64) int {
+	return int(math.Floor(span/step + budgetEps))
+}
+
+// AllSolutions is the read-off handle produced by SolveAll: one DP run at
+// the ceiling budget, exact solutions for every budget at or below it.
+type AllSolutions struct {
+	ws       *Workspace
+	n        int
+	step     float64
+	minTotal float64
+	maxW     int
+	stride   int
+}
+
+// MinTotal returns the cheapest feasible selection's watts — the
+// infeasibility floor.
+func (a *AllSolutions) MinTotal() float64 { return a.minTotal }
+
+// At returns the exact optimal solution for the given budget, which must
+// not exceed the ceiling the DP ran at. It equals what Solve would return
+// for the same problem at this budget, bit for bit.
+func (a *AllSolutions) At(budget float64) (Solution, error) {
+	var sol Solution
+	if err := a.SolveTo(&sol, budget); err != nil {
+		return Solution{}, err
 	}
 	return sol, nil
+}
+
+// SolveTo is At with caller-owned storage: backtrack only, no allocation
+// when sol.Pick has capacity.
+func (a *AllSolutions) SolveTo(sol *Solution, budget float64) error {
+	if budget < a.minTotal {
+		return fmt.Errorf("%w: budget %.1f < minimum %.1f", ErrInfeasible, budget, a.minTotal)
+	}
+	w := discretize(budget-a.minTotal, a.step)
+	if w > a.maxW {
+		return fmt.Errorf("knapsack: budget %.1f above the %.1f ceiling the DP ran at", budget, a.minTotal+float64(a.maxW)*a.step)
+	}
+	if cap(sol.Pick) < a.n {
+		sol.Pick = make([]int, a.n)
+	} else {
+		sol.Pick = sol.Pick[:a.n]
+	}
+	sol.Watts = 0
+	sol.Value = 0
+	for i := a.n - 1; i >= 0; i-- {
+		j := a.ws.picks[i*a.stride+w]
+		if j < 0 {
+			return errors.New("knapsack: internal backtrack failure")
+		}
+		it := a.ws.items(i)[j]
+		sol.Pick[i] = int(it.orig)
+		sol.Watts += it.watts
+		sol.Value += it.value
+		w -= it.units
+	}
+	return nil
+}
+
+// Budgeter adapts SolveAll to the budget→per-server-watts signature the
+// self-consistent partition (Algorithm 1) and the equal-SNP budget
+// bisections consume. Construction runs the one DP at the ceiling
+// p.Budget; every Alloc call afterwards is an O(n) backtrack into a
+// reused buffer. The returned slice is overwritten by the next Alloc.
+type Budgeter struct {
+	ws      Workspace
+	all     *AllSolutions
+	choices [][]Choice
+	sol     Solution
+	alloc   []float64
+}
+
+// NewBudgeter prepares the instance at ceiling budget p.Budget.
+func NewBudgeter(p Problem) (*Budgeter, error) {
+	b := &Budgeter{choices: p.Choices}
+	all, err := b.ws.SolveAll(p)
+	if err != nil {
+		return nil, err
+	}
+	b.all = all
+	b.alloc = make([]float64, len(p.Choices))
+	return b, nil
+}
+
+// Alloc returns the optimal per-server watt allocation at the budget,
+// exactly as Solve+Alloc on the same problem would. The slice is reused
+// across calls.
+func (b *Budgeter) Alloc(budget float64) ([]float64, error) {
+	if err := b.all.SolveTo(&b.sol, budget); err != nil {
+		return nil, err
+	}
+	for i, j := range b.sol.Pick {
+		b.alloc[i] = b.choices[i][j].Watts
+	}
+	return b.alloc, nil
+}
+
+// Solution returns the last Alloc's full solution (picks reused across
+// calls).
+func (b *Budgeter) Solution() Solution { return b.sol }
+
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }
 
 // CapGridChoices builds the per-server choice lists from a throughput

@@ -1,0 +1,243 @@
+package knapsack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomInstance builds a small MCKP with integer watts (so StepW 1
+// discretizes exactly and enumeration is the ground truth).
+func randomInstance(rng *rand.Rand) Problem {
+	n := 1 + rng.Intn(6)
+	choices := make([][]Choice, n)
+	for i := range choices {
+		r := 1 + rng.Intn(4)
+		cs := make([]Choice, r)
+		for j := range cs {
+			cs[j] = Choice{
+				Watts: float64(5 + rng.Intn(20)),
+				Value: math.Round(rng.NormFloat64()*1000) / 1000,
+			}
+		}
+		choices[i] = cs
+	}
+	minTotal := 0.0
+	span := 0.0
+	for _, cs := range choices {
+		minW, maxW := cs[0].Watts, cs[0].Watts
+		for _, c := range cs {
+			minW = math.Min(minW, c.Watts)
+			maxW = math.Max(maxW, c.Watts)
+		}
+		minTotal += minW
+		span += maxW - minW
+	}
+	return Problem{
+		Choices: choices,
+		Budget:  minTotal + math.Floor(rng.Float64()*(span+1)),
+		StepW:   1,
+	}
+}
+
+// enumerate exhaustively finds the best feasible value.
+func enumerate(p Problem) float64 {
+	best := math.Inf(-1)
+	var rec func(i int, watts, value float64)
+	rec = func(i int, watts, value float64) {
+		if watts > p.Budget {
+			return
+		}
+		if i == len(p.Choices) {
+			if value > best {
+				best = value
+			}
+			return
+		}
+		for _, c := range p.Choices[i] {
+			rec(i+1, watts+c.Watts, value+c.Value)
+		}
+	}
+	rec(0, 0, 0)
+	return best
+}
+
+// Property: the workspace DP (with dominance pruning and unit
+// precomputation) matches exhaustive enumeration on random small
+// instances, including ones with negative values and duplicate watts.
+func TestSolveMatchesEnumerationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ws Workspace
+	for trial := 0; trial < 300; trial++ {
+		p := randomInstance(rng)
+		sol, err := ws.Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sol.Watts > p.Budget {
+			t.Fatalf("trial %d: watts %v over budget %v", trial, sol.Watts, p.Budget)
+		}
+		if want := enumerate(p); math.Abs(sol.Value-want) > 1e-9 {
+			t.Fatalf("trial %d: DP value %v, enumeration %v (problem %+v)", trial, sol.Value, want, p)
+		}
+		// The picks must reproduce the reported totals exactly.
+		var watts, value float64
+		for i := len(p.Choices) - 1; i >= 0; i-- {
+			watts += p.Choices[i][sol.Pick[i]].Watts
+			value += p.Choices[i][sol.Pick[i]].Value
+		}
+		if watts != sol.Watts || value != sol.Value {
+			t.Fatalf("trial %d: picks sum to (%v, %v), solution says (%v, %v)",
+				trial, watts, value, sol.Watts, sol.Value)
+		}
+	}
+}
+
+// Property: SolveAll at the ceiling answers every discretized budget (and
+// off-grid budgets in between) bit-identically to an independent Solve at
+// that budget.
+func TestSolveAllMatchesIndependentSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		p := randomInstance(rng)
+		all, err := SolveAll(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for budget := all.MinTotal(); budget <= p.Budget; budget += 0.5 {
+			got, err := all.At(budget)
+			if err != nil {
+				t.Fatalf("trial %d budget %v: %v", trial, budget, err)
+			}
+			want, err := Solve(Problem{Choices: p.Choices, Budget: budget, StepW: p.StepW})
+			if err != nil {
+				t.Fatalf("trial %d budget %v: %v", trial, budget, err)
+			}
+			if got.Watts != want.Watts || got.Value != want.Value {
+				t.Fatalf("trial %d budget %v: SolveAll (%v, %v) != Solve (%v, %v)",
+					trial, budget, got.Watts, got.Value, want.Watts, want.Value)
+			}
+			for i := range got.Pick {
+				if got.Pick[i] != want.Pick[i] {
+					t.Fatalf("trial %d budget %v: picks differ at %d: %v vs %v",
+						trial, budget, i, got.Pick, want.Pick)
+				}
+			}
+		}
+		if _, err := all.At(all.MinTotal() - 1); err == nil {
+			t.Fatalf("trial %d: budget below minimum must error", trial)
+		}
+		if _, err := all.At(p.Budget + float64(len(p.Choices))*2); err == nil {
+			t.Fatalf("trial %d: budget above the prepared ceiling must error", trial)
+		}
+	}
+}
+
+// Regression for the discretization fix: a budget one float ulp under an
+// exact multiple of the step must still afford the upgrade at that
+// multiple. The truncating int() conversion used to lose the whole step.
+func TestBudgetDiscretizationOneUlpUnder(t *testing.T) {
+	p := Problem{
+		Choices: [][]Choice{
+			{{Watts: 100, Value: 0}, {Watts: 105, Value: 1}},
+			{{Watts: 100, Value: 0}, {Watts: 105, Value: 1}},
+		},
+		StepW: 5,
+	}
+	// 2.05·100 = 204.99999999999997: mathematically 205 (minTotal 200 plus
+	// exactly one 5 W step), but one ulp under it in float64. The factor
+	// must live in a variable: as untyped constants Go would fold the
+	// product at arbitrary precision to exactly 205.
+	perServer := 2.05
+	p.Budget = perServer * 100
+	if p.Budget >= 205 {
+		t.Fatal("test premise broken: budget not below 205")
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value != 1 || sol.Watts != 205 {
+		t.Fatalf("one-ulp-under budget lost a step: %+v", sol)
+	}
+	// The same budget via Nextafter.
+	p.Budget = math.Nextafter(205, 0)
+	if sol, err = Solve(p); err != nil || sol.Value != 1 {
+		t.Fatalf("Nextafter budget lost a step: %+v, %v", sol, err)
+	}
+	// A budget a whole watt under the step must still not afford it.
+	p.Budget = 204
+	if sol, err = Solve(p); err != nil || sol.Value != 0 {
+		t.Fatalf("budget 204 must not afford the 205 W upgrade: %+v, %v", sol, err)
+	}
+}
+
+// The re-solve hot paths must not allocate: Workspace.SolveTo on a warmed
+// workspace, and AllSolutions.SolveTo for budget read-off.
+func TestSolveHotPathsAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomInstance(rng)
+	var ws Workspace
+	var sol Solution
+	if err := ws.SolveTo(&sol, p); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := ws.SolveTo(&sol, p); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("warm Workspace.SolveTo allocates %v times per run", n)
+	}
+	all, err := ws.SolveAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := all.SolveTo(&sol, p.Budget); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("AllSolutions.SolveTo allocates %v times per run", n)
+	}
+	b, err := NewBudgeter(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := b.Alloc(p.Budget); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("Budgeter.Alloc allocates %v times per run", n)
+	}
+}
+
+// Budgeter.Alloc must agree with the one-shot Solve+Alloc pipeline.
+func TestBudgeterMatchesSolveAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 40; trial++ {
+		p := randomInstance(rng)
+		b, err := NewBudgeter(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for budget := b.all.MinTotal(); budget <= p.Budget; budget += 1.5 {
+			got, err := b.Alloc(budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol, err := Solve(Problem{Choices: p.Choices, Budget: budget, StepW: p.StepW})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := Alloc(Problem{Choices: p.Choices}, sol)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d budget %v: alloc differs at %d: %v vs %v",
+						trial, budget, i, got, want)
+				}
+			}
+		}
+	}
+}

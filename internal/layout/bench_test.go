@@ -1,0 +1,36 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSwapCost measures the incremental candidate evaluation — the
+// local-search inner loop. O(n·|S|), alloc-free.
+func BenchmarkSwapCost(b *testing.B) {
+	p := multiScenarioProblem(b, 4, 10, 1)
+	n := p.N()
+	rng := rand.New(rand.NewSource(2))
+	cur := RandomOblivious(n, rng)
+	e := newEvaluator(p)
+	e.reset(cur)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.swapCost(cur, i%n, (i*7+3)%n)
+	}
+}
+
+// BenchmarkLocalSearch measures the whole planner at the full-room size
+// the Chapter 5 figures use.
+func BenchmarkLocalSearch(b *testing.B) {
+	p := smallProblem(b, 4, 10, 1)
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LocalSearch(p, nil, 3000, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

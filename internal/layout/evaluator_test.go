@@ -1,0 +1,187 @@
+package layout
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// multiScenarioProblem adds utilization diversity so swaps produce both
+// tiny and large cost deltas (the regime that exercises the exact-decision
+// fallback: the synthetic room's symmetry makes exact ties common).
+func multiScenarioProblem(t testing.TB, rows, perRow int, seed int64) Problem {
+	t.Helper()
+	base := smallProblem(t, rows, perRow, seed)
+	n := base.N()
+	rng := rand.New(rand.NewSource(seed + 100))
+	scens := []Scenario{{Weight: 2, Power: base.Scenarios[0].Power}}
+	for s := 0; s < 2; s++ {
+		pw := make([]float64, n)
+		for i := range pw {
+			pw[i] = base.Scenarios[0].Power[i] * (0.3 + 0.7*rng.Float64())
+		}
+		scens = append(scens, Scenario{Weight: 1, Power: pw})
+	}
+	return Problem{Rise: base.Rise, Scenarios: scens}
+}
+
+// referenceLocalSearch is the pre-evaluator implementation: full Cost per
+// candidate. The incremental LocalSearch must replay its decisions bit for
+// bit.
+func referenceLocalSearch(p Problem, start Assignment, iters int, rng *rand.Rand) Assignment {
+	n := p.N()
+	cur := start.Clone()
+	best := p.Cost(cur)
+	for k := 0; k < iters; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		cur[i], cur[j] = cur[j], cur[i]
+		if c := p.Cost(cur); c <= best {
+			best = c
+		} else {
+			cur[i], cur[j] = cur[j], cur[i]
+		}
+	}
+	return cur
+}
+
+// referenceAnneal mirrors Anneal with full-cost evaluation everywhere.
+func referenceAnneal(p Problem, iters int, rng *rand.Rand) Assignment {
+	n := p.N()
+	cur, _ := Greedy(p)
+	curCost := p.Cost(cur)
+	best := cur.Clone()
+	bestCost := curCost
+	temp := curCost * 0.1
+	cooling := math.Pow(1e-3, 1/float64(max(iters, 1)))
+	for k := 0; k < iters; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		cur[i], cur[j] = cur[j], cur[i]
+		c := p.Cost(cur)
+		if c <= curCost || rng.Float64() < math.Exp((curCost-c)/temp) {
+			curCost = c
+			if c < bestCost {
+				bestCost = c
+				best = cur.Clone()
+			}
+		} else {
+			cur[i], cur[j] = cur[j], cur[i]
+		}
+		temp *= cooling
+	}
+	out := referenceLocalSearch(p, best, iters/2, rng)
+	if p.Cost(out) < bestCost {
+		return out
+	}
+	return best
+}
+
+func assignmentsEqual(a, b Assignment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The incremental local search must reproduce the full-recompute
+// trajectory exactly — same rng stream, same accepts, same final
+// permutation — across seeds and scenario mixes.
+func TestLocalSearchMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		for _, multi := range []bool{false, true} {
+			var p Problem
+			if multi {
+				p = multiScenarioProblem(t, 4, 10, seed)
+			} else {
+				p = smallProblem(t, 4, 10, seed)
+			}
+			start := RandomOblivious(p.N(), rand.New(rand.NewSource(seed*7)))
+			// 3000 iterations crosses refreshInterval accepted swaps on
+			// easy instances, covering the periodic full recompute.
+			got, err := LocalSearch(p, start, 3000, rand.New(rand.NewSource(seed*13)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := referenceLocalSearch(p, start, 3000, rand.New(rand.NewSource(seed*13)))
+			if !assignmentsEqual(got, want) {
+				t.Fatalf("seed %d multi=%v: incremental trajectory diverged:\n got %v\nwant %v",
+					seed, multi, got, want)
+			}
+		}
+	}
+}
+
+func TestAnnealMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		p := multiScenarioProblem(t, 3, 8, seed)
+		got, err := Anneal(p, 2000, rand.New(rand.NewSource(seed*17)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceAnneal(p, 2000, rand.New(rand.NewSource(seed*17)))
+		if !assignmentsEqual(got, want) {
+			t.Fatalf("seed %d: anneal trajectory diverged:\n got %v\nwant %v", seed, got, want)
+		}
+	}
+}
+
+// swapCost must agree with the from-scratch cost of the swapped assignment
+// to within the decision window, across many applied swaps (drift check).
+func TestSwapCostWithinWindow(t *testing.T) {
+	p := multiScenarioProblem(t, 4, 10, 21)
+	n := p.N()
+	rng := rand.New(rand.NewSource(22))
+	cur := RandomOblivious(n, rng)
+	e := newEvaluator(p)
+	e.reset(cur)
+	for k := 0; k < 2000; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		inc := e.swapCost(cur, i, j)
+		full := p.costSwapped(cur, i, j)
+		if math.Abs(inc-full) > costWindow/100 {
+			t.Fatalf("swap %d: incremental %v vs full %v differ by %v (window %v)",
+				k, inc, full, math.Abs(inc-full), costWindow)
+		}
+		if k%3 != 0 {
+			e.apply(cur, i, j)
+		}
+	}
+}
+
+// The steady-state candidate evaluation and acceptance must not allocate.
+func TestSwapEvalAllocFree(t *testing.T) {
+	p := multiScenarioProblem(t, 4, 10, 31)
+	n := p.N()
+	rng := rand.New(rand.NewSource(32))
+	cur := RandomOblivious(n, rng)
+	e := newEvaluator(p)
+	e.reset(cur)
+	if a := testing.AllocsPerRun(200, func() {
+		e.swapCost(cur, 3, 17)
+	}); a != 0 {
+		t.Fatalf("swapCost allocates %v times per run", a)
+	}
+	k := 0
+	if a := testing.AllocsPerRun(200, func() {
+		i, j := k%n, (k*7+1)%n
+		if i != j {
+			e.apply(cur, i, j)
+		}
+		k++
+	}); a != 0 {
+		t.Fatalf("apply allocates %v times per run", a)
+	}
+}

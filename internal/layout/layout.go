@@ -108,6 +108,142 @@ func (p Problem) Cost(a Assignment) float64 {
 	return total / wsum
 }
 
+// evaluator is the incremental cost engine behind LocalSearch and Anneal.
+// It maintains the per-scenario inlet-rise vectors of the current
+// assignment; a candidate pairwise swap touches exactly two q coordinates,
+// so its cost needs only the two affected Rise columns — O(n·|S|) instead
+// of the O(n²·|S|) full mat-vec — and accepting it updates the vectors
+// with the identical arithmetic. A periodic full recompute (every
+// refreshInterval accepted swaps) bounds float drift. Steady-state
+// candidate evaluation and acceptance allocate nothing.
+//
+// Incremental costs agree with the from-scratch Cost only up to
+// accumulated rounding (≤ ~1e-11 °C, see costWindow), which is not enough
+// for bit-identical search trajectories: the room's symmetry makes
+// exactly-tied candidates common and the accept rules compare with ≤ and
+// <. The planners therefore use the incremental cost as a certain-decision
+// filter — any comparison landing within costWindow of the boundary is
+// re-resolved with the exact full recompute, so every accept/reject (and
+// every rng draw) is identical to the non-incremental implementation.
+type evaluator struct {
+	p    Problem
+	n    int
+	wsum float64
+	// cols is Rise's transpose, giving contiguous access to Rise's columns.
+	cols         *linalg.Matrix
+	rises        [][]float64
+	q            []float64
+	sinceRefresh int
+}
+
+// refreshInterval is how many accepted swaps may pass between full
+// recomputes of the rise vectors. Each incremental update adds O(ulp)
+// error, so ~500 updates keep accumulated drift far below costWindow
+// while amortizing the O(n²) recompute to nothing.
+const refreshInterval = 512
+
+// costWindow bounds |incremental cost − exact cost|: per-update rounding
+// is ~ulp(rise) ≈ 7e-15 °C, so 512 updates of drift plus the candidate
+// delta arithmetic stay under ~1e-11 — four orders of magnitude inside
+// this margin. A comparison whose incremental margin exceeds costWindow
+// is therefore decided identically to the exact comparison; anything
+// closer falls back to the full recompute.
+const costWindow = 1e-7
+
+func newEvaluator(p Problem) *evaluator {
+	n := p.N()
+	e := &evaluator{p: p, n: n, cols: p.Rise.T(), q: make([]float64, n),
+		rises: make([][]float64, len(p.Scenarios))}
+	for i := range e.rises {
+		e.rises[i] = make([]float64, n)
+	}
+	for _, s := range p.Scenarios {
+		e.wsum += s.Weight
+	}
+	return e
+}
+
+// reset computes the rise vectors for a from scratch and returns its cost,
+// bit-identical to Problem.Cost(a).
+func (e *evaluator) reset(a Assignment) float64 {
+	e.sinceRefresh = 0
+	var total float64
+	for si, s := range e.p.Scenarios {
+		for loc, r := range a {
+			e.q[loc] = s.Power[r]
+		}
+		e.p.Rise.MulVecTo(e.rises[si], e.q)
+		total += s.Weight * maxRise(e.rises[si])
+	}
+	return total / e.wsum
+}
+
+// swapCost returns the cost of a with locations i and j swapped, without
+// modifying anything: rise'_k = rise_k + Rise(k,i)·Δq_i + Rise(k,j)·Δq_j.
+func (e *evaluator) swapCost(a Assignment, i, j int) float64 {
+	ci, cj := e.cols.RowView(i), e.cols.RowView(j)
+	var total float64
+	for si, s := range e.p.Scenarios {
+		dqi := s.Power[a[j]] - s.Power[a[i]]
+		dqj := s.Power[a[i]] - s.Power[a[j]]
+		m := 0.0
+		for k, r := range e.rises[si] {
+			v := r + ci[k]*dqi
+			v += cj[k] * dqj
+			if v > m {
+				m = v
+			}
+		}
+		total += s.Weight * m
+	}
+	return total / e.wsum
+}
+
+// apply commits the swap of locations i and j: updates the rise vectors
+// with the same two-step arithmetic swapCost used (so the state matches
+// the accepted candidate exactly) and swaps a in place.
+func (e *evaluator) apply(a Assignment, i, j int) {
+	ci, cj := e.cols.RowView(i), e.cols.RowView(j)
+	for si, s := range e.p.Scenarios {
+		dqi := s.Power[a[j]] - s.Power[a[i]]
+		dqj := s.Power[a[i]] - s.Power[a[j]]
+		rise := e.rises[si]
+		for k, r := range rise {
+			v := r + ci[k]*dqi
+			rise[k] = v + cj[k]*dqj
+		}
+	}
+	a[i], a[j] = a[j], a[i]
+	if e.sinceRefresh++; e.sinceRefresh >= refreshInterval {
+		e.sinceRefresh = 0
+		for si, s := range e.p.Scenarios {
+			for loc, r := range a {
+				e.q[loc] = s.Power[r]
+			}
+			e.p.Rise.MulVecTo(e.rises[si], e.q)
+		}
+	}
+}
+
+func maxRise(rise []float64) float64 {
+	m := 0.0
+	for _, v := range rise {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// costSwapped returns the exact from-scratch cost of a with locations i
+// and j swapped, leaving a unchanged.
+func (p Problem) costSwapped(a Assignment, i, j int) float64 {
+	a[i], a[j] = a[j], a[i]
+	c := p.Cost(a)
+	a[i], a[j] = a[j], a[i]
+	return c
+}
+
 // meanPower returns the scenario-weighted mean power per rack, the ranking
 // signal the greedy planner uses.
 func (p Problem) meanPower() []float64 {
@@ -173,17 +309,25 @@ func LocalSearch(p Problem, start Assignment, iters int, rng *rand.Rand) (Assign
 	if !cur.Valid() || len(cur) != n {
 		return nil, errors.New("layout: invalid starting assignment")
 	}
-	best := p.Cost(cur)
+	e := newEvaluator(p)
+	best := e.reset(cur)
 	for k := 0; k < iters; k++ {
 		i, j := rng.Intn(n), rng.Intn(n)
 		if i == j {
 			continue
 		}
-		cur[i], cur[j] = cur[j], cur[i]
-		if c := p.Cost(cur); c <= best {
+		c := e.swapCost(cur, i, j)
+		accept := c <= best-costWindow
+		if !accept && c <= best+costWindow {
+			// Near-tie: resolve the ≤ exactly as the full recompute would.
+			if cf := p.costSwapped(cur, i, j); cf <= p.Cost(cur) {
+				accept = true
+				c = cf
+			}
+		}
+		if accept {
 			best = c
-		} else {
-			cur[i], cur[j] = cur[j], cur[i]
+			e.apply(cur, i, j)
 		}
 	}
 	return cur, nil
@@ -202,7 +346,8 @@ func Anneal(p Problem, iters int, rng *rand.Rand) (Assignment, error) {
 	if err != nil {
 		return nil, err
 	}
-	curCost := p.Cost(cur)
+	e := newEvaluator(p)
+	curCost := e.reset(cur)
 	best := cur.Clone()
 	bestCost := curCost
 	temp := curCost * 0.1
@@ -212,16 +357,43 @@ func Anneal(p Problem, iters int, rng *rand.Rand) (Assignment, error) {
 		if i == j {
 			continue
 		}
-		cur[i], cur[j] = cur[j], cur[i]
-		c := p.Cost(cur)
-		if c <= curCost || rng.Float64() < math.Exp((curCost-c)/temp) {
+		c := e.swapCost(cur, i, j)
+		// The Boltzmann draw happens only on worsening candidates, exactly
+		// as before: the rng stream must not shift, and near-boundary
+		// decisions are re-resolved with exact costs.
+		accept := false
+		switch {
+		case c <= curCost-costWindow:
+			accept = true
+		case c <= curCost+costWindow:
+			cf := p.costSwapped(cur, i, j)
+			cuf := p.Cost(cur)
+			c = cf
+			accept = cf <= cuf || rng.Float64() < math.Exp((cuf-cf)/temp)
+		default:
+			u := rng.Float64()
+			pr := math.Exp((curCost - c) / temp)
+			if d := u - pr; math.Abs(d) > 2*costWindow/temp {
+				accept = d < 0
+			} else {
+				cf := p.costSwapped(cur, i, j)
+				c = cf
+				accept = u < math.Exp((p.Cost(cur)-cf)/temp)
+			}
+		}
+		if accept {
 			curCost = c
-			if c < bestCost {
+			e.apply(cur, i, j)
+			better := c < bestCost-costWindow
+			if !better && c < bestCost+costWindow {
+				// cur already includes the swap, so this is the exact
+				// candidate cost; bestCost is exactly p.Cost(best).
+				better = p.Cost(cur) < p.Cost(best)
+			}
+			if better {
 				bestCost = c
 				best = cur.Clone()
 			}
-		} else {
-			cur[i], cur[j] = cur[j], cur[i]
 		}
 		temp *= cooling
 	}
@@ -230,7 +402,12 @@ func Anneal(p Problem, iters int, rng *rand.Rand) (Assignment, error) {
 	if err != nil {
 		return nil, err
 	}
-	if p.Cost(out) < bestCost {
+	oc := p.Cost(out)
+	better := oc < bestCost-costWindow
+	if !better && oc < bestCost+costWindow {
+		better = oc < p.Cost(best)
+	}
+	if better {
 		return out, nil
 	}
 	return best, nil

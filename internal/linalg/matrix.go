@@ -106,6 +106,17 @@ func (m *Matrix) Row(i int) []float64 {
 	return out
 }
 
+// RowView returns row i as a live view into the matrix storage. The slice
+// aliases the matrix: it stays valid while the matrix lives, and writes
+// through it mutate the matrix. Callers that only read may use it to avoid
+// the per-call copy of Row.
+func (m *Matrix) RowView(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("linalg: row %d out of range %dx%d", i, m.rows, m.cols))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
 // T returns the transpose of m.
 func (m *Matrix) T() *Matrix {
 	t := New(m.cols, m.rows)
@@ -141,19 +152,25 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 
 // MulVec returns the matrix-vector product m·x.
 func (m *Matrix) MulVec(x []float64) []float64 {
-	if m.cols != len(x) {
+	return m.MulVecTo(make([]float64, m.rows), x)
+}
+
+// MulVecTo computes m·x into dst and returns dst. dst must have length
+// m.Rows(); the destination-passing form lets hot loops reuse one buffer
+// instead of allocating per product. dst and x must not overlap.
+func (m *Matrix) MulVecTo(dst, x []float64) []float64 {
+	if m.cols != len(x) || len(dst) != m.rows {
 		panic(ErrShape)
 	}
-	out := make([]float64, m.rows)
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		var s float64
 		for j, v := range row {
 			s += v * x[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // Add returns m + b.
@@ -196,17 +213,50 @@ type LU struct {
 	sign int
 }
 
-// Factor computes the LU factorization of square matrix a.
+// Factor computes the LU factorization of square matrix a. a is not
+// modified.
 func Factor(a *Matrix) (*LU, error) {
+	return new(LU).Refactor(a)
+}
+
+// FactorInPlace computes the LU factorization using a's own storage as the
+// factor workspace: a is overwritten and must not be used afterwards. Use it
+// when a is scratch anyway (normal-equation matrices, cloned inputs) to skip
+// the defensive copy Factor makes.
+func FactorInPlace(a *Matrix) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, ErrShape
+	}
+	f := &LU{lu: a, piv: make([]int, a.rows)}
+	return f, f.refactor()
+}
+
+// Refactor computes the LU factorization of a into f, reusing f's existing
+// factor and pivot storage when the shapes match. It returns f, making
+// `lu, err := scratch.Refactor(a)` a drop-in, allocation-free replacement
+// for Factor in loops that factor many same-sized matrices. a is not
+// modified.
+func (f *LU) Refactor(a *Matrix) (*LU, error) {
 	if a.rows != a.cols {
 		return nil, ErrShape
 	}
 	n := a.rows
-	lu := a.Clone()
-	piv := make([]int, n)
-	for i := range piv {
-		piv[i] = i
+	if f.lu == nil || f.lu.rows != n || f.lu.cols != n {
+		f.lu = New(n, n)
+		f.piv = make([]int, n)
 	}
+	copy(f.lu.data, a.data)
+	return f, f.refactor()
+}
+
+// refactor runs the factorization over f.lu in place. Pivoting is recorded
+// as the swap sequence piv[k] = p (row k exchanged with row p at step k,
+// LAPACK ipiv style) so solves can replay it on a right-hand side in place,
+// without gather scratch.
+func (f *LU) refactor() error {
+	lu := f.lu
+	n := lu.rows
+	piv := f.piv
 	sign := 1
 	for k := 0; k < n; k++ {
 		// Partial pivot: find the largest magnitude in column k at/below row k.
@@ -218,15 +268,15 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 		if maxAbs == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
+		piv[k] = p
 		if p != k {
 			rk := lu.data[k*n : (k+1)*n]
 			rp := lu.data[p*n : (p+1)*n]
 			for j := range rk {
 				rk[j], rp[j] = rp[j], rk[j]
 			}
-			piv[k], piv[p] = piv[p], piv[k]
 			sign = -sign
 		}
 		pivot := lu.data[k*n+k]
@@ -241,18 +291,36 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return &LU{lu: lu, piv: piv, sign: sign}, nil
+	f.sign = sign
+	return nil
 }
 
 // SolveVec solves A·x = b for one right-hand side.
 func (f *LU) SolveVec(b []float64) ([]float64, error) {
-	n := f.lu.rows
-	if len(b) != n {
-		return nil, ErrShape
+	x := make([]float64, f.lu.rows)
+	if err := f.SolveVecTo(x, b); err != nil {
+		return nil, err
 	}
-	x := make([]float64, n)
-	for i, p := range f.piv {
-		x[i] = b[p]
+	return x, nil
+}
+
+// SolveVecTo solves A·x = b into x, which must have length n. x and b may
+// alias (solve in place over the right-hand side); when they differ, b is
+// left untouched. The destination-passing form keeps repeated solves
+// allocation-free.
+func (f *LU) SolveVecTo(x, b []float64) error {
+	n := f.lu.rows
+	if len(b) != n || len(x) != n {
+		return ErrShape
+	}
+	if n > 0 && &x[0] != &b[0] {
+		copy(x, b)
+	}
+	// Replay the recorded pivot swaps: x ← P·b.
+	for k, p := range f.piv {
+		if p != k {
+			x[k], x[p] = x[p], x[k]
+		}
 	}
 	// Forward substitution (L has implicit unit diagonal).
 	for i := 1; i < n; i++ {
@@ -272,7 +340,7 @@ func (f *LU) SolveVec(b []float64) ([]float64, error) {
 		}
 		x[i] = (x[i] - s) / row[i]
 	}
-	return x, nil
+	return nil
 }
 
 // Det returns the determinant of the factored matrix.
@@ -300,11 +368,10 @@ func Solve(a, b *Matrix) (*Matrix, error) {
 		for i := 0; i < b.rows; i++ {
 			col[i] = b.At(i, j)
 		}
-		x, err := f.SolveVec(col)
-		if err != nil {
+		if err := f.SolveVecTo(col, col); err != nil {
 			return nil, err
 		}
-		for i, v := range x {
+		for i, v := range col {
 			out.Set(i, j, v)
 		}
 	}
@@ -313,23 +380,63 @@ func Solve(a, b *Matrix) (*Matrix, error) {
 
 // Inverse returns A⁻¹.
 func Inverse(a *Matrix) (*Matrix, error) {
-	return Solve(a, Identity(a.rows))
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.rows
+	out := New(n, n)
+	col := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range col {
+			col[i] = 0
+		}
+		col[j] = 1
+		if err := f.SolveVecTo(col, col); err != nil {
+			return nil, err
+		}
+		for i, v := range col {
+			out.Set(i, j, v)
+		}
+	}
+	return out, nil
 }
 
 // LeastSquares solves the overdetermined system A·x ≈ b in the least-squares
 // sense via the normal equations AᵀA·x = Aᵀb. The designs used in this
 // repository are tiny (≤ 4 parameters), for which normal equations are
-// accurate and fast.
+// accurate and fast. The normal-equation matrix is built directly from a
+// (no explicit transpose) and factored in place, so a fit costs two small
+// allocations: the Gram matrix and the returned coefficients.
 func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
 	if a.rows != len(b) {
 		return nil, ErrShape
 	}
-	at := a.T()
-	ata := at.Mul(a)
-	atb := at.MulVec(b)
-	f, err := Factor(ata)
+	m, n := a.rows, a.cols
+	// ata[i][j] = Σ_k a[k][i]·a[k][j] and atb[i] = Σ_k a[k][i]·b[k],
+	// accumulated over k in row order — the same summation order (and so
+	// the same floats) as forming Aᵀ and multiplying would produce.
+	ata := New(n, n)
+	atb := make([]float64, n)
+	for k := 0; k < m; k++ {
+		arow := a.data[k*n : (k+1)*n]
+		for i, aki := range arow {
+			if aki == 0 {
+				continue
+			}
+			orow := ata.data[i*n : (i+1)*n]
+			for j, akj := range arow {
+				orow[j] += aki * akj
+			}
+			atb[i] += aki * b[k]
+		}
+	}
+	f, err := FactorInPlace(ata)
 	if err != nil {
 		return nil, err
 	}
-	return f.SolveVec(atb)
+	if err := f.SolveVecTo(atb, atb); err != nil {
+		return nil, err
+	}
+	return atb, nil
 }

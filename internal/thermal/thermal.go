@@ -29,6 +29,12 @@ func CoP(t float64) float64 {
 
 // Room is a thermal model of the machine room: n racks with a heat
 // cross-interference matrix D and per-rack heat capacity coefficients K.
+//
+// The evaluation methods (MaxSupplyTemp, CoolingPower, SelfConsistent)
+// reuse an internal rise buffer and are therefore not safe for concurrent
+// use on one Room; every experiment builds its own Room, which is how the
+// parallel pipeline uses them. InletRiseTo lets callers supply their own
+// buffer instead.
 type Room struct {
 	n int
 	// d is the heat cross-interference matrix: d(i,j) is the contribution
@@ -38,6 +44,9 @@ type Room struct {
 	kInv []float64
 	// m is (K − DᵀK)⁻¹ − K⁻¹, precomputed: inlet rise = m·P (Eq. 3.5).
 	m *linalg.Matrix
+	// rise is the scratch buffer the evaluation methods reuse so the
+	// self-consistent loop runs without per-iteration allocation.
+	rise []float64
 	// RedlineC is the manufacturer's maximum safe inlet temperature.
 	RedlineC float64
 }
@@ -79,7 +88,8 @@ func NewRoom(d *linalg.Matrix, kInvDiag []float64, redlineC float64) (*Room, err
 		return nil, fmt.Errorf("thermal: K − DᵀK singular: %w", err)
 	}
 	m := inv.Sub(linalg.Diagonal(kInvDiag))
-	return &Room{n: n, d: d.Clone(), kInv: append([]float64(nil), kInvDiag...), m: m, RedlineC: redlineC}, nil
+	return &Room{n: n, d: d.Clone(), kInv: append([]float64(nil), kInvDiag...), m: m,
+		rise: make([]float64, n), RedlineC: redlineC}, nil
 }
 
 // N returns the number of racks.
@@ -96,22 +106,36 @@ func (r *Room) RiseMatrix() *linalg.Matrix { return r.m }
 // InletRise returns each rack's inlet temperature rise above the supply
 // temperature for the given per-rack power vector (Eq. 3.5).
 func (r *Room) InletRise(power []float64) ([]float64, error) {
-	if len(power) != r.n {
-		return nil, errors.New("thermal: power vector length mismatch")
+	dst := make([]float64, r.n)
+	if err := r.InletRiseTo(dst, power); err != nil {
+		return nil, err
 	}
-	return r.m.MulVec(power), nil
+	return dst, nil
+}
+
+// InletRiseTo computes the inlet rises into dst (length n), the
+// destination-passing form of InletRise for callers that evaluate many
+// power vectors against one room.
+func (r *Room) InletRiseTo(dst, power []float64) error {
+	if len(power) != r.n {
+		return errors.New("thermal: power vector length mismatch")
+	}
+	if len(dst) != r.n {
+		return errors.New("thermal: rise vector length mismatch")
+	}
+	r.m.MulVecTo(dst, power)
+	return nil
 }
 
 // MaxSupplyTemp returns the highest CRAC supply temperature that keeps
 // every rack's inlet at or below the redline for the given power vector:
 // t_sup = t_red − max_i (M·P)_i.
 func (r *Room) MaxSupplyTemp(power []float64) (float64, error) {
-	rise, err := r.InletRise(power)
-	if err != nil {
+	if err := r.InletRiseTo(r.rise, power); err != nil {
 		return 0, err
 	}
 	maxRise := 0.0
-	for _, v := range rise {
+	for _, v := range r.rise {
 		if v > maxRise {
 			maxRise = v
 		}
@@ -179,7 +203,7 @@ func (r *Room) SelfConsistent(total float64, budgeter func(computingBudget float
 	if err != nil {
 		return Partition{}, err
 	}
-	part := Partition{}
+	part := Partition{Steps: make([]PartitionStep, 0, maxIters)}
 	for k := 0; k < maxIters; k++ {
 		computing := total - cooling
 		if computing <= 0 {

@@ -265,3 +265,26 @@ func TestSelfConsistentErrors(t *testing.T) {
 		t.Fatal("zero budget must error")
 	}
 }
+
+// The self-consistent loop calls CoolingPower up to 50 times per budget;
+// the evaluation path must stay allocation-free on a warm Room.
+func TestCoolingPowerAllocFree(t *testing.T) {
+	room, err := NewDefaultRoom(1.8, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := make([]float64, room.N())
+	for i := range power {
+		power[i] = 5000 + 10*float64(i)
+	}
+	if _, _, err := room.CoolingPower(power); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, _, err := room.CoolingPower(power); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("CoolingPower allocates %v times per run", n)
+	}
+}
