@@ -10,6 +10,7 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -109,5 +110,115 @@ func TestClusterSurvivesKilledDaemon(t *testing.T) {
 	}
 	if b, err := strconv.ParseFloat(budget, 64); err != nil || b >= 850 {
 		t.Errorf("budget view %sW not shrunk below the configured 850W (parse err %v)", budget, err)
+	}
+}
+
+// TestKilledDaemonRestartsAndRejoins is the full operational loop at the
+// process level: a five-daemon ring loses one member mid-broadcast, the
+// survivors repair over the chords and shrink their budget view — and then
+// the dead daemon comes back, resumes from its periodic snapshot, rejoins
+// the repaired ring, and the whole cluster converges to the original budget.
+// Every daemon (including the reborn one) must report the common horizon
+// round, the full 850 W budget, and an empty dead set.
+func TestKilledDaemonRestartsAndRejoins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a 5-process TCP cluster plus a restart")
+	}
+	bin := filepath.Join(t.TempDir(), "dibad")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building dibad: %v\n%s", err, out)
+	}
+
+	const n, victim = 5, 2
+	const horizon = 2500
+	addrs := make([]string, n)
+	var peers strings.Builder
+	peers.WriteString("chord 2\n")
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+		fmt.Fprintf(&peers, "%d %s\n", i, addrs[i])
+	}
+	peersPath := filepath.Join(t.TempDir(), "peers.txt")
+	if err := os.WriteFile(peersPath, []byte(peers.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(t.TempDir(), "victim.snapshot")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Second)
+	defer cancel()
+	benches := []string{"EP", "CG", "FT", "MG", "LU"}
+	common := []string{
+		"-peers", peersPath, "-budget", "850", "-connect-timeout", "20s",
+		"-gather-timeout", "500ms", "-heartbeat", "50ms",
+		"-until-round", fmt.Sprint(horizon), "-round-interval", "2ms",
+	}
+
+	outs := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if i == victim {
+			continue
+		}
+		args := append([]string{"-id", fmt.Sprint(i), "-workload", benches[i]}, common...)
+		wg.Add(1)
+		go func(i int, args []string) {
+			defer wg.Done()
+			out, err := exec.CommandContext(ctx, bin, args...).CombinedOutput()
+			outs[i], errs[i] = string(out), err
+		}(i, args)
+	}
+
+	// Incarnation one: snapshots every 10 rounds, dies mid-broadcast around
+	// round 50 (101 sends at two per round).
+	vArgs := append([]string{"-id", fmt.Sprint(victim), "-workload", benches[victim]}, common...)
+	vArgs = append(vArgs, "-chaos-seed", "5", "-chaos-crash-after", "101",
+		"-snapshot", snapPath, "-snapshot-every", "10")
+	out, err := exec.CommandContext(ctx, bin, vArgs...).CombinedOutput()
+	if err == nil {
+		t.Fatalf("victim exited cleanly; want a crash\n%s", out)
+	}
+	if _, err := os.Stat(snapPath); err != nil {
+		t.Fatalf("victim crashed without leaving a snapshot: %v\n%s", err, out)
+	}
+
+	// Give the survivors time to declare the death and repair before the
+	// ghost returns — a too-early restart looks like a slow peer, not a
+	// dead one, and only delays the declaration.
+	time.Sleep(1500 * time.Millisecond)
+
+	// Incarnation two: resume from the snapshot and rejoin the repaired
+	// ring. No chaos this time — the crash point is spent.
+	rArgs := append([]string{"-id", fmt.Sprint(victim), "-workload", benches[victim]}, common...)
+	rArgs = append(rArgs, "-rejoin", "-snapshot", snapPath)
+	rout, rerr := exec.CommandContext(ctx, bin, rArgs...).CombinedOutput()
+	outs[victim], errs[victim] = string(rout), rerr
+	wg.Wait()
+
+	report := regexp.MustCompile(`agent \d+: workload=\S+ cap=\S+ estimate=\S+ rounds=(\d+) budget=(\S+)W dead=\[([^\]]*)\]`)
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("daemon %d failed: %v\n%s", i, errs[i], outs[i])
+		}
+		m := report.FindStringSubmatch(outs[i])
+		if m == nil {
+			t.Fatalf("daemon %d printed no report line:\n%s", i, outs[i])
+		}
+		if m[1] != fmt.Sprint(horizon) {
+			t.Errorf("daemon %d stopped at round %s, want %d", i, m[1], horizon)
+		}
+		// After the rejoin completes, every budget view must return to
+		// exactly the configured 850 W and every dead set must be empty.
+		if m[2] != "850.00" {
+			t.Errorf("daemon %d budget view %sW, want 850.00W", i, m[2])
+		}
+		if m[3] != "" {
+			t.Errorf("daemon %d dead set [%s], want []", i, m[3])
+		}
 	}
 }

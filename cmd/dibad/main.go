@@ -81,6 +81,8 @@ import (
 	"time"
 
 	"powercap/internal/diba"
+	"powercap/internal/safety"
+	"powercap/internal/sensor"
 	"powercap/internal/workload"
 )
 
@@ -105,6 +107,18 @@ func main() {
 	chaosDup := flag.Float64("chaos-dup", 0, "probability a sent message is duplicated")
 	chaosReorder := flag.Float64("chaos-reorder", 0, "probability two messages on a link are swapped")
 	chaosCrashAfter := flag.Int("chaos-crash-after", -1, "crash this daemon after that many sends (-1 = never)")
+	sensorSeed := flag.Int64("sensor-chaos-seed", 0, "sensor fault injection seed (0 = ideal sensor)")
+	sensorStuck := flag.Float64("sensor-chaos-stuck", 0.002, "per-reading probability the sensor latches (with -sensor-chaos-seed)")
+	sensorDropout := flag.Float64("sensor-chaos-dropout", 0.01, "per-reading probability the reading is lost (NaN)")
+	sensorSpike := flag.Float64("sensor-chaos-spike", 0.01, "per-reading probability of a transient spike")
+	sensorDrift := flag.Float64("sensor-chaos-drift", 0.003, "per-reading step scale of the downward calibration drift")
+	sensorQuant := flag.Float64("sensor-chaos-quant", 0.25, "reading quantization step in watts")
+	watchdog := flag.Bool("watchdog", false, "run a local cap-safety watchdog over the filtered telemetry")
+	snapshotPath := flag.String("snapshot", "", "operational snapshot file, written atomically every -snapshot-every rounds")
+	snapshotEvery := flag.Int("snapshot-every", 50, "rounds between snapshot writes (with -snapshot)")
+	rejoin := flag.Bool("rejoin", false, "resume from -snapshot and rejoin the ring after this daemon was declared dead")
+	untilRound := flag.Int("until-round", 0, "run until the round counter reaches this value (overrides -rounds; a rejoiner starts mid-count)")
+	roundInterval := flag.Duration("round-interval", 0, "sleep between rounds, pacing the run for drills")
 	flag.Parse()
 
 	if *id < 0 || *peersPath == "" || *budget <= 0 {
@@ -199,13 +213,113 @@ func main() {
 		}
 		agent.SetFaultPolicy(fp)
 	}
+
+	// Telemetry hardening: the agent reads its own power through a filtered
+	// (and optionally fault-injected) sensor pipeline; while the reading is
+	// invalid it freezes its applied cap and beacons degraded health.
+	var pipe *sensor.Pipeline
+	if *sensorSeed != 0 || *watchdog {
+		pipe = &sensor.Pipeline{Filter: sensor.NewFilter(0.85*srv.IdleWatts, 1.05*srv.MaxWatts)}
+		if *sensorSeed != 0 {
+			plan := sensor.Plan{
+				Seed:        *sensorSeed,
+				StuckProb:   *sensorStuck,
+				DropoutProb: *sensorDropout,
+				SpikeProb:   *sensorSpike,
+				DriftRel:    *sensorDrift,
+				QuantStep:   *sensorQuant,
+			}
+			log.Printf("dibad: agent %d sensor chaos on: %v", *id, plan)
+			pipe.Meter = sensor.NewMeter(plan, *id)
+		}
+		agent.SetTelemetryGuard(diba.TelemetryGuard{
+			Measure: func(expected float64) (float64, bool) {
+				// The server sits at the cap the agent applies; the meter
+				// corrupts that reading per its fault plan.
+				return pipe.Measure(expected, expected)
+			},
+			OnEvent: func(ev diba.HealthEvent) {
+				state := "recovered"
+				if ev.Degraded {
+					state = "degraded"
+				}
+				log.Printf("dibad: agent %d round %d telemetry %s, applied cap %.2f W", *id, ev.Round, state, ev.AppliedW)
+			},
+		})
+	}
+	var wd *safety.Watchdog
+	if *watchdog {
+		// A single daemon cannot see ΣP, so its watchdog checks the local
+		// invariant: a *trusted* filtered reading must track the consensus
+		// cap. The watts-scale tolerance absorbs the filter's EWMA lag while
+		// the cap converges; a stuck or drifted sensor parks the reading away
+		// from the moving cap and trips it.
+		wd = safety.New(safety.Config{ToleranceW: 5})
+	}
+
+	if *rejoin {
+		if *snapshotPath == "" {
+			log.Fatalf("dibad: -rejoin requires -snapshot")
+		}
+		if *gatherTimeout <= 0 {
+			log.Fatalf("dibad: -rejoin requires -gather-timeout (the handshake runs on the failure detector)")
+		}
+		f, err := os.Open(*snapshotPath)
+		if err != nil {
+			log.Fatalf("dibad: %v", err)
+		}
+		err = agent.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("dibad: %v", err)
+		}
+		log.Printf("dibad: agent %d resumed from %s at round %d; rejoining the ring", *id, *snapshotPath, agent.Round())
+		if err := agent.Rejoin(60 * time.Second); err != nil {
+			log.Fatalf("dibad: %v", err)
+		}
+		log.Printf("dibad: agent %d rejoined, resuming at round %d", *id, agent.Round())
+	}
+
+	// perRound runs the operational side channels after each BSP round:
+	// snapshotting, the local watchdog, and drill pacing.
+	perRound := func() {
+		if *snapshotPath != "" && *snapshotEvery > 0 && agent.Round()%*snapshotEvery == 0 {
+			if err := writeSnapshot(agent, *snapshotPath); err != nil {
+				log.Printf("dibad: snapshot: %v", err)
+			}
+		}
+		if wd != nil && pipe != nil {
+			// A distrusted reading holds last-good — stale data proves
+			// nothing, and the TelemetryGuard has already frozen the applied
+			// cap for that case.
+			if last := pipe.Last(); last.Trusted {
+				if _, shed := wd.Observe(last.Value, agent.Power()); shed {
+					log.Printf("dibad: agent %d round %d watchdog: filtered power %.2f W over consensus cap %.2f W; emergency shed",
+						*id, agent.Round(), last.Value, agent.Power())
+				}
+			}
+		}
+		if *roundInterval > 0 {
+			time.Sleep(*roundInterval)
+		}
+	}
+
 	var status statusServer
 	if *statusAddr != "" {
 		status.start(*statusAddr, *id, *bench)
 	}
 	start := time.Now()
 	var final diba.AgentState
-	if *rounds == 0 {
+	if *untilRound > 0 {
+		for agent.Round() < *untilRound {
+			if err := agent.StepOnce(); err != nil {
+				log.Fatalf("dibad: round %d: %v", agent.Round(), err)
+			}
+			status.update(agent.Power(), agent.Estimate(), agent.Round())
+			perRound()
+		}
+		final = diba.AgentState{Power: agent.Power(), E: agent.Estimate(), Rounds: agent.Round(), Budget: agent.Budget(), Dead: agent.DeadNodes()}
+	} else if *rounds == 0 {
 		// Coordinator-free stopping: every agent runs the same rule and all
 		// halt at the identical round (margin n exceeds any ring diameter).
 		st, err := agent.RunUntilQuiet(diba.QuietConfig{TolW: 1e-3, Settle: 50, Margin: n, MaxRounds: 200000})
@@ -223,8 +337,43 @@ func main() {
 		}
 		final = diba.AgentState{Power: agent.Power(), E: agent.Estimate(), Rounds: *rounds, Budget: agent.Budget(), Dead: agent.DeadNodes()}
 	}
+	if *snapshotPath != "" && !*rejoin {
+		if err := writeSnapshot(agent, *snapshotPath); err != nil {
+			log.Printf("dibad: final snapshot: %v", err)
+		}
+	}
+	if wd != nil {
+		log.Printf("dibad: agent %d watchdog: %+v", *id, wd.Stats())
+	}
 	fmt.Printf("agent %d: workload=%s cap=%.2fW estimate=%.4f rounds=%d budget=%.2fW dead=%v elapsed=%v\n",
 		*id, *bench, final.Power, final.E, final.Rounds, final.Budget, final.Dead, time.Since(start).Round(time.Millisecond))
+}
+
+// writeSnapshot persists the agent's state atomically: write to a temp file
+// in the same directory, fsync, then rename over the target. A crash mid-write
+// leaves the previous snapshot intact, which is what -rejoin restores from.
+func writeSnapshot(a *diba.Agent, path string) error {
+	dir := "."
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		dir = path[:i]
+	}
+	tmp, err := os.CreateTemp(dir, ".dibad-snapshot-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := a.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // chordPartners returns the standby chord neighbors id±stride (mod n),

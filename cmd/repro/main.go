@@ -54,27 +54,28 @@ var registry = map[string]runner{
 	"fig3.1": func(_ experiments.Scale, seed int64) (experiments.Table, error) {
 		return experiments.Fig31(seed)
 	},
-	"fig3.5":    experiments.Fig35,
-	"fig3.7":    experiments.Fig37,
-	"fig5.2":    experiments.Fig52,
-	"fig5.3":    experiments.Fig53,
-	"fig3.4":    experiments.Fig34,
-	"fig3.10":   experiments.Fig310,
-	"fig3.11":   experiments.Fig311,
-	"fig3.12":   experiments.Fig312,
-	"fig3.13":   experiments.Fig313,
-	"fig3.14":   experiments.Fig314,
-	"table5.2":  experiments.Table52,
-	"ablation":  experiments.Ablation,
-	"failure":   experiments.Failure,
-	"async":     experiments.Async,
-	"hierarchy": experiments.Hierarchy,
-	"fxplore":   experiments.FXplore,
-	"safety":    experiments.Safety,
-	"scaling":   experiments.Scaling,
-	"fig5.4":    experiments.Fig54,
-	"fig5.5":    experiments.Fig55,
-	"fig5.7":    experiments.Fig57,
+	"fig3.5":      experiments.Fig35,
+	"fig3.7":      experiments.Fig37,
+	"fig5.2":      experiments.Fig52,
+	"fig5.3":      experiments.Fig53,
+	"fig3.4":      experiments.Fig34,
+	"fig3.10":     experiments.Fig310,
+	"fig3.11":     experiments.Fig311,
+	"fig3.12":     experiments.Fig312,
+	"fig3.13":     experiments.Fig313,
+	"fig3.14":     experiments.Fig314,
+	"table5.2":    experiments.Table52,
+	"ablation":    experiments.Ablation,
+	"failure":     experiments.Failure,
+	"async":       experiments.Async,
+	"hierarchy":   experiments.Hierarchy,
+	"fxplore":     experiments.FXplore,
+	"safety":      experiments.Safety,
+	"scaling":     experiments.Scaling,
+	"sensorchaos": experiments.SensorChaos,
+	"fig5.4":      experiments.Fig54,
+	"fig5.5":      experiments.Fig55,
+	"fig5.7":      experiments.Fig57,
 }
 
 func ids() []string {

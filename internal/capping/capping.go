@@ -9,6 +9,8 @@ package capping
 
 import (
 	"errors"
+	"fmt"
+	"math"
 	"math/rand"
 
 	"powercap/internal/workload"
@@ -24,6 +26,22 @@ type Sample struct {
 	Throughput float64
 	// OverCap reports whether measured power exceeded the cap this period.
 	OverCap bool
+	// Measured is the telemetry value the control decision was based on
+	// (post-sensor, post-filter). Equals the noisy model power when no
+	// Telemetry hook is installed.
+	Measured float64
+	// Trusted reports whether the telemetry was judged safe to act on. When
+	// false the controller held or moved in the safe direction only.
+	Trusted bool
+}
+
+// Telemetry intercepts the controller's power measurement. Measure receives
+// the true (noisy) power and the controller's model expectation for its
+// current p-state, and returns the value to control on plus whether that
+// value can be trusted to drive p-state decisions. Implementations inject
+// sensor faults and/or robust filtering (see internal/sensor.Pipeline).
+type Telemetry interface {
+	Measure(truePower, expected float64) (value float64, trusted bool)
 }
 
 // Controller is a deadband feedback controller over discrete DVFS levels.
@@ -40,6 +58,9 @@ type Controller struct {
 	// controller holds its level. Defaults to half the local per-level
 	// power difference when zero.
 	Deadband float64
+	// Telemetry, when non-nil, intercepts the power measurement each Tick.
+	// Nil preserves the direct noisy-model measurement path bit-for-bit.
+	Telemetry Telemetry
 }
 
 // NewController builds a controller for the given benchmark running on the
@@ -59,8 +80,17 @@ func NewController(b workload.Benchmark, s workload.Server) (*Controller, error)
 	}, nil
 }
 
-// SetCap sets the power cap in watts (clamped into the server's range).
-func (c *Controller) SetCap(w float64) {
+// SetCap sets the power cap in watts. Finite out-of-range values are
+// clamped into the server's [idle, max] envelope; NaN, infinite, or
+// negative caps are rejected with an error and the previous cap is kept —
+// a corrupted cap must never reach the actuator.
+func (c *Controller) SetCap(w float64) error {
+	if math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("capping: non-finite cap %v rejected", w)
+	}
+	if w < 0 {
+		return fmt.Errorf("capping: negative cap %gW rejected", w)
+	}
 	if w < c.server.IdleWatts {
 		w = c.server.IdleWatts
 	}
@@ -68,10 +98,31 @@ func (c *Controller) SetCap(w float64) {
 		w = c.server.MaxWatts
 	}
 	c.cap = w
+	return nil
+}
+
+// EmergencyTo applies cap and immediately drops the p-state to the highest
+// level whose model power fits under it — a multi-level emergency shed,
+// bypassing the one-level-per-period feedback walk. Used by the safety
+// watchdog, whose guarantee ("compliant within one control period") a
+// gradual walk cannot honor. Model-actuated on purpose: an emergency must
+// not depend on the very sensors whose failure may have triggered it.
+func (c *Controller) EmergencyTo(cap float64) error {
+	if err := c.SetCap(cap); err != nil {
+		return err
+	}
+	for c.level > 0 && c.levelPower(c.level) > c.cap {
+		c.level--
+	}
+	return nil
 }
 
 // Cap returns the current cap.
 func (c *Controller) Cap() float64 { return c.cap }
+
+// SetBenchmark swaps the running workload (cluster churn); the power model,
+// cap, and p-state are unaffected.
+func (c *Controller) SetBenchmark(b workload.Benchmark) { c.bench = b }
 
 // Level returns the current DVFS level index.
 func (c *Controller) Level() int { return c.level }
@@ -91,6 +142,15 @@ func (c *Controller) Tick(rng *rand.Rand) Sample {
 	if c.NoiseRel > 0 {
 		measured *= 1 + c.NoiseRel*rng.NormFloat64()
 	}
+	trusted := true
+	if c.Telemetry != nil {
+		measured, trusted = c.Telemetry.Measure(measured, truePower)
+	}
+	if math.IsNaN(measured) || math.IsInf(measured, 0) {
+		// A non-finite measurement must never feed the comparison below;
+		// report the model value and fall into the untrusted branch.
+		measured, trusted = truePower, false
+	}
 	deadband := c.Deadband
 	if deadband == 0 {
 		// Half the gap to the neighboring level, so the controller cannot
@@ -106,6 +166,15 @@ func (c *Controller) Tick(rng *rand.Rand) Sample {
 		deadband = (c.levelPower(hi) - c.levelPower(lo)) / 4
 	}
 	switch {
+	case !trusted:
+		// Untrusted telemetry: only the safe direction is allowed. Consult
+		// the model instead of the sensor — step down if the model says the
+		// current level violates the cap, and never step up: climbing on a
+		// reading the filter rejected is exactly the failure mode that turns
+		// a sensor fault into a budget violation.
+		if truePower > c.cap && c.level > 0 {
+			c.level--
+		}
 	case measured > c.cap && c.level > 0:
 		c.level--
 	case measured < c.cap-deadband && c.level < len(c.levels)-1:
@@ -121,6 +190,8 @@ func (c *Controller) Tick(rng *rand.Rand) Sample {
 		Power:      effective,
 		Throughput: throughput,
 		OverCap:    effective > c.cap,
+		Measured:   measured,
+		Trusted:    trusted,
 	}
 }
 

@@ -1,6 +1,7 @@
 package capping
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -37,6 +38,96 @@ func TestSetCapClamps(t *testing.T) {
 	c.SetCap(9999)
 	if c.Cap() != workload.DefaultServer.MaxWatts {
 		t.Fatalf("cap above range must clamp to max, got %v", c.Cap())
+	}
+}
+
+func TestSetCapRejectsGarbage(t *testing.T) {
+	c := mkController(t, "LU")
+	if err := c.SetCap(150); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -5} {
+		if err := c.SetCap(w); err == nil {
+			t.Fatalf("SetCap(%v) accepted", w)
+		}
+		if c.Cap() != 150 {
+			t.Fatalf("rejected cap %v still changed the cap to %v", w, c.Cap())
+		}
+	}
+}
+
+// fakeTelemetry scripts the telemetry hook for controller tests.
+type fakeTelemetry struct {
+	value   func(truePower float64) float64
+	trusted bool
+}
+
+func (f fakeTelemetry) Measure(truePower, expected float64) (float64, bool) {
+	return f.value(truePower), f.trusted
+}
+
+func TestTickSurvivesNonFiniteMeasurement(t *testing.T) {
+	c := mkController(t, "LU")
+	c.SetCap(160)
+	c.Settle(20, nil)
+	lvl := c.Level()
+	c.Telemetry = fakeTelemetry{value: func(float64) float64 { return math.NaN() }, trusted: true}
+	for i := 0; i < 5; i++ {
+		s := c.Tick(nil)
+		if s.Trusted {
+			t.Fatal("NaN measurement marked trusted")
+		}
+		if math.IsNaN(s.Measured) || math.IsNaN(s.Power) {
+			t.Fatal("NaN leaked into the sample")
+		}
+	}
+	if c.Level() > lvl {
+		t.Fatalf("level climbed from %d to %d on NaN telemetry", lvl, c.Level())
+	}
+}
+
+func TestUntrustedTelemetryNeverStepsUp(t *testing.T) {
+	c := mkController(t, "LU")
+	c.SetCap(160)
+	c.Settle(20, nil)
+	lvl := c.Level()
+	// A stuck-low sensor screams "way under cap"; untrusted readings must
+	// not drive the level up regardless.
+	c.Telemetry = fakeTelemetry{value: func(float64) float64 { return 20 }, trusted: false}
+	for i := 0; i < 10; i++ {
+		c.Tick(nil)
+	}
+	if c.Level() > lvl {
+		t.Fatalf("untrusted telemetry ratcheted level %d → %d", lvl, c.Level())
+	}
+}
+
+func TestUntrustedTelemetryStillShedsOnCapCut(t *testing.T) {
+	c := mkController(t, "LU")
+	c.SetCap(200)
+	c.Settle(20, nil)
+	// Cut the cap while the sensor is untrusted: the model-guided safe
+	// branch must still walk the level down under the new cap.
+	c.Telemetry = fakeTelemetry{value: func(tp float64) float64 { return tp }, trusted: false}
+	c.SetCap(120)
+	s := c.Settle(20, nil)
+	if s.Power > 120 {
+		t.Fatalf("power %v above the cut cap despite the safe-direction walk", s.Power)
+	}
+}
+
+func TestEmergencyToDropsWithinOneCall(t *testing.T) {
+	c := mkController(t, "LU")
+	c.SetCap(200)
+	c.Settle(20, nil)
+	if err := c.EmergencyTo(120); err != nil {
+		t.Fatal(err)
+	}
+	if p := c.Tick(nil).Power; p > 120 {
+		t.Fatalf("power %v still above 120 immediately after EmergencyTo", p)
+	}
+	if err := c.EmergencyTo(math.NaN()); err == nil {
+		t.Fatal("EmergencyTo accepted a NaN cap")
 	}
 }
 

@@ -55,6 +55,11 @@ type Config struct {
 	// power and throughput in the samples — the full capping stack rather
 	// than the model shortcut.
 	Enforce bool
+	// Sensed, when non-nil, actuates caps through the persistent
+	// telemetry-hardened enforcement stack instead: fault-injectable
+	// sensors, robust filters, and the cap-safety watchdog (see sensed.go).
+	// Mutually exclusive with Enforce.
+	Sensed *SensedConfig
 }
 
 // BudgetEvent changes the cluster budget at a simulated second, as in the
@@ -81,6 +86,13 @@ type Sample struct {
 	// ≤ Power.
 	EnforcedPower      float64
 	EnforcedThroughput float64
+	// FilteredPower, Derate, and SensorFaulted report the sensed
+	// enforcement path's last control period of the second (only when
+	// Config.Sensed is set; otherwise zero): the watchdog's filtered ΣP
+	// view, the cap derate in force, and the number of distrusted sensors.
+	FilteredPower float64
+	Derate        float64
+	SensorFaulted int
 }
 
 // Sim is a running cluster simulation.
@@ -91,6 +103,7 @@ type Sim struct {
 	bench  []workload.Benchmark
 	rng    *rand.Rand
 	budget float64
+	enf    *Enforcer
 }
 
 // NewSim builds the cluster: assigns workloads, fits utilities, and places
@@ -107,6 +120,9 @@ func NewSim(cfg Config, initialBudget float64) (*Sim, error) {
 	}
 	if cfg.Phased != nil && len(cfg.Phased) != cfg.N {
 		return nil, fmt.Errorf("cluster: Phased has %d entries, want %d", len(cfg.Phased), cfg.N)
+	}
+	if cfg.Sensed != nil && cfg.Enforce {
+		return nil, errors.New("cluster: Enforce and Sensed are mutually exclusive")
 	}
 	if (cfg.Server == workload.Server{}) {
 		cfg.Server = workload.DefaultServer
@@ -127,14 +143,22 @@ func NewSim(cfg Config, initialBudget float64) (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sim{
+	sim := &Sim{
 		cfg:    cfg,
 		engine: en,
 		us:     us,
 		bench:  a.Benchmarks,
 		rng:    rng,
 		budget: initialBudget,
-	}, nil
+	}
+	if cfg.Sensed != nil {
+		enf, err := NewEnforcer(sim.bench, cfg.Server, cfg.MeasureNoise, *cfg.Sensed)
+		if err != nil {
+			return nil, err
+		}
+		sim.enf = enf
+	}
+	return sim, nil
 }
 
 // Engine exposes the underlying DiBA engine (read-mostly; prefer Run).
@@ -245,6 +269,9 @@ func (s *Sim) Run(seconds int, events []BudgetEvent) ([]Sample, error) {
 		// DVFS enforcement consumes s.rng inside each snapshot, so the
 		// measurement schedule only makes sense evaluated in time order.
 		return s.runEnforced(seconds, events)
+	}
+	if s.cfg.Sensed != nil {
+		return s.runSensed(seconds, events)
 	}
 	byTime := make(map[int]float64, len(events))
 	for _, ev := range events {

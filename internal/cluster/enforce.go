@@ -43,7 +43,9 @@ func EnforceCaps(benchs []workload.Benchmark, s workload.Server, caps []float64,
 			return Enforcement{}, err
 		}
 		ctl.NoiseRel = noise
-		ctl.SetCap(caps[i])
+		if err := ctl.SetCap(caps[i]); err != nil {
+			return Enforcement{}, err
+		}
 		smp := ctl.Settle(settle, rng)
 		out.Samples[i] = smp
 		out.TotalPower += smp.Power

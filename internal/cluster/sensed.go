@@ -1,0 +1,286 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"powercap/internal/capping"
+	"powercap/internal/safety"
+	"powercap/internal/sensor"
+	"powercap/internal/workload"
+)
+
+// The sensed enforcement path closes the last gap between the budgeting
+// math and the hardware: the caps DiBA computes are only honored if the
+// per-server feedback controllers are fed honest power measurements. Here
+// each server's controller reads through a fault-injectable meter and a
+// robust filter (internal/sensor), and a cluster-level watchdog
+// (internal/safety) checks ΣP ≤ B every control period, emergency-shedding
+// all caps proportionally when the invariant breaks. Unlike EnforceCaps,
+// which settles fresh controllers from scratch each second, the Enforcer is
+// persistent: p-states, sensor bias, filter state, and the watchdog derate
+// all carry across periods, which is what makes multi-period violation
+// dynamics (and their containment) observable at all.
+
+// SensedConfig enables the telemetry-hardened enforcement path.
+type SensedConfig struct {
+	// Plan injects per-server sensor faults; the zero Plan means ideal
+	// sensors (the filter still runs unless RawTelemetry is set).
+	Plan sensor.Plan
+	// RawTelemetry disables the robust filter: controllers act on raw meter
+	// output, checked only for finiteness. This is the unhardened baseline
+	// the watchdog experiments compare against.
+	RawTelemetry bool
+	// Watchdog enables the cluster cap-safety watchdog; nil disables it.
+	Watchdog *safety.Config
+	// PeriodsPerSecond is how many control periods the enforcement loop runs
+	// per simulated second (default 5).
+	PeriodsPerSecond int
+}
+
+// PeriodReport is one control period of the sensed enforcement loop.
+type PeriodReport struct {
+	// TruePower is Σ actual post-actuation power — what the breakers see.
+	TruePower float64
+	// FilteredPower is Σ end-of-period filtered readings of that same power
+	// — what the watchdog sees.
+	FilteredPower float64
+	// Throughput is Σ attained throughput.
+	Throughput float64
+	// Derate is the watchdog cap derate that was in force this period.
+	Derate float64
+	// Shed reports that the watchdog demanded an emergency shed for the
+	// next period.
+	Shed bool
+	// Faulted is how many sensors are currently distrusted or in dropout.
+	Faulted int
+}
+
+// EnforcerStats accumulates violation accounting across periods. Runs are
+// maximal streaks of consecutive violating periods — the acceptance
+// criterion for the hardened stack is MaxFilteredRun ≤ 1 (any transient is
+// contained within one control period).
+type EnforcerStats struct {
+	Periods            int
+	TrueViolations     int
+	MaxTrueRun         int
+	FilteredViolations int
+	MaxFilteredRun     int
+	Sheds              int
+}
+
+// Enforcer actuates cluster caps through persistent per-server controllers
+// with sensor/filter telemetry and an optional watchdog. Not safe for
+// concurrent use.
+type Enforcer struct {
+	ctls      []*capping.Controller
+	pipes     []*sensor.Pipeline
+	noise     float64
+	wd        *safety.Watchdog
+	derate    float64
+	emergency bool
+	stats     EnforcerStats
+	trueRun   int
+	filtRun   int
+}
+
+// NewEnforcer builds the sensed enforcement stack: one controller and one
+// telemetry pipeline per benchmark. noise is the controllers' relative
+// measurement noise (applied before sensor faults).
+func NewEnforcer(benchs []workload.Benchmark, s workload.Server, noise float64, cfg SensedConfig) (*Enforcer, error) {
+	if len(benchs) == 0 {
+		return nil, errors.New("cluster: sensed enforcement needs at least one server")
+	}
+	e := &Enforcer{
+		ctls:   make([]*capping.Controller, len(benchs)),
+		pipes:  make([]*sensor.Pipeline, len(benchs)),
+		noise:  noise,
+		derate: 1,
+	}
+	for i, b := range benchs {
+		ctl, err := capping.NewController(b, s)
+		if err != nil {
+			return nil, err
+		}
+		ctl.NoiseRel = noise
+		pl := &sensor.Pipeline{}
+		if cfg.Plan.Enabled() {
+			pl.Meter = sensor.NewMeter(cfg.Plan, i)
+		}
+		if !cfg.RawTelemetry {
+			pl.Filter = sensor.NewFilter(0.85*s.IdleWatts, 1.05*s.MaxWatts)
+		}
+		ctl.Telemetry = pl
+		e.ctls[i] = ctl
+		e.pipes[i] = pl
+	}
+	if cfg.Watchdog != nil {
+		e.wd = safety.New(*cfg.Watchdog)
+	}
+	return e, nil
+}
+
+// SetBenchmarks swaps the running workloads after churn; p-states, sensor
+// state, and the watchdog derate carry over.
+func (e *Enforcer) SetBenchmarks(benchs []workload.Benchmark) error {
+	if len(benchs) != len(e.ctls) {
+		return fmt.Errorf("cluster: %d benchmarks for %d controllers", len(benchs), len(e.ctls))
+	}
+	for i, b := range benchs {
+		e.ctls[i].SetBenchmark(b)
+	}
+	return nil
+}
+
+// Period runs one control period: apply the (derated) caps, tick every
+// controller, read the resulting power back through each sensor pipeline,
+// and let the watchdog judge the filtered total against the budget. The
+// sensors are polled twice per period — at period start inside Tick (that
+// reading drives the local p-state decision) and at period end here (that
+// reading, of the post-actuation power, feeds the watchdog) — matching a
+// real out-of-band telemetry loop.
+func (e *Enforcer) Period(caps []float64, budget float64, rng *rand.Rand) (PeriodReport, error) {
+	if len(caps) != len(e.ctls) {
+		return PeriodReport{}, fmt.Errorf("cluster: %d caps for %d controllers", len(caps), len(e.ctls))
+	}
+	rep := PeriodReport{Derate: e.derate}
+	for i, ctl := range e.ctls {
+		eff := caps[i] * e.derate
+		if e.emergency {
+			if err := ctl.EmergencyTo(eff); err != nil {
+				return PeriodReport{}, err
+			}
+		} else if err := ctl.SetCap(eff); err != nil {
+			return PeriodReport{}, err
+		}
+		smp := ctl.Tick(rng)
+		truePost := smp.Power
+		if e.noise > 0 && rng != nil {
+			truePost *= 1 + e.noise*rng.NormFloat64()
+		}
+		filtered, _ := e.pipes[i].Measure(truePost, smp.Power)
+		rep.TruePower += smp.Power
+		rep.FilteredPower += filtered
+		rep.Throughput += smp.Throughput
+		if !e.pipes[i].Healthy() {
+			rep.Faulted++
+		}
+	}
+	e.emergency = false
+	if e.wd != nil {
+		d, shed := e.wd.Observe(rep.FilteredPower, budget)
+		e.derate = d
+		e.emergency = shed
+		rep.Shed = shed
+		if shed {
+			e.stats.Sheds++
+		}
+	}
+	e.stats.Periods++
+	const tol = 1e-6
+	if rep.TruePower > budget+tol {
+		e.stats.TrueViolations++
+		e.trueRun++
+		if e.trueRun > e.stats.MaxTrueRun {
+			e.stats.MaxTrueRun = e.trueRun
+		}
+	} else {
+		e.trueRun = 0
+	}
+	if rep.FilteredPower > budget+tol {
+		e.stats.FilteredViolations++
+		e.filtRun++
+		if e.filtRun > e.stats.MaxFilteredRun {
+			e.stats.MaxFilteredRun = e.filtRun
+		}
+	} else {
+		e.filtRun = 0
+	}
+	return rep, nil
+}
+
+// Stats returns the violation accounting so far.
+func (e *Enforcer) Stats() EnforcerStats { return e.stats }
+
+// Derate returns the watchdog derate currently in force (1 without one).
+func (e *Enforcer) Derate() float64 { return e.derate }
+
+// Healthy counts sensors currently trusted by their filters.
+func (e *Enforcer) Healthy() int {
+	n := 0
+	for _, pl := range e.pipes {
+		if pl.Healthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// runSensed is the simulation loop for the sensed enforcement path: like
+// runEnforced it is sequential (every period draws from s.rng), but the
+// enforcement state is persistent across the whole run.
+func (s *Sim) runSensed(seconds int, events []BudgetEvent) ([]Sample, error) {
+	byTime := make(map[int]float64, len(events))
+	for _, ev := range events {
+		byTime[ev.AtSecond] = ev.Budget
+	}
+	periods := s.cfg.Sensed.PeriodsPerSecond
+	if periods <= 0 {
+		periods = 5
+	}
+	samples := make([]Sample, 0, seconds+1)
+	first, err := s.snapshot(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	samples = append(samples, first)
+	for sec := 1; sec <= seconds; sec++ {
+		if b, ok := byTime[sec]; ok {
+			if err := s.engine.SetBudget(b); err != nil {
+				return nil, fmt.Errorf("cluster: budget event at %ds: %w", sec, err)
+			}
+			s.budget = b
+		}
+		churned, err := s.advanceWorkloads()
+		if err != nil {
+			return nil, err
+		}
+		if churned > 0 {
+			if err := s.enf.SetBenchmarks(s.bench); err != nil {
+				return nil, err
+			}
+		}
+		for r := 0; r < s.cfg.RoundsPerSecond; r++ {
+			s.engine.StepAuto()
+		}
+		caps := s.engine.Alloc()
+		var rep PeriodReport
+		for p := 0; p < periods; p++ {
+			rep, err = s.enf.Period(caps, s.budget, s.rng)
+			if err != nil {
+				return nil, err
+			}
+		}
+		smp, err := s.snapshot(sec, churned)
+		if err != nil {
+			return nil, err
+		}
+		smp.EnforcedPower = rep.TruePower
+		smp.EnforcedThroughput = rep.Throughput
+		smp.FilteredPower = rep.FilteredPower
+		smp.Derate = rep.Derate
+		smp.SensorFaulted = rep.Faulted
+		samples = append(samples, smp)
+	}
+	return samples, nil
+}
+
+// EnforcerStats exposes the sensed path's violation accounting after a run;
+// ok is false when the simulation is not in sensed mode.
+func (s *Sim) EnforcerStats() (EnforcerStats, bool) {
+	if s.enf == nil {
+		return EnforcerStats{}, false
+	}
+	return s.enf.Stats(), true
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"testing"
+
+	"powercap/internal/safety"
+	"powercap/internal/sensor"
+	"powercap/internal/workload"
+)
+
+// runCapCycle drives one Enforcer through the violation-provoking schedule:
+// a long warm phase at wide-open caps (sensor drift pins at its floor and
+// the consistency check latches), then repeated deep budget cuts that force
+// a multi-level p-state walk. Caps are uniform so Σcaps equals the budget
+// exactly, as DiBA guarantees.
+func runCapCycle(t *testing.T, cfg SensedConfig) EnforcerStats {
+	t.Helper()
+	const n = 8
+	benchs := make([]workload.Benchmark, n)
+	for i := range benchs {
+		benchs[i] = workload.HPC[i%len(workload.HPC)]
+	}
+	e, err := NewEnforcer(benchs, workload.DefaultServer, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := func(w float64) []float64 {
+		caps := make([]float64, n)
+		for i := range caps {
+			caps[i] = w
+		}
+		return caps
+	}
+	high, low := uniform(200), uniform(120)
+	run := func(caps []float64, budget float64, periods int) {
+		for i := 0; i < periods; i++ {
+			if _, err := e.Period(caps, budget, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run(high, n*200, 60)
+	for c := 0; c < 3; c++ {
+		run(low, n*120, 30)
+		run(high, n*200, 40)
+	}
+	return e.Stats()
+}
+
+// TestRawTelemetrySustainsViolations is the unhardened baseline: with
+// drifting sensors under-reporting and no filter, controllers stop their
+// post-cut walk early and the cluster sits above budget for tens of
+// periods.
+func TestRawTelemetrySustainsViolations(t *testing.T) {
+	st := runCapCycle(t, SensedConfig{Plan: sensor.DefaultChaos(11), RawTelemetry: true})
+	if st.MaxTrueRun < 10 {
+		t.Fatalf("raw telemetry: longest true-violation run %d periods, expected a sustained (≥10) breach; stats %+v", st.MaxTrueRun, st)
+	}
+}
+
+// TestFilterAloneLeavesMultiPeriodViolations shows why the watchdog exists:
+// the robust filter restores honest measurements (so violations are at
+// least *visible*), but the one-level-per-period feedback walk still takes
+// several periods to absorb a deep budget cut.
+func TestFilterAloneLeavesMultiPeriodViolations(t *testing.T) {
+	st := runCapCycle(t, SensedConfig{Plan: sensor.DefaultChaos(11)})
+	if st.MaxFilteredRun < 2 {
+		t.Fatalf("filter-only: longest filtered-violation run %d, expected a multi-period breach the watchdog would have shed; stats %+v", st.MaxFilteredRun, st)
+	}
+}
+
+// TestWatchdogContainsViolationsWithinOnePeriod is the acceptance
+// criterion: same chaos, same schedule, watchdog on — every filtered
+// violation is contained within one control period, and the true power
+// follows within two.
+func TestWatchdogContainsViolationsWithinOnePeriod(t *testing.T) {
+	st := runCapCycle(t, SensedConfig{
+		Plan:     sensor.DefaultChaos(11),
+		Watchdog: &safety.Config{},
+	})
+	if st.MaxFilteredRun > 1 {
+		t.Fatalf("watchdog: filtered-violation run of %d periods, want ≤ 1; stats %+v", st.MaxFilteredRun, st)
+	}
+	if st.MaxTrueRun > 2 {
+		t.Fatalf("watchdog: true-violation run of %d periods, want ≤ 2; stats %+v", st.MaxTrueRun, st)
+	}
+	if st.Sheds == 0 {
+		t.Fatal("watchdog never shed — the schedule failed to provoke it")
+	}
+}
+
+// TestSensedSimDisabledPathsUntouched: a Sim without Sensed must not even
+// construct the enforcement stack, and a Sim with an ideal-sensor Sensed
+// config must keep ΣP within budget throughout.
+func TestSensedSimIdealSensorsStayWithinBudget(t *testing.T) {
+	sim, err := NewSim(Config{
+		N:               6,
+		Seed:            3,
+		RoundsPerSecond: 40,
+		Sensed:          &SensedConfig{Watchdog: &safety.Config{}},
+	}, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := sim.Run(20, []BudgetEvent{{AtSecond: 8, Budget: 780}, {AtSecond: 15, Budget: 900}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 21 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	st, ok := sim.EnforcerStats()
+	if !ok {
+		t.Fatal("sensed sim reports no enforcer stats")
+	}
+	if st.MaxFilteredRun > 1 {
+		t.Fatalf("ideal sensors: filtered-violation run %d, want ≤ 1; stats %+v", st.MaxFilteredRun, st)
+	}
+	plain, err := NewSim(Config{N: 6, Seed: 3, RoundsPerSecond: 40}, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain.EnforcerStats(); ok {
+		t.Fatal("plain sim unexpectedly has an enforcer")
+	}
+}

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"powercap/internal/diba"
+	"powercap/internal/safety"
+	"powercap/internal/sensor"
+	"powercap/internal/topology"
+	"powercap/internal/workload"
+)
+
+// checkGoroutineLeakCluster fails the test if goroutines outlive it (stray
+// fault timers, stuck agents). Registered as a cleanup so it runs last.
+func checkGoroutineLeakCluster(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		if t.Failed() {
+			return
+		}
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+	})
+}
+
+func TestSensorAndTransportChaosSoak(t *testing.T) {
+	// The everything-at-once drill: DiBA agents exchanging estimates over a
+	// chaos transport (delay, duplication, reordering) while every agent's
+	// power sensor runs a fault plan (dropouts, stuck-at, spikes, drift)
+	// behind its telemetry guard, and a watchdog-monitored enforcement loop
+	// actuates whatever caps the agents currently apply. Under all of it at
+	// once: no agent may error, the consensus must stay conservative, the
+	// guard must visibly degrade/recover at least once, and the watchdog
+	// must never let the filtered cluster power exceed the budget for more
+	// than one control period.
+	checkGoroutineLeakCluster(t)
+	n := 8
+	const rounds = 400
+	rng := rand.New(rand.NewSource(61))
+	asg, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := asg.UtilitySlice()
+	budget := float64(n) * 170
+	g := topology.Ring(n)
+	var totalIdle float64
+	for _, u := range us {
+		totalIdle += u.MinPower()
+	}
+
+	plan := &diba.FaultPlan{
+		Seed:        19,
+		DelayProb:   0.4,
+		MaxDelay:    1200 * time.Microsecond,
+		DupProb:     0.15,
+		ReorderProb: 0.15,
+	}
+	fp := diba.FaultPolicy{GatherTimeout: 2 * time.Second, Recover: true}
+	sensorPlan := sensor.DefaultChaos(23)
+	net := diba.NewChanNetwork(n, 256)
+
+	var transitions atomic.Int64
+	agents := make([]*diba.Agent, n)
+	for i := 0; i < n; i++ {
+		a, err := diba.NewAgent(i, g.NeighborsInts(i), us[i], budget, n, totalIdle, diba.Config{}, diba.NewFaultTransport(net.Endpoint(i), i, plan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.SetFaultPolicy(fp)
+		pipe := &sensor.Pipeline{
+			Meter:  sensor.NewMeter(sensorPlan, i),
+			Filter: sensor.NewFilter(0.85*workload.DefaultServer.IdleWatts, 1.05*workload.DefaultServer.MaxWatts),
+		}
+		a.SetTelemetryGuard(diba.TelemetryGuard{
+			Measure: func(expected float64) (float64, bool) {
+				// The agent's server is sitting at the cap it applied; the
+				// meter corrupts that reading per its fault plan.
+				return pipe.Measure(expected, expected)
+			},
+			OnEvent: func(diba.HealthEvent) { transitions.Add(1) },
+		})
+		agents[i] = a
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	states := make([]diba.AgentState, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := agents[i].Run(rounds)
+			states[i], errs[i] = st, err
+		}(i)
+	}
+
+	// The monitor side: a watchdog-guarded enforcement loop actuating the
+	// caps the agents currently apply (read through their atomics), with its
+	// own independently faulted sensors on the controllers.
+	enf, err := NewEnforcer(asg.Benchmarks, workload.DefaultServer, 0, SensedConfig{
+		Plan:     sensor.DefaultChaos(29),
+		Watchdog: &safety.Config{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	mrng := rand.New(rand.NewSource(67))
+	caps := make([]float64, n)
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+monitor:
+	for {
+		select {
+		case <-done:
+			break monitor
+		case <-ticker.C:
+			for i, a := range agents {
+				caps[i] = a.AppliedCap()
+			}
+			if _, err := enf.Period(caps, budget, mrng); err != nil {
+				t.Fatalf("enforcement period: %v", err)
+			}
+		}
+	}
+	plan.Quiesce()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+	}
+	var sumP, sumE float64
+	for i, st := range states {
+		if st.Rounds != rounds {
+			t.Fatalf("agent %d ran %d rounds, want %d", i, st.Rounds, rounds)
+		}
+		sumP += st.Power
+		sumE += st.E
+	}
+	if gap := sumE - (sumP - budget); gap > 1e-6 || gap < -1e-6 {
+		t.Fatalf("conservation violated under chaos: Σe − (Σp − B) = %v", gap)
+	}
+	if transitions.Load() == 0 {
+		t.Fatal("no telemetry guard ever degraded or recovered; sensor chaos not exercised")
+	}
+	st := enf.Stats()
+	if st.Periods < 20 {
+		t.Fatalf("monitor ran only %d periods; soak too short to mean anything", st.Periods)
+	}
+	if st.MaxFilteredRun > 1 {
+		t.Fatalf("watchdog let filtered power exceed the budget for %d consecutive periods (stats %+v)", st.MaxFilteredRun, st)
+	}
+}

@@ -68,6 +68,16 @@ type Agent struct {
 	// transport's PeerLiveness (which in-process transports lack) so triage
 	// can tell a stalled-but-beaconing peer from a dead one.
 	heard map[int]time.Time
+
+	// tel is the local telemetry guard (telemetry.go); nil when the agent
+	// trusts its sensor unconditionally.
+	tel *telemetryState
+	// rejoined tombstones completed rejoins (rejoin.go): node id → the
+	// round it rejoined at plus its adopted state, guarding against stale
+	// death reports still circulating. rejoinedAt is this agent's own
+	// rejoin round when it itself came back from a restart.
+	rejoined   map[int]rejoinRecord
+	rejoinedAt int
 }
 
 // AgentState is an agent's externally visible state after a run.
@@ -184,6 +194,7 @@ func (a *Agent) runRound(quietView, stopProposal int) (map[int]Message, float64,
 	a.e = a.e + phat - outflow
 	a.round++
 	a.finishRound(got)
+	a.applyTelemetry()
 	return got, phat, nil
 }
 
@@ -287,7 +298,11 @@ func (a *Agent) gather() (map[int]Message, error) {
 		if err != nil {
 			return nil, err
 		}
-		if ft {
+		if ft && m.Kind != MsgRejoinReq {
+			// A rejoin request is a plea from a node that lost its round
+			// state — deliberately not counted as liveness, so the failure
+			// detector still declares the restarted node dead and readmission
+			// goes through the handshake (rejoin.go).
 			a.heard[m.From] = time.Now()
 		}
 		switch m.Kind {
@@ -302,6 +317,21 @@ func (a *Agent) gather() (map[int]Message, error) {
 			}
 			a.refreshNeed(need)
 			continue
+		case MsgHealth:
+			a.noteHealth(m)
+			continue
+		case MsgRejoinReq:
+			if ft {
+				a.handleRejoinReq(m)
+			}
+			continue
+		case MsgRejoin:
+			if ft {
+				a.handleRejoinFlood(m)
+			}
+			continue
+		case MsgRejoinAck:
+			continue // only meaningful inside Agent.Rejoin
 		}
 		if ft {
 			a.noteRound(m)

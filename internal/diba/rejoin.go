@@ -1,0 +1,358 @@
+package diba
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// Restart-rejoin: the inverse of repair.go. A node that crashed and was
+// declared dead can come back — restarted from an operational snapshot —
+// and the cluster heals to exactly its original membership and budget:
+//
+//  1. The restarted agent floods MsgRejoinReq to its former ring neighbors
+//     (resending until answered; a request is deliberately NOT liveness, so
+//     a restart that beat the failure detector still gets declared dead
+//     first and then readmitted).
+//  2. A survivor holding a dead record for the requester schedules a rejoin
+//     round J comfortably ahead of its own round counter, floods MsgRejoin
+//     so every survivor agrees (minimum J wins, improvements re-flood — the
+//     same epidemic-minimum trick chord activation uses), and answers the
+//     requester with MsgRejoinAck carrying J and the frozen state
+//     (p_d, e_d) the cluster froze at the death.
+//  3. The rejoiner adopts the frozen state — NOT its own snapshot state —
+//     sets its round to J, and resumes normal BSP rounds. Survivors keep
+//     their flow compensation folded; adopting exactly (p_d, e_d) is what
+//     makes Σe = Σp − B hold to float precision again (the death shrank
+//     the budget by p_d − e_d; the rejoiner brings back exactly that).
+//  4. At round J every survivor deletes the dead record, re-adds the ring
+//     edge it dropped, and recomputes its budget view — back to exactly
+//     the configured B. A tombstone guards against stale death epidemics
+//     still circulating from before the rejoin.
+//
+// Assumes the failure that took the node out has otherwise quiesced (the
+// record set converged) and that the handshake completes before the
+// survivors reach J — the margin is generous (cluster size + RepairMargin
+// + 8 rounds), but a rejoiner that misses its window simply times out and
+// retries after the cluster re-declares it dead.
+
+// AgentSnapshot is the serializable per-agent state for crash-restart. It
+// intentionally carries only what a restart cannot re-derive: identity,
+// round position, and the (p, e) pair. Topology, utility, and policy come
+// from the daemon's own configuration.
+type AgentSnapshot struct {
+	Version int     `json:"version"`
+	ID      int     `json:"id"`
+	Round   int     `json:"round"`
+	P       float64 `json:"p"`
+	E       float64 `json:"e"`
+	// Budget is the configured cluster budget (budget0), recorded so a
+	// restart with a mismatched -budget flag is caught instead of silently
+	// corrupting conservation.
+	Budget float64 `json:"budget"`
+}
+
+// agentSnapshotVersion guards the wire format.
+const agentSnapshotVersion = 1
+
+// Snapshot captures the agent's restartable state.
+func (a *Agent) Snapshot() AgentSnapshot {
+	return AgentSnapshot{
+		Version: agentSnapshotVersion,
+		ID:      a.ID,
+		Round:   a.round,
+		P:       a.p,
+		E:       a.e,
+		Budget:  a.budget0,
+	}
+}
+
+// WriteSnapshot serializes the agent state as JSON.
+func (a *Agent) WriteSnapshot(w io.Writer) error {
+	return json.NewEncoder(w).Encode(a.Snapshot())
+}
+
+// Resume replaces the agent's dynamic state with the snapshot after
+// validation. Call before the first round; a subsequent Rejoin overrides
+// (p, e, round) with the cluster's frozen view, which is the authoritative
+// one for conservation.
+func (a *Agent) Resume(s AgentSnapshot) error {
+	if s.Version != agentSnapshotVersion {
+		return fmt.Errorf("diba: agent snapshot version %d unsupported", s.Version)
+	}
+	if s.ID != a.ID {
+		return fmt.Errorf("diba: snapshot is for agent %d, this agent is %d", s.ID, a.ID)
+	}
+	if s.Round < 0 {
+		return fmt.Errorf("diba: snapshot round %d negative", s.Round)
+	}
+	if math.IsNaN(s.P) || math.IsInf(s.P, 0) || math.IsNaN(s.E) || math.IsInf(s.E, 0) {
+		return errors.New("diba: snapshot carries non-finite state")
+	}
+	if s.P < a.util.MinPower()-1e-9 || s.P > a.util.MaxPower()+1e-9 {
+		return fmt.Errorf("diba: snapshot cap %g outside [%g, %g]", s.P, a.util.MinPower(), a.util.MaxPower())
+	}
+	if s.E >= 0 {
+		return fmt.Errorf("diba: snapshot estimate %g not strictly negative", s.E)
+	}
+	if d := s.Budget - a.budget0; d > 1e-6 || d < -1e-6 {
+		return fmt.Errorf("diba: snapshot budget %g does not match configured %g", s.Budget, a.budget0)
+	}
+	a.round = s.Round
+	a.p = s.P
+	a.e = s.E
+	if a.tel != nil {
+		a.tel.applied.Store(math.Float64bits(s.P))
+	}
+	return nil
+}
+
+// ReadSnapshot deserializes and applies an agent snapshot.
+func (a *Agent) ReadSnapshot(r io.Reader) error {
+	var s AgentSnapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("diba: decoding agent snapshot: %w", err)
+	}
+	return a.Resume(s)
+}
+
+// Round returns the agent's current round counter.
+func (a *Agent) Round() int { return a.round }
+
+// rejoinRecord tombstones a completed rejoin: the agreed rejoin round and
+// the state the rejoiner adopted, kept so stale death epidemics from before
+// the rejoin are recognized and ignored.
+type rejoinRecord struct {
+	at        int
+	lastRound int
+	p, e      float64
+}
+
+// Rejoin runs the restart-rejoin handshake: flood requests to the ring
+// neighbors, collect acknowledgements, adopt the cluster's frozen state and
+// the agreed rejoin round. On success the agent is ready to run normal
+// rounds starting at that round. Requires a FaultPolicy (SetFaultPolicy).
+func (a *Agent) Rejoin(timeout time.Duration) error {
+	if !a.ftEnabled() {
+		return errors.New("diba: rejoin requires a fault policy with detection enabled")
+	}
+	deadline := time.Now().Add(timeout)
+	resendEvery := timeout / 20
+	if resendEvery < 10*time.Millisecond {
+		resendEvery = 10 * time.Millisecond
+	}
+	if resendEvery > 250*time.Millisecond {
+		resendEvery = 250 * time.Millisecond
+	}
+	req := Message{Kind: MsgRejoinReq, From: a.ID, Round: a.round}
+	acks := make(map[int]Message, len(a.Neighbors))
+	bestL, minJ := -1, 0
+	var frozenP, frozenE float64
+	var nextSend time.Time
+	var deferred []Message // dead reports about others, applied after adoption
+	for len(acks) < len(a.Neighbors) || minJ == 0 {
+		now := time.Now()
+		if !now.Before(deadline) {
+			if len(acks) > 0 && minJ > 0 {
+				break // partial but sufficient: at least one survivor vouched
+			}
+			return fmt.Errorf("diba: agent %d rejoin timed out after %v (%d/%d neighbors answered)", a.ID, timeout, len(acks), len(a.Neighbors))
+		}
+		if !now.Before(nextSend) {
+			for _, nb := range a.Neighbors {
+				_ = a.tr.Send(nb, req)
+			}
+			nextSend = now.Add(resendEvery)
+		}
+		until := nextSend
+		if deadline.Before(until) {
+			until = deadline
+		}
+		wait := time.Until(until)
+		if wait <= 0 {
+			wait = time.Millisecond
+		}
+		m, err := recvTimeout(a.tr, wait)
+		if errors.Is(err, ErrRecvTimeout) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		switch m.Kind {
+		case MsgRejoinAck:
+			if m.Dead != a.ID || m.Act <= 0 {
+				continue
+			}
+			acks[m.From] = m
+			a.heard[m.From] = time.Now()
+			if m.Round > bestL {
+				bestL, frozenP, frozenE = m.Round, m.P, m.E
+			}
+			if minJ == 0 || m.Act < minJ {
+				minJ = m.Act
+			}
+		case MsgRejoin:
+			if m.Dead == a.ID && m.Act > 0 && (minJ == 0 || m.Act < minJ) {
+				minJ = m.Act
+			}
+		case MsgNodeDead:
+			if m.Dead != a.ID {
+				deferred = append(deferred, m)
+			}
+			// Reports about our former self are stale by construction here.
+		case MsgEstimate:
+			// A survivor already past J is broadcasting to us; buffer it for
+			// the round loop.
+			buf := a.pending[m.Round]
+			if buf == nil {
+				buf = make(map[int]Message)
+				a.pending[m.Round] = buf
+			}
+			buf[m.From] = m
+		}
+	}
+	if bestL < 0 {
+		return fmt.Errorf("diba: agent %d rejoin: no survivor holds frozen state", a.ID)
+	}
+	// Adopt the cluster's frozen view — this, not the snapshot, is what
+	// restores Σe = Σp − B exactly (the survivors' budgets shrank by
+	// exactly p_frozen − e_frozen).
+	a.p = frozenP
+	a.e = frozenE
+	a.round = minJ
+	a.rejoinedAt = minJ
+	a.budget = a.budget0
+	if a.tel != nil {
+		a.tel.applied.Store(math.Float64bits(a.p))
+	}
+	for r := range a.pending {
+		if r < minJ {
+			delete(a.pending, r)
+		}
+	}
+	for _, m := range deferred {
+		_ = a.applyDeadReport(m) // self-reports were filtered above
+	}
+	a.event("rejoin", a.ID, fmt.Sprintf("rejoined at round %d with frozen p=%.3f e=%.3f (%d acks)", minJ, frozenP, frozenE, len(acks)))
+	return nil
+}
+
+// rejoinMargin is how many rounds ahead of the proposer the rejoin round is
+// scheduled: past the epidemic's propagation (cluster size, like
+// RepairMargin) plus slack for the handshake round trips.
+func (a *Agent) rejoinMargin() int {
+	m := a.fp.RepairMargin
+	if m < a.clusterSize {
+		m = a.clusterSize
+	}
+	return m + 8
+}
+
+// handleRejoinReq answers a restarted node asking back in. Only a survivor
+// that still holds the requester's dead record can vouch; anyone else stays
+// silent and lets detection (or the epidemic) catch up first.
+func (a *Agent) handleRejoinReq(m Message) {
+	rec := a.dead[m.From]
+	if rec == nil {
+		return
+	}
+	if rec.rejoinAt <= 0 {
+		rec.rejoinAt = a.round + a.rejoinMargin()
+		a.floodRejoin(rec)
+		a.event("rejoin", m.From, fmt.Sprintf("rejoin scheduled for round %d", rec.rejoinAt))
+	}
+	_ = a.tr.Send(m.From, Message{
+		Kind:  MsgRejoinAck,
+		From:  a.ID,
+		Dead:  m.From,
+		Act:   rec.rejoinAt,
+		Round: rec.lastRound,
+		P:     rec.frozenP,
+		E:     rec.frozenE,
+	})
+}
+
+// handleRejoinFlood merges a rejoin schedule from a peer: the minimum round
+// wins and improvements re-flood, so all survivors converge on one J.
+func (a *Agent) handleRejoinFlood(m Message) {
+	if m.Dead == a.ID {
+		return // echo of our own rejoin; Rejoin consumed the ones that matter
+	}
+	rec := a.dead[m.Dead]
+	if rec == nil {
+		// The schedule can outrun the death epidemic itself — both flood
+		// concurrently over delaying links. The flood carries the sender's
+		// frozen-state view, so it doubles as a death report: merge it and
+		// fall through. Dropping it would orphan this survivor from the
+		// rejoin (a missed schedule is otherwise only re-delivered by the
+		// periodic anti-entropy).
+		a.mergeDead(m.Dead, m.Round, m.P, m.E, 0)
+		rec = a.dead[m.Dead]
+		if rec == nil {
+			return // tombstoned: a stale flood from before a completed rejoin
+		}
+	} else if m.Round > rec.lastRound {
+		// Max-merge the frozen-state view like any other epidemic report.
+		// This heals a split record (one survivor missed the final-broadcast
+		// revision) before the rejoiner adopts the frozen state — a split
+		// view would leave a spurious flow compensation behind and break
+		// conservation by one round's edge flow.
+		a.mergeDead(m.Dead, m.Round, m.P, m.E, rec.activateAt)
+	}
+	if m.Act > 0 && (rec.rejoinAt <= 0 || m.Act < rec.rejoinAt) {
+		rec.rejoinAt = m.Act
+		a.floodRejoin(rec)
+	}
+}
+
+// floodRejoin announces rec's rejoin schedule over every live link.
+func (a *Agent) floodRejoin(rec *deadRecord) {
+	out := Message{
+		Kind:  MsgRejoin,
+		From:  a.ID,
+		Dead:  rec.node,
+		Act:   rec.rejoinAt,
+		Round: rec.lastRound,
+		P:     rec.frozenP,
+		E:     rec.frozenE,
+	}
+	for _, nb := range a.links() {
+		_ = a.tr.Send(nb, out)
+	}
+}
+
+// completeRejoins finishes every rejoin whose round has arrived: re-add the
+// dropped ring edge, forget the dead record, and restore the budget view —
+// with a single failure now healed, back to exactly the configured budget.
+// Runs at the top of beginRound so the same round's gather already expects
+// the rejoiner's broadcast.
+func (a *Agent) completeRejoins() {
+	var done []int
+	for id, rec := range a.dead {
+		if rec.rejoinAt > 0 && a.round >= rec.rejoinAt {
+			done = append(done, id)
+		}
+	}
+	sort.Ints(done)
+	for _, id := range done {
+		rec := a.dead[id]
+		if rec.droppedEdge && !a.hasNeighbor(id) {
+			a.Neighbors = append(a.Neighbors, id)
+			sort.Ints(a.Neighbors)
+		}
+		delete(a.dead, id)
+		delete(a.usedRound, id)
+		delete(a.lastFrom, id)
+		if a.rejoined == nil {
+			a.rejoined = make(map[int]rejoinRecord)
+		}
+		a.rejoined[id] = rejoinRecord{at: rec.rejoinAt, lastRound: rec.lastRound, p: rec.frozenP, e: rec.frozenE}
+		a.recomputeBudget()
+		a.event("rejoin", id, fmt.Sprintf("node readmitted at round %d; budget view %.3f W", rec.rejoinAt, a.budget))
+	}
+}

@@ -1,0 +1,187 @@
+package diba
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"powercap/internal/topology"
+)
+
+// runToRound drives one agent to the target round, reporting any error
+// other than the injected crash (which the caller handles).
+func runToRound(a *Agent, target int) error {
+	for a.Round() < target {
+		if err := a.StepOnce(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestCrashRestartRejoinRestoresBudgetExactly(t *testing.T) {
+	// The full restart-rejoin drill, in process: a mid-broadcast crash,
+	// detection + ring repair by the survivors, then the victim restarts
+	// from its snapshot, rejoins through the handshake, and the cluster
+	// heals to its original membership. Afterwards every agent's budget
+	// view must be exactly the configured B again, no dead records may
+	// remain, and the conservation identity Σe = Σp − B must hold over the
+	// full (healed) membership.
+	checkGoroutineLeak(t)
+	n := 6
+	const victim = 3
+	us := mkCluster(t, n, 41)
+	budget := float64(n) * 170
+	g := topology.Ring(n)
+	standby := ringStandby(n, 2)
+	var totalIdle float64
+	for _, u := range us {
+		totalIdle += u.MinPower()
+	}
+	const rounds = 300
+
+	// Delays pace the rounds to ~ms so the rejoin handshake (wall-clock)
+	// fits inside the round budget; the odd crash threshold lands the
+	// crash mid-broadcast (degree 2), the hardest reconciliation case.
+	plan := &FaultPlan{Seed: 17, DelayProb: 1.0, MaxDelay: 1500 * time.Microsecond, CrashAfterSends: map[int]int{victim: 101}}
+	fp := FaultPolicy{GatherTimeout: 400 * time.Millisecond, Recover: true}
+	net := NewChanNetwork(n, 256)
+
+	var wg sync.WaitGroup
+	states := make([]AgentState, n)
+	errs := make([]error, n)
+	crashed := make(chan AgentSnapshot, 1)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, err := NewAgent(i, g.NeighborsInts(i), us[i], budget, n, totalIdle, Config{}, NewFaultTransport(net.Endpoint(i), i, plan))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			a.SetFaultPolicy(fp)
+			a.SetStandby(standby[i])
+			if err := runToRound(a, rounds); err != nil {
+				if errors.Is(err, ErrCrashed) {
+					snap := a.Snapshot()
+					_ = a.tr.Close()
+					crashed <- snap
+					return
+				}
+				errs[i] = err
+				return
+			}
+			states[i] = a.state()
+		}(i)
+	}
+
+	// The operator side: wait for the crash, restart the daemon on the
+	// same host from its snapshot, rejoin, run to the common final round.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var snap AgentSnapshot
+		select {
+		case snap = <-crashed:
+		case <-time.After(30 * time.Second):
+			errs[victim] = errors.New("victim never crashed; injection broken")
+			return
+		}
+		net.Reopen(victim)
+		a, err := NewAgent(victim, g.NeighborsInts(victim), us[victim], budget, n, totalIdle, Config{}, net.Endpoint(victim))
+		if err != nil {
+			errs[victim] = err
+			return
+		}
+		a.SetFaultPolicy(fp)
+		if err := a.Resume(snap); err != nil {
+			errs[victim] = err
+			return
+		}
+		if err := a.Rejoin(10 * time.Second); err != nil {
+			errs[victim] = err
+			return
+		}
+		if a.Round() <= snap.Round {
+			errs[victim] = errors.New("rejoin round not ahead of the crash snapshot")
+			return
+		}
+		if err := runToRound(a, rounds); err != nil {
+			errs[victim] = err
+			return
+		}
+		states[victim] = a.state()
+	}()
+	wg.Wait()
+	plan.Quiesce()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+	}
+
+	var sumP, sumE float64
+	for i, st := range states {
+		if st.Rounds != rounds {
+			t.Fatalf("agent %d stopped at round %d, want %d", i, st.Rounds, rounds)
+		}
+		if len(st.Dead) != 0 {
+			t.Fatalf("agent %d still holds dead records %v after the rejoin", i, st.Dead)
+		}
+		if st.Budget != budget {
+			t.Fatalf("agent %d budget view %v, want exactly %v", i, st.Budget, budget)
+		}
+		sumP += st.Power
+		sumE += st.E
+	}
+	if gap := sumE - (sumP - budget); gap > 1e-6 || gap < -1e-6 {
+		t.Fatalf("conservation violated after rejoin: Σe − (Σp − B) = %v", gap)
+	}
+	if sumP > budget+1e-9 {
+		t.Fatalf("healed cluster exceeds budget: Σp = %v > %v", sumP, budget)
+	}
+}
+
+func TestAgentSnapshotRoundTripAndValidation(t *testing.T) {
+	us := mkCluster(t, 4, 42)
+	budget := 4.0 * 170
+	g := topology.Ring(4)
+	var totalIdle float64
+	for _, u := range us {
+		totalIdle += u.MinPower()
+	}
+	mk := func() *Agent {
+		a, err := NewAgent(1, g.NeighborsInts(1), us[1], budget, 4, totalIdle, Config{}, &recordingTransport{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	a := mk()
+	a.round, a.p, a.e = 37, 150, -3.25
+	snap := a.Snapshot()
+
+	b := mk()
+	if err := b.Resume(snap); err != nil {
+		t.Fatalf("round-trip resume: %v", err)
+	}
+	if b.Round() != 37 || b.Power() != 150 || b.Estimate() != -3.25 {
+		t.Fatalf("resumed state (%d, %v, %v) does not match snapshot", b.Round(), b.Power(), b.Estimate())
+	}
+
+	bad := []AgentSnapshot{
+		{Version: 99, ID: 1, Round: 1, P: 150, E: -1, Budget: budget},
+		{Version: 1, ID: 2, Round: 1, P: 150, E: -1, Budget: budget},
+		{Version: 1, ID: 1, Round: -1, P: 150, E: -1, Budget: budget},
+		{Version: 1, ID: 1, Round: 1, P: 1e9, E: -1, Budget: budget},
+		{Version: 1, ID: 1, Round: 1, P: 150, E: 0.5, Budget: budget},
+		{Version: 1, ID: 1, Round: 1, P: 150, E: -1, Budget: budget + 10},
+	}
+	for k, s := range bad {
+		if err := mk().Resume(s); err == nil {
+			t.Fatalf("bad snapshot %d accepted: %+v", k, s)
+		}
+	}
+}

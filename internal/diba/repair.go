@@ -102,6 +102,12 @@ type deadRecord struct {
 	// back to its own estimate (0 if it was not an affected neighbor).
 	compensated float64
 	activated   bool
+	// rejoinAt is the agreed readmission round when the node is coming back
+	// from a restart (0 = no rejoin scheduled); droppedEdge records that
+	// this agent removed its direct edge to the node, so completion knows
+	// to restore it. See rejoin.go.
+	rejoinAt    int
+	droppedEdge bool
 }
 
 // SetFaultPolicy installs the failure detection and recovery policy. Call
@@ -157,21 +163,34 @@ func (a *Agent) beginRound() {
 	if !a.ftEnabled() {
 		return
 	}
+	a.completeRejoins()
 	for _, rec := range a.dead {
 		if !rec.activated && rec.activateAt > 0 && a.round >= rec.activateAt {
 			rec.activated = true
 			a.activateStandby()
 		}
 		if a.round > rec.lastRound {
-			a.removeNeighbor(rec.node)
+			if a.removeNeighbor(rec.node) {
+				rec.droppedEdge = true
+			}
 		}
 	}
-	// Periodic anti-entropy while a repair is pending, in case an epidemic
-	// message was lost to a full mailbox or flaky link.
+	// Periodic anti-entropy while a repair or a rejoin is pending, in case
+	// an epidemic message was lost to a full mailbox or flaky link. A
+	// pending rejoin keeps it running past activation: the budgets converge
+	// back to exactly B only if every survivor's frozen-state view agreed,
+	// so split records must heal before round J.
 	if len(a.dead) > 0 && a.round%8 == 0 {
 		for _, rec := range a.dead {
-			if !rec.activated {
+			if !rec.activated || rec.rejoinAt > 0 {
 				a.gossipRecord(rec)
+			}
+			if rec.rejoinAt > 0 {
+				// Re-flood the rejoin schedule too: the margin (≥ cluster
+				// size + 8) guarantees at least one anti-entropy tick before
+				// round J, so a survivor that missed the one-shot flood still
+				// readmits the node on time.
+				a.floodRejoin(rec)
 			}
 		}
 	}
@@ -208,13 +227,16 @@ func (a *Agent) hasNeighbor(id int) bool {
 	return false
 }
 
-func (a *Agent) removeNeighbor(id int) {
+// removeNeighbor drops id from the active neighbor set, reporting whether
+// an edge was actually removed (so a later rejoin knows to restore it).
+func (a *Agent) removeNeighbor(id int) bool {
 	for k, nb := range a.Neighbors {
 		if nb == id {
 			a.Neighbors = append(a.Neighbors[:k], a.Neighbors[k+1:]...)
-			return
+			return true
 		}
 	}
+	return false
 }
 
 // links returns every id this agent can talk to: active neighbors plus
@@ -239,6 +261,14 @@ func (a *Agent) links() []int {
 // the node broadcast further than previously known.
 func (a *Agent) noteRound(m Message) {
 	if m.Kind != MsgEstimate {
+		return
+	}
+	if rec := a.dead[m.From]; rec != nil && rec.rejoinAt > 0 && m.Round >= rec.rejoinAt {
+		// Not a late pre-crash message: the node's reborn incarnation is
+		// already broadcasting at its rejoin round. It is no evidence about
+		// the dead incarnation — updating lastFrom or the frozen state from
+		// it would corrupt the flow compensation; completeRejoins settles
+		// the record instead, and lastFrom restarts clean afterwards.
 		return
 	}
 	if cur, ok := a.lastFrom[m.From]; !ok || m.Round > cur.Round {
@@ -275,6 +305,11 @@ func (a *Agent) declareDead(ids []int) {
 // dropped its edges), so it must stop rather than corrupt the budget.
 func (a *Agent) applyDeadReport(m Message) error {
 	if m.Dead == a.ID {
+		if a.rejoinedAt > 0 && m.Round < a.rejoinedAt {
+			// A stale epidemic about our pre-restart incarnation is still
+			// circulating; the rejoin already superseded it.
+			return nil
+		}
 		return fmt.Errorf("diba: agent %d declared dead by the cluster (report from %d); stopping", a.ID, m.From)
 	}
 	a.mergeDead(m.Dead, m.Round, m.P, m.E, m.Act)
@@ -286,6 +321,14 @@ func (a *Agent) applyDeadReport(m Message) error {
 // round wins the repair schedule, and any improvement re-floods and
 // re-reconciles.
 func (a *Agent) mergeDead(dead, lastRound int, fP, fE float64, act int) {
+	if tb, ok := a.rejoined[dead]; ok {
+		if lastRound < tb.at {
+			return // stale report from before the node's rejoin
+		}
+		// A genuinely new death after the rejoin: the tombstone has served
+		// its purpose.
+		delete(a.rejoined, dead)
+	}
 	// Our own inbox may know a fresher final broadcast than the report.
 	if last, ok := a.lastFrom[dead]; ok && last.Round > lastRound {
 		lastRound, fP, fE = last.Round, last.P, last.E

@@ -1,0 +1,90 @@
+package diba
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"powercap/internal/topology"
+)
+
+// Fuzzing the snapshot readers: an operational checkpoint comes off a disk
+// or a wire, so arbitrary bytes must never panic the restore path — either
+// the state is validated and adopted, or a descriptive error comes back and
+// the receiver is untouched. The seed corpus runs under plain `go test`,
+// so CI exercises the interesting shapes on every run; `go test -fuzz` digs
+// further.
+
+// fuzzEngine builds a small deterministic engine for restore attempts.
+func fuzzEngine(t testing.TB) *Engine {
+	t.Helper()
+	us := mkCluster(t, 4, 7)
+	en, err := New(topology.Ring(4), us, 4*170, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return en
+}
+
+func FuzzEngineReadSnapshot(f *testing.F) {
+	// A valid snapshot, stepped a few rounds in.
+	en := fuzzEngine(f)
+	for i := 0; i < 5; i++ {
+		en.Step()
+	}
+	var valid bytes.Buffer
+	if err := en.WriteSnapshot(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"budget":680,"iter":3,"p":[1e9,150,150,150],"e":[-1,-1,-1,-1]}`))
+	f.Add([]byte(`{"version":1,"budget":680,"iter":3,"p":[150,150,150,150],"e":[-1,-1,-1,5]}`))
+	f.Add([]byte(`{"version":1,"budget":680,"iter":3,"p":[0,150,150,150],"e":[0,-1,-1,-1],"dead":[0]}`))
+	f.Add([]byte(`{"version":1,"budget":680,"iter":3,"p":[150,150,150,150],"e":[-1,-1,-1,-1],"dead":[99]}`))
+	f.Add([]byte(`{"version":1,"budget":1e308,"iter":3,"p":[150,150,150,150],"e":[-1,-1,-1,-1]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		en := fuzzEngine(t)
+		if err := en.ReadSnapshot(bytes.NewReader(data)); err != nil {
+			return
+		}
+		// An accepted snapshot must leave the engine in a computable state.
+		for _, p := range en.Alloc() {
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				t.Fatalf("accepted snapshot left a non-finite cap: %v", en.Alloc())
+			}
+		}
+		en.Step()
+	})
+}
+
+func FuzzAgentReadSnapshot(f *testing.F) {
+	f.Add([]byte(`{"version":1,"id":1,"round":12,"p":150,"e":-2.5,"budget":680}`))
+	f.Add([]byte(`{"version":1,"id":0,"round":12,"p":150,"e":-2.5,"budget":680}`))
+	f.Add([]byte(`{"version":1,"id":1,"round":-3,"p":150,"e":-2.5,"budget":680}`))
+	f.Add([]byte(`{"version":1,"id":1,"round":12,"p":1e9,"e":-2.5,"budget":680}`))
+	f.Add([]byte(`{"version":1,"id":1,"round":12,"p":150,"e":0,"budget":680}`))
+	f.Add([]byte(`{"version":1,"id":1,"round":12,"p":150,"e":-2.5,"budget":1}`))
+	f.Add([]byte(`nonsense`))
+	f.Add([]byte(`{"version":1,"id":1,"round":12,"p":null,"e":-2.5,"budget":680}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		us := mkCluster(t, 4, 7)
+		var totalIdle float64
+		for _, u := range us {
+			totalIdle += u.MinPower()
+		}
+		a, err := NewAgent(1, []int{0, 2}, us[1], 4*170, 4, totalIdle, Config{}, &recordingTransport{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.ReadSnapshot(bytes.NewReader(data)); err != nil {
+			return
+		}
+		if math.IsNaN(a.Power()) || math.IsInf(a.Power(), 0) || a.Estimate() >= 0 {
+			t.Fatalf("accepted agent snapshot left invalid state: p=%v e=%v", a.Power(), a.Estimate())
+		}
+	})
+}

@@ -1,0 +1,177 @@
+package diba
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Telemetry hardening for the agent loop. The consensus arithmetic (p, e)
+// is driven purely by the utility model and neighbor exchanges — a sensor
+// cannot corrupt it. What a bad sensor CAN do is make the agent apply its
+// computed cap to hardware it can no longer verify. The TelemetryGuard
+// closes that gap: after every round the agent polls its (filtered) power
+// sensor; while the reading is invalid it freezes the cap it actually
+// applies at the lowest recently agreed value, widens it by a safety
+// margin, and beacons degraded health to its peers. The consensus state is
+// deliberately untouched — a degraded agent keeps converging with the
+// cluster, it just refuses to actuate beyond what it can verify, so the
+// fault-free byte-identical guarantees of the round arithmetic hold with
+// the guard installed.
+
+// HealthEvent reports a telemetry-health transition for observability.
+type HealthEvent struct {
+	Round int
+	// Degraded is the new state: true when the sensor went invalid.
+	Degraded bool
+	// AppliedW is the cap the agent is actually applying.
+	AppliedW float64
+}
+
+// TelemetryGuard configures the agent's local sensor check. Install with
+// Agent.SetTelemetryGuard before the first round.
+type TelemetryGuard struct {
+	// Measure polls the server's power-sensor chain: expectedW is the
+	// agent's current cap; the return values are the filtered reading and
+	// whether it may be trusted (see internal/sensor.Pipeline.Measure —
+	// any func with this shape fits). Required.
+	Measure func(expectedW float64) (float64, bool)
+	// MarginW is how far below the frozen cap the applied cap sits while
+	// the sensor is invalid (default 2 W) — the local analogue of the
+	// emergency shed margin.
+	MarginW float64
+	// BeaconEvery is how often (in rounds) a degraded agent re-beacons its
+	// health over its links (default 8). Transitions always beacon.
+	BeaconEvery int
+	// OnEvent, when set, observes health transitions.
+	OnEvent func(HealthEvent)
+}
+
+// telemetryState is the agent-side runtime state of the guard. applied and
+// degraded are atomics so an external monitor (the watchdog loop, a status
+// endpoint) can read them while the agent goroutine runs rounds.
+type telemetryState struct {
+	guard       TelemetryGuard
+	applied     atomic.Uint64 // Float64bits of the applied cap
+	degraded    atomic.Bool
+	sinceBeacon int
+	peerBad     map[int]bool
+}
+
+// SetTelemetryGuard installs the local sensor check. Call before the first
+// round. A nil Measure func disables the guard.
+func (a *Agent) SetTelemetryGuard(g TelemetryGuard) {
+	if g.Measure == nil {
+		a.tel = nil
+		return
+	}
+	if g.MarginW <= 0 {
+		g.MarginW = 2
+	}
+	if g.BeaconEvery <= 0 {
+		g.BeaconEvery = 8
+	}
+	a.tel = &telemetryState{guard: g, peerBad: make(map[int]bool)}
+	a.tel.applied.Store(math.Float64bits(a.p))
+}
+
+// AppliedCap returns the cap the agent is actually applying to its server:
+// the consensus cap when telemetry is healthy, the frozen-and-margined cap
+// while degraded. Safe to call from other goroutines. Without a guard it
+// is the consensus cap.
+func (a *Agent) AppliedCap() float64 {
+	if a.tel == nil {
+		return a.p
+	}
+	return math.Float64frombits(a.tel.applied.Load())
+}
+
+// Degraded reports whether the agent's telemetry is currently invalid.
+// Safe to call from other goroutines.
+func (a *Agent) Degraded() bool {
+	return a.tel != nil && a.tel.degraded.Load()
+}
+
+// DegradedPeers returns the ids whose most recent health beacon announced
+// degraded telemetry. Only valid from the agent's own goroutine.
+func (a *Agent) DegradedPeers() []int {
+	if a.tel == nil {
+		return nil
+	}
+	out := make([]int, 0, len(a.tel.peerBad))
+	for id, bad := range a.tel.peerBad {
+		if bad {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// applyTelemetry runs after each round's estimate update: poll the sensor,
+// decide what cap to actually apply, beacon health transitions.
+func (a *Agent) applyTelemetry() {
+	t := a.tel
+	if t == nil {
+		return
+	}
+	_, ok := t.guard.Measure(a.p)
+	wasBad := t.degraded.Load()
+	if ok {
+		t.applied.Store(math.Float64bits(a.p))
+		if wasBad {
+			t.degraded.Store(false)
+			a.beaconHealth(false)
+			t.sinceBeacon = 0
+			a.event("telemetry", a.ID, "sensor recovered; applying consensus cap")
+			if t.guard.OnEvent != nil {
+				t.guard.OnEvent(HealthEvent{Round: a.round, Degraded: false, AppliedW: a.p})
+			}
+		}
+		return
+	}
+	// Invalid reading: freeze at the lowest verified cap, widened by the
+	// margin, and never above what consensus currently grants. The floor is
+	// the utility's own minimum — an unverifiable server sheds toward idle,
+	// it does not switch off.
+	frozen := math.Float64frombits(t.applied.Load())
+	next := math.Min(frozen, a.p) - t.guard.MarginW
+	if min := a.util.MinPower(); next < min {
+		next = min
+	}
+	t.applied.Store(math.Float64bits(next))
+	if !wasBad {
+		t.degraded.Store(true)
+		a.beaconHealth(true)
+		t.sinceBeacon = 0
+		a.event("telemetry", a.ID, "sensor invalid; freezing applied cap")
+		if t.guard.OnEvent != nil {
+			t.guard.OnEvent(HealthEvent{Round: a.round, Degraded: true, AppliedW: next})
+		}
+		return
+	}
+	t.sinceBeacon++
+	if t.sinceBeacon >= t.guard.BeaconEvery {
+		a.beaconHealth(true)
+		t.sinceBeacon = 0
+	}
+}
+
+// beaconHealth floods a health beacon over every live link. Best-effort:
+// health is advisory, round progress never depends on it.
+func (a *Agent) beaconHealth(degraded bool) {
+	act := 0
+	if degraded {
+		act = 1
+	}
+	out := Message{Kind: MsgHealth, From: a.ID, Round: a.round, Act: act}
+	for _, nb := range a.links() {
+		_ = a.tr.Send(nb, out)
+	}
+}
+
+// noteHealth records a peer's health beacon.
+func (a *Agent) noteHealth(m Message) {
+	if a.tel == nil {
+		return
+	}
+	a.tel.peerBad[m.From] = m.Act == 1
+}

@@ -21,6 +21,19 @@ const (
 	// node's identity, its frozen state, and the agreed repair round. See
 	// repair.go.
 	MsgNodeDead = 2
+	// MsgHealth is an application-level telemetry-health beacon: an agent
+	// whose power sensor went invalid announces degraded operation (Act=1)
+	// or recovery (Act=0) so peers can observe it without any change to the
+	// round arithmetic. See telemetry.go.
+	MsgHealth = 3
+	// MsgRejoinReq, MsgRejoin and MsgRejoinAck implement the restart-rejoin
+	// handshake: a node restarted from a snapshot asks its former neighbors
+	// back in (Req), the survivors agree on a rejoin round and flood it
+	// (Rejoin), and each contacted survivor hands the rejoiner its frozen
+	// state and the agreed round (Ack). See rejoin.go.
+	MsgRejoinReq = 4
+	MsgRejoin    = 5
+	MsgRejoinAck = 6
 )
 
 // Message is the single message type DiBA agents exchange: one scalar
@@ -185,6 +198,27 @@ func (ep *chanEndpoint) RecvTimeout(d time.Duration) (Message, error) {
 	case <-timer.C:
 		return Message{}, ErrRecvTimeout
 	}
+}
+
+// Reopen brings a closed endpoint back to life — the in-process analogue of
+// a crashed daemon restarting on the same host. Stale messages from before
+// the crash are drained so the reborn agent starts with an empty inbox.
+func (cn *ChanNetwork) Reopen(id int) {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if id < 0 || id >= len(cn.mailboxes) || !cn.closed[id] {
+		return
+	}
+	for {
+		select {
+		case <-cn.mailboxes[id]:
+			continue
+		default:
+		}
+		break
+	}
+	cn.closed[id] = false
+	cn.done[id] = make(chan struct{})
 }
 
 func (ep *chanEndpoint) Close() error {

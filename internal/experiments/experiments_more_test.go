@@ -268,3 +268,38 @@ func TestScalingFlat(t *testing.T) {
 		}
 	}
 }
+
+func TestSensorChaosOrdering(t *testing.T) {
+	// Each telemetry layer must strictly improve containment, and the
+	// hardened regime must meet the one-period acceptance criterion.
+	tab, err := SensorChaos(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatal("want three regimes")
+	}
+	rawRun := cellF(t, tab, 0, 2)
+	filterRun := cellF(t, tab, 1, 2)
+	wdFiltRun := cellF(t, tab, 2, 4)
+	if rawRun < 10 {
+		t.Fatalf("raw regime's longest true-violation run %v, want a sustained (≥10) breach", rawRun)
+	}
+	if filterRun >= rawRun {
+		t.Fatalf("filter did not shorten the violation runs: %v vs raw %v", filterRun, rawRun)
+	}
+	if wdFiltRun > 1 {
+		t.Fatalf("watchdog regime's longest filtered run %v, want ≤ 1", wdFiltRun)
+	}
+	again, err := SensorChaos(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab.Rows {
+		for c := range tab.Rows[r] {
+			if tab.Rows[r][c] != again.Rows[r][c] {
+				t.Fatalf("not deterministic at row %d col %d: %q vs %q", r, c, tab.Rows[r][c], again.Rows[r][c])
+			}
+		}
+	}
+}

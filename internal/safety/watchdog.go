@@ -1,0 +1,147 @@
+// Package safety provides the cluster cap-safety watchdog: a runtime
+// invariant monitor for ΣP ≤ B, the guarantee the budgeting layer proves
+// at the cap level but hardware only honors if the enforcement loop is fed
+// honest measurements. The watchdog sits after the per-sensor robust
+// filter (internal/sensor), evaluates the filtered total against the
+// budget every control period, and on a violation derates every cap
+// proportionally — an emergency shed in the spirit of the agents'
+// emergencyShedMarginW over-shed (internal/diba), sized so the next
+// period lands safely below the budget, not exactly on it. The shed is
+// released with hysteresis: only after ReleasePeriods consecutive clean
+// periods does the derate step back toward 1, so a marginal sensor cannot
+// flap the cluster between shed and release.
+package safety
+
+import "math"
+
+// shedMarginFrac is the default fraction of the budget the emergency shed
+// undershoots by. Like diba's emergencyShedMarginW, the margin makes the
+// move strictly safe rather than boundary-exact; it is relative here
+// because the watchdog sheds a whole cluster, not one node's watts.
+const shedMarginFrac = 0.02
+
+// derateFloor bounds how far the watchdog can cut caps (it must never
+// derate below a server's ability to idle; the capping layer clamps to
+// idle anyway, this keeps the arithmetic sane on garbage totals).
+const derateFloor = 0.05
+
+// Config tunes a Watchdog. The zero value selects all defaults.
+type Config struct {
+	// MarginFrac is the shed undershoot: a violation derates caps so the
+	// filtered total lands at (1−MarginFrac)·B. 0 selects 0.02.
+	MarginFrac float64
+	// ReleasePeriods is how many consecutive clean periods must pass before
+	// the derate starts stepping back toward 1. 0 selects 5.
+	ReleasePeriods int
+	// ReleaseFrac is the fraction of the remaining shed restored per clean
+	// period once release starts. 0 selects 0.5.
+	ReleaseFrac float64
+	// ToleranceW is the absolute slack before ΣP > B counts as a violation
+	// (measurement granularity). 0 selects 1e-6.
+	ToleranceW float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MarginFrac <= 0 {
+		c.MarginFrac = shedMarginFrac
+	}
+	if c.ReleasePeriods <= 0 {
+		c.ReleasePeriods = 5
+	}
+	if c.ReleaseFrac <= 0 {
+		c.ReleaseFrac = 0.5
+	}
+	if c.ToleranceW <= 0 {
+		c.ToleranceW = 1e-6
+	}
+	return c
+}
+
+// Stats counts what the watchdog saw and did.
+type Stats struct {
+	// Periods is how many control periods were observed.
+	Periods int
+	// Violations is how many periods had filteredTotal > budget + tol.
+	Violations int
+	// Sustained is how many of those immediately followed another
+	// violation — the count the acceptance criterion requires to be zero.
+	Sustained int
+	// Sheds is how many periods tightened the derate.
+	Sheds int
+	// Releases is how many times the derate fully returned to 1.
+	Releases int
+	// MinDerate is the deepest cap derate ever applied (1 if never shed).
+	MinDerate float64
+}
+
+// Watchdog is the invariant monitor. Drive it with one Observe call per
+// control period; apply the returned derate to every cap for the next
+// period. Not safe for concurrent use.
+type Watchdog struct {
+	cfg    Config
+	derate float64
+	clean  int
+	inViol bool
+	stats  Stats
+}
+
+// New builds a watchdog.
+func New(cfg Config) *Watchdog {
+	return &Watchdog{cfg: cfg.withDefaults(), derate: 1, stats: Stats{MinDerate: 1}}
+}
+
+// Observe evaluates one control period: filteredTotal is the robust-
+// filtered ΣP, budget the active B. It returns the cap derate factor to
+// apply next period and whether this period demands an emergency shed
+// (violation detected — actuation should clamp hard to the derated caps
+// rather than walk down one p-state at a time).
+func (w *Watchdog) Observe(filteredTotal, budget float64) (derate float64, shed bool) {
+	w.stats.Periods++
+	if math.IsNaN(filteredTotal) || math.IsInf(filteredTotal, 0) || budget <= 0 {
+		// A garbage total cannot prove safety: treat it as a violation and
+		// shed to the margin (the filter layer should make this unreachable).
+		filteredTotal = budget / derateFloor
+	}
+	if filteredTotal > budget+w.cfg.ToleranceW {
+		w.stats.Violations++
+		if w.inViol {
+			w.stats.Sustained++
+		}
+		w.inViol = true
+		w.clean = 0
+		target := (1 - w.cfg.MarginFrac) * budget
+		// filteredTotal was produced under the current derate; tighten
+		// proportionally so next period's total lands at the target.
+		next := w.derate * target / filteredTotal
+		if next < derateFloor {
+			next = derateFloor
+		}
+		if next < w.derate {
+			w.derate = next
+			w.stats.Sheds++
+			if w.derate < w.stats.MinDerate {
+				w.stats.MinDerate = w.derate
+			}
+		}
+		return w.derate, true
+	}
+	w.inViol = false
+	if w.derate < 1 {
+		w.clean++
+		if w.clean >= w.cfg.ReleasePeriods {
+			w.derate += w.cfg.ReleaseFrac * (1 - w.derate)
+			if 1-w.derate < 1e-9 {
+				w.derate = 1
+				w.clean = 0
+				w.stats.Releases++
+			}
+		}
+	}
+	return w.derate, false
+}
+
+// Derate returns the derate currently in force.
+func (w *Watchdog) Derate() float64 { return w.derate }
+
+// Stats returns the counters so far.
+func (w *Watchdog) Stats() Stats { return w.stats }

@@ -1,0 +1,102 @@
+package safety
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWatchdogQuietOnCleanPeriods(t *testing.T) {
+	w := New(Config{})
+	for i := 0; i < 100; i++ {
+		d, shed := w.Observe(9500, 10000)
+		if d != 1 || shed {
+			t.Fatalf("period %d: derate %g shed %v on a clean cluster", i, d, shed)
+		}
+	}
+	st := w.Stats()
+	if st.Violations != 0 || st.Sheds != 0 || st.MinDerate != 1 {
+		t.Fatalf("clean run stats %+v", st)
+	}
+}
+
+func TestWatchdogShedsProportionallyOnViolation(t *testing.T) {
+	w := New(Config{MarginFrac: 0.02})
+	d, shed := w.Observe(10500, 10000)
+	if !shed {
+		t.Fatal("violation not flagged")
+	}
+	want := 0.98 * 10000 / 10500
+	if math.Abs(d-want) > 1e-12 {
+		t.Fatalf("derate %g, want %g", d, want)
+	}
+	// A deeper violation tightens further; a shallower one must NOT relax
+	// the derate outside the release path.
+	d2, _ := w.Observe(12000, 10000)
+	if d2 >= d {
+		t.Fatalf("deeper violation did not tighten: %g → %g", d, d2)
+	}
+	d3, _ := w.Observe(10001, 10000)
+	if d3 > d2 {
+		t.Fatalf("violation relaxed the derate: %g → %g", d2, d3)
+	}
+}
+
+func TestWatchdogReleaseHysteresis(t *testing.T) {
+	cfg := Config{MarginFrac: 0.02, ReleasePeriods: 5, ReleaseFrac: 0.5}
+	w := New(cfg)
+	w.Observe(10500, 10000)
+	shedDerate := w.Derate()
+	// Fewer clean periods than the hysteresis: no release yet.
+	for i := 0; i < cfg.ReleasePeriods-1; i++ {
+		if d, _ := w.Observe(9700, 10000); d != shedDerate {
+			t.Fatalf("derate moved to %g after only %d clean periods", d, i+1)
+		}
+	}
+	// The next clean period starts the geometric release...
+	d, _ := w.Observe(9700, 10000)
+	if d <= shedDerate {
+		t.Fatalf("release did not start: derate still %g", d)
+	}
+	// ...and sustained clean periods restore derate = 1 exactly.
+	for i := 0; i < 64 && w.Derate() != 1; i++ {
+		w.Observe(9700, 10000)
+	}
+	if w.Derate() != 1 {
+		t.Fatalf("derate %g never fully released", w.Derate())
+	}
+	if w.Stats().Releases != 1 {
+		t.Fatalf("releases %d, want 1", w.Stats().Releases)
+	}
+}
+
+func TestWatchdogCountsSustainedViolations(t *testing.T) {
+	w := New(Config{})
+	w.Observe(10500, 10000)
+	w.Observe(10400, 10000) // second consecutive → sustained
+	w.Observe(9000, 10000)
+	w.Observe(10200, 10000) // isolated again
+	st := w.Stats()
+	if st.Violations != 3 || st.Sustained != 1 {
+		t.Fatalf("stats %+v, want 3 violations of which 1 sustained", st)
+	}
+}
+
+func TestWatchdogSurvivesGarbageTotals(t *testing.T) {
+	w := New(Config{})
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		d, shed := w.Observe(v, 10000)
+		if !shed || d <= 0 || d > 1 || math.IsNaN(d) {
+			t.Fatalf("Observe(%v) → derate %g shed %v", v, d, shed)
+		}
+	}
+}
+
+func TestWatchdogDerateFloor(t *testing.T) {
+	w := New(Config{})
+	for i := 0; i < 50; i++ {
+		w.Observe(1e9, 100)
+	}
+	if d := w.Derate(); d < derateFloor {
+		t.Fatalf("derate %g fell through the floor", d)
+	}
+}

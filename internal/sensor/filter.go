@@ -1,0 +1,264 @@
+package sensor
+
+import "math"
+
+// Verdict classifies one reading after filtering.
+type Verdict uint8
+
+const (
+	// VerdictOK: the reading passed every check unmodified.
+	VerdictOK Verdict = iota
+	// VerdictClamped: the reading was pulled into the plausible range.
+	VerdictClamped
+	// VerdictDespiked: the reading deviated too far from the window median
+	// and was replaced by it.
+	VerdictDespiked
+	// VerdictDropped: the reading was non-finite (sensor dropout); the
+	// output holds the last good value. Not trustworthy for control.
+	VerdictDropped
+	// VerdictDistrusted: the sensor persistently disagrees with the
+	// actuation model (stuck or heavily biased); the output substitutes the
+	// model expectation. Not trustworthy for control.
+	VerdictDistrusted
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictOK:
+		return "ok"
+	case VerdictClamped:
+		return "clamped"
+	case VerdictDespiked:
+		return "despiked"
+	case VerdictDropped:
+		return "dropped"
+	case VerdictDistrusted:
+		return "distrusted"
+	}
+	return "unknown"
+}
+
+// Reading is one filtered observation.
+type Reading struct {
+	// Raw is the value the sensor produced (possibly NaN).
+	Raw float64
+	// Value is the filtered estimate — always finite and in range.
+	Value float64
+	// Verdict classifies what the filter did.
+	Verdict Verdict
+	// Trusted reports whether Value is safe to base control decisions on.
+	// Dropped and distrusted readings are not: their Value is a hold or a
+	// model substitute, good for monitoring but not for stepping p-states.
+	Trusted bool
+}
+
+// Filter is the robust per-sensor pipeline: range clamp → median-of-k
+// despike → model-consistency check → EWMA with step reset. Zero-valued
+// knobs select defaults via NewFilter. Not safe for concurrent use.
+type Filter struct {
+	// Min/Max bound physically plausible readings (the server's idle and
+	// peak draw, with margin).
+	Min, Max float64
+	// Window is the despike median window length (default 5).
+	Window int
+	// SpikeRel is the relative deviation from the window median beyond
+	// which a reading is treated as a spike and replaced (default 0.3).
+	SpikeRel float64
+	// Alpha is the EWMA smoothing factor (default 0.5).
+	Alpha float64
+	// ResetRel: an accepted value jumping more than this fraction from the
+	// running EWMA snaps the EWMA to it instead of chasing it slowly — real
+	// p-state changes must show up within one period (default 0.15).
+	ResetRel float64
+	// ConsistencyRel is the relative disagreement with the caller-supplied
+	// model expectation that counts as suspicious (default 0.05).
+	ConsistencyRel float64
+	// ConsistencyRun is how many consecutive suspicious (or, symmetrically,
+	// agreeing) readings flip the sensor into (or out of) distrust
+	// (default 4). 0 disables the consistency check.
+	ConsistencyRun int
+	// MaxHold is how many consecutive dropouts are bridged by holding the
+	// last good value before the sensor is distrusted outright (default 8).
+	MaxHold int
+
+	win      []float64
+	winNext  int
+	winLen   int
+	scratch  []float64
+	ewma     float64
+	hasEwma  bool
+	lastGood float64
+	hasGood  bool
+	disagree int
+	agree    int
+	dropRun  int
+	distrust bool
+}
+
+// NewFilter builds a filter with default knobs for readings plausible in
+// [min, max] watts.
+func NewFilter(min, max float64) *Filter {
+	return &Filter{
+		Min:            min,
+		Max:            max,
+		Window:         5,
+		SpikeRel:       0.3,
+		Alpha:          0.5,
+		ResetRel:       0.15,
+		ConsistencyRel: 0.05,
+		ConsistencyRun: 4,
+		MaxHold:        8,
+	}
+}
+
+// relFloorW keeps relative thresholds meaningful near zero expectations.
+const relFloorW = 25.0
+
+// Ingest runs one raw reading through the pipeline. expected is the
+// caller's model prediction of the value (e.g. the capping controller's
+// p-state power model); pass 0 when no model is available, which disables
+// the consistency check and the model fallback for this reading.
+func (f *Filter) Ingest(raw, expected float64) Reading {
+	r := Reading{Raw: raw}
+	if math.IsNaN(raw) || math.IsInf(raw, 0) {
+		f.dropRun++
+		r.Verdict = VerdictDropped
+		if f.MaxHold > 0 && f.dropRun > f.MaxHold {
+			r.Verdict = VerdictDistrusted
+		}
+		switch {
+		case r.Verdict == VerdictDistrusted && expected > 0:
+			r.Value = expected
+		case f.hasGood:
+			r.Value = f.lastGood
+		case expected > 0:
+			r.Value = expected
+		default:
+			r.Value = f.Min
+		}
+		return r
+	}
+	f.dropRun = 0
+	v := raw
+	verdict := VerdictOK
+	if v < f.Min {
+		v, verdict = f.Min, VerdictClamped
+	} else if v > f.Max {
+		v, verdict = f.Max, VerdictClamped
+	}
+	med := f.push(v)
+	if f.winLen >= 3 && f.SpikeRel > 0 && math.Abs(v-med) > f.SpikeRel*math.Max(med, relFloorW) {
+		v, verdict = med, VerdictDespiked
+	}
+	if expected > 0 && f.ConsistencyRun > 0 {
+		if math.Abs(v-expected) > f.ConsistencyRel*math.Max(expected, relFloorW) {
+			f.disagree++
+			f.agree = 0
+			if f.disagree >= f.ConsistencyRun {
+				f.distrust = true
+			}
+		} else {
+			f.agree++
+			f.disagree = 0
+			if f.distrust && f.agree >= f.ConsistencyRun {
+				f.distrust = false
+			}
+		}
+		if f.distrust {
+			r.Value = expected
+			r.Verdict = VerdictDistrusted
+			return r
+		}
+	}
+	if !f.hasEwma || (f.ResetRel > 0 && math.Abs(v-f.ewma) > f.ResetRel*math.Max(f.ewma, relFloorW)) {
+		f.ewma, f.hasEwma = v, true
+	} else {
+		f.ewma += f.Alpha * (v - f.ewma)
+	}
+	f.lastGood, f.hasGood = f.ewma, true
+	r.Value = f.ewma
+	r.Verdict = verdict
+	r.Trusted = true
+	return r
+}
+
+// Healthy reports whether the sensor is currently trusted (no active
+// distrust, not in an extended dropout).
+func (f *Filter) Healthy() bool {
+	return !f.distrust && (f.MaxHold <= 0 || f.dropRun <= f.MaxHold)
+}
+
+// push adds v to the median window and returns the current median.
+func (f *Filter) push(v float64) float64 {
+	w := f.Window
+	if w <= 0 {
+		w = 5
+	}
+	if f.win == nil {
+		f.win = make([]float64, w)
+		f.scratch = make([]float64, 0, w)
+	}
+	f.win[f.winNext] = v
+	f.winNext = (f.winNext + 1) % len(f.win)
+	if f.winLen < len(f.win) {
+		f.winLen++
+	}
+	f.scratch = append(f.scratch[:0], f.win[:f.winLen]...)
+	s := f.scratch
+	// Insertion sort: the window is tiny and mostly sorted.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// Pipeline couples a (possibly faulty) meter with a filter into the
+// Telemetry hook the capping controller consumes. Either half may be nil:
+// a nil Meter passes true power through unfaulted (filter-only, e.g. a
+// production deployment), a nil Filter passes the meter output through raw
+// except for a finiteness check (the unhardened baseline the watchdog
+// experiments compare against).
+type Pipeline struct {
+	Meter  *Meter
+	Filter *Filter
+	last   Reading
+}
+
+// Measure implements the capping controller's telemetry hook: corrupt the
+// (noisy) true power through the meter, recover an estimate through the
+// filter. expected is the controller's model prediction for its current
+// p-state. The returned ok is false when the reading must not drive
+// control decisions.
+func (pl *Pipeline) Measure(truePower, expected float64) (float64, bool) {
+	raw := truePower
+	if pl.Meter != nil {
+		raw = pl.Meter.Read(truePower)
+	}
+	if pl.Filter == nil {
+		ok := !math.IsNaN(raw) && !math.IsInf(raw, 0)
+		pl.last = Reading{Raw: raw, Value: raw, Trusted: ok}
+		if !ok {
+			pl.last.Verdict = VerdictDropped
+			pl.last.Value = expected
+		}
+		return raw, ok
+	}
+	pl.last = pl.Filter.Ingest(raw, expected)
+	return pl.last.Value, pl.last.Trusted
+}
+
+// Last returns the most recent reading (for monitoring).
+func (pl *Pipeline) Last() Reading { return pl.last }
+
+// Healthy reports whether the pipeline currently trusts its sensor.
+func (pl *Pipeline) Healthy() bool {
+	if pl.Filter == nil {
+		return pl.last.Verdict != VerdictDropped
+	}
+	return pl.Filter.Healthy()
+}

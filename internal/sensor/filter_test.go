@@ -1,0 +1,158 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+)
+
+func feed(f *Filter, v, expected float64, n int) Reading {
+	var r Reading
+	for i := 0; i < n; i++ {
+		r = f.Ingest(v, expected)
+	}
+	return r
+}
+
+func TestFilterPassesCleanReadings(t *testing.T) {
+	f := NewFilter(110, 200)
+	r := feed(f, 150, 150, 10)
+	if !r.Trusted || r.Verdict != VerdictOK {
+		t.Fatalf("clean reading verdict %v trusted=%v", r.Verdict, r.Trusted)
+	}
+	if math.Abs(r.Value-150) > 1e-9 {
+		t.Fatalf("clean steady value %g, want 150", r.Value)
+	}
+}
+
+func TestFilterClampsOutOfRange(t *testing.T) {
+	f := NewFilter(110, 200)
+	r := f.Ingest(450, 0)
+	if r.Verdict != VerdictClamped || r.Value > 200 {
+		t.Fatalf("got verdict %v value %g, want clamped ≤ 200", r.Verdict, r.Value)
+	}
+	if r2 := f.Ingest(-30, 0); r2.Verdict != VerdictClamped || r2.Value < 110 {
+		t.Fatalf("got verdict %v value %g, want clamped ≥ 110", r2.Verdict, r2.Value)
+	}
+}
+
+func TestFilterDespikesTransients(t *testing.T) {
+	f := NewFilter(110, 200)
+	feed(f, 150, 150, 6)
+	r := f.Ingest(199, 150) // in range, but a 33% spike off the median
+	if r.Verdict != VerdictDespiked {
+		t.Fatalf("spike verdict %v, want despiked", r.Verdict)
+	}
+	if math.Abs(r.Value-150) > 5 {
+		t.Fatalf("despiked value %g, want near the 150 median", r.Value)
+	}
+	if !r.Trusted {
+		t.Error("a despiked reading is still usable for control")
+	}
+}
+
+func TestFilterHoldsThroughDropout(t *testing.T) {
+	f := NewFilter(110, 200)
+	feed(f, 150, 150, 6)
+	r := f.Ingest(math.NaN(), 150)
+	if r.Verdict != VerdictDropped || r.Trusted {
+		t.Fatalf("dropout verdict %v trusted=%v", r.Verdict, r.Trusted)
+	}
+	if math.Abs(r.Value-150) > 1e-9 {
+		t.Fatalf("dropout held value %g, want last good 150", r.Value)
+	}
+}
+
+func TestFilterDistrustsExtendedDropout(t *testing.T) {
+	f := NewFilter(110, 200)
+	feed(f, 150, 150, 6)
+	var r Reading
+	for i := 0; i < f.MaxHold+2; i++ {
+		r = f.Ingest(math.NaN(), 160)
+	}
+	if r.Verdict != VerdictDistrusted {
+		t.Fatalf("verdict %v after %d dropouts, want distrusted", r.Verdict, f.MaxHold+2)
+	}
+	if math.Abs(r.Value-160) > 1e-9 {
+		t.Fatalf("distrusted dropout value %g, want the model expectation 160", r.Value)
+	}
+	if f.Healthy() {
+		t.Error("filter reports healthy through an extended dropout")
+	}
+}
+
+func TestFilterDistrustsPersistentModelDisagreement(t *testing.T) {
+	f := NewFilter(110, 200)
+	feed(f, 150, 150, 4)
+	// The sensor now under-reads by ~10% while the model expects 166.
+	var r Reading
+	for i := 0; i < 12; i++ {
+		r = f.Ingest(150, 166.5)
+		if i < f.ConsistencyRun-1 && r.Verdict == VerdictDistrusted {
+			t.Fatalf("distrusted after only %d disagreeing readings", i+1)
+		}
+	}
+	if r.Verdict != VerdictDistrusted || r.Trusted {
+		t.Fatalf("verdict %v trusted=%v after persistent disagreement", r.Verdict, r.Trusted)
+	}
+	if math.Abs(r.Value-166.5) > 1e-9 {
+		t.Fatalf("distrusted value %g, want the model 166.5", r.Value)
+	}
+	// Agreement restores trust with the same hysteresis.
+	for i := 0; i < f.ConsistencyRun; i++ {
+		r = f.Ingest(166.5, 166.5)
+	}
+	if r.Verdict == VerdictDistrusted {
+		t.Error("sustained agreement did not restore trust")
+	}
+	if !f.Healthy() {
+		t.Error("filter unhealthy after recovery")
+	}
+}
+
+func TestFilterEWMATracksRealStepsImmediately(t *testing.T) {
+	f := NewFilter(110, 200)
+	feed(f, 166, 166, 8)
+	// A real p-state drop: the reading falls 14% in one period. The
+	// despiker must not eat it (median catches up within the window) and
+	// the EWMA must snap, not crawl.
+	var r Reading
+	for i := 0; i < 4; i++ {
+		r = f.Ingest(143, 143)
+	}
+	if math.Abs(r.Value-143) > 2 {
+		t.Fatalf("filtered value %g four periods after a real step to 143", r.Value)
+	}
+}
+
+func TestPipelineRawModeOnlyChecksFiniteness(t *testing.T) {
+	pl := &Pipeline{} // no meter, no filter
+	if v, ok := pl.Measure(150, 150); !ok || v != 150 {
+		t.Fatalf("raw passthrough got (%g, %v)", v, ok)
+	}
+	pl2 := &Pipeline{Meter: NewMeter(Plan{Seed: 1, DropoutProb: 1}, 0)}
+	if _, ok := pl2.Measure(150, 150); ok {
+		t.Fatal("raw mode trusted a NaN reading")
+	}
+}
+
+func TestPipelineFiltersMeterFaults(t *testing.T) {
+	pl := &Pipeline{
+		Meter:  NewMeter(DefaultChaos(5), 2),
+		Filter: NewFilter(100, 210),
+	}
+	bad := 0
+	for i := 0; i < 600; i++ {
+		v, _ := pl.Measure(166.45, 166.45)
+		if math.IsNaN(v) || v < 100 || v > 210 {
+			t.Fatalf("filtered value %g escaped the plausible range", v)
+		}
+		// Under heavy chaos the filtered estimate should stay close to the
+		// truth (model substitution bounds the drift error).
+		if math.Abs(v-166.45) > 0.12*166.45 {
+			bad++
+		}
+	}
+	if bad > 60 {
+		t.Errorf("%d of 600 filtered readings off by more than 12%%", bad)
+	}
+}

@@ -1,0 +1,178 @@
+// Package sensor models the power-measurement path between a server and
+// its capping controller — the last untrusted input of the control loop.
+// Real deployments lose the paper's "no violation at any step" guarantee to
+// bad telemetry long before they lose it to bad networks: a shunt that ages
+// into under-reading, an ADC bit that sticks, a BMC poll that times out.
+//
+// The package has two halves, mirroring internal/diba's transport split:
+//
+//   - Meter is the fault injector — a seeded, deterministic model of a
+//     failing power sensor (stuck-at, dropout/NaN, spike, downward bias
+//     drift, quantization), designed like FaultTransport: every decision is
+//     drawn from a per-sensor RNG derived from (plan seed, sensor id), so
+//     the same seed reproduces the same failure schedule on any run.
+//   - Filter is the defense — a robust per-reading pipeline (range clamp →
+//     median-of-k despike → model-consistency check → EWMA) that attaches a
+//     validity verdict to every reading and holds the last good value (or
+//     substitutes the actuation model) when the sensor cannot be trusted.
+package sensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Plan describes one cluster's sensor fault injection. Probabilities are
+// per reading per sensor; the zero value injects nothing. All decisions are
+// deterministic in (Seed, sensor id, reading index).
+type Plan struct {
+	// Seed drives every sensor's fault schedule. A zero seed is as valid as
+	// any other; use Enabled to test whether the plan injects at all.
+	Seed int64
+	// StuckProb is the per-reading probability that the sensor latches: it
+	// keeps returning the value it just produced, ignoring the input.
+	StuckProb float64
+	// StuckMeanLen is the mean duration of a stuck episode in readings
+	// (actual lengths are uniform in [1, 2·mean]). 0 selects 50.
+	StuckMeanLen int
+	// DropoutProb is the per-reading probability the reading is lost
+	// entirely — the meter returns NaN (a failed BMC poll).
+	DropoutProb float64
+	// SpikeProb is the per-reading probability of a transient spike scaling
+	// the reading by up to ±SpikeRel.
+	SpikeProb float64
+	// SpikeRel is the maximum relative magnitude of a spike. 0 selects 0.5.
+	SpikeRel float64
+	// DriftRel is the per-reading step scale of the calibration-drift
+	// random walk. Sensing hardware ages into UNDER-reporting (shunt
+	// resistance grows, ADC references sag), so the walk is biased downward
+	// and the bias clamped to [−DriftMax, 0] — the dangerous direction: an
+	// under-reading sensor makes its controller hold a p-state the real
+	// power no longer fits in.
+	DriftRel float64
+	// DriftMax caps the magnitude of the drift bias. 0 selects 0.10.
+	DriftMax float64
+	// QuantStep rounds readings to this granularity in watts (ADC LSB).
+	QuantStep float64
+}
+
+// Enabled reports whether the plan injects any fault at all.
+func (p Plan) Enabled() bool {
+	return p.StuckProb > 0 || p.DropoutProb > 0 || p.SpikeProb > 0 ||
+		p.DriftRel > 0 || p.QuantStep > 0
+}
+
+// DefaultChaos is the package's default fault severity — the level the
+// watchdog acceptance tests and the sensorchaos experiment run at. It is
+// deliberately harsh: within a few simulated minutes most sensors carry a
+// near-maximal under-reading bias, and stuck/dropout/spike episodes land
+// continuously.
+func DefaultChaos(seed int64) Plan {
+	return Plan{
+		Seed:         seed,
+		StuckProb:    0.002,
+		StuckMeanLen: 60,
+		DropoutProb:  0.01,
+		SpikeProb:    0.01,
+		SpikeRel:     0.5,
+		DriftRel:     0.003,
+		DriftMax:     0.10,
+		QuantStep:    0.25,
+	}
+}
+
+func (p Plan) withDefaults() Plan {
+	if p.StuckMeanLen <= 0 {
+		p.StuckMeanLen = 50
+	}
+	if p.SpikeRel <= 0 {
+		p.SpikeRel = 0.5
+	}
+	if p.DriftMax <= 0 {
+		p.DriftMax = 0.10
+	}
+	return p
+}
+
+// String summarizes the plan for logs.
+func (p Plan) String() string {
+	return fmt.Sprintf("sensor.Plan{seed=%d stuck=%.3g/%d drop=%.3g spike=%.3g/%.2g drift=%.3g/%.2g quant=%.2g}",
+		p.Seed, p.StuckProb, p.StuckMeanLen, p.DropoutProb, p.SpikeProb, p.SpikeRel, p.DriftRel, p.DriftMax, p.QuantStep)
+}
+
+// meterSeed mixes the plan seed with the sensor identity (splitmix64
+// finalizer, the same construction as diba's laneSeed) so each sensor's
+// fault stream is independent and stable.
+func meterSeed(seed int64, id int) int64 {
+	z := uint64(seed) ^ (uint64(id)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Meter is one server's fault-injected power sensor. Not safe for
+// concurrent use; each server owns one.
+type Meter struct {
+	plan Plan
+	rng  *rand.Rand
+
+	bias      float64
+	stuckVal  float64
+	stuckLeft int
+	reads     int
+}
+
+// NewMeter builds sensor id's meter under the plan.
+func NewMeter(p Plan, id int) *Meter {
+	p = p.withDefaults()
+	return &Meter{plan: p, rng: rand.New(rand.NewSource(meterSeed(p.Seed, id)))}
+}
+
+// Read corrupts one true power draw according to the fault schedule. The
+// decisions for reading k depend only on (Seed, id, readings 0..k), so a
+// rerun with the same seed reproduces the same faults.
+func (m *Meter) Read(truePower float64) float64 {
+	m.reads++
+	if m.stuckLeft > 0 {
+		m.stuckLeft--
+		return m.stuckVal
+	}
+	v := truePower
+	if m.plan.DriftRel > 0 {
+		// Downward-biased random walk: mean −DriftRel per reading.
+		m.bias += m.plan.DriftRel * (m.rng.NormFloat64() - 1)
+		if m.bias < -m.plan.DriftMax {
+			m.bias = -m.plan.DriftMax
+		}
+		if m.bias > 0 {
+			m.bias = 0
+		}
+		v *= 1 + m.bias
+	}
+	if m.plan.SpikeProb > 0 && m.rng.Float64() < m.plan.SpikeProb {
+		mag := m.plan.SpikeRel * m.rng.Float64()
+		if m.rng.Intn(2) == 0 {
+			mag = -mag
+		}
+		v *= 1 + mag
+	}
+	if m.plan.QuantStep > 0 {
+		v = math.Round(v/m.plan.QuantStep) * m.plan.QuantStep
+	}
+	if m.plan.DropoutProb > 0 && m.rng.Float64() < m.plan.DropoutProb {
+		return math.NaN()
+	}
+	if m.plan.StuckProb > 0 && m.rng.Float64() < m.plan.StuckProb {
+		m.stuckVal = v
+		m.stuckLeft = 1 + m.rng.Intn(2*m.plan.StuckMeanLen)
+	}
+	return v
+}
+
+// Bias returns the current calibration-drift bias (≤ 0), for tests and
+// telemetry dashboards.
+func (m *Meter) Bias() float64 { return m.bias }
+
+// Reads returns how many readings the meter has produced.
+func (m *Meter) Reads() int { return m.reads }

@@ -1,0 +1,102 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeterDeterministicPerSeedAndID(t *testing.T) {
+	plan := DefaultChaos(7)
+	a := NewMeter(plan, 3)
+	b := NewMeter(plan, 3)
+	c := NewMeter(plan, 4)
+	same, diff := true, false
+	for i := 0; i < 2000; i++ {
+		va, vb, vc := a.Read(150), b.Read(150), c.Read(150)
+		if va != vb && !(math.IsNaN(va) && math.IsNaN(vb)) {
+			same = false
+		}
+		if va != vc {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("two meters with the same (seed, id) diverged")
+	}
+	if !diff {
+		t.Error("meters with different ids produced identical streams")
+	}
+}
+
+func TestMeterInjectsEveryFaultClass(t *testing.T) {
+	m := NewMeter(DefaultChaos(1), 0)
+	var nans, exact, stuckRun, maxStuckRun int
+	var prev float64
+	for i := 0; i < 5000; i++ {
+		v := m.Read(150)
+		if math.IsNaN(v) {
+			nans++
+			stuckRun = 0
+			continue
+		}
+		if i > 0 && v == prev {
+			stuckRun++
+			if stuckRun > maxStuckRun {
+				maxStuckRun = stuckRun
+			}
+		} else {
+			stuckRun = 0
+		}
+		if v == 150 {
+			exact++
+		}
+		if b := m.Bias(); b > 0 || b < -0.10-1e-12 {
+			t.Fatalf("drift bias %g outside [-0.10, 0]", b)
+		}
+		prev = v
+	}
+	if nans == 0 {
+		t.Error("no dropouts injected in 5000 readings")
+	}
+	if maxStuckRun < 5 {
+		t.Errorf("longest stuck run %d; want a real stuck episode", maxStuckRun)
+	}
+	// With quantization and downward drift, verbatim-true readings should be
+	// rare after the bias accumulates.
+	if exact > 2500 {
+		t.Errorf("%d of 5000 readings exactly true; faults too weak", exact)
+	}
+}
+
+func TestMeterDriftIsDownward(t *testing.T) {
+	m := NewMeter(Plan{Seed: 2, DriftRel: 0.003, DriftMax: 0.10}, 0)
+	for i := 0; i < 500; i++ {
+		m.Read(150)
+	}
+	if b := m.Bias(); b > -0.05 {
+		t.Errorf("bias %g after 500 readings; want the walk to have drifted down", b)
+	}
+	v := m.Read(150)
+	if v >= 150 {
+		t.Errorf("drifted meter read %g, want under-reading of 150", v)
+	}
+}
+
+func TestMeterQuantization(t *testing.T) {
+	m := NewMeter(Plan{Seed: 3, QuantStep: 0.5}, 0)
+	for i := 0; i < 100; i++ {
+		v := m.Read(151.3)
+		if r := math.Mod(v, 0.5); math.Abs(r) > 1e-9 && math.Abs(r-0.5) > 1e-9 {
+			t.Fatalf("reading %g not on the 0.5 W grid", v)
+		}
+	}
+}
+
+func TestPlanEnabled(t *testing.T) {
+	if (Plan{}).Enabled() {
+		t.Error("zero plan reports enabled")
+	}
+	if !(Plan{DropoutProb: 0.1}).Enabled() || !DefaultChaos(1).Enabled() {
+		t.Error("non-zero plan reports disabled")
+	}
+}
