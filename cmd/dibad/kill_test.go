@@ -15,20 +15,36 @@ import (
 	"time"
 )
 
+// buildDibad compiles the daemon once per test into a scratch dir.
+func buildDibad(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "dibad")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building dibad: %v\n%s", err, out)
+	}
+	return bin
+}
+
 // TestClusterSurvivesKilledDaemon is the daemon-level fault drill: five real
 // dibad processes form a ring with stride-2 chords, one of them is armed
 // with a deterministic crash point that dies mid-broadcast, and the
 // survivors must detect the death, repair over the chords, agree on the
 // shrunk budget, and terminate together via the distributed quiescence rule.
+// The drill runs under both wire codecs so the fault path stays covered on
+// each.
 func TestClusterSurvivesKilledDaemon(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns a 5-process TCP cluster")
 	}
-	bin := filepath.Join(t.TempDir(), "dibad")
-	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
-		t.Fatalf("building dibad: %v\n%s", err, out)
+	bin := buildDibad(t)
+	for _, wire := range []string{"binary", "json"} {
+		t.Run(wire, func(t *testing.T) {
+			testClusterSurvivesKilledDaemon(t, bin, wire)
+		})
 	}
+}
 
+func testClusterSurvivesKilledDaemon(t *testing.T, bin, wire string) {
 	const n, victim = 5, 2
 	addrs := make([]string, n)
 	var peers strings.Builder
@@ -58,6 +74,7 @@ func TestClusterSurvivesKilledDaemon(t *testing.T) {
 			"-id", fmt.Sprint(i), "-peers", peersPath, "-budget", "850",
 			"-workload", benches[i], "-connect-timeout", "20s",
 			"-gather-timeout", "500ms", "-heartbeat", "50ms",
+			"-wire", wire,
 		}
 		if i == victim {
 			// An odd send budget dies between the two neighbor sends of one
@@ -124,10 +141,7 @@ func TestKilledDaemonRestartsAndRejoins(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns a 5-process TCP cluster plus a restart")
 	}
-	bin := filepath.Join(t.TempDir(), "dibad")
-	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
-		t.Fatalf("building dibad: %v\n%s", err, out)
-	}
+	bin := buildDibad(t)
 
 	const n, victim = 5, 2
 	const horizon = 2500
@@ -156,6 +170,7 @@ func TestKilledDaemonRestartsAndRejoins(t *testing.T) {
 		"-peers", peersPath, "-budget", "850", "-connect-timeout", "20s",
 		"-gather-timeout", "500ms", "-heartbeat", "50ms",
 		"-until-round", fmt.Sprint(horizon), "-round-interval", "2ms",
+		"-wire", "binary",
 	}
 
 	outs := make([]string, n)

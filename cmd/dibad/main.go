@@ -119,6 +119,7 @@ func main() {
 	rejoin := flag.Bool("rejoin", false, "resume from -snapshot and rejoin the ring after this daemon was declared dead")
 	untilRound := flag.Int("until-round", 0, "run until the round counter reaches this value (overrides -rounds; a rejoiner starts mid-count)")
 	roundInterval := flag.Duration("round-interval", 0, "sleep between rounds, pacing the run for drills")
+	wire := flag.String("wire", "binary", "wire codec written to peers: binary or json (reading always auto-detects, so mixed clusters interoperate)")
 	flag.Parse()
 
 	if *id < 0 || *peersPath == "" || *budget <= 0 {
@@ -156,7 +157,11 @@ func main() {
 		log.Fatalf("dibad: characterizing %s: %v", *bench, err)
 	}
 
-	var opts []diba.TCPOption
+	codec, err := diba.ParseWireCodec(*wire)
+	if err != nil {
+		log.Fatalf("dibad: %v", err)
+	}
+	opts := []diba.TCPOption{diba.WithWireCodec(codec)}
 	if *heartbeat > 0 {
 		opts = append(opts, diba.WithHeartbeat(*heartbeat))
 	}
@@ -345,6 +350,9 @@ func main() {
 	if wd != nil {
 		log.Printf("dibad: agent %d watchdog: %+v", *id, wd.Stats())
 	}
+	wt := tcp.WireTotals()
+	log.Printf("dibad: agent %d wire[%s]: sent %d msgs / %d B in %d flushes, recv %d msgs / %d B",
+		*id, codec, wt.MsgsSent, wt.BytesSent, wt.Flushes, wt.MsgsRecv, wt.BytesRecv)
 	fmt.Printf("agent %d: workload=%s cap=%.2fW estimate=%.4f rounds=%d budget=%.2fW dead=%v elapsed=%v\n",
 		*id, *bench, final.Power, final.E, final.Rounds, final.Budget, final.Dead, time.Since(start).Round(time.Millisecond))
 }

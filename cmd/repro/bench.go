@@ -12,6 +12,7 @@ import (
 	"powercap/internal/experiments"
 	"powercap/internal/knapsack"
 	"powercap/internal/layout"
+	"powercap/internal/netsim"
 	"powercap/internal/parallel"
 	"powercap/internal/thermal"
 	"powercap/internal/topology"
@@ -29,6 +30,10 @@ type benchResult struct {
 	NsPerOp     int64  `json:"ns_per_op"`
 	AllocsPerOp uint64 `json:"allocs_per_op"`
 	BytesPerOp  uint64 `json:"bytes_per_op"`
+	// Transport throughput benchmarks also report wire-level rates,
+	// measured from the transport's own WireStats counters.
+	MsgsPerSec  float64 `json:"msgs_per_sec,omitempty"`
+	BytesPerMsg float64 `json:"bytes_per_msg,omitempty"`
 }
 
 type benchReport struct {
@@ -88,6 +93,186 @@ func benchEngine(n int, parallelStep bool, seed int64) (benchResult, error) {
 		step = func() error { en.StepParallel(0); return nil }
 	}
 	return measure(name, 300*time.Millisecond, 1_000_000, step)
+}
+
+// benchEstimate is the common-case round message all transport benchmarks
+// move: every field a fault-free broadcast carries, with full-precision
+// floats so the JSON size is honest.
+var benchEstimate = diba.Message{From: 12, Round: 157, E: -0.6666666666666666, Degree: 2, P: 145.23456789012345}
+
+// benchLoopback pushes msgs estimate messages one way through a fresh
+// loopback TCP pair and reports throughput plus measured bytes per message
+// from the transport's wire accounting.
+func benchLoopback(name string, opts []diba.TCPOption, msgs int) (benchResult, error) {
+	a, err := diba.NewTCPTransport(0, "127.0.0.1:0", opts...)
+	if err != nil {
+		return benchResult{}, err
+	}
+	defer a.Close()
+	b, err := diba.NewTCPTransport(1, "127.0.0.1:0", opts...)
+	if err != nil {
+		return benchResult{}, err
+	}
+	defer b.Close()
+	addrs := map[int]string{0: a.Addr(), 1: b.Addr()}
+	if err := a.ConnectNeighbors([]int{1}, addrs, 5*time.Second); err != nil {
+		return benchResult{}, err
+	}
+	if err := b.ConnectNeighbors([]int{0}, addrs, 5*time.Second); err != nil {
+		return benchResult{}, err
+	}
+	// One warm-up round trip settles the codec negotiation before counting.
+	if err := a.Send(1, benchEstimate); err != nil {
+		return benchResult{}, err
+	}
+	if _, err := b.RecvTimeout(5 * time.Second); err != nil {
+		return benchResult{}, err
+	}
+	if err := b.Send(0, benchEstimate); err != nil {
+		return benchResult{}, err
+	}
+	if _, err := a.RecvTimeout(5 * time.Second); err != nil {
+		return benchResult{}, err
+	}
+
+	base := a.WireStats()[1]
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < msgs; i++ {
+			if _, err := b.RecvTimeout(30 * time.Second); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	m := benchEstimate
+	start := time.Now()
+	for i := 0; i < msgs; i++ {
+		m.Round = i + 158
+		if err := a.Send(1, m); err != nil {
+			return benchResult{}, err
+		}
+	}
+	if err := <-done; err != nil {
+		return benchResult{}, err
+	}
+	elapsed := time.Since(start)
+	st := a.WireStats()[1]
+	sent := st.MsgsSent - base.MsgsSent
+	return benchResult{
+		Name:        name,
+		Runs:        msgs,
+		NsPerOp:     elapsed.Nanoseconds() / int64(msgs),
+		MsgsPerSec:  float64(sent) / elapsed.Seconds(),
+		BytesPerMsg: float64(st.BytesSent-base.BytesSent) / float64(sent),
+	}, nil
+}
+
+// benchTransport measures the DiBA message plane: codec micro-benchmarks,
+// loopback TCP throughput for each codec x coalescing combination, and the
+// in-process ChanNetwork as the no-socket upper bound. The binary+coalesced
+// vs json+unbuffered pair is the Table 4.2-adjacent headline: same message
+// plane, measured bytes and rate.
+func benchTransport() ([]benchResult, error) {
+	var out []benchResult
+	add := func(res benchResult, err error) error {
+		if err != nil {
+			return err
+		}
+		extra := ""
+		if res.MsgsPerSec > 0 {
+			extra = fmt.Sprintf("  %10.0f msg/s  %6.1f B/msg", res.MsgsPerSec, res.BytesPerMsg)
+		}
+		fmt.Printf("  %-28s %7d runs  %10d ns/op%s\n", res.Name, res.Runs, res.NsPerOp, extra)
+		out = append(out, res)
+		return nil
+	}
+
+	// Codec microbenchmarks: encode and decode of the common-case frame.
+	var buf []byte
+	if err := add(measure("wire.EncodeTo/estimate", 100*time.Millisecond, 10_000_000, func() error {
+		buf = diba.EncodeTo(buf[:0], benchEstimate)
+		return nil
+	})); err != nil {
+		return nil, err
+	}
+	frame := diba.EncodeTo(nil, benchEstimate)
+	if err := add(measure("wire.Decode/estimate", 100*time.Millisecond, 10_000_000, func() error {
+		_, _, err := diba.Decode(frame)
+		return err
+	})); err != nil {
+		return nil, err
+	}
+	if err := add(measure("json.Marshal/estimate", 100*time.Millisecond, 10_000_000, func() error {
+		_, err := json.Marshal(benchEstimate)
+		return err
+	})); err != nil {
+		return nil, err
+	}
+
+	// Loopback TCP: the codec and coalescing axes, separately and together.
+	const msgs = 20000
+	variants := []struct {
+		name string
+		opts []diba.TCPOption
+	}{
+		{"tcp/json/unbuffered", []diba.TCPOption{diba.WithWireCodec(diba.WireJSON), diba.WithSendQueue(0)}},
+		{"tcp/json/coalesced", []diba.TCPOption{diba.WithWireCodec(diba.WireJSON)}},
+		{"tcp/binary/unbuffered", []diba.TCPOption{diba.WithSendQueue(0)}},
+		{"tcp/binary/coalesced", nil},
+	}
+	byName := make(map[string]benchResult, len(variants))
+	for _, v := range variants {
+		res, err := benchLoopback(v.name, v.opts, msgs)
+		if err != nil {
+			return nil, err
+		}
+		byName[v.name] = res
+		if err := add(res, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	// ChanNetwork: message plane with no sockets at all.
+	net := diba.NewChanNetwork(2, msgs+1)
+	ep0, ep1 := net.Endpoint(0), net.Endpoint(1)
+	defer ep0.Close()
+	defer ep1.Close()
+	start := time.Now()
+	for i := 0; i < msgs; i++ {
+		if err := ep0.Send(1, benchEstimate); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < msgs; i++ {
+		if _, err := ep1.Recv(); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+	if err := add(benchResult{
+		Name:       "chan/in-process",
+		Runs:       msgs,
+		NsPerOp:    elapsed.Nanoseconds() / int64(msgs),
+		MsgsPerSec: float64(msgs) / elapsed.Seconds(),
+	}, nil); err != nil {
+		return nil, err
+	}
+
+	// Measured bytes per message against the netsim packet model: a DiBA
+	// ring exchanges d·N messages per round (Section 4.3.2), so scaling the
+	// model by the measured wire size gives the modeled traffic volume the
+	// WireStats counters should reproduce on a real deployment.
+	jsonB := byName["tcp/json/unbuffered"].BytesPerMsg
+	binB := byName["tcp/binary/coalesced"].BytesPerMsg
+	const ringN, ringDeg = 5, 2
+	fmt.Printf("  model: %d-node ring round = %.0f B binary / %.0f B json (netsim d*N x measured B/msg, %.2fx)\n",
+		ringN,
+		netsim.BytesPerIteration(netsim.DiBA, ringN, ringDeg, binB),
+		netsim.BytesPerIteration(netsim.DiBA, ringN, ringDeg, jsonB),
+		jsonB/binB)
+	return out, nil
 }
 
 // benchCentralized times the centralized comparator stack's hot paths:
@@ -211,6 +396,12 @@ func runBench(scale experiments.Scale, seed int64, out string) error {
 			report.Results = append(report.Results, res)
 		}
 	}
+
+	trans, err := benchTransport()
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, trans...)
 
 	central, err := benchCentralized(seed)
 	if err != nil {

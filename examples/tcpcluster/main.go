@@ -29,7 +29,12 @@ import (
 func main() {
 	fail := flag.Int("fail", -1, "agent id to crash mid-run (-1 = fault-free)")
 	chord := flag.Int("chord", 3, "standby chord stride used for repair when -fail is set")
+	wire := flag.String("wire", "binary", "wire codec the agents write: binary or json")
 	flag.Parse()
+	codec, err := diba.ParseWireCodec(*wire)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	const (
 		n      = 12
@@ -48,7 +53,7 @@ func main() {
 	transports := make([]*diba.TCPTransport, n)
 	addrs := make(map[int]string, n)
 	for i := 0; i < n; i++ {
-		tr, err := diba.NewTCPTransport(i, "127.0.0.1:0")
+		tr, err := diba.NewTCPTransport(i, "127.0.0.1:0", diba.WithWireCodec(codec))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -120,6 +125,19 @@ func main() {
 		}
 	}
 	elapsed := time.Since(start)
+
+	var wt diba.WireStats
+	for _, tr := range transports {
+		s := tr.WireTotals()
+		wt.MsgsSent += s.MsgsSent
+		wt.BytesSent += s.BytesSent
+		wt.Flushes += s.Flushes
+	}
+	if wt.MsgsSent > 0 && wt.Flushes > 0 {
+		fmt.Printf("wire[%s]: %d msgs in %d B over %d flushes (%.1f B/msg, %.1f msgs/flush)\n",
+			codec, wt.MsgsSent, wt.BytesSent, wt.Flushes,
+			float64(wt.BytesSent)/float64(wt.MsgsSent), float64(wt.MsgsSent)/float64(wt.Flushes))
+	}
 
 	var total, utility float64
 	var sumE float64

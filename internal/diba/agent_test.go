@@ -167,7 +167,34 @@ func TestTCPTransportRoundTrip(t *testing.T) {
 }
 
 func TestAgentsOverTCPMatchEngine(t *testing.T) {
-	// Full DiBA over real sockets on a small ring.
+	// Full DiBA over real sockets must reproduce the engine bitwise under
+	// every wire configuration: both codecs, a mixed-codec cluster (one
+	// JSON agent among binary ones exercises the negotiated per-link
+	// fallback), and with coalescing disabled.
+	t.Run("binary", func(t *testing.T) {
+		testAgentsOverTCPMatchEngine(t, func(int) []TCPOption { return nil })
+	})
+	t.Run("json", func(t *testing.T) {
+		testAgentsOverTCPMatchEngine(t, func(int) []TCPOption {
+			return []TCPOption{WithWireCodec(WireJSON)}
+		})
+	})
+	t.Run("mixed", func(t *testing.T) {
+		testAgentsOverTCPMatchEngine(t, func(id int) []TCPOption {
+			if id == 0 {
+				return []TCPOption{WithWireCodec(WireJSON)}
+			}
+			return nil
+		})
+	})
+	t.Run("uncoalesced", func(t *testing.T) {
+		testAgentsOverTCPMatchEngine(t, func(int) []TCPOption {
+			return []TCPOption{WithSendQueue(0)}
+		})
+	})
+}
+
+func testAgentsOverTCPMatchEngine(t *testing.T, optsFor func(id int) []TCPOption) {
 	n := 6
 	us := mkCluster(t, n, 27)
 	budget := float64(n) * 170
@@ -186,7 +213,7 @@ func TestAgentsOverTCPMatchEngine(t *testing.T) {
 	trs := make([]*TCPTransport, n)
 	addrs := make(map[int]string, n)
 	for i := 0; i < n; i++ {
-		tr, err := NewTCPTransport(i, "127.0.0.1:0")
+		tr, err := NewTCPTransport(i, "127.0.0.1:0", optsFor(i)...)
 		if err != nil {
 			t.Fatal(err)
 		}

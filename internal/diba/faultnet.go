@@ -327,6 +327,24 @@ func (ft *FaultTransport) LastHeard(peer int) (time.Time, bool) {
 	return time.Time{}, false
 }
 
+// WireStats passes the inner transport's wire-level traffic counters
+// through, so chaos experiments can meter bytes on the real socket beneath
+// the injected faults. A non-metering inner transport reports nil.
+func (ft *FaultTransport) WireStats() map[int]WireStats {
+	if wa, ok := ft.inner.(WireAccountant); ok {
+		return wa.WireStats()
+	}
+	return nil
+}
+
+// WireTotals passes the inner transport's summed traffic counters through.
+func (ft *FaultTransport) WireTotals() WireStats {
+	if wa, ok := ft.inner.(WireAccountant); ok {
+		return wa.WireTotals()
+	}
+	return WireStats{}
+}
+
 func (ft *FaultTransport) crashedNow() bool {
 	s := ft.plan.runtime()
 	s.mu.Lock()

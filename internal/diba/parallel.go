@@ -6,23 +6,44 @@ import (
 	"sync"
 )
 
-// StepParallel advances one synchronous round using the given number of
-// worker goroutines (0 selects GOMAXPROCS). It computes exactly the same
-// state as Step — every node reads only the previous round's snapshot and
-// writes only its own slots, and the incremental power/utility aggregates
-// are reduced from per-node deltas in index order after the join, the same
-// addition sequence the serial loop performs — so the result is
-// deterministic and bitwise identical regardless of worker count. Worth
-// using from a few thousand nodes upward; below that the fork/join
-// overhead dominates.
-func (en *Engine) StepParallel(workers int) float64 {
-	n := len(en.us)
+// stepParallelMinN is the smallest cluster StepParallel will actually fork
+// goroutines for; below it the fork/join overhead beats the per-round work
+// (the BenchmarkStepSerial*/BenchmarkStepParallel* pair measures the
+// crossover, recorded in the committed BENCH files) and the serial path is
+// both faster and trivially bitwise identical. A variable, not a constant,
+// so the bitwise-identity tests can drop it and force real forking on
+// small clusters.
+var stepParallelMinN = stepParallelThreshold
+
+// stepParallelWorkers resolves the worker count StepParallel dispatches
+// with for an n-node round: 0 selects GOMAXPROCS, the count is clamped to
+// n, and a resolved count of 1 — or a cluster below stepParallelMinN —
+// selects the serial path.
+func stepParallelWorkers(n, workers int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	if workers <= 1 || n < stepParallelMinN {
+		return 1
+	}
+	return workers
+}
+
+// StepParallel advances one synchronous round using the given number of
+// worker goroutines (0 selects GOMAXPROCS). It computes exactly the same
+// state as Step — every node reads only the previous round's snapshot and
+// writes only its own slots, and the incremental power/utility aggregates
+// are reduced from per-node deltas in index order after the join, the same
+// addition sequence the serial loop performs — so the result is
+// deterministic and bitwise identical regardless of worker count. When the
+// effective worker count is 1 or the cluster is below stepParallelMinN it
+// falls back to the serial Step, which is faster there.
+func (en *Engine) StepParallel(workers int) float64 {
+	n := len(en.us)
+	workers = stepParallelWorkers(n, workers)
 	if workers <= 1 {
 		return en.Step()
 	}

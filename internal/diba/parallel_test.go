@@ -60,7 +60,17 @@ func requireIdentical(t *testing.T, serial, parallel *Engine, round int, label s
 	}
 }
 
+// forceParallelSmallN drops the serial-fallback threshold so the bitwise
+// tests exercise real fork/join even on their deliberately small clusters.
+func forceParallelSmallN(t *testing.T) {
+	t.Helper()
+	old := stepParallelMinN
+	stepParallelMinN = 0
+	t.Cleanup(func() { stepParallelMinN = old })
+}
+
 func TestStepParallelBitwiseIdentical(t *testing.T) {
+	forceParallelSmallN(t)
 	const n, rounds = 120, 150
 	workerCounts := []int{1, 2, 3, runtime.GOMAXPROCS(0)}
 	for name, build := range parallelTestGraphs(t, n) {
@@ -80,6 +90,7 @@ func TestStepParallelBitwiseIdentical(t *testing.T) {
 }
 
 func TestStepParallelBitwiseIdenticalWithDeadNodes(t *testing.T) {
+	forceParallelSmallN(t)
 	const n, rounds = 100, 120
 	for _, w := range []int{2, 3} {
 		// Chords keep the survivors connected when nodes die.
@@ -105,6 +116,31 @@ func TestStepParallelBitwiseIdenticalWithDeadNodes(t *testing.T) {
 			}
 		}
 		requireIdentical(t, serial, par, rounds, "dead-nodes")
+	}
+}
+
+// The BENCH baselines show the fork/join overhead losing to the serial
+// loop below a few thousand nodes (and always when only one worker is
+// effective: StepParallel(1) at n=10000 measured 737µs vs Step's 647µs
+// before the fallback). The dispatch rule must therefore route those cases
+// to the serial path; BenchmarkStepSerial*/BenchmarkStepParallel* back the
+// threshold's placement.
+func TestStepParallelDispatchCrossover(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0) // what workers=0 resolves to (serial when 1)
+	cases := []struct {
+		n, workers, want int
+	}{
+		{10000, 1, 1},                     // one worker: serial, whatever the size
+		{100, 8, 1},                       // small cluster: serial, whatever the workers
+		{stepParallelThreshold - 1, 8, 1}, // just below the crossover
+		{stepParallelThreshold, 8, 8},     // at the crossover
+		{stepParallelThreshold, 0, gmp},   // auto workers at the crossover
+		{3, 8, 1},                         // clamped to n, still <= minimum
+	}
+	for _, tc := range cases {
+		if got := stepParallelWorkers(tc.n, tc.workers); got != tc.want {
+			t.Errorf("stepParallelWorkers(n=%d, workers=%d) = %d, want %d", tc.n, tc.workers, got, tc.want)
+		}
 	}
 }
 

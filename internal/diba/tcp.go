@@ -2,12 +2,49 @@ package diba
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// WireCodec selects the encoding a transport writes on its connections.
+// Reading is always codec-agnostic: a binary v1 frame starts with the magic
+// byte 0xD1 and a JSON message with '{', so the receive path tells them
+// apart per message and a mixed-version cluster keeps working.
+type WireCodec int
+
+const (
+	// WireBinary writes the compact binary v1 frames of wire.go on every
+	// connection whose peer negotiated binary in the hello exchange, and
+	// falls back to JSON per connection otherwise.
+	WireBinary WireCodec = iota
+	// WireJSON writes newline-delimited JSON unconditionally — the codec
+	// of transports predating wire.go.
+	WireJSON
+)
+
+func (c WireCodec) String() string {
+	if c == WireJSON {
+		return "json"
+	}
+	return "binary"
+}
+
+// ParseWireCodec parses the -wire flag values "binary" and "json".
+func ParseWireCodec(s string) (WireCodec, error) {
+	switch s {
+	case "binary":
+		return WireBinary, nil
+	case "json":
+		return WireJSON, nil
+	}
+	return 0, fmt.Errorf("diba: unknown wire codec %q (want binary or json)", s)
+}
 
 // tcpOptions are the transport's robustness knobs, set via TCPOption. The
 // defaults preserve the original behavior on healthy links while bounding
@@ -22,6 +59,8 @@ type tcpOptions struct {
 	reconnectMin   time.Duration
 	reconnectMax   time.Duration
 	reconnectTries int
+	codec          WireCodec
+	sendQueue      int
 }
 
 func defaultTCPOptions() tcpOptions {
@@ -32,6 +71,8 @@ func defaultTCPOptions() tcpOptions {
 		reconnectMin:   50 * time.Millisecond,
 		reconnectMax:   2 * time.Second,
 		reconnectTries: 8,
+		codec:          WireBinary,
+		sendQueue:      256,
 	}
 }
 
@@ -64,12 +105,71 @@ func WithReconnect(min, max time.Duration, tries int) TCPOption {
 	return func(o *tcpOptions) { o.reconnectMin, o.reconnectMax, o.reconnectTries = min, max, tries }
 }
 
+// WithWireCodec selects the encoding written on outbound connections. The
+// default is WireBinary; whether a connection actually carries binary is
+// negotiated per link in the hello exchange, so a WireBinary transport
+// talking to a WireJSON (or pre-wire) peer transparently stays on JSON.
+func WithWireCodec(c WireCodec) TCPOption {
+	return func(o *tcpOptions) { o.codec = c }
+}
+
+// WithSendQueue sets the per-connection outbound queue depth that feeds the
+// coalescing writer: Send enqueues, and a per-connection writer drains
+// every pending message into one buffered socket write (heartbeats
+// piggyback on pending flushes instead of forcing their own syscall).
+// n <= 0 disables coalescing entirely — every Send performs its own
+// synchronous socket write, the pre-coalescing behavior. The default is
+// 256.
+func WithSendQueue(n int) TCPOption {
+	return func(o *tcpOptions) { o.sendQueue = n }
+}
+
+// WireStats counts a peer link's traffic in both directions. Counters are
+// cumulative across reconnects of the link. Flushes is the number of socket
+// writes; with coalescing enabled MsgsSent/Flushes is the average batch
+// size, and BytesSent/MsgsSent the measured bytes per message that the
+// repro reports next to netsim's Table 4.2 model.
+type WireStats struct {
+	MsgsSent  uint64
+	MsgsRecv  uint64
+	BytesSent uint64
+	BytesRecv uint64
+	Flushes   uint64
+}
+
+// wireCounters is the internal, atomically-updated form of WireStats.
+type wireCounters struct {
+	msgsSent  atomic.Uint64
+	msgsRecv  atomic.Uint64
+	bytesSent atomic.Uint64
+	bytesRecv atomic.Uint64
+	flushes   atomic.Uint64
+}
+
+func (c *wireCounters) snapshot() WireStats {
+	return WireStats{
+		MsgsSent:  c.msgsSent.Load(),
+		MsgsRecv:  c.msgsRecv.Load(),
+		BytesSent: c.bytesSent.Load(),
+		BytesRecv: c.bytesRecv.Load(),
+		Flushes:   c.flushes.Load(),
+	}
+}
+
 // TCPTransport implements Transport over real TCP sockets — the deployment
 // path of the dissertation's "working prototype of DiBA on a real
 // experimental cluster". Each agent listens on its own address and keeps
-// one persistent connection per neighbor; messages are newline-delimited
-// JSON. The dial direction is deterministic (lower id dials higher id) so
-// exactly one connection exists per edge.
+// one persistent connection per neighbor; the dial direction is
+// deterministic (lower id dials higher id) so exactly one connection exists
+// per edge.
+//
+// Wire format: each message is either a binary v1 frame (wire.go) or a line
+// of JSON; which one a link carries is negotiated in the hello exchange
+// (see tcpHello) and the receive path additionally distinguishes the two by
+// first byte, so mixed-codec and mixed-version clusters interoperate.
+// Outbound messages pass through a bounded per-connection queue whose
+// writer coalesces every pending message into a single socket write
+// (WithSendQueue).
 //
 // Fault behavior: every socket write carries a deadline, optional
 // heartbeats feed a per-peer LastHeard clock, and when an outbound link
@@ -84,6 +184,12 @@ type TCPTransport struct {
 	inbox chan Message
 	opt   tcpOptions
 
+	// Heartbeats are identical every interval, so both encodings are
+	// precomputed once and appended as raw bytes on the hot path.
+	hbMsg  Message
+	hbJSON []byte
+	hbBin  []byte
+
 	mu           sync.Mutex
 	conns        map[int]*tcpConn
 	addrs        map[int]string // learned in ConnectNeighbors, for redial
@@ -91,20 +197,75 @@ type TCPTransport struct {
 	haveSent     map[int]bool
 	lastHeard    map[int]time.Time
 	reconnecting map[int]bool
+	stats        map[int]*wireCounters
 
 	wg   sync.WaitGroup
 	done chan struct{}
 }
 
+// tcpConn is one live connection. When the send queue is enabled, writes
+// happen only on the connection's writeLoop goroutine; when disabled, Send
+// writes directly under mu. binary is the negotiated write codec — it
+// starts false (JSON) on dialed connections and flips when the peer's
+// hello-ack arrives.
 type tcpConn struct {
-	c   net.Conn
-	enc *json.Encoder
-	mu  sync.Mutex
+	c        net.Conn
+	peer     int
+	queue    chan Message // nil when coalescing is disabled
+	done     chan struct{}
+	drain    chan struct{} // closed by Close: flush the queue, then stop
+	flushed  chan struct{} // closed by writeLoop once the final flush is out
+	closing  sync.Once
+	draining sync.Once
+	finished sync.Once
+	binary   atomic.Bool
+
+	mu      sync.Mutex // serializes direct writes (queue disabled)
+	scratch []byte
 }
 
+// shutdown tears the connection down exactly once: the writeLoop drains
+// out via done and both pump and any blocked writer fail over the closed
+// socket.
+func (conn *tcpConn) shutdown() {
+	conn.closing.Do(func() {
+		close(conn.done)
+		conn.c.Close()
+	})
+}
+
+// startDrain asks the writeLoop to flush everything queued and stop.
+func (conn *tcpConn) startDrain() {
+	conn.draining.Do(func() { close(conn.drain) })
+}
+
+func (conn *tcpConn) finishFlush() {
+	conn.finished.Do(func() { close(conn.flushed) })
+}
+
+// tcpHello opens every dialed connection. Wire advertises the highest
+// binary codec version the dialer is willing to write and read (0 or
+// absent: JSON only — also what pre-wire peers send, since their decoder
+// ignores the unknown field). An acceptor that is itself binary-configured
+// answers a hello with Wire >= 1 by a tcpHelloAck and starts writing binary
+// frames; the dialer upgrades its write codec when the ack arrives. Both
+// directions therefore carry binary exactly when both endpoints are
+// binary-configured, and any link with a JSON or pre-wire endpoint stays
+// pure JSON.
 type tcpHello struct {
 	From int `json:"hello"`
+	Wire int `json:"wire,omitempty"`
 }
+
+type tcpHelloAck struct {
+	From int `json:"helloack"`
+	Wire int `json:"wire"`
+}
+
+// helloAckPrefix identifies an ack line in the receive path. Acks are only
+// ever sent to peers that advertised Wire >= 1, so pre-wire peers never see
+// one.
+var helloAckPrefix = []byte(`{"helloack"`)
 
 // NewTCPTransport starts listening on addr (e.g. "127.0.0.1:9000") for
 // agent id. Call ConnectNeighbors afterwards, once every agent in the
@@ -128,8 +289,17 @@ func NewTCPTransport(id int, addr string, opts ...TCPOption) (*TCPTransport, err
 		haveSent:     make(map[int]bool),
 		lastHeard:    make(map[int]time.Time),
 		reconnecting: make(map[int]bool),
+		stats:        make(map[int]*wireCounters),
 		done:         make(chan struct{}),
 	}
+	t.hbMsg = Message{From: id, Kind: MsgHeartbeat}
+	js, err := json.Marshal(t.hbMsg)
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("diba: agent %d heartbeat encode: %w", id, err)
+	}
+	t.hbJSON = append(js, '\n')
+	t.hbBin = EncodeTo(nil, t.hbMsg)
 	t.wg.Add(1)
 	go t.acceptLoop()
 	if opt.heartbeat > 0 {
@@ -154,30 +324,105 @@ func (t *TCPTransport) acceptLoop() {
 	}
 }
 
-// handleIncoming reads the peer's hello, registers the connection, replays
-// the last message we sent the peer (it may have been lost with the old
-// link; receivers dedup), then pumps messages into the inbox.
+// handleIncoming reads the peer's hello, answers binary-capable peers with
+// an ack, registers the connection, replays the last message we sent the
+// peer (it may have been lost with the old link; receivers dedup), then
+// pumps messages into the inbox.
 func (t *TCPTransport) handleIncoming(c net.Conn) {
 	defer t.wg.Done()
-	dec := json.NewDecoder(bufio.NewReader(c))
-	var hello tcpHello
-	if err := dec.Decode(&hello); err != nil {
+	br := bufio.NewReader(c)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
 		c.Close()
 		return
 	}
-	t.register(hello.From, c)
+	var hello tcpHello
+	if err := json.Unmarshal(line, &hello); err != nil {
+		c.Close()
+		return
+	}
+	binary := hello.Wire >= WireVersion && t.opt.codec == WireBinary
+	if binary {
+		// Tell the dialer it may upgrade its write codec. Written before the
+		// connection is registered, so it cannot interleave with coalesced
+		// batches.
+		ack, err := json.Marshal(tcpHelloAck{From: t.id, Wire: WireVersion})
+		if err == nil {
+			if t.opt.writeTimeout > 0 {
+				c.SetWriteDeadline(time.Now().Add(t.opt.writeTimeout))
+			}
+			_, err = c.Write(append(ack, '\n'))
+			c.SetWriteDeadline(time.Time{})
+		}
+		if err != nil {
+			c.Close()
+			return
+		}
+	}
+	conn := t.register(hello.From, c, binary)
 	t.replayLast(hello.From)
-	t.pump(hello.From, dec, c)
+	t.pump(hello.From, br, conn)
 }
 
-func (t *TCPTransport) register(peer int, c net.Conn) {
+// register installs a fresh tcpConn for peer (tearing down any previous
+// one) and starts its coalescing writer.
+func (t *TCPTransport) register(peer int, c net.Conn, binary bool) *tcpConn {
+	conn := &tcpConn{c: c, peer: peer, done: make(chan struct{}),
+		drain: make(chan struct{}), flushed: make(chan struct{})}
+	conn.binary.Store(binary)
+	if t.opt.sendQueue > 0 {
+		conn.queue = make(chan Message, t.opt.sendQueue)
+	}
+	t.mu.Lock()
+	if old, ok := t.conns[peer]; ok {
+		old.shutdown()
+	}
+	t.conns[peer] = conn
+	t.lastHeard[peer] = time.Now()
+	t.mu.Unlock()
+	if conn.queue != nil {
+		t.wg.Add(1)
+		go t.writeLoop(conn)
+	}
+	return conn
+}
+
+// counters returns peer's cumulative traffic counters, creating them on
+// first use.
+func (t *TCPTransport) counters(peer int) *wireCounters {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if old, ok := t.conns[peer]; ok {
-		old.c.Close()
+	st, ok := t.stats[peer]
+	if !ok {
+		st = &wireCounters{}
+		t.stats[peer] = st
 	}
-	t.conns[peer] = &tcpConn{c: c, enc: json.NewEncoder(c)}
-	t.lastHeard[peer] = time.Now()
+	return st
+}
+
+// WireStats returns a snapshot of per-peer wire-level traffic counters,
+// keyed by peer id.
+func (t *TCPTransport) WireStats() map[int]WireStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int]WireStats, len(t.stats))
+	for p, c := range t.stats {
+		out[p] = c.snapshot()
+	}
+	return out
+}
+
+// WireTotals returns wire-level traffic counters summed over all peers.
+func (t *TCPTransport) WireTotals() WireStats {
+	var sum WireStats
+	for _, s := range t.WireStats() {
+		sum.MsgsSent += s.MsgsSent
+		sum.MsgsRecv += s.MsgsRecv
+		sum.BytesSent += s.BytesSent
+		sum.BytesRecv += s.BytesRecv
+		sum.Flushes += s.Flushes
+	}
+	return sum
 }
 
 // replayLast re-sends the last message addressed to peer, if any — the one
@@ -192,51 +437,224 @@ func (t *TCPTransport) replayLast(peer int) {
 }
 
 // heartbeatLoop beacons on every live connection so peers can tell slow
-// from dead.
+// from dead. With coalescing enabled a heartbeat is enqueued without
+// blocking — if round traffic already fills the queue the beacon is
+// redundant and skipped, and otherwise it rides the writer's next flush
+// as a precomputed frame.
 func (t *TCPTransport) heartbeatLoop() {
 	defer t.wg.Done()
 	tick := time.NewTicker(t.opt.heartbeat)
 	defer tick.Stop()
-	hb := Message{From: t.id, Kind: MsgHeartbeat}
 	for {
 		select {
 		case <-t.done:
 			return
 		case <-tick.C:
 			t.mu.Lock()
-			peers := make([]int, 0, len(t.conns))
-			for p := range t.conns {
-				peers = append(peers, p)
+			conns := make([]*tcpConn, 0, len(t.conns))
+			for _, conn := range t.conns {
+				conns = append(conns, conn)
 			}
 			t.mu.Unlock()
-			for _, p := range peers {
-				_ = t.writeTo(p, hb, false)
+			for _, conn := range conns {
+				if conn.queue == nil {
+					_ = t.writeDirect(conn, t.hbMsg)
+					continue
+				}
+				select {
+				case conn.queue <- t.hbMsg:
+				default:
+				}
 			}
 		}
 	}
 }
 
-func (t *TCPTransport) pump(peer int, dec *json.Decoder, c net.Conn) {
+// deliver routes one inbound message: every arrival refreshes the sender's
+// LastHeard clock, and heartbeats stop there instead of reaching the inbox.
+func (t *TCPTransport) deliver(m Message, c net.Conn) bool {
+	t.mu.Lock()
+	t.lastHeard[m.From] = time.Now()
+	t.mu.Unlock()
+	if m.Kind == MsgHeartbeat {
+		return true
+	}
+	select {
+	case t.inbox <- m:
+		return true
+	case <-t.done:
+		c.Close()
+		return false
+	}
+}
+
+// pump reads messages off one connection until it breaks. The framing is
+// detected per message: a 0xD1 first byte is a binary v1 frame, anything
+// else a newline-terminated line of JSON — either a hello-ack (which
+// upgrades the connection's write codec) or a Message.
+func (t *TCPTransport) pump(peer int, br *bufio.Reader, conn *tcpConn) {
+	st := t.counters(peer)
+	var frame [maxWireFrame]byte
+	for {
+		first, err := br.Peek(1)
+		if err == nil && first[0] == wireMagic {
+			var hdr []byte
+			if hdr, err = br.Peek(2); err == nil {
+				b := frame[:int(hdr[1])+2]
+				if _, err = io.ReadFull(br, b); err == nil {
+					var m Message
+					if m, _, err = Decode(b); err == nil {
+						st.bytesRecv.Add(uint64(len(b)))
+						st.msgsRecv.Add(1)
+						if !t.deliver(m, conn.c) {
+							return
+						}
+						continue
+					}
+				}
+			}
+		} else if err == nil {
+			var line []byte
+			if line, err = br.ReadBytes('\n'); err == nil {
+				st.bytesRecv.Add(uint64(len(line)))
+				if bytes.HasPrefix(line, helloAckPrefix) {
+					var ack tcpHelloAck
+					if json.Unmarshal(line, &ack) == nil && ack.Wire >= WireVersion && t.opt.codec == WireBinary {
+						conn.binary.Store(true)
+					}
+					continue
+				}
+				var m Message
+				if err = json.Unmarshal(line, &m); err == nil {
+					st.msgsRecv.Add(1)
+					if !t.deliver(m, conn.c) {
+						return
+					}
+					continue
+				}
+			}
+		}
+		// Read or decode error: a broken or desynchronized stream is torn
+		// down and left to the reconnect path.
+		conn.shutdown()
+		t.maybeReconnect(peer, conn.c)
+		return
+	}
+}
+
+// encodeMsg appends m's wire form in the connection's current write codec,
+// substituting the precomputed frame for heartbeats.
+func (t *TCPTransport) encodeMsg(buf []byte, conn *tcpConn, m Message) []byte {
+	if conn.binary.Load() {
+		if m == t.hbMsg {
+			return append(buf, t.hbBin...)
+		}
+		return EncodeTo(buf, m)
+	}
+	if m == t.hbMsg {
+		return append(buf, t.hbJSON...)
+	}
+	js, err := json.Marshal(m)
+	if err != nil {
+		// Unreachable: Message contains only plain ints and float64s.
+		return buf
+	}
+	buf = append(buf, js...)
+	return append(buf, '\n')
+}
+
+// writeBatch writes first plus everything else pending on the queue (up to
+// maxCoalesce) to the socket in a single syscall under one write deadline.
+// It reports false after a failed write, with the connection already torn
+// down.
+func (t *TCPTransport) writeBatch(conn *tcpConn, st *wireCounters, buf *[]byte, first Message) bool {
+	const maxCoalesce = 128
+	b := t.encodeMsg((*buf)[:0], conn, first)
+	n := 1
+pending:
+	for n < maxCoalesce {
+		select {
+		case m := <-conn.queue:
+			b = t.encodeMsg(b, conn, m)
+			n++
+		default:
+			break pending
+		}
+	}
+	*buf = b
+	if t.opt.writeTimeout > 0 {
+		conn.c.SetWriteDeadline(time.Now().Add(t.opt.writeTimeout))
+	}
+	if _, err := conn.c.Write(b); err != nil {
+		// A failed or expired write leaves the stream in an undefined
+		// state; drop the connection and let the pump's read failure
+		// trigger the reconnect path.
+		conn.shutdown()
+		return false
+	}
+	st.bytesSent.Add(uint64(len(b)))
+	st.msgsSent.Add(uint64(n))
+	st.flushes.Add(1)
+	return true
+}
+
+// writeLoop drains a connection's send queue: it blocks for one message,
+// then greedily coalesces everything else pending into one buffered write
+// (writeBatch). Per-sender ordering is preserved — messages leave the queue
+// and hit the socket in Send order. When Close signals drain, the loop
+// flushes whatever is still queued and reports back via flushed: Send is
+// asynchronous, so the caller's last messages may otherwise die in the
+// queue — exactly the tail a BSP peer still needs to finish its final
+// round.
+func (t *TCPTransport) writeLoop(conn *tcpConn) {
+	defer t.wg.Done()
+	defer conn.finishFlush()
+	st := t.counters(conn.peer)
+	buf := make([]byte, 0, 4096)
 	for {
 		var m Message
-		if err := dec.Decode(&m); err != nil {
-			c.Close()
-			t.maybeReconnect(peer, c)
-			return
-		}
-		t.mu.Lock()
-		t.lastHeard[m.From] = time.Now()
-		t.mu.Unlock()
-		if m.Kind == MsgHeartbeat {
-			continue
-		}
 		select {
-		case t.inbox <- m:
-		case <-t.done:
-			c.Close()
+		case m = <-conn.queue:
+		case <-conn.done:
+			return
+		case <-conn.drain:
+			for {
+				select {
+				case m = <-conn.queue:
+					if !t.writeBatch(conn, st, &buf, m) {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+		if !t.writeBatch(conn, st, &buf, m) {
 			return
 		}
 	}
+}
+
+// writeDirect synchronously encodes and writes one message — the
+// coalescing-disabled path (WithSendQueue(0)) and the pre-wire behavior:
+// one socket write per message.
+func (t *TCPTransport) writeDirect(conn *tcpConn, m Message) error {
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	conn.scratch = t.encodeMsg(conn.scratch[:0], conn, m)
+	if t.opt.writeTimeout > 0 {
+		conn.c.SetWriteDeadline(time.Now().Add(t.opt.writeTimeout))
+	}
+	_, err := conn.c.Write(conn.scratch)
+	if err != nil {
+		conn.shutdown()
+		return err
+	}
+	st := t.counters(conn.peer)
+	st.bytesSent.Add(uint64(len(conn.scratch)))
+	st.msgsSent.Add(1)
+	st.flushes.Add(1)
+	return nil
 }
 
 // maybeReconnect redials peer with exponential backoff after its link
@@ -292,26 +710,37 @@ func (t *TCPTransport) maybeReconnect(peer int, broken net.Conn) {
 	}()
 }
 
-// dialPeer dials addr, performs the hello handshake, registers the
-// connection and starts its pump.
+// dialPeer dials addr, sends the hello (advertising the binary codec when
+// configured), registers the connection and starts its pump. The dialed
+// connection starts on JSON and upgrades to binary when the peer's ack
+// arrives.
 func (t *TCPTransport) dialPeer(peer int, addr string, timeout time.Duration) error {
 	c, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return err
 	}
+	hello := tcpHello{From: t.id}
+	if t.opt.codec == WireBinary {
+		hello.Wire = WireVersion
+	}
+	js, err := json.Marshal(hello)
+	if err != nil {
+		c.Close()
+		return err
+	}
 	if t.opt.writeTimeout > 0 {
 		c.SetWriteDeadline(time.Now().Add(t.opt.writeTimeout))
 	}
-	if err := json.NewEncoder(c).Encode(tcpHello{From: t.id}); err != nil {
+	if _, err := c.Write(append(js, '\n')); err != nil {
 		c.Close()
 		return err
 	}
 	c.SetWriteDeadline(time.Time{})
-	t.register(peer, c)
+	conn := t.register(peer, c, false)
 	t.wg.Add(1)
 	go func() {
 		defer t.wg.Done()
-		t.pump(peer, json.NewDecoder(bufio.NewReader(c)), c)
+		t.pump(peer, bufio.NewReader(c), conn)
 	}()
 	return nil
 }
@@ -385,9 +814,10 @@ func (t *TCPTransport) ConnectNeighbors(neighbors []int, addrs map[int]string, t
 	}
 }
 
-// writeTo encodes m on the persistent connection to peer, under the write
-// deadline. record selects whether the message is remembered for replay
-// after a reconnect (round messages are; heartbeats are not).
+// writeTo hands m to the connection for peer: enqueued for the coalescing
+// writer when the send queue is enabled, written synchronously otherwise.
+// record selects whether the message is remembered for replay after a
+// reconnect (round messages are; heartbeats are not).
 func (t *TCPTransport) writeTo(to int, m Message, record bool) error {
 	t.mu.Lock()
 	conn, ok := t.conns[to]
@@ -399,25 +829,41 @@ func (t *TCPTransport) writeTo(to int, m Message, record bool) error {
 	if !ok {
 		return fmt.Errorf("diba: agent %d has no connection to %d", t.id, to)
 	}
-	conn.mu.Lock()
-	defer conn.mu.Unlock()
+	if conn.queue == nil {
+		return t.writeDirect(conn, m)
+	}
+	select {
+	case conn.queue <- m:
+		return nil
+	case <-conn.done:
+		return fmt.Errorf("diba: agent %d lost connection to %d", t.id, to)
+	default:
+	}
+	// Queue full: block up to the write timeout, mirroring how a direct
+	// write would stall on a full socket buffer.
+	var expired <-chan time.Time
 	if t.opt.writeTimeout > 0 {
-		conn.c.SetWriteDeadline(time.Now().Add(t.opt.writeTimeout))
+		timer := time.NewTimer(t.opt.writeTimeout)
+		defer timer.Stop()
+		expired = timer.C
 	}
-	err := conn.enc.Encode(m)
-	if err != nil {
-		// A failed write leaves the stream in an undefined state; drop the
-		// connection so the reconnect path (or the peer's redial) replaces
-		// it rather than corrupting framing.
-		conn.c.Close()
+	select {
+	case conn.queue <- m:
+		return nil
+	case <-conn.done:
+		return fmt.Errorf("diba: agent %d lost connection to %d", t.id, to)
+	case <-expired:
+		conn.shutdown()
+		return fmt.Errorf("diba: agent %d send queue to %d full past write timeout", t.id, to)
 	}
-	return err
 }
 
 // Send writes the message to the persistent connection for the target
-// neighbor. The write carries a deadline, so a stuck peer cannot block the
-// sender forever; a failed or deadline-exceeded write tears the connection
-// down and lets the reconnect path re-establish it.
+// neighbor. With coalescing enabled the write itself is asynchronous: Send
+// fails synchronously when no connection exists (or the queue stays full
+// past the write timeout), while a socket-level failure surfaces on a later
+// Send after the writer tears the connection down. A failed write drops the
+// connection and lets the reconnect path re-establish it.
 func (t *TCPTransport) Send(to int, m Message) error {
 	return t.writeTo(to, m, m.Kind != MsgHeartbeat)
 }
@@ -455,18 +901,45 @@ func (t *TCPTransport) LastHeard(peer int) (time.Time, bool) {
 	return ts, ok
 }
 
-// Close shuts the listener and all connections down.
+// Close flushes every connection's pending sends, then shuts the listener
+// and all connections down. The flush matters because Send is asynchronous:
+// an agent that reached its stop condition exits right after its final
+// broadcast, and without the flush those queued messages would die with the
+// process while BSP peers still need them to finish the round. The wait is
+// bounded by the write timeout.
 func (t *TCPTransport) Close() error {
 	select {
 	case <-t.done:
 		return nil
 	default:
 	}
+	t.mu.Lock()
+	conns := make([]*tcpConn, 0, len(t.conns))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	var expired <-chan time.Time
+	if t.opt.writeTimeout > 0 {
+		timer := time.NewTimer(t.opt.writeTimeout)
+		defer timer.Stop()
+		expired = timer.C
+	}
+	for _, c := range conns {
+		if c.queue == nil {
+			continue
+		}
+		c.startDrain()
+		select {
+		case <-c.flushed:
+		case <-expired:
+		}
+	}
 	close(t.done)
 	err := t.ln.Close()
 	t.mu.Lock()
 	for _, c := range t.conns {
-		c.c.Close()
+		c.shutdown()
 	}
 	t.mu.Unlock()
 	t.wg.Wait()

@@ -1,0 +1,221 @@
+package diba
+
+import (
+	"testing"
+	"time"
+)
+
+// wirePair builds two connected transports (0 dials 1) with per-side
+// options and closes them on cleanup.
+func wirePair(t *testing.T, optsA, optsB []TCPOption) (a, b *TCPTransport) {
+	t.Helper()
+	a, err := NewTCPTransport(0, "127.0.0.1:0", optsA...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err = NewTCPTransport(1, "127.0.0.1:0", optsB...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	addrs := map[int]string{0: a.Addr(), 1: b.Addr()}
+	if err := a.ConnectNeighbors([]int{1}, addrs, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ConnectNeighbors([]int{0}, addrs, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// connBinary reports whether tr's connection to peer currently writes the
+// binary codec.
+func connBinary(t *testing.T, tr *TCPTransport, peer int) bool {
+	t.Helper()
+	tr.mu.Lock()
+	conn, ok := tr.conns[peer]
+	tr.mu.Unlock()
+	if !ok {
+		t.Fatalf("transport %d has no connection to %d", tr.id, peer)
+	}
+	return conn.binary.Load()
+}
+
+// exchange round-trips one estimate message in each direction, which also
+// guarantees the dialer has processed any hello-ack (the ack precedes the
+// acceptor's first message on the wire).
+func exchange(t *testing.T, a, b *TCPTransport) {
+	t.Helper()
+	est := Message{From: 0, Round: 1, E: -1.5, Degree: 2}
+	if err := a.Send(1, est); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := b.RecvTimeout(5 * time.Second); err != nil || m.Round != 1 {
+		t.Fatalf("b recv: %v %+v", err, m)
+	}
+	est.From = 1
+	if err := b.Send(0, est); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := a.RecvTimeout(5 * time.Second); err != nil || m.From != 1 {
+		t.Fatalf("a recv: %v %+v", err, m)
+	}
+}
+
+func TestTCPCodecNegotiation(t *testing.T) {
+	// Binary frames flow on a link exactly when both endpoints are
+	// binary-configured; any JSON endpoint holds the whole link on JSON,
+	// which is also how a pre-wire peer is handled (it never advertises).
+	jsonOpt := []TCPOption{WithWireCodec(WireJSON)}
+	cases := []struct {
+		name           string
+		optsA, optsB   []TCPOption
+		binaryExpected bool
+	}{
+		{"binary-binary", nil, nil, true},
+		{"binary-json", nil, jsonOpt, false},
+		{"json-binary", jsonOpt, nil, false},
+		{"json-json", jsonOpt, jsonOpt, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkGoroutineLeak(t)
+			a, b := wirePair(t, tc.optsA, tc.optsB)
+			exchange(t, a, b)
+			if got := connBinary(t, a, 1); got != tc.binaryExpected {
+				t.Errorf("dialer writes binary = %v, want %v", got, tc.binaryExpected)
+			}
+			if got := connBinary(t, b, 0); got != tc.binaryExpected {
+				t.Errorf("acceptor writes binary = %v, want %v", got, tc.binaryExpected)
+			}
+		})
+	}
+}
+
+func TestTCPWireStatsAccounting(t *testing.T) {
+	checkGoroutineLeak(t)
+	a, b := wirePair(t, nil, nil)
+	exchange(t, a, b) // ensures the negotiated upgrade is complete
+	base := a.WireStats()[1]
+
+	const sends = 5
+	est := Message{From: 0, Round: 7, E: -0.6666666666666666, Degree: 2}
+	frameLen := uint64(len(EncodeTo(nil, est)))
+	for i := 0; i < sends; i++ {
+		if err := a.Send(1, est); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < sends; i++ {
+		if _, err := b.RecvTimeout(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := a.WireStats()[1]
+	sent, bytes, flushes := got.MsgsSent-base.MsgsSent, got.BytesSent-base.BytesSent, got.Flushes-base.Flushes
+	if sent != sends {
+		t.Errorf("MsgsSent delta = %d, want %d", sent, sends)
+	}
+	if bytes != sends*frameLen {
+		t.Errorf("BytesSent delta = %d, want %d (%d frames x %d B)", bytes, sends*frameLen, sends, frameLen)
+	}
+	if flushes == 0 || flushes > sends {
+		t.Errorf("Flushes delta = %d, want 1..%d", flushes, sends)
+	}
+	recv := b.WireStats()[0]
+	if recv.MsgsRecv < sends || recv.BytesRecv < sends*frameLen {
+		t.Errorf("receiver counted %d msgs / %d B from peer 0, want at least %d / %d",
+			recv.MsgsRecv, recv.BytesRecv, sends, sends*frameLen)
+	}
+	tot := a.WireTotals()
+	if tot.MsgsSent != got.MsgsSent || tot.BytesSent != got.BytesSent {
+		t.Errorf("WireTotals %+v does not sum WireStats %+v", tot, got)
+	}
+}
+
+func TestTCPCoalescingPreservesOrder(t *testing.T) {
+	checkGoroutineLeak(t)
+	a, b := wirePair(t, nil, nil)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := a.Send(1, Message{From: 0, Round: i + 1, E: -1, Degree: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m, err := b.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Round != i+1 {
+			t.Fatalf("message %d arrived with round %d: coalescing broke send order", i, m.Round)
+		}
+	}
+	if st := a.WireStats()[1]; st.Flushes >= st.MsgsSent {
+		t.Logf("note: no batching observed (%d msgs in %d flushes)", st.MsgsSent, st.Flushes)
+	}
+}
+
+// measureLoopback pushes msgs estimate messages through a fresh pair and
+// returns the measured throughput and average wire bytes per message.
+func measureLoopback(t *testing.T, opts []TCPOption, msgs int) (msgsPerSec, bytesPerMsg float64) {
+	t.Helper()
+	a, b := wirePair(t, opts, opts)
+	exchange(t, a, b)
+	base := a.WireStats()[1]
+	est := Message{From: 0, Round: 3, E: -0.6666666666666666, Degree: 2, P: 145.23456789012345}
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < msgs; i++ {
+			if _, err := b.RecvTimeout(10 * time.Second); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	start := time.Now()
+	for i := 0; i < msgs; i++ {
+		est.Round = i + 4
+		if err := a.Send(1, est); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	st := a.WireStats()[1]
+	sent := st.MsgsSent - base.MsgsSent
+	return float64(sent) / elapsed.Seconds(), float64(st.BytesSent-base.BytesSent) / float64(sent)
+}
+
+// TestBinaryCoalescedBeatsJSONLoopback is the CI bench-smoke: the binary
+// coalesced path must move strictly more messages per second than the
+// JSON-per-write path and spend at least 2.5x fewer bytes per message.
+// Throughput on a loaded CI runner is noisy, so the speed check takes the
+// best of three attempts before failing.
+func TestBinaryCoalescedBeatsJSONLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback throughput measurement")
+	}
+	const msgs = 2000
+	jsonOpts := []TCPOption{WithWireCodec(WireJSON), WithSendQueue(0)}
+	var lastJSON, lastBin float64
+	for attempt := 1; attempt <= 3; attempt++ {
+		jsonRate, jsonBytes := measureLoopback(t, jsonOpts, msgs)
+		binRate, binBytes := measureLoopback(t, nil, msgs)
+		if binBytes*2.5 > jsonBytes {
+			t.Fatalf("binary codec spends %.1f B/msg, want <= JSON %.1f/2.5", binBytes, jsonBytes)
+		}
+		t.Logf("attempt %d: json %.0f msg/s @ %.1f B/msg; binary+coalesced %.0f msg/s @ %.1f B/msg (%.2fx rate, %.2fx bytes)",
+			attempt, jsonRate, jsonBytes, binRate, binBytes, binRate/jsonRate, jsonBytes/binBytes)
+		if binRate > jsonRate {
+			return
+		}
+		lastJSON, lastBin = jsonRate, binRate
+	}
+	t.Fatalf("binary+coalesced path is not faster than JSON-per-write (%.0f vs %.0f msg/s)", lastBin, lastJSON)
+}

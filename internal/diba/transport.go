@@ -96,6 +96,17 @@ type PeerLiveness interface {
 	LastHeard(peer int) (time.Time, bool)
 }
 
+// WireAccountant is implemented by transports that meter their wire-level
+// traffic (TCPTransport natively; FaultTransport passes the counters of its
+// inner transport through). Experiments use it to report measured
+// bytes-per-round next to the netsim cost model.
+type WireAccountant interface {
+	// WireStats returns per-peer traffic counters, keyed by peer id.
+	WireStats() map[int]WireStats
+	// WireTotals returns traffic counters summed over all peers.
+	WireTotals() WireStats
+}
+
 // recvTimeout receives with a deadline when the transport supports it and
 // d > 0, falling back to a blocking Recv otherwise.
 func recvTimeout(tr Transport, d time.Duration) (Message, error) {

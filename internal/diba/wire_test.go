@@ -1,0 +1,197 @@
+package diba
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// wireTestMessages covers every message kind the protocol produces plus
+// boundary values of the codec's integer and float domains.
+var wireTestMessages = []Message{
+	{},
+	{From: 3, Round: 17, E: -0.6666666666666666, Degree: 2},
+	{From: 0, Round: 1, E: -1.5, Degree: 4, Quiet: 2, Stop: 1, P: 145.23456789012345},
+	{From: 12, Kind: MsgHeartbeat},
+	{From: 5, Round: 99, Kind: MsgNodeDead, Dead: 7, Act: 1},
+	{From: 1, Kind: MsgHealth, Act: 1},
+	{From: 9, Round: 1000, Kind: MsgRejoinReq, Dead: 9},
+	{From: 2, Round: 1001, Kind: MsgRejoin, E: -3.25, P: 210, Dead: 9, Act: 2},
+	{From: 4, Round: 1002, Kind: MsgRejoinAck, Dead: 9},
+	{From: -1, Round: -42, E: math.Inf(-1), Degree: -2, Quiet: -1, Stop: -1, P: math.Inf(1), Kind: -1, Dead: -1, Act: -1},
+	{From: math.MaxInt32, Round: math.MaxInt32, Degree: math.MaxInt16, Quiet: math.MaxInt32, Stop: math.MaxInt32, Kind: math.MaxInt32, Dead: math.MaxInt32, Act: math.MaxInt32},
+	{From: math.MinInt32, Round: math.MinInt32, Degree: math.MinInt16, Quiet: math.MinInt32, Stop: math.MinInt32, Kind: math.MinInt32, Dead: math.MinInt32, Act: math.MinInt32},
+	{E: math.Copysign(0, -1), P: math.Copysign(0, -1)},
+	{E: 4.9e-324, P: math.MaxFloat64},
+}
+
+// sameMessage compares two messages with floats matched by bit pattern, so
+// NaN payloads and signed zeros count as equal only when truly identical.
+func sameMessage(a, b Message) bool {
+	return a.From == b.From && a.Round == b.Round && a.Degree == b.Degree &&
+		a.Quiet == b.Quiet && a.Stop == b.Stop && a.Kind == b.Kind &&
+		a.Dead == b.Dead && a.Act == b.Act &&
+		math.Float64bits(a.E) == math.Float64bits(b.E) &&
+		math.Float64bits(a.P) == math.Float64bits(b.P)
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for i, m := range wireTestMessages {
+		frame := EncodeTo(nil, m)
+		if len(frame) > maxWireFrame {
+			t.Fatalf("case %d: frame is %d bytes, exceeds maxWireFrame=%d", i, len(frame), maxWireFrame)
+		}
+		got, n, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("case %d: Decode: %v", i, err)
+		}
+		if n != len(frame) {
+			t.Fatalf("case %d: Decode consumed %d of %d bytes", i, n, len(frame))
+		}
+		if want := wireCanon(m); !sameMessage(got, want) {
+			t.Fatalf("case %d: round trip mismatch:\n got  %+v\n want %+v", i, got, want)
+		}
+	}
+}
+
+func TestWireAppendStyle(t *testing.T) {
+	// EncodeTo must append, leaving existing bytes intact, and frames must
+	// decode back-to-back off one buffer using the returned lengths.
+	var buf []byte
+	for _, m := range wireTestMessages {
+		buf = EncodeTo(buf, m)
+	}
+	rest := buf
+	for i, m := range wireTestMessages {
+		got, n, err := Decode(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if want := wireCanon(m); !sameMessage(got, want) {
+			t.Fatalf("frame %d mismatch: got %+v want %+v", i, got, want)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d stray bytes after last frame", len(rest))
+	}
+}
+
+func TestWireEstimateFrameSmallerThanJSON(t *testing.T) {
+	// The common-case round message must hold the ~30-byte v1 layout and
+	// stay well under its JSON encoding — that gap is the point of the codec.
+	m := Message{From: 12, Round: 157, E: -0.6666666666666666, Degree: 2, P: 145.23456789012345}
+	frame := EncodeTo(nil, m)
+	if len(frame) != 30 {
+		t.Fatalf("MsgEstimate frame is %d bytes, want 30", len(frame))
+	}
+	js, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonLen := len(js) + 1 // json.Encoder appends '\n' on the wire
+	if len(frame)*2 >= jsonLen {
+		t.Fatalf("binary frame %dB is not >2x smaller than JSON %dB", len(frame), jsonLen)
+	}
+}
+
+func TestWireDecodeAllocFree(t *testing.T) {
+	frame := EncodeTo(nil, Message{From: 7, Round: 3, E: -2.5, Degree: 3, P: 99.5})
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := Decode(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Decode allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestWireDecodeRejectsCorruptFrames(t *testing.T) {
+	good := EncodeTo(nil, Message{From: 3, Round: 8, E: -1, Degree: 2})
+	cases := map[string][]byte{
+		"empty":          nil,
+		"short header":   good[:3],
+		"truncated body": good[:len(good)-1],
+		"bad magic":      append([]byte{'{'}, good[1:]...),
+		"json bytes":     []byte(`{"from":3,"round":8}` + "\n"),
+	}
+	// Length byte inconsistent with the bitmap.
+	lied := bytes.Clone(good)
+	lied[1]++
+	cases["length over bitmap"] = append(lied, 0)
+	// Bitmap bits beyond v1's ten fields.
+	future := bytes.Clone(good)
+	future[3] |= 0x80 // bit 15
+	cases["future bitmap bit"] = future
+	for name, b := range cases {
+		if _, _, err := Decode(b); err == nil {
+			t.Errorf("%s: Decode accepted a corrupt frame", name)
+		}
+	}
+}
+
+func TestWireHeartbeatFrameTiny(t *testing.T) {
+	// The heartbeat special case (precomputed frame in tcp.go) relies on
+	// heartbeats encoding to a constant few bytes: magic+len+bitmap+From+Kind.
+	frame := EncodeTo(nil, Message{From: 6, Kind: MsgHeartbeat})
+	if len(frame) != 12 {
+		t.Fatalf("heartbeat frame is %d bytes, want 12", len(frame))
+	}
+}
+
+// FuzzWireMessage round-trips arbitrary field values through the binary
+// codec. Values outside the codec's integer domain are canonicalized by the
+// same truncating conversions EncodeTo applies, so the invariant checked is
+// Decode(EncodeTo(m)) == wireCanon(m) exactly.
+func FuzzWireMessage(f *testing.F) {
+	for _, m := range wireTestMessages {
+		f.Add(m.From, m.Round, m.E, m.Degree, m.Quiet, m.Stop, m.P, m.Kind, m.Dead, m.Act)
+	}
+	f.Fuzz(func(t *testing.T, from, round int, e float64, degree, quiet, stop int, p float64, kind, dead, act int) {
+		m := Message{From: from, Round: round, E: e, Degree: degree,
+			Quiet: quiet, Stop: stop, P: p, Kind: kind, Dead: dead, Act: act}
+		frame := EncodeTo(nil, m)
+		if len(frame) > maxWireFrame {
+			t.Fatalf("frame is %d bytes, exceeds maxWireFrame=%d", len(frame), maxWireFrame)
+		}
+		got, n, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("Decode(EncodeTo(%+v)): %v", m, err)
+		}
+		if n != len(frame) {
+			t.Fatalf("Decode consumed %d of %d bytes", n, len(frame))
+		}
+		if want := wireCanon(m); !sameMessage(got, want) {
+			t.Fatalf("round trip mismatch:\n got  %+v\n want %+v", got, want)
+		}
+	})
+}
+
+// FuzzWireDecode feeds arbitrary bytes to Decode: it must never panic and
+// must never consume more bytes than it was given.
+func FuzzWireDecode(f *testing.F) {
+	for _, m := range wireTestMessages {
+		f.Add(EncodeTo(nil, m))
+	}
+	f.Add([]byte{wireMagic})
+	f.Add([]byte{wireMagic, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, n, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if n < 4 || n > len(b) || n > maxWireFrame {
+			t.Fatalf("Decode reported %d bytes consumed of %d", n, len(b))
+		}
+		// A decoded message must survive a second round trip: explicitly
+		// encoded zero fields collapse to omitted, after which the encoding
+		// is canonical.
+		re := EncodeTo(nil, m)
+		m2, n2, err := Decode(re)
+		if err != nil || n2 != len(re) || !sameMessage(m, m2) {
+			t.Fatalf("re-encode round trip failed: %v (%+v vs %+v)", err, m, m2)
+		}
+	})
+}

@@ -118,3 +118,12 @@ func PacketsPerIteration(a Architecture, n int, avgDegree float64) int {
 		return 0
 	}
 }
+
+// BytesPerIteration scales the packet model by a measured per-message wire
+// size, so an experiment can print the modeled traffic volume next to the
+// bytes a real transport actually counted (TCPTransport's WireStats).
+// bytesPerMsg is whatever the deployment measures — ~30 B for the binary
+// v1 estimate frame, ~80 B for its JSON form.
+func BytesPerIteration(a Architecture, n int, avgDegree, bytesPerMsg float64) float64 {
+	return float64(PacketsPerIteration(a, n, avgDegree)) * bytesPerMsg
+}

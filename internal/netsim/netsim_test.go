@@ -95,3 +95,17 @@ func TestPacketsPerIteration(t *testing.T) {
 		t.Fatal("unknown arch packets")
 	}
 }
+
+func TestBytesPerIteration(t *testing.T) {
+	// A 100-node ring of 30 B binary estimate frames: 2N messages x 30 B.
+	if got := BytesPerIteration(DiBA, 100, 2, 30); got != 6000 {
+		t.Fatalf("DiBA ring bytes = %v, want 6000", got)
+	}
+	// The coordinator schemes move 2N packets whatever the topology.
+	if got := BytesPerIteration(Centralized, 100, 0, 80); got != 16000 {
+		t.Fatalf("centralized bytes = %v, want 16000", got)
+	}
+	if got := BytesPerIteration(Architecture(9), 10, 1, 30); got != 0 {
+		t.Fatalf("unknown arch bytes = %v, want 0", got)
+	}
+}
