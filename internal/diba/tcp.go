@@ -195,6 +195,7 @@ type TCPTransport struct {
 	addrs        map[int]string // learned in ConnectNeighbors, for redial
 	lastSent     map[int]Message
 	haveSent     map[int]bool
+	unflushed    map[int][]Message // dequeued but never written; replayed on reconnect
 	lastHeard    map[int]time.Time
 	reconnecting map[int]bool
 	stats        map[int]*wireCounters
@@ -287,6 +288,7 @@ func NewTCPTransport(id int, addr string, opts ...TCPOption) (*TCPTransport, err
 		conns:        make(map[int]*tcpConn),
 		lastSent:     make(map[int]Message),
 		haveSent:     make(map[int]bool),
+		unflushed:    make(map[int][]Message),
 		lastHeard:    make(map[int]time.Time),
 		reconnecting: make(map[int]bool),
 		stats:        make(map[int]*wireCounters),
@@ -348,11 +350,18 @@ func (t *TCPTransport) handleIncoming(c net.Conn) {
 		// batches.
 		ack, err := json.Marshal(tcpHelloAck{From: t.id, Wire: WireVersion})
 		if err == nil {
+			line := append(ack, '\n')
 			if t.opt.writeTimeout > 0 {
 				c.SetWriteDeadline(time.Now().Add(t.opt.writeTimeout))
 			}
-			_, err = c.Write(append(ack, '\n'))
+			_, err = c.Write(line)
 			c.SetWriteDeadline(time.Time{})
+			if err == nil {
+				// The dialer's pump counts the ack line into BytesRecv, so
+				// count it here too — keeping BytesSent on this end equal to
+				// BytesRecv on the other.
+				t.counters(hello.From).bytesSent.Add(uint64(len(line)))
+			}
 		}
 		if err != nil {
 			c.Close()
@@ -425,12 +434,22 @@ func (t *TCPTransport) WireTotals() WireStats {
 	return sum
 }
 
-// replayLast re-sends the last message addressed to peer, if any — the one
-// that may have been in flight when the previous connection died.
+// replayLast re-sends everything that may have been lost with the previous
+// connection: first any batch the coalescing writer dequeued but never got
+// onto the wire (saveUnflushed), in original order, then the last recorded
+// message — the one that may have been in flight when the link died.
+// Receivers deduplicate, so replay is safe.
 func (t *TCPTransport) replayLast(peer int) {
 	t.mu.Lock()
+	pend := t.unflushed[peer]
+	delete(t.unflushed, peer)
 	m, ok := t.lastSent[peer], t.haveSent[peer]
 	t.mu.Unlock()
+	for _, pm := range pend {
+		// record=false: these were recorded when first sent, and lastSent
+		// must keep pointing at the newest message, not an older replay.
+		_ = t.writeTo(peer, pm, false)
+	}
 	if ok {
 		_ = t.Send(peer, m)
 	}
@@ -500,16 +519,22 @@ func (t *TCPTransport) pump(peer int, br *bufio.Reader, conn *tcpConn) {
 		if err == nil && first[0] == wireMagic {
 			var hdr []byte
 			if hdr, err = br.Peek(2); err == nil {
-				b := frame[:int(hdr[1])+2]
-				if _, err = io.ReadFull(br, b); err == nil {
-					var m Message
-					if m, _, err = Decode(b); err == nil {
-						st.bytesRecv.Add(uint64(len(b)))
-						st.msgsRecv.Add(1)
-						if !t.deliver(m, conn.c) {
-							return
+				// The length byte is peer-controlled: a value above the v1
+				// maximum is a corrupt or hostile frame, and slicing the fixed
+				// buffer with it would panic. Fall through to the teardown
+				// path instead, like any other decode error.
+				if n := int(hdr[1]) + 2; n <= maxWireFrame {
+					b := frame[:n]
+					if _, err = io.ReadFull(br, b); err == nil {
+						var m Message
+						if m, _, err = Decode(b); err == nil {
+							st.bytesRecv.Add(uint64(len(b)))
+							st.msgsRecv.Add(1)
+							if !t.deliver(m, conn.c) {
+								return
+							}
+							continue
 						}
-						continue
 					}
 				}
 			}
@@ -563,23 +588,29 @@ func (t *TCPTransport) encodeMsg(buf []byte, conn *tcpConn, m Message) []byte {
 	return append(buf, '\n')
 }
 
+// maxCoalesce bounds how many queued messages one flush may carry.
+const maxCoalesce = 128
+
 // writeBatch writes first plus everything else pending on the queue (up to
 // maxCoalesce) to the socket in a single syscall under one write deadline.
 // It reports false after a failed write, with the connection already torn
-// down.
-func (t *TCPTransport) writeBatch(conn *tcpConn, st *wireCounters, buf *[]byte, first Message) bool {
-	const maxCoalesce = 128
-	b := t.encodeMsg((*buf)[:0], conn, first)
-	n := 1
+// down and the unwritten messages left in *batch so the caller can hand
+// them to saveUnflushed for replay on the next link.
+func (t *TCPTransport) writeBatch(conn *tcpConn, st *wireCounters, buf *[]byte, batch *[]Message, first Message) bool {
+	bs := append((*batch)[:0], first)
 pending:
-	for n < maxCoalesce {
+	for len(bs) < maxCoalesce {
 		select {
 		case m := <-conn.queue:
-			b = t.encodeMsg(b, conn, m)
-			n++
+			bs = append(bs, m)
 		default:
 			break pending
 		}
+	}
+	*batch = bs
+	b := (*buf)[:0]
+	for _, m := range bs {
+		b = t.encodeMsg(b, conn, m)
 	}
 	*buf = b
 	if t.opt.writeTimeout > 0 {
@@ -593,9 +624,47 @@ pending:
 		return false
 	}
 	st.bytesSent.Add(uint64(len(b)))
-	st.msgsSent.Add(uint64(n))
+	st.msgsSent.Add(uint64(len(bs)))
 	st.flushes.Add(1)
 	return true
+}
+
+// saveUnflushed records a failed flush's batch plus everything still queued
+// on the dead connection so replayLast can re-send all of it on the next
+// link (receivers dedup, so replay is safe). Without this a failed
+// coalesced flush would lose up to maxCoalesce already-dequeued messages
+// while reconnect replay restored only the single last one. Heartbeats are
+// not worth replaying and are skipped; the buffer is capped to the newest
+// queue-plus-batch worth of messages so repeated link deaths cannot grow it
+// without bound.
+func (t *TCPTransport) saveUnflushed(conn *tcpConn, batch []Message) {
+	pend := make([]Message, 0, len(batch))
+	for _, m := range batch {
+		if m.Kind != MsgHeartbeat {
+			pend = append(pend, m)
+		}
+	}
+drained:
+	for {
+		select {
+		case m := <-conn.queue:
+			if m.Kind != MsgHeartbeat {
+				pend = append(pend, m)
+			}
+		default:
+			break drained
+		}
+	}
+	if len(pend) == 0 {
+		return
+	}
+	t.mu.Lock()
+	all := append(t.unflushed[conn.peer], pend...)
+	if limit := t.opt.sendQueue + maxCoalesce; len(all) > limit {
+		all = all[len(all)-limit:]
+	}
+	t.unflushed[conn.peer] = all
+	t.mu.Unlock()
 }
 
 // writeLoop drains a connection's send queue: it blocks for one message,
@@ -611,17 +680,23 @@ func (t *TCPTransport) writeLoop(conn *tcpConn) {
 	defer conn.finishFlush()
 	st := t.counters(conn.peer)
 	buf := make([]byte, 0, 4096)
+	batch := make([]Message, 0, maxCoalesce)
 	for {
 		var m Message
 		select {
 		case m = <-conn.queue:
 		case <-conn.done:
+			// Torn down from outside (pump failure or replacement by a fresh
+			// link): whatever is still queued would otherwise die with this
+			// connection.
+			t.saveUnflushed(conn, nil)
 			return
 		case <-conn.drain:
 			for {
 				select {
 				case m = <-conn.queue:
-					if !t.writeBatch(conn, st, &buf, m) {
+					if !t.writeBatch(conn, st, &buf, &batch, m) {
+						t.saveUnflushed(conn, batch)
 						return
 					}
 				default:
@@ -629,7 +704,8 @@ func (t *TCPTransport) writeLoop(conn *tcpConn) {
 				}
 			}
 		}
-		if !t.writeBatch(conn, st, &buf, m) {
+		if !t.writeBatch(conn, st, &buf, &batch, m) {
+			t.saveUnflushed(conn, batch)
 			return
 		}
 	}
@@ -834,7 +910,7 @@ func (t *TCPTransport) writeTo(to int, m Message, record bool) error {
 	}
 	select {
 	case conn.queue <- m:
-		return nil
+		return t.checkEnqueued(conn, to)
 	case <-conn.done:
 		return fmt.Errorf("diba: agent %d lost connection to %d", t.id, to)
 	default:
@@ -849,12 +925,26 @@ func (t *TCPTransport) writeTo(to int, m Message, record bool) error {
 	}
 	select {
 	case conn.queue <- m:
-		return nil
+		return t.checkEnqueued(conn, to)
 	case <-conn.done:
 		return fmt.Errorf("diba: agent %d lost connection to %d", t.id, to)
 	case <-expired:
 		conn.shutdown()
 		return fmt.Errorf("diba: agent %d send queue to %d full past write timeout", t.id, to)
+	}
+}
+
+// checkEnqueued re-checks conn liveness after a successful enqueue: when
+// both select cases are ready the enqueue may win even though conn.done is
+// already closed, placing the message on a queue whose writeLoop has
+// exited. Reporting the loss here turns that silent drop into a send error
+// (recorded messages are additionally covered by reconnect replay).
+func (t *TCPTransport) checkEnqueued(conn *tcpConn, to int) error {
+	select {
+	case <-conn.done:
+		return fmt.Errorf("diba: agent %d lost connection to %d", t.id, to)
+	default:
+		return nil
 	}
 }
 
@@ -906,7 +996,7 @@ func (t *TCPTransport) LastHeard(peer int) (time.Time, bool) {
 // an agent that reached its stop condition exits right after its final
 // broadcast, and without the flush those queued messages would die with the
 // process while BSP peers still need them to finish the round. The wait is
-// bounded by the write timeout.
+// bounded by the write timeout (or its default when deadlines are disabled).
 func (t *TCPTransport) Close() error {
 	select {
 	case <-t.done:
@@ -919,12 +1009,15 @@ func (t *TCPTransport) Close() error {
 		conns = append(conns, c)
 	}
 	t.mu.Unlock()
-	var expired <-chan time.Time
-	if t.opt.writeTimeout > 0 {
-		timer := time.NewTimer(t.opt.writeTimeout)
-		defer timer.Stop()
-		expired = timer.C
+	// With WithWriteTimeout(0) socket writes have no deadline, so a stuck
+	// peer could hold <-c.flushed open forever; fall back to the default
+	// write timeout as the drain bound rather than blocking Close.
+	drainWait := t.opt.writeTimeout
+	if drainWait <= 0 {
+		drainWait = defaultTCPOptions().writeTimeout
 	}
+	timer := time.NewTimer(drainWait)
+	defer timer.Stop()
 	for _, c := range conns {
 		if c.queue == nil {
 			continue
@@ -932,7 +1025,7 @@ func (t *TCPTransport) Close() error {
 		c.startDrain()
 		select {
 		case <-c.flushed:
-		case <-expired:
+		case <-timer.C:
 		}
 	}
 	close(t.done)

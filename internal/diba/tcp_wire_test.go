@@ -1,6 +1,8 @@
 package diba
 
 import (
+	"bufio"
+	"net"
 	"testing"
 	"time"
 )
@@ -155,6 +157,189 @@ func TestTCPCoalescingPreservesOrder(t *testing.T) {
 	}
 	if st := a.WireStats()[1]; st.Flushes >= st.MsgsSent {
 		t.Logf("note: no batching observed (%d msgs in %d flushes)", st.MsgsSent, st.Flushes)
+	}
+}
+
+// newPumpTestTransport builds a bare transport (no listener, no loops) for
+// exercising the connection-level read/write paths in isolation.
+func newPumpTestTransport(inboxCap int) *TCPTransport {
+	return &TCPTransport{
+		id:           1,
+		inbox:        make(chan Message, inboxCap),
+		opt:          defaultTCPOptions(),
+		conns:        make(map[int]*tcpConn),
+		lastSent:     make(map[int]Message),
+		haveSent:     make(map[int]bool),
+		unflushed:    make(map[int][]Message),
+		lastHeard:    make(map[int]time.Time),
+		reconnecting: make(map[int]bool),
+		stats:        make(map[int]*wireCounters),
+		done:         make(chan struct{}),
+	}
+}
+
+func newTestConn(c net.Conn, peer, queue int) *tcpConn {
+	conn := &tcpConn{c: c, peer: peer, done: make(chan struct{}),
+		drain: make(chan struct{}), flushed: make(chan struct{})}
+	if queue > 0 {
+		conn.queue = make(chan Message, queue)
+	}
+	return conn
+}
+
+// TestTCPPumpCorruptFrame is the regression test for the peer-controlled
+// length byte: a corrupt binary frame on a live TCP connection must tear
+// the connection down for reconnect, never panic the pump goroutine (which
+// would kill the whole agent process).
+func TestTCPPumpCorruptFrame(t *testing.T) {
+	checkGoroutineLeak(t)
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		// Length byte 0xFF: 0xFF+2 overruns the fixed 50-byte frame buffer.
+		{"oversized-length", []byte{wireMagic, 0xFF}},
+		// Largest length byte that still fits the buffer, but the bitmap
+		// declares unknown bits, so Decode rejects it.
+		{"unknown-bitmap", append([]byte{wireMagic, 48, 0xFF, 0xFF}, make([]byte, 46)...)},
+		// Length inconsistent with an otherwise-valid bitmap.
+		{"length-mismatch", []byte{wireMagic, 10, 0x01, 0x00, 1, 2, 3, 4, 5, 6, 7, 8}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := NewTCPTransport(1, "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+			raw, err := net.Dial("tcp", tr.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer raw.Close()
+			if _, err := raw.Write([]byte("{\"hello\":0}\n")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := raw.Write(tc.payload); err != nil {
+				t.Fatal(err)
+			}
+			// The transport must close the connection; our read unblocks
+			// with EOF (or a reset) instead of hanging.
+			raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+			buf := make([]byte, 64)
+			for {
+				if _, err := raw.Read(buf); err != nil {
+					if ne, ok := err.(net.Error); ok && ne.Timeout() {
+						t.Fatal("transport did not tear down the connection after a corrupt frame")
+					}
+					return
+				}
+			}
+		})
+	}
+}
+
+// FuzzTCPPump feeds arbitrary bytes through the transport's TCP read path
+// (framing detection, header handling, decode, teardown) — not just Decode,
+// which the wire fuzzer already covers. It must never panic.
+func FuzzTCPPump(f *testing.F) {
+	f.Add([]byte{wireMagic, 0xFF})                                         // the live-repro crash
+	f.Add([]byte{wireMagic, 48, 0xFF, 0xFF})                               // unknown bitmap bits
+	f.Add([]byte{wireMagic, 2, 0, 0})                                      // minimal valid frame
+	f.Add(EncodeTo(nil, Message{From: 3, Round: 9, E: -1.5, Degree: 4}))   // valid estimate
+	f.Add([]byte("{\"from\":2,\"round\":1,\"e\":0.5,\"deg\":2}\n"))        // valid JSON message
+	f.Add([]byte("{\"helloack\":1,\"wire\":1}\n"))                         // hello-ack line
+	f.Add([]byte("not json at all\n"))                                     // undecodable line
+	f.Add(append(EncodeTo(nil, Message{From: 1, Round: 2}), wireMagic, 7)) // valid then truncated
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := newPumpTestTransport(len(data) + 1)
+		client, server := net.Pipe()
+		conn := newTestConn(server, 0, 0)
+		go func() {
+			client.Write(data)
+			client.Close()
+		}()
+		// pump exits on the first read/decode error (at the latest, EOF)
+		// after tearing the connection down; any panic fails the fuzzer.
+		tr.pump(0, bufio.NewReader(server), conn)
+	})
+}
+
+// TestWriteLoopFailureSavesUnflushed covers the coalesced-flush loss
+// window: when a batched write fails, every dequeued-but-unwritten message
+// (except heartbeats) must land in the transport's unflushed buffer, and
+// replayLast must re-send them in order on the next connection.
+func TestWriteLoopFailureSavesUnflushed(t *testing.T) {
+	tr := newPumpTestTransport(1)
+	client, server := net.Pipe()
+	client.Close() // every write on server now fails immediately
+	defer server.Close()
+	conn := newTestConn(server, 3, 8)
+	msgs := []Message{
+		{From: 1, Round: 1, E: 0.5, Degree: 2},
+		{From: 1, Kind: MsgHeartbeat},
+		{From: 1, Round: 2, E: 0.25, Degree: 2},
+	}
+	for _, m := range msgs {
+		conn.queue <- m
+	}
+	tr.wg.Add(1)
+	go tr.writeLoop(conn)
+	select {
+	case <-conn.flushed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writeLoop did not exit after a failed flush")
+	}
+	tr.mu.Lock()
+	pend := append([]Message(nil), tr.unflushed[3]...)
+	tr.mu.Unlock()
+	if len(pend) != 2 || pend[0].Round != 1 || pend[1].Round != 2 {
+		t.Fatalf("unflushed = %+v, want rounds [1 2] with the heartbeat dropped", pend)
+	}
+
+	// A fresh connection appears and replayLast runs: the saved batch must
+	// be re-enqueued in order and the buffer cleared.
+	good := newTestConn(nil, 3, 8)
+	tr.mu.Lock()
+	tr.conns[3] = good
+	tr.mu.Unlock()
+	tr.replayLast(3)
+	for i, want := range []int{1, 2} {
+		select {
+		case m := <-good.queue:
+			if m.Round != want {
+				t.Fatalf("replayed message %d has round %d, want %d", i, m.Round, want)
+			}
+		default:
+			t.Fatalf("replayed message %d missing from the new connection's queue", i)
+		}
+	}
+	tr.mu.Lock()
+	left := len(tr.unflushed[3])
+	tr.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("unflushed buffer not cleared after replay (%d left)", left)
+	}
+}
+
+// TestSendToDeadConnectionErrors covers the enqueue/teardown race: once a
+// connection's writer has been torn down, Send must report the loss even if
+// the abandoned queue still has room.
+func TestSendToDeadConnectionErrors(t *testing.T) {
+	tr := newPumpTestTransport(1)
+	client, server := net.Pipe()
+	defer client.Close()
+	conn := newTestConn(server, 2, 8)
+	tr.mu.Lock()
+	tr.conns[2] = conn
+	tr.mu.Unlock()
+	conn.shutdown()
+	// Both select cases are ready; whichever the runtime picks, the send
+	// must fail rather than silently parking the message on a dead queue.
+	for i := 0; i < 50; i++ {
+		if err := tr.Send(2, Message{From: 1, Round: i + 1}); err == nil {
+			t.Fatalf("Send %d to a torn-down connection returned nil", i)
+		}
 	}
 }
 
