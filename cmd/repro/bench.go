@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
@@ -14,6 +15,7 @@ import (
 	"powercap/internal/layout"
 	"powercap/internal/netsim"
 	"powercap/internal/parallel"
+	"powercap/internal/solver"
 	"powercap/internal/thermal"
 	"powercap/internal/topology"
 	"powercap/internal/workload"
@@ -34,6 +36,13 @@ type benchResult struct {
 	// measured from the transport's own WireStats counters.
 	MsgsPerSec  float64 `json:"msgs_per_sec,omitempty"`
 	BytesPerMsg float64 `json:"bytes_per_msg,omitempty"`
+	// Engine step benchmarks also report the sustained round rate, and the
+	// convergence-quality benchmarks the rounds to 99% of the centralized
+	// reference plus the worst budget margin (min over rounds and
+	// constraint families of budget − usage; negative = a violation).
+	RoundsPerSec float64 `json:"rounds_per_sec,omitempty"`
+	Rounds       int     `json:"rounds,omitempty"`
+	WorstMarginW float64 `json:"worst_margin_w,omitempty"`
 }
 
 type benchReport struct {
@@ -93,6 +102,160 @@ func benchEngine(n int, parallelStep bool, seed int64) (benchResult, error) {
 		step = func() error { en.StepParallel(0); return nil }
 	}
 	return measure(name, 300*time.Millisecond, 1_000_000, step)
+}
+
+// hierShape factors n into nested-ring counts for the hierarchical scale
+// series: racks of 40 servers, rows of 25 racks, then levels of 10
+// upward — so 1k is cluster+rack, 10k adds a row level, 100k a pod level,
+// and 1M two levels above the rows.
+func hierShape(n int) []int {
+	rem := n
+	var tail []int
+	for _, c := range []int{40, 25} {
+		if rem%c == 0 && rem/c >= 2 {
+			tail = append([]int{c}, tail...)
+			rem /= c
+		}
+	}
+	for rem%10 == 0 && rem/10 >= 2 {
+		tail = append([]int{10}, tail...)
+		rem /= 10
+	}
+	return append([]int{rem}, tail...)
+}
+
+// benchHier times raw hierarchical DiBA rounds at a given cluster size on
+// the nested-ring scale topology, and verifies every conservation
+// invariant still holds after the timed rounds.
+func benchHier(n int, parallelStep bool, seed int64) (benchResult, error) {
+	counts := hierShape(n)
+	g, gofs := topology.NestedRings(counts...)
+	rng := rand.New(rand.NewSource(seed))
+	a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0, rng)
+	if err != nil {
+		return benchResult{}, err
+	}
+	levels := make([]diba.Level, len(gofs))
+	for l, gof := range gofs {
+		ng := 0
+		for _, k := range gof {
+			if k >= ng {
+				ng = k + 1
+			}
+		}
+		per := 152 + 2*float64(l) // higher levels slightly slacker
+		b := make([]float64, ng)
+		for k := range b {
+			b[k] = per * float64(n/ng)
+		}
+		levels[l] = diba.Level{GroupOf: gof, Budget: b}
+	}
+	en, err := diba.NewHierLevels(g, a.UtilitySlice(), 150*float64(n), levels, diba.Config{})
+	if err != nil {
+		return benchResult{}, err
+	}
+	defer en.Close()
+	name := fmt.Sprintf("diba.HierStep/n=%d", n)
+	step := func() error { en.Step(); return nil }
+	if parallelStep {
+		name = fmt.Sprintf("diba.HierStepParallel/n=%d", n)
+		step = func() error { en.StepParallel(0); return nil }
+	}
+	res, err := measure(name, 300*time.Millisecond, 1_000_000, step)
+	if err != nil {
+		return benchResult{}, err
+	}
+	// Conservation sums n floats from scratch; scale the tolerance with n.
+	if err := en.CheckInvariant(1e-6 * float64(n)); err != nil {
+		return benchResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+	res.RoundsPerSec = 1e9 / float64(res.NsPerOp)
+	return res, nil
+}
+
+// benchHierConvergence runs the convergence-quality pair at matched n on
+// the paper's rack topology: hierarchical (rack PDUs binding) and flat
+// engines each to 99% of their centralized reference, recording rounds and
+// the worst budget margin seen on any round.
+func benchHierConvergence(n int, seed int64) ([]benchResult, error) {
+	const perRack = 40
+	nRacks := n / perRack
+	g, gofs := topology.NestedRings(nRacks, perRack)
+	rng := rand.New(rand.NewSource(seed))
+	a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0, rng)
+	if err != nil {
+		return nil, err
+	}
+	us := a.UtilitySlice()
+	clusterBudget := 160.0 * float64(n)
+	rackBudget := 155.0 * perRack
+	rackOf := gofs[0]
+	sh := solver.Hierarchy{RackOf: rackOf, RackBudget: make([]float64, nRacks)}
+	for rk := range sh.RackBudget {
+		sh.RackBudget[rk] = rackBudget
+	}
+	hopt, err := solver.OptimalHierarchical(us, clusterBudget, sh)
+	if err != nil {
+		return nil, err
+	}
+	fopt, err := solver.Optimal(us, clusterBudget)
+	if err != nil {
+		return nil, err
+	}
+	const maxIters = 30000
+	var out []benchResult
+
+	hier, err := diba.NewHier(g, us, clusterBudget,
+		diba.Racks{RackOf: rackOf, RackBudget: sh.RackBudget}, diba.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer hier.Close()
+	start := time.Now()
+	rounds := maxIters
+	margin := math.Inf(1)
+	for r := 1; r <= maxIters; r++ {
+		hier.StepAuto()
+		if m := clusterBudget - hier.TotalPower(); m < margin {
+			margin = m
+		}
+		for rk := 0; rk < nRacks; rk++ {
+			if m := rackBudget - hier.RackPower(rk); m < margin {
+				margin = m
+			}
+		}
+		if hier.TotalUtility() >= 0.99*hopt.Utility {
+			rounds = r
+			break
+		}
+	}
+	out = append(out, benchResult{
+		Name: fmt.Sprintf("diba.HierConverge/n=%d", n), Runs: 1,
+		NsPerOp: time.Since(start).Nanoseconds(), Rounds: rounds, WorstMarginW: margin,
+	})
+
+	flat, err := diba.New(g, us, clusterBudget, diba.Config{})
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	rounds = maxIters
+	margin = math.Inf(1)
+	for r := 1; r <= maxIters; r++ {
+		flat.StepAuto()
+		if m := clusterBudget - flat.TotalPower(); m < margin {
+			margin = m
+		}
+		if flat.TotalUtility() >= 0.99*fopt.Utility {
+			rounds = r
+			break
+		}
+	}
+	out = append(out, benchResult{
+		Name: fmt.Sprintf("diba.FlatConverge/n=%d", n), Runs: 1,
+		NsPerOp: time.Since(start).Nanoseconds(), Rounds: rounds, WorstMarginW: margin,
+	})
+	return out, nil
 }
 
 // benchEstimate is the common-case round message all transport benchmarks
@@ -368,7 +531,7 @@ func benchCentralized(seed int64) ([]benchResult, error) {
 	return out, nil
 }
 
-func runBench(scale experiments.Scale, seed int64, out string) error {
+func runBench(scale experiments.Scale, seed int64, out string, hierN int) error {
 	if out == "" {
 		out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
 	}
@@ -393,6 +556,38 @@ func runBench(scale experiments.Scale, seed int64, out string) error {
 			}
 			fmt.Printf("  %-28s %5d runs  %12d ns/op  %6d allocs/op\n",
 				res.Name, res.Runs, res.NsPerOp, res.AllocsPerOp)
+			report.Results = append(report.Results, res)
+		}
+	}
+
+	// Hierarchical scale series: rounds/sec at 1k/10k/100k/1M on the
+	// nested-ring budget tree, capped by -hiern (the 100k and 1M points
+	// cost real time and memory, so the default stops at 10k).
+	for _, n := range []int{1000, 10000, 100000, 1000000} {
+		if n > hierN {
+			continue
+		}
+		for _, par := range []bool{false, true} {
+			res, err := benchHier(n, par, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-28s %5d runs  %12d ns/op  %6d allocs/op  %8.1f rounds/s\n",
+				res.Name, res.Runs, res.NsPerOp, res.AllocsPerOp, res.RoundsPerSec)
+			report.Results = append(report.Results, res)
+		}
+	}
+	for _, n := range []int{1000, 10000} {
+		if n > hierN {
+			continue
+		}
+		convs, err := benchHierConvergence(n, seed)
+		if err != nil {
+			return err
+		}
+		for _, res := range convs {
+			fmt.Printf("  %-28s %5d rounds %12d ns total  %8.2f W worst margin\n",
+				res.Name, res.Rounds, res.NsPerOp, res.WorstMarginW)
 			report.Results = append(report.Results, res)
 		}
 	}

@@ -69,6 +69,7 @@ var registry = map[string]runner{
 	"failure":     experiments.Failure,
 	"async":       experiments.Async,
 	"hierarchy":   experiments.Hierarchy,
+	"hierscale":   experiments.HierScale,
 	"fxplore":     experiments.FXplore,
 	"safety":      experiments.Safety,
 	"scaling":     experiments.Scaling,
@@ -100,6 +101,7 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchOut := flag.String("benchout", "", "bench: output path (default BENCH_<date>.json)")
+	hierN := flag.Int("hiern", 10000, "bench: largest hierarchical-engine cluster to time (series 1k/10k/100k/1M)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: repro [-full] [-seed N] [-j N] <experiment ids...|all|bench|list>\n\nexperiments:\n")
 		for _, id := range ids() {
@@ -155,7 +157,7 @@ func run() int {
 		}
 		return 0
 	case "bench":
-		if err := runBench(scale, *seed, *benchOut); err != nil {
+		if err := runBench(scale, *seed, *benchOut, *hierN); err != nil {
 			fmt.Fprintf(os.Stderr, "repro: bench: %v\n", err)
 			return 1
 		}

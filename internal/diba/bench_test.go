@@ -101,6 +101,45 @@ func BenchmarkHierStep(b *testing.B) {
 	}
 }
 
+// Multi-level hierarchical step on the nested-ring scale topology
+// (6 rows × 25 racks × 40 servers): three constraint families per node.
+func benchHierLevels(b *testing.B, parallelStep bool) {
+	counts := []int{6, 25, 40}
+	g, gofs := topology.NestedRings(counts...)
+	n := g.N()
+	us := benchCluster(b, n)
+	levels := make([]Level, len(gofs))
+	for l, gof := range gofs {
+		ng := 0
+		for _, k := range gof {
+			if k >= ng {
+				ng = k + 1
+			}
+		}
+		bud := make([]float64, ng)
+		for k := range bud {
+			bud[k] = (152 + 2*float64(l)) * float64(n/ng)
+		}
+		levels[l] = Level{GroupOf: gof, Budget: bud}
+	}
+	en, err := NewHierLevels(g, us, 150*float64(n), levels, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer en.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if parallelStep {
+			en.StepParallel(0)
+		} else {
+			en.Step()
+		}
+	}
+}
+
+func BenchmarkHierStepLevels6000(b *testing.B)         { benchHierLevels(b, false) }
+func BenchmarkHierStepLevelsParallel6000(b *testing.B) { benchHierLevels(b, true) }
+
 func BenchmarkEngineStepParallel6400(b *testing.B) {
 	us := benchCluster(b, 6400)
 	en, err := New(topology.Ring(6400), us, 170*6400, Config{})

@@ -258,21 +258,29 @@ func (en *Engine) rebuildQuadCache() {
 		en.qs = en.qs[:n]
 		en.quadV = en.quadV[:n]
 	}
-	en.allQuad = true
-	for i, u := range en.us {
+	en.allQuad = buildQuadCache(en.us, en.qs, en.quadV)
+}
+
+// buildQuadCache fills the concrete-quadratic caches (pre-sized to
+// len(us)) and reports whether every utility is a workload.Quadratic; on
+// the first non-quadratic it stops, leaving later entries stale — callers
+// must gate every qs/quadV read on the returned flag. Shared by the flat
+// and hierarchical engines.
+func buildQuadCache(us []workload.Utility, qs []workload.Quadratic, quadV []float64) bool {
+	for i, u := range us {
 		q, ok := u.(workload.Quadratic)
 		if !ok {
-			en.allQuad = false
-			return
+			return false
 		}
-		en.qs[i] = q
+		qs[i] = q
 		if q.A2 < 0 {
 			// The exact expression Quadratic.effective evaluates per call.
-			en.quadV[i] = -q.A1 / (2 * q.A2)
+			quadV[i] = -q.A1 / (2 * q.A2)
 		} else {
-			en.quadV[i] = math.Inf(1)
+			quadV[i] = math.Inf(1)
 		}
 	}
+	return true
 }
 
 // rebuildTopoCache refreshes the engine's flattened view of the (static

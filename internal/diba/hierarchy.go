@@ -10,52 +10,126 @@ import (
 )
 
 // Hierarchical power capping. Real delivery infrastructure nests budgets:
-// each rack's PDU has its own breaker limit inside the facility budget.
-// The DiBA machinery generalizes directly — a node keeps one surplus
-// estimate per constraint it participates in:
+// each rack's PDU has its own breaker limit inside its row's feed, which
+// in turn sits inside the facility budget. The DiBA machinery generalizes
+// directly — a node keeps one surplus estimate per constraint family it
+// participates in:
 //
-//	e_i  — cluster surplus share, conserved over the whole graph,
-//	f_i  — rack surplus share, conserved within the node's rack,
+//	e_i[0] — cluster surplus share, conserved over the whole graph,
+//	e_i[l] — level-l group surplus share, conserved within the node's
+//	         group at that level (rack, row, ...),
 //
-// and ascends r_i(p_i) + η·log(−e_i) + η·log(−f_i). Power moves add to
-// p, e and f together; e-flows run on every edge, f-flows only on
-// intra-rack edges, both antisymmetric. Keeping every estimate negative
-// then certifies *both* constraint families at every round:
+// and ascends r_i(p_i) + η·Σ_l log(−e_i[l]). Power moves add to p and to
+// every estimate together; family-l flows run only on edges whose
+// endpoints share a level-l group, all antisymmetric. Keeping every
+// estimate negative then certifies *every* constraint family at every
+// round:
 //
-//	Σ e = Σp − P           (cluster)
-//	Σ_{rack k} f = Σ_{rack k} p − B_k   (each rack)
+//	Σ e[0] = Σp − P                            (cluster)
+//	Σ_{group k at level l} e[l] = Σ_k p − B_k  (each group, each level)
 //
-// This is the natural extension the dissertation's modular-architecture
-// motivation points toward; nothing about it is specific to two levels.
+// Nothing about the machinery is specific to a number of levels; the
+// two-level rack scheme is the L=1 case (NewHier).
+//
+// The engine is built to sustain 100k–1M simulated agents per step: it
+// runs on the same flattened fast path as the flat Engine — grouped CSR
+// adjacency with per-edge level bitmasks (no group-id compares in the hot
+// loop), precomputed per-edge per-level diffusion coefficients, the
+// concrete-quadratic dispatch, incremental ΣP/ΣU aggregates, and a
+// zero-allocation round — plus a sharded StepParallel (hierparallel.go)
+// whose reduction is bitwise identical to the serial Step at any worker
+// count.
 
-// Racks describes the hierarchy for a HierEngine: node→rack assignment and
-// per-rack budgets. The communication graph must keep each rack's nodes
-// internally connected (rack estimates only flow inside the rack).
+// Level describes one grouping tier of the budget hierarchy below the
+// cluster: a partition of the nodes into groups, each with its own power
+// budget. The communication graph must keep every group's members
+// internally connected (group estimates only flow inside the group).
+type Level struct {
+	// GroupOf[i] is node i's group index at this level, in
+	// [0, len(Budget)).
+	GroupOf []int
+	// Budget[k] is group k's power budget in watts. Every group must have
+	// at least one member and a budget strictly above its idle power.
+	Budget []float64
+}
+
+// Racks describes the two-level hierarchy (rack PDU limits inside the
+// cluster budget): node→rack assignment and per-rack budgets. It is the
+// single-Level special case of the general engine.
 type Racks struct {
 	RackOf     []int
 	RackBudget []float64
 }
 
-// HierEngine is the synchronous hierarchical DiBA simulation.
+// HierEngine is the synchronous hierarchical DiBA simulation over an
+// L-level budget tree.
 type HierEngine struct {
-	g      *topology.Graph
-	us     []workload.Utility
-	cfg    Config
+	g   *topology.Graph
+	us  []workload.Utility
+	cfg Config
+	// budget is the cluster cap P.
 	budget float64
-	racks  Racks
+	// levels are the explicit grouping tiers (finest first by convention);
+	// the cluster is the implicit family 0.
+	levels []Level
+	// nl is the number of constraint families = len(levels)+1.
+	nl int
+	// members[l][k] lists level l's group k members.
+	members [][][]int
 
-	p, e, f                []float64
-	pNext, eNext, fNext    []float64
-	rackDeg                []int // intra-rack degree per node
-	iter                   int
-	rackMembers            [][]int
-	totalIdle, rackIdleSum []float64 // rackIdleSum indexed by rack
+	// p is the per-node cap; est is node-major: node i's family-l estimate
+	// is est[i*nl+l], family 0 the cluster.
+	p, pNext     []float64
+	est, estNext []float64
+	iter         int
+	dead         map[int]bool
+
+	// Grouped-CSR caches (see rebuildTopoCache): the graph's CSR arrays,
+	// the per-slot level bitmask, node-major per-family within-group
+	// degrees, slot-major per-family neighbor degrees, and the slot-major
+	// per-family clamped diffusion coefficient χ. All static between
+	// topology changes, so a round never compares group ids or derives a
+	// division.
+	off, nbrs []int32
+	mask      []uint32
+	degN      []int32
+	nbrDegL   []int32
+	chi       []float64
+
+	// Incremental aggregates (see refreshAggregates): Σp and Σr(p) over
+	// live nodes, folded from per-node deltas (dP/dU) in index order after
+	// every round so serial and sharded rounds stay bitwise identical and
+	// RunToTarget's convergence check is a field read.
+	sumP, sumU float64
+	uVal       []float64
+	dP, dU     []float64
+
+	// Quadratic fast path, same contract as the flat Engine's.
+	qs      []workload.Quadratic
+	quadV   []float64
+	allQuad bool
+
+	// Sharding state (hierparallel.go): the persistent worker pool and the
+	// per-shard scratch — one activity slot and one per-family outflow
+	// buffer per shard, so a pooled round allocates nothing.
+	pool    *hierPool
+	actBuf  []float64
+	outBufs [][]float64
 }
 
-// NewHier builds a hierarchical engine. Every rack's subgraph must be
-// connected and every budget (cluster and rack) must cover the relevant
-// idle power.
+// NewHier builds the two-level (cluster + racks) hierarchical engine — the
+// single-Level case of NewHierLevels.
 func NewHier(g *topology.Graph, us []workload.Utility, clusterBudget float64, racks Racks, cfg Config) (*HierEngine, error) {
+	return NewHierLevels(g, us, clusterBudget, []Level{{GroupOf: racks.RackOf, Budget: racks.RackBudget}}, cfg)
+}
+
+// NewHierLevels builds a hierarchical engine over an arbitrary budget
+// tree. Levels are conventionally ordered finest first (rack, row, ...);
+// the cluster constraint is implicit. Every group of every level must be
+// internally connected in g and every budget (cluster and per group) must
+// strictly cover the relevant idle power. Levels need not nest, but
+// physical budget trees do.
+func NewHierLevels(g *topology.Graph, us []workload.Utility, clusterBudget float64, levels []Level, cfg Config) (*HierEngine, error) {
 	n := g.N()
 	if n != len(us) {
 		return nil, fmt.Errorf("diba: graph has %d nodes but %d utilities given", n, len(us))
@@ -63,8 +137,11 @@ func NewHier(g *topology.Graph, us []workload.Utility, clusterBudget float64, ra
 	if len(us) == 0 {
 		return nil, errors.New("diba: empty cluster")
 	}
-	if len(racks.RackOf) != n {
-		return nil, fmt.Errorf("diba: RackOf has %d entries, want %d", len(racks.RackOf), n)
+	if len(levels) == 0 {
+		return nil, errors.New("diba: hierarchical engine needs at least one level")
+	}
+	if len(levels)+1 > topology.MaxGroupLevels {
+		return nil, fmt.Errorf("diba: %d levels exceed the supported maximum %d", len(levels), topology.MaxGroupLevels-1)
 	}
 	if !g.Connected() {
 		return nil, errors.New("diba: communication graph must be connected")
@@ -73,151 +150,347 @@ func NewHier(g *topology.Graph, us []workload.Utility, clusterBudget float64, ra
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	nRacks := len(racks.RackBudget)
-	members := make([][]int, nRacks)
-	for i, k := range racks.RackOf {
-		if k < 0 || k >= nRacks {
-			return nil, fmt.Errorf("diba: node %d assigned to invalid rack %d", i, k)
-		}
-		members[k] = append(members[k], i)
-	}
-	// Idle-power feasibility, cluster and per rack.
+
 	var minSum float64
-	rackIdle := make([]float64, nRacks)
-	for i, u := range us {
+	for _, u := range us {
 		minSum += u.MinPower()
-		rackIdle[racks.RackOf[i]] += u.MinPower()
 	}
 	if clusterBudget <= minSum {
 		return nil, fmt.Errorf("diba: cluster budget %.1f W cannot cover total idle power %.1f W", clusterBudget, minSum)
 	}
-	for k, b := range racks.RackBudget {
-		if b <= rackIdle[k] {
-			return nil, fmt.Errorf("diba: rack %d budget %.1f W cannot cover its idle power %.1f W", k, b, rackIdle[k])
+
+	nl := len(levels) + 1
+	lvls := make([]Level, len(levels))
+	members := make([][][]int, len(levels))
+	groupShare := make([][]float64, len(levels)) // initial estimate per group
+	for l, lv := range levels {
+		if len(lv.GroupOf) != n {
+			return nil, fmt.Errorf("diba: level %d assigns %d nodes, want %d", l, len(lv.GroupOf), n)
 		}
-	}
-	// Intra-rack connectivity and degrees.
-	rackDeg := make([]int, n)
-	for i := 0; i < n; i++ {
-		for _, j := range g.Neighbors(i) {
-			if racks.RackOf[j] == racks.RackOf[i] {
-				rackDeg[i]++
+		ng := len(lv.Budget)
+		mem := make([][]int, ng)
+		idle := make([]float64, ng)
+		for i, k := range lv.GroupOf {
+			if k < 0 || k >= ng {
+				return nil, fmt.Errorf("diba: node %d assigned to invalid level-%d group %d", i, l, k)
+			}
+			mem[k] = append(mem[k], i)
+			idle[k] += us[i].MinPower()
+		}
+		for k, b := range lv.Budget {
+			if len(mem[k]) == 0 {
+				return nil, fmt.Errorf("diba: level %d group %d has no members", l, k)
+			}
+			if b <= idle[k] {
+				return nil, fmt.Errorf("diba: level %d group %d budget %.1f W cannot cover its idle power %.1f W", l, k, b, idle[k])
 			}
 		}
-	}
-	for k, m := range members {
-		if len(m) == 0 {
-			return nil, fmt.Errorf("diba: rack %d has no members", k)
+		if bad, ok := topology.GroupConnected(g, lv.GroupOf); !ok {
+			return nil, fmt.Errorf("diba: level %d group %d is not internally connected", l, bad)
 		}
-		if len(m) > 1 && !rackConnected(g, racks.RackOf, m) {
-			return nil, fmt.Errorf("diba: rack %d is not internally connected", k)
+		lvls[l] = Level{
+			GroupOf: append([]int(nil), lv.GroupOf...),
+			Budget:  append([]float64(nil), lv.Budget...),
 		}
+		members[l] = mem
+		share := make([]float64, ng)
+		for k := range share {
+			share[k] = (idle[k] - lv.Budget[k]) / float64(len(mem[k]))
+		}
+		groupShare[l] = share
 	}
 
 	h := &HierEngine{
-		g: g, us: us, cfg: cfg, budget: clusterBudget, racks: racks,
-		p: make([]float64, n), e: make([]float64, n), f: make([]float64, n),
-		pNext: make([]float64, n), eNext: make([]float64, n), fNext: make([]float64, n),
-		rackDeg: rackDeg, rackMembers: members, rackIdleSum: rackIdle,
+		g: g, us: us, cfg: cfg, budget: clusterBudget,
+		levels: lvls, nl: nl, members: members,
+		p: make([]float64, n), pNext: make([]float64, n),
+		est: make([]float64, n*nl), estNext: make([]float64, n*nl),
+		uVal: make([]float64, n), dP: make([]float64, n), dU: make([]float64, n),
+		qs: make([]workload.Quadratic, n), quadV: make([]float64, n),
+		outBufs: [][]float64{make([]float64, nl)},
 	}
 	clusterShare := (minSum - clusterBudget) / float64(n)
 	for i, u := range us {
 		h.p[i] = u.MinPower()
-		h.e[i] = clusterShare
-		k := racks.RackOf[i]
-		h.f[i] = (rackIdle[k] - racks.RackBudget[k]) / float64(len(members[k]))
+		h.est[i*nl] = clusterShare
+		for l := range lvls {
+			h.est[i*nl+1+l] = groupShare[l][lvls[l].GroupOf[i]]
+		}
 	}
+	if err := h.rebuildTopoCache(); err != nil {
+		return nil, err
+	}
+	h.allQuad = buildQuadCache(h.us, h.qs, h.quadV)
+	h.refreshAggregates()
 	return h, nil
 }
 
-func rackConnected(g *topology.Graph, rackOf []int, members []int) bool {
-	rack := rackOf[members[0]]
-	seen := map[int]bool{members[0]: true}
-	stack := []int{members[0]}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, w := range g.Neighbors(v) {
-			if rackOf[w] == rack && !seen[int(w)] {
-				seen[int(w)] = true
-				stack = append(stack, int(w))
+// rebuildTopoCache refreshes the engine's grouped-CSR view of the (static
+// between failures) communication graph and the per-edge per-family
+// diffusion coefficients. Must be called whenever h.g is replaced, and
+// before any sharded round so goroutines never trigger the graph's lazy
+// CSR seal concurrently.
+func (h *HierEngine) rebuildTopoCache() error {
+	gof := make([][]int, h.nl)
+	for l := range h.levels {
+		gof[1+l] = h.levels[l].GroupOf
+	}
+	gc, err := topology.BuildGroupedCSR(h.g, gof...)
+	if err != nil {
+		return err
+	}
+	h.off, h.nbrs = gc.Off, gc.Nbr
+	h.mask, h.degN, h.nbrDegL = gc.Mask, gc.Deg, gc.NbrDeg
+	nl := h.nl
+	want := len(h.nbrs) * nl
+	if cap(h.chi) < want {
+		h.chi = make([]float64, want)
+	} else {
+		h.chi = h.chi[:want]
+	}
+	n := h.g.N()
+	for i := 0; i < n; i++ {
+		for k := h.off[i]; k < h.off[i+1]; k++ {
+			kb := int(k) * nl
+			m := h.mask[k]
+			for l := 0; l < nl; l++ {
+				if m&(1<<uint(l)) == 0 {
+					h.chi[kb+l] = 0
+					continue
+				}
+				// χ clamped to the stability limit 1/(maxdeg+1) over the
+				// family's within-group degrees — the value edgeTransfer
+				// derives per call.
+				chi := h.cfg.StepE
+				if lim := 1 / float64(max(int(h.degN[i*nl+l]), int(h.nbrDegL[kb+l]))+1); chi > lim {
+					chi = lim
+				}
+				h.chi[kb+l] = chi
 			}
 		}
 	}
-	return len(seen) == len(members)
+	return nil
 }
 
-// Step advances one synchronous round and returns the round's activity.
-func (h *HierEngine) Step() float64 {
-	n := len(h.us)
+// refreshAggregates recomputes the cached Σp, Σr(p) and per-node utility
+// values from scratch. Called at construction and after any out-of-band
+// state change (FailNode); the per-round paths maintain the sums
+// incrementally.
+func (h *HierEngine) refreshAggregates() {
+	var sumP, sumU float64
+	for i, u := range h.us {
+		if h.dead[i] {
+			h.uVal[i] = 0
+			continue
+		}
+		sumP += h.p[i]
+		v := u.Value(h.p[i])
+		h.uVal[i] = v
+		sumU += v
+	}
+	h.sumP, h.sumU = sumP, sumU
+}
+
+// N returns the cluster size.
+func (h *HierEngine) N() int { return len(h.us) }
+
+// Iter returns the number of rounds executed so far.
+func (h *HierEngine) Iter() int { return h.iter }
+
+// Budget returns the cluster power budget.
+func (h *HierEngine) Budget() float64 { return h.budget }
+
+// NumLevels returns the number of explicit grouping levels below the
+// cluster.
+func (h *HierEngine) NumLevels() int { return len(h.levels) }
+
+// NumGroups returns the number of groups at level l.
+func (h *HierEngine) NumGroups(l int) int { return len(h.levels[l].Budget) }
+
+// GroupBudget returns group k's budget at level l.
+func (h *HierEngine) GroupBudget(l, k int) float64 { return h.levels[l].Budget[k] }
+
+// shardStep advances nodes [lo, hi) of one synchronous round from the
+// previous round's snapshot: it writes only pNext/estNext/dP/dU/uVal slots
+// it owns plus the caller-provided per-family outflow scratch, and returns
+// the shard's activity (largest absolute power move or estimate flow).
+// Both the serial Step and every StepParallel shard run exactly this code,
+// which is what makes the two bitwise interchangeable.
+func (h *HierEngine) shardStep(cfg Config, lo, hi int, out []float64) float64 {
+	nl := h.nl
 	var activity float64
-	for i := 0; i < n; i++ {
-		u := h.us[i]
-		var phat float64
-		if h.e[i] >= 0 || h.f[i] >= 0 {
-			phat = -h.cfg.MaxMoveW
+	for i := lo; i < hi; i++ {
+		base := i * nl
+		if h.dead[i] {
+			h.pNext[i] = 0
+			for l := 0; l < nl; l++ {
+				h.estNext[base+l] = 0
+			}
+			h.dP[i], h.dU[i] = 0, 0
+			continue
+		}
+		ownP := h.p[i]
+		emergency := false
+		for l := 0; l < nl; l++ {
+			if h.est[base+l] >= 0 {
+				emergency = true
+				break
+			}
+		}
+		var minW, maxW float64
+		if h.allQuad {
+			minW, maxW = h.qs[i].MinW, h.qs[i].MaxW
 		} else {
-			gp := u.Grad(h.p[i]) + h.cfg.Eta/h.e[i] + h.cfg.Eta/h.f[i]
-			curv := -curvature(u, h.p[i]) + h.cfg.Eta/(h.e[i]*h.e[i]) + h.cfg.Eta/(h.f[i]*h.f[i])
+			minW, maxW = h.us[i].MinPower(), h.us[i].MaxPower()
+		}
+		var phat float64
+		if emergency {
+			// Constraint-violation emergency: shed as fast as allowed; the
+			// flows below drain the non-negative estimate into neighbors.
+			phat = -cfg.MaxMoveW
+		} else {
+			// Damped Newton ascent on r(p) + η·Σ_l log(−e[l]): every family
+			// contributes a barrier gradient and curvature term, and the
+			// per-round upward move is bounded by the *tightest* family's
+			// slack so no estimate can cross zero.
+			var gp, curv float64
+			if h.allQuad {
+				q, v := h.qs[i], h.quadV[i]
+				gp = quadGradV(q, v, ownP)
+				curv = -quadCurvatureV(q, v, ownP)
+			} else {
+				gp = h.us[i].Grad(ownP)
+				curv = -curvature(h.us[i], ownP)
+			}
+			minSlack := math.Inf(1)
+			for l := 0; l < nl; l++ {
+				el := h.est[base+l]
+				gp += cfg.Eta / el
+				curv += cfg.Eta / (el * el)
+				if s := -el; s < minSlack {
+					minSlack = s
+				}
+			}
 			if curv < 1e-9 {
 				curv = 1e-9
 			}
-			phat = h.cfg.Damping * gp / curv
-			maxUp := (1 - h.cfg.Gamma) / 2 * math.Min(-h.e[i], -h.f[i])
-			if phat > maxUp {
+			phat = cfg.Damping * gp / curv
+			if maxUp := (1 - cfg.Gamma) / 2 * minSlack; phat > maxUp {
 				phat = maxUp
 			}
 		}
-		if phat > h.cfg.MaxMoveW {
-			phat = h.cfg.MaxMoveW
+		if phat > cfg.MaxMoveW {
+			phat = cfg.MaxMoveW
 		}
-		if phat < -h.cfg.MaxMoveW {
-			phat = -h.cfg.MaxMoveW
+		if phat < -cfg.MaxMoveW {
+			phat = -cfg.MaxMoveW
 		}
-		if h.p[i]+phat > u.MaxPower() {
-			phat = u.MaxPower() - h.p[i]
+		if ownP+phat > maxW {
+			phat = maxW - ownP
 		}
-		if h.p[i]+phat < u.MinPower() {
-			phat = u.MinPower() - h.p[i]
+		if ownP+phat < minW {
+			phat = minW - ownP
 		}
 
-		var eOut, fOut float64
-		di := h.g.Degree(i)
-		for _, j := range h.g.Neighbors(i) {
-			eOut += edgeTransfer(h.cfg, h.e[i], h.e[j], di, h.g.Degree(int(j)))
-			if h.racks.RackOf[j] == h.racks.RackOf[i] {
-				fOut += edgeTransfer(h.cfg, h.f[i], h.f[j], h.rackDeg[i], h.rackDeg[j])
+		// Consensus flows, one family at a time off the per-slot level
+		// bitmask — no group-id compares, no degree lookups, no divisions
+		// beyond the clamp arithmetic itself.
+		for l := 0; l < nl; l++ {
+			out[l] = 0
+		}
+		kHi := h.off[i+1]
+		for k := h.off[i]; k < kHi; k++ {
+			jb := int(h.nbrs[k]) * nl
+			kb := int(k) * nl
+			m := h.mask[k]
+			for l := 0; l < nl; l++ {
+				if m&(1<<uint(l)) == 0 {
+					continue
+				}
+				out[l] += edgeTransferChi(cfg, h.est[base+l], h.est[jb+l],
+					int(h.degN[base+l]), int(h.nbrDegL[kb+l]), h.chi[kb+l])
 			}
 		}
-		h.pNext[i] = h.p[i] + phat
-		h.eNext[i] = h.e[i] + phat - eOut
-		h.fNext[i] = h.f[i] + phat - fOut
-		for _, m := range []float64{phat, eOut, fOut} {
-			if m < 0 {
-				m = -m
-			}
-			if m > activity {
+
+		pn := ownP + phat
+		h.pNext[i] = pn
+		for l := 0; l < nl; l++ {
+			h.estNext[base+l] = h.est[base+l] + phat - out[l]
+		}
+		var un float64
+		if h.allQuad {
+			un = quadValueV(h.qs[i], h.quadV[i], pn)
+		} else {
+			un = h.us[i].Value(pn)
+		}
+		h.dP[i] = phat
+		h.dU[i] = un - h.uVal[i]
+		h.uVal[i] = un
+		if m := math.Abs(phat); m > activity {
+			activity = m
+		}
+		for l := 0; l < nl; l++ {
+			if m := math.Abs(out[l]); m > activity {
 				activity = m
 			}
 		}
 	}
-	h.p, h.pNext = h.pNext, h.p
-	h.e, h.eNext = h.eNext, h.e
-	h.f, h.fNext = h.fNext, h.f
-	h.iter++
 	return activity
 }
 
-// RunToTarget iterates to the 99%-style criterion against a reference.
-func (h *HierEngine) RunToTarget(ref, frac float64, maxIters int) RunResult {
-	for k := 0; k < maxIters; k++ {
-		if math.Abs(ref-h.TotalUtility()) <= (1-frac)*math.Abs(ref) {
-			return RunResult{Iterations: k, Converged: true, Utility: h.TotalUtility(), Power: h.TotalPower()}
+// finishRound folds the per-node aggregate deltas into ΣP/ΣU serially in
+// index order — float addition is not associative, and this single
+// addition sequence is what keeps serial and sharded rounds bitwise
+// identical — then publishes the round by swapping the state buffers.
+func (h *HierEngine) finishRound() {
+	n := len(h.us)
+	sumP, sumU := h.sumP, h.sumU
+	for i := 0; i < n; i++ {
+		if h.dead[i] {
+			continue
 		}
-		h.Step()
+		sumP += h.dP[i]
+		sumU += h.dU[i]
 	}
-	conv := math.Abs(ref-h.TotalUtility()) <= (1-frac)*math.Abs(ref)
-	return RunResult{Iterations: maxIters, Converged: conv, Utility: h.TotalUtility(), Power: h.TotalPower()}
+	h.sumP, h.sumU = sumP, sumU
+	h.p, h.pNext = h.pNext, h.p
+	h.est, h.estNext = h.estNext, h.est
+	h.iter++
+}
+
+// Step advances one synchronous round and returns the round's activity.
+// The hierarchical engine applies the configured η directly (no annealing
+// schedule). The round allocates nothing.
+func (h *HierEngine) Step() float64 {
+	activity := h.shardStep(h.cfg, 0, len(h.us), h.outBufs[0])
+	h.finishRound()
+	return activity
+}
+
+// StepAuto advances one round, choosing Step or StepParallel by cluster
+// size. The two are bitwise identical, so callers see one deterministic
+// sequence of states either way.
+func (h *HierEngine) StepAuto() float64 {
+	if len(h.us) >= stepParallelThreshold {
+		return h.StepParallel(0)
+	}
+	return h.Step()
+}
+
+// RunToTarget iterates to the 99%-style criterion against a reference.
+// With the incrementally maintained aggregate the per-round convergence
+// check is a single field read (it used to evaluate the O(n) TotalUtility
+// twice per iteration).
+func (h *HierEngine) RunToTarget(ref, frac float64, maxIters int) RunResult {
+	tol := (1 - frac) * math.Abs(ref)
+	for k := 0; k < maxIters; k++ {
+		if u := h.sumU; math.Abs(ref-u) <= tol {
+			return RunResult{Iterations: k, Converged: true, Utility: u, Power: h.sumP}
+		}
+		h.StepAuto()
+	}
+	conv := math.Abs(ref-h.sumU) <= tol
+	return RunResult{Iterations: maxIters, Converged: conv, Utility: h.sumU, Power: h.sumP}
 }
 
 // Alloc returns a copy of the caps.
@@ -227,58 +500,178 @@ func (h *HierEngine) Alloc() []float64 {
 	return out
 }
 
-// TotalPower returns Σp.
-func (h *HierEngine) TotalPower() float64 {
-	var s float64
-	for _, v := range h.p {
-		s += v
-	}
-	return s
-}
+// TotalPower returns Σp over live nodes: a field read, maintained
+// incrementally by the round updates.
+func (h *HierEngine) TotalPower() float64 { return h.sumP }
 
-// TotalUtility returns Σ r_i(p_i).
-func (h *HierEngine) TotalUtility() float64 {
-	var s float64
-	for i, u := range h.us {
-		s += u.Value(h.p[i])
-	}
-	return s
-}
+// TotalUtility returns Σ r_i(p_i) over live nodes: a field read,
+// maintained incrementally by the round updates.
+func (h *HierEngine) TotalUtility() float64 { return h.sumU }
 
-// RackPower returns Σ p over rack k's members.
-func (h *HierEngine) RackPower(k int) float64 {
+// GroupPower returns Σp over level l's group k members.
+func (h *HierEngine) GroupPower(l, k int) float64 {
 	var s float64
-	for _, i := range h.rackMembers[k] {
+	for _, i := range h.members[l][k] {
 		s += h.p[i]
 	}
 	return s
 }
 
-// CheckInvariant verifies both conservation identities and strict
-// negativity of every estimate.
+// RackPower returns Σp over rack k's members (level 0 — the two-level
+// engine's accessor).
+func (h *HierEngine) RackPower(k int) float64 { return h.GroupPower(0, k) }
+
+// FailNode removes node i from the computation: its edges are dropped,
+// its power is treated as zero, and every budget it participated in —
+// the cluster's and each level's group — shrinks by p_i − e_i[l], which
+// preserves the corresponding conservation identity over the survivors
+// exactly (and is conservative, since every estimate is negative). An
+// error is returned if the failure would disconnect the survivors of any
+// constraint family or leave any budget infeasible.
+func (h *HierEngine) FailNode(i int) error {
+	n := len(h.us)
+	if i < 0 || i >= n {
+		return fmt.Errorf("diba: node %d out of range", i)
+	}
+	if h.dead[i] {
+		return fmt.Errorf("diba: node %d already failed", i)
+	}
+	g := h.g.RemoveNode(i)
+	if !survivorsConnected(g, h.dead, i) {
+		return fmt.Errorf("diba: failing node %d disconnects the survivors", i)
+	}
+	for l := range h.levels {
+		k := h.levels[l].GroupOf[i]
+		if !groupSurvivorsConnected(g, h.levels[l].GroupOf, h.members[l][k], h.dead, i) {
+			return fmt.Errorf("diba: failing node %d disconnects level %d group %d", i, l, k)
+		}
+	}
+	base := i * h.nl
+	newBudget := h.budget - h.p[i] + h.est[base]
+	var minSum float64
+	for j, u := range h.us {
+		if j == i || h.dead[j] {
+			continue
+		}
+		minSum += u.MinPower()
+	}
+	if newBudget <= minSum {
+		return fmt.Errorf("diba: post-failure budget %.1f W cannot cover survivors' idle power %.1f W", newBudget, minSum)
+	}
+	newGroupB := make([]float64, len(h.levels))
+	for l := range h.levels {
+		k := h.levels[l].GroupOf[i]
+		nb := h.levels[l].Budget[k] - h.p[i] + h.est[base+1+l]
+		var idle float64
+		live := false
+		for _, j := range h.members[l][k] {
+			if j == i || h.dead[j] {
+				continue
+			}
+			live = true
+			idle += h.us[j].MinPower()
+		}
+		if live && nb <= idle {
+			return fmt.Errorf("diba: post-failure level %d group %d budget %.1f W cannot cover its idle power %.1f W", l, k, nb, idle)
+		}
+		newGroupB[l] = nb
+	}
+
+	h.g = g
+	if h.dead == nil {
+		h.dead = make(map[int]bool)
+	}
+	h.dead[i] = true
+	h.p[i] = 0
+	for l := 0; l < h.nl; l++ {
+		h.est[base+l] = 0
+	}
+	h.budget = newBudget
+	for l := range h.levels {
+		h.levels[l].Budget[h.levels[l].GroupOf[i]] = newGroupB[l]
+	}
+	if err := h.rebuildTopoCache(); err != nil {
+		return err
+	}
+	h.refreshAggregates()
+	return nil
+}
+
+// groupSurvivorsConnected checks connectivity of group members (same
+// groupOf value, drawn from members) restricted to live nodes, with extra
+// treated as dead.
+func groupSurvivorsConnected(g *topology.Graph, groupOf []int, members []int, dead map[int]bool, extra int) bool {
+	isDead := func(v int) bool { return v == extra || dead[v] }
+	start, live := -1, 0
+	for _, v := range members {
+		if !isDead(v) {
+			live++
+			if start < 0 {
+				start = v
+			}
+		}
+	}
+	if live <= 1 {
+		return true
+	}
+	grp := groupOf[start]
+	seen := map[int]bool{start: true}
+	stack := []int{start}
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Neighbors(v) {
+			j := int(w)
+			if groupOf[j] == grp && !seen[j] && !isDead(j) {
+				seen[j] = true
+				count++
+				stack = append(stack, j)
+			}
+		}
+	}
+	return count == live
+}
+
+// CheckInvariant verifies every conservation identity — cluster and each
+// group of each level — and strict negativity of every live estimate.
 func (h *HierEngine) CheckInvariant(tol float64) error {
+	nl := h.nl
 	var sumE, sumP float64
-	for i := range h.e {
-		if h.e[i] >= 0 {
-			return fmt.Errorf("diba: cluster estimate e[%d] = %g not strictly negative", i, h.e[i])
+	for i := range h.us {
+		if h.dead[i] {
+			continue
 		}
-		if h.f[i] >= 0 {
-			return fmt.Errorf("diba: rack estimate f[%d] = %g not strictly negative", i, h.f[i])
+		base := i * nl
+		for l := 0; l < nl; l++ {
+			if h.est[base+l] >= 0 {
+				return fmt.Errorf("diba: family %d estimate e[%d] = %g not strictly negative", l, i, h.est[base+l])
+			}
 		}
-		sumE += h.e[i]
+		sumE += h.est[base]
 		sumP += h.p[i]
 	}
 	if d := math.Abs(sumE - (sumP - h.budget)); d > tol {
 		return fmt.Errorf("diba: cluster conservation violated by %g", d)
 	}
-	for k, m := range h.rackMembers {
-		var sumF, rackP float64
-		for _, i := range m {
-			sumF += h.f[i]
-			rackP += h.p[i]
-		}
-		if d := math.Abs(sumF - (rackP - h.racks.RackBudget[k])); d > tol {
-			return fmt.Errorf("diba: rack %d conservation violated by %g", k, d)
+	for l := range h.levels {
+		for k, m := range h.members[l] {
+			var sumF, groupP float64
+			live := false
+			for _, i := range m {
+				if h.dead[i] {
+					continue
+				}
+				live = true
+				sumF += h.est[i*nl+1+l]
+				groupP += h.p[i]
+			}
+			if !live {
+				continue
+			}
+			if d := math.Abs(sumF - (groupP - h.levels[l].Budget[k])); d > tol {
+				return fmt.Errorf("diba: level %d group %d conservation violated by %g", l, k, d)
+			}
 		}
 	}
 	return nil

@@ -93,11 +93,11 @@ func TestHierInvariantsEveryRound(t *testing.T) {
 			t.Fatalf("round %d: %v", k, err)
 		}
 		// Both constraint families respected every round.
-		if en.TotalPower() > en.budget {
+		if en.TotalPower() > en.Budget() {
 			t.Fatalf("round %d: cluster budget violated", k)
 		}
-		for rk := range en.racks.RackBudget {
-			if en.RackPower(rk) > en.racks.RackBudget[rk] {
+		for rk := 0; rk < en.NumGroups(0); rk++ {
+			if en.RackPower(rk) > en.GroupBudget(0, rk) {
 				t.Fatalf("round %d: rack %d PDU violated", k, rk)
 			}
 		}

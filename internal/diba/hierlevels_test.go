@@ -1,0 +1,370 @@
+package diba
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"powercap/internal/topology"
+	"powercap/internal/workload"
+)
+
+// Multi-level engine tests: the L-level generalization, the sharded
+// round's determinism contract, and the zero-allocation guarantee of both
+// step paths.
+
+// newTestHierLevels builds a NestedRings cluster with per-node budget
+// densities per explicit level (finest first) and for the cluster.
+func newTestHierLevels(t testing.TB, counts []int, groupPer []float64, clusterPer float64, seed int64) *HierEngine {
+	t.Helper()
+	g, gofs := topology.NestedRings(counts...)
+	n := g.N()
+	rng := rand.New(rand.NewSource(seed))
+	a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := make([]Level, len(gofs))
+	for l, gof := range gofs {
+		ng := 0
+		for _, k := range gof {
+			if k >= ng {
+				ng = k + 1
+			}
+		}
+		size := n / ng
+		b := make([]float64, ng)
+		for k := range b {
+			b[k] = groupPer[l] * float64(size)
+		}
+		levels[l] = Level{GroupOf: gof, Budget: b}
+	}
+	en, err := NewHierLevels(g, a.UtilitySlice(), clusterPer*float64(n), levels, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return en
+}
+
+func requireHierIdentical(t *testing.T, serial, parallel *HierEngine, round int, label string) {
+	t.Helper()
+	for i := range serial.p {
+		if serial.p[i] != parallel.p[i] {
+			t.Fatalf("%s round %d: p[%d] diverged: serial %v parallel %v", label, round, i, serial.p[i], parallel.p[i])
+		}
+	}
+	for x := range serial.est {
+		if serial.est[x] != parallel.est[x] {
+			t.Fatalf("%s round %d: est[%d] (node %d family %d) diverged: serial %v parallel %v",
+				label, round, x, x/serial.nl, x%serial.nl, serial.est[x], parallel.est[x])
+		}
+	}
+	if serial.TotalPower() != parallel.TotalPower() {
+		t.Fatalf("%s round %d: ΣP diverged: %v vs %v", label, round, serial.TotalPower(), parallel.TotalPower())
+	}
+	if serial.TotalUtility() != parallel.TotalUtility() {
+		t.Fatalf("%s round %d: ΣU diverged: %v vs %v", label, round, serial.TotalUtility(), parallel.TotalUtility())
+	}
+}
+
+func TestHierStepParallelBitwiseIdentical(t *testing.T) {
+	forceParallelSmallN(t)
+	counts := []int{4, 5, 10} // 200 nodes, levels: 20 racks × 10, 4 rows × 50
+	const rounds = 150
+	for _, w := range []int{1, 2, 3, 8} {
+		serial := newTestHierLevels(t, counts, []float64{150, 152}, 148, 21)
+		par := newTestHierLevels(t, counts, []float64{150, 152}, 148, 21)
+		defer par.Close()
+		for r := 0; r < rounds; r++ {
+			actS := serial.Step()
+			actP := par.StepParallel(w)
+			if actS != actP {
+				t.Fatalf("w=%d round %d: activity diverged: %v vs %v", w, r, actS, actP)
+			}
+			if r%30 == 0 {
+				requireHierIdentical(t, serial, par, r, "nested-rings")
+			}
+		}
+		requireHierIdentical(t, serial, par, rounds, "nested-rings")
+	}
+}
+
+func TestHierStepParallelBitwiseIdenticalWithDeadNodes(t *testing.T) {
+	forceParallelSmallN(t)
+	counts := []int{4, 5, 10}
+	const rounds = 120
+	// Non-leader victims: a leaf ring survives losing one interior member
+	// (it degrades to a path) and every leader stays up, so both the
+	// cluster and every group remain connected.
+	victims := map[int]int{40: 13, 80: 87}
+	for _, w := range []int{2, 3, 8} {
+		serial := newTestHierLevels(t, counts, []float64{150, 152}, 148, 22)
+		par := newTestHierLevels(t, counts, []float64{150, 152}, 148, 22)
+		defer par.Close()
+		for r := 0; r < rounds; r++ {
+			if v, ok := victims[r]; ok {
+				if err := serial.FailNode(v); err != nil {
+					t.Fatal(err)
+				}
+				if err := par.FailNode(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			actS := serial.Step()
+			actP := par.StepParallel(w)
+			if actS != actP {
+				t.Fatalf("w=%d round %d: activity diverged: %v vs %v", w, r, actS, actP)
+			}
+			if r%20 == 0 {
+				requireHierIdentical(t, serial, par, r, "dead-nodes")
+			}
+		}
+		requireHierIdentical(t, serial, par, rounds, "dead-nodes")
+		if err := serial.CheckInvariant(1e-6); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Both hier step paths must allocate nothing in steady state — at 100k–1M
+// nodes per-round garbage would dominate the round itself.
+func TestHierStepZeroAlloc(t *testing.T) {
+	counts := []int{4, 5, 10}
+	serial := newTestHierLevels(t, counts, []float64{150, 152}, 148, 23)
+	if avg := testing.AllocsPerRun(50, func() { serial.Step() }); avg != 0 {
+		t.Fatalf("serial hier Step allocates %v per round, want 0", avg)
+	}
+
+	forceParallelSmallN(t)
+	par := newTestHierLevels(t, counts, []float64{150, 152}, 148, 23)
+	defer par.Close()
+	// AllocsPerRun's warm-up call absorbs the one-time pool construction.
+	if avg := testing.AllocsPerRun(50, func() { par.StepParallel(4) }); avg != 0 {
+		t.Fatalf("parallel hier Step allocates %v per round, want 0", avg)
+	}
+}
+
+// Property: on random nested topologies and budget densities, the engine
+// keeps every conservation identity (cluster and each group of each level)
+// and never violates any budget at any round.
+func TestHierMultiLevelInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		counts := []int{2 + rng.Intn(3), 2 + rng.Intn(3), 3 + rng.Intn(4)}
+		g, gofs := topology.NestedRings(counts...)
+		n := g.N()
+		a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.1, 0.01, rng)
+		if err != nil {
+			return false
+		}
+		levels := make([]Level, len(gofs))
+		for l, gof := range gofs {
+			ng := 0
+			for _, k := range gof {
+				if k >= ng {
+					ng = k + 1
+				}
+			}
+			b := make([]float64, ng)
+			for k := range b {
+				b[k] = (130 + rng.Float64()*60) * float64(n/ng)
+			}
+			levels[l] = Level{GroupOf: gof, Budget: b}
+		}
+		cluster := (125 + rng.Float64()*60) * float64(n)
+		en, err := NewHierLevels(g, a.UtilitySlice(), cluster, levels, Config{})
+		if err != nil {
+			return true // infeasible draw; nothing to test
+		}
+		for r := 0; r < 250; r++ {
+			en.Step()
+			if en.CheckInvariant(1e-5) != nil {
+				return false
+			}
+			if en.TotalPower() > cluster {
+				return false
+			}
+			for l := range levels {
+				for k := 0; k < en.NumGroups(l); k++ {
+					if en.GroupPower(l, k) > en.GroupBudget(l, k) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The hier engine's quadratic fast path must be bitwise interchangeable
+// with the generic interface path, like the flat engine's
+// (TestQuadFastPathMatchesGenericRule).
+func TestHierQuadFastPathMatchesGenericPath(t *testing.T) {
+	counts := []int{3, 4, 6}
+	fast := newTestHierLevels(t, counts, []float64{150, 152}, 148, 24)
+	slow := newTestHierLevels(t, counts, []float64{150, 152}, 148, 24)
+	if !fast.allQuad {
+		t.Fatal("fixture should enable the quad fast path")
+	}
+	slow.allQuad = false
+	for r := 0; r < 300; r++ {
+		actF := fast.Step()
+		actS := slow.Step()
+		if actF != actS {
+			t.Fatalf("round %d: activity diverged: quad %v generic %v", r, actF, actS)
+		}
+	}
+	requireHierIdentical(t, fast, slow, 300, "quad-vs-generic")
+}
+
+// The incremental ΣP/ΣU aggregates must track a from-scratch recomputation.
+func TestHierIncrementalAggregatesMatchFullSweep(t *testing.T) {
+	en := newTestHierLevels(t, []int{3, 4, 6}, []float64{150, 152}, 148, 25)
+	for r := 0; r < 500; r++ {
+		en.Step()
+	}
+	var wantP, wantU float64
+	for i, p := range en.p {
+		if en.dead[i] {
+			continue
+		}
+		wantP += p
+		wantU += en.us[i].Value(p)
+	}
+	if d := en.TotalPower() - wantP; d > 1e-7 || d < -1e-7 {
+		t.Fatalf("ΣP drifted: incremental %v, full sweep %v", en.TotalPower(), wantP)
+	}
+	if d := en.TotalUtility() - wantU; d > 1e-7 || d < -1e-7 {
+		t.Fatalf("ΣU drifted: incremental %v, full sweep %v", en.TotalUtility(), wantU)
+	}
+}
+
+// TestHierScaleSmoke is the CI bench-smoke: a 10k-node three-level cluster
+// must sustain a nonzero round rate (each round well under a second) with
+// every invariant intact. Run explicitly by the workflow's hier bench-smoke
+// step; cheap enough to run everywhere.
+func TestHierScaleSmoke(t *testing.T) {
+	en := newTestHierLevels(t, []int{10, 25, 40}, []float64{152, 154}, 150, 20)
+	defer en.Close()
+	const rounds = 20
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		en.StepAuto()
+	}
+	elapsed := time.Since(start)
+	perRound := elapsed / rounds
+	rate := float64(rounds) / elapsed.Seconds()
+	if rate <= 0 {
+		t.Fatalf("rounds/sec must be nonzero, got %v", rate)
+	}
+	if perRound > time.Second {
+		t.Fatalf("10k-node round took %v, want well under a second", perRound)
+	}
+	if err := en.CheckInvariant(1e-6 * 10000); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("10k-node hier engine: %.0f rounds/sec (%v per round)", rate, perRound)
+}
+
+func TestNewHierLevelsValidation(t *testing.T) {
+	g, gofs := topology.NestedRings(3, 4, 5)
+	n := g.N()
+	rng := rand.New(rand.NewSource(26))
+	a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := a.UtilitySlice()
+	good := []Level{
+		{GroupOf: gofs[0], Budget: make([]float64, 12)},
+		{GroupOf: gofs[1], Budget: make([]float64, 3)},
+	}
+	for k := range good[0].Budget {
+		good[0].Budget[k] = 160 * 5
+	}
+	for k := range good[1].Budget {
+		good[1].Budget[k] = 162 * 20
+	}
+	if _, err := NewHierLevels(g, us, 158*float64(n), good, Config{}); err != nil {
+		t.Fatalf("valid two-level build rejected: %v", err)
+	}
+	if _, err := NewHierLevels(g, us, 158*float64(n), nil, Config{}); err == nil {
+		t.Fatal("zero levels must be rejected")
+	}
+	short := []Level{{GroupOf: gofs[0][:n-1], Budget: good[0].Budget}}
+	if _, err := NewHierLevels(g, us, 158*float64(n), short, Config{}); err == nil {
+		t.Fatal("short assignment must be rejected")
+	}
+	empty := []Level{{GroupOf: gofs[0], Budget: make([]float64, 13)}}
+	copy(empty[0].Budget, good[0].Budget)
+	if _, err := NewHierLevels(g, us, 158*float64(n), empty, Config{}); err == nil {
+		t.Fatal("empty group must be rejected")
+	}
+	tight := []Level{{GroupOf: gofs[0], Budget: append([]float64(nil), good[0].Budget...)}}
+	tight[0].Budget[3] = 100 // below 5 nodes' idle power
+	if _, err := NewHierLevels(g, us, 158*float64(n), tight, Config{}); err == nil {
+		t.Fatal("group budget below idle must be rejected")
+	}
+	many := make([]Level, topology.MaxGroupLevels)
+	for l := range many {
+		many[l] = Level{GroupOf: gofs[0], Budget: good[0].Budget}
+	}
+	if _, err := NewHierLevels(g, us, 158*float64(n), many, Config{}); err == nil {
+		t.Fatal("too many levels must be rejected")
+	}
+	// Internally disconnected group: swap one node of rack 0 into rack 1.
+	mixed := append([]int(nil), gofs[0]...)
+	mixed[2] = 1
+	bad := []Level{{GroupOf: mixed, Budget: good[0].Budget}}
+	if _, err := NewHierLevels(g, us, 158*float64(n), bad, Config{}); err == nil {
+		t.Fatal("internally disconnected group must be rejected")
+	}
+}
+
+// FailNode must refuse a removal that splits a group internally even when
+// the cluster graph stays connected, and must preserve every invariant on
+// a legal removal.
+func TestHierFailNode(t *testing.T) {
+	// Two 3-node line groups bridged at both ends: removing an interior
+	// node (1 or 4) keeps the cluster connected but splits its group.
+	g := topology.NewGraph(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 5}, {0, 3}, {2, 5}} {
+		_ = g.AddEdge(e[0], e[1])
+	}
+	us := mkCluster(t, 6, 27)
+	levels := []Level{{GroupOf: []int{0, 0, 0, 1, 1, 1}, Budget: []float64{160 * 3, 160 * 3}}}
+	en, err := NewHierLevels(g, us, 155*6, levels, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 50; r++ {
+		en.Step()
+	}
+	if err := en.FailNode(1); err == nil {
+		t.Fatal("removing node 1 splits group 0 and must be rejected")
+	}
+	preB := en.Budget()
+	preG := en.GroupBudget(0, 0)
+	if err := en.FailNode(0); err != nil {
+		t.Fatalf("removing group end node 0 must be legal: %v", err)
+	}
+	if en.Budget() >= preB || en.GroupBudget(0, 0) >= preG {
+		t.Fatal("failure must shrink both the cluster and the group budget")
+	}
+	for r := 0; r < 200; r++ {
+		en.Step()
+		if err := en.CheckInvariant(1e-6); err != nil {
+			t.Fatalf("post-failure round %d: %v", r, err)
+		}
+	}
+	if en.TotalPower() > en.Budget() {
+		t.Fatal("post-failure cluster budget violated")
+	}
+	if en.GroupPower(0, 0) > en.GroupBudget(0, 0) {
+		t.Fatal("post-failure group budget violated")
+	}
+}

@@ -1,0 +1,117 @@
+package diba
+
+import "sync"
+
+// Sharded rounds for the hierarchical engine. The determinism contract is
+// the flat engine's: every node reads only the previous round's snapshot
+// and writes only slots it owns, so shards can run in any order, and the
+// ΣP/ΣU aggregate deltas are folded serially in index order after the join
+// (finishRound) — the exact addition sequence the serial Step performs.
+// StepParallel is therefore bitwise identical to Step at any worker count.
+//
+// Unlike the flat engine, the hierarchical engine targets 100k–1M-node
+// rounds where even the per-round fork cost matters, and its alloc-guard
+// test requires a zero-allocation parallel step. Spawning goroutines per
+// round allocates (goroutine + closure), so the engine keeps a persistent
+// pool of shard workers, parked on per-worker command channels. A round
+// sends each worker its [lo, hi) range by value and waits on a reused
+// WaitGroup; nothing escapes to the heap in steady state.
+
+// hierCmd is one shard assignment: advance nodes [lo, hi) under cfg and
+// report activity into slot.
+type hierCmd struct {
+	cfg    Config
+	lo, hi int
+	slot   int
+}
+
+// hierPool is the persistent shard-worker pool of one HierEngine.
+type hierPool struct {
+	workers int
+	cmds    []chan hierCmd
+	wg      sync.WaitGroup
+}
+
+// ensurePool (re)builds the worker pool for the given worker count, along
+// with the per-shard scratch: one activity slot and one per-family outflow
+// buffer per worker (outBufs[0] doubles as the serial Step's scratch).
+func (h *HierEngine) ensurePool(workers int) {
+	if h.pool != nil && h.pool.workers == workers {
+		return
+	}
+	h.closePool()
+	if cap(h.actBuf) < workers {
+		h.actBuf = make([]float64, workers)
+	} else {
+		h.actBuf = h.actBuf[:workers]
+	}
+	for len(h.outBufs) < workers {
+		h.outBufs = append(h.outBufs, make([]float64, h.nl))
+	}
+	p := &hierPool{workers: workers, cmds: make([]chan hierCmd, workers)}
+	for w := range p.cmds {
+		ch := make(chan hierCmd, 1)
+		p.cmds[w] = ch
+		go func(w int, ch chan hierCmd) {
+			for c := range ch {
+				h.actBuf[c.slot] = h.shardStep(c.cfg, c.lo, c.hi, h.outBufs[w])
+				p.wg.Done()
+			}
+		}(w, ch)
+	}
+	h.pool = p
+}
+
+// Close releases the engine's persistent shard workers. Optional: an
+// engine that never called StepParallel (or whose rounds all fell back to
+// the serial path) has no pool, and a leaked pool only parks goroutines on
+// channel receives until the engine is collected.
+func (h *HierEngine) Close() { h.closePool() }
+
+func (h *HierEngine) closePool() {
+	if h.pool == nil {
+		return
+	}
+	// Only called between rounds: after finishRound every worker is parked
+	// on its channel receive, so closing is race-free.
+	for _, ch := range h.pool.cmds {
+		close(ch)
+	}
+	h.pool = nil
+}
+
+// StepParallel advances one synchronous round sharded over the given
+// number of workers (0 selects GOMAXPROCS). It computes bitwise-identical
+// state to Step at any worker count; when the effective count is 1 — or
+// the cluster is below stepParallelMinN, the flat engine's measured
+// crossover — it falls back to the serial Step, which is faster there.
+// Steady-state rounds allocate nothing (the pool is built on first use or
+// worker-count change).
+func (h *HierEngine) StepParallel(workers int) float64 {
+	n := len(h.us)
+	workers = stepParallelWorkers(n, workers)
+	if workers <= 1 {
+		return h.Step()
+	}
+	h.ensurePool(workers)
+	chunk := (n + workers - 1) / workers
+	shards := (n + chunk - 1) / chunk
+	h.pool.wg.Add(shards)
+	for w := 0; w < shards; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		h.pool.cmds[w] <- hierCmd{cfg: h.cfg, lo: lo, hi: hi, slot: w}
+	}
+	h.pool.wg.Wait()
+	h.finishRound()
+	var maxAct float64
+	for _, a := range h.actBuf[:shards] {
+		if a > maxAct {
+			maxAct = a
+		}
+	}
+	return maxAct
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"powercap/internal/diba"
+	"powercap/internal/parallel"
+	"powercap/internal/solver"
+	"powercap/internal/topology"
+	"powercap/internal/workload"
+)
+
+// HierScale compares hierarchical and flat DiBA convergence at matched
+// cluster sizes on the paper's rack topology (rack-internal rings plus a
+// leader ring): rounds to 99% of the respective centralized optimum, the
+// number of per-rack budget violations the hierarchical run ever commits
+// (expected: zero — the negativity certificate holds every round), and the
+// worst budget margin seen on any round across every constraint family.
+// The hierarchical engine pays extra rounds for enforcing the rack PDUs it
+// alone respects; the flat run bounds only the cluster total.
+func HierScale(scale Scale, seed int64) (Table, error) {
+	type shape struct{ nRacks, perRack int }
+	var shapes []shape
+	if scale == Full {
+		shapes = []shape{{25, 40}, {100, 40}, {250, 40}}
+	} else {
+		shapes = []shape{{6, 40}, {25, 40}}
+	}
+	maxIters := scale.pick(20000, 40000)
+
+	t := Table{
+		ID:      "hierscale",
+		Title:   "Hierarchical vs flat DiBA at matched size (rack PDU 155 W/node, cluster 160 W/node)",
+		Columns: []string{"# nodes", "hier rounds", "flat rounds", "hier/opt", "flat/opt", "violations", "worst margin (W)"},
+		Notes: []string{
+			"expected shape: both round counts stay roughly flat in N; the hierarchical run converges to the rack-constrained optimum with zero PDU violations and a positive worst margin on every round",
+		},
+	}
+
+	type row struct {
+		hierRounds, flatRounds int
+		hierRatio, flatRatio   float64
+		violations             int
+		worstMargin            float64
+	}
+	rows := make([]row, len(shapes))
+	// Sweep points are independent: one RNG per point (seed + index) so the
+	// output does not depend on worker count or execution order.
+	err := parallel.ForEach(len(shapes), func(k int) error {
+		s := shapes[k]
+		n := s.nRacks * s.perRack
+		rng := rand.New(rand.NewSource(seed + int64(k)))
+		a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0.01, rng)
+		if err != nil {
+			return err
+		}
+		us := a.UtilitySlice()
+		clusterBudget := 160.0 * float64(n)
+		rackBudget := 155.0 * float64(s.perRack)
+		g, gofs := topology.NestedRings(s.nRacks, s.perRack)
+		rackOf := gofs[0]
+
+		sh := solver.Hierarchy{RackOf: rackOf, RackBudget: make([]float64, s.nRacks)}
+		for rk := range sh.RackBudget {
+			sh.RackBudget[rk] = rackBudget
+		}
+		hopt, err := solver.OptimalHierarchical(us, clusterBudget, sh)
+		if err != nil {
+			return err
+		}
+		fopt, err := solver.Optimal(us, clusterBudget)
+		if err != nil {
+			return err
+		}
+
+		hier, err := diba.NewHier(g, us, clusterBudget,
+			diba.Racks{RackOf: rackOf, RackBudget: sh.RackBudget}, diba.Config{})
+		if err != nil {
+			return err
+		}
+		defer hier.Close()
+		hierRounds := maxIters
+		violations := 0
+		worstMargin := math.Inf(1)
+		for r := 1; r <= maxIters; r++ {
+			hier.StepAuto()
+			if m := clusterBudget - hier.TotalPower(); m < worstMargin {
+				worstMargin = m
+			}
+			for rk := 0; rk < s.nRacks; rk++ {
+				m := rackBudget - hier.RackPower(rk)
+				if m < 0 {
+					violations++
+				}
+				if m < worstMargin {
+					worstMargin = m
+				}
+			}
+			if hier.TotalUtility() >= 0.99*hopt.Utility {
+				hierRounds = r
+				break
+			}
+		}
+
+		flat, err := diba.New(g, us, clusterBudget, diba.Config{})
+		if err != nil {
+			return err
+		}
+		res := flat.RunToTarget(fopt.Utility, 0.99, maxIters)
+
+		rows[k] = row{
+			hierRounds:  hierRounds,
+			flatRounds:  res.Iterations,
+			hierRatio:   hier.TotalUtility() / hopt.Utility,
+			flatRatio:   res.Utility / fopt.Utility,
+			violations:  violations,
+			worstMargin: worstMargin,
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for k, s := range shapes {
+		r := rows[k]
+		t.AddRow(s.nRacks*s.perRack, r.hierRounds, r.flatRounds,
+			fmt.Sprintf("%.4f", r.hierRatio),
+			fmt.Sprintf("%.4f", r.flatRatio),
+			r.violations,
+			fmt.Sprintf("%.2f", r.worstMargin))
+	}
+	return t, nil
+}

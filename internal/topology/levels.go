@@ -1,0 +1,207 @@
+package topology
+
+import "fmt"
+
+// Multi-level grouping. Real fleets nest their power delivery: servers
+// share a rack PDU, racks share a row feed, rows share the facility
+// budget. The hierarchical DiBA engine runs one consensus family per
+// level, and each family's estimate flows are restricted to edges whose
+// endpoints share a group at that level. The structures here give the
+// engine a flat, precomputed view of that restriction — a per-edge level
+// bitmask and per-level within-group degrees aligned with the graph's CSR
+// arrays — so the per-round hot loop never compares group ids or walks a
+// tree.
+
+// MaxGroupLevels bounds the number of grouping levels a GroupedCSR can
+// carry; each level occupies one bit of the per-edge mask.
+const MaxGroupLevels = 32
+
+// GroupedCSR is the flattened multi-level view of a graph: the CSR arrays
+// plus, per neighbor slot, a bitmask of the levels at which the edge's two
+// endpoints share a group, and per (node, level) the node's within-group
+// degree. Slot-major arrays are aligned with Nbr so the engine's flow loop
+// streams them in one pass.
+type GroupedCSR struct {
+	// Off and Nbr are the graph's CSR arrays (shared, read-only): node i's
+	// neighbor slots are Off[i]..Off[i+1].
+	Off, Nbr []int32
+	// Levels is the number of grouping levels L.
+	Levels int
+	// Mask[k] has bit l set iff the edge in slot k joins two nodes of the
+	// same level-l group. A nil (trivial) level's bit is always set.
+	Mask []uint32
+	// Deg is node-major: Deg[i*Levels+l] is node i's degree counting only
+	// same-group edges at level l.
+	Deg []int32
+	// NbrDeg is slot-major: NbrDeg[k*Levels+l] is the within-group degree
+	// of the neighbor in slot k at level l (meaningful when Mask[k] has
+	// bit l; zero otherwise).
+	NbrDeg []int32
+}
+
+// BuildGroupedCSR flattens the graph with the given group assignments, one
+// per level. Each groupOf slice maps node -> group id at that level; a nil
+// slice denotes the trivial level where every node shares one group (the
+// cluster-wide constraint). Group ids must be non-negative. The graph's
+// CSR view is sealed as a side effect.
+func BuildGroupedCSR(g *Graph, groupOf ...[]int) (*GroupedCSR, error) {
+	n := g.N()
+	nl := len(groupOf)
+	if nl == 0 {
+		return nil, fmt.Errorf("topology: grouped CSR needs at least one level")
+	}
+	if nl > MaxGroupLevels {
+		return nil, fmt.Errorf("topology: %d grouping levels exceed the maximum %d", nl, MaxGroupLevels)
+	}
+	for l, gof := range groupOf {
+		if gof == nil {
+			continue
+		}
+		if len(gof) != n {
+			return nil, fmt.Errorf("topology: level %d assigns %d nodes, graph has %d", l, len(gof), n)
+		}
+		for i, k := range gof {
+			if k < 0 {
+				return nil, fmt.Errorf("topology: level %d assigns node %d a negative group %d", l, i, k)
+			}
+		}
+	}
+	off, nbr := g.CSR()
+	gc := &GroupedCSR{
+		Off:    off,
+		Nbr:    nbr,
+		Levels: nl,
+		Mask:   make([]uint32, len(nbr)),
+		Deg:    make([]int32, n*nl),
+		NbrDeg: make([]int32, len(nbr)*nl),
+	}
+	for i := 0; i < n; i++ {
+		for k := off[i]; k < off[i+1]; k++ {
+			j := int(nbr[k])
+			var m uint32
+			for l, gof := range groupOf {
+				if gof == nil || gof[i] == gof[j] {
+					m |= 1 << l
+					gc.Deg[i*nl+l]++
+				}
+			}
+			gc.Mask[k] = m
+		}
+	}
+	for k, j := range nbr {
+		m := gc.Mask[k]
+		for l := 0; l < nl; l++ {
+			if m&(1<<l) != 0 {
+				gc.NbrDeg[k*nl+l] = gc.Deg[int(j)*nl+l]
+			}
+		}
+	}
+	return gc, nil
+}
+
+// GroupConnected reports whether every group of the given assignment is
+// internally connected in g (using only edges between same-group nodes).
+// A nil assignment is the trivial single group, checked with Connected.
+// The first offending group id is returned with ok=false. Runs one O(N+M)
+// sweep regardless of the group count.
+func GroupConnected(g *Graph, groupOf []int) (badGroup int, ok bool) {
+	if groupOf == nil {
+		if g.Connected() {
+			return 0, true
+		}
+		return 0, false
+	}
+	n := g.N()
+	off, nbr := g.CSR()
+	seen := make([]bool, n)
+	starts := make(map[int]bool, 16)
+	stack := make([]int32, 0, 64)
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		grp := groupOf[s]
+		if starts[grp] {
+			// Second component inside one group: disconnected.
+			return grp, false
+		}
+		starts[grp] = true
+		seen[s] = true
+		stack = append(stack[:0], int32(s))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range nbr[off[v]:off[v+1]] {
+				if !seen[w] && groupOf[w] == grp {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	return 0, true
+}
+
+// NestedRings builds an L-deep nested-ring cluster, the scale topology of
+// the hierarchical engine's benchmarks: counts[0] top-level groups, each
+// subdividing into counts[1] subgroups, ..., with counts[L-1] servers per
+// finest group. Every finest group's servers form a ring; at each higher
+// level the leaders (lowest-id member) of sibling groups form a ring
+// inside their parent, and the top-level leaders form the cluster ring.
+// Total nodes = Π counts.
+//
+// The returned assignments are the explicit grouping levels below the
+// cluster, finest first: levels[0] groups nodes by finest group (rack),
+// levels[1] by the next level up (row), and so on — len(counts)-1 slices
+// (nil when len(counts) == 1). Every group is internally connected by
+// construction, as the hierarchical engine requires.
+func NestedRings(counts ...int) (*Graph, [][]int) {
+	if len(counts) == 0 {
+		panic("topology: NestedRings needs at least one level")
+	}
+	n := 1
+	for _, c := range counts {
+		if c < 1 {
+			panic("topology: NestedRings counts must be >= 1")
+		}
+		n *= c
+	}
+	g := NewGraph(n)
+	// stride[k] is the id distance between siblings at prefix depth k:
+	// members of one prefix-k group occupy a contiguous id range of
+	// stride[k] * counts[k].
+	stride := make([]int, len(counts)+1)
+	stride[len(counts)] = 1
+	for k := len(counts) - 1; k >= 0; k-- {
+		stride[k] = stride[k+1] * counts[k]
+	}
+	ring := func(base, cnt, step int) {
+		if cnt < 2 {
+			return
+		}
+		for c := 0; c < cnt; c++ {
+			a := base + c*step
+			b := base + ((c+1)%cnt)*step
+			if a != b && !g.HasEdge(a, b) {
+				_ = g.AddEdge(a, b)
+			}
+		}
+	}
+	for k := 0; k < len(counts); k++ {
+		// One ring per prefix-k group over its counts[k] children's leaders.
+		for base := 0; base < n; base += stride[k] {
+			ring(base, counts[k], stride[k+1])
+		}
+	}
+	levels := make([][]int, 0, len(counts)-1)
+	// Finest explicit level first: grouping by prefix depth L-1, then L-2,
+	// ..., down to depth 1. Depth 0 is the whole cluster (implicit).
+	for k := len(counts) - 1; k >= 1; k-- {
+		gof := make([]int, n)
+		for i := 0; i < n; i++ {
+			gof[i] = i / stride[k]
+		}
+		levels = append(levels, gof)
+	}
+	return g, levels
+}

@@ -1,0 +1,146 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNestedRingsShape(t *testing.T) {
+	g, levels := NestedRings(4, 3, 5)
+	if g.N() != 60 {
+		t.Fatalf("want 60 nodes, got %d", g.N())
+	}
+	if len(levels) != 2 {
+		t.Fatalf("want 2 explicit levels, got %d", len(levels))
+	}
+	// Finest level: 12 groups of 5; next: 4 groups of 15.
+	for i := 0; i < 60; i++ {
+		if want := i / 5; levels[0][i] != want {
+			t.Fatalf("node %d finest group = %d, want %d", i, levels[0][i], want)
+		}
+		if want := i / 15; levels[1][i] != want {
+			t.Fatalf("node %d row group = %d, want %d", i, levels[1][i], want)
+		}
+	}
+	if !g.Connected() {
+		t.Fatal("nested rings must be connected")
+	}
+	for l, gof := range levels {
+		if bad, ok := GroupConnected(g, gof); !ok {
+			t.Fatalf("level %d group %d not internally connected", l, bad)
+		}
+	}
+	// Leaf rings of 5 plus leader rings: a non-leader leaf node has degree 2.
+	if d := g.Degree(1); d != 2 {
+		t.Fatalf("leaf node degree = %d, want 2", d)
+	}
+}
+
+func TestNestedRingsSmallCounts(t *testing.T) {
+	// Rings of size 2 and 1 must not panic or duplicate edges.
+	g, levels := NestedRings(2, 2)
+	if g.N() != 4 || len(levels) != 1 {
+		t.Fatalf("unexpected shape: n=%d levels=%d", g.N(), len(levels))
+	}
+	if !g.Connected() {
+		t.Fatal("2x2 nested rings must be connected")
+	}
+	g1, levels1 := NestedRings(5)
+	if g1.N() != 5 || len(levels1) != 0 {
+		t.Fatalf("single-level shape wrong: n=%d levels=%d", g1.N(), len(levels1))
+	}
+	if !g1.Connected() {
+		t.Fatal("single ring must be connected")
+	}
+}
+
+func TestBuildGroupedCSRMatchesNaiveCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, levels := NestedRings(3, 4, 6)
+	// Add random chords so the mask sees cross-group edges at every level.
+	n := g.N()
+	for e := 0; e < 40; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b && !g.HasEdge(a, b) {
+			_ = g.AddEdge(a, b)
+		}
+	}
+	gof := append([][]int{nil}, levels...)
+	gc, err := BuildGroupedCSR(g, gof...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.Levels != 3 {
+		t.Fatalf("levels = %d, want 3", gc.Levels)
+	}
+	off, nbr := g.CSR()
+	for i := 0; i < n; i++ {
+		wantDeg := make([]int32, gc.Levels)
+		for k := off[i]; k < off[i+1]; k++ {
+			j := int(nbr[k])
+			var m uint32 = 1 // nil level 0: always same group
+			wantDeg[0]++
+			for l := 1; l < gc.Levels; l++ {
+				if gof[l][i] == gof[l][j] {
+					m |= 1 << l
+					wantDeg[l]++
+				}
+			}
+			if gc.Mask[k] != m {
+				t.Fatalf("mask[%d] (edge %d-%d) = %b, want %b", k, i, j, gc.Mask[k], m)
+			}
+		}
+		for l := 0; l < gc.Levels; l++ {
+			if gc.Deg[i*gc.Levels+l] != wantDeg[l] {
+				t.Fatalf("deg[%d][level %d] = %d, want %d", i, l, gc.Deg[i*gc.Levels+l], wantDeg[l])
+			}
+		}
+	}
+	// NbrDeg must mirror Deg of the slot's neighbor wherever the mask bit
+	// is set.
+	for k, j := range nbr {
+		for l := 0; l < gc.Levels; l++ {
+			want := int32(0)
+			if gc.Mask[k]&(1<<l) != 0 {
+				want = gc.Deg[int(j)*gc.Levels+l]
+			}
+			if gc.NbrDeg[k*gc.Levels+l] != want {
+				t.Fatalf("nbrDeg[slot %d][level %d] = %d, want %d", k, l, gc.NbrDeg[k*gc.Levels+l], want)
+			}
+		}
+	}
+}
+
+func TestBuildGroupedCSRValidation(t *testing.T) {
+	g := Ring(6)
+	if _, err := BuildGroupedCSR(g); err == nil {
+		t.Fatal("zero levels must be rejected")
+	}
+	if _, err := BuildGroupedCSR(g, []int{0, 0, 0}); err == nil {
+		t.Fatal("short assignment must be rejected")
+	}
+	if _, err := BuildGroupedCSR(g, []int{0, 0, 0, -1, 0, 0}); err == nil {
+		t.Fatal("negative group must be rejected")
+	}
+	many := make([][]int, MaxGroupLevels+1)
+	if _, err := BuildGroupedCSR(g, many...); err == nil {
+		t.Fatal("too many levels must be rejected")
+	}
+}
+
+func TestGroupConnected(t *testing.T) {
+	g := Ring(8)
+	// Contiguous halves are connected within the ring.
+	gof := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	if bad, ok := GroupConnected(g, gof); !ok {
+		t.Fatalf("contiguous halves should be connected (group %d)", bad)
+	}
+	// Alternating assignment is internally disconnected.
+	alt := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	if _, ok := GroupConnected(g, alt); ok {
+		t.Fatal("alternating groups must be disconnected")
+	}
+	if _, ok := GroupConnected(g, nil); !ok {
+		t.Fatal("nil grouping follows graph connectivity")
+	}
+}
