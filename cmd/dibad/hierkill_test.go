@@ -1,0 +1,334 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// hierReport matches the extended report line a -levels 2 daemon prints.
+var hierReport = regexp.MustCompile(`agent (\d+): workload=\S+ cap=\S+ estimate=\S+ rounds=(\d+) budget=(\S+)W dead=\[([^\]]*)\] group=(\d+) lease=(-?\d+)mw epoch=(\d+) agg=(\S+) frozen=(\S+)`)
+
+type hierResult struct {
+	rounds int
+	budget string
+	dead   string
+	group  int
+	lease  int64
+	epoch  int
+	agg    bool
+	frozen bool
+}
+
+func parseHierReport(t *testing.T, id int, out string) hierResult {
+	t.Helper()
+	m := hierReport.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("daemon %d printed no hierarchical report line:\n%s", id, out)
+	}
+	if m[1] != fmt.Sprint(id) {
+		t.Fatalf("daemon %d report claims id %s", id, m[1])
+	}
+	atoi := func(s string) int {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("daemon %d report field %q: %v", id, s, err)
+		}
+		return v
+	}
+	lease, err := strconv.ParseInt(m[6], 10, 64)
+	if err != nil {
+		t.Fatalf("daemon %d lease %q: %v", id, m[6], err)
+	}
+	return hierResult{
+		rounds: atoi(m[2]), budget: m[3], dead: m[4], group: atoi(m[5]),
+		lease: lease, epoch: atoi(m[7]), agg: m[8] == "true", frozen: m[9] == "true",
+	}
+}
+
+// writeHierPeers builds a 3-groups-of-3 peers file on loopback and returns
+// its path. Group g holds ids {3g, 3g+1, 3g+2}.
+func writeHierPeers(t *testing.T) string {
+	t.Helper()
+	var peers strings.Builder
+	peers.WriteString("group 0 0 1 2\ngroup 1 3 4 5\ngroup 2 6 7 8\n")
+	for i := 0; i < 9; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&peers, "%d %s\n", i, ln.Addr().String())
+		ln.Close()
+	}
+	path := filepath.Join(t.TempDir(), "peers.txt")
+	if err := os.WriteFile(path, []byte(peers.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// checkHierOutcome asserts the invariants every hierarchical drill ends on:
+// the survivors of the victim's group agree bitwise on lease, budget view
+// and epoch with the successor confirmed at a bumped epoch, the other
+// groups are untouched, nobody is frozen at exit, and the acting
+// aggregates' leases sum to exactly the configured budget.
+func checkHierOutcome(t *testing.T, res map[int]hierResult, victim int, budgetMw int64) {
+	t.Helper()
+	groupOf := func(id int) int { return id / 3 }
+	var leaseSum int64
+	aggs := 0
+	for id, r := range res {
+		if r.group != groupOf(id) {
+			t.Errorf("daemon %d reports group %d, want %d", id, r.group, groupOf(id))
+		}
+		if r.frozen {
+			t.Errorf("daemon %d still frozen at exit", id)
+		}
+		if r.agg {
+			aggs++
+			leaseSum += r.lease
+		}
+		if groupOf(id) == groupOf(victim) {
+			if r.dead != fmt.Sprint(victim) {
+				t.Errorf("daemon %d dead set [%s], want [%d]", id, r.dead, victim)
+			}
+			if r.epoch < 2 {
+				t.Errorf("daemon %d epoch %d, want >= 2 after failover", id, r.epoch)
+			}
+		} else {
+			if r.dead != "" {
+				t.Errorf("daemon %d dead set [%s], want []", id, r.dead)
+			}
+		}
+	}
+	if aggs != 3 {
+		t.Errorf("%d acting aggregates at exit, want 3", aggs)
+	}
+	if leaseSum != budgetMw {
+		t.Errorf("Σ(leases) over acting aggregates = %d mw, want exactly %d", leaseSum, budgetMw)
+	}
+	// The successor is the victim's next rank; its surviving peer agrees
+	// bitwise on lease, budget view and epoch.
+	succ, peer := res[victim+1], res[victim+2]
+	if !succ.agg {
+		t.Errorf("daemon %d did not take over as aggregate", victim+1)
+	}
+	if peer.agg {
+		t.Errorf("daemon %d acts as aggregate while a lower rank lives", victim+2)
+	}
+	if succ.lease != peer.lease || succ.budget != peer.budget || succ.epoch != peer.epoch {
+		t.Errorf("survivors disagree: %d has lease=%d budget=%s epoch=%d, %d has lease=%d budget=%s epoch=%d",
+			victim+1, succ.lease, succ.budget, succ.epoch, victim+2, peer.lease, peer.budget, peer.epoch)
+	}
+}
+
+// runHierDrill launches the 9-daemon two-level cluster with per-id extra
+// args and returns outputs and errors.
+func runHierDrill(t *testing.T, bin, peersPath string, horizon int, extra func(id int) []string) ([]string, []error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	benches := []string{"EP", "CG", "FT", "MG", "LU", "BT", "SP", "EP", "CG"}
+	outs := make([]string, 9)
+	errs := make([]error, 9)
+	var wg sync.WaitGroup
+	for i := 0; i < 9; i++ {
+		args := []string{
+			"-id", fmt.Sprint(i), "-peers", peersPath, "-levels", "2",
+			"-group", fmt.Sprint(i / 3), "-rank", fmt.Sprint(i % 3),
+			"-budget", "1530", "-workload", benches[i], "-connect-timeout", "20s",
+			"-gather-timeout", "500ms", "-heartbeat", "50ms",
+			"-until-round", fmt.Sprint(horizon), "-round-interval", "2ms",
+		}
+		args = append(args, extra(i)...)
+		wg.Add(1)
+		go func(i int, args []string) {
+			defer wg.Done()
+			out, err := exec.CommandContext(ctx, bin, args...).CombinedOutput()
+			outs[i], errs[i] = string(out), err
+		}(i, args)
+	}
+	wg.Wait()
+	return outs, errs
+}
+
+// TestHierClusterSurvivesAggregateKill is the tentpole's process-level kill
+// drill: a two-level cluster of nine daemons (three groups of three) loses
+// group 1's aggregate agent mid-run to a deterministic crash. The survivors
+// must detect the death, elect the next rank, rebuild the lease ledger from
+// the upper-ring echoes under a bumped epoch, reconcile the leaf budget —
+// and the acting aggregates' leases must again sum to exactly the
+// configured budget.
+func TestHierClusterSurvivesAggregateKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a 9-process TCP cluster")
+	}
+	bin := buildDibad(t)
+	peersPath := writeHierPeers(t)
+	const victim = 3 // rank 0 of group 1
+
+	outs, errs := runHierDrill(t, bin, peersPath, 1200, func(i int) []string {
+		if i == victim {
+			// An odd send budget dies mid-broadcast, the asymmetric case.
+			return []string{"-chaos-seed", "5", "-chaos-crash-after", "301"}
+		}
+		return nil
+	})
+
+	if errs[victim] == nil {
+		t.Errorf("victim exited cleanly; want a crash\n%s", outs[victim])
+	}
+	res := make(map[int]hierResult)
+	for i := 0; i < 9; i++ {
+		if i == victim {
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("survivor %d failed: %v\n%s", i, errs[i], outs[i])
+		}
+		r := parseHierReport(t, i, outs[i])
+		if r.rounds != 1200 {
+			t.Errorf("survivor %d stopped at round %d, want 1200", i, r.rounds)
+		}
+		res[i] = r
+	}
+	checkHierOutcome(t, res, victim, 1530000)
+	if !strings.Contains(outs[victim+1], "promoted to aggregate") {
+		t.Errorf("successor %d never logged its promotion:\n%s", victim+1, outs[victim+1])
+	}
+}
+
+// TestHierClusterSurvivesInterLevelPartition forces the lease-expiry path
+// at the process level: group 1 is severed from the upper ring (the same
+// partition spec on every daemon makes the outage bidirectional) and its
+// aggregate is killed inside the outage. The orphaned members' candidate
+// cannot confirm, the lease TTL expires, and they freeze at the last leased
+// budget minus the margin; when the window closes the held hellos flush,
+// the candidate syncs from the echoes, the group thaws, and every lease
+// invariant of the kill drill holds again.
+func TestHierClusterSurvivesInterLevelPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a 9-process TCP cluster")
+	}
+	bin := buildDibad(t)
+	peersPath := writeHierPeers(t)
+	const victim = 3
+
+	outs, errs := runHierDrill(t, bin, peersPath, 2500, func(i int) []string {
+		args := []string{
+			"-chaos-seed", fmt.Sprint(i + 1),
+			"-chaos-partition-start", "1s", "-chaos-partition-dur", "2s",
+			"-chaos-partition-scope", "group=1",
+		}
+		if i == victim {
+			args = append(args, "-chaos-crash-after", "1801")
+		}
+		return args
+	})
+
+	if errs[victim] == nil {
+		t.Errorf("victim exited cleanly; want a crash\n%s", outs[victim])
+	}
+	res := make(map[int]hierResult)
+	for i := 0; i < 9; i++ {
+		if i == victim {
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("survivor %d failed: %v\n%s", i, errs[i], outs[i])
+		}
+		r := parseHierReport(t, i, outs[i])
+		if r.rounds != 2500 {
+			t.Errorf("survivor %d stopped at round %d, want 2500", i, r.rounds)
+		}
+		res[i] = r
+	}
+	checkHierOutcome(t, res, victim, 1530000)
+	// The orphaned survivors froze during the outage and thawed at heal.
+	for _, id := range []int{victim + 1, victim + 2} {
+		if !strings.Contains(outs[id], "lease expired; froze") {
+			t.Errorf("daemon %d never froze during the inter-level outage:\n%s", id, outs[id])
+		}
+		if !strings.Contains(outs[id], "lease view restored; thawed") {
+			t.Errorf("daemon %d never thawed after the heal:\n%s", id, outs[id])
+		}
+	}
+}
+
+// TestSignalKillDrainsWireQueues is the shutdown audit: a SIGTERM mid-run
+// must drain the per-connection send queues and log the same per-peer wire
+// report a clean exit logs, then exit 0 — no coalesced batch may be lost in
+// a signal shutdown.
+func TestSignalKillDrainsWireQueues(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a 3-process TCP cluster")
+	}
+	bin := buildDibad(t)
+	const n = 3
+	var peers strings.Builder
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&peers, "%d %s\n", i, ln.Addr().String())
+		ln.Close()
+	}
+	peersPath := filepath.Join(t.TempDir(), "peers.txt")
+	if err := os.WriteFile(peersPath, []byte(peers.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cmds := make([]*exec.Cmd, n)
+	outs := make([]*strings.Builder, n)
+	for i := 0; i < n; i++ {
+		cmds[i] = exec.CommandContext(ctx, bin,
+			"-id", fmt.Sprint(i), "-peers", peersPath, "-budget", "510",
+			"-connect-timeout", "20s", "-until-round", "1000000", "-round-interval", "1ms")
+		outs[i] = &strings.Builder{}
+		cmds[i].Stdout = outs[i]
+		cmds[i].Stderr = outs[i]
+		if err := cmds[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the ring form and exchange real traffic before pulling the plug.
+	time.Sleep(2 * time.Second)
+	for i := 0; i < n; i++ {
+		if err := cmds[i].Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatalf("signaling daemon %d: %v", i, err)
+		}
+	}
+	perPeer := regexp.MustCompile(`wire\[\S+\] peer (\d+): sent (\d+) msgs / \d+ B in \d+ flushes, recv (\d+) msgs`)
+	for i := 0; i < n; i++ {
+		if err := cmds[i].Wait(); err != nil {
+			t.Errorf("daemon %d exited %v on SIGTERM, want 0:\n%s", i, err, outs[i].String())
+			continue
+		}
+		out := outs[i].String()
+		if !strings.Contains(out, "draining send queues") || !strings.Contains(out, "drained, exiting") {
+			t.Errorf("daemon %d did not log the drain:\n%s", i, out)
+		}
+		m := perPeer.FindAllStringSubmatch(out, -1)
+		if len(m) != 2 {
+			t.Errorf("daemon %d logged %d per-peer wire lines, want 2:\n%s", i, len(m), out)
+		}
+		for _, pm := range m {
+			if sent, _ := strconv.Atoi(pm[2]); sent == 0 {
+				t.Errorf("daemon %d reports zero messages sent to peer %s before drain", i, pm[1])
+			}
+		}
+	}
+}

@@ -47,6 +47,33 @@
 // dead edges and, if chords are configured, activate them at an agreed
 // round. The final report line then shows the shrunk budget and dead set.
 //
+// # Hierarchical mode
+//
+// With -levels 2 the daemons form a two-level hierarchy instead of one flat
+// ring: the peers file partitions the ids into leaf groups, each group runs
+// its own DiBA ring against a budget lease, and the lowest live id of each
+// group acts as the group's aggregate agent on the upper ring, migrating
+// budget between groups under TTL'd leases (see internal/diba/hieragent.go
+// for the failover and reconciliation protocol). Example peers file for two
+// levels, three groups of three:
+//
+//	group 0 0 1 2
+//	group 1 3 4 5
+//	group 2 6 7 8
+//	0 10.0.0.1:7946
+//	... one line per id as usual ...
+//
+// Run every daemon with the same -levels 2 and a -gather-timeout (failover
+// rides on the failure detector); -group and -rank optionally pin what the
+// operator believes this daemon's placement is and fail fast on drift:
+//
+//	dibad -id 4 -peers peers.txt -levels 2 -group 1 -rank 1 \
+//	      -budget 1530 -gather-timeout 500ms -lease-ttl 12 -until-round 2000
+//
+// Chords, -rounds 0 quiescence and snapshot/rejoin are flat-ring features
+// and are rejected in hierarchical mode. The report line gains the group,
+// lease, epoch, aggregate and frozen fields.
+//
 // # Chaos injection
 //
 // For fault-drill runs, the daemon can wrap its transport in the seeded
@@ -63,6 +90,19 @@
 //	                         (-1 = never); crossing the threshold mid-round
 //	                         truncates the broadcast, the hardest case for
 //	                         the survivors' budget reconciliation
+//	-chaos-partition-start 200ms  sever this daemon's links after that long …
+//	-chaos-partition-dur 1s       … for this long; held messages flush at heal
+//	-chaos-partition-scope group=1|all
+//	                         group=<gid> severs that whole group from the rest
+//	                         of the cluster (-levels 2; pass the same spec to
+//	                         every daemon — each process only holds its own
+//	                         outbound sends); all cuts this daemon's every link
+//
+// # Shutdown
+//
+// On SIGINT or SIGTERM the daemon drains its per-connection send queues
+// (coalesced batches flush; nothing queued is lost) and logs the same
+// per-peer wire statistics a clean exit logs, then exits 0.
 package main
 
 import (
@@ -75,9 +115,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"powercap/internal/diba"
@@ -120,23 +162,52 @@ func main() {
 	untilRound := flag.Int("until-round", 0, "run until the round counter reaches this value (overrides -rounds; a rejoiner starts mid-count)")
 	roundInterval := flag.Duration("round-interval", 0, "sleep between rounds, pacing the run for drills")
 	wire := flag.String("wire", "binary", "wire codec written to peers: binary or json (reading always auto-detects, so mixed clusters interoperate)")
+	levels := flag.Int("levels", 1, "hierarchy levels: 1 = flat ring, 2 = leaf groups under aggregate agents (peers file needs 'group' directives)")
+	groupFlag := flag.Int("group", -1, "expected group index of this agent; fail fast if the peers file disagrees (-levels 2)")
+	rankFlag := flag.Int("rank", -1, "expected failover rank of this agent within its group; fail fast on mismatch (-levels 2)")
+	leaseTTL := flag.Int("lease-ttl", 0, "rounds a budget lease stays valid without renewal before the group freezes (0 = protocol default)")
+	chaosPartStart := flag.Duration("chaos-partition-start", 0, "partition window start relative to the first send (with -chaos-partition-dur)")
+	chaosPartDur := flag.Duration("chaos-partition-dur", 0, "partition window length; this daemon's cut links hold messages and flush at heal (0 = no partition)")
+	chaosPartScope := flag.String("chaos-partition-scope", "all", "links the partition cuts: group=<gid> (sever that group from the cluster, -levels 2, same spec on every daemon) or all (every connected peer)")
 	flag.Parse()
 
 	if *id < 0 || *peersPath == "" || *budget <= 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	addrs, fileStride, err := readPeers(*peersPath)
+	addrs, fileStride, groups, err := readPeers(*peersPath)
 	if err != nil {
 		log.Fatalf("dibad: %v", err)
 	}
 	n := len(addrs)
-	if n < 3 {
-		log.Fatalf("dibad: a ring needs at least 3 agents, peers file has %d", n)
-	}
 	self, ok := addrs[*id]
 	if !ok {
 		log.Fatalf("dibad: id %d not present in peers file", *id)
+	}
+	hier := *levels >= 2
+	if hier {
+		if *levels > 2 {
+			log.Fatalf("dibad: -levels %d not supported (1 or 2)", *levels)
+		}
+		if len(groups) == 0 {
+			log.Fatalf("dibad: -levels 2 needs 'group' directives in the peers file")
+		}
+		if *chord != 0 || fileStride != 0 {
+			log.Fatalf("dibad: chords are the flat ring's repair topology; not valid with -levels 2")
+		}
+		if *gatherTimeout <= 0 {
+			log.Fatalf("dibad: -levels 2 requires -gather-timeout (aggregate failover rides on the failure detector)")
+		}
+		if *rejoin || *snapshotPath != "" {
+			log.Fatalf("dibad: snapshot/rejoin is not supported with -levels 2")
+		}
+		if *rounds == 0 && *untilRound == 0 {
+			log.Fatalf("dibad: -levels 2 needs -rounds or -until-round (quiescence detection is flat-only)")
+		}
+	} else if len(groups) > 0 {
+		log.Fatalf("dibad: peers file declares groups; run with -levels 2")
+	} else if n < 3 {
+		log.Fatalf("dibad: a ring needs at least 3 agents, peers file has %d", n)
 	}
 	stride := *chord
 	if stride == 0 {
@@ -170,13 +241,56 @@ func main() {
 		log.Fatalf("dibad: %v", err)
 	}
 	defer tcp.Close()
-	neighbors := []int{(*id + n - 1) % n, (*id + 1) % n}
-	standby := chordPartners(*id, n, stride, neighbors)
-	log.Printf("dibad: agent %d listening on %s, ring neighbors %v, standby chords %v", *id, tcp.Addr(), neighbors, standby)
-	if err := tcp.ConnectNeighbors(append(append([]int{}, neighbors...), standby...), addrs, *timeout); err != nil {
+	topo := diba.HierTopo{Groups: groups, BudgetW: *budget, IdleW: srv.IdleWatts}
+	var neighbors, standby, conns []int
+	if hier {
+		if err := topo.Validate(); err != nil {
+			log.Fatalf("dibad: %v", err)
+		}
+		// Every member connects to the whole adjacent groups, not just their
+		// current aggregates: failover can move the aggregate role to any
+		// rank, and the links must already be up when it does.
+		neighbors = topo.LeafNeighbors(*id)
+		conns = append(append([]int{}, neighbors...), topo.UpperPeers(*id)...)
+		log.Printf("dibad: agent %d listening on %s, group %d ring %v, upper-level peers %v",
+			*id, tcp.Addr(), topo.GroupOf(*id), neighbors, topo.UpperPeers(*id))
+	} else {
+		neighbors = []int{(*id + n - 1) % n, (*id + 1) % n}
+		standby = chordPartners(*id, n, stride, neighbors)
+		conns = append(append([]int{}, neighbors...), standby...)
+		log.Printf("dibad: agent %d listening on %s, ring neighbors %v, standby chords %v", *id, tcp.Addr(), neighbors, standby)
+	}
+	if err := tcp.ConnectNeighbors(conns, addrs, *timeout); err != nil {
 		log.Fatalf("dibad: %v", err)
 	}
 
+	var partitions []diba.Partition
+	if *chaosPartDur > 0 {
+		if rest, ok := strings.CutPrefix(*chaosPartScope, "group="); ok {
+			// Sever one whole group from the rest of the cluster. Every
+			// daemon must run with the same spec: each process's injector only
+			// holds its own outbound sends, so the outage is bidirectional
+			// only when both sides of every cut link carry the partition.
+			var gid int
+			if _, err := fmt.Sscanf(rest, "%d", &gid); err != nil || !hier || gid < 0 || gid >= len(groups) {
+				log.Fatalf("dibad: bad -chaos-partition-scope %q (needs -levels 2 and a valid group id)", *chaosPartScope)
+			}
+			var outside []int
+			for other := range addrs {
+				if topo.GroupOf(other) != gid {
+					outside = append(outside, other)
+				}
+			}
+			partitions = diba.SeverGroups(topo.Groups[gid], outside, *chaosPartStart, *chaosPartDur)
+		} else if *chaosPartScope == "all" {
+			partitions = diba.IsolateNode(*id, conns, *chaosPartStart, *chaosPartDur)
+		} else {
+			log.Fatalf("dibad: unknown -chaos-partition-scope %q", *chaosPartScope)
+		}
+		if *chaosSeed == 0 {
+			log.Fatalf("dibad: partition windows need -chaos-seed to enable injection")
+		}
+	}
 	var tr diba.Transport = tcp
 	if *chaosSeed != 0 {
 		plan := &diba.FaultPlan{
@@ -186,6 +300,7 @@ func main() {
 			MaxDelay:    *chaosMaxDelay,
 			DupProb:     *chaosDup,
 			ReorderProb: *chaosReorder,
+			Partitions:  partitions,
 		}
 		if *chaosCrashAfter >= 0 {
 			plan.CrashAfterSends = map[int]int{*id: *chaosCrashAfter}
@@ -196,13 +311,31 @@ func main() {
 
 	// Every agent derives its initial estimate from the published cluster
 	// parameters: budget, size, and the common idle floor.
-	totalIdle := srv.IdleWatts * float64(n)
-	agent, err := diba.NewAgent(*id, neighbors, util, *budget, n, totalIdle, diba.Config{}, tr)
-	if err != nil {
-		log.Fatalf("dibad: %v", err)
-	}
-	if len(standby) > 0 {
-		agent.SetStandby(standby)
+	var agent *diba.Agent
+	var hagent *diba.HierAgent
+	if hier {
+		hagent, err = diba.NewHierAgent(topo, diba.HierPolicy{LeaseTTL: *leaseTTL}, *id, util, diba.Config{}, tr)
+		if err != nil {
+			log.Fatalf("dibad: %v", err)
+		}
+		agent = hagent.Agent()
+		if *groupFlag >= 0 && hagent.Group() != *groupFlag {
+			log.Fatalf("dibad: peers file places id %d in group %d, -group says %d", *id, hagent.Group(), *groupFlag)
+		}
+		if *rankFlag >= 0 && hagent.Rank() != *rankFlag {
+			log.Fatalf("dibad: id %d has failover rank %d in its group, -rank says %d", *id, hagent.Rank(), *rankFlag)
+		}
+		log.Printf("dibad: agent %d group %d rank %d lease %d mw aggregate=%v",
+			*id, hagent.Group(), hagent.Rank(), hagent.Lease(), hagent.IsAggregate())
+	} else {
+		totalIdle := srv.IdleWatts * float64(n)
+		agent, err = diba.NewAgent(*id, neighbors, util, *budget, n, totalIdle, diba.Config{}, tr)
+		if err != nil {
+			log.Fatalf("dibad: %v", err)
+		}
+		if len(standby) > 0 {
+			agent.SetStandby(standby)
+		}
 	}
 	if *gatherTimeout > 0 {
 		fp := diba.FaultPolicy{
@@ -285,9 +418,38 @@ func main() {
 		log.Printf("dibad: agent %d rejoined, resuming at round %d", *id, agent.Round())
 	}
 
+	// Hierarchical role and lease transitions are logged as they happen so
+	// fault drills can assert failover and freeze/thaw from the outside.
+	lastFrozen, lastAgg := false, hagent != nil && hagent.IsAggregate()
+	hierRound := func() {
+		if hagent == nil {
+			return
+		}
+		if f := hagent.Frozen(); f != lastFrozen {
+			lastFrozen = f
+			if f {
+				log.Printf("dibad: agent %d round %d lease expired; froze at %.2f W (lease %d mw minus margin)",
+					*id, agent.Round(), agent.Budget(), hagent.Lease())
+			} else {
+				log.Printf("dibad: agent %d round %d lease view restored; thawed at %.2f W", *id, agent.Round(), agent.Budget())
+			}
+		}
+		if a := hagent.IsAggregate(); a != lastAgg {
+			lastAgg = a
+			if a {
+				log.Printf("dibad: agent %d round %d promoted to aggregate of group %d (epoch %d)",
+					*id, agent.Round(), hagent.Group(), hagent.Epoch())
+			} else {
+				log.Printf("dibad: agent %d round %d demoted from aggregate of group %d (epoch %d)",
+					*id, agent.Round(), hagent.Group(), hagent.Epoch())
+			}
+		}
+	}
+
 	// perRound runs the operational side channels after each BSP round:
 	// snapshotting, the local watchdog, and drill pacing.
 	perRound := func() {
+		hierRound()
 		if *snapshotPath != "" && *snapshotEvery > 0 && agent.Round()%*snapshotEvery == 0 {
 			if err := writeSnapshot(agent, *snapshotPath); err != nil {
 				log.Printf("dibad: snapshot: %v", err)
@@ -313,12 +475,47 @@ func main() {
 	if *statusAddr != "" {
 		status.start(*statusAddr, *id, *bench)
 	}
+
+	// A signal shutdown must lose nothing that a clean exit would not: drain
+	// the per-connection send queues (coalesced batches flush on Close) and
+	// log the same per-peer wire report, then exit 0. The step loop sees the
+	// closed transport as an error; the draining flag turns that into a wait
+	// for the handler's exit instead of a spurious failure.
+	var draining atomic.Bool
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		draining.Store(true)
+		log.Printf("dibad: agent %d caught %v; draining send queues", *id, sig)
+		_ = tcp.Close()
+		logWireReport(tcp, codec, *id)
+		log.Printf("dibad: agent %d drained, exiting", *id)
+		os.Exit(0)
+	}()
+	stepFail := func(round int, err error) {
+		// A cluster-wide SIGTERM races: a peer's drain-close can surface in
+		// the step loop before this process's own handler has run. Give the
+		// handler a beat before declaring the error fatal.
+		for i := 0; i < 10; i++ {
+			if draining.Load() {
+				select {} // the signal handler finishes the drain and exits
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		log.Fatalf("dibad: round %d: %v", round, err)
+	}
+
+	step := agent.StepOnce
+	if hagent != nil {
+		step = hagent.Step
+	}
 	start := time.Now()
 	var final diba.AgentState
 	if *untilRound > 0 {
 		for agent.Round() < *untilRound {
-			if err := agent.StepOnce(); err != nil {
-				log.Fatalf("dibad: round %d: %v", agent.Round(), err)
+			if err := step(); err != nil {
+				stepFail(agent.Round(), err)
 			}
 			status.update(agent.Power(), agent.Estimate(), agent.Round())
 			perRound()
@@ -329,16 +526,17 @@ func main() {
 		// halt at the identical round (margin n exceeds any ring diameter).
 		st, err := agent.RunUntilQuiet(diba.QuietConfig{TolW: 1e-3, Settle: 50, Margin: n, MaxRounds: 200000})
 		if err != nil {
-			log.Fatalf("dibad: %v", err)
+			stepFail(agent.Round(), err)
 		}
 		final = st
 		status.update(agent.Power(), agent.Estimate(), st.Rounds)
 	} else {
 		for r := 0; r < *rounds; r++ {
-			if err := agent.StepOnce(); err != nil {
-				log.Fatalf("dibad: round %d: %v", r, err)
+			if err := step(); err != nil {
+				stepFail(r, err)
 			}
 			status.update(agent.Power(), agent.Estimate(), r+1)
+			perRound()
 		}
 		final = diba.AgentState{Power: agent.Power(), E: agent.Estimate(), Rounds: *rounds, Budget: agent.Budget(), Dead: agent.DeadNodes()}
 	}
@@ -350,11 +548,34 @@ func main() {
 	if wd != nil {
 		log.Printf("dibad: agent %d watchdog: %+v", *id, wd.Stats())
 	}
+	logWireReport(tcp, codec, *id)
+	extra := ""
+	if hagent != nil {
+		extra = fmt.Sprintf(" group=%d lease=%dmw epoch=%d agg=%v frozen=%v",
+			hagent.Group(), hagent.Lease(), hagent.Epoch(), hagent.IsAggregate(), hagent.Frozen())
+	}
+	fmt.Printf("agent %d: workload=%s cap=%.2fW estimate=%.4f rounds=%d budget=%.2fW dead=%v%s elapsed=%v\n",
+		*id, *bench, final.Power, final.E, final.Rounds, final.Budget, final.Dead, extra, time.Since(start).Round(time.Millisecond))
+}
+
+// logWireReport logs the wire-level traffic counters, per peer and in
+// total — the one report both a clean exit and a signal-drained shutdown
+// must produce identically.
+func logWireReport(tcp *diba.TCPTransport, codec diba.WireCodec, id int) {
+	stats := tcp.WireStats()
+	peers := make([]int, 0, len(stats))
+	for p := range stats {
+		peers = append(peers, p)
+	}
+	sort.Ints(peers)
+	for _, p := range peers {
+		ws := stats[p]
+		log.Printf("dibad: agent %d wire[%s] peer %d: sent %d msgs / %d B in %d flushes, recv %d msgs / %d B",
+			id, codec, p, ws.MsgsSent, ws.BytesSent, ws.Flushes, ws.MsgsRecv, ws.BytesRecv)
+	}
 	wt := tcp.WireTotals()
 	log.Printf("dibad: agent %d wire[%s]: sent %d msgs / %d B in %d flushes, recv %d msgs / %d B",
-		*id, codec, wt.MsgsSent, wt.BytesSent, wt.Flushes, wt.MsgsRecv, wt.BytesRecv)
-	fmt.Printf("agent %d: workload=%s cap=%.2fW estimate=%.4f rounds=%d budget=%.2fW dead=%v elapsed=%v\n",
-		*id, *bench, final.Power, final.E, final.Rounds, final.Budget, final.Dead, time.Since(start).Round(time.Millisecond))
+		id, codec, wt.MsgsSent, wt.BytesSent, wt.Flushes, wt.MsgsRecv, wt.BytesRecv)
 }
 
 // writeSnapshot persists the agent's state atomically: write to a temp file
@@ -460,15 +681,21 @@ func (s *statusServer) update(capW, est float64, round int) {
 }
 
 // readPeers parses a peers file: one "id host:port" per line, plus an
-// optional "chord <stride>" directive selecting the standby chord topology.
-func readPeers(path string) (map[int]string, int, error) {
+// optional "chord <stride>" directive selecting the standby chord topology
+// and optional "group <gid> <id> <id>..." directives partitioning the ids
+// into the leaf groups of the two-level hierarchy (-levels 2). Group ids
+// must be dense from 0; every agent id must belong to exactly one group
+// when any group directive is present.
+func readPeers(path string) (map[int]string, int, [][]int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	defer f.Close()
 	out := make(map[int]string)
 	stride := 0
+	groupOf := make(map[int]int)
+	var groups [][]int
 	sc := bufio.NewScanner(f)
 	line := 0
 	for sc.Scan() {
@@ -479,22 +706,58 @@ func readPeers(path string) (map[int]string, int, error) {
 		}
 		if rest, ok := strings.CutPrefix(text, "chord "); ok {
 			if _, err := fmt.Sscanf(rest, "%d", &stride); err != nil || stride < 2 {
-				return nil, 0, fmt.Errorf("peers file line %d: bad chord directive %q", line, text)
+				return nil, 0, nil, fmt.Errorf("peers file line %d: bad chord directive %q", line, text)
 			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(text, "group "); ok {
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				return nil, 0, nil, fmt.Errorf("peers file line %d: group directive needs a group id and at least one member", line)
+			}
+			var gid int
+			if _, err := fmt.Sscanf(fields[0], "%d", &gid); err != nil || gid != len(groups) {
+				return nil, 0, nil, fmt.Errorf("peers file line %d: group ids must be dense from 0 in order, got %q", line, fields[0])
+			}
+			var members []int
+			for _, fd := range fields[1:] {
+				var m int
+				if _, err := fmt.Sscanf(fd, "%d", &m); err != nil {
+					return nil, 0, nil, fmt.Errorf("peers file line %d: bad member id %q", line, fd)
+				}
+				if g, dup := groupOf[m]; dup {
+					return nil, 0, nil, fmt.Errorf("peers file line %d: id %d already in group %d", line, m, g)
+				}
+				groupOf[m] = gid
+				members = append(members, m)
+			}
+			groups = append(groups, members)
 			continue
 		}
 		var id int
 		var addr string
 		if _, err := fmt.Sscanf(text, "%d %s", &id, &addr); err != nil {
-			return nil, 0, fmt.Errorf("peers file line %d: %v", line, err)
+			return nil, 0, nil, fmt.Errorf("peers file line %d: %v", line, err)
 		}
 		if _, dup := out[id]; dup {
-			return nil, 0, fmt.Errorf("peers file line %d: duplicate id %d", line, id)
+			return nil, 0, nil, fmt.Errorf("peers file line %d: duplicate id %d", line, id)
 		}
 		out[id] = addr
 	}
 	if err := sc.Err(); err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
-	return out, stride, nil
+	if len(groups) > 0 {
+		for id := range out {
+			if _, ok := groupOf[id]; !ok {
+				return nil, 0, nil, fmt.Errorf("peers file: id %d belongs to no group", id)
+			}
+		}
+		for id := range groupOf {
+			if _, ok := out[id]; !ok {
+				return nil, 0, nil, fmt.Errorf("peers file: group member %d has no address line", id)
+			}
+		}
+	}
+	return out, stride, groups, nil
 }

@@ -17,7 +17,7 @@ func writeTemp(t *testing.T, content string) string {
 
 func TestReadPeers(t *testing.T) {
 	path := writeTemp(t, "# comment\n0 10.0.0.1:7946\n1 10.0.0.2:7946\n\n2 10.0.0.3:7946\n")
-	peers, stride, err := readPeers(path)
+	peers, stride, _, err := readPeers(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestReadPeers(t *testing.T) {
 
 func TestReadPeersChordDirective(t *testing.T) {
 	path := writeTemp(t, "chord 2\n0 a:1\n1 b:2\n2 c:3\n3 d:4\n4 e:5\n")
-	peers, stride, err := readPeers(path)
+	peers, stride, _, err := readPeers(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,28 +45,57 @@ func TestReadPeersChordDirective(t *testing.T) {
 
 func TestReadPeersBadChord(t *testing.T) {
 	path := writeTemp(t, "chord one\n0 a:1\n")
-	if _, _, err := readPeers(path); err == nil {
+	if _, _, _, err := readPeers(path); err == nil {
 		t.Fatal("bad chord directive must error")
 	}
 }
 
 func TestReadPeersDuplicate(t *testing.T) {
 	path := writeTemp(t, "0 a:1\n0 b:2\n")
-	if _, _, err := readPeers(path); err == nil {
+	if _, _, _, err := readPeers(path); err == nil {
 		t.Fatal("duplicate id must error")
 	}
 }
 
 func TestReadPeersMalformed(t *testing.T) {
 	path := writeTemp(t, "zero a:1\n")
-	if _, _, err := readPeers(path); err == nil {
+	if _, _, _, err := readPeers(path); err == nil {
 		t.Fatal("malformed line must error")
 	}
 }
 
 func TestReadPeersMissingFile(t *testing.T) {
-	if _, _, err := readPeers("/nonexistent/peers.txt"); err == nil {
+	if _, _, _, err := readPeers("/nonexistent/peers.txt"); err == nil {
 		t.Fatal("missing file must error")
+	}
+}
+
+func TestReadPeersGroupDirectives(t *testing.T) {
+	path := writeTemp(t, "group 0 0 1 2\ngroup 1 3 4 5\n0 a:1\n1 b:2\n2 c:3\n3 d:4\n4 e:5\n5 f:6\n")
+	peers, _, groups, err := readPeers(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 6 || len(groups) != 2 {
+		t.Fatalf("got %d peers in %d groups, want 6 in 2", len(peers), len(groups))
+	}
+	if len(groups[1]) != 3 || groups[1][0] != 3 {
+		t.Fatalf("group 1 = %v", groups[1])
+	}
+}
+
+func TestReadPeersGroupValidation(t *testing.T) {
+	for name, content := range map[string]string{
+		"sparse gid":    "group 1 0 1\n0 a:1\n1 b:2\n",
+		"dup member":    "group 0 0 1\ngroup 1 1 2\n0 a:1\n1 b:2\n2 c:3\n",
+		"ungrouped id":  "group 0 0 1\n0 a:1\n1 b:2\n2 c:3\n",
+		"no address":    "group 0 0 1 2\n0 a:1\n1 b:2\n",
+		"empty group":   "group 0\n0 a:1\n",
+		"bad member id": "group 0 zero\n0 a:1\n",
+	} {
+		if _, _, _, err := readPeers(writeTemp(t, content)); err == nil {
+			t.Errorf("%s: want an error", name)
+		}
 	}
 }
 

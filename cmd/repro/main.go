@@ -70,6 +70,7 @@ var registry = map[string]runner{
 	"async":       experiments.Async,
 	"hierarchy":   experiments.Hierarchy,
 	"hierscale":   experiments.HierScale,
+	"hierfail":    experiments.HierFail,
 	"fxplore":     experiments.FXplore,
 	"safety":      experiments.Safety,
 	"scaling":     experiments.Scaling,

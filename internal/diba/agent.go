@@ -78,6 +78,13 @@ type Agent struct {
 	// rejoin round when it itself came back from a restart.
 	rejoined   map[int]rejoinRecord
 	rejoinedAt int
+
+	// hierSink receives hierarchical control-plane messages (MsgLease,
+	// MsgLeaseAck, MsgAggHello) that arrive interleaved with round traffic.
+	// It is called synchronously from gather, so it must only record the
+	// message — HierAgent buffers them and acts between rounds. Nil for a
+	// flat agent, which drops them.
+	hierSink func(Message)
 }
 
 // AgentState is an agent's externally visible state after a run.
@@ -332,6 +339,17 @@ func (a *Agent) gather() (map[int]Message, error) {
 			continue
 		case MsgRejoinAck:
 			continue // only meaningful inside Agent.Rejoin
+		case MsgLease, MsgLeaseAck, MsgAggHello:
+			if a.hierSink != nil {
+				a.hierSink(m)
+			}
+			continue
+		}
+		if m.Kind != MsgEstimate {
+			// Control frame from a newer build in a mixed-version cluster:
+			// misreading it as a round message would corrupt the arithmetic,
+			// so drop it.
+			continue
 		}
 		if ft {
 			a.noteRound(m)
@@ -355,6 +373,40 @@ func (a *Agent) gather() (map[int]Message, error) {
 		}
 	}
 	return got, nil
+}
+
+// SetHierSink installs the hierarchical control-plane tap: gather hands
+// every MsgLease/MsgLeaseAck/MsgAggHello to fn instead of dropping it. fn
+// runs synchronously inside gather and must not block or touch agent state;
+// HierAgent uses it to buffer control messages for processing between
+// rounds.
+func (a *Agent) SetHierSink(fn func(Message)) { a.hierSink = fn }
+
+// setBudgetBase repoints the agent's configured budget at w and rebuilds
+// its current view (budget0 minus every known dead node's frozen share).
+// This is pure bookkeeping — it does not touch p or e — so the hierarchical
+// runtime can recompute a group's budget view exactly from its integer
+// lease on every change, keeping members bitwise identical.
+func (a *Agent) setBudgetBase(w float64) {
+	a.budget0 = w
+	a.budget = w
+	a.recomputeBudget()
+}
+
+// nudgeEstimate shifts the agent's surplus estimate by delta (a budget
+// increase arrives as a negative delta: more budget, more surplus). If the
+// estimate turns non-negative the agent sheds power immediately, down to
+// its idle cap — the same emergency rule as SetBudgetDelta.
+func (a *Agent) nudgeEstimate(delta float64) {
+	a.e += delta
+	if a.e >= 0 {
+		drop := a.e + emergencyShedMarginW
+		if maxDrop := a.p - a.util.MinPower(); drop > maxDrop {
+			drop = maxDrop
+		}
+		a.p -= drop
+		a.e -= drop
+	}
 }
 
 // SetBudgetDelta applies a cluster budget change of totalDelta watts,

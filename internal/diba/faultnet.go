@@ -376,3 +376,33 @@ func (p *FaultPlan) String() string {
 	return fmt.Sprintf("seed=%d delay=%.2f(max %v) dup=%.2f reorder=%.2f drop=%.2f crash=%v partitions=%d",
 		p.Seed, p.DelayProb, p.MaxDelay, p.DupProb, p.ReorderProb, p.DropProb, p.CrashAfterSends, len(p.Partitions))
 }
+
+// IsolateNode builds the partition windows that cut node off from every
+// peer for [start, start+dur) — the chaos plan that targets an aggregate
+// agent without killing its process (it keeps running, deposed and blind).
+func IsolateNode(node int, peers []int, start, dur time.Duration) []Partition {
+	out := make([]Partition, 0, len(peers))
+	for _, p := range peers {
+		if p == node {
+			continue
+		}
+		out = append(out, Partition{A: node, B: p, Start: start, Dur: dur})
+	}
+	return out
+}
+
+// SeverGroups builds the partition windows that cut every a-member off
+// from every b-member for [start, start+dur) — an inter-level outage that
+// leaves both groups internally healthy but unable to exchange leases.
+func SeverGroups(a, b []int, start, dur time.Duration) []Partition {
+	out := make([]Partition, 0, len(a)*len(b))
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				continue
+			}
+			out = append(out, Partition{A: x, B: y, Start: start, Dur: dur})
+		}
+	}
+	return out
+}

@@ -1,0 +1,633 @@
+package diba
+
+import (
+	"fmt"
+	"sort"
+
+	"powercap/internal/workload"
+)
+
+// hieragent.go is the distributed hierarchical runtime: the process-level
+// counterpart of the in-process HierEngine (hierarchy.go). Each group of
+// leaf agents runs plain DiBA consensus against its group's budget lease
+// instead of the cluster budget B; one member per group — the aggregate
+// agent — additionally participates in the upper ring on the group's
+// behalf, exchanging lease transfers with the aggregates of adjacent
+// groups so budget migrates toward overloaded groups.
+//
+// Robustness model:
+//
+//   - Election is deterministic rank order: the acting aggregate is the
+//     lowest-id live member, per each member's local dead set (the PR 2
+//     failure detector). No votes — when the aggregate dies, every
+//     survivor independently agrees on the successor.
+//   - The aggregate's authority is fenced by an epoch: each promotion
+//     bumps it, lease floods carry (epoch, seq) and members accept only
+//     lexicographically newer values, and upper-ring peers echo the
+//     highest epoch they have seen for a group (Message.Act in the lease
+//     ack) so a deposed aggregate that survived a false suspicion or a
+//     healed partition demotes itself instead of split-brain leasing.
+//   - A freshly promoted successor is a *candidate*: it has no transfer
+//     ledger, so its lease view is provisional (the last flooded value).
+//     It rebuilds the exact ledger from its upper-ring neighbors' echoes
+//     (lease.go) and is confirmed — renewing leases, allowed to donate —
+//     only once every edge has synced. If the group is partitioned from
+//     the upper level, confirmation never comes, the lease TTL expires,
+//     and every member independently freezes at the last leased budget
+//     minus the freeze margin — never the full cluster B.
+//   - Leases are TTL'd in rounds of each member's own counter: the
+//     confirmed aggregate re-floods every RenewEvery rounds, and a member
+//     that has not accepted a newer (epoch, seq) within LeaseTTL rounds
+//     freezes as above. Any later valid flood unfreezes it.
+//
+// Budget-view plumbing: a lease change reaches the group as
+// setBudgetBase(LeaseWatts(lease)) at every member — recomputed from the
+// integer milliwatt lease, so member views are bitwise identical — while
+// the estimate shift that keeps Σe = Σp − B conserved is absorbed entirely
+// by the aggregate (nudgeEstimate of −Δ). The freeze margin is the one
+// exception: freezing is a local, uncoordinated act, so each member
+// absorbs margin/m itself. Leaf deaths inside the group compose with all
+// of this unchanged — the PR 2/PR 4 reconciliation runs against the lease
+// base (budget0 is the lease), so a rejoin restores the group view to
+// exactly its leased share.
+
+// HierTopo describes a two-level hierarchy: leaf groups of node ids (each
+// group runs its own DiBA ring), with the groups forming the upper ring in
+// index order. BudgetW is the cluster budget, IdleW each node's idle power.
+type HierTopo struct {
+	Groups  [][]int
+	BudgetW float64
+	IdleW   float64
+}
+
+// Validate checks the topology: at least one group, every group with at
+// least two members (a one-node group has no ring), no duplicate ids.
+func (t HierTopo) Validate() error {
+	if len(t.Groups) == 0 {
+		return fmt.Errorf("diba: hier topology has no groups")
+	}
+	seen := make(map[int]bool)
+	for g, members := range t.Groups {
+		if len(members) < 2 {
+			return fmt.Errorf("diba: group %d has %d member(s), need >= 2", g, len(members))
+		}
+		for _, id := range members {
+			if seen[id] {
+				return fmt.Errorf("diba: node %d appears in two groups", id)
+			}
+			seen[id] = true
+		}
+	}
+	if t.BudgetW <= t.IdleW*float64(len(seen)) {
+		return fmt.Errorf("diba: budget %.1f W cannot cover %d nodes' idle power", t.BudgetW, len(seen))
+	}
+	return nil
+}
+
+// GroupOf returns the group index holding id, or -1.
+func (t HierTopo) GroupOf(id int) int {
+	for g, members := range t.Groups {
+		for _, m := range members {
+			if m == id {
+				return g
+			}
+		}
+	}
+	return -1
+}
+
+// groupMembers returns group g's members in ascending id order — the rank
+// order of the aggregate election.
+func (t HierTopo) groupMembers(g int) []int {
+	ms := append([]int(nil), t.Groups[g]...)
+	sort.Ints(ms)
+	return ms
+}
+
+// LeafNeighbors returns id's ring neighbors within its own group.
+func (t HierTopo) LeafNeighbors(id int) []int {
+	g := t.GroupOf(id)
+	if g < 0 {
+		return nil
+	}
+	ms := t.groupMembers(g)
+	idx := sort.SearchInts(ms, id)
+	set := map[int]bool{
+		ms[(idx+1)%len(ms)]:         true,
+		ms[(idx-1+len(ms))%len(ms)]: true,
+	}
+	delete(set, id)
+	out := make([]int, 0, len(set))
+	for nb := range set {
+		out = append(out, nb)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AdjacentGroups returns the upper-ring neighbors of group g (its
+// predecessor and successor in index order, deduplicated).
+func (t HierTopo) AdjacentGroups(g int) []int {
+	n := len(t.Groups)
+	if n <= 1 {
+		return nil
+	}
+	set := map[int]bool{(g + 1) % n: true, (g - 1 + n) % n: true}
+	delete(set, g)
+	out := make([]int, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// UpperPeers returns every member of every group adjacent to id's group —
+// the nodes id must be able to reach so that hierarchical control messages
+// find whoever is currently acting as those groups' aggregate.
+func (t HierTopo) UpperPeers(id int) []int {
+	g := t.GroupOf(id)
+	if g < 0 {
+		return nil
+	}
+	var out []int
+	for _, ag := range t.AdjacentGroups(g) {
+		out = append(out, t.groupMembers(ag)...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// GenesisMw returns the groups' genesis lease shares in milliwatts,
+// proportional to group size and summing to LeaseMilliwatts(BudgetW)
+// exactly (lease.go).
+func (t HierTopo) GenesisMw() ([]int64, error) {
+	sizes := make([]int, len(t.Groups))
+	for g, members := range t.Groups {
+		sizes[g] = len(members)
+	}
+	return GenesisLeases(LeaseMilliwatts(t.BudgetW), sizes)
+}
+
+// HierPolicy tunes the lease protocol. All round counts are in rounds of
+// each member's own leaf counter.
+type HierPolicy struct {
+	// LeaseTTL is how many rounds a lease view stays valid with no newer
+	// flood accepted before the member freezes.
+	LeaseTTL int
+	// RenewEvery is how often a confirmed aggregate re-floods the lease.
+	RenewEvery int
+	// ExchangeEvery is how often a confirmed aggregate sends AggHello to
+	// its adjacent groups (candidates send every round until synced).
+	ExchangeEvery int
+	// FreezeMarginW is subtracted from the last leased budget when a
+	// member freezes — the degraded-mode safety margin.
+	FreezeMarginW float64
+	// MaxLeaseStepW caps a single donation.
+	MaxLeaseStepW float64
+	// TransferThresholdW is the minimum slack gap (donor minus asker, in
+	// watts) before any donation happens — hysteresis against churn.
+	TransferThresholdW float64
+	// FloorMarginW keeps a donor's lease at least this far above its
+	// group's total idle power.
+	FloorMarginW float64
+}
+
+func (p HierPolicy) withDefaults() HierPolicy {
+	if p.LeaseTTL <= 0 {
+		p.LeaseTTL = 12
+	}
+	if p.RenewEvery <= 0 {
+		p.RenewEvery = 4
+	}
+	if p.ExchangeEvery <= 0 {
+		p.ExchangeEvery = 4
+	}
+	if p.FreezeMarginW <= 0 {
+		p.FreezeMarginW = emergencyShedMarginW
+	}
+	if p.MaxLeaseStepW <= 0 {
+		p.MaxLeaseStepW = 50
+	}
+	if p.TransferThresholdW <= 0 {
+		p.TransferThresholdW = 5
+	}
+	if p.FloorMarginW <= 0 {
+		p.FloorMarginW = 1
+	}
+	return p
+}
+
+// leaseTransfer computes the donation (milliwatts) a donor group makes to
+// an asker whose slack lags the donor's by gap watts: a quarter of the gap
+// per exchange (geometric approach, no oscillation), capped by the policy
+// step and by the donor's floor. Zero when the gap is under the threshold.
+func leaseTransfer(donorSlackW, askerSlackW float64, donorLeaseMw, donorFloorMw int64, pol HierPolicy) int64 {
+	gap := donorSlackW - askerSlackW
+	if gap <= pol.TransferThresholdW {
+		return 0
+	}
+	step := gap / 4
+	if step > pol.MaxLeaseStepW {
+		step = pol.MaxLeaseStepW
+	}
+	t := LeaseMilliwatts(step)
+	if room := donorLeaseMw - donorFloorMw; t > room {
+		t = room
+	}
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+// HierAgent wraps one leaf Agent with the hierarchical lease protocol. It
+// is driven like an Agent — one Step per BSP round — and is not safe for
+// concurrent use.
+type HierAgent struct {
+	ag  *Agent
+	pol HierPolicy
+
+	group     int
+	rank      int
+	members   []int // own group, ascending id = rank order
+	adjGroups []int
+	upperPeer map[int][]int // adjacent group -> its members
+	genesisMw int64
+	idleW     float64
+
+	// Lease view (every member).
+	leaseMw   int64
+	epoch     int
+	renewSeq  int
+	lastRenew int
+	frozen    bool
+
+	// Aggregate state (nil/false on plain members).
+	aggActive  bool
+	aggSynced  bool
+	ledger     *LeaseLedger
+	peerEpochs map[int]int
+
+	round        int
+	lastExchange int
+	inbox        []Message
+}
+
+// NewHierAgent builds the hierarchical agent for node id. The underlying
+// leaf Agent runs the group's ring with the group's genesis lease as its
+// budget; install a FaultPolicy (FaultPolicy method) to enable failover.
+func NewHierAgent(topo HierTopo, pol HierPolicy, id int, u workload.Utility, cfg Config, tr Transport) (*HierAgent, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	g := topo.GroupOf(id)
+	if g < 0 {
+		return nil, fmt.Errorf("diba: node %d is in no group", id)
+	}
+	genesis, err := topo.GenesisMw()
+	if err != nil {
+		return nil, err
+	}
+	members := topo.groupMembers(g)
+	rank := sort.SearchInts(members, id)
+	ag, err := NewAgent(id, topo.LeafNeighbors(id), u, LeaseWatts(genesis[g]),
+		len(members), topo.IdleW*float64(len(members)), cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	h := &HierAgent{
+		ag:         ag,
+		pol:        pol.withDefaults(),
+		group:      g,
+		rank:       rank,
+		members:    members,
+		adjGroups:  topo.AdjacentGroups(g),
+		upperPeer:  make(map[int][]int),
+		genesisMw:  genesis[g],
+		idleW:      topo.IdleW,
+		leaseMw:    genesis[g],
+		epoch:      1,
+		peerEpochs: make(map[int]int),
+	}
+	for _, a := range h.adjGroups {
+		h.upperPeer[a] = topo.groupMembers(a)
+	}
+	if rank == 0 {
+		// The initial aggregate's ledger is synced by construction: at
+		// round zero no transfer can have happened, so the zero counters
+		// are exact.
+		h.aggActive, h.aggSynced = true, true
+		h.ledger = NewLeaseLedger(h.genesisMw, h.adjGroups, true)
+	}
+	ag.SetHierSink(func(m Message) { h.inbox = append(h.inbox, m) })
+	return h, nil
+}
+
+// Agent returns the underlying leaf agent.
+func (h *HierAgent) Agent() *Agent { return h.ag }
+
+// FaultPolicy installs fp on the leaf agent. Failover requires it: without
+// failure detection an aggregate death is never observed.
+func (h *HierAgent) FaultPolicy(fp FaultPolicy) { h.ag.SetFaultPolicy(fp) }
+
+// Lease returns the member's current lease view in milliwatts.
+func (h *HierAgent) Lease() int64 { return h.leaseMw }
+
+// Epoch returns the highest aggregate epoch this member has accepted.
+func (h *HierAgent) Epoch() int { return h.epoch }
+
+// Frozen reports whether the member is in lease-expired degraded mode.
+func (h *HierAgent) Frozen() bool { return h.frozen }
+
+// IsAggregate reports whether this member currently acts as its group's
+// aggregate (confirmed or candidate).
+func (h *HierAgent) IsAggregate() bool { return h.aggActive }
+
+// Confirmed reports whether an acting aggregate's ledger is synced — it
+// renews leases and may donate.
+func (h *HierAgent) Confirmed() bool { return h.aggActive && h.aggSynced }
+
+// Group returns the member's group index; Rank its election rank.
+func (h *HierAgent) Group() int { return h.group }
+func (h *HierAgent) Rank() int  { return h.rank }
+
+// Round returns how many rounds this member has completed.
+func (h *HierAgent) Round() int { return h.round }
+
+// Step runs one leaf BSP round, then the hierarchical control work queued
+// during it: lease floods, ledger exchanges, role changes, renewals, TTL
+// expiry. Control messages never touch the in-round arithmetic — they are
+// buffered by the gather sink and processed only here, between rounds.
+func (h *HierAgent) Step() error {
+	if err := h.ag.StepOnce(); err != nil {
+		return err
+	}
+	h.round++
+	h.afterRound()
+	return nil
+}
+
+func (h *HierAgent) id() int { return h.ag.ID }
+
+func (h *HierAgent) send(to int, m Message) { _ = h.ag.tr.Send(to, m) }
+
+func (h *HierAgent) afterRound() {
+	msgs := h.inbox
+	h.inbox = h.inbox[:0]
+	for _, m := range msgs {
+		switch m.Kind {
+		case MsgLease:
+			h.handleLease(m)
+		case MsgLeaseAck:
+			h.handleLeaseAck(m)
+		case MsgAggHello:
+			h.handleAggHello(m)
+		}
+	}
+	h.updateRole()
+	if h.aggActive && h.aggSynced {
+		if h.round-h.lastRenew >= h.pol.RenewEvery {
+			h.renewLease()
+		}
+	} else if !h.frozen && h.round-h.lastRenew > h.pol.LeaseTTL {
+		h.freeze()
+	}
+	if h.aggActive && (!h.aggSynced || h.round-h.lastExchange >= h.pol.ExchangeEvery) {
+		h.sendHellos()
+	}
+}
+
+// updateRole runs the deterministic election: the acting aggregate is the
+// lowest-id member not in the local dead set. Every survivor evaluates the
+// same rule, so after the death epidemic converges they agree without
+// voting; epoch fencing covers the window where they do not.
+func (h *HierAgent) updateRole() {
+	dead := make(map[int]bool)
+	for _, d := range h.ag.DeadNodes() {
+		dead[d] = true
+	}
+	leader := -1
+	for _, m := range h.members {
+		if !dead[m] {
+			leader = m
+			break
+		}
+	}
+	switch {
+	case leader == h.id() && !h.aggActive:
+		h.promote()
+	case leader != h.id() && h.aggActive:
+		h.demote()
+	}
+}
+
+// promote makes this member a candidate aggregate: fresh epoch, fresh
+// (unsynced) ledger. It starts helloing the upper ring immediately but
+// neither renews nor donates until the ledger syncs.
+func (h *HierAgent) promote() {
+	h.epoch++
+	h.renewSeq = 0
+	h.aggActive = true
+	h.aggSynced = false
+	h.ledger = NewLeaseLedger(h.genesisMw, h.adjGroups, false)
+}
+
+// demote strips aggregate state: a higher epoch exists (or a lower-ranked
+// member rejoined), so this member reverts to following lease floods.
+func (h *HierAgent) demote() {
+	h.aggActive, h.aggSynced = false, false
+	h.ledger = nil
+}
+
+// maybeConfirm promotes a candidate to confirmed aggregate once its ledger
+// has synced every upper-ring edge, adopting the ledger's exact lease and
+// flooding it (which also unfreezes any member that froze while the group
+// was orphaned).
+func (h *HierAgent) maybeConfirm() {
+	if h.aggActive && !h.aggSynced && h.ledger.Synced() {
+		h.aggSynced = true
+		h.adoptLease(h.ledger.Lease())
+	}
+}
+
+// syncLease re-derives the lease from the ledger after a merge and adopts
+// any change (e.g. a donation received via a peer's hello or ack).
+func (h *HierAgent) syncLease() {
+	if h.aggActive && h.aggSynced && h.ledger.Lease() != h.leaseMw {
+		h.adoptLease(h.ledger.Lease())
+	}
+}
+
+// applyView moves this member's lease view to newMw: the budget base is
+// recomputed from the integer lease (bitwise identical across members) and
+// a frozen member returns its freeze-margin share to its estimate. The
+// estimate shift for the lease delta itself is the aggregate's to absorb
+// (adoptLease), not the member's.
+func (h *HierAgent) applyView(newMw int64) {
+	wasFrozen := h.frozen
+	if newMw == h.leaseMw && !wasFrozen {
+		return
+	}
+	h.frozen = false
+	h.leaseMw = newMw
+	h.ag.setBudgetBase(LeaseWatts(newMw))
+	if wasFrozen {
+		h.ag.nudgeEstimate(-h.pol.FreezeMarginW / float64(len(h.members)))
+	}
+}
+
+// adoptLease is the aggregate-side lease change: apply the new view,
+// absorb the full estimate delta locally (budget up, surplus up), bump the
+// renewal sequence and flood the group.
+func (h *HierAgent) adoptLease(newMw int64) {
+	old := h.leaseMw
+	h.applyView(newMw)
+	if delta := LeaseWatts(newMw) - LeaseWatts(old); delta != 0 {
+		h.ag.nudgeEstimate(-delta)
+	}
+	h.renewLease()
+}
+
+// renewLease floods the current lease under a fresh sequence number and
+// refreshes the aggregate's own TTL clock.
+func (h *HierAgent) renewLease() {
+	h.renewSeq++
+	h.lastRenew = h.round
+	h.floodLease()
+}
+
+// floodLease starts (or relays) the intra-group lease epidemic over the
+// leaf links. Receivers accept only lexicographically newer (epoch, seq),
+// so the relay terminates.
+func (h *HierAgent) floodLease() {
+	out := Message{From: h.id(), Kind: MsgLease, Group: h.group,
+		Epoch: h.epoch, Seq: h.renewSeq, Lease: h.leaseMw, Round: h.round}
+	for _, nb := range h.ag.Neighbors {
+		h.send(nb, out)
+	}
+}
+
+// slackW estimates the group's total surplus headroom in watts from the
+// local estimate (estimates equalize within the group, so e·m tracks Σe;
+// negative e is slack).
+func (h *HierAgent) slackW() float64 {
+	return -h.ag.Estimate() * float64(len(h.members))
+}
+
+// floorMw is the lease floor a donor must keep: the group's idle power
+// plus the policy margin.
+func (h *HierAgent) floorMw() int64 {
+	return LeaseMilliwatts(h.idleW*float64(len(h.members)) + h.pol.FloorMarginW)
+}
+
+// sendHellos sends this aggregate's per-edge ledger state and demand to
+// every member of each adjacent group — every member, because which of
+// them currently acts as aggregate is unknowable here; non-aggregates
+// drop the frame after noting the epoch.
+func (h *HierAgent) sendHellos() {
+	h.lastExchange = h.round
+	slack := h.slackW()
+	for _, g := range h.adjGroups {
+		out := Message{From: h.id(), Kind: MsgAggHello, Group: h.group,
+			Epoch: h.epoch, E: slack, Cum: h.ledger.Given(g),
+			Lease: h.ledger.Taken(g), Round: h.round}
+		for _, peer := range h.upperPeer[g] {
+			h.send(peer, out)
+		}
+	}
+}
+
+// handleLease processes one intra-group lease flood.
+func (h *HierAgent) handleLease(m Message) {
+	if m.Group != h.group {
+		return
+	}
+	if m.Epoch < h.epoch || (m.Epoch == h.epoch && m.Seq <= h.renewSeq) {
+		return // stale or already seen
+	}
+	if h.aggActive && m.Epoch > h.epoch {
+		// A successor with a fresher epoch exists: we were deposed (false
+		// suspicion, healed partition) — follow it.
+		h.demote()
+	}
+	h.epoch, h.renewSeq = m.Epoch, m.Seq
+	h.lastRenew = h.round
+	h.applyView(m.Lease)
+	// Relay the epidemic (receivers drop anything not strictly newer).
+	for _, nb := range h.ag.Neighbors {
+		if nb != m.From {
+			h.send(nb, m)
+		}
+	}
+}
+
+// handleAggHello processes an adjacent group's ledger exchange: merge the
+// edge counters, reconcile the lease, decide a donation (donor-first: the
+// cut is committed and flooded before the ack leaves, so a lost ack
+// strands power rather than minting it), and ack with post-commit state.
+func (h *HierAgent) handleAggHello(m Message) {
+	g := m.Group
+	if g == h.group {
+		return
+	}
+	if m.Epoch > h.peerEpochs[g] {
+		h.peerEpochs[g] = m.Epoch
+	}
+	if !h.aggActive {
+		return
+	}
+	if _, adjacent := h.upperPeer[g]; !adjacent {
+		return
+	}
+	h.ledger.Merge(g, m.Cum, m.Lease)
+	h.maybeConfirm()
+	h.syncLease()
+	if h.aggSynced && !h.frozen {
+		t := leaseTransfer(h.slackW(), m.E, h.ledger.Lease(), h.floorMw(), h.pol)
+		if t > 0 {
+			h.ledger.Donate(g, t)
+			h.adoptLease(h.ledger.Lease())
+		}
+	}
+	h.send(m.From, Message{From: h.id(), Kind: MsgLeaseAck, Group: h.group,
+		Epoch: h.epoch, E: h.slackW(), Cum: h.ledger.Given(g),
+		Lease: h.ledger.Taken(g), Act: h.peerEpochs[g], Round: h.round})
+}
+
+// handleLeaseAck processes the reply to our hello: fencing first (the ack
+// echoes the highest epoch the peer has seen for OUR group — higher than
+// ours means we are deposed), then the same merge/reconcile as a hello.
+func (h *HierAgent) handleLeaseAck(m Message) {
+	g := m.Group
+	if g == h.group {
+		return
+	}
+	if m.Epoch > h.peerEpochs[g] {
+		h.peerEpochs[g] = m.Epoch
+	}
+	if m.Act > h.epoch {
+		h.demote()
+		return
+	}
+	if !h.aggActive {
+		return
+	}
+	if _, adjacent := h.upperPeer[g]; !adjacent {
+		return
+	}
+	h.ledger.Merge(g, m.Cum, m.Lease)
+	h.maybeConfirm()
+	h.syncLease()
+}
+
+// freeze enters lease-expired degraded mode: the member rebases to the
+// last leased budget minus the freeze margin and absorbs its 1/m share of
+// the margin into its estimate (shedding immediately if that flips the
+// estimate non-negative). Freezing is local and uncoordinated — it is what
+// a member does precisely when nobody can tell it anything.
+func (h *HierAgent) freeze() {
+	h.frozen = true
+	h.ag.setBudgetBase(LeaseWatts(h.leaseMw) - h.pol.FreezeMarginW)
+	h.ag.nudgeEstimate(h.pol.FreezeMarginW / float64(len(h.members)))
+}

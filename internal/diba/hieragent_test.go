@@ -1,0 +1,349 @@
+package diba
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"powercap/internal/workload"
+)
+
+// hierSample is one member's externally visible state after a round,
+// recorded by the member's own goroutine (no cross-goroutine reads).
+type hierSample struct {
+	p, budget float64
+	lease     int64
+	frozen    bool
+	agg       bool
+	epoch     int
+}
+
+type hierRun struct {
+	agents []*HierAgent
+	hist   [][]hierSample
+	errs   []error
+}
+
+// runHierCluster spins one goroutine per node, each driving its HierAgent
+// for the given number of rounds (or until it crashes), and returns the
+// final agents plus per-round histories. plan and fp may be nil for a
+// fault-free run.
+func runHierCluster(t *testing.T, topo HierTopo, pol HierPolicy, fp *FaultPolicy, plan *FaultPlan, us []workload.Utility, rounds int) *hierRun {
+	t.Helper()
+	n := len(us)
+	net := NewChanNetwork(n, 1024)
+	run := &hierRun{
+		agents: make([]*HierAgent, n),
+		hist:   make([][]hierSample, n),
+		errs:   make([]error, n),
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var tr Transport = net.Endpoint(id)
+			if plan != nil {
+				tr = NewFaultTransport(tr, id, plan)
+			}
+			h, err := NewHierAgent(topo, pol, id, us[id], Config{}, tr)
+			if err != nil {
+				run.errs[id] = err
+				return
+			}
+			if fp != nil {
+				h.FaultPolicy(*fp)
+			}
+			run.agents[id] = h
+			for r := 0; r < rounds; r++ {
+				if err := h.Step(); err != nil {
+					run.errs[id] = err
+					_ = tr.Close() // a crashed daemon's socket dies with it
+					return
+				}
+				run.hist[id] = append(run.hist[id], hierSample{
+					p: h.ag.p, budget: h.ag.budget, lease: h.leaseMw,
+					frozen: h.frozen, agg: h.aggActive, epoch: h.epoch,
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if plan != nil {
+		plan.Quiesce()
+	}
+	return run
+}
+
+func hierTestTopo(t *testing.T) (HierTopo, []workload.Utility) {
+	t.Helper()
+	us := mkCluster(t, 9, 61)
+	topo := HierTopo{
+		Groups:  [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}},
+		BudgetW: 9 * 170,
+		IdleW:   workload.DefaultServer.IdleWatts,
+	}
+	return topo, us
+}
+
+// requireGroupView asserts every live member of a group ended with the
+// same lease view, bitwise-equal budget views, and internal conservation
+// against the leased budget.
+func requireGroupView(t *testing.T, run *hierRun, members []int, dead map[int]bool, label string) int64 {
+	t.Helper()
+	first := -1
+	var sumP, sumE float64
+	for _, id := range members {
+		if dead[id] {
+			continue
+		}
+		h := run.agents[id]
+		if first < 0 {
+			first = id
+		} else {
+			ref := run.agents[first]
+			if h.leaseMw != ref.leaseMw {
+				t.Fatalf("%s: member %d lease %d != member %d lease %d", label, id, h.leaseMw, first, ref.leaseMw)
+			}
+			if h.ag.budget != ref.ag.budget {
+				t.Fatalf("%s: member %d budget view %v != member %d %v (must be bitwise equal)",
+					label, id, h.ag.budget, first, ref.ag.budget)
+			}
+			if h.epoch != ref.epoch {
+				t.Fatalf("%s: member %d epoch %d != member %d %d", label, id, h.epoch, first, ref.epoch)
+			}
+		}
+		sumP += h.ag.p
+		sumE += h.ag.e
+	}
+	ref := run.agents[first]
+	if gap := sumE - (sumP - ref.ag.budget); gap > 1e-6 || gap < -1e-6 {
+		t.Fatalf("%s: group conservation violated: Σe − (Σp − b) = %v", label, gap)
+	}
+	if sumP > ref.ag.budget+1e-9 {
+		t.Fatalf("%s: group power %v exceeds its budget view %v", label, sumP, ref.ag.budget)
+	}
+	return ref.leaseMw
+}
+
+// sumAggregateLeases adds up the acting aggregates' ledger identities —
+// the quantity that must equal the cluster budget bitwise.
+func sumAggregateLeases(t *testing.T, run *hierRun, aggs []int) int64 {
+	t.Helper()
+	var sum int64
+	for _, id := range aggs {
+		h := run.agents[id]
+		if !h.Confirmed() {
+			t.Fatalf("node %d is not a confirmed aggregate", id)
+		}
+		if got := h.ledger.Lease(); got != h.leaseMw {
+			t.Fatalf("aggregate %d ledger lease %d != flooded lease %d", id, got, h.leaseMw)
+		}
+		sum += h.leaseMw
+	}
+	return sum
+}
+
+// TestHierAgentLeaseSteadyState runs the two-level runtime fault-free: the
+// rank-0 aggregates renew leases, exchange demand over the upper ring and
+// migrate budget between groups; nobody freezes, member views stay bitwise
+// identical per group, and Σ(leases) == B exactly at quiescence.
+func TestHierAgentLeaseSteadyState(t *testing.T) {
+	checkGoroutineLeak(t)
+	topo, us := hierTestTopo(t)
+	pol := HierPolicy{TransferThresholdW: 2, MaxLeaseStepW: 25}
+	run := runHierCluster(t, topo, pol, nil, nil, us, 240)
+	for i, err := range run.errs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+	}
+	budgetMw := LeaseMilliwatts(topo.BudgetW)
+	var sum int64
+	for g, members := range topo.Groups {
+		lease := requireGroupView(t, run, members, nil, "group "+string(rune('0'+g)))
+		sum += lease
+		for _, id := range members {
+			h := run.agents[id]
+			if h.Frozen() {
+				t.Fatalf("member %d frozen in a fault-free run", id)
+			}
+			if h.Epoch() != 1 {
+				t.Fatalf("member %d epoch %d, want 1 (no failover happened)", id, h.Epoch())
+			}
+			if (id == members[0]) != h.IsAggregate() {
+				t.Fatalf("member %d aggregate=%v, want rank-0 only", id, h.IsAggregate())
+			}
+		}
+	}
+	if sum != budgetMw {
+		t.Fatalf("Σ(leases) = %d mw, want exactly %d", sum, budgetMw)
+	}
+	if got := sumAggregateLeases(t, run, []int{0, 3, 6}); got != budgetMw {
+		t.Fatalf("Σ over aggregate ledgers = %d, want %d", got, budgetMw)
+	}
+}
+
+// TestHierAggregateKillFailoverReconcilesLeases is the tentpole's crash
+// drill, in process: group 1's aggregate is crash-injected mid-run. The
+// survivors detect it, reconcile the leaf budget by the frozen-state
+// identity, elect the next rank, which rebuilds the transfer ledger from
+// its upper-ring neighbors' echoes and resumes renewals under a fresh
+// epoch — and Σ(leases) over the acting aggregates is exactly B again.
+func TestHierAggregateKillFailoverReconcilesLeases(t *testing.T) {
+	checkGoroutineLeak(t)
+	topo, us := hierTestTopo(t)
+	const victim = 3 // rank-0 of group 1
+	pol := HierPolicy{TransferThresholdW: 2, MaxLeaseStepW: 25}
+	plan := &FaultPlan{Seed: 19, DelayProb: 1.0, MaxDelay: 1500 * time.Microsecond,
+		CrashAfterSends: map[int]int{victim: 301}}
+	fp := FaultPolicy{GatherTimeout: 300 * time.Millisecond, Recover: true}
+	run := runHierCluster(t, topo, pol, &fp, plan, us, 400)
+
+	for i, err := range run.errs {
+		if i == victim {
+			if !errors.Is(err, ErrCrashed) {
+				t.Fatalf("victim error = %v, want injected crash", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+	}
+	dead := map[int]bool{victim: true}
+	var sum int64
+	for g, members := range topo.Groups {
+		sum += requireGroupView(t, run, members, dead, "group "+string(rune('0'+g)))
+	}
+	if budgetMw := LeaseMilliwatts(topo.BudgetW); sum != budgetMw {
+		t.Fatalf("Σ(leases) after failover = %d mw, want exactly %d", sum, budgetMw)
+	}
+	// The successor is the next rank, confirmed, under a bumped epoch.
+	succ := run.agents[4]
+	if !succ.Confirmed() || succ.Epoch() < 2 {
+		t.Fatalf("successor state: confirmed=%v epoch=%d, want confirmed at epoch >= 2",
+			succ.Confirmed(), succ.Epoch())
+	}
+	if run.agents[5].IsAggregate() {
+		t.Fatal("rank-2 member must not act as aggregate while rank-1 lives")
+	}
+	for _, id := range []int{4, 5} {
+		got := run.agents[id].ag.DeadNodes()
+		if len(got) != 1 || got[0] != victim {
+			t.Fatalf("member %d dead set %v, want [%d]", id, got, victim)
+		}
+		if run.agents[id].Frozen() {
+			t.Fatalf("member %d frozen after successful failover", id)
+		}
+	}
+	if got := sumAggregateLeases(t, run, []int{0, 4, 6}); got != LeaseMilliwatts(topo.BudgetW) {
+		t.Fatalf("Σ over aggregate ledgers = %d, want %d", got, LeaseMilliwatts(topo.BudgetW))
+	}
+}
+
+// TestHierInterLevelPartitionFreezeAndHeal forces the lease-expiry path:
+// group 1 is severed from the upper ring AND loses its aggregate inside
+// the outage, so the successor stays an unconfirmed candidate, the lease
+// TTL expires, and every surviving member freezes at the last leased
+// budget minus the freeze margin — never the full cluster B. When the
+// partition heals, the candidate syncs its ledger from the neighbors'
+// echoes, confirms, re-floods, the group thaws, and Σ(leases) == B holds
+// bitwise again. Transfers are disabled (threshold above any slack gap) so
+// the per-round power sums are assertable against the static leases.
+func TestHierInterLevelPartitionFreezeAndHeal(t *testing.T) {
+	checkGoroutineLeak(t)
+	topo, us := hierTestTopo(t)
+	const victim = 3
+	group1 := []int{3, 4, 5}
+	others := []int{0, 1, 2, 6, 7, 8}
+	pol := HierPolicy{LeaseTTL: 10, RenewEvery: 3, FreezeMarginW: 3, TransferThresholdW: 1e9}
+	// The 3ms per-message delay paces rounds so the fixed wall-clock heal
+	// lands well before the round budget runs out, with margin to spare on
+	// slow (or race-instrumented) machines.
+	plan := &FaultPlan{Seed: 23, DelayProb: 1.0, MaxDelay: 3 * time.Millisecond,
+		CrashAfterSends: map[int]int{victim: 451},
+		Partitions:      SeverGroups(group1, others, 100*time.Millisecond, 1200*time.Millisecond)}
+	fp := FaultPolicy{GatherTimeout: 250 * time.Millisecond, Recover: true}
+	run := runHierCluster(t, topo, pol, &fp, plan, us, 900)
+
+	for i, err := range run.errs {
+		if i == victim {
+			if !errors.Is(err, ErrCrashed) {
+				t.Fatalf("victim error = %v, want injected crash", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+	}
+	genesis, err := topo.GenesisMw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both orphaned survivors froze during the outage, at (or below, once
+	// the dead leaf's share was reconciled away) lease minus margin.
+	for _, id := range []int{4, 5} {
+		froze := false
+		for _, s := range run.hist[id] {
+			if s.frozen {
+				froze = true
+				if s.lease != genesis[1] {
+					t.Fatalf("member %d froze at lease %d, want last leased %d", id, s.lease, genesis[1])
+				}
+				if max := LeaseWatts(genesis[1]) - pol.FreezeMarginW; s.budget > max+1e-9 {
+					t.Fatalf("member %d frozen budget view %v above lease-minus-margin %v", id, s.budget, max)
+				}
+			}
+		}
+		if !froze {
+			t.Fatalf("member %d never froze during the inter-level outage", id)
+		}
+		if run.agents[id].Frozen() {
+			t.Fatalf("member %d still frozen after the heal", id)
+		}
+	}
+	// Healed: successor confirmed at a fresh epoch, leases exact.
+	succ := run.agents[4]
+	if !succ.Confirmed() || succ.Epoch() < 2 {
+		t.Fatalf("successor confirmed=%v epoch=%d after heal", succ.Confirmed(), succ.Epoch())
+	}
+	dead := map[int]bool{victim: true}
+	var sum int64
+	for g, members := range topo.Groups {
+		lease := requireGroupView(t, run, members, dead, "group "+string(rune('0'+g)))
+		if lease != genesis[g] {
+			t.Fatalf("group %d lease %d != genesis %d (transfers were disabled)", g, lease, genesis[g])
+		}
+		sum += lease
+	}
+	if budgetMw := LeaseMilliwatts(topo.BudgetW); sum != budgetMw {
+		t.Fatalf("Σ(leases) after heal = %d, want exactly %d", sum, budgetMw)
+	}
+	// Degraded operation never overdrew: per-round live power stays under
+	// B (plus the watchdog margin) through crash, freeze and heal. Groups
+	// run independent BSP clocks, but with static leases each group is
+	// individually bounded, so any index alignment of the histories is.
+	budget := topo.BudgetW
+	maxRounds := 0
+	for _, hs := range run.hist {
+		if len(hs) > maxRounds {
+			maxRounds = len(hs)
+		}
+	}
+	for r := 0; r < maxRounds; r++ {
+		var sumP float64
+		for id, hs := range run.hist {
+			if r < len(hs) {
+				sumP += hs[r].p
+			} else if id != victim && len(hs) > 0 {
+				sumP += hs[len(hs)-1].p
+			}
+		}
+		if sumP > budget+3*emergencyShedMarginW+1e-6 {
+			t.Fatalf("round %d: live ΣP = %v exceeds budget %v + margin", r, sumP, budget)
+		}
+	}
+}

@@ -98,7 +98,7 @@ func TestHierStepParallelBitwiseIdenticalWithDeadNodes(t *testing.T) {
 	// (it degrades to a path) and every leader stays up, so both the
 	// cluster and every group remain connected.
 	victims := map[int]int{40: 13, 80: 87}
-	for _, w := range []int{2, 3, 8} {
+	for _, w := range []int{1, 2, 3, 8} {
 		serial := newTestHierLevels(t, counts, []float64{150, 152}, 148, 22)
 		par := newTestHierLevels(t, counts, []float64{150, 152}, 148, 22)
 		defer par.Close()
@@ -118,6 +118,11 @@ func TestHierStepParallelBitwiseIdenticalWithDeadNodes(t *testing.T) {
 			}
 			if r%20 == 0 {
 				requireHierIdentical(t, serial, par, r, "dead-nodes")
+			}
+			// Every round: a stale pool shard holding pre-shrink membership
+			// would break a conservation identity immediately.
+			if err := par.CheckInvariant(1e-6); err != nil {
+				t.Fatalf("w=%d round %d (parallel): %v", w, r, err)
 			}
 		}
 		requireHierIdentical(t, serial, par, rounds, "dead-nodes")

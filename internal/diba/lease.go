@@ -1,0 +1,210 @@
+package diba
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// lease.go is the integer budget-lease accounting of the hierarchical
+// runtime (hieragent.go). The acceptance bar is bitwise: across every
+// failure in the matrix — aggregate crash, inter-level partition, lease
+// expiry — the per-group leases must reconcile to exactly the cluster
+// budget, Σ(leases) == B, not to within a float tolerance. Floating-point
+// transfers cannot deliver that (addition is not associative and transfer
+// amounts differ per observer), so leases live in integer milliwatts:
+//
+//   - GenesisLeases splits B over the groups by cumulative integer
+//     division, so the genesis shares sum to B exactly, by construction.
+//   - Each inter-group edge carries two monotone donation counters, one
+//     per direction, each written by exactly one group (its aggregate of
+//     the moment). A group's lease is the identity
+//
+//       L_g = genesis_g − Σ_edges (given_e − taken_e)
+//
+//     where given is what g donated over the edge and taken is g's view of
+//     the peer's donations. Counters only grow, so views merge by max —
+//     a state-based CRDT — and any interleaving of crashes, replays and
+//     reorderings converges to the same ledger.
+//   - Summing the identity over all groups, each edge contributes
+//     (given_A − taken_B) + (given_B − taken_A). taken is a max-merge of
+//     past values of the peer's given, so taken_B <= given_A always:
+//     Σ L_g <= B at every instant (transfers in flight strand power, never
+//     mint it), with equality — bitwise, it is integer arithmetic — as
+//     soon as both ends of every edge have exchanged one message.
+//
+// Failover is where the single-writer rule earns its keep: a freshly
+// promoted aggregate has no ledger, but every neighbor holds the dead
+// aggregate's given counters as its own taken, and echoes them back in the
+// hello/ack exchange (Message.Cum carries the sender's given, Message.Lease
+// the echo of the receiver's). One exchange per edge rebuilds the exact
+// ledger; until every edge has confirmed (Synced), the successor treats the
+// last flooded lease as provisional and must not donate.
+
+// mwPerW converts between the float watt domain of the consensus plane and
+// the integer milliwatt domain of the lease ledger.
+const mwPerW = 1000
+
+// LeaseMilliwatts converts watts to the ledger's integer milliwatts,
+// rounding to nearest.
+func LeaseMilliwatts(w float64) int64 { return int64(math.Round(w * mwPerW)) }
+
+// LeaseWatts converts ledger milliwatts back to watts.
+func LeaseWatts(mw int64) float64 { return float64(mw) / mwPerW }
+
+// GenesisLeases splits budgetMw over groups proportionally to their sizes,
+// by cumulative integer division: group g gets its cumulative share's end
+// minus its start, so the shares differ by at most 1 mw from proportional
+// and sum to budgetMw exactly. An empty or zero-size group gets 0.
+func GenesisLeases(budgetMw int64, sizes []int) ([]int64, error) {
+	total := 0
+	for g, s := range sizes {
+		if s < 0 {
+			return nil, fmt.Errorf("diba: group %d has negative size %d", g, s)
+		}
+		total += s
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("diba: no nodes across %d groups", len(sizes))
+	}
+	out := make([]int64, len(sizes))
+	var acc int64
+	cum := 0
+	for g, s := range sizes {
+		cum += s
+		end := budgetMw * int64(cum) / int64(total)
+		out[g] = end - acc
+		acc = end
+	}
+	return out, nil
+}
+
+// leaseEdge is one inter-group edge's state as seen from this group: two
+// monotone donation counters and a freshness flag.
+type leaseEdge struct {
+	// given is the net milliwatts this group has donated over the edge.
+	// Written only by this group's acting aggregate; monotone nondecreasing.
+	given int64
+	// taken is this group's view of the peer's donations to it: a max-merge
+	// of the given counter the peer's messages carry. Monotone, and never
+	// ahead of the peer's actual given.
+	taken int64
+	// synced records that at least one message from the peer has been
+	// merged since this ledger was (re)constructed — the edge's counters
+	// are real, not the zero value of a fresh failover.
+	synced bool
+}
+
+// LeaseLedger tracks one group's budget lease as the conservation identity
+// genesis − Σ(given − taken) over its inter-group edges. Not safe for
+// concurrent use; HierAgent mutates it only between rounds.
+type LeaseLedger struct {
+	genesis int64
+	edges   map[int]*leaseEdge
+}
+
+// NewLeaseLedger builds a ledger for a group whose genesis share is
+// genesisMw and whose upper-ring neighbors are peerGroups. synced marks the
+// edges as already confirmed — true only for the initial rank-0 aggregate
+// at round zero, when no transfer can have happened yet; a failover
+// successor starts unsynced and rebuilds the counters from its neighbors'
+// echoes.
+func NewLeaseLedger(genesisMw int64, peerGroups []int, synced bool) *LeaseLedger {
+	l := &LeaseLedger{genesis: genesisMw, edges: make(map[int]*leaseEdge, len(peerGroups))}
+	for _, g := range peerGroups {
+		l.edges[g] = &leaseEdge{synced: synced}
+	}
+	return l
+}
+
+// Genesis returns the group's genesis share in milliwatts.
+func (l *LeaseLedger) Genesis() int64 { return l.genesis }
+
+// Lease evaluates the conservation identity: genesis minus the net
+// milliwatts donated over every edge.
+func (l *LeaseLedger) Lease() int64 {
+	lease := l.genesis
+	for _, e := range l.edges {
+		lease -= e.given - e.taken
+	}
+	return lease
+}
+
+// Synced reports whether every edge has merged at least one peer message
+// since construction. An unsynced ledger's Lease() may undercount what the
+// group already donated, so the aggregate must treat the last flooded lease
+// as provisional and must not donate until Synced.
+func (l *LeaseLedger) Synced() bool {
+	for _, e := range l.edges {
+		if !e.synced {
+			return false
+		}
+	}
+	return true
+}
+
+// EdgeSynced reports whether the edge to peer has been confirmed.
+func (l *LeaseLedger) EdgeSynced(peer int) bool {
+	e, ok := l.edges[peer]
+	return ok && e.synced
+}
+
+// Given returns the net milliwatts donated to peer.
+func (l *LeaseLedger) Given(peer int) int64 {
+	if e, ok := l.edges[peer]; ok {
+		return e.given
+	}
+	return 0
+}
+
+// Taken returns this group's view of peer's donations to it.
+func (l *LeaseLedger) Taken(peer int) int64 {
+	if e, ok := l.edges[peer]; ok {
+		return e.taken
+	}
+	return 0
+}
+
+// Peers returns the ledger's edge peers in ascending group order.
+func (l *LeaseLedger) Peers() []int {
+	out := make([]int, 0, len(l.edges))
+	for g := range l.edges {
+		out = append(out, g)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Donate commits a donation of mw milliwatts to peer: the group's lease
+// drops by mw immediately (donor-first — the recipient raises only when the
+// message carrying the new counter reaches it, so a lost message strands
+// power instead of minting it). mw must be nonnegative; unknown peers and
+// mw <= 0 are no-ops.
+func (l *LeaseLedger) Donate(peer int, mw int64) {
+	if mw <= 0 {
+		return
+	}
+	if e, ok := l.edges[peer]; ok {
+		e.given += mw
+	}
+}
+
+// Merge folds one peer message's edge state in: peerGiven is the peer's own
+// donation counter (raises our taken), echo is the peer's record of OUR
+// donations to it (raises our given — the failover recovery path: a fresh
+// successor's zero counter is restored from what the neighbors witnessed).
+// Both merges are max, so replayed and reordered messages are harmless, and
+// the edge becomes synced. Unknown peers are ignored.
+func (l *LeaseLedger) Merge(peer int, peerGiven, echo int64) {
+	e, ok := l.edges[peer]
+	if !ok {
+		return
+	}
+	if peerGiven > e.taken {
+		e.taken = peerGiven
+	}
+	if echo > e.given {
+		e.given = echo
+	}
+	e.synced = true
+}

@@ -1,0 +1,211 @@
+package diba
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenesisLeasesExactSplit(t *testing.T) {
+	// The genesis shares must sum to the budget bitwise — integer equality,
+	// not a float tolerance — for arbitrary budgets and group shapes.
+	prop := func(budget uint32, rawSizes []uint8) bool {
+		budgetMw := int64(budget)
+		sizes := make([]int, 0, len(rawSizes)+1)
+		total := 0
+		for _, s := range rawSizes {
+			sizes = append(sizes, int(s))
+			total += int(s)
+		}
+		if total == 0 {
+			sizes = append(sizes, 3)
+			total = 3
+		}
+		out, err := GenesisLeases(budgetMw, sizes)
+		if err != nil {
+			return false
+		}
+		var sum int64
+		for g, mw := range out {
+			sum += mw
+			// Each share is within 1 mw of exactly proportional.
+			exact := float64(budgetMw) * float64(sizes[g]) / float64(total)
+			if d := float64(mw) - exact; d > 1 || d < -1 {
+				return false
+			}
+		}
+		return sum == budgetMw
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenesisLeasesValidation(t *testing.T) {
+	if _, err := GenesisLeases(1000, []int{0, 0}); err == nil {
+		t.Fatal("zero-size split must be rejected")
+	}
+	if _, err := GenesisLeases(1000, []int{3, -1}); err == nil {
+		t.Fatal("negative size must be rejected")
+	}
+	out, err := GenesisLeases(1000, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, mw := range out {
+		if mw*3 != 1000 && (mw < 333 || mw > 334) {
+			t.Fatalf("share %d = %d mw, want ~333", g, mw)
+		}
+	}
+}
+
+func TestLeaseMilliwattsRoundTrip(t *testing.T) {
+	for _, w := range []float64{0, 0.001, -0.001, 170.25, 1e6} {
+		if got := LeaseWatts(LeaseMilliwatts(w)); got != w {
+			t.Fatalf("round trip of %v W = %v", w, got)
+		}
+	}
+}
+
+// TestLeaseLedgerConservationUnderChaos drives two groups' ledgers over one
+// edge through random donations from both sides with lossy, duplicated and
+// reordered message delivery. The invariant is the tentpole's: the lease
+// sum never exceeds the budget at any instant (transfers in flight strand
+// power, never mint it), and after a full exchange in both directions it
+// equals the budget exactly — integer equality.
+func TestLeaseLedgerConservationUnderChaos(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 200; trial++ {
+		budget := int64(2_000_000 + rng.Int63n(1_000_000))
+		gen, err := GenesisLeases(budget, []int{3, 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := NewLeaseLedger(gen[0], []int{1}, true)
+		b := NewLeaseLedger(gen[1], []int{0}, true)
+		// Stale message pool: (to, given, echo) tuples that may be
+		// redelivered at any time, modeling duplication and reordering.
+		type msg struct {
+			toA   bool
+			given int64
+			echo  int64
+		}
+		var pool []msg
+		for step := 0; step < 60; step++ {
+			switch rng.Intn(4) {
+			case 0: // a donates
+				a.Donate(1, rng.Int63n(5000))
+			case 1: // b donates
+				b.Donate(0, rng.Int63n(5000))
+			case 2: // a sends its edge state; delivery may be lost
+				m := msg{toA: false, given: a.Given(1), echo: a.Taken(1)}
+				pool = append(pool, m)
+				if rng.Intn(3) != 0 {
+					b.Merge(0, m.given, m.echo)
+				}
+			case 3:
+				m := msg{toA: true, given: b.Given(0), echo: b.Taken(0)}
+				pool = append(pool, m)
+				if rng.Intn(3) != 0 {
+					a.Merge(1, m.given, m.echo)
+				}
+			}
+			if len(pool) > 0 && rng.Intn(2) == 0 {
+				// Replay a random stale message.
+				m := pool[rng.Intn(len(pool))]
+				if m.toA {
+					a.Merge(1, m.given, m.echo)
+				} else {
+					b.Merge(0, m.given, m.echo)
+				}
+			}
+			if sum := a.Lease() + b.Lease(); sum > budget {
+				t.Fatalf("trial %d step %d: Σ leases %d exceeds budget %d", trial, step, sum, budget)
+			}
+		}
+		// One fresh exchange in each direction syncs the edge exactly.
+		b.Merge(0, a.Given(1), a.Taken(1))
+		a.Merge(1, b.Given(0), b.Taken(0))
+		b.Merge(0, a.Given(1), a.Taken(1))
+		if sum := a.Lease() + b.Lease(); sum != budget {
+			t.Fatalf("trial %d: synced Σ leases %d != budget %d", trial, sum, budget)
+		}
+	}
+}
+
+// TestLeaseLedgerFailoverEchoRecovery is the failover identity: a freshly
+// promoted aggregate's zero ledger is rebuilt bitwise from its neighbors'
+// echoes, including donations the dead aggregate made and received.
+func TestLeaseLedgerFailoverEchoRecovery(t *testing.T) {
+	budget := int64(9_000_000)
+	gen, err := GenesisLeases(budget, []int{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(g int, peers []int, synced bool) *LeaseLedger {
+		return NewLeaseLedger(gen[g], peers, synced)
+	}
+	l0 := mk(0, []int{1, 2}, true)
+	l1 := mk(1, []int{0, 2}, true)
+	l2 := mk(2, []int{0, 1}, true)
+	// Group 1's aggregate donates to 2, receives from 0, with full sync.
+	l1.Donate(2, 40_000)
+	l2.Merge(1, l1.Given(2), l1.Taken(2))
+	l1.Merge(2, l2.Given(1), l2.Taken(1))
+	l0.Donate(1, 25_000)
+	l1.Merge(0, l0.Given(1), l0.Taken(1))
+	l0.Merge(1, l1.Given(0), l1.Taken(0))
+	want := l1.Lease()
+	if sum := l0.Lease() + l1.Lease() + l2.Lease(); sum != budget {
+		t.Fatalf("pre-failover Σ = %d, want %d", sum, budget)
+	}
+
+	// Group 1's aggregate dies; the successor starts from nothing.
+	succ := mk(1, []int{0, 2}, false)
+	if succ.Synced() {
+		t.Fatal("fresh failover ledger must start unsynced")
+	}
+	// One hello/ack exchange per edge: the successor's zero counters are
+	// merged harmlessly by the peers, and their echoes rebuild its state.
+	l0.Merge(1, succ.Given(0), succ.Taken(0))
+	succ.Merge(0, l0.Given(1), l0.Taken(1))
+	if succ.Synced() {
+		t.Fatal("one of two edges synced must not confirm the ledger")
+	}
+	l2.Merge(1, succ.Given(2), succ.Taken(2))
+	succ.Merge(2, l2.Given(1), l2.Taken(1))
+	if !succ.Synced() {
+		t.Fatal("both edges exchanged; ledger must be synced")
+	}
+	if succ.Lease() != want {
+		t.Fatalf("recovered lease %d != dead aggregate's %d", succ.Lease(), want)
+	}
+	if sum := l0.Lease() + succ.Lease() + l2.Lease(); sum != budget {
+		t.Fatalf("post-failover Σ = %d, want exactly %d", sum, budget)
+	}
+}
+
+func TestLeaseTransferBounds(t *testing.T) {
+	pol := HierPolicy{}.withDefaults()
+	floor := int64(500_000)
+	lease := int64(900_000)
+	if got := leaseTransfer(3, 0, lease, floor, pol); got != 0 {
+		t.Fatalf("gap under threshold must not transfer, got %d", got)
+	}
+	if got := leaseTransfer(40, 0, lease, floor, pol); got != LeaseMilliwatts(10) {
+		t.Fatalf("quarter-gap transfer = %d, want %d", got, LeaseMilliwatts(10))
+	}
+	if got := leaseTransfer(1000, 0, lease, floor, pol); got != LeaseMilliwatts(pol.MaxLeaseStepW) {
+		t.Fatalf("step cap violated: %d", got)
+	}
+	// Donor floor: never donate below idle + margin.
+	if got := leaseTransfer(1000, 0, floor+2000, floor, pol); got != 2000 {
+		t.Fatalf("floor clamp = %d, want 2000", got)
+	}
+	if got := leaseTransfer(1000, 0, floor, floor, pol); got != 0 {
+		t.Fatalf("at the floor the donor must not donate, got %d", got)
+	}
+	if got := leaseTransfer(0, 40, lease, floor, pol); got != 0 {
+		t.Fatalf("needier donor must not donate, got %d", got)
+	}
+}

@@ -61,6 +61,7 @@ type tcpOptions struct {
 	reconnectTries int
 	codec          WireCodec
 	sendQueue      int
+	maxWire        int
 }
 
 func defaultTCPOptions() tcpOptions {
@@ -73,6 +74,7 @@ func defaultTCPOptions() tcpOptions {
 		reconnectTries: 8,
 		codec:          WireBinary,
 		sendQueue:      256,
+		maxWire:        WireVersion,
 	}
 }
 
@@ -111,6 +113,23 @@ func WithReconnect(min, max time.Duration, tries int) TCPOption {
 // talking to a WireJSON (or pre-wire) peer transparently stays on JSON.
 func WithWireCodec(c WireCodec) TCPOption {
 	return func(o *tcpOptions) { o.codec = c }
+}
+
+// WithWireVersion caps the binary codec version this transport advertises
+// and accepts in the hello exchange (clamped to [1, WireVersion]). The
+// default is WireVersion; lower values emulate an older build for
+// mixed-version interop testing — a v1-capped link carries only v1 bitmap
+// bits, with v2-field messages falling back to JSON per message.
+func WithWireVersion(v int) TCPOption {
+	return func(o *tcpOptions) {
+		if v < 1 {
+			v = 1
+		}
+		if v > WireVersion {
+			v = WireVersion
+		}
+		o.maxWire = v
+	}
 }
 
 // WithSendQueue sets the per-connection outbound queue depth that feeds the
@@ -206,9 +225,9 @@ type TCPTransport struct {
 
 // tcpConn is one live connection. When the send queue is enabled, writes
 // happen only on the connection's writeLoop goroutine; when disabled, Send
-// writes directly under mu. binary is the negotiated write codec — it
-// starts false (JSON) on dialed connections and flips when the peer's
-// hello-ack arrives.
+// writes directly under mu. wire is the negotiated write codec version
+// (0 = JSON, >= 1 = binary up to that bitmap version) — it starts 0 (JSON)
+// on dialed connections and rises when the peer's hello-ack arrives.
 type tcpConn struct {
 	c        net.Conn
 	peer     int
@@ -219,7 +238,7 @@ type tcpConn struct {
 	closing  sync.Once
 	draining sync.Once
 	finished sync.Once
-	binary   atomic.Bool
+	wire     atomic.Int32
 
 	mu      sync.Mutex // serializes direct writes (queue disabled)
 	scratch []byte
@@ -248,11 +267,12 @@ func (conn *tcpConn) finishFlush() {
 // binary codec version the dialer is willing to write and read (0 or
 // absent: JSON only — also what pre-wire peers send, since their decoder
 // ignores the unknown field). An acceptor that is itself binary-configured
-// answers a hello with Wire >= 1 by a tcpHelloAck and starts writing binary
-// frames; the dialer upgrades its write codec when the ack arrives. Both
-// directions therefore carry binary exactly when both endpoints are
-// binary-configured, and any link with a JSON or pre-wire endpoint stays
-// pure JSON.
+// answers a hello with Wire >= 1 by a tcpHelloAck carrying the negotiated
+// version — the lower of the two advertisements — and starts writing binary
+// frames at that version; the dialer upgrades its write codec when the ack
+// arrives. Both directions therefore carry binary exactly when both
+// endpoints are binary-configured, at the highest version both understand,
+// and any link with a JSON or pre-wire endpoint stays pure JSON.
 type tcpHello struct {
 	From int `json:"hello"`
 	Wire int `json:"wire,omitempty"`
@@ -343,12 +363,19 @@ func (t *TCPTransport) handleIncoming(c net.Conn) {
 		c.Close()
 		return
 	}
-	binary := hello.Wire >= WireVersion && t.opt.codec == WireBinary
+	level := hello.Wire
+	if level > t.opt.maxWire {
+		level = t.opt.maxWire
+	}
+	binary := level >= 1 && t.opt.codec == WireBinary
+	if !binary {
+		level = 0
+	}
 	if binary {
-		// Tell the dialer it may upgrade its write codec. Written before the
-		// connection is registered, so it cannot interleave with coalesced
-		// batches.
-		ack, err := json.Marshal(tcpHelloAck{From: t.id, Wire: WireVersion})
+		// Tell the dialer it may upgrade its write codec, and to which
+		// version. Written before the connection is registered, so it cannot
+		// interleave with coalesced batches.
+		ack, err := json.Marshal(tcpHelloAck{From: t.id, Wire: level})
 		if err == nil {
 			line := append(ack, '\n')
 			if t.opt.writeTimeout > 0 {
@@ -368,17 +395,18 @@ func (t *TCPTransport) handleIncoming(c net.Conn) {
 			return
 		}
 	}
-	conn := t.register(hello.From, c, binary)
+	conn := t.register(hello.From, c, level)
 	t.replayLast(hello.From)
 	t.pump(hello.From, br, conn)
 }
 
 // register installs a fresh tcpConn for peer (tearing down any previous
-// one) and starts its coalescing writer.
-func (t *TCPTransport) register(peer int, c net.Conn, binary bool) *tcpConn {
+// one) and starts its coalescing writer. wire is the negotiated write codec
+// version (0 = JSON).
+func (t *TCPTransport) register(peer int, c net.Conn, wire int) *tcpConn {
 	conn := &tcpConn{c: c, peer: peer, done: make(chan struct{}),
 		drain: make(chan struct{}), flushed: make(chan struct{})}
-	conn.binary.Store(binary)
+	conn.wire.Store(int32(wire))
 	if t.opt.sendQueue > 0 {
 		conn.queue = make(chan Message, t.opt.sendQueue)
 	}
@@ -544,8 +572,12 @@ func (t *TCPTransport) pump(peer int, br *bufio.Reader, conn *tcpConn) {
 				st.bytesRecv.Add(uint64(len(line)))
 				if bytes.HasPrefix(line, helloAckPrefix) {
 					var ack tcpHelloAck
-					if json.Unmarshal(line, &ack) == nil && ack.Wire >= WireVersion && t.opt.codec == WireBinary {
-						conn.binary.Store(true)
+					if json.Unmarshal(line, &ack) == nil && ack.Wire >= 1 && t.opt.codec == WireBinary {
+						w := ack.Wire
+						if w > t.opt.maxWire {
+							w = t.opt.maxWire
+						}
+						conn.wire.Store(int32(w))
 					}
 					continue
 				}
@@ -568,9 +600,13 @@ func (t *TCPTransport) pump(peer int, br *bufio.Reader, conn *tcpConn) {
 }
 
 // encodeMsg appends m's wire form in the connection's current write codec,
-// substituting the precomputed frame for heartbeats.
+// substituting the precomputed frame for heartbeats. A message carrying v2
+// fields on a link negotiated at v1 falls back to JSON for that message —
+// the peer's v1 binary decoder would reject the unknown bitmap bits, but
+// its JSON reader parses field-by-field (readers detect the codec per
+// frame).
 func (t *TCPTransport) encodeMsg(buf []byte, conn *tcpConn, m Message) []byte {
-	if conn.binary.Load() {
+	if w := conn.wire.Load(); w >= 2 || (w == 1 && !wireNeedsV2(m)) {
 		if m == t.hbMsg {
 			return append(buf, t.hbBin...)
 		}
@@ -797,7 +833,7 @@ func (t *TCPTransport) dialPeer(peer int, addr string, timeout time.Duration) er
 	}
 	hello := tcpHello{From: t.id}
 	if t.opt.codec == WireBinary {
-		hello.Wire = WireVersion
+		hello.Wire = t.opt.maxWire
 	}
 	js, err := json.Marshal(hello)
 	if err != nil {
@@ -812,7 +848,7 @@ func (t *TCPTransport) dialPeer(peer int, addr string, timeout time.Duration) er
 		return err
 	}
 	c.SetWriteDeadline(time.Time{})
-	conn := t.register(peer, c, false)
+	conn := t.register(peer, c, 0)
 	t.wg.Add(1)
 	go func() {
 		defer t.wg.Done()

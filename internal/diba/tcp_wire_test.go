@@ -2,6 +2,7 @@ package diba
 
 import (
 	"bufio"
+	"io"
 	"net"
 	"testing"
 	"time"
@@ -31,9 +32,9 @@ func wirePair(t *testing.T, optsA, optsB []TCPOption) (a, b *TCPTransport) {
 	return a, b
 }
 
-// connBinary reports whether tr's connection to peer currently writes the
-// binary codec.
-func connBinary(t *testing.T, tr *TCPTransport, peer int) bool {
+// connWire returns the negotiated write codec version of tr's connection to
+// peer (0 = JSON).
+func connWire(t *testing.T, tr *TCPTransport, peer int) int {
 	t.Helper()
 	tr.mu.Lock()
 	conn, ok := tr.conns[peer]
@@ -41,7 +42,14 @@ func connBinary(t *testing.T, tr *TCPTransport, peer int) bool {
 	if !ok {
 		t.Fatalf("transport %d has no connection to %d", tr.id, peer)
 	}
-	return conn.binary.Load()
+	return int(conn.wire.Load())
+}
+
+// connBinary reports whether tr's connection to peer currently writes the
+// binary codec.
+func connBinary(t *testing.T, tr *TCPTransport, peer int) bool {
+	t.Helper()
+	return connWire(t, tr, peer) >= 1
 }
 
 // exchange round-trips one estimate message in each direction, which also
@@ -93,6 +101,113 @@ func TestTCPCodecNegotiation(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestTCPWireVersionNegotiationMatrix pins the version half of the
+// negotiation: the link settles on the lower of the two endpoints' maximum
+// wire versions, and a message carrying v2-only fields (the hierarchical
+// lease plane) still round-trips intact on a v1 link — it falls back to
+// JSON per message instead of silently truncating, so mixed-version
+// clusters interoperate.
+func TestTCPWireVersionNegotiationMatrix(t *testing.T) {
+	v1 := []TCPOption{WithWireVersion(1)}
+	cases := []struct {
+		name         string
+		optsA, optsB []TCPOption
+		wantWire     int
+	}{
+		{"v2-v2", nil, nil, 2},
+		{"v2-v1", nil, v1, 1},
+		{"v1-v2", v1, nil, 1},
+		{"v1-v1", v1, v1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkGoroutineLeak(t)
+			a, b := wirePair(t, tc.optsA, tc.optsB)
+			exchange(t, a, b)
+			if got := connWire(t, a, 1); got != tc.wantWire {
+				t.Errorf("dialer negotiated wire %d, want %d", got, tc.wantWire)
+			}
+			if got := connWire(t, b, 0); got != tc.wantWire {
+				t.Errorf("acceptor negotiated wire %d, want %d", got, tc.wantWire)
+			}
+			lease := Message{From: 0, Kind: MsgLease, Group: 2, Epoch: 3, Seq: 9,
+				Lease: 510_123, Cum: -42, Round: 5}
+			if err := a.Send(1, lease); err != nil {
+				t.Fatal(err)
+			}
+			got, err := b.RecvTimeout(5 * time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != lease {
+				t.Errorf("lease message arrived as %+v, want %+v", got, lease)
+			}
+		})
+	}
+}
+
+// TestTCPShutdownDrainsCoalescedQueues is the transport half of the signal
+// shutdown audit: Close must flush every message sitting in the coalescing
+// send queues before tearing the connections down — a shutdown loses
+// nothing a clean exit would deliver.
+func TestTCPShutdownDrainsCoalescedQueues(t *testing.T) {
+	checkGoroutineLeak(t)
+	a, b := wirePair(t, nil, nil)
+	exchange(t, a, b)
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := a.Send(1, Message{From: 0, Round: i + 2, E: -1, Degree: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		m, err := b.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatalf("message %d of %d lost in the shutdown drain: %v", i, n, err)
+		}
+		if m.Round != i+2 {
+			t.Fatalf("message %d drained out of order: round %d, want %d", i, m.Round, i+2)
+		}
+	}
+}
+
+// FuzzTCPHello feeds arbitrary bytes through the acceptor's hello
+// negotiation (JSON hello line, version clamp, ack write, registration) —
+// the one TCP read path FuzzTCPPump does not reach. It must never panic,
+// and must always come back to a closed connection.
+func FuzzTCPHello(f *testing.F) {
+	f.Add([]byte("{\"hello\":0,\"wire\":2}\n"))    // current version
+	f.Add([]byte("{\"hello\":0,\"wire\":1}\n"))    // v1 peer
+	f.Add([]byte("{\"hello\":0}\n"))               // pre-wire JSON peer
+	f.Add([]byte("{\"hello\":0,\"wire\":99}\n"))   // future version, clamp down
+	f.Add([]byte("{\"hello\":0,\"wire\":-3}\n"))   // nonsense version
+	f.Add([]byte("{\"helloack\":1,\"wire\":1}\n")) // ack where a hello belongs
+	f.Add([]byte("{\"hello\":0,\"wire\":2}"))      // truncated: no newline
+	f.Add([]byte("complete garbage\n"))
+	f.Add(append([]byte("{\"hello\":0,\"wire\":2}\n"), EncodeTo(nil, Message{From: 0, Round: 1, E: -1, Degree: 2})...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := newPumpTestTransport(len(data) + 1)
+		tr.opt.sendQueue = 0 // no per-iteration writer goroutine to leak
+		client, server := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			client.SetDeadline(time.Now().Add(time.Second))
+			client.Write(data)
+			// Drain the ack (and anything else) so the acceptor's writes
+			// cannot block on the unbuffered pipe, then EOF the connection.
+			io.Copy(io.Discard, client)
+			client.Close()
+		}()
+		tr.wg.Add(1) // handleIncoming is normally spawned by acceptLoop
+		tr.handleIncoming(server)
+		<-done
+	})
 }
 
 func TestTCPWireStatsAccounting(t *testing.T) {

@@ -34,6 +34,21 @@ const (
 	MsgRejoinReq = 4
 	MsgRejoin    = 5
 	MsgRejoinAck = 6
+	// MsgLease, MsgLeaseAck and MsgAggHello are the hierarchical control
+	// plane (hieragent.go): an aggregate agent grants its group a TTL'd
+	// budget lease (Lease), upper-ring aggregates exchange demand and
+	// per-edge transfer ledgers (AggHello/LeaseAck), and a failed-over
+	// aggregate reconciles its group's lease from its neighbors' ledger
+	// records. See lease.go for the conservation identity.
+	MsgLease    = 7
+	MsgLeaseAck = 8
+	MsgAggHello = 9
+
+	// maxKnownMsgKind is the highest message kind this build understands.
+	// Agents ignore control frames with a larger Kind — they come from a
+	// newer build in a mixed-version cluster and must not be misread as
+	// round messages.
+	maxKnownMsgKind = MsgAggHello
 )
 
 // Message is the single message type DiBA agents exchange: one scalar
@@ -63,6 +78,19 @@ type Message struct {
 	// sender's.
 	Dead int `json:"dead,omitempty"`
 	Act  int `json:"act,omitempty"`
+	// Group, Epoch, Lease, Cum and Seq are the hierarchical control-plane
+	// payload (MsgLease/MsgLeaseAck/MsgAggHello, hieragent.go): the sender's
+	// group id, its aggregate epoch (fencing deposed aggregates), the lease
+	// value in integer milliwatts, and one upper-ring edge's transfer ledger
+	// record (net milliwatts given away, with its per-edge sequence number).
+	// They encode as binary codec v2 fields; on a link negotiated at v1 a
+	// message carrying any of them falls back to JSON, which pre-v2 decoders
+	// parse field-by-field (unknown JSON keys are ignored).
+	Group int   `json:"grp,omitempty"`
+	Epoch int   `json:"epoch,omitempty"`
+	Lease int64 `json:"lease,omitempty"`
+	Cum   int64 `json:"cum,omitempty"`
+	Seq   int   `json:"seq,omitempty"`
 }
 
 // Transport moves messages between one agent and its neighbors. Send must

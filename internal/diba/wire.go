@@ -33,33 +33,53 @@ import (
 //	7    Kind    4      int32
 //	8    Dead    4      int32
 //	9    Act     4      int32
+//	10   Group   4      int32           (v2)
+//	11   Epoch   4      int32           (v2)
+//	12   Lease   8      int64           (v2)
+//	13   Cum     8      int64           (v2)
+//	14   Seq     4      int32           (v2)
 //
 // A field whose value is zero is omitted from the frame and its bitmap bit
 // is clear; Decode restores it as zero. E and P are compared by bit
 // pattern, so a negative zero survives the round trip. The codec's integer
-// domain is int32 for all counters and ids and int16 for Degree (a node's
-// neighbor count); EncodeTo truncates wider values by conversion, which
-// the protocol never produces. Both functions are pure and safe for
-// concurrent use; Decode allocates nothing.
+// domain is int32 for all counters and ids, int16 for Degree (a node's
+// neighbor count), and int64 for the milliwatt lease ledger fields;
+// EncodeTo truncates wider values by conversion, which the protocol never
+// produces. Both functions are pure and safe for concurrent use; Decode
+// allocates nothing.
 //
-// Versioning: the magic byte doubles as the version tag (0xD1 = v1). The
-// version a connection may use is negotiated in the TCP hello (tcp.go);
-// a v1 decoder rejects frames with bitmap bits it does not know.
+// Versioning: the frame layout is versioned by its bitmap, under the same
+// 0xD1 magic. Bits 0–9 are the v1 field set; bits 10–14 (the hierarchical
+// control-plane payload) are v2. A v1 decoder rejects any frame carrying a
+// bitmap bit it does not know, so a v2 sender may write v2 bits only on a
+// link whose peer negotiated wire >= 2 in the TCP hello (tcp.go); for a
+// v1-negotiated binary link, messages that carry v2 fields fall back to
+// JSON for that message (readers detect the codec per frame), and every
+// other message stays on the shared v1 field set.
 
 const (
-	// wireMagic tags a binary v1 frame. It must never collide with the
+	// wireMagic tags a binary frame. It must never collide with the
 	// first byte of a JSON message ('{') or of anything json.Encoder emits.
 	wireMagic = 0xD1
-	// WireVersion is the binary codec version this build speaks, offered
-	// and accepted in the TCP hello exchange.
-	WireVersion = 1
-	// maxWireFrame is the largest possible v1 frame: header (2) + bitmap
-	// (2) + every field present (46).
-	maxWireFrame = 50
+	// WireVersion is the highest binary codec version this build speaks,
+	// offered and accepted in the TCP hello exchange.
+	WireVersion = 2
+	// wireV1Bits is how many bitmap bits the v1 field set defined; frames
+	// restricted to those bits are decodable by every binary-capable build.
+	wireV1Bits = 10
+	// maxWireFrame is the largest possible frame: header (2) + bitmap (2) +
+	// every v1 field present (46) + every v2 field present (28).
+	maxWireFrame = 78
 )
 
 // wireWidths holds the encoded width of each bitmap field, in bit order.
-var wireWidths = [10]int{4, 4, 8, 2, 4, 4, 8, 4, 4, 4}
+var wireWidths = [15]int{4, 4, 8, 2, 4, 4, 8, 4, 4, 4, 4, 4, 8, 8, 4}
+
+// wireNeedsV2 reports whether m carries any field outside the v1 set, in
+// which case its binary frame is decodable only by wire >= 2 peers.
+func wireNeedsV2(m Message) bool {
+	return m.Group != 0 || m.Epoch != 0 || m.Lease != 0 || m.Cum != 0 || m.Seq != 0
+}
 
 func appendU16(b []byte, v uint16) []byte {
 	return append(b, byte(v), byte(v>>8))
@@ -99,6 +119,9 @@ func wireCanon(m Message) Message {
 	m.Kind = int(int32(m.Kind))
 	m.Dead = int(int32(m.Dead))
 	m.Act = int(int32(m.Act))
+	m.Group = int(int32(m.Group))
+	m.Epoch = int(int32(m.Epoch))
+	m.Seq = int(int32(m.Seq))
 	return m
 }
 
@@ -147,6 +170,26 @@ func EncodeTo(buf []byte, m Message) []byte {
 	}
 	if v := int32(m.Act); v != 0 {
 		bm |= 1 << 9
+		buf = appendU32(buf, uint32(v))
+	}
+	if v := int32(m.Group); v != 0 {
+		bm |= 1 << 10
+		buf = appendU32(buf, uint32(v))
+	}
+	if v := int32(m.Epoch); v != 0 {
+		bm |= 1 << 11
+		buf = appendU32(buf, uint32(v))
+	}
+	if m.Lease != 0 {
+		bm |= 1 << 12
+		buf = appendU64(buf, uint64(m.Lease))
+	}
+	if m.Cum != 0 {
+		bm |= 1 << 13
+		buf = appendU64(buf, uint64(m.Cum))
+	}
+	if v := int32(m.Seq); v != 0 {
+		bm |= 1 << 14
 		buf = appendU32(buf, uint32(v))
 	}
 	buf[start+1] = byte(len(buf) - start - 2)
@@ -224,6 +267,26 @@ func Decode(b []byte) (Message, int, error) {
 	}
 	if bm&(1<<9) != 0 {
 		m.Act = int(int32(getU32(b[p:])))
+		p += 4
+	}
+	if bm&(1<<10) != 0 {
+		m.Group = int(int32(getU32(b[p:])))
+		p += 4
+	}
+	if bm&(1<<11) != 0 {
+		m.Epoch = int(int32(getU32(b[p:])))
+		p += 4
+	}
+	if bm&(1<<12) != 0 {
+		m.Lease = int64(getU64(b[p:]))
+		p += 8
+	}
+	if bm&(1<<13) != 0 {
+		m.Cum = int64(getU64(b[p:]))
+		p += 8
+	}
+	if bm&(1<<14) != 0 {
+		m.Seq = int(int32(getU32(b[p:])))
 	}
 	return m, total, nil
 }

@@ -4,7 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"sync"
 	"testing"
+	"time"
+
+	"powercap/internal/topology"
 )
 
 // wireTestMessages covers every message kind the protocol produces plus
@@ -24,6 +28,11 @@ var wireTestMessages = []Message{
 	{From: math.MinInt32, Round: math.MinInt32, Degree: math.MinInt16, Quiet: math.MinInt32, Stop: math.MinInt32, Kind: math.MinInt32, Dead: math.MinInt32, Act: math.MinInt32},
 	{E: math.Copysign(0, -1), P: math.Copysign(0, -1)},
 	{E: 4.9e-324, P: math.MaxFloat64},
+	// The hierarchical control plane (v2 bitmap bits).
+	{From: 3, Round: 40, Kind: MsgLease, Group: 1, Epoch: 2, Seq: 17, Lease: 510_000_000, Cum: 12_345},
+	{From: 0, Round: 41, Kind: MsgLeaseAck, Group: 2, Epoch: 2, Act: 1, Lease: -1, Cum: -170_000},
+	{From: 6, Kind: MsgAggHello, Group: 2, Epoch: 3, Seq: 1},
+	{Kind: MsgLease, Group: math.MaxInt32, Epoch: math.MinInt32, Seq: -1, Lease: math.MaxInt64, Cum: math.MinInt64},
 }
 
 // sameMessage compares two messages with floats matched by bit pattern, so
@@ -32,6 +41,8 @@ func sameMessage(a, b Message) bool {
 	return a.From == b.From && a.Round == b.Round && a.Degree == b.Degree &&
 		a.Quiet == b.Quiet && a.Stop == b.Stop && a.Kind == b.Kind &&
 		a.Dead == b.Dead && a.Act == b.Act &&
+		a.Group == b.Group && a.Epoch == b.Epoch && a.Seq == b.Seq &&
+		a.Lease == b.Lease && a.Cum == b.Cum &&
 		math.Float64bits(a.E) == math.Float64bits(b.E) &&
 		math.Float64bits(a.P) == math.Float64bits(b.P)
 }
@@ -125,9 +136,119 @@ func TestWireDecodeRejectsCorruptFrames(t *testing.T) {
 	future := bytes.Clone(good)
 	future[3] |= 0x80 // bit 15
 	cases["future bitmap bit"] = future
+	// The same corruption modes on a v2 lease frame.
+	lease := EncodeTo(nil, Message{From: 1, Kind: MsgLease, Group: 2, Epoch: 3, Seq: 4, Lease: 510_000, Cum: -7})
+	cases["lease frame truncated"] = lease[:len(lease)-3]
+	liedLease := bytes.Clone(lease)
+	liedLease[1]--
+	cases["lease length under bitmap"] = liedLease
 	for name, b := range cases {
 		if _, _, err := Decode(b); err == nil {
 			t.Errorf("%s: Decode accepted a corrupt frame", name)
+		}
+	}
+}
+
+// TestWireV2FallbackContract pins the agreement tcp.go's per-message JSON
+// fallback relies on: wireNeedsV2(m) is true exactly when m's frame sets a
+// bitmap bit beyond the v1 field set — so a v1-negotiated link sends those
+// messages (and only those) as JSON, and every frame it does emit in binary
+// is decodable by a v1 peer.
+func TestWireV2FallbackContract(t *testing.T) {
+	for i, m := range wireTestMessages {
+		frame := EncodeTo(nil, m)
+		hasV2Bits := getU16(frame[2:])>>wireV1Bits != 0
+		if hasV2Bits != wireNeedsV2(m) {
+			t.Errorf("case %d: frame v2 bits = %v but wireNeedsV2 = %v for %+v",
+				i, hasV2Bits, wireNeedsV2(m), m)
+		}
+	}
+	// Every hierarchical control message the protocol produces carries a
+	// group id or lease payload, so none of them leaks onto a v1 binary link.
+	for _, m := range []Message{
+		{From: 1, Kind: MsgLease, Group: 1, Epoch: 1, Seq: 1, Lease: 1},
+		{From: 1, Kind: MsgLeaseAck, Group: 1, Epoch: 1, Act: 1, Cum: 1},
+		{From: 1, Kind: MsgAggHello, Group: 1, Epoch: 1},
+	} {
+		if !wireNeedsV2(m) {
+			t.Errorf("hierarchical message %+v not flagged for the v2 codec", m)
+		}
+	}
+}
+
+// TestAgentIgnoresAggregateControlFrames runs a flat cluster while an
+// injector floods every agent with hierarchical control frames and a kind
+// from a future build. The final allocation must match a clean run bitwise:
+// a flat member of a mixed-version cluster treats aggregate traffic as
+// noise, never as round arithmetic.
+func TestAgentIgnoresAggregateControlFrames(t *testing.T) {
+	const n, rounds = 8, 60
+	g := topology.Ring(n)
+	us := mkCluster(t, n, 7)
+	budget := float64(n * 170)
+	want, err := RunAgents(g, us, budget, Config{}, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var totalIdle float64
+	for _, u := range us {
+		totalIdle += u.MinPower()
+	}
+	// One extra mailbox for the injector; generous capacity so the noise
+	// cannot fill a mailbox and fail a legitimate neighbor send.
+	net := NewChanNetwork(n+1, 1024)
+	agents := make([]*Agent, n)
+	for i := 0; i < n; i++ {
+		a, err := NewAgent(i, g.NeighborsInts(i), us[i], budget, n, totalIdle, Config{}, net.Endpoint(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[i] = a
+	}
+	stop := make(chan struct{})
+	var injWG sync.WaitGroup
+	injWG.Add(1)
+	go func() {
+		defer injWG.Done()
+		inj := net.Endpoint(n)
+		noise := []Message{
+			{From: n, Kind: MsgLease, Group: 1, Epoch: 2, Seq: 3, Lease: 123_456, Round: 5},
+			{From: n, Kind: MsgLeaseAck, Group: 1, Epoch: 2, Act: 1, Cum: -9},
+			{From: n, Kind: MsgAggHello, Group: 0, Epoch: 1},
+			{From: n, Kind: maxKnownMsgKind + 1, Round: 3, E: 99, Degree: 1},
+		}
+		for i := 0; ; i++ {
+			for to := 0; to < n; to++ {
+				_ = inj.Send(to, noise[i%len(noise)])
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := range agents {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = agents[i].Run(rounds)
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	injWG.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d under control-frame noise: %v", i, err)
+		}
+	}
+	for i, a := range agents {
+		if a.Power() != want[i] {
+			t.Errorf("agent %d: alloc %v under noise, want %v bitwise", i, a.Power(), want[i])
 		}
 	}
 }
@@ -147,11 +268,13 @@ func TestWireHeartbeatFrameTiny(t *testing.T) {
 // Decode(EncodeTo(m)) == wireCanon(m) exactly.
 func FuzzWireMessage(f *testing.F) {
 	for _, m := range wireTestMessages {
-		f.Add(m.From, m.Round, m.E, m.Degree, m.Quiet, m.Stop, m.P, m.Kind, m.Dead, m.Act)
+		f.Add(m.From, m.Round, m.E, m.Degree, m.Quiet, m.Stop, m.P, m.Kind, m.Dead, m.Act,
+			m.Group, m.Epoch, m.Lease, m.Cum, m.Seq)
 	}
-	f.Fuzz(func(t *testing.T, from, round int, e float64, degree, quiet, stop int, p float64, kind, dead, act int) {
+	f.Fuzz(func(t *testing.T, from, round int, e float64, degree, quiet, stop int, p float64, kind, dead, act, group, epoch int, lease, cum int64, seq int) {
 		m := Message{From: from, Round: round, E: e, Degree: degree,
-			Quiet: quiet, Stop: stop, P: p, Kind: kind, Dead: dead, Act: act}
+			Quiet: quiet, Stop: stop, P: p, Kind: kind, Dead: dead, Act: act,
+			Group: group, Epoch: epoch, Lease: lease, Cum: cum, Seq: seq}
 		frame := EncodeTo(nil, m)
 		if len(frame) > maxWireFrame {
 			t.Fatalf("frame is %d bytes, exceeds maxWireFrame=%d", len(frame), maxWireFrame)

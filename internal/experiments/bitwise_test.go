@@ -87,6 +87,10 @@ func TestBitwiseIdenticalToCommittedResults(t *testing.T) {
 		// and the flat engine it is compared against — so neither fast path
 		// may move a digit at the same seed.
 		{"hierscale", "results_quick.txt", func() (Table, error) { return HierScale(Quick, seed) }},
+		// hierfail pins the lease ledger's integer conservation and the
+		// degraded-mode engine paths: a failover or freeze may not move a
+		// digit of the reconvergence/overshoot/stranded accounting.
+		{"hierfail", "results_quick.txt", func() (Table, error) { return HierFail(Quick, seed) }},
 	}
 	for _, c := range cases {
 		t.Run(c.id, func(t *testing.T) {

@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"powercap/internal/diba"
+	"powercap/internal/solver"
+	"powercap/internal/topology"
+	"powercap/internal/workload"
+)
+
+// HierFail measures the three degraded modes of the distributed two-level
+// hierarchy (hieragent.go) with a deterministic synchronous model: one DiBA
+// engine per group capped at its leased share, and the integer-milliwatt
+// lease ledger carrying the inter-group budget exchanges. The scenarios
+// mirror the chaos drills in cmd/dibad/hierkill_test.go — aggregate crash
+// with ledger recovery from neighbor echoes, an inter-level partition that
+// expires the lease and freezes the group, and a donation schedule holding
+// Σ(leases) == B bitwise — but report the quantities the drills cannot:
+// reconvergence rounds, overshoot W·rounds, and stranded W·rounds.
+func HierFail(scale Scale, seed int64) (Table, error) {
+	const groups = 3
+	m := scale.pick(20, 100)
+	n := groups * m
+	rng := rand.New(rand.NewSource(seed))
+	a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0, rng)
+	if err != nil {
+		return Table{}, err
+	}
+	us := a.UtilitySlice()
+	budget := 170.0 * float64(n)
+	budgetMw := diba.LeaseMilliwatts(budget)
+	maxIters := scale.pick(6000, 20000)
+
+	t := Table{
+		ID:    "hierfail",
+		Title: fmt.Sprintf("Hierarchy failure modes: %d groups × %d nodes, B=%.0f W", groups, m, budget),
+		Columns: []string{"scenario", "recovery rounds", "overshoot (W·rd)",
+			"stranded (W·rd)", "Σleases−B (mW)"},
+		Notes: []string{
+			"expected shape: overshoot stays 0 in every scenario (degraded modes only ever shrink a group's cap);",
+			"Σleases−B is exactly 0 after every reconciliation — the ledger is integer and donor-first;",
+			"stranded power is the price of safety: a dead node's share and the freeze margin sit unused until the hierarchy rebalances",
+		},
+	}
+
+	// build constructs the fresh cluster: per-group chordal-ring engines at
+	// their genesis lease, fully exchanged ledgers, and each group converged
+	// to ≥99% of its leased optimum.
+	build := func() ([]*diba.Engine, []*diba.LeaseLedger, []float64, []int64, error) {
+		lease, err := diba.GenesisLeases(budgetMw, []int{m, m, m})
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		engines := make([]*diba.Engine, groups)
+		ledgers := make([]*diba.LeaseLedger, groups)
+		opts := make([]float64, groups)
+		stride := m / 7
+		if stride < 2 {
+			stride = 2
+		}
+		for g := 0; g < groups; g++ {
+			gus := us[g*m : (g+1)*m]
+			en, err := diba.New(topology.ChordalRing(m, stride), gus, diba.LeaseWatts(lease[g]), diba.Config{})
+			if err != nil {
+				return nil, nil, nil, nil, err
+			}
+			opt, err := solver.Optimal(gus, diba.LeaseWatts(lease[g]))
+			if err != nil {
+				return nil, nil, nil, nil, err
+			}
+			en.RunToTarget(opt.Utility, 0.99, maxIters)
+			engines[g] = en
+			opts[g] = opt.Utility
+			peers := make([]int, 0, groups-1)
+			for p := 0; p < groups; p++ {
+				if p != g {
+					peers = append(peers, p)
+				}
+			}
+			ledgers[g] = diba.NewLeaseLedger(lease[g], peers, true)
+		}
+		return engines, ledgers, opts, lease, nil
+	}
+
+	// exchange plays the edge's message pair in both directions, the
+	// anti-entropy step every upper-ring round performs.
+	exchange := func(ledgers []*diba.LeaseLedger, a, b int) {
+		ledgers[a].Merge(b, ledgers[b].Given(a), ledgers[b].Taken(a))
+		ledgers[b].Merge(a, ledgers[a].Given(b), ledgers[a].Taken(b))
+	}
+	leaseSum := func(ledgers []*diba.LeaseLedger) int64 {
+		var s int64
+		for _, l := range ledgers {
+			s += l.Lease()
+		}
+		return s
+	}
+
+	// Per-round meter: overshoot is Σ max(0, ΣP − B); stranded is
+	// Σ max(0, B − Σ group caps) — budget no live group may spend.
+	var overshoot, stranded float64
+	tick := func(engines []*diba.Engine) {
+		var p, caps float64
+		for _, en := range engines {
+			p += en.TotalPower()
+			caps += en.Budget()
+		}
+		if d := p - budget; d > 0 {
+			overshoot += d
+		}
+		if d := budget - caps; d > 0 {
+			stranded += d
+		}
+	}
+	// stepUntil steps every engine in lockstep until group g reaches frac of
+	// target (or the round bound), returning the rounds taken.
+	stepUntil := func(engines []*diba.Engine, g int, target, frac float64) int {
+		r := 0
+		for ; r < maxIters && engines[g].TotalUtility() < frac*target; r++ {
+			for _, en := range engines {
+				en.Step()
+			}
+			tick(engines)
+		}
+		return r
+	}
+
+	// Scenario 1: the aggregate of group 1 crashes after a few donations
+	// have moved the counters off genesis. The successor's ledger starts
+	// empty and unsynced; its neighbors' echoes rebuild it to exactly the
+	// pre-crash lease, and the group reconverges to its survivor optimum.
+	{
+		engines, ledgers, _, _, err := build()
+		if err != nil {
+			return Table{}, err
+		}
+		overshoot, stranded = 0, 0
+		for _, d := range [][2]int{{0, 1}, {2, 1}, {1, 0}} {
+			ledgers[d[0]].Donate(d[1], diba.LeaseMilliwatts(2))
+			exchange(ledgers, d[0], d[1])
+		}
+		for g, en := range engines {
+			if err := en.SetBudget(diba.LeaseWatts(ledgers[g].Lease())); err != nil {
+				return Table{}, err
+			}
+		}
+		preLease := ledgers[1].Lease()
+		if err := engines[1].FailNode(0); err != nil {
+			return Table{}, fmt.Errorf("experiments: killing aggregate: %w", err)
+		}
+		successor := diba.NewLeaseLedger(ledgers[1].Genesis(), []int{0, 2}, false)
+		ledgers[1] = successor
+		exchange(ledgers, 1, 0)
+		exchange(ledgers, 1, 2)
+		if !successor.Synced() || successor.Lease() != preLease {
+			return Table{}, fmt.Errorf("experiments: echo recovery rebuilt lease %d mW, want %d", successor.Lease(), preLease)
+		}
+		liveUs := append([]workload.Utility(nil), us[m+1:2*m]...)
+		liveOpt, err := solver.Optimal(liveUs, engines[1].Budget())
+		if err != nil {
+			return Table{}, err
+		}
+		rec := stepUntil(engines, 1, liveOpt.Utility, 0.995)
+		t.AddRow("aggregate crash + failover", rec,
+			fmt.Sprintf("%.3f", overshoot), fmt.Sprintf("%.3f", stranded), leaseSum(ledgers)-budgetMw)
+	}
+
+	// Scenario 2: group 1 is partitioned from the upper ring. Its lease
+	// expires after the TTL and the group freezes at lease minus the margin;
+	// meanwhile the reachable groups keep trading. On heal the edges resync
+	// and the group thaws back to its full lease.
+	{
+		engines, ledgers, opts, _, err := build()
+		if err != nil {
+			return Table{}, err
+		}
+		overshoot, stranded = 0, 0
+		const ttl, outage = 12, 80
+		const freezeMargin = 0.01
+		for r := 0; r < ttl; r++ {
+			for _, en := range engines {
+				en.Step()
+			}
+			tick(engines)
+		}
+		frozenAt := diba.LeaseWatts(ledgers[1].Lease()) - freezeMargin
+		if err := engines[1].SetBudget(frozenAt); err != nil {
+			return Table{}, err
+		}
+		for r := ttl; r < outage; r++ {
+			if r == outage/2 {
+				// The reachable side keeps rebalancing during the outage.
+				ledgers[0].Donate(2, diba.LeaseMilliwatts(3))
+				exchange(ledgers, 0, 2)
+				for _, g := range []int{0, 2} {
+					if err := engines[g].SetBudget(diba.LeaseWatts(ledgers[g].Lease())); err != nil {
+						return Table{}, err
+					}
+				}
+			}
+			for _, en := range engines {
+				en.Step()
+			}
+			tick(engines)
+		}
+		exchange(ledgers, 1, 0)
+		exchange(ledgers, 1, 2)
+		if err := engines[1].SetBudget(diba.LeaseWatts(ledgers[1].Lease())); err != nil {
+			return Table{}, err
+		}
+		rec := stepUntil(engines, 1, opts[1], 0.995)
+		t.AddRow("inter-level partition + lease expiry", rec,
+			fmt.Sprintf("%.3f", overshoot), fmt.Sprintf("%.3f", stranded), leaseSum(ledgers)-budgetMw)
+	}
+
+	// Scenario 3: a fault-free donation schedule — the upper ring moves
+	// budget toward the hungriest group each exchange. The conservation
+	// column must stay exactly 0 through every transfer.
+	{
+		engines, ledgers, opts, _, err := build()
+		if err != nil {
+			return Table{}, err
+		}
+		overshoot, stranded = 0, 0
+		exact := true
+		for x := 0; x < 10; x++ {
+			donor, recv, best, worst := 0, 0, -1.0, -1.0
+			for g, en := range engines {
+				head := en.Budget() - en.TotalPower()
+				if head > best {
+					best, donor = head, g
+				}
+				if worst < 0 || head < worst {
+					worst, recv = head, g
+				}
+			}
+			if donor != recv {
+				step := diba.LeaseMilliwatts((best - worst) / 4)
+				if cap := diba.LeaseMilliwatts(5); step > cap {
+					step = cap
+				}
+				ledgers[donor].Donate(recv, step)
+				exchange(ledgers, donor, recv)
+				for _, g := range []int{donor, recv} {
+					if err := engines[g].SetBudget(diba.LeaseWatts(ledgers[g].Lease())); err != nil {
+						return Table{}, err
+					}
+				}
+			}
+			if leaseSum(ledgers) != budgetMw {
+				exact = false
+			}
+			for r := 0; r < 5; r++ {
+				for _, en := range engines {
+					en.Step()
+				}
+				tick(engines)
+			}
+		}
+		rec := stepUntil(engines, 0, opts[0], 0.995)
+		if !exact {
+			t.Notes = append(t.Notes, "WARNING: Σ(leases) deviated from B during the transfer schedule")
+		}
+		t.AddRow("lease transfer schedule (fault-free)", rec,
+			fmt.Sprintf("%.3f", overshoot), fmt.Sprintf("%.3f", stranded), leaseSum(ledgers)-budgetMw)
+	}
+
+	return t, nil
+}
