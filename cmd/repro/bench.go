@@ -43,6 +43,10 @@ type benchResult struct {
 	RoundsPerSec float64 `json:"rounds_per_sec,omitempty"`
 	Rounds       int     `json:"rounds,omitempty"`
 	WorstMarginW float64 `json:"worst_margin_w,omitempty"`
+	// The -des series also reports sustained event throughput, and the
+	// tick-vs-event scenario pair the measured wall-clock speedup.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	SpeedupX     float64 `json:"speedup_x,omitempty"`
 }
 
 type benchReport struct {

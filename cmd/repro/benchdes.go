@@ -1,0 +1,268 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"powercap/internal/cluster"
+	"powercap/internal/des"
+	"powercap/internal/dessim"
+	"powercap/internal/experiments"
+	"powercap/internal/parallel"
+)
+
+// repro bench -des: the shared-clock event core's performance baseline.
+// Micro-benchmarks for the arena heap and the N-source scheduler merge,
+// the ported dessim's sustained event rate, and the headline comparison:
+// a 100k-node, 1-hour sparse scenario (1% of servers churn per minute)
+// run event-driven vs with the legacy O(N)-per-second loop structure.
+// Every hot-path entry is guarded to 0 allocs/op and the scenario pair is
+// required to agree bit-for-bit and to show ≥ 10x wall-clock speedup, so
+// this doubles as the CI smoke test for the event core.
+
+// requireZeroAllocs enforces the hot-path allocation guard on a measured
+// result.
+func requireZeroAllocs(res benchResult) error {
+	if res.AllocsPerOp != 0 {
+		return fmt.Errorf("%s: %d allocs/op on a zero-alloc hot path", res.Name, res.AllocsPerOp)
+	}
+	return nil
+}
+
+// benchDesHeap measures steady-state push+pop at a constant heap depth.
+func benchDesHeap() (benchResult, error) {
+	var h des.Heap
+	const depth = 1024
+	h.Grow(depth + 1)
+	rng := rand.New(rand.NewSource(1))
+	// Pre-drawn deltas keep the measured loop free of RNG cost variance.
+	deltas := make([]float64, 4096)
+	for i := range deltas {
+		deltas[i] = rng.ExpFloat64()
+	}
+	t := 0.0
+	for i := 0; i < depth; i++ {
+		t += deltas[i]
+		h.Push(des.Item{Time: t})
+	}
+	i := 0
+	res, err := measure("des.Heap/push-pop/depth=1k", 200*time.Millisecond, 50_000_000, func() error {
+		h.Push(des.Item{Time: h.PeekTime() + deltas[i&4095]})
+		i++
+		h.Pop()
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.EventsPerSec = 1e9 / float64(res.NsPerOp)
+	return res, requireZeroAllocs(res)
+}
+
+// benchPoissonSource is a self-rescheduling event source: each processed
+// event schedules its successor one exponential gap later, which keeps a
+// scheduler merge benchmark in steady state forever.
+type benchPoissonSource struct {
+	q   des.Heap
+	rng *rand.Rand
+}
+
+func newBenchPoissonSource(rng *rand.Rand) *benchPoissonSource {
+	s := &benchPoissonSource{rng: rng}
+	s.q.Grow(2)
+	s.q.Push(des.Item{Time: rng.ExpFloat64()})
+	return s
+}
+
+func (s *benchPoissonSource) HasPendingEvents() bool     { return s.q.Len() > 0 }
+func (s *benchPoissonSource) PeekNextEventTime() float64 { return s.q.PeekTime() }
+func (s *benchPoissonSource) ProcessNextEvent() error {
+	ev := s.q.Pop()
+	s.q.Push(des.Item{Time: ev.Time + s.rng.ExpFloat64()})
+	return nil
+}
+
+// benchSchedulerMerge measures one Scheduler.Step over k live sources.
+func benchSchedulerMerge(k int, seed int64) (benchResult, error) {
+	prng := des.NewPartitionedRNG(seed)
+	sched := des.NewScheduler()
+	for i := 0; i < k; i++ {
+		sched.Add(newBenchPoissonSource(prng.Stream(uint64(i))))
+	}
+	step := func() error {
+		ok, err := sched.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("scheduler drained with self-rescheduling sources")
+		}
+		return nil
+	}
+	for i := 0; i < 1024; i++ {
+		if err := step(); err != nil {
+			return benchResult{}, err
+		}
+	}
+	res, err := measure(fmt.Sprintf("des.Scheduler/step/sources=%d", k),
+		200*time.Millisecond, 20_000_000, step)
+	if err != nil {
+		return res, err
+	}
+	res.EventsPerSec = 1e9 / float64(res.NsPerOp)
+	return res, requireZeroAllocs(res)
+}
+
+// benchDessimEvents measures the ported queueing simulator's sustained
+// event rate on the paper's Table 5.1 mix.
+func benchDessimEvents(seed int64) (benchResult, error) {
+	sim, err := dessim.NewSim(dessim.Config{
+		Types:          dessim.Table51(80, 10),
+		ArrivalRate:    50,
+		MeanJobSeconds: 120,
+		Horizon:        1e15, // effectively unbounded for the measured window
+		Seed:           seed,
+	})
+	if err != nil {
+		return benchResult{}, err
+	}
+	for i := 0; i < 20000; i++ {
+		if err := sim.ProcessNextEvent(); err != nil {
+			return benchResult{}, err
+		}
+	}
+	res, err := measure("dessim.ProcessNextEvent/table5.1", 200*time.Millisecond, 20_000_000,
+		sim.ProcessNextEvent)
+	if err != nil {
+		return res, err
+	}
+	res.EventsPerSec = 1e9 / float64(res.NsPerOp)
+	return res, requireZeroAllocs(res)
+}
+
+// benchSparseScenario runs the headline pair: the identical 100k-node,
+// 1-hour, 1%-churn-per-minute scenario through both runners, checks the
+// results agree exactly, and requires the event loop to win by ≥ 10x.
+func benchSparseScenario(seed int64) ([]benchResult, error) {
+	sc := cluster.Scenario{
+		N:                  100_000,
+		Seed:               seed,
+		HorizonSeconds:     3600,
+		InitialBudgetW:     130 * 100_000,
+		ChurnPerSecond:     0.01 / 60, // 1% of servers per minute
+		SampleEverySeconds: 60,
+	}
+
+	start := time.Now()
+	ev, err := cluster.RunScenarioEvents(sc)
+	if err != nil {
+		return nil, err
+	}
+	evNs := time.Since(start).Nanoseconds()
+
+	start = time.Now()
+	tick, err := cluster.RunScenarioTicks(sc)
+	if err != nil {
+		return nil, err
+	}
+	tickNs := time.Since(start).Nanoseconds()
+
+	if ev.ChurnEvents != tick.ChurnEvents || ev.Refreshes != tick.Refreshes ||
+		ev.FinalPowerW != tick.FinalPowerW || len(ev.Samples) != len(tick.Samples) {
+		return nil, fmt.Errorf("scenario runners diverged: event %+v vs tick %+v", ev, tick)
+	}
+	if ev.ChurnEvents == 0 {
+		return nil, fmt.Errorf("sparse scenario produced no events — nothing was measured")
+	}
+	speedup := float64(tickNs) / float64(evNs)
+	if speedup < 10 {
+		return nil, fmt.Errorf("sparse 100k scenario: event loop only %.1fx faster than tick loop (want >= 10x): %v vs %v",
+			speedup, time.Duration(evNs), time.Duration(tickNs))
+	}
+	return []benchResult{
+		{
+			Name: "cluster.Scenario/events/n=100k-sparse", Runs: 1, NsPerOp: evNs,
+			EventsPerSec: float64(ev.Steps) / (float64(evNs) / 1e9),
+			SpeedupX:     speedup,
+		},
+		{
+			Name: "cluster.Scenario/ticks/n=100k-sparse", Runs: 1, NsPerOp: tickNs,
+			EventsPerSec: float64(tick.Steps) / (float64(tickNs) / 1e9),
+		},
+	}, nil
+}
+
+func runBenchDes(seed int64, out string) error {
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s-des.json", time.Now().Format("2006-01-02"))
+	}
+	report := benchReport{
+		Date:       time.Now().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    parallel.Workers(),
+		Scale:      "des",
+		Seed:       seed,
+	}
+	add := func(res benchResult, err error) error {
+		if err != nil {
+			return err
+		}
+		extra := ""
+		if res.EventsPerSec > 0 {
+			extra = fmt.Sprintf("  %12.0f events/s", res.EventsPerSec)
+		}
+		if res.SpeedupX > 0 {
+			extra += fmt.Sprintf("  %8.1fx vs ticks", res.SpeedupX)
+		}
+		fmt.Printf("  %-38s %9d runs  %10d ns/op  %3d allocs/op%s\n",
+			res.Name, res.Runs, res.NsPerOp, res.AllocsPerOp, extra)
+		report.Results = append(report.Results, res)
+		return nil
+	}
+
+	if err := add(benchDesHeap()); err != nil {
+		return err
+	}
+	for _, k := range []int{2, 8, 64} {
+		if err := add(benchSchedulerMerge(k, seed)); err != nil {
+			return err
+		}
+	}
+	if err := add(benchDessimEvents(seed)); err != nil {
+		return err
+	}
+	pair, err := benchSparseScenario(seed)
+	if err != nil {
+		return err
+	}
+	for _, res := range pair {
+		if err := add(res, nil); err != nil {
+			return err
+		}
+	}
+
+	// The desscale experiment's wall-clock companion rows come from the
+	// registry path; time the quick table once for the record.
+	res, err := measure("experiment/desscale", 100*time.Millisecond, 2, func() error {
+		_, err := experiments.DesScale(experiments.Quick, seed)
+		return err
+	})
+	if err := add(res, err); err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", out, len(report.Results))
+	return nil
+}

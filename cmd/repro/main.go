@@ -69,6 +69,7 @@ var registry = map[string]runner{
 	"failure":     experiments.Failure,
 	"async":       experiments.Async,
 	"hierarchy":   experiments.Hierarchy,
+	"desscale":    experiments.DesScale,
 	"hierscale":   experiments.HierScale,
 	"hierfail":    experiments.HierFail,
 	"fxplore":     experiments.FXplore,
@@ -103,6 +104,7 @@ func run() int {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchOut := flag.String("benchout", "", "bench: output path (default BENCH_<date>.json)")
 	hierN := flag.Int("hiern", 10000, "bench: largest hierarchical-engine cluster to time (series 1k/10k/100k/1M)")
+	desBench := flag.Bool("des", false, "bench: run the shared-clock event-core series instead (writes BENCH_<date>-des.json)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: repro [-full] [-seed N] [-j N] <experiment ids...|all|bench|list>\n\nexperiments:\n")
 		for _, id := range ids() {
@@ -158,6 +160,13 @@ func run() int {
 		}
 		return 0
 	case "bench":
+		if *desBench {
+			if err := runBenchDes(*seed, *benchOut); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: bench -des: %v\n", err)
+				return 1
+			}
+			return 0
+		}
 		if err := runBench(scale, *seed, *benchOut, *hierN); err != nil {
 			fmt.Fprintf(os.Stderr, "repro: bench: %v\n", err)
 			return 1

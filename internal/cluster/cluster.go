@@ -260,14 +260,33 @@ func evalSnapshot(us []workload.Utility, ps pendingSnap) (Sample, error) {
 // workload churn, and returns one sample per second (plus one for the
 // initial state at second 0).
 //
-// Unless Config.Enforce is set, the per-second oracle/metric evaluation is
-// deferred and computed in batches on up to parallel.Workers() goroutines.
-// Each snapshot is evaluated from state captured at its own second, so the
-// samples are identical to the sequential schedule at any worker count.
+// The default path runs on the internal/des shared-clock event core (see
+// events.go): each second's budget step, workload churn, DiBA rounds, and
+// snapshot are tick-aligned events processed in that fixed order, so the
+// samples are bit-identical to the legacy tick loop (RunTick) — asserted
+// by the property suite. Unless Config.Enforce is set, the per-second
+// oracle/metric evaluation is deferred and computed in batches on up to
+// parallel.Workers() goroutines; each snapshot is evaluated from state
+// captured at its own second, so the samples are identical to the
+// sequential schedule at any worker count.
 func (s *Sim) Run(seconds int, events []BudgetEvent) ([]Sample, error) {
 	if s.cfg.Enforce {
 		// DVFS enforcement consumes s.rng inside each snapshot, so the
 		// measurement schedule only makes sense evaluated in time order.
+		return s.runEnforced(seconds, events)
+	}
+	if s.cfg.Sensed != nil {
+		return s.runSensed(seconds, events)
+	}
+	return s.runEvents(seconds, events)
+}
+
+// RunTick is the legacy fixed-1-second tick loop, kept verbatim as the
+// reference implementation the event-driven Run is property-tested
+// against (it must stay bit-identical at every seed). Enforce/Sensed
+// configurations dispatch to the same sequential paths Run uses.
+func (s *Sim) RunTick(seconds int, events []BudgetEvent) ([]Sample, error) {
+	if s.cfg.Enforce {
 		return s.runEnforced(seconds, events)
 	}
 	if s.cfg.Sensed != nil {

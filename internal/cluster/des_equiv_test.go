@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"powercap/internal/workload"
+)
+
+// The event-driven Run must be bit-identical to the legacy tick loop
+// (RunTick): same seconds, same budget events, same churn draws, same
+// floats in every sample. Two fresh Sims are built from the same config so
+// each path owns its own RNG and engine state.
+
+func samplesEqual(t *testing.T, a, b []Sample) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs:\nevent: %+v\ntick:  %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func runBothPaths(t *testing.T, cfg Config, initialBudget float64, seconds int, events []BudgetEvent) {
+	t.Helper()
+	evSim, err := NewSim(cfg, initialBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tickSim, err := NewSim(cfg, initialBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := evSim.Run(seconds, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tickSim.RunTick(seconds, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samplesEqual(t, got, want)
+}
+
+// TestRunMatchesTickStatic: no churn, no phases — only rounds and
+// snapshots are scheduled, and the outputs still match exactly.
+func TestRunMatchesTickStatic(t *testing.T) {
+	runBothPaths(t, Config{N: 24, Seed: 11, RoundsPerSecond: 20}, 170*24, 12, nil)
+}
+
+// TestRunMatchesTickBudgetEvents: budget steps land at their exact seconds
+// in both paths.
+func TestRunMatchesTickBudgetEvents(t *testing.T) {
+	events := []BudgetEvent{
+		{AtSecond: 3, Budget: 160 * 24},
+		{AtSecond: 7, Budget: 185 * 24},
+		{AtSecond: 10, Budget: 170 * 24},
+	}
+	runBothPaths(t, Config{N: 24, Seed: 5, RoundsPerSecond: 25}, 178*24, 12, events)
+}
+
+// TestRunMatchesTickChurn: churn consumes the shared RNG in per-server
+// sweep order each second; both paths must draw identically.
+func TestRunMatchesTickChurn(t *testing.T) {
+	cfg := Config{
+		N:               20,
+		Seed:            3,
+		RoundsPerSecond: 15,
+		ChurnPerSecond:  0.2,
+		MeasureNoise:    0.01,
+	}
+	runBothPaths(t, cfg, 172*20, 10, nil)
+}
+
+// TestRunMatchesTickPhased: phase-cycling applications advance on the
+// same schedule in both paths.
+func TestRunMatchesTickPhased(t *testing.T) {
+	const n = 12
+	ep, err := workload.ByName(workload.HPC, "EP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := workload.ByName(workload.HPC, "RA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phased carries mutable dwell state, so each path needs its own set.
+	newPhased := func() []*workload.Phased {
+		phased := make([]*workload.Phased, n)
+		for i := 0; i < n; i += 2 {
+			ph, err := workload.NewPhased("solver", []workload.Benchmark{ep, ra}, []float64{3, 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			phased[i] = ph
+		}
+		return phased
+	}
+	evSim, err := NewSim(Config{N: n, Seed: 9, RoundsPerSecond: 10, Phased: newPhased()}, 175*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tickSim, err := NewSim(Config{N: n, Seed: 9, RoundsPerSecond: 10, Phased: newPhased()}, 175*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := evSim.Run(9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tickSim.RunTick(9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samplesEqual(t, got, want)
+}
+
+// TestRunMatchesTickProperty: quick.Check across random seeds, churn
+// rates, horizons, and budget-event schedules.
+func TestRunMatchesTickProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep skipped in short mode")
+	}
+	f := func(seed int64, churnPct, horizon, nEvents uint8) bool {
+		const n = 10
+		seconds := 4 + int(horizon%8)
+		cfg := Config{
+			N:               n,
+			Seed:            seed,
+			RoundsPerSecond: 8,
+			ChurnPerSecond:  float64(churnPct%40) / 100,
+			MeasureNoise:    0.01,
+		}
+		var events []BudgetEvent
+		for k := 0; k < int(nEvents%4); k++ {
+			events = append(events, BudgetEvent{
+				AtSecond: 1 + (k*3)%seconds,
+				Budget:   (165 + 8*float64(k)) * n,
+			})
+		}
+		evSim, err := NewSim(cfg, 176*n)
+		if err != nil {
+			return false
+		}
+		tickSim, err := NewSim(cfg, 176*n)
+		if err != nil {
+			return false
+		}
+		got, err := evSim.Run(seconds, events)
+		if err != nil {
+			return false
+		}
+		want, err := tickSim.RunTick(seconds, events)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

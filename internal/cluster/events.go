@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+
+	"powercap/internal/des"
+	"powercap/internal/parallel"
+	"powercap/internal/workload"
+)
+
+// The event-driven simulation loop. Each simulated second decomposes into
+// tick-aligned events at integer times, ordered within a second by
+// priority: budget step, then workload churn/phases, then the DiBA rounds,
+// then the snapshot — exactly the statement order of the legacy tick loop
+// (RunTick), which is what keeps the two paths bit-identical. Events that
+// would do nothing are never scheduled: a run with no churn, no phases,
+// and no budget events queues only rounds and snapshot events, and a
+// Scenario (scenario.go) with sparse sampling drops even those, which is
+// where the O(events) win over O(n)·ticks comes from.
+const (
+	evBudget   = 0 // apply a budget step (Prio 0: first within the second)
+	evWorkload = 1 // churn + phase transitions (Prio 1)
+	evRounds   = 2 // the second's DiBA rounds (Prio 2)
+	evSnapshot = 3 // capture the per-second sample (Prio 3: last)
+)
+
+// simSource drives one Sim through its per-second schedule as a
+// des.EventSource. Seconds are scheduled lazily — processing second t's
+// snapshot enqueues second t+1 — so the queue stays a handful of events
+// deep regardless of horizon.
+type simSource struct {
+	s       *Sim
+	seconds int
+	byTime  map[int]float64
+	mutable bool
+	q       des.Heap
+
+	// churned carries the workload event's count to the snapshot event of
+	// the same second.
+	churned int
+	capture func(second, churned int)
+	onBatch func() error
+}
+
+func (src *simSource) scheduleSecond(sec int) {
+	t := float64(sec)
+	if _, ok := src.byTime[sec]; ok {
+		src.q.Push(des.Item{Time: t, Prio: evBudget, Kind: evBudget, Node: int32(sec)})
+	}
+	if src.mutable {
+		src.q.Push(des.Item{Time: t, Prio: evWorkload, Kind: evWorkload, Node: int32(sec)})
+	}
+	if src.s.cfg.RoundsPerSecond > 0 {
+		src.q.Push(des.Item{Time: t, Prio: evRounds, Kind: evRounds, Node: int32(sec)})
+	}
+	src.q.Push(des.Item{Time: t, Prio: evSnapshot, Kind: evSnapshot, Node: int32(sec)})
+}
+
+func (src *simSource) HasPendingEvents() bool     { return src.q.Len() > 0 }
+func (src *simSource) PeekNextEventTime() float64 { return src.q.PeekTime() }
+
+func (src *simSource) ProcessNextEvent() error {
+	ev := src.q.Pop()
+	sec := int(ev.Node)
+	switch ev.Kind {
+	case evBudget:
+		b := src.byTime[sec]
+		if err := src.s.engine.SetBudget(b); err != nil {
+			return fmt.Errorf("cluster: budget event at %ds: %w", sec, err)
+		}
+		src.s.budget = b
+	case evWorkload:
+		churned, err := src.s.advanceWorkloads()
+		if err != nil {
+			return err
+		}
+		src.churned = churned
+	case evRounds:
+		for r := 0; r < src.s.cfg.RoundsPerSecond; r++ {
+			src.s.engine.StepAuto()
+		}
+	case evSnapshot:
+		src.capture(sec, src.churned)
+		src.churned = 0
+		if err := src.onBatch(); err != nil {
+			return err
+		}
+		if sec < src.seconds {
+			src.scheduleSecond(sec + 1)
+		}
+	}
+	return nil
+}
+
+// runEvents is Run's default path on the shared-clock event core.
+func (s *Sim) runEvents(seconds int, events []BudgetEvent) ([]Sample, error) {
+	byTime := make(map[int]float64, len(events))
+	for _, ev := range events {
+		byTime[ev.AtSecond] = ev.Budget
+	}
+	mutable := s.cfg.ChurnPerSecond > 0 || s.cfg.Phased != nil
+	samples := make([]Sample, 0, seconds+1)
+	batch := make([]pendingSnap, 0, snapshotBatch)
+	capture := func(second, churned int) {
+		ps := pendingSnap{
+			second:  second,
+			churned: churned,
+			budget:  s.budget,
+			power:   s.engine.TotalPower(),
+			alloc:   s.engine.Alloc(),
+		}
+		if mutable {
+			ps.us = append([]workload.Utility(nil), s.us...)
+		}
+		batch = append(batch, ps)
+	}
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		out := make([]Sample, len(batch))
+		err := parallel.ForEach(len(batch), func(k int) error {
+			us := batch[k].us
+			if us == nil {
+				us = s.us
+			}
+			smp, err := evalSnapshot(us, batch[k])
+			out[k] = smp
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		samples = append(samples, out...)
+		batch = batch[:0]
+		return nil
+	}
+	src := &simSource{
+		s:       s,
+		seconds: seconds,
+		byTime:  byTime,
+		mutable: mutable,
+		capture: capture,
+		onBatch: func() error {
+			if len(batch) >= snapshotBatch {
+				return flush()
+			}
+			return nil
+		},
+	}
+	capture(0, 0)
+	if seconds >= 1 {
+		src.scheduleSecond(1)
+	}
+	sched := des.NewScheduler(src)
+	if err := sched.Run(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}

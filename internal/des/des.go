@@ -1,0 +1,168 @@
+// Package des is the shared-clock discrete-event core the simulators in
+// this repository (internal/dessim, internal/cluster, internal/netsim)
+// run on. Each simulator decomposes into the three EventSource primitives —
+// does it have pending events, when is the next one, process exactly one —
+// and a Scheduler merges any number of sources under one clock, always
+// advancing the globally earliest event. Work therefore scales with the
+// number of events, not with cluster size × simulated seconds: a server
+// that does nothing between two events costs nothing between them.
+//
+// Determinism contract: with the same sources, seeds, and registration
+// order, the event sequence is reproduced exactly. Three rules make that
+// hold. (1) Heap ordering is total: (Time, Prio, seq) with seq assigned at
+// push, so same-time events run in a defined order regardless of heap
+// shape. (2) The Scheduler breaks cross-source ties by registration order.
+// (3) Randomness is drawn from per-source PartitionedRNG streams, so how
+// sources interleave never changes which stream a draw comes from — adding
+// a source to a scenario cannot perturb another source's draws.
+package des
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Never is the PeekNextEventTime value of a source with nothing scheduled.
+var Never = math.Inf(1)
+
+// EventSource is one simulator (or one aspect of a scenario: budget steps,
+// churn, sensor faults, link delays) driven by the shared clock.
+type EventSource interface {
+	// HasPendingEvents reports whether the source has at least one event
+	// scheduled.
+	HasPendingEvents() bool
+	// PeekNextEventTime returns the simulated time of the source's next
+	// event without processing it. Undefined (may return Never) when
+	// HasPendingEvents is false. A source must never return a time earlier
+	// than the last event the scheduler processed from it.
+	PeekNextEventTime() float64
+	// ProcessNextEvent processes exactly the event PeekNextEventTime
+	// announced, possibly scheduling further events on this or (via shared
+	// state) no other source.
+	ProcessNextEvent() error
+}
+
+// Scheduler merges N event sources under one shared clock.
+type Scheduler struct {
+	sources   []EventSource
+	now       float64
+	processed uint64
+}
+
+// NewScheduler builds a scheduler over the given sources. Registration
+// order is the tie-break priority for events at identical times (earlier
+// sources first), so it is part of a scenario's deterministic identity.
+func NewScheduler(sources ...EventSource) *Scheduler {
+	return &Scheduler{sources: sources}
+}
+
+// Add registers another source (lower priority than all existing ones).
+func (sc *Scheduler) Add(src EventSource) { sc.sources = append(sc.sources, src) }
+
+// Now returns the shared clock: the time of the last processed event.
+func (sc *Scheduler) Now() float64 { return sc.now }
+
+// Processed returns how many events have been processed in total.
+func (sc *Scheduler) Processed() uint64 { return sc.processed }
+
+// ErrTimeTravel reports a source announcing an event earlier than the
+// shared clock — a broken source, not a recoverable condition.
+var ErrTimeTravel = errors.New("des: source scheduled an event before the shared clock")
+
+// Step processes the single globally earliest pending event. It returns
+// false when no source has pending events.
+func (sc *Scheduler) Step() (bool, error) {
+	best := -1
+	bestAt := Never
+	for i, src := range sc.sources {
+		if !src.HasPendingEvents() {
+			continue
+		}
+		// Strict < keeps the first-registered source on ties.
+		if at := src.PeekNextEventTime(); at < bestAt {
+			best, bestAt = i, at
+		}
+	}
+	if best < 0 {
+		return false, nil
+	}
+	if bestAt < sc.now {
+		return false, ErrTimeTravel
+	}
+	sc.now = bestAt
+	sc.processed++
+	return true, sc.sources[best].ProcessNextEvent()
+}
+
+// RunUntil processes every event with time ≤ horizon, then sets the clock
+// to the horizon. Events beyond the horizon stay pending.
+func (sc *Scheduler) RunUntil(horizon float64) error {
+	for {
+		best := -1
+		bestAt := Never
+		for i, src := range sc.sources {
+			if !src.HasPendingEvents() {
+				continue
+			}
+			if at := src.PeekNextEventTime(); at < bestAt {
+				best, bestAt = i, at
+			}
+		}
+		if best < 0 || bestAt > horizon {
+			if sc.now < horizon {
+				sc.now = horizon
+			}
+			return nil
+		}
+		if bestAt < sc.now {
+			return ErrTimeTravel
+		}
+		sc.now = bestAt
+		sc.processed++
+		if err := sc.sources[best].ProcessNextEvent(); err != nil {
+			return err
+		}
+	}
+}
+
+// Run processes events until every source is drained.
+func (sc *Scheduler) Run() error {
+	for {
+		ok, err := sc.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+// PartitionedRNG hands out independent deterministic rand streams keyed by
+// a small integer, so every event source (and every entity inside one —
+// e.g. per-round link draws vs per-event churn picks) owns its own stream.
+// Stream(i) depends only on (seed, i): sources can be added, removed, or
+// interleaved differently without changing any other stream's sequence.
+type PartitionedRNG struct {
+	seed int64
+}
+
+// NewPartitionedRNG builds the stream family for one scenario seed.
+func NewPartitionedRNG(seed int64) PartitionedRNG { return PartitionedRNG{seed: seed} }
+
+// Stream returns the i-th stream, freshly positioned at its start. Calling
+// Stream(i) twice returns two independent copies of the same sequence.
+func (p PartitionedRNG) Stream(i uint64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(mix(uint64(p.seed), i))))
+}
+
+// mix is a splitmix64-style finalizer over (seed, stream): consecutive
+// stream ids map to well-separated source seeds, unlike seed+i which would
+// collide with a neighboring scenario seed's streams.
+func mix(seed, i uint64) uint64 {
+	z := seed ^ (i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

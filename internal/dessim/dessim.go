@@ -4,13 +4,20 @@
 // energy-efficient free server (highest throughput per Watt), matching the
 // scheduler of Section 5.3. The long-run utilization per server type feeds
 // the probabilistic rack-layout optimization.
+//
+// The simulator is an internal/des EventSource: Run drives a Sim to its
+// horizon on a des.Scheduler, and a Sim can equally be merged with other
+// sources (cluster dynamics, link delays) under one shared clock. The
+// event queue is the des 4-ary arena heap — the old container/heap queue,
+// which boxed every event into an interface on push, is gone.
 package dessim
 
 import (
-	"container/heap"
 	"errors"
 	"math/rand"
 	"sort"
+
+	"powercap/internal/des"
 )
 
 // ServerType describes one hardware class of Table 5.1.
@@ -50,183 +57,244 @@ type Result struct {
 	MeanQueueLen float64
 }
 
-type event struct {
-	at   float64
-	kind int // 0 arrival, 1 departure
-	srv  int // server index for departures
+// Event kinds on the des queue.
+const (
+	kindArrival   = 0
+	kindDeparture = 1
+)
+
+type server struct {
+	typeIdx int
+	speed   float64
+	busy    bool
+	// busySince tracks the start of the current busy period.
+	busySince float64
 }
 
-type eventQueue []event
-
-func (q eventQueue) Len() int            { return len(q) }
-func (q eventQueue) Less(i, j int) bool  { return q[i].at < q[j].at }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
-}
-
-// rankHeap is a min-heap of free server indices ordered by scheduling
-// preference rank.
-type rankHeap struct {
+// freeHeap is an inlined min-heap of free server indices ordered by
+// scheduling preference rank (rank is a permutation, so keys are unique and
+// the pop order is identical to the old container/heap version — without
+// the interface boxing on every push).
+type freeHeap struct {
 	items []int
 	rank  []int
 }
 
-func (h rankHeap) Len() int            { return len(h.items) }
-func (h rankHeap) Less(i, j int) bool  { return h.rank[h.items[i]] < h.rank[h.items[j]] }
-func (h rankHeap) Swap(i, j int)       { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *rankHeap) Push(x interface{}) { h.items = append(h.items, x.(int)) }
-func (h *rankHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	v := old[n-1]
-	h.items = old[:n-1]
-	return v
+func (h *freeHeap) push(si int) {
+	h.items = append(h.items, si)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.rank[h.items[i]] >= h.rank[h.items[p]] {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
 }
 
-// Run executes the simulation.
-func Run(cfg Config) (Result, error) {
+func (h *freeHeap) pop() int {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items = h.items[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && h.rank[h.items[c+1]] < h.rank[h.items[c]] {
+			c++
+		}
+		if h.rank[h.items[i]] <= h.rank[h.items[c]] {
+			break
+		}
+		h.items[i], h.items[c] = h.items[c], h.items[i]
+		i = c
+	}
+	return top
+}
+
+// Sim is a running queueing simulation, exposed as a des.EventSource so it
+// can share a clock with other simulators. Create with NewSim, drive with
+// a des.Scheduler (or Run), read statistics with Result.
+type Sim struct {
+	cfg     Config
+	rng     *rand.Rand
+	q       des.Heap
+	free    freeHeap
+	servers []server
+
+	warmEnd   float64
+	busyTime  []float64
+	queue     int
+	queueArea float64
+	lastT     float64
+	completed int
+	// done latches once an event beyond the horizon is popped; remaining
+	// events stay unprocessed, exactly like the old loop's break.
+	done bool
+}
+
+// NewSim validates the config and builds the simulator with its first
+// arrival scheduled.
+func NewSim(cfg Config) (*Sim, error) {
 	if len(cfg.Types) == 0 {
-		return Result{}, errors.New("dessim: no server types")
+		return nil, errors.New("dessim: no server types")
 	}
 	if cfg.ArrivalRate <= 0 || cfg.MeanJobSeconds <= 0 || cfg.Horizon <= 0 {
-		return Result{}, errors.New("dessim: rates and horizon must be positive")
+		return nil, errors.New("dessim: rates and horizon must be positive")
 	}
 	if cfg.WarmupFraction == 0 {
 		cfg.WarmupFraction = 0.1
 	}
 	if cfg.WarmupFraction < 0 || cfg.WarmupFraction >= 1 {
-		return Result{}, errors.New("dessim: warmup fraction must lie in [0,1)")
+		return nil, errors.New("dessim: warmup fraction must lie in [0,1)")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &Sim{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		warmEnd: cfg.Horizon * cfg.WarmupFraction,
+	}
 
 	// Flatten servers; order them by scheduling preference once.
-	type server struct {
-		typeIdx int
-		speed   float64
-		busy    bool
-		// busySince tracks the start of the current busy period.
-		busySince float64
-	}
-	var servers []server
 	for ti, st := range cfg.Types {
 		if st.Count <= 0 || st.SpeedFactor <= 0 {
-			return Result{}, errors.New("dessim: invalid server type")
+			return nil, errors.New("dessim: invalid server type")
 		}
 		for k := 0; k < st.Count; k++ {
-			servers = append(servers, server{typeIdx: ti, speed: st.SpeedFactor})
+			s.servers = append(s.servers, server{typeIdx: ti, speed: st.SpeedFactor})
 		}
 	}
 	// Preference rank: highest throughput/Watt first (greedy scheduler).
 	// A min-heap of free servers keyed by rank makes each placement O(log n).
-	rank := make([]int, len(servers))
-	order := make([]int, len(servers))
+	rank := make([]int, len(s.servers))
+	order := make([]int, len(s.servers))
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		return cfg.Types[servers[order[a]].typeIdx].ThroughputPerWatt >
-			cfg.Types[servers[order[b]].typeIdx].ThroughputPerWatt
+		return cfg.Types[s.servers[order[a]].typeIdx].ThroughputPerWatt >
+			cfg.Types[s.servers[order[b]].typeIdx].ThroughputPerWatt
 	})
 	for r, si := range order {
 		rank[si] = r
 	}
-	free := &rankHeap{rank: rank}
-	for _, si := range order {
-		free.items = append(free.items, si) // already in rank order
+	s.free = freeHeap{items: order, rank: rank} // ascending ranks are heap-ordered
+	s.busyTime = make([]float64, len(cfg.Types))
+
+	s.q.Grow(len(s.servers) + 2)
+	s.q.Push(des.Item{Time: s.rng.ExpFloat64() / cfg.ArrivalRate, Kind: kindArrival})
+	return s, nil
+}
+
+// HasPendingEvents implements des.EventSource.
+func (s *Sim) HasPendingEvents() bool { return !s.done && s.q.Len() > 0 }
+
+// PeekNextEventTime implements des.EventSource.
+func (s *Sim) PeekNextEventTime() float64 { return s.q.PeekTime() }
+
+// startJob places a queued-or-arriving job on the best free server and
+// schedules its departure. Returns false when every server is busy.
+func (s *Sim) startJob(now float64) bool {
+	if len(s.free.items) == 0 {
+		return false
 	}
+	si := s.free.pop()
+	s.servers[si].busy = true
+	s.servers[si].busySince = now
+	dur := s.rng.ExpFloat64() * s.cfg.MeanJobSeconds / s.servers[si].speed
+	s.q.Push(des.Item{Time: now + dur, Kind: kindDeparture, Node: int32(si)})
+	return true
+}
 
-	warmEnd := cfg.Horizon * cfg.WarmupFraction
-	busyTime := make([]float64, len(cfg.Types))
-	var queue int
-	var queueArea float64
-	lastT := 0.0
-	completed := 0
-
-	q := &eventQueue{}
-	heap.Push(q, event{at: rng.ExpFloat64() / cfg.ArrivalRate, kind: 0})
-
-	startJob := func(now float64) bool {
-		if free.Len() == 0 {
-			return false
-		}
-		si := heap.Pop(free).(int)
-		servers[si].busy = true
-		servers[si].busySince = now
-		dur := rng.ExpFloat64() * cfg.MeanJobSeconds / servers[si].speed
-		heap.Push(q, event{at: now + dur, kind: 1, srv: si})
-		return true
+// ProcessNextEvent implements des.EventSource: one arrival or departure.
+// Popping the first event beyond the horizon ends the run without
+// processing it.
+func (s *Sim) ProcessNextEvent() error {
+	ev := s.q.Pop()
+	if ev.Time > s.cfg.Horizon {
+		s.done = true
+		return nil
 	}
-
-	for q.Len() > 0 {
-		ev := heap.Pop(q).(event)
-		if ev.at > cfg.Horizon {
-			break
+	// Accumulate queue-length area in the measured window.
+	if ev.Time > s.warmEnd {
+		from := s.lastT
+		if from < s.warmEnd {
+			from = s.warmEnd
 		}
-		// Accumulate queue-length area in the measured window.
-		if ev.at > warmEnd {
-			from := lastT
-			if from < warmEnd {
-				from = warmEnd
-			}
-			queueArea += float64(queue) * (ev.at - from)
-		}
-		lastT = ev.at
-		switch ev.kind {
-		case 0: // arrival
-			if !startJob(ev.at) {
-				queue++
-			}
-			heap.Push(q, event{at: ev.at + rng.ExpFloat64()/cfg.ArrivalRate, kind: 0})
-		case 1: // departure
-			s := &servers[ev.srv]
-			start := s.busySince
-			if start < warmEnd {
-				start = warmEnd
-			}
-			if ev.at > warmEnd {
-				busyTime[s.typeIdx] += ev.at - start
-				completed++
-			}
-			s.busy = false
-			heap.Push(free, ev.srv)
-			if queue > 0 {
-				queue--
-				startJob(ev.at)
-			}
-		}
+		s.queueArea += float64(s.queue) * (ev.Time - from)
 	}
-	// Account for servers still busy at the horizon.
-	for _, s := range servers {
-		if s.busy {
-			start := s.busySince
-			if start < warmEnd {
-				start = warmEnd
-			}
-			if cfg.Horizon > start {
-				busyTime[s.typeIdx] += cfg.Horizon - start
-			}
+	s.lastT = ev.Time
+	switch ev.Kind {
+	case kindArrival:
+		if !s.startJob(ev.Time) {
+			s.queue++
+		}
+		s.q.Push(des.Item{Time: ev.Time + s.rng.ExpFloat64()/s.cfg.ArrivalRate, Kind: kindArrival})
+	case kindDeparture:
+		srv := &s.servers[ev.Node]
+		start := srv.busySince
+		if start < s.warmEnd {
+			start = s.warmEnd
+		}
+		if ev.Time > s.warmEnd {
+			s.busyTime[srv.typeIdx] += ev.Time - start
+			s.completed++
+		}
+		srv.busy = false
+		s.free.push(int(ev.Node))
+		if s.queue > 0 {
+			s.queue--
+			s.startJob(ev.Time)
 		}
 	}
+	return nil
+}
 
-	window := cfg.Horizon - warmEnd
-	util := make([]float64, len(cfg.Types))
-	for ti, st := range cfg.Types {
-		util[ti] = busyTime[ti] / (window * float64(st.Count))
+// Result finalizes the long-run statistics. Servers still busy at the
+// horizon are accounted up to it; the Sim itself is left untouched, so
+// Result may be called repeatedly.
+func (s *Sim) Result() Result {
+	util := make([]float64, len(s.cfg.Types))
+	copy(util, s.busyTime)
+	for _, srv := range s.servers {
+		if srv.busy {
+			start := srv.busySince
+			if start < s.warmEnd {
+				start = s.warmEnd
+			}
+			if s.cfg.Horizon > start {
+				util[srv.typeIdx] += s.cfg.Horizon - start
+			}
+		}
+	}
+	window := s.cfg.Horizon - s.warmEnd
+	for ti, st := range s.cfg.Types {
+		util[ti] /= window * float64(st.Count)
 		if util[ti] > 1 {
 			util[ti] = 1
 		}
 	}
 	return Result{
 		Utilization:  util,
-		Completed:    completed,
-		MeanQueueLen: queueArea / window,
-	}, nil
+		Completed:    s.completed,
+		MeanQueueLen: s.queueArea / window,
+	}
+}
+
+// Run executes the simulation to its horizon on a dedicated scheduler.
+func Run(cfg Config) (Result, error) {
+	sim, err := NewSim(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	sc := des.NewScheduler(sim)
+	if err := sc.Run(); err != nil {
+		return Result{}, err
+	}
+	return sim.Result(), nil
 }
 
 // Table51 is the four-class server mix of Table 5.1, with efficiency

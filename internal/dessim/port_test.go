@@ -1,0 +1,267 @@
+package dessim
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// The des-core port must not move a digit: runLegacy below is the
+// pre-port implementation (container/heap event queue, interface-boxed
+// rank heap) kept verbatim as the reference, and the property test checks
+// Result equality — float bits included — across random configurations.
+
+type legacyEvent struct {
+	at   float64
+	kind int
+	srv  int
+}
+
+type legacyQueue []legacyEvent
+
+func (q legacyQueue) Len() int            { return len(q) }
+func (q legacyQueue) Less(i, j int) bool  { return q[i].at < q[j].at }
+func (q legacyQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *legacyQueue) Push(x interface{}) { *q = append(*q, x.(legacyEvent)) }
+func (q *legacyQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+type legacyRankHeap struct {
+	items []int
+	rank  []int
+}
+
+func (h legacyRankHeap) Len() int            { return len(h.items) }
+func (h legacyRankHeap) Less(i, j int) bool  { return h.rank[h.items[i]] < h.rank[h.items[j]] }
+func (h legacyRankHeap) Swap(i, j int)       { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *legacyRankHeap) Push(x interface{}) { h.items = append(h.items, x.(int)) }
+func (h *legacyRankHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	v := old[n-1]
+	h.items = old[:n-1]
+	return v
+}
+
+func runLegacy(cfg Config) (Result, error) {
+	if cfg.WarmupFraction == 0 {
+		cfg.WarmupFraction = 0.1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type server struct {
+		typeIdx   int
+		speed     float64
+		busy      bool
+		busySince float64
+	}
+	var servers []server
+	for ti, st := range cfg.Types {
+		for k := 0; k < st.Count; k++ {
+			servers = append(servers, server{typeIdx: ti, speed: st.SpeedFactor})
+		}
+	}
+	rank := make([]int, len(servers))
+	order := make([]int, len(servers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return cfg.Types[servers[order[a]].typeIdx].ThroughputPerWatt >
+			cfg.Types[servers[order[b]].typeIdx].ThroughputPerWatt
+	})
+	for r, si := range order {
+		rank[si] = r
+	}
+	free := &legacyRankHeap{rank: rank}
+	for _, si := range order {
+		free.items = append(free.items, si)
+	}
+
+	warmEnd := cfg.Horizon * cfg.WarmupFraction
+	busyTime := make([]float64, len(cfg.Types))
+	var queue int
+	var queueArea float64
+	lastT := 0.0
+	completed := 0
+
+	q := &legacyQueue{}
+	heap.Push(q, legacyEvent{at: rng.ExpFloat64() / cfg.ArrivalRate, kind: 0})
+
+	startJob := func(now float64) bool {
+		if free.Len() == 0 {
+			return false
+		}
+		si := heap.Pop(free).(int)
+		servers[si].busy = true
+		servers[si].busySince = now
+		dur := rng.ExpFloat64() * cfg.MeanJobSeconds / servers[si].speed
+		heap.Push(q, legacyEvent{at: now + dur, kind: 1, srv: si})
+		return true
+	}
+
+	for q.Len() > 0 {
+		ev := heap.Pop(q).(legacyEvent)
+		if ev.at > cfg.Horizon {
+			break
+		}
+		if ev.at > warmEnd {
+			from := lastT
+			if from < warmEnd {
+				from = warmEnd
+			}
+			queueArea += float64(queue) * (ev.at - from)
+		}
+		lastT = ev.at
+		switch ev.kind {
+		case 0:
+			if !startJob(ev.at) {
+				queue++
+			}
+			heap.Push(q, legacyEvent{at: ev.at + rng.ExpFloat64()/cfg.ArrivalRate, kind: 0})
+		case 1:
+			s := &servers[ev.srv]
+			start := s.busySince
+			if start < warmEnd {
+				start = warmEnd
+			}
+			if ev.at > warmEnd {
+				busyTime[s.typeIdx] += ev.at - start
+				completed++
+			}
+			s.busy = false
+			heap.Push(free, ev.srv)
+			if queue > 0 {
+				queue--
+				startJob(ev.at)
+			}
+		}
+	}
+	for _, s := range servers {
+		if s.busy {
+			start := s.busySince
+			if start < warmEnd {
+				start = warmEnd
+			}
+			if cfg.Horizon > start {
+				busyTime[s.typeIdx] += cfg.Horizon - start
+			}
+		}
+	}
+
+	window := cfg.Horizon - warmEnd
+	util := make([]float64, len(cfg.Types))
+	for ti, st := range cfg.Types {
+		util[ti] = busyTime[ti] / (window * float64(st.Count))
+		if util[ti] > 1 {
+			util[ti] = 1
+		}
+	}
+	return Result{
+		Utilization:  util,
+		Completed:    completed,
+		MeanQueueLen: queueArea / window,
+	}, nil
+}
+
+func resultsEqual(a, b Result) bool {
+	if a.Completed != b.Completed || a.MeanQueueLen != b.MeanQueueLen {
+		return false
+	}
+	if len(a.Utilization) != len(b.Utilization) {
+		return false
+	}
+	for i := range a.Utilization {
+		if a.Utilization[i] != b.Utilization[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPortBitwiseIdenticalToLegacy: the des-core Run reproduces the
+// container/heap implementation bit for bit across random loads, mixes,
+// horizons, and seeds.
+func TestPortBitwiseIdenticalToLegacy(t *testing.T) {
+	f := func(seed int64, loadPct uint8, mix uint8, horizonK uint8) bool {
+		cfg := Config{
+			Types:          Table51(8, 4+int(mix%5)*4),
+			ArrivalRate:    0.5 + float64(loadPct%200)/10,
+			MeanJobSeconds: 30 + float64(mix%7)*20,
+			Horizon:        500 + float64(horizonK%8)*250,
+			Seed:           seed,
+		}
+		want, err := runLegacy(cfg)
+		if err != nil {
+			return false
+		}
+		got, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		return resultsEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPortBitwiseIdenticalPaperConfig: the exact configuration the pinned
+// fig5.3/fig5.7 tables run (Table 5.1 mix) stays byte-identical too.
+func TestPortBitwiseIdenticalPaperConfig(t *testing.T) {
+	for _, lambda := range []float64{8, 12, 16, 20, 24} {
+		cfg := Config{
+			Types:          Table51(80, 10),
+			ArrivalRate:    lambda * 10 / 40,
+			MeanJobSeconds: 120,
+			Horizon:        3000,
+			Seed:           1,
+		}
+		want, err := runLegacy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEqual(got, want) {
+			t.Fatalf("λ=%v: port diverges: got %+v want %+v", lambda, got, want)
+		}
+	}
+}
+
+// TestProcessNextEventZeroAlloc: the simulator's hot path on the des arena
+// heap must not allocate in steady state.
+func TestProcessNextEventZeroAlloc(t *testing.T) {
+	sim, err := NewSim(Config{
+		Types:          Table51(8, 8),
+		ArrivalRate:    10,
+		MeanJobSeconds: 60,
+		Horizon:        1e9,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: fill the queue and the heap arenas.
+	for i := 0; i < 10000; i++ {
+		if err := sim.ProcessNextEvent(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(5000, func() {
+		if err := sim.ProcessNextEvent(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ProcessNextEvent allocated %v allocs/op, want 0", allocs)
+	}
+}

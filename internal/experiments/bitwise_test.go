@@ -83,6 +83,10 @@ func TestBitwiseIdenticalToCommittedResults(t *testing.T) {
 		{"fig3.11", "results_quick.txt", func() (Table, error) { return Fig311(Quick, seed) }},
 		{"fig5.7", "results_quick.txt", func() (Table, error) { return Fig57(Quick, seed) }},
 		{"fig3.13", "results_quick.txt", func() (Table, error) { return Fig313(Quick, seed) }},
+		// desscale pins the scenario runners on the shared-clock event core:
+		// both the event-driven and the tick-driven path must reproduce the
+		// same churn realizations, refresh counts, and power accounting.
+		{"desscale", "results_quick.txt", func() (Table, error) { return DesScale(Quick, seed) }},
 		// hierscale pins the fault-free DiBA paths — the hierarchical engine
 		// and the flat engine it is compared against — so neither fast path
 		// may move a digit at the same seed.

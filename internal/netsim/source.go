@@ -1,0 +1,147 @@
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"time"
+
+	"powercap/internal/des"
+)
+
+// Event-driven DiBA round latency. DiBARoundSampled collapses a round to
+// its closed-form maximum; RoundsSource instead plays the round out as
+// individual neighbor-exchange completions on the shared-clock event core,
+// so link traffic can interleave with other simulators (cluster dynamics,
+// queueing) under one des.Scheduler. Per round the draws happen in node
+// order at the round start, which keeps the sampled round durations
+// bit-identical to a DiBARoundSampled loop over the same rng.
+
+// RoundsSource is a des.EventSource that simulates `rounds` synchronous
+// DiBA rounds over n nodes: each node's neighbor exchange completes after
+// an Exp(Read)+Exp(Write) delay, and the next round starts when the
+// slowest exchange of the current round lands.
+type RoundsSource struct {
+	link   LinkModel
+	n      int
+	rounds int
+	rng    *rand.Rand
+
+	q           des.Heap
+	round       int     // rounds fully completed
+	outstanding int     // exchanges still in flight this round
+	start       float64 // current round's start time (ns scale)
+	durations   []float64
+}
+
+// NewRoundsSource builds the source and schedules the first round's
+// exchanges at time 0.
+func NewRoundsSource(link LinkModel, n, rounds int, rng *rand.Rand) (*RoundsSource, error) {
+	if n <= 0 || rounds <= 0 {
+		return nil, errors.New("netsim: n and rounds must be positive")
+	}
+	s := &RoundsSource{
+		link:      link,
+		n:         n,
+		rounds:    rounds,
+		rng:       rng,
+		durations: make([]float64, 0, rounds),
+	}
+	s.q.Grow(n)
+	s.beginRound(0)
+	return s, nil
+}
+
+// beginRound draws every node's exchange duration (node order, matching
+// DiBARoundSampled) and schedules the completions.
+func (s *RoundsSource) beginRound(at float64) {
+	s.start = at
+	s.outstanding = s.n
+	read := float64(s.link.Read)
+	write := float64(s.link.Write)
+	for i := 0; i < s.n; i++ {
+		d := s.rng.ExpFloat64()*read + s.rng.ExpFloat64()*write
+		s.q.Push(des.Item{Time: at + d, Node: int32(i)})
+	}
+}
+
+// HasPendingEvents implements des.EventSource.
+func (s *RoundsSource) HasPendingEvents() bool { return s.q.Len() > 0 }
+
+// PeekNextEventTime implements des.EventSource.
+func (s *RoundsSource) PeekNextEventTime() float64 { return s.q.PeekTime() }
+
+// ProcessNextEvent implements des.EventSource: one exchange completion.
+// The last completion of a round records the round duration and, if rounds
+// remain, starts the next one at that instant.
+func (s *RoundsSource) ProcessNextEvent() error {
+	ev := s.q.Pop()
+	s.outstanding--
+	if s.outstanding > 0 {
+		return nil
+	}
+	s.durations = append(s.durations, ev.Time-s.start)
+	s.round++
+	if s.round < s.rounds {
+		s.beginRound(ev.Time)
+	}
+	return nil
+}
+
+// Done reports whether every round has completed.
+func (s *RoundsSource) Done() bool { return s.round >= s.rounds }
+
+// Durations returns the per-round communication times recorded so far.
+func (s *RoundsSource) Durations() []time.Duration {
+	out := make([]time.Duration, len(s.durations))
+	for i, d := range s.durations {
+		out[i] = time.Duration(d)
+	}
+	return out
+}
+
+// Total returns the summed duration of all completed rounds.
+func (s *RoundsSource) Total() time.Duration {
+	var sum float64
+	for _, d := range s.durations {
+		sum += d
+	}
+	return time.Duration(sum)
+}
+
+// Stats summarizes the completed rounds like LinkModel.GatherScatter does
+// for coordinator rounds.
+func (s *RoundsSource) Stats() (RoundStats, error) {
+	if len(s.durations) == 0 {
+		return RoundStats{}, errors.New("netsim: no completed rounds")
+	}
+	samples := append([]float64(nil), s.durations...)
+	sort.Float64s(samples)
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	at := func(q float64) time.Duration {
+		return time.Duration(samples[int(q*float64(len(samples)-1))])
+	}
+	return RoundStats{
+		Mean: time.Duration(sum / float64(len(samples))),
+		P50:  at(0.50),
+		P95:  at(0.95),
+		Max:  time.Duration(samples[len(samples)-1]),
+	}, nil
+}
+
+// SampleRounds drives a RoundsSource to completion on its own scheduler
+// and returns the per-round durations — the event-driven equivalent of
+// calling DiBARoundSampled `rounds` times.
+func (l LinkModel) SampleRounds(n, rounds int, rng *rand.Rand) ([]time.Duration, error) {
+	src, err := NewRoundsSource(l, n, rounds, rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := des.NewScheduler(src).Run(); err != nil {
+		return nil, err
+	}
+	return src.Durations(), nil
+}

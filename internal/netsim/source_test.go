@@ -1,0 +1,122 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"powercap/internal/des"
+)
+
+// TestRoundsSourceMatchesClosedForm: playing the exchanges out as events
+// must reproduce the exact durations a DiBARoundSampled loop draws from
+// the same rng — the event decomposition changes the mechanics, not the
+// distribution or the draw order.
+func TestRoundsSourceMatchesClosedForm(t *testing.T) {
+	f := func(seed int64, nRaw, roundsRaw uint8) bool {
+		n := 1 + int(nRaw%64)
+		rounds := 1 + int(roundsRaw%20)
+
+		ref := rand.New(rand.NewSource(seed))
+		want := make([]time.Duration, rounds)
+		for r := range want {
+			want[r] = Measured.DiBARoundSampled(n, ref)
+		}
+
+		got, err := Measured.SampleRounds(n, rounds, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		if len(got) != rounds {
+			return false
+		}
+		for r := range got {
+			if got[r] != want[r] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundsSourceSequentialRounds: round k+1 cannot start before round k's
+// slowest exchange lands, so cumulative start times are non-decreasing and
+// Total equals the sum of per-round durations.
+func TestRoundsSourceSequentialRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src, err := NewRoundsSource(Measured, 16, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := des.NewScheduler(src)
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !src.Done() {
+		t.Fatal("source not done after scheduler drained it")
+	}
+	durs := src.Durations()
+	if len(durs) != 40 {
+		t.Fatalf("got %d rounds, want 40", len(durs))
+	}
+	for _, d := range durs {
+		if d <= 0 {
+			t.Fatalf("non-positive round duration %v", d)
+		}
+	}
+	// Total sums the un-truncated float durations; compare on that scale.
+	var sum float64
+	for _, d := range src.durations {
+		sum += d
+	}
+	if got := src.Total(); got != time.Duration(sum) {
+		t.Fatalf("Total %v != summed durations %v", got, time.Duration(sum))
+	}
+	// The scheduler clock sits at the last completion; rounds run
+	// back-to-back from t=0, so it must match the summed durations up to
+	// float telescoping error.
+	if got := sched.Now(); got < sum*(1-1e-12) || got > sum*(1+1e-12) {
+		t.Fatalf("clock %v != total %v", got, sum)
+	}
+}
+
+// TestRoundsSourceStats: the summary over many rounds should look like the
+// DiBA column of Table 4.2 — mean near the closed-form round latency's
+// sampled mean, P95 above P50, max above P95.
+func TestRoundsSourceStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src, err := NewRoundsSource(Measured, 48, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := des.NewScheduler(src).Run(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := src.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(st.P50 <= st.P95 && st.P95 <= st.Max) {
+		t.Fatalf("percentiles out of order: %+v", st)
+	}
+	// Max over 48 exp draws: mean is around Read·H(48) ≈ 200µs·4.4; allow a
+	// wide deterministic band.
+	if st.Mean < 400*time.Microsecond || st.Mean > 3*time.Millisecond {
+		t.Fatalf("implausible mean round latency %v", st.Mean)
+	}
+}
+
+// TestRoundsSourceRejectsBadArgs covers the validation path.
+func TestRoundsSourceRejectsBadArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewRoundsSource(Measured, 0, 5, rng); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewRoundsSource(Measured, 5, 0, rng); err == nil {
+		t.Fatal("rounds=0 accepted")
+	}
+}
