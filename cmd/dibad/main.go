@@ -41,6 +41,19 @@
 //	-repair-margin 12      rounds between detection and chord activation;
 //	                       must exceed the graph diameter (0 = cluster size)
 //	-no-recover            fail fast with an error instead of repairing
+//	-straggler             gray-failure mitigation: proceed past a slow (but
+//	                       alive) neighbor at an adaptive per-peer deadline,
+//	                       substituting its last estimate, and reconcile
+//	                       exactly when the true frame lands; death detection
+//	                       is unchanged (needs -gather-timeout)
+//	-deadline-min 2ms      clamp on the adaptive deadline (0 = timeout/16)
+//	-deadline-max 50ms     ceiling on per-round waiting (0 = timeout/2)
+//	-max-lag 8             staleness bound in rounds for substituted
+//	                       estimates; beyond it the edge is excluded (0 = 8)
+//
+// The exit log prints a per-peer gray-failure health report next to the
+// wire statistics: round-trip mean/p99, silence-based suspicion, the
+// degraded verdict, and how many rounds proceeded without the peer.
 //
 // On a detected death the survivors gossip the dead node's frozen state,
 // shrink their budget view by its share (P − p_dead + e_dead), drop the
@@ -97,6 +110,17 @@
 //	                         of the cluster (-levels 2; pass the same spec to
 //	                         every daemon — each process only holds its own
 //	                         outbound sends); all cuts this daemon's every link
+//	-chaos-slow-node 3       degrade node 3: every lane touching it carries the
+//	                         gray-failure latency below (each process holds its
+//	                         own outbound sends, so pass the same spec to every
+//	                         daemon for symmetric slowness)
+//	-chaos-slow-delay 5ms    constant extra latency per affected message
+//	-chaos-slow-jitter 1ms   uniform extra [0, jitter) on top of the delay
+//	-chaos-slow-ramp 10s     scale the delay from 0 to full over this window
+//	                         (a gradually degrading component)
+//	-chaos-slow-period 2s    flap: slow for -chaos-slow-on of every period …
+//	-chaos-slow-on 500ms     … and healthy for the rest (0 = always slow)
+//	-chaos-slow-start 1s     activation offset from the fabric's first send
 //
 // # Shutdown
 //
@@ -149,6 +173,17 @@ func main() {
 	chaosDup := flag.Float64("chaos-dup", 0, "probability a sent message is duplicated")
 	chaosReorder := flag.Float64("chaos-reorder", 0, "probability two messages on a link are swapped")
 	chaosCrashAfter := flag.Int("chaos-crash-after", -1, "crash this daemon after that many sends (-1 = never)")
+	chaosSlowNode := flag.Int("chaos-slow-node", -1, "degrade this node id: every lane touching it carries the -chaos-slow-* latency (-1 = none)")
+	chaosSlowDelay := flag.Duration("chaos-slow-delay", 5*time.Millisecond, "constant extra latency per message on the degraded node's lanes")
+	chaosSlowJitter := flag.Duration("chaos-slow-jitter", 0, "uniform extra [0, jitter) per message on top of -chaos-slow-delay")
+	chaosSlowRamp := flag.Duration("chaos-slow-ramp", 0, "scale the slow delay linearly from 0 to full over this window")
+	chaosSlowPeriod := flag.Duration("chaos-slow-period", 0, "flap period: slow for -chaos-slow-on of every period (0 = always slow)")
+	chaosSlowOn := flag.Duration("chaos-slow-on", 0, "active window within each -chaos-slow-period")
+	chaosSlowStart := flag.Duration("chaos-slow-start", 0, "slowness activation offset from the fabric's first send")
+	straggler := flag.Bool("straggler", false, "straggler-tolerant rounds: mitigate slow-but-alive neighbors at adaptive per-peer deadlines (needs -gather-timeout)")
+	deadlineMin := flag.Duration("deadline-min", 0, "adaptive per-peer deadline floor (0 = gather-timeout/16)")
+	deadlineMax := flag.Duration("deadline-max", 0, "adaptive per-peer deadline ceiling — the most one round waits on a straggler (0 = gather-timeout/2)")
+	maxLag := flag.Int("max-lag", 0, "staleness bound in rounds for substituted estimates; beyond it the straggler's edge is excluded (0 = 8)")
 	sensorSeed := flag.Int64("sensor-chaos-seed", 0, "sensor fault injection seed (0 = ideal sensor)")
 	sensorStuck := flag.Float64("sensor-chaos-stuck", 0.002, "per-reading probability the sensor latches (with -sensor-chaos-seed)")
 	sensorDropout := flag.Float64("sensor-chaos-dropout", 0.01, "per-reading probability the reading is lost (NaN)")
@@ -291,6 +326,9 @@ func main() {
 			log.Fatalf("dibad: partition windows need -chaos-seed to enable injection")
 		}
 	}
+	if *chaosSlowNode >= 0 && *chaosSeed == 0 {
+		log.Fatalf("dibad: -chaos-slow-node needs -chaos-seed to enable injection")
+	}
 	var tr diba.Transport = tcp
 	if *chaosSeed != 0 {
 		plan := &diba.FaultPlan{
@@ -304,6 +342,16 @@ func main() {
 		}
 		if *chaosCrashAfter >= 0 {
 			plan.CrashAfterSends = map[int]int{*id: *chaosCrashAfter}
+		}
+		if *chaosSlowNode >= 0 {
+			plan.SlowNodes = map[int]diba.SlowSpec{*chaosSlowNode: {
+				Delay:    *chaosSlowDelay,
+				Jitter:   *chaosSlowJitter,
+				RampOver: *chaosSlowRamp,
+				Period:   *chaosSlowPeriod,
+				On:       *chaosSlowOn,
+				Start:    *chaosSlowStart,
+			}}
 		}
 		log.Printf("dibad: agent %d chaos injection on: %v", *id, plan)
 		tr = diba.NewFaultTransport(tcp, *id, plan)
@@ -337,11 +385,18 @@ func main() {
 			agent.SetStandby(standby)
 		}
 	}
+	if *straggler && *gatherTimeout <= 0 {
+		log.Fatalf("dibad: -straggler requires -gather-timeout (the adaptive deadlines derive from it)")
+	}
 	if *gatherTimeout > 0 {
 		fp := diba.FaultPolicy{
-			GatherTimeout: *gatherTimeout,
-			RepairMargin:  *repairMargin,
-			Recover:       !*noRecover,
+			GatherTimeout:     *gatherTimeout,
+			RepairMargin:      *repairMargin,
+			Recover:           !*noRecover,
+			StragglerTolerant: *straggler,
+			DeadlineMin:       *deadlineMin,
+			DeadlineMax:       *deadlineMax,
+			MaxLag:            *maxLag,
 			OnEvent: func(ev diba.FaultEvent) {
 				log.Printf("dibad: agent %d round %d %s node %d: %s", *id, ev.Round, ev.Kind, ev.Node, ev.Info)
 			},
@@ -490,6 +545,7 @@ func main() {
 		log.Printf("dibad: agent %d caught %v; draining send queues", *id, sig)
 		_ = tcp.Close()
 		logWireReport(tcp, codec, *id)
+		logHealthReport(agent, tcp, *id)
 		log.Printf("dibad: agent %d drained, exiting", *id)
 		os.Exit(0)
 	}()
@@ -549,6 +605,7 @@ func main() {
 		log.Printf("dibad: agent %d watchdog: %+v", *id, wd.Stats())
 	}
 	logWireReport(tcp, codec, *id)
+	logHealthReport(agent, tcp, *id)
 	extra := ""
 	if hagent != nil {
 		extra = fmt.Sprintf(" group=%d lease=%dmw epoch=%d agg=%v frozen=%v",
@@ -576,6 +633,33 @@ func logWireReport(tcp *diba.TCPTransport, codec diba.WireCodec, id int) {
 	wt := tcp.WireTotals()
 	log.Printf("dibad: agent %d wire[%s]: sent %d msgs / %d B in %d flushes, recv %d msgs / %d B",
 		id, codec, wt.MsgsSent, wt.BytesSent, wt.Flushes, wt.MsgsRecv, wt.BytesRecv)
+}
+
+// logHealthReport logs the per-peer gray-failure verdicts next to the wire
+// report: the agent's gather-level round-trip statistics, suspicion and
+// mitigation counters (only present when a fault policy is installed), and
+// the transport's own ping-echo estimators (only present with -heartbeat).
+func logHealthReport(a *diba.Agent, tcp *diba.TCPTransport, id int) {
+	for _, ph := range a.PeerHealth() {
+		log.Printf("dibad: agent %d health peer %d: gather rtt mean %v p99 %v (%d samples) suspicion %.2f degraded=%v stale-rounds=%d outstanding=%d",
+			id, ph.Peer, ph.RTT.Mean.Round(time.Microsecond), ph.RTT.P99.Round(time.Microsecond),
+			ph.RTT.Samples, ph.RTT.Suspicion, ph.RTT.Degraded, ph.StaleRounds, ph.Outstanding)
+	}
+	stats := tcp.RTTStats()
+	peers := make([]int, 0, len(stats))
+	for p := range stats {
+		peers = append(peers, p)
+	}
+	sort.Ints(peers)
+	for _, p := range peers {
+		st := stats[p]
+		if st.Samples == 0 {
+			continue
+		}
+		log.Printf("dibad: agent %d health peer %d: wire rtt mean %v p99 %v (%d echoes) suspicion %.2f degraded=%v",
+			id, p, st.Mean.Round(time.Microsecond), st.P99.Round(time.Microsecond),
+			st.Samples, st.Suspicion, st.Degraded)
+	}
 }
 
 // writeSnapshot persists the agent's state atomically: write to a temp file

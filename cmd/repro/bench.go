@@ -47,6 +47,12 @@ type benchResult struct {
 	// tick-vs-event scenario pair the measured wall-clock speedup.
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 	SpeedupX     float64 `json:"speedup_x,omitempty"`
+	// The -gray series reports the virtual-slot model's stall/mitigation
+	// counters and conservation gap per configuration.
+	StalledRounds int     `json:"stalled_rounds,omitempty"`
+	Mitigations   int     `json:"mitigations,omitempty"`
+	SlotsPerRound float64 `json:"slots_per_round,omitempty"`
+	GapW          float64 `json:"gap_w,omitempty"`
 }
 
 type benchReport struct {

@@ -72,6 +72,7 @@ var registry = map[string]runner{
 	"desscale":    experiments.DesScale,
 	"hierscale":   experiments.HierScale,
 	"hierfail":    experiments.HierFail,
+	"grayfail":    experiments.GrayFail,
 	"fxplore":     experiments.FXplore,
 	"safety":      experiments.Safety,
 	"scaling":     experiments.Scaling,
@@ -105,6 +106,7 @@ func run() int {
 	benchOut := flag.String("benchout", "", "bench: output path (default BENCH_<date>.json)")
 	hierN := flag.Int("hiern", 10000, "bench: largest hierarchical-engine cluster to time (series 1k/10k/100k/1M)")
 	desBench := flag.Bool("des", false, "bench: run the shared-clock event-core series instead (writes BENCH_<date>-des.json)")
+	grayBench := flag.Bool("gray", false, "bench: run the gray-failure tolerance gates instead (writes BENCH_<date>-gray.json)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: repro [-full] [-seed N] [-j N] <experiment ids...|all|bench|list>\n\nexperiments:\n")
 		for _, id := range ids() {
@@ -160,6 +162,13 @@ func run() int {
 		}
 		return 0
 	case "bench":
+		if *grayBench {
+			if err := runBenchGray(*seed, *benchOut); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: bench -gray: %v\n", err)
+				return 1
+			}
+			return 0
+		}
 		if *desBench {
 			if err := runBenchDes(*seed, *benchOut); err != nil {
 				fmt.Fprintf(os.Stderr, "repro: bench -des: %v\n", err)

@@ -16,13 +16,13 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 		"fig4.7", "fig4.8", "fig4.9", "fig4.10",
 		"table3.2", "fig3.1", "fig3.4", "fig3.5", "fig3.7", "fig3.10", "fig3.11", "fig3.12", "fig3.13", "fig3.14",
 		"table5.2", "fig5.2", "fig5.3", "fig5.4", "fig5.5", "fig5.7",
-		"ablation", "failure", "async", "hierarchy", "desscale", "hierscale", "hierfail", "fxplore", "safety", "scaling", "sensorchaos",
+		"ablation", "failure", "async", "hierarchy", "desscale", "hierscale", "hierfail", "fxplore", "grayfail", "safety", "scaling", "sensorchaos",
 	} {
 		if _, ok := registry[id]; !ok {
 			t.Fatalf("experiment %q missing from the registry", id)
 		}
 	}
-	if len(registry) != 37 {
+	if len(registry) != 38 {
 		t.Fatalf("registry has %d entries; update this test when adding experiments", len(registry))
 	}
 }

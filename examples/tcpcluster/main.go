@@ -18,6 +18,8 @@ import (
 	"log"
 	"math"
 	"math/rand"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -53,7 +55,10 @@ func main() {
 	transports := make([]*diba.TCPTransport, n)
 	addrs := make(map[int]string, n)
 	for i := 0; i < n; i++ {
-		tr, err := diba.NewTCPTransport(i, "127.0.0.1:0", diba.WithWireCodec(codec))
+		// Heartbeats carry RTT pings; the echoes feed the per-peer health
+		// verdicts the summary prints next to the wire statistics.
+		tr, err := diba.NewTCPTransport(i, "127.0.0.1:0",
+			diba.WithWireCodec(codec), diba.WithHeartbeat(50*time.Millisecond))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -137,6 +142,40 @@ func main() {
 		fmt.Printf("wire[%s]: %d msgs in %d B over %d flushes (%.1f B/msg, %.1f msgs/flush)\n",
 			codec, wt.MsgsSent, wt.BytesSent, wt.Flushes,
 			float64(wt.BytesSent)/float64(wt.MsgsSent), float64(wt.MsgsSent)/float64(wt.Flushes))
+	}
+
+	// Per-peer gray-failure verdicts from the ping-echo estimators: every
+	// link should read healthy here (suspicion ~0, nobody degraded) — the
+	// point is that the health plane exists on the same sockets the round
+	// traffic used. A crashed agent's silence shows up as suspicion > 0 on
+	// its neighbors' rows.
+	for i, tr := range transports {
+		if i == *fail {
+			continue
+		}
+		stats := tr.RTTStats()
+		peers := make([]int, 0, len(stats))
+		for p := range stats {
+			if stats[p].Samples > 0 {
+				peers = append(peers, p)
+			}
+		}
+		sort.Ints(peers)
+		if len(peers) == 0 {
+			continue
+		}
+		var sb strings.Builder
+		for _, p := range peers {
+			st := stats[p]
+			verdict := "ok"
+			if st.Degraded {
+				verdict = "DEGRADED"
+			}
+			fmt.Fprintf(&sb, "  peer %d rtt %v/%v susp %.2f %s",
+				p, st.Mean.Round(10*time.Microsecond), st.P99.Round(10*time.Microsecond),
+				st.Suspicion, verdict)
+		}
+		fmt.Printf("health[%2d]:%s\n", i, sb.String())
 	}
 
 	var total, utility float64

@@ -3,6 +3,7 @@ package diba
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -68,6 +69,18 @@ type Agent struct {
 	// transport's PeerLiveness (which in-process transports lack) so triage
 	// can tell a stalled-but-beaconing peer from a dead one.
 	heard map[int]time.Time
+
+	// Gray-failure tolerance state (straggler.go). rtt estimates each
+	// peer's gather round trip (broadcast → its frame arrives), feeding the
+	// adaptive per-peer deadlines; jrng is the agent's deterministic timer
+	// jitter source; staleOut holds unsettled stale-substitution records,
+	// staleNow the peers substituted in the round in flight, staleCount a
+	// per-peer mitigation counter for the health report.
+	rtt        map[int]*PeerRTT
+	jrng       *rand.Rand
+	staleOut   map[int][]staleUse
+	staleNow   map[int]bool
+	staleCount map[int]int
 
 	// tel is the local telemetry guard (telemetry.go); nil when the agent
 	// trusts its sensor unconditionally.
@@ -241,11 +254,17 @@ func (a *Agent) gather() (map[int]Message, error) {
 			delete(need, from)
 		}
 	}
-	var deadlineAt, hardAt, nextBeacon time.Time
+	var deadlineAt, hardAt, nextBeacon, gatherStart time.Time
 	var beaconEvery time.Duration
+	var mitAt map[int]time.Time
+	tolerant := ft && a.fp.StragglerTolerant
 	if ft {
 		now := time.Now()
-		deadlineAt = now.Add(a.fp.GatherTimeout)
+		gatherStart = now
+		// The fixed hard timeout is jittered ±15% per agent so that peers
+		// sharing one fault cannot fire their detectors in lockstep and
+		// stampede the fabric with a synchronized suspicion wave.
+		deadlineAt = now.Add(jitterDur(a.fp.GatherTimeout, a.jrng))
 		maxStall := a.fp.MaxStall
 		if maxStall <= 0 {
 			maxStall = 10 * a.fp.GatherTimeout
@@ -262,6 +281,9 @@ func (a *Agent) gather() (map[int]Message, error) {
 			beaconEvery = time.Millisecond
 		}
 		nextBeacon = now.Add(beaconEvery)
+		if tolerant {
+			mitAt = a.stragglerDeadlines(now, need)
+		}
 	}
 	for len(need) > 0 {
 		var m Message
@@ -270,6 +292,11 @@ func (a *Agent) gather() (map[int]Message, error) {
 			until := deadlineAt
 			if nextBeacon.Before(until) {
 				until = nextBeacon
+			}
+			for nb := range need {
+				if t, ok := mitAt[nb]; ok && t.Before(until) {
+					until = t
+				}
 			}
 			wait := time.Until(until)
 			if wait <= 0 {
@@ -282,13 +309,19 @@ func (a *Agent) gather() (map[int]Message, error) {
 					a.beacon()
 					nextBeacon = now.Add(beaconEvery)
 				}
+				if tolerant {
+					a.sweepStragglers(now, mitAt, need, got)
+					if len(need) == 0 {
+						break
+					}
+				}
 				if now.Before(deadlineAt) {
 					continue
 				}
 				silent := a.triage(need, hardAt)
 				if len(silent) == 0 {
 					// Every missing peer showed recent liveness; keep waiting.
-					deadlineAt = now.Add(a.fp.GatherTimeout)
+					deadlineAt = now.Add(jitterDur(a.fp.GatherTimeout, a.jrng))
 					continue
 				}
 				if !a.fp.Recover {
@@ -296,7 +329,7 @@ func (a *Agent) gather() (map[int]Message, error) {
 				}
 				a.declareDead(silent)
 				a.refreshNeed(need)
-				deadlineAt = now.Add(a.fp.GatherTimeout)
+				deadlineAt = now.Add(jitterDur(a.fp.GatherTimeout, a.jrng))
 				continue
 			}
 		} else {
@@ -305,74 +338,110 @@ func (a *Agent) gather() (map[int]Message, error) {
 		if err != nil {
 			return nil, err
 		}
-		if ft && m.Kind != MsgRejoinReq {
-			// A rejoin request is a plea from a node that lost its round
-			// state — deliberately not counted as liveness, so the failure
-			// detector still declares the restarted node dead and readmission
-			// goes through the handshake (rejoin.go).
-			a.heard[m.From] = time.Now()
+		if err := a.absorb(m, need, got, gatherStart, ft); err != nil {
+			return nil, err
 		}
-		switch m.Kind {
-		case MsgHeartbeat:
-			continue // transport liveness beacon that leaked through
-		case MsgNodeDead:
-			if !ft {
-				continue // mixed cluster: ignore epidemics we cannot act on
-			}
-			if err := a.applyDeadReport(m); err != nil {
-				return nil, err
-			}
-			a.refreshNeed(need)
-			continue
-		case MsgHealth:
-			a.noteHealth(m)
-			continue
-		case MsgRejoinReq:
-			if ft {
-				a.handleRejoinReq(m)
-			}
-			continue
-		case MsgRejoin:
-			if ft {
-				a.handleRejoinFlood(m)
-			}
-			continue
-		case MsgRejoinAck:
-			continue // only meaningful inside Agent.Rejoin
-		case MsgLease, MsgLeaseAck, MsgAggHello:
-			if a.hierSink != nil {
-				a.hierSink(m)
-			}
-			continue
+	}
+	// A member lagging its peers finds every needed frame already buffered
+	// in pending and would otherwise never touch the transport this round,
+	// leaving control-plane traffic — lease floods, dead epidemics, its own
+	// deposition verdict — queued forever. Drain whatever is immediately
+	// available; a closed transport is left for the next blocking receive
+	// to report.
+	for {
+		m, ok, err := tryRecv(a.tr)
+		if err != nil || !ok {
+			break
 		}
-		if m.Kind != MsgEstimate {
-			// Control frame from a newer build in a mixed-version cluster:
-			// misreading it as a round message would corrupt the arithmetic,
-			// so drop it.
-			continue
-		}
-		if ft {
-			a.noteRound(m)
-		}
-		switch {
-		case m.Round == a.round:
-			if need[m.From] {
-				got[m.From] = m
-				delete(need, m.From)
-			}
-		case m.Round > a.round:
-			buf := a.pending[m.Round]
-			if buf == nil {
-				buf = make(map[int]Message)
-				a.pending[m.Round] = buf
-			}
-			buf[m.From] = m
-		default:
-			// Stale duplicate; reliable ordered transports never produce one
-			// in fault-free BSP, and the chaos transport may — drop it.
+		if err := a.absorb(m, need, got, gatherStart, ft); err != nil {
+			return nil, err
 		}
 	}
 	return got, nil
+}
+
+// absorb applies one inbound message to the gather state: liveness
+// bookkeeping, control-plane dispatch, stale settlement, and round-frame
+// collection. Both the blocking gather loop and the post-gather drain feed
+// it, so a message behaves identically however it arrived.
+func (a *Agent) absorb(m Message, need map[int]bool, got map[int]Message, gatherStart time.Time, ft bool) error {
+	if ft && m.Kind != MsgRejoinReq {
+		// A rejoin request is a plea from a node that lost its round
+		// state — deliberately not counted as liveness, so the failure
+		// detector still declares the restarted node dead and readmission
+		// goes through the handshake (rejoin.go).
+		a.heard[m.From] = time.Now()
+	}
+	switch m.Kind {
+	case MsgHeartbeat:
+		return nil // transport liveness beacon that leaked through
+	case MsgNodeDead:
+		if !ft {
+			return nil // mixed cluster: ignore epidemics we cannot act on
+		}
+		if err := a.applyDeadReport(m); err != nil {
+			return err
+		}
+		a.refreshNeed(need)
+		return nil
+	case MsgHealth:
+		a.noteHealth(m)
+		return nil
+	case MsgRejoinReq:
+		if ft {
+			a.handleRejoinReq(m)
+		}
+		return nil
+	case MsgRejoin:
+		if ft {
+			a.handleRejoinFlood(m)
+		}
+		return nil
+	case MsgRejoinAck:
+		return nil // only meaningful inside Agent.Rejoin
+	case MsgLease, MsgLeaseAck, MsgAggHello:
+		if a.hierSink != nil {
+			a.hierSink(m)
+		}
+		return nil
+	}
+	if m.Kind != MsgEstimate {
+		// Control frame from a newer build in a mixed-version cluster:
+		// misreading it as a round message would corrupt the arithmetic,
+		// so drop it.
+		return nil
+	}
+	if ft {
+		a.noteRound(m)
+		// Settle any outstanding stale substitution this frame is the
+		// true value for — even a frame that arrives rounds late, or
+		// later in the very gather that substituted it.
+		a.settleStale(m)
+	}
+	switch {
+	case m.Round == a.round:
+		if need[m.From] {
+			if ft {
+				// A current-round arrival is one gather round trip: the
+				// time from our broadcast to the peer's frame. It feeds
+				// the adaptive deadline for the next rounds.
+				a.observePeerRTT(m.From, time.Since(gatherStart))
+			}
+			got[m.From] = m
+			delete(need, m.From)
+		}
+	case m.Round > a.round:
+		buf := a.pending[m.Round]
+		if buf == nil {
+			buf = make(map[int]Message)
+			a.pending[m.Round] = buf
+		}
+		buf[m.From] = m
+	default:
+		// Stale duplicate; reliable ordered transports never produce one
+		// in fault-free BSP, and the chaos transport may — drop it.
+	}
+	return nil
 }
 
 // SetHierSink installs the hierarchical control-plane tap: gather hands

@@ -63,9 +63,46 @@ type FaultPlan struct {
 	// Partitions are timed link outages (both directions); held messages
 	// flush when the window closes.
 	Partitions []Partition
+	// SlowLinks impose persistent gray-failure latency on specific links
+	// (both directions): messages still arrive — eventually — which is
+	// exactly what binary alive/dead detection cannot see.
+	SlowLinks []SlowLink
+	// SlowNodes impose a SlowSpec on every lane touching the node (either
+	// direction) — the degraded-node mode: failing NIC, thermal throttle,
+	// GC-stalling daemon.
+	SlowNodes map[int]SlowSpec
 
 	state *faultState
 	once  sync.Once
+}
+
+// SlowSpec describes one persistent gray-slowness regime. All fields are
+// deterministic functions of the plan seed and the fabric clock, like every
+// other injection mode. The zero value injects nothing.
+type SlowSpec struct {
+	// Delay is the constant extra latency added to every affected message
+	// once the spec is active.
+	Delay time.Duration
+	// Jitter adds a uniform extra [0, Jitter) per message on top of Delay,
+	// drawn from the lane RNG (ramping jitter: combine with RampOver).
+	Jitter time.Duration
+	// RampOver, when positive, scales Delay linearly from 0 to full over
+	// this window after Start — a gradually degrading component rather
+	// than a step change.
+	RampOver time.Duration
+	// Period and On make the slowness flap: within each Period after
+	// Start, the spec is active for the first On and healthy for the rest.
+	// Period = 0 means always active after Start.
+	Period time.Duration
+	On     time.Duration
+	// Start is the activation offset from the fabric's first use.
+	Start time.Duration
+}
+
+// SlowLink binds a SlowSpec to one bidirectional link.
+type SlowLink struct {
+	A, B int
+	SlowSpec
 }
 
 // Partition is a bidirectional link outage between nodes A and B, starting
@@ -182,6 +219,9 @@ func (ft *FaultTransport) Send(to int, m Message) error {
 		delay = time.Duration(1 + l.rng.Int63n(int64(p.MaxDelay)))
 	}
 	reorder := p.ReorderProb > 0 && l.rng.Float64() < p.ReorderProb
+	// Gray slowness draws last so the drop/dup/delay/reorder schedule for a
+	// given seed is bitwise identical whether or not slow specs are set.
+	delay += p.graySlowDelay(l, ft.id, to, time.Since(s.start))
 
 	if drop {
 		s.mu.Unlock()
@@ -236,6 +276,54 @@ func (ft *FaultTransport) Send(to int, m Message) error {
 		}
 	}
 	return err
+}
+
+// graySlowDelay returns the extra gray-failure latency imposed on a message
+// crossing the from→to lane at fabric time now: the worst applicable spec
+// among the link's own entry and either endpoint's degraded-node entry.
+// Caller holds s.mu (jitter comes from the lane RNG).
+func (p *FaultPlan) graySlowDelay(l *laneState, from, to int, now time.Duration) time.Duration {
+	var worst time.Duration
+	consider := func(spec SlowSpec) {
+		if d := spec.delayAt(now, l.rng); d > worst {
+			worst = d
+		}
+	}
+	if spec, ok := p.SlowNodes[from]; ok {
+		consider(spec)
+	}
+	if spec, ok := p.SlowNodes[to]; ok {
+		consider(spec)
+	}
+	for _, sl := range p.SlowLinks {
+		if (sl.A == from && sl.B == to) || (sl.A == to && sl.B == from) {
+			consider(sl.SlowSpec)
+		}
+	}
+	return worst
+}
+
+// delayAt evaluates the spec at fabric offset now. The jitter draw happens
+// whenever Jitter > 0 — even outside the active window or before Start — so
+// the lane's decision stream consumes a fixed number of draws per message
+// and the schedule stays deterministic across flapping phases.
+func (spec SlowSpec) delayAt(now time.Duration, rng *rand.Rand) time.Duration {
+	var jitter time.Duration
+	if spec.Jitter > 0 {
+		jitter = time.Duration(rng.Int63n(int64(spec.Jitter)))
+	}
+	if now < spec.Start {
+		return 0
+	}
+	since := now - spec.Start
+	if spec.Period > 0 && spec.On > 0 && since%spec.Period >= spec.On {
+		return 0
+	}
+	d := spec.Delay
+	if spec.RampOver > 0 && since < spec.RampOver {
+		d = time.Duration(float64(d) * (float64(since) / float64(spec.RampOver)))
+	}
+	return d + jitter
 }
 
 func maxDuration(a, b time.Duration) time.Duration {
@@ -310,6 +398,15 @@ func (ft *FaultTransport) Recv() (Message, error) {
 	return ft.inner.Recv()
 }
 
+// TryRecv forwards the non-blocking receive to the inner transport,
+// surfacing the crash like Recv does.
+func (ft *FaultTransport) TryRecv() (Message, bool, error) {
+	if ft.crashedNow() {
+		return Message{}, false, ErrCrashed
+	}
+	return tryRecv(ft.inner)
+}
+
 // RecvTimeout forwards deadline-aware receive to the inner transport.
 func (ft *FaultTransport) RecvTimeout(d time.Duration) (Message, error) {
 	if ft.crashedNow() {
@@ -373,8 +470,9 @@ func (p *FaultPlan) Quiesce() {
 
 // String summarizes the plan for logs.
 func (p *FaultPlan) String() string {
-	return fmt.Sprintf("seed=%d delay=%.2f(max %v) dup=%.2f reorder=%.2f drop=%.2f crash=%v partitions=%d",
-		p.Seed, p.DelayProb, p.MaxDelay, p.DupProb, p.ReorderProb, p.DropProb, p.CrashAfterSends, len(p.Partitions))
+	return fmt.Sprintf("seed=%d delay=%.2f(max %v) dup=%.2f reorder=%.2f drop=%.2f crash=%v partitions=%d slowlinks=%d slownodes=%d",
+		p.Seed, p.DelayProb, p.MaxDelay, p.DupProb, p.ReorderProb, p.DropProb, p.CrashAfterSends,
+		len(p.Partitions), len(p.SlowLinks), len(p.SlowNodes))
 }
 
 // IsolateNode builds the partition windows that cut node off from every

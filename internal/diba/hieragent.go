@@ -191,6 +191,20 @@ type HierPolicy struct {
 	// FloorMarginW keeps a donor's lease at least this far above its
 	// group's total idle power.
 	FloorMarginW float64
+	// DemoteAfter is how many rounds a member tolerates without an
+	// accepted renewal before it marks the acting aggregate gray — alive
+	// but too slow to lead — and elects around it. This is the proactive
+	// gray-failure failover: it fires well before the LeaseTTL freeze, so
+	// a group led by a crawling aggregate gets a healthy leader instead of
+	// degraded mode. 0 selects 2/3 of LeaseTTL; negative disables gray
+	// demotion (renewal starvation then runs straight to the freeze).
+	DemoteAfter int
+	// GrayHold is how many rounds a gray verdict lasts: members exclude a
+	// gray-marked peer from election for this long, and a gray-deposed
+	// aggregate stands down for this long before it may lead again (if it
+	// is still slow it is simply re-deposed one DemoteAfter later). 0
+	// selects 2× LeaseTTL.
+	GrayHold int
 }
 
 func (p HierPolicy) withDefaults() HierPolicy {
@@ -214,6 +228,12 @@ func (p HierPolicy) withDefaults() HierPolicy {
 	}
 	if p.FloorMarginW <= 0 {
 		p.FloorMarginW = 1
+	}
+	if p.DemoteAfter == 0 {
+		p.DemoteAfter = 2 * p.LeaseTTL / 3
+	}
+	if p.GrayHold <= 0 {
+		p.GrayHold = 2 * p.LeaseTTL
 	}
 	return p
 }
@@ -263,6 +283,21 @@ type HierAgent struct {
 	lastRenew int
 	frozen    bool
 
+	// Gray-failure demotion state. grayUntil marks members excluded from
+	// election (id → round the verdict expires); deposedUntil is this
+	// member's own standdown after being gray-deposed; leaderSince is the
+	// round the presumed leader's identity last changed (a fresh successor
+	// gets a full DemoteAfter window before it, too, can be suspected);
+	// deposed/deposedCarry make the successor's lease floods carry the
+	// verdict (Act = victim+1) so the whole group — the victim included —
+	// learns of the deposition.
+	grayUntil    map[int]int
+	deposedUntil int
+	leaderSince  int
+	lastLeader   int
+	deposed      int
+	deposedCarry int
+
 	// Aggregate state (nil/false on plain members).
 	aggActive  bool
 	aggSynced  bool
@@ -309,6 +344,8 @@ func NewHierAgent(topo HierTopo, pol HierPolicy, id int, u workload.Utility, cfg
 		leaseMw:    genesis[g],
 		epoch:      1,
 		peerEpochs: make(map[int]int),
+		grayUntil:  make(map[int]int),
+		lastLeader: -1,
 	}
 	for _, a := range h.adjGroups {
 		h.upperPeer[a] = topo.groupMembers(a)
@@ -352,6 +389,23 @@ func (h *HierAgent) Confirmed() bool { return h.aggActive && h.aggSynced }
 func (h *HierAgent) Group() int { return h.group }
 func (h *HierAgent) Rank() int  { return h.rank }
 
+// Gray returns the member ids this agent currently holds under a gray
+// (too-slow-to-lead) verdict, sorted.
+func (h *HierAgent) Gray() []int {
+	out := make([]int, 0, len(h.grayUntil))
+	for m, until := range h.grayUntil {
+		if until > h.round {
+			out = append(out, m)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Deposed reports whether this member is standing down after being
+// gray-deposed as aggregate.
+func (h *HierAgent) Deposed() bool { return h.round < h.deposedUntil }
+
 // Round returns how many rounds this member has completed.
 func (h *HierAgent) Round() int { return h.round }
 
@@ -385,6 +439,7 @@ func (h *HierAgent) afterRound() {
 			h.handleAggHello(m)
 		}
 	}
+	h.checkGrayLeader()
 	h.updateRole()
 	if h.aggActive && h.aggSynced {
 		if h.round-h.lastRenew >= h.pol.RenewEvery {
@@ -398,21 +453,79 @@ func (h *HierAgent) afterRound() {
 	}
 }
 
-// updateRole runs the deterministic election: the acting aggregate is the
-// lowest-id member not in the local dead set. Every survivor evaluates the
-// same rule, so after the death epidemic converges they agree without
-// voting; epoch fencing covers the window where they do not.
-func (h *HierAgent) updateRole() {
+// electLeader runs the deterministic election: the lowest-id member not in
+// the local dead set and (unless that empties the field) not under a gray
+// verdict — our own standdown counts as our gray mark. The all-gray
+// fallback keeps a pathological group led rather than leaderless.
+func (h *HierAgent) electLeader() int {
 	dead := make(map[int]bool)
 	for _, d := range h.ag.DeadNodes() {
 		dead[d] = true
 	}
-	leader := -1
+	fallback := -1
 	for _, m := range h.members {
-		if !dead[m] {
-			leader = m
-			break
+		if dead[m] {
+			continue
 		}
+		if fallback < 0 {
+			fallback = m
+		}
+		if h.grayUntil[m] > h.round {
+			continue
+		}
+		if m == h.id() && h.round < h.deposedUntil {
+			continue
+		}
+		return m
+	}
+	return fallback
+}
+
+// checkGrayLeader is the renewal-starvation detector: a member that has
+// accepted no lease renewal for DemoteAfter rounds — despite a leader that
+// has held the role at least that long — marks that leader gray and lets
+// the election route around it. The aggregate role moves to a healthy
+// member *before* the LeaseTTL freeze, so a group led by a crawling
+// aggregate never waits frozen on its gray leader.
+func (h *HierAgent) checkGrayLeader() {
+	for m, until := range h.grayUntil {
+		if until <= h.round {
+			delete(h.grayUntil, m)
+		}
+	}
+	if h.pol.DemoteAfter < 0 || h.aggActive || h.frozen {
+		return
+	}
+	leader := h.electLeader()
+	if leader != h.lastLeader {
+		h.lastLeader = leader
+		h.leaderSince = h.round
+	}
+	if leader < 0 || leader == h.id() {
+		return
+	}
+	since := h.lastRenew
+	if h.leaderSince > since {
+		since = h.leaderSince
+	}
+	if h.round-since <= h.pol.DemoteAfter {
+		return
+	}
+	h.grayUntil[leader] = h.round + h.pol.GrayHold
+	// Restart the patience clock: the successor gets a full window to
+	// promote, sync its ledger and renew before it can be suspected too.
+	h.lastRenew = h.round
+}
+
+// updateRole applies the election result. Every survivor evaluates the
+// same rule, so after the death epidemic (and the gray-verdict floods)
+// converge they agree without voting; epoch fencing covers the window
+// where they do not.
+func (h *HierAgent) updateRole() {
+	leader := h.electLeader()
+	if leader != h.lastLeader {
+		h.lastLeader = leader
+		h.leaderSince = h.round
 	}
 	switch {
 	case leader == h.id() && !h.aggActive:
@@ -431,6 +544,21 @@ func (h *HierAgent) promote() {
 	h.aggActive = true
 	h.aggSynced = false
 	h.ledger = NewLeaseLedger(h.genesisMw, h.adjGroups, false)
+	// A gray promotion: if a lower-ranked live member is under a gray
+	// verdict, we are succeeding a deposed (not dead) aggregate. Carry the
+	// verdict in our lease floods for one hold window so the whole group —
+	// the victim included — learns of the deposition.
+	h.deposed, h.deposedCarry = 0, 0
+	for _, m := range h.members {
+		if m >= h.id() {
+			break
+		}
+		if h.grayUntil[m] > h.round {
+			h.deposed = m + 1
+			h.deposedCarry = h.round + h.pol.GrayHold
+			break
+		}
+	}
 }
 
 // demote strips aggregate state: a higher epoch exists (or a lower-ranked
@@ -503,6 +631,9 @@ func (h *HierAgent) renewLease() {
 func (h *HierAgent) floodLease() {
 	out := Message{From: h.id(), Kind: MsgLease, Group: h.group,
 		Epoch: h.epoch, Seq: h.renewSeq, Lease: h.leaseMw, Round: h.round}
+	if h.deposed > 0 && h.round < h.deposedCarry {
+		out.Act = h.deposed // gray-deposition verdict: victim id + 1
+	}
 	for _, nb := range h.ag.Neighbors {
 		h.send(nb, out)
 	}
@@ -550,6 +681,17 @@ func (h *HierAgent) handleLease(m Message) {
 		// A successor with a fresher epoch exists: we were deposed (false
 		// suspicion, healed partition) — follow it.
 		h.demote()
+	}
+	if m.Act > 0 {
+		// The flood carries a gray-deposition verdict. The victim stands
+		// down instead of re-promoting itself (it is, after all, the
+		// lowest-id live member); everyone else adopts the gray mark so
+		// the election stays consistent group-wide.
+		if victim := m.Act - 1; victim == h.id() {
+			h.deposedUntil = h.round + h.pol.GrayHold
+		} else if h.grayUntil[victim] <= h.round {
+			h.grayUntil[victim] = h.round + h.pol.GrayHold
+		}
 	}
 	h.epoch, h.renewSeq = m.Epoch, m.Seq
 	h.lastRenew = h.round

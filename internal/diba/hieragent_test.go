@@ -347,3 +347,122 @@ func TestHierInterLevelPartitionFreezeAndHeal(t *testing.T) {
 		}
 	}
 }
+
+// TestHierSlowAggregateGrayDemoted is the gray-failure drill: group 1's
+// rank-0 aggregate is compute-slow (paced by a sleep per step, the thermal
+// throttle / GC-stall mode), not dead. Its straggler-tolerant members run
+// ahead, starve of lease renewals, mark the leader gray well before the
+// LeaseTTL freeze, and elect the next rank, which promotes and carries the
+// deposition verdict in its lease floods — the victim itself learns it was
+// deposed and stands down. The victim must never appear in anyone's dead
+// set, and the healthy groups must be untouched.
+func TestHierSlowAggregateGrayDemoted(t *testing.T) {
+	checkGoroutineLeak(t)
+	topo, us := hierTestTopo(t)
+	const victim = 3 // rank-0 of group 1
+	const rounds = 300
+	// Sticky gray hold: once deposed the victim stays excluded for the
+	// whole run, so the end state is stable (no retry flapping to race
+	// the assertions against). Transfers off keeps leases static. The
+	// victim renews every RenewEvery of its own ~20 ms rounds (~80 ms)
+	// while its members pace ~7 ms rounds (3 ms sleep + ~4 ms adaptive
+	// deadline on the victim's lane), so the renewal gap they observe
+	// (~11 rounds) clears DemoteAfter decisively — early in the run,
+	// while the victim is still stepping and can hear the verdict — yet
+	// stays far under the LeaseTTL freeze.
+	pol := HierPolicy{LeaseTTL: 30, DemoteAfter: 6, GrayHold: 1 << 20, TransferThresholdW: 1e9}
+	fp := FaultPolicy{
+		GatherTimeout:     2 * time.Second,
+		Recover:           true,
+		StragglerTolerant: true,
+		DeadlineMin:       time.Millisecond,
+		DeadlineMax:       4 * time.Millisecond,
+		MaxLag:            6,
+	}
+	n := len(us)
+	net := NewChanNetwork(n, 4096)
+	agents := make([]*HierAgent, n)
+	errs := make([]error, n)
+	froze := make([]bool, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h, err := NewHierAgent(topo, pol, id, us[id], Config{}, net.Endpoint(id))
+			if err != nil {
+				errs[id] = err
+				return
+			}
+			h.FaultPolicy(fp)
+			agents[id] = h
+			// Every agent is paced so the whole cluster stays live for the
+			// full drill (an unpaced healthy group would finish its rounds
+			// in milliseconds and stop acking the successor's ledger-sync
+			// hellos). The victim crawls at ~3x its peers' full round time
+			// and runs a sixth of the rounds: alive, beaconing, answering —
+			// but starving its group of renewals for the whole run.
+			steps, pace := rounds, 3*time.Millisecond
+			if id == victim {
+				steps, pace = rounds/6, 20*time.Millisecond
+			}
+			for r := 0; r < steps; r++ {
+				time.Sleep(pace)
+				if err := h.Step(); err != nil {
+					errs[id] = err
+					return
+				}
+				froze[id] = froze[id] || h.Frozen()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+	}
+
+	// The victim is deposed, alive, and in nobody's dead set.
+	if !agents[victim].Deposed() {
+		t.Fatal("slow aggregate never learned it was deposed")
+	}
+	if agents[victim].IsAggregate() {
+		t.Fatal("deposed aggregate still acting")
+	}
+	for i, h := range agents {
+		if d := h.Agent().DeadNodes(); len(d) != 0 {
+			t.Fatalf("agent %d declared %v dead; the slow aggregate was alive", i, d)
+		}
+	}
+	// Its members marked it gray, promoted rank-1, and never froze — the
+	// demotion fired before the lease TTL ran out.
+	succ := agents[4]
+	if !succ.Confirmed() || succ.Epoch() < 2 {
+		t.Fatalf("successor confirmed=%v epoch=%d, want confirmed at epoch >= 2",
+			succ.Confirmed(), succ.Epoch())
+	}
+	if agents[5].IsAggregate() {
+		t.Fatal("rank-2 member must not act as aggregate while rank-1 lives")
+	}
+	for _, id := range []int{4, 5} {
+		gray := agents[id].Gray()
+		found := false
+		for _, m := range gray {
+			found = found || m == victim
+		}
+		if !found {
+			t.Fatalf("member %d gray set %v does not hold the slow leader %d", id, gray, victim)
+		}
+		if froze[id] {
+			t.Fatalf("member %d froze; gray demotion must fire before the TTL freeze", id)
+		}
+	}
+	// Healthy groups never noticed: rank-0 aggregates, original epoch.
+	for _, id := range []int{0, 6} {
+		if !agents[id].Confirmed() || agents[id].Epoch() != 1 {
+			t.Fatalf("healthy aggregate %d confirmed=%v epoch=%d, want confirmed at epoch 1",
+				id, agents[id].Confirmed(), agents[id].Epoch())
+		}
+	}
+}

@@ -2,6 +2,7 @@ package diba
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 )
@@ -75,6 +76,29 @@ type FaultPolicy struct {
 	// OnEvent, when set, observes detection and repair events (logging,
 	// metrics). Called from the agent's own goroutine.
 	OnEvent func(FaultEvent)
+
+	// StragglerTolerant enables gray-failure mitigation (straggler.go):
+	// after an adaptive per-peer deadline — derived from observed gather
+	// round trips, far shorter than GatherTimeout — the round proceeds
+	// with the straggler's last-known estimate (or without its edge) and
+	// reconciles exactly when the late message lands. Death detection is
+	// unchanged: only peers with recent traffic are mitigated, so a truly
+	// silent peer still takes the GatherTimeout → triage → dead path.
+	StragglerTolerant bool
+	// DeadlineMin and DeadlineMax clamp the adaptive per-peer deadline.
+	// Defaults: GatherTimeout/16 and GatherTimeout/2 — even a peer never
+	// measured cannot stall a tolerant round past half the hard timeout.
+	DeadlineMin time.Duration
+	DeadlineMax time.Duration
+	// MaxLag bounds how many rounds old a substituted estimate may be.
+	// Beyond it the straggler's edge moves no flow at all (soft-exclude,
+	// the mid-gather-dead convention) until its true frames catch up.
+	// 0 selects 8.
+	MaxLag int
+	// JitterSeed seeds this agent's deterministic timer jitter (gather
+	// deadlines; ±15%). 0 derives a per-agent seed from the id, so a
+	// cluster under one policy still jitters apart.
+	JitterSeed int64
 }
 
 // FaultEvent describes one detection/repair action for observability.
@@ -121,6 +145,17 @@ func (a *Agent) SetFaultPolicy(fp FaultPolicy) {
 		a.histE = make(map[int]float64)
 		a.histDeg = make(map[int]int)
 		a.heard = make(map[int]time.Time)
+	}
+	if a.ftEnabled() && a.rtt == nil {
+		a.rtt = make(map[int]*PeerRTT)
+		a.staleOut = make(map[int][]staleUse)
+		a.staleNow = make(map[int]bool)
+		a.staleCount = make(map[int]int)
+		seed := fp.JitterSeed
+		if seed == 0 {
+			seed = int64(a.ID) + 1
+		}
+		a.jrng = rand.New(rand.NewSource(laneSeed(seed, a.ID, a.ID)))
 	}
 }
 
@@ -338,6 +373,7 @@ func (a *Agent) mergeDead(dead, lastRound int, fP, fE float64, act int) {
 	if rec == nil {
 		rec = &deadRecord{node: dead, lastRound: lastRound, frozenP: fP, frozenE: fE, activateAt: act}
 		a.dead[dead] = rec
+		a.settleStaleOnDeath(dead)
 		improved = true
 	} else {
 		if lastRound > rec.lastRound {
@@ -482,7 +518,17 @@ func (a *Agent) finishRound(got map[int]Message) {
 	}
 	r := a.round - 1 // the round just computed
 	for nb := range got {
+		if a.staleNow[nb] {
+			// A synthesized (stale-substituted) entry: the peer's true
+			// round-r message was not consumed, so it must not gate the
+			// dead-edge compensation. settleStale advances usedRound when
+			// the true frame lands instead.
+			continue
+		}
 		a.usedRound[nb] = r
+	}
+	for nb := range a.staleNow {
+		delete(a.staleNow, nb)
 	}
 	for _, rec := range a.dead {
 		if rec.compensated == 0 {

@@ -1,0 +1,174 @@
+package diba
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// rtt.go is the gray-failure detector's measurement core: a per-peer
+// round-trip estimator (TCP-RTO-style smoothed RTT + variance), an
+// adaptive per-peer gather deadline derived from it, and a phi-accrual-
+// style suspicion score over observed silence. The estimator is pure —
+// callers feed it durations and ask it questions; it never reads the
+// clock — which is what makes the property tests (rtt_test.go) exact.
+//
+// Detection model: a crashed peer goes silent forever, so suspicion grows
+// without bound and the PR 2 alive/dead detector fires. A gray peer keeps
+// answering, just slowly — its RTT estimate inflates, its adaptive
+// deadline stretches (up to the clamp), and its suspicion stays bounded
+// because silence keeps resetting. The two verdicts are therefore
+// separable: "degraded" is an RTT statement, "dead" a silence statement.
+
+// rttWindow is the ring-buffer depth backing the exact Mean/P99 quantile
+// report. 128 samples ≈ 2-6 minutes of heartbeat echoes at defaults —
+// enough history for a stable p99 without unbounded memory.
+const rttWindow = 128
+
+// rttBackoff multiplies the variance term in deadlines and suspicion
+// (the classic RTO K=4).
+const rttBackoff = 4
+
+// PeerRTT estimates one peer's round-trip behavior from observed samples.
+// Not safe for concurrent use; wrap with a lock at the owner.
+type PeerRTT struct {
+	srtt   float64 // smoothed RTT, seconds
+	rttvar float64 // smoothed mean deviation, seconds
+	n      uint64  // samples observed, ever
+
+	ring [rttWindow]float64 // newest window, seconds
+	head int
+}
+
+// Observe feeds one round-trip sample. Non-positive samples are clamped to
+// a nanosecond so a same-instant echo still counts as evidence of life.
+func (r *PeerRTT) Observe(d time.Duration) {
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	s := d.Seconds()
+	if r.n == 0 {
+		// RFC 6298 initialization: first sample seeds both estimators.
+		r.srtt = s
+		r.rttvar = s / 2
+	} else {
+		// alpha = 1/8, beta = 1/4.
+		r.rttvar += (math.Abs(r.srtt-s) - r.rttvar) / 4
+		r.srtt += (s - r.srtt) / 8
+	}
+	r.ring[r.head%rttWindow] = s
+	r.head = (r.head + 1) % rttWindow
+	r.n++
+}
+
+// Samples returns how many observations have ever been fed.
+func (r *PeerRTT) Samples() uint64 { return r.n }
+
+// SRTT returns the smoothed RTT estimate (zero before any sample).
+func (r *PeerRTT) SRTT() time.Duration {
+	return time.Duration(r.srtt * float64(time.Second))
+}
+
+// Mean returns the arithmetic mean over the retained window.
+func (r *PeerRTT) Mean() time.Duration {
+	k := r.windowLen()
+	if k == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < k; i++ {
+		sum += r.ring[i]
+	}
+	return time.Duration(sum / float64(k) * float64(time.Second))
+}
+
+// P99 returns the 99th-percentile sample over the retained window.
+func (r *PeerRTT) P99() time.Duration {
+	k := r.windowLen()
+	if k == 0 {
+		return 0
+	}
+	var buf [rttWindow]float64
+	w := buf[:k]
+	copy(w, r.ring[:k])
+	sort.Float64s(w)
+	idx := (k*99 + 99) / 100 // ceil(k*0.99)
+	if idx > k {
+		idx = k
+	}
+	return time.Duration(w[idx-1] * float64(time.Second))
+}
+
+func (r *PeerRTT) windowLen() int {
+	if r.n >= rttWindow {
+		return rttWindow
+	}
+	return int(r.n)
+}
+
+// Deadline derives the adaptive per-peer gather deadline: srtt + 4·rttvar
+// (the TCP RTO form), clamped to [min, max]. With no samples yet it
+// returns max — never give a peer less patience than the configured
+// ceiling before we have evidence it is fast.
+func (r *PeerRTT) Deadline(min, max time.Duration) time.Duration {
+	if max < min {
+		max = min
+	}
+	if r.n == 0 {
+		return max
+	}
+	d := time.Duration((r.srtt + rttBackoff*r.rttvar) * float64(time.Second))
+	if d < min {
+		return min
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// Suspicion converts observed silence into a phi-accrual-style score:
+// zero while silence ≤ floor (the configured minimum no peer may be
+// suspected faster than), then growing linearly in the excess silence
+// normalized by the peer's expected round-trip spread. A score ≥ 1 means
+// the silence exceeds the floor by at least one full expected-RTT spread;
+// callers pick their own thresholds.
+func (r *PeerRTT) Suspicion(silence, floor time.Duration) float64 {
+	if floor < 0 {
+		floor = 0
+	}
+	if silence <= floor {
+		return 0
+	}
+	scale := r.srtt + rttBackoff*r.rttvar
+	if scale <= 0 {
+		scale = floor.Seconds()
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	return (silence - floor).Seconds() / scale
+}
+
+// jitterDur spreads d uniformly over [0.85d, 1.15d) using rng. Every
+// timer-driven retry in the runtime — gather deadlines, reconnect backoff
+// — goes through it so that agents sharing a fault cannot fire their
+// timeouts in lockstep and stampede the fabric. A nil rng returns d
+// unchanged.
+func jitterDur(d time.Duration, rng *rand.Rand) time.Duration {
+	if d <= 0 || rng == nil {
+		return d
+	}
+	return time.Duration(float64(d) * (0.85 + 0.3*rng.Float64()))
+}
+
+// RTTStats is the exported per-peer snapshot printed next to WireStats in
+// dibad's exit log and tcpcluster's summary.
+type RTTStats struct {
+	Mean      time.Duration
+	P99       time.Duration
+	Samples   uint64
+	Suspicion float64
+	Degraded  bool
+}

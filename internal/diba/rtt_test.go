@@ -1,0 +1,114 @@
+package diba
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// The estimator is pure — it never reads the clock — so its contracts can
+// be checked as properties over arbitrary sample streams.
+
+// clampDur maps an arbitrary int64 into a positive duration bounded well
+// below the overflow range, so property inputs stay physical.
+func clampDur(v int64, max time.Duration) time.Duration {
+	if v < 0 {
+		v = -v
+	}
+	return time.Duration(v%int64(max)) + time.Nanosecond
+}
+
+// Suspicion is zero at or below the floor and monotone in silence beyond
+// it: more silence never looks healthier.
+func TestSuspicionFloorAndMonotone(t *testing.T) {
+	prop := func(samples []int64, s1, s2, floorRaw int64) bool {
+		var r PeerRTT
+		for _, v := range samples {
+			r.Observe(clampDur(v, time.Second))
+		}
+		floor := clampDur(floorRaw, 10*time.Second)
+		a := clampDur(s1, time.Hour)
+		b := clampDur(s2, time.Hour)
+		if a > b {
+			a, b = b, a
+		}
+		if r.Suspicion(floor/2, floor) != 0 || r.Suspicion(floor, floor) != 0 {
+			return false
+		}
+		return r.Suspicion(a, floor) <= r.Suspicion(b, floor)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Deadline stays inside [min, max] for every sample history, and with no
+// samples it returns max — a never-measured peer gets full patience.
+func TestDeadlineClamp(t *testing.T) {
+	prop := func(samples []int64, minRaw, maxRaw int64) bool {
+		var r PeerRTT
+		dmin := clampDur(minRaw, time.Second)
+		dmax := clampDur(maxRaw, time.Second)
+		if dmax < dmin {
+			dmin, dmax = dmax, dmin
+		}
+		if r.Deadline(dmin, dmax) != dmax {
+			return false
+		}
+		for _, v := range samples {
+			r.Observe(clampDur(v, time.Second))
+		}
+		d := r.Deadline(dmin, dmax)
+		return d >= dmin && d <= dmax
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// A slow spell must wash out: after a full window of fast samples the
+// windowed statistics reflect only the clean regime, and the adaptive
+// deadline converges back toward the fast round trips.
+func TestEstimatorRecoversAfterCleanWindow(t *testing.T) {
+	var r PeerRTT
+	const slow, fast = 80 * time.Millisecond, 200 * time.Microsecond
+	for i := 0; i < 64; i++ {
+		r.Observe(slow)
+	}
+	for i := 0; i < rttWindow; i++ {
+		r.Observe(fast)
+	}
+	if m := r.Mean(); m < fast-time.Microsecond || m > fast+time.Microsecond {
+		t.Errorf("windowed mean %v after a clean window, want ~%v", m, fast)
+	}
+	if p := r.P99(); p != fast {
+		t.Errorf("windowed p99 %v after a clean window, want %v", p, fast)
+	}
+	d := r.Deadline(0, time.Second)
+	if d > 10*fast {
+		t.Errorf("deadline %v has not recovered toward the %v round trips", d, fast)
+	}
+}
+
+// jitterDur spreads into [0.85d, 1.15d) and passes d through unchanged
+// for a nil rng or non-positive d.
+func TestJitterDurBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	prop := func(raw int64) bool {
+		d := clampDur(raw, time.Minute)
+		j := jitterDur(d, rng)
+		lo := time.Duration(float64(d) * 0.85)
+		hi := time.Duration(float64(d) * 1.15)
+		return j >= lo && j <= hi
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	if jitterDur(time.Second, nil) != time.Second {
+		t.Error("nil rng must pass the duration through unchanged")
+	}
+	if jitterDur(-time.Second, rng) != -time.Second {
+		t.Error("non-positive durations must pass through unchanged")
+	}
+}

@@ -1,0 +1,289 @@
+package diba
+
+import (
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Gray-failure mitigation: straggler-tolerant gather.
+//
+// A gray peer is alive — it beacons, its frames keep arriving — but slow.
+// The fixed-timeout gather (agent.go) handles it correctly yet expensively:
+// every round stalls until the straggler's frame lands, so one 10×-slowed
+// node drags the whole cluster's round rate down to its pace. With
+// FaultPolicy.StragglerTolerant set, gather instead gives each peer an
+// adaptive deadline derived from its observed round-trip behavior (rtt.go)
+// and, when the deadline fires on a peer with recent traffic, proceeds:
+//
+//   - Stale-proceed: if the peer's last-known estimate is at most MaxLag
+//     rounds old, the round computes with it as a stand-in. The exact edge
+//     term moved, t_stale = edgeTransfer(e_own, e_stale, …), is recorded.
+//   - Soft-exclude: a peer lagging beyond MaxLag (or never heard) moves no
+//     flow this round — the same convention as a mid-gather death — and a
+//     zero-flow record is kept.
+//
+// Either way the peer's true round-r frame is still in flight. When it
+// lands (late in the same gather, or rounds later), settleStale replaces
+// the stand-in with the truth: the peer computed its side of the edge with
+// our real broadcast and moved −t_true, so our estimate is corrected by
+// t_stale − t_true through the comp accumulator — folded in after the
+// exact fault-free float grouping, exactly like the dead-edge repairs.
+// After settlement the edge's net flow for round r is t_true on both
+// sides: antisymmetry, and hence Σe = Σp − B, is restored exactly.
+//
+// If the peer dies before its frame arrives, the dead-edge convention
+// (neither side moves the flow) applies instead: settleStaleOnDeath undoes
+// the stand-in by adding t_stale back, and the usual deadRecord machinery
+// takes over. A frame permanently lost to a lossy transport leaves its
+// record unsettled; records are capped per peer and the oldest is settled
+// to the dead-edge convention on overflow, so the residual error is
+// bounded by the same one-round edge-flow detection limit the crash-stop
+// model already documents.
+//
+// Death detection is deliberately unchanged: sweepStragglers only
+// mitigates peers whose liveness clock (agent heard-times merged with the
+// transport's PeerLiveness) is within the heartbeat grace. A truly silent
+// peer keeps its entry in the need set and takes the ordinary
+// GatherTimeout → triage → declareDead path, so a beaconing slow peer is
+// never declared dead and a dead one is never silently substituted
+// forever.
+
+// maxStaleOutstanding caps the unsettled records kept per peer. Overflow
+// settles the oldest record to the dead-edge convention (its stand-in flow
+// is added back), bounding memory on a lossy link at the cost of the
+// documented one-round residual.
+const maxStaleOutstanding = 512
+
+// staleUse records one stale substitution (or soft-exclusion) awaiting its
+// true frame: the round it stood in for, the flow the stand-in moved (0
+// for soft-exclude), and our own estimate/degree at that round — the
+// inputs needed to recompute the true edge term bitwise when the frame
+// arrives.
+type staleUse struct {
+	round  int
+	tStale float64
+	ownE   float64
+	ownDeg int
+}
+
+// stragglerDeadlines computes each needed peer's mitigation deadline for
+// this gather: now + the adaptive RTT-derived deadline, jittered ±15% so
+// co-stalled agents don't fire in lockstep.
+func (a *Agent) stragglerDeadlines(now time.Time, need map[int]bool) map[int]time.Time {
+	dmin := a.fp.DeadlineMin
+	if dmin <= 0 {
+		dmin = a.fp.GatherTimeout / 16
+	}
+	dmax := a.fp.DeadlineMax
+	if dmax <= 0 {
+		dmax = a.fp.GatherTimeout / 2
+	}
+	out := make(map[int]time.Time, len(need))
+	for nb := range need {
+		out[nb] = now.Add(jitterDur(a.peerRTT(nb).Deadline(dmin, dmax), a.jrng))
+	}
+	return out
+}
+
+// sweepStragglers mitigates every needed peer whose adaptive deadline has
+// passed and whose liveness clock shows recent traffic. Peers without
+// recent traffic are left to the fixed-timeout death detector.
+func (a *Agent) sweepStragglers(now time.Time, mitAt map[int]time.Time, need map[int]bool, got map[int]Message) {
+	grace := a.fp.HeartbeatGrace
+	if grace <= 0 {
+		grace = a.fp.GatherTimeout
+	}
+	pl, hasPL := a.tr.(PeerLiveness)
+	for nb := range need {
+		t, ok := mitAt[nb]
+		if !ok || now.Before(t) {
+			continue
+		}
+		heard := a.heard[nb]
+		if hasPL {
+			if ts, ok2 := pl.LastHeard(nb); ok2 && ts.After(heard) {
+				heard = ts
+			}
+		}
+		if heard.IsZero() || now.Sub(heard) >= grace {
+			continue // possibly dead: let the fixed-timeout detector decide
+		}
+		a.mitigateStraggler(nb, got)
+		delete(need, nb)
+	}
+}
+
+// mitigateStraggler proceeds without peer nb's current-round frame:
+// stale-proceed when a recent-enough estimate is known, soft-exclude
+// otherwise. Either way a settlement record is pushed.
+func (a *Agent) mitigateStraggler(nb int, got map[int]Message) {
+	maxLag := a.fp.MaxLag
+	if maxLag <= 0 {
+		maxLag = 8
+	}
+	rec := staleUse{round: a.round, ownE: a.e, ownDeg: len(a.Neighbors)}
+	last, ok := a.lastFrom[nb]
+	if ok && a.round-last.Round <= maxLag {
+		// Compute the stand-in's edge term exactly as nodeRule will (it
+		// converts wire degrees through int32): settlement must cancel it
+		// bitwise. edgeTransfer ignores cfg.Eta, so a.cfg matches the
+		// per-round cfg nodeRule receives.
+		deg := int(int32(last.Degree))
+		rec.tStale = edgeTransfer(a.cfg, a.e, last.E, len(a.Neighbors), deg)
+		got[nb] = Message{From: nb, Round: a.round, E: last.E, Degree: deg}
+		a.staleNow[nb] = true
+		a.event("stale-proceed", nb, "substituted estimate from round "+strconv.Itoa(last.Round))
+	} else {
+		a.event("soft-exclude", nb, "no usable estimate (lag beyond limit)")
+	}
+	a.staleCount[nb]++
+	a.pushStale(nb, rec)
+}
+
+// pushStale appends a settlement record, settling the oldest to the
+// dead-edge convention if the peer's queue is full.
+func (a *Agent) pushStale(nb int, rec staleUse) {
+	recs := a.staleOut[nb]
+	if len(recs) >= maxStaleOutstanding {
+		a.comp += recs[0].tStale
+		recs = recs[1:]
+	}
+	a.staleOut[nb] = append(recs, rec)
+}
+
+// settleStale resolves the outstanding record whose round matches an
+// arriving true frame: the stand-in flow is replaced by the true edge term
+// through the comp accumulator, and usedRound advances so the dead-edge
+// compensation machinery sees this round as genuinely consumed.
+func (a *Agent) settleStale(m Message) {
+	if len(a.staleOut) == 0 {
+		return
+	}
+	recs := a.staleOut[m.From]
+	for i := range recs {
+		if recs[i].round != m.Round {
+			continue
+		}
+		tTrue := edgeTransfer(a.cfg, recs[i].ownE, m.E, recs[i].ownDeg, m.Degree)
+		a.comp += recs[i].tStale - tTrue
+		if m.Round > a.usedRound[m.From] {
+			a.usedRound[m.From] = m.Round
+		}
+		recs = append(recs[:i], recs[i+1:]...)
+		if len(recs) == 0 {
+			delete(a.staleOut, m.From)
+		} else {
+			a.staleOut[m.From] = recs
+		}
+		return
+	}
+}
+
+// settleStaleOnDeath applies the dead-edge convention to every record
+// still outstanding against a newly dead peer: the peer never matched the
+// stand-in flows, so they are added back. Run once, when the death record
+// is first created.
+func (a *Agent) settleStaleOnDeath(node int) {
+	if recs := a.staleOut[node]; len(recs) > 0 {
+		for _, rec := range recs {
+			a.comp += rec.tStale
+		}
+		delete(a.staleOut, node)
+	}
+}
+
+// peerRTT returns (lazily creating) the estimator for one peer.
+func (a *Agent) peerRTT(nb int) *PeerRTT {
+	r := a.rtt[nb]
+	if r == nil {
+		r = &PeerRTT{}
+		a.rtt[nb] = r
+	}
+	return r
+}
+
+// observePeerRTT feeds one gather round-trip sample.
+func (a *Agent) observePeerRTT(nb int, d time.Duration) {
+	if a.rtt == nil {
+		return
+	}
+	a.peerRTT(nb).Observe(d)
+}
+
+// PeerHealth is one peer's gray-failure verdict as seen by this agent:
+// round-trip statistics, the silence-based suspicion score, the degraded
+// flag (round trips ≥4× the fastest peer's), and the mitigation counters.
+type PeerHealth struct {
+	Peer        int
+	RTT         RTTStats
+	StaleRounds int // rounds that proceeded without this peer's frame
+	Outstanding int // stale records still awaiting the true frame
+}
+
+// PeerHealth reports every known peer's verdict, sorted by peer id. Call
+// it after the agent's run loop has stopped; it is not synchronized with a
+// running gather.
+func (a *Agent) PeerHealth() []PeerHealth {
+	if a.rtt == nil {
+		return nil
+	}
+	grace := a.fp.HeartbeatGrace
+	if grace <= 0 {
+		grace = a.fp.GatherTimeout
+	}
+	now := time.Now()
+	minSRTT := time.Duration(0)
+	for _, r := range a.rtt {
+		if r.Samples() == 0 {
+			continue
+		}
+		if s := r.SRTT(); minSRTT == 0 || s < minSRTT {
+			minSRTT = s
+		}
+	}
+	ids := make([]int, 0, len(a.rtt))
+	for nb := range a.rtt {
+		ids = append(ids, nb)
+	}
+	sort.Ints(ids)
+	out := make([]PeerHealth, 0, len(ids))
+	for _, nb := range ids {
+		r := a.rtt[nb]
+		st := RTTStats{Mean: r.Mean(), P99: r.P99(), Samples: r.Samples()}
+		if heard, ok := a.heard[nb]; ok {
+			st.Suspicion = r.Suspicion(now.Sub(heard), grace)
+		}
+		if s := r.SRTT(); r.Samples() > 0 && minSRTT > 0 &&
+			s >= grayRTTFactor*minSRTT && s-minSRTT > time.Millisecond {
+			st.Degraded = true
+		}
+		out = append(out, PeerHealth{
+			Peer:        nb,
+			RTT:         st,
+			StaleRounds: a.staleCount[nb],
+			Outstanding: len(a.staleOut[nb]),
+		})
+	}
+	return out
+}
+
+// OutstandingStale returns the total number of unsettled stale records —
+// zero once every substituted round has been reconciled against its true
+// frame (the exact-conservation condition the soak test asserts).
+func (a *Agent) OutstandingStale() int {
+	n := 0
+	for _, recs := range a.staleOut {
+		n += len(recs)
+	}
+	return n
+}
+
+// StaleRounds returns how many times any peer was substituted or excluded.
+func (a *Agent) StaleRounds() int {
+	n := 0
+	for _, c := range a.staleCount {
+		n += c
+	}
+	return n
+}

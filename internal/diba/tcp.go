@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -209,6 +210,11 @@ type TCPTransport struct {
 	hbJSON []byte
 	hbBin  []byte
 
+	// epoch anchors the ping Echo timestamps: pings carry nanoseconds
+	// since it, and the matching pong's round trip is measured against the
+	// same clock — entirely local, no peer clock involved.
+	epoch time.Time
+
 	mu           sync.Mutex
 	conns        map[int]*tcpConn
 	addrs        map[int]string // learned in ConnectNeighbors, for redial
@@ -218,6 +224,11 @@ type TCPTransport struct {
 	lastHeard    map[int]time.Time
 	reconnecting map[int]bool
 	stats        map[int]*wireCounters
+	rtt          map[int]*PeerRTT
+	// rng jitters reconnect backoff (±15%) so simultaneous link deaths
+	// across a cluster cannot re-dial in lockstep; seeded by id, so each
+	// agent's jitter stream is deterministic.
+	rng *rand.Rand
 
 	wg   sync.WaitGroup
 	done chan struct{}
@@ -305,6 +316,7 @@ func NewTCPTransport(id int, addr string, opts ...TCPOption) (*TCPTransport, err
 		ln:           ln,
 		inbox:        make(chan Message, 1024),
 		opt:          opt,
+		epoch:        time.Now(),
 		conns:        make(map[int]*tcpConn),
 		lastSent:     make(map[int]Message),
 		haveSent:     make(map[int]bool),
@@ -312,6 +324,8 @@ func NewTCPTransport(id int, addr string, opts ...TCPOption) (*TCPTransport, err
 		lastHeard:    make(map[int]time.Time),
 		reconnecting: make(map[int]bool),
 		stats:        make(map[int]*wireCounters),
+		rtt:          make(map[int]*PeerRTT),
+		rng:          rand.New(rand.NewSource(laneSeed(0x6a177e4, id, id))),
 		done:         make(chan struct{}),
 	}
 	t.hbMsg = Message{From: id, Kind: MsgHeartbeat}
@@ -487,7 +501,9 @@ func (t *TCPTransport) replayLast(peer int) {
 // from dead. With coalescing enabled a heartbeat is enqueued without
 // blocking — if round traffic already fills the queue the beacon is
 // redundant and skipped, and otherwise it rides the writer's next flush
-// as a precomputed frame.
+// as a precomputed frame. Each tick also sends an RTT ping: the pong's
+// echoed timestamp feeds the per-peer estimator that drives adaptive
+// gather deadlines and the degraded-peer verdict (rtt.go).
 func (t *TCPTransport) heartbeatLoop() {
 	defer t.wg.Done()
 	tick := time.NewTicker(t.opt.heartbeat)
@@ -503,13 +519,19 @@ func (t *TCPTransport) heartbeatLoop() {
 				conns = append(conns, conn)
 			}
 			t.mu.Unlock()
+			ping := Message{From: t.id, Kind: MsgPing, Echo: t.nowNanos()}
 			for _, conn := range conns {
 				if conn.queue == nil {
 					_ = t.writeDirect(conn, t.hbMsg)
+					_ = t.writeDirect(conn, ping)
 					continue
 				}
 				select {
 				case conn.queue <- t.hbMsg:
+				default:
+				}
+				select {
+				case conn.queue <- ping:
 				default:
 				}
 			}
@@ -517,13 +539,36 @@ func (t *TCPTransport) heartbeatLoop() {
 	}
 }
 
+// nowNanos is the transport's local monotonic clock for ping timestamps —
+// nanoseconds since construction, never zero (a zero Echo would be omitted
+// from the wire frame).
+func (t *TCPTransport) nowNanos() int64 {
+	n := time.Since(t.epoch).Nanoseconds()
+	if n <= 0 {
+		n = 1
+	}
+	return n
+}
+
 // deliver routes one inbound message: every arrival refreshes the sender's
-// LastHeard clock, and heartbeats stop there instead of reaching the inbox.
+// LastHeard clock, and heartbeats, pings and pongs stop there instead of
+// reaching the inbox — a ping is answered with a pong echoing its
+// timestamp, and a pong closes the loop by feeding the sender's measured
+// round trip into the per-peer RTT estimator.
 func (t *TCPTransport) deliver(m Message, c net.Conn) bool {
 	t.mu.Lock()
 	t.lastHeard[m.From] = time.Now()
 	t.mu.Unlock()
-	if m.Kind == MsgHeartbeat {
+	switch m.Kind {
+	case MsgHeartbeat:
+		return true
+	case MsgPing:
+		_ = t.writeTo(m.From, Message{From: t.id, Kind: MsgPong, Echo: m.Echo}, false)
+		return true
+	case MsgPong:
+		if d := time.Duration(t.nowNanos() - m.Echo); d > 0 {
+			t.observeRTT(m.From, d)
+		}
 		return true
 	}
 	select {
@@ -533,6 +578,60 @@ func (t *TCPTransport) deliver(m Message, c net.Conn) bool {
 		c.Close()
 		return false
 	}
+}
+
+// observeRTT feeds one measured round trip into peer's estimator.
+func (t *TCPTransport) observeRTT(peer int, d time.Duration) {
+	t.mu.Lock()
+	r := t.rtt[peer]
+	if r == nil {
+		r = &PeerRTT{}
+		t.rtt[peer] = r
+	}
+	r.Observe(d)
+	t.mu.Unlock()
+}
+
+// grayRTTFactor is how many times slower than the fastest peer a peer's
+// smoothed RTT must be before RTTStats marks it degraded. Relative, not
+// absolute: on a uniformly slow fabric nobody is gray.
+const grayRTTFactor = 4
+
+// RTTStats snapshots the per-peer RTT estimators next to WireStats: mean
+// and p99 over the retained sample window, a suspicion score over the
+// current silence (floor = two heartbeat intervals), and the degraded
+// verdict — smoothed RTT at least grayRTTFactor times the fastest peer's
+// and more than a millisecond over it, so measurement noise on a healthy
+// LAN never convicts.
+func (t *TCPTransport) RTTStats() map[int]RTTStats {
+	floor := 2 * t.opt.heartbeat
+	if floor <= 0 {
+		floor = 500 * time.Millisecond
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var minSRTT time.Duration = -1
+	for _, r := range t.rtt {
+		if r.Samples() == 0 {
+			continue
+		}
+		if s := r.SRTT(); minSRTT < 0 || s < minSRTT {
+			minSRTT = s
+		}
+	}
+	out := make(map[int]RTTStats, len(t.rtt))
+	for p, r := range t.rtt {
+		st := RTTStats{Mean: r.Mean(), P99: r.P99(), Samples: r.Samples()}
+		if heard, ok := t.lastHeard[p]; ok {
+			st.Suspicion = r.Suspicion(now.Sub(heard), floor)
+		}
+		if s := r.SRTT(); minSRTT > 0 && s >= grayRTTFactor*minSRTT && s-minSRTT > time.Millisecond {
+			st.Degraded = true
+		}
+		out[p] = st
+	}
+	return out
 }
 
 // pump reads messages off one connection until it breaks. The framing is
@@ -600,13 +699,15 @@ func (t *TCPTransport) pump(peer int, br *bufio.Reader, conn *tcpConn) {
 }
 
 // encodeMsg appends m's wire form in the connection's current write codec,
-// substituting the precomputed frame for heartbeats. A message carrying v2
-// fields on a link negotiated at v1 falls back to JSON for that message —
-// the peer's v1 binary decoder would reject the unknown bitmap bits, but
-// its JSON reader parses field-by-field (readers detect the codec per
-// frame).
+// substituting the precomputed frame for heartbeats. A message carrying
+// fields newer than the link's negotiated version falls back to JSON for
+// that message — the peer's older binary decoder would reject the unknown
+// bitmap bits, but its JSON reader parses field-by-field (readers detect
+// the codec per frame).
 func (t *TCPTransport) encodeMsg(buf []byte, conn *tcpConn, m Message) []byte {
-	if w := conn.wire.Load(); w >= 2 || (w == 1 && !wireNeedsV2(m)) {
+	if w := conn.wire.Load(); w >= 3 ||
+		(w == 2 && !wireNeedsV3(m)) ||
+		(w == 1 && !wireNeedsV2(m) && !wireNeedsV3(m)) {
 		if m == t.hbMsg {
 			return append(buf, t.hbBin...)
 		}
@@ -804,7 +905,12 @@ func (t *TCPTransport) maybeReconnect(peer int, broken net.Conn) {
 		}()
 		backoff := t.opt.reconnectMin
 		for try := 0; try < t.opt.reconnectTries; try++ {
-			timer := time.NewTimer(backoff)
+			// Jitter each wait ±15% so links that died together (one slow or
+			// partitioned switch) do not re-dial in a synchronized storm.
+			t.mu.Lock()
+			wait := jitterDur(backoff, t.rng)
+			t.mu.Unlock()
+			timer := time.NewTimer(wait)
 			select {
 			case <-t.done:
 				timer.Stop()
@@ -1001,6 +1107,19 @@ func (t *TCPTransport) Recv() (Message, error) {
 		return m, nil
 	case <-t.done:
 		return Message{}, fmt.Errorf("diba: transport %d closed", t.id)
+	}
+}
+
+// TryRecv returns an immediately available inbound message without
+// blocking.
+func (t *TCPTransport) TryRecv() (Message, bool, error) {
+	select {
+	case m := <-t.inbox:
+		return m, true, nil
+	case <-t.done:
+		return Message{}, false, fmt.Errorf("diba: transport %d closed", t.id)
+	default:
+		return Message{}, false, nil
 	}
 }
 

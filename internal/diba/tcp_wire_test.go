@@ -111,14 +111,17 @@ func TestTCPCodecNegotiation(t *testing.T) {
 // clusters interoperate.
 func TestTCPWireVersionNegotiationMatrix(t *testing.T) {
 	v1 := []TCPOption{WithWireVersion(1)}
+	v2 := []TCPOption{WithWireVersion(2)}
 	cases := []struct {
 		name         string
 		optsA, optsB []TCPOption
 		wantWire     int
 	}{
-		{"v2-v2", nil, nil, 2},
-		{"v2-v1", nil, v1, 1},
-		{"v1-v2", v1, nil, 1},
+		{"v3-v3", nil, nil, 3},
+		{"v3-v2", nil, v2, 2},
+		{"v2-v3", v2, nil, 2},
+		{"v2-v1", v2, v1, 1},
+		{"v1-v3", v1, nil, 1},
 		{"v1-v1", v1, v1, 1},
 	}
 	for _, tc := range cases {
@@ -143,6 +146,19 @@ func TestTCPWireVersionNegotiationMatrix(t *testing.T) {
 			}
 			if got != lease {
 				t.Errorf("lease message arrived as %+v, want %+v", got, lease)
+			}
+			// A message carrying the v3 echo field must round-trip intact on
+			// every link too — binary on v3, JSON fallback below it.
+			echoed := Message{From: 0, Round: 6, E: -0.25, Degree: 2, Echo: 987654321}
+			if err := a.Send(1, echoed); err != nil {
+				t.Fatal(err)
+			}
+			got, err = b.RecvTimeout(5 * time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != echoed {
+				t.Errorf("echo-carrying message arrived as %+v, want %+v", got, echoed)
 			}
 		})
 	}

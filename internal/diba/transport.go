@@ -43,12 +43,21 @@ const (
 	MsgLease    = 7
 	MsgLeaseAck = 8
 	MsgAggHello = 9
+	// MsgPing and MsgPong are the RTT measurement exchange of the
+	// gray-failure detector (rtt.go): a ping carries the sender's send
+	// timestamp in Echo, the receiver answers a pong echoing it untouched,
+	// and the pinger computes the round trip entirely on its own clock —
+	// no clock synchronization needed. Transports answer and absorb both
+	// kinds before the inbox where they can; agents drop any that leak
+	// through.
+	MsgPing = 10
+	MsgPong = 11
 
 	// maxKnownMsgKind is the highest message kind this build understands.
 	// Agents ignore control frames with a larger Kind — they come from a
 	// newer build in a mixed-version cluster and must not be misread as
 	// round messages.
-	maxKnownMsgKind = MsgAggHello
+	maxKnownMsgKind = MsgPong
 )
 
 // Message is the single message type DiBA agents exchange: one scalar
@@ -91,6 +100,12 @@ type Message struct {
 	Lease int64 `json:"lease,omitempty"`
 	Cum   int64 `json:"cum,omitempty"`
 	Seq   int   `json:"seq,omitempty"`
+	// Echo is the RTT measurement payload (MsgPing/MsgPong): the pinger's
+	// monotonic send timestamp in nanoseconds, echoed back verbatim by the
+	// pong so the pinger can compute the round trip on its own clock. It
+	// encodes as the binary codec's v3 field; on a link negotiated below
+	// v3 a message carrying it falls back to JSON.
+	Echo int64 `json:"echo,omitempty"`
 }
 
 // Transport moves messages between one agent and its neighbors. Send must
@@ -113,6 +128,27 @@ var ErrRecvTimeout = errors.New("diba: recv timeout")
 // detector requires it (a Transport without RecvTimeout can only block).
 type TimeoutRecver interface {
 	RecvTimeout(d time.Duration) (Message, error)
+}
+
+// TryRecver is implemented by transports that support a non-blocking
+// receive. The gather loop uses it to drain control-plane traffic (lease
+// floods, dead epidemics, deposition verdicts) even on rounds where every
+// needed frame was already buffered — a member lagging its peers would
+// otherwise never touch the transport again and go deaf to the group.
+type TryRecver interface {
+	// TryRecv returns the next message if one is immediately available.
+	// ok is false when the queue is empty; err reports a closed transport.
+	TryRecv() (m Message, ok bool, err error)
+}
+
+// tryRecv performs a non-blocking receive when the transport supports it,
+// reporting an empty queue otherwise (a blocking-only transport simply
+// skips the drain).
+func tryRecv(tr Transport) (Message, bool, error) {
+	if t, ok := tr.(TryRecver); ok {
+		return t.TryRecv()
+	}
+	return Message{}, false, nil
 }
 
 // PeerLiveness is implemented by transports that track per-peer liveness
@@ -236,6 +272,23 @@ func (ep *chanEndpoint) RecvTimeout(d time.Duration) (Message, error) {
 		return Message{}, fmt.Errorf("diba: agent %d mailbox closed", ep.id)
 	case <-timer.C:
 		return Message{}, ErrRecvTimeout
+	}
+}
+
+// TryRecv returns an immediately available message without blocking.
+func (ep *chanEndpoint) TryRecv() (Message, bool, error) {
+	select {
+	case m := <-ep.net.mailboxes[ep.id]:
+		return m, true, nil
+	case <-ep.net.done[ep.id]:
+		select {
+		case m := <-ep.net.mailboxes[ep.id]:
+			return m, true, nil
+		default:
+		}
+		return Message{}, false, fmt.Errorf("diba: agent %d mailbox closed", ep.id)
+	default:
+		return Message{}, false, nil
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 //	12   Lease   8      int64           (v2)
 //	13   Cum     8      int64           (v2)
 //	14   Seq     4      int32           (v2)
+//	15   Echo    8      int64           (v3)
 //
 // A field whose value is zero is omitted from the frame and its bitmap bit
 // is clear; Decode restores it as zero. E and P are compared by bit
@@ -50,12 +51,13 @@ import (
 //
 // Versioning: the frame layout is versioned by its bitmap, under the same
 // 0xD1 magic. Bits 0–9 are the v1 field set; bits 10–14 (the hierarchical
-// control-plane payload) are v2. A v1 decoder rejects any frame carrying a
-// bitmap bit it does not know, so a v2 sender may write v2 bits only on a
-// link whose peer negotiated wire >= 2 in the TCP hello (tcp.go); for a
-// v1-negotiated binary link, messages that carry v2 fields fall back to
-// JSON for that message (readers detect the codec per frame), and every
-// other message stays on the shared v1 field set.
+// control-plane payload) are v2; bit 15 (the RTT echo timestamp) is v3.
+// An older decoder rejects any frame carrying a bitmap bit it does not
+// know, so a sender may write newer bits only on a link whose peer
+// negotiated that wire version in the TCP hello (tcp.go); on a link
+// negotiated lower, messages that carry newer fields fall back to JSON
+// for that message (readers detect the codec per frame), and every other
+// message stays on the shared field set.
 
 const (
 	// wireMagic tags a binary frame. It must never collide with the
@@ -63,22 +65,29 @@ const (
 	wireMagic = 0xD1
 	// WireVersion is the highest binary codec version this build speaks,
 	// offered and accepted in the TCP hello exchange.
-	WireVersion = 2
+	WireVersion = 3
 	// wireV1Bits is how many bitmap bits the v1 field set defined; frames
 	// restricted to those bits are decodable by every binary-capable build.
 	wireV1Bits = 10
 	// maxWireFrame is the largest possible frame: header (2) + bitmap (2) +
-	// every v1 field present (46) + every v2 field present (28).
-	maxWireFrame = 78
+	// every v1 field present (46) + every v2 field present (28) + the v3
+	// echo (8).
+	maxWireFrame = 86
 )
 
 // wireWidths holds the encoded width of each bitmap field, in bit order.
-var wireWidths = [15]int{4, 4, 8, 2, 4, 4, 8, 4, 4, 4, 4, 4, 8, 8, 4}
+var wireWidths = [16]int{4, 4, 8, 2, 4, 4, 8, 4, 4, 4, 4, 4, 8, 8, 4, 8}
 
 // wireNeedsV2 reports whether m carries any field outside the v1 set, in
 // which case its binary frame is decodable only by wire >= 2 peers.
 func wireNeedsV2(m Message) bool {
 	return m.Group != 0 || m.Epoch != 0 || m.Lease != 0 || m.Cum != 0 || m.Seq != 0
+}
+
+// wireNeedsV3 reports whether m carries the v3 echo field, in which case
+// its binary frame is decodable only by wire >= 3 peers.
+func wireNeedsV3(m Message) bool {
+	return m.Echo != 0
 }
 
 func appendU16(b []byte, v uint16) []byte {
@@ -192,6 +201,10 @@ func EncodeTo(buf []byte, m Message) []byte {
 		bm |= 1 << 14
 		buf = appendU32(buf, uint32(v))
 	}
+	if m.Echo != 0 {
+		bm |= 1 << 15
+		buf = appendU64(buf, uint64(m.Echo))
+	}
 	buf[start+1] = byte(len(buf) - start - 2)
 	buf[start+2] = byte(bm)
 	buf[start+3] = byte(bm >> 8)
@@ -216,9 +229,10 @@ func Decode(b []byte) (Message, int, error) {
 		return m, 0, fmt.Errorf("diba: wire frame truncated (%d of %d bytes)", len(b), total)
 	}
 	bm := getU16(b[2:])
-	if bm>>len(wireWidths) != 0 {
-		return m, 0, fmt.Errorf("diba: wire frame from a newer codec (bitmap %#x)", bm)
-	}
+	// All 16 bitmap bits are assigned as of v3, so there is no "newer
+	// codec" bit pattern left to reject by mask; a frame whose bitmap
+	// disagrees with its length (the only way a foreign frame can look)
+	// fails the width check below instead.
 	want := 4
 	for i, w := range wireWidths {
 		if bm&(1<<i) != 0 {
@@ -287,6 +301,10 @@ func Decode(b []byte) (Message, int, error) {
 	}
 	if bm&(1<<14) != 0 {
 		m.Seq = int(int32(getU32(b[p:])))
+		p += 4
+	}
+	if bm&(1<<15) != 0 {
+		m.Echo = int64(getU64(b[p:]))
 	}
 	return m, total, nil
 }

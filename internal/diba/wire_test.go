@@ -33,6 +33,10 @@ var wireTestMessages = []Message{
 	{From: 0, Round: 41, Kind: MsgLeaseAck, Group: 2, Epoch: 2, Act: 1, Lease: -1, Cum: -170_000},
 	{From: 6, Kind: MsgAggHello, Group: 2, Epoch: 3, Seq: 1},
 	{Kind: MsgLease, Group: math.MaxInt32, Epoch: math.MinInt32, Seq: -1, Lease: math.MaxInt64, Cum: math.MinInt64},
+	// The RTT measurement exchange (v3 bitmap bit).
+	{From: 2, Kind: MsgPing, Echo: 1_234_567_890},
+	{From: 5, Kind: MsgPong, Echo: math.MaxInt64},
+	{From: 1, Round: 7, E: -0.5, Degree: 2, Echo: math.MinInt64},
 }
 
 // sameMessage compares two messages with floats matched by bit pattern, so
@@ -42,7 +46,7 @@ func sameMessage(a, b Message) bool {
 		a.Quiet == b.Quiet && a.Stop == b.Stop && a.Kind == b.Kind &&
 		a.Dead == b.Dead && a.Act == b.Act &&
 		a.Group == b.Group && a.Epoch == b.Epoch && a.Seq == b.Seq &&
-		a.Lease == b.Lease && a.Cum == b.Cum &&
+		a.Lease == b.Lease && a.Cum == b.Cum && a.Echo == b.Echo &&
 		math.Float64bits(a.E) == math.Float64bits(b.E) &&
 		math.Float64bits(a.P) == math.Float64bits(b.P)
 }
@@ -132,10 +136,12 @@ func TestWireDecodeRejectsCorruptFrames(t *testing.T) {
 	lied := bytes.Clone(good)
 	lied[1]++
 	cases["length over bitmap"] = append(lied, 0)
-	// Bitmap bits beyond v1's ten fields.
+	// A bitmap bit claimed without its payload bytes (bit 15 is the v3
+	// Echo field, 8 bytes the frame does not carry): rejected by the
+	// length-vs-bitmap width check.
 	future := bytes.Clone(good)
 	future[3] |= 0x80 // bit 15
-	cases["future bitmap bit"] = future
+	cases["bitmap bit without payload"] = future
 	// The same corruption modes on a v2 lease frame.
 	lease := EncodeTo(nil, Message{From: 1, Kind: MsgLease, Group: 2, Epoch: 3, Seq: 4, Lease: 510_000, Cum: -7})
 	cases["lease frame truncated"] = lease[:len(lease)-3]
@@ -157,10 +163,16 @@ func TestWireDecodeRejectsCorruptFrames(t *testing.T) {
 func TestWireV2FallbackContract(t *testing.T) {
 	for i, m := range wireTestMessages {
 		frame := EncodeTo(nil, m)
-		hasV2Bits := getU16(frame[2:])>>wireV1Bits != 0
-		if hasV2Bits != wireNeedsV2(m) {
-			t.Errorf("case %d: frame v2 bits = %v but wireNeedsV2 = %v for %+v",
-				i, hasV2Bits, wireNeedsV2(m), m)
+		bm := getU16(frame[2:])
+		hasPostV1Bits := bm>>wireV1Bits != 0
+		if hasPostV1Bits != (wireNeedsV2(m) || wireNeedsV3(m)) {
+			t.Errorf("case %d: frame post-v1 bits = %v but wireNeedsV2/V3 = %v/%v for %+v",
+				i, hasPostV1Bits, wireNeedsV2(m), wireNeedsV3(m), m)
+		}
+		hasEchoBit := bm&(1<<15) != 0
+		if hasEchoBit != wireNeedsV3(m) {
+			t.Errorf("case %d: frame echo bit = %v but wireNeedsV3 = %v for %+v",
+				i, hasEchoBit, wireNeedsV3(m), m)
 		}
 	}
 	// Every hierarchical control message the protocol produces carries a
@@ -269,12 +281,12 @@ func TestWireHeartbeatFrameTiny(t *testing.T) {
 func FuzzWireMessage(f *testing.F) {
 	for _, m := range wireTestMessages {
 		f.Add(m.From, m.Round, m.E, m.Degree, m.Quiet, m.Stop, m.P, m.Kind, m.Dead, m.Act,
-			m.Group, m.Epoch, m.Lease, m.Cum, m.Seq)
+			m.Group, m.Epoch, m.Lease, m.Cum, m.Seq, m.Echo)
 	}
-	f.Fuzz(func(t *testing.T, from, round int, e float64, degree, quiet, stop int, p float64, kind, dead, act, group, epoch int, lease, cum int64, seq int) {
+	f.Fuzz(func(t *testing.T, from, round int, e float64, degree, quiet, stop int, p float64, kind, dead, act, group, epoch int, lease, cum int64, seq int, echo int64) {
 		m := Message{From: from, Round: round, E: e, Degree: degree,
 			Quiet: quiet, Stop: stop, P: p, Kind: kind, Dead: dead, Act: act,
-			Group: group, Epoch: epoch, Lease: lease, Cum: cum, Seq: seq}
+			Group: group, Epoch: epoch, Lease: lease, Cum: cum, Seq: seq, Echo: echo}
 		frame := EncodeTo(nil, m)
 		if len(frame) > maxWireFrame {
 			t.Fatalf("frame is %d bytes, exceeds maxWireFrame=%d", len(frame), maxWireFrame)

@@ -95,6 +95,11 @@ func TestBitwiseIdenticalToCommittedResults(t *testing.T) {
 		// degraded-mode engine paths: a failover or freeze may not move a
 		// digit of the reconvergence/overshoot/stranded accounting.
 		{"hierfail", "results_quick.txt", func() (Table, error) { return HierFail(Quick, seed) }},
+		// grayfail pins the virtual-slot gray-failure model: the max-plus
+		// timing, the exact round arithmetic, and the stale-settlement
+		// algebra may not move a digit — in particular the conservation
+		// column must stay at float precision.
+		{"grayfail", "results_quick.txt", func() (Table, error) { return GrayFail(Quick, seed) }},
 	}
 	for _, c := range cases {
 		t.Run(c.id, func(t *testing.T) {

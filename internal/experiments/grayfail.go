@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"powercap/internal/diba"
+	"powercap/internal/workload"
+)
+
+// GrayFail measures gray-failure tolerance with the deterministic
+// virtual-slot-time model (diba.RunGraySim): one node of a DiBA ring stays
+// alive but its links run σ× slower than the healthy 1-slot latency, and
+// the same scenario runs once with the fixed-deadline baseline gather and
+// once with straggler-tolerant rounds (adaptive deadlines + stale-proceed
+// reconciliation). Reported per regime: the asymptotic round period in
+// slots, how many node-rounds stalled (> 3 slots), how the mitigation
+// split between substitution and soft-exclusion, and the conservation gap
+// after every late frame settled.
+func GrayFail(scale Scale, seed int64) (Table, error) {
+	n := scale.pick(16, 48)
+	rounds := scale.pick(400, 1600)
+	const slow = 5
+	rng := rand.New(rand.NewSource(seed))
+	a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0, rng)
+	if err != nil {
+		return Table{}, err
+	}
+	us := a.UtilitySlice()
+	budget := 170.0 * float64(n)
+
+	t := Table{
+		ID:    "grayfail",
+		Title: fmt.Sprintf("Gray failure: ring N=%d, node %d slowed σ×, %d rounds (virtual slot time)", n, slow, rounds),
+		Columns: []string{"sigma", "gather", "slots/round", "stalled rounds",
+			"substituted", "soft-excluded", "unsettled", "|Σe−(Σp−B)|"},
+		Notes: []string{
+			"expected shape: the fixed-deadline ring throttles to the slow node's pace (slots/round → σ, nearly every round stalled);",
+			"straggler-tolerant rounds hold slots/round ≤ the adaptive deadline (2 slots) at every σ, with ≥5x fewer stalled rounds;",
+			"substitution carries moderate σ, soft-exclusion takes over once the straggler lags past MaxLag rounds;",
+			"every stale substitution settles against the true frame: unsettled is 0 and the budget identity holds to float precision",
+		},
+	}
+
+	for _, sigma := range []int{2, 5, 10, 20} {
+		for _, tolerant := range []bool{false, true} {
+			res, err := diba.RunGraySim(diba.GraySimConfig{
+				N: n, Slow: slow, Sigma: sigma, Tolerant: tolerant,
+				Rounds: rounds, BudgetW: budget, Util: us,
+			})
+			if err != nil {
+				return Table{}, err
+			}
+			mode := "fixed"
+			if tolerant {
+				mode = "tolerant"
+			}
+			t.AddRow(sigma, mode, fmt.Sprintf("%.3f", res.SlotsPerRound),
+				res.StalledRounds, res.Substituted, res.SoftExcluded,
+				res.Outstanding, fmt.Sprintf("%.3g", res.MaxAbsGap))
+		}
+	}
+	return t, nil
+}
