@@ -2,8 +2,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -11,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -268,7 +272,10 @@ func TestHierClusterSurvivesInterLevelPartition(t *testing.T) {
 // TestSignalKillDrainsWireQueues is the shutdown audit: a SIGTERM mid-run
 // must drain the per-connection send queues and log the same per-peer wire
 // report a clean exit logs, then exit 0 — no coalesced batch may be lost in
-// a signal shutdown.
+// a signal shutdown. The control plane drains the same way: clients hammer
+// GET /v1/caps straight through the SIGTERM, and every request the server
+// accepted must complete with a whole, parseable JSON body — a truncated
+// 200 means a request was dropped mid-response.
 func TestSignalKillDrainsWireQueues(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns a 3-process TCP cluster")
@@ -276,6 +283,7 @@ func TestSignalKillDrainsWireQueues(t *testing.T) {
 	bin := buildDibad(t)
 	const n = 3
 	var peers strings.Builder
+	apiAddrs := make([]string, n)
 	for i := 0; i < n; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -283,6 +291,12 @@ func TestSignalKillDrainsWireQueues(t *testing.T) {
 		}
 		fmt.Fprintf(&peers, "%d %s\n", i, ln.Addr().String())
 		ln.Close()
+		apiLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		apiAddrs[i] = apiLn.Addr().String()
+		apiLn.Close()
 	}
 	peersPath := filepath.Join(t.TempDir(), "peers.txt")
 	if err := os.WriteFile(peersPath, []byte(peers.String()), 0o644); err != nil {
@@ -296,7 +310,8 @@ func TestSignalKillDrainsWireQueues(t *testing.T) {
 	for i := 0; i < n; i++ {
 		cmds[i] = exec.CommandContext(ctx, bin,
 			"-id", fmt.Sprint(i), "-peers", peersPath, "-budget", "510",
-			"-connect-timeout", "20s", "-until-round", "1000000", "-round-interval", "1ms")
+			"-connect-timeout", "20s", "-until-round", "1000000", "-round-interval", "1ms",
+			"-api", apiAddrs[i])
 		outs[i] = &strings.Builder{}
 		cmds[i].Stdout = outs[i]
 		cmds[i].Stderr = outs[i]
@@ -306,6 +321,57 @@ func TestSignalKillDrainsWireQueues(t *testing.T) {
 	}
 	// Let the ring form and exchange real traffic before pulling the plug.
 	time.Sleep(2 * time.Second)
+
+	// Hammer every daemon's control plane from here through the shutdown. A
+	// connection error means the listener already closed (expected); a 200
+	// with a truncated or invalid body means a request died mid-response.
+	var served atomic.Int64
+	stop := make(chan struct{})
+	apiErrs := make(chan error, 64)
+	var hammers sync.WaitGroup
+	for i := 0; i < n; i++ {
+		hammers.Add(1)
+		go func(addr string) {
+			defer hammers.Done()
+			client := &http.Client{Timeout: 5 * time.Second}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get("http://" + addr + "/v1/caps")
+				if err != nil {
+					// Refused/reset after the listener closed; back off and
+					// re-check for the stop signal.
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					continue
+				}
+				if err != nil {
+					select {
+					case apiErrs <- fmt.Errorf("%s: 200 response truncated mid-body: %v", addr, err):
+					default:
+					}
+					return
+				}
+				if !json.Valid(body) {
+					select {
+					case apiErrs <- fmt.Errorf("%s: 200 response with invalid JSON: %q", addr, body):
+					default:
+					}
+					return
+				}
+				served.Add(1)
+			}
+		}(apiAddrs[i])
+	}
+
+	time.Sleep(200 * time.Millisecond) // guarantee in-flight API traffic at signal time
 	for i := 0; i < n; i++ {
 		if err := cmds[i].Process.Signal(syscall.SIGTERM); err != nil {
 			t.Fatalf("signaling daemon %d: %v", i, err)
@@ -321,6 +387,9 @@ func TestSignalKillDrainsWireQueues(t *testing.T) {
 		if !strings.Contains(out, "draining send queues") || !strings.Contains(out, "drained, exiting") {
 			t.Errorf("daemon %d did not log the drain:\n%s", i, out)
 		}
+		if !strings.Contains(out, "api drained") {
+			t.Errorf("daemon %d did not log the control-plane drain:\n%s", i, out)
+		}
 		m := perPeer.FindAllStringSubmatch(out, -1)
 		if len(m) != 2 {
 			t.Errorf("daemon %d logged %d per-peer wire lines, want 2:\n%s", i, len(m), out)
@@ -330,5 +399,14 @@ func TestSignalKillDrainsWireQueues(t *testing.T) {
 				t.Errorf("daemon %d reports zero messages sent to peer %s before drain", i, pm[1])
 			}
 		}
+	}
+	close(stop)
+	hammers.Wait()
+	close(apiErrs)
+	for err := range apiErrs {
+		t.Error(err)
+	}
+	if served.Load() == 0 {
+		t.Error("control-plane hammer completed zero reads; the drill proved nothing")
 	}
 }

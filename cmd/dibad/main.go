@@ -122,22 +122,32 @@
 //	-chaos-slow-on 500ms     … and healthy for the rest (0 = always slow)
 //	-chaos-slow-start 1s     activation offset from the fabric's first send
 //
+// # Control plane
+//
+// -api host:port serves the operator HTTP API (internal/ctlplane) over the
+// agent's per-round published state snapshot: GET /v1/caps, /v1/health,
+// /status (legacy shape; -status remains as a deprecated alias for -api)
+// and /metrics (Prometheus text), plus POST /v1/budget, /v1/powercap and
+// /v1/shed, which queue coalesced latest-wins commands applied at the next
+// round boundary. Reads are lock-free and allocation-free at steady state
+// and cannot delay a round; see "Control plane" in DESIGN.md and the API
+// reference in README.md.
+//
 // # Shutdown
 //
-// On SIGINT or SIGTERM the daemon drains its per-connection send queues
-// (coalesced batches flush; nothing queued is lost) and logs the same
-// per-peer wire statistics a clean exit logs, then exits 0.
+// On SIGINT or SIGTERM the daemon first shuts the control plane down
+// gracefully (in-flight requests complete; nothing is dropped
+// mid-response), then drains its per-connection send queues (coalesced
+// batches flush; nothing queued is lost) and logs the same per-peer wire
+// statistics a clean exit logs, then exits 0.
 package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
-	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -146,6 +156,7 @@ import (
 	"syscall"
 	"time"
 
+	"powercap/internal/ctlplane"
 	"powercap/internal/diba"
 	"powercap/internal/safety"
 	"powercap/internal/sensor"
@@ -160,7 +171,8 @@ func main() {
 	rounds := flag.Int("rounds", 2000, "DiBA rounds to execute (0 = run until the cluster self-detects quiescence)")
 	timeout := flag.Duration("connect-timeout", 10*time.Second, "neighbor connect timeout")
 	seed := flag.Int64("seed", 1, "seed for the characterization sweep noise")
-	statusAddr := flag.String("status", "", "optional HTTP status endpoint, e.g. 127.0.0.1:8080 (GET /status)")
+	apiAddr := flag.String("api", "", "control-plane HTTP endpoint, e.g. 127.0.0.1:8080 (GET /v1/caps /v1/health /status /metrics, POST /v1/budget /v1/powercap /v1/shed)")
+	statusAddr := flag.String("status", "", "deprecated alias for -api (kept for old drills; serves the same endpoints)")
 	chord := flag.Int("chord", 0, "standby chord stride (0 = peers-file 'chord' directive, if any)")
 	gatherTimeout := flag.Duration("gather-timeout", 0, "declare a silent neighbor dead after this long (0 = detection off)")
 	heartbeat := flag.Duration("heartbeat", 0, "transport heartbeat interval (0 = off)")
@@ -473,6 +485,75 @@ func main() {
 		log.Printf("dibad: agent %d rejoined, resuming at round %d", *id, agent.Round())
 	}
 
+	// Control plane: the agent publishes an immutable snapshot per round
+	// (internal/diba/publish.go); the HTTP server serves only those
+	// snapshots, so no request can ever block or perturb a round. The
+	// decorator runs on the agent goroutine at publish time and attaches
+	// what the consensus layer cannot see: transport counters and the
+	// watchdog's status.
+	apiListen := *apiAddr
+	if apiListen == "" {
+		apiListen = *statusAddr
+	}
+	var api *ctlplane.Server
+	if apiListen != "" {
+		pub := new(diba.StatePub)
+		pub.SetDecorator(func(s *diba.StateSnapshot) {
+			s.Wire = tcp.WireTotals()
+			stats := tcp.WireStats()
+			peers := make([]int, 0, len(stats))
+			for p := range stats {
+				peers = append(peers, p)
+			}
+			sort.Ints(peers)
+			pws := make([]diba.PeerWire, 0, len(peers))
+			for _, p := range peers {
+				pws = append(pws, diba.PeerWire{Peer: p, Stats: stats[p]})
+			}
+			s.WirePeers = pws
+			if wd != nil {
+				st := wd.Stats()
+				s.Watchdog = diba.WatchdogView{
+					Enabled: true, Periods: st.Periods, Violations: st.Violations,
+					Sheds: st.Sheds, Releases: st.Releases, MinDerate: st.MinDerate,
+				}
+			}
+		})
+		if hagent != nil {
+			hagent.PublishState(pub)
+		} else {
+			agent.PublishState(pub)
+		}
+		api = ctlplane.New(ctlplane.Config{
+			Node: *id, Workload: *bench, Pub: pub, BudgetW: *budget, Hier: hier,
+		})
+		if err := api.Start(apiListen); err != nil {
+			log.Fatalf("dibad: api listen: %v", err)
+		}
+		log.Printf("dibad: agent %d control plane at http://%s/ (GET /v1/caps /v1/health /status /metrics)", *id, api.Addr())
+	}
+
+	// Queued control-plane writes land here, on the agent goroutine at a
+	// round boundary. A budget set is applied as a delta against this
+	// node's current view (SetBudgetDelta's contract: the operator posts
+	// the same budget to every daemon, and each shifts its estimate by
+	// delta/n).
+	applyCmd := func(c ctlplane.Command) error {
+		switch c.Kind {
+		case ctlplane.CmdSetBudget:
+			delta := c.BudgetW - agent.Budget()
+			agent.SetBudgetDelta(delta, n)
+			log.Printf("dibad: agent %d round %d budget set to %.2f W (delta %+.2f W)", *id, agent.Round(), c.BudgetW, delta)
+		case ctlplane.CmdShed:
+			delta := -c.Frac * agent.Budget()
+			agent.SetBudgetDelta(delta, n)
+			log.Printf("dibad: agent %d round %d emergency shed %.0f%%: budget now %.2f W", *id, agent.Round(), c.Frac*100, agent.Budget())
+		default:
+			return fmt.Errorf("unknown command kind %v", c.Kind)
+		}
+		return nil
+	}
+
 	// Hierarchical role and lease transitions are logged as they happen so
 	// fault drills can assert failover and freeze/thaw from the outside.
 	lastFrozen, lastAgg := false, hagent != nil && hagent.IsAggregate()
@@ -502,9 +583,13 @@ func main() {
 	}
 
 	// perRound runs the operational side channels after each BSP round:
-	// snapshotting, the local watchdog, and drill pacing.
+	// queued control-plane writes, snapshotting, the local watchdog, and
+	// drill pacing.
 	perRound := func() {
 		hierRound()
+		if api != nil {
+			api.Drain(applyCmd)
+		}
 		if *snapshotPath != "" && *snapshotEvery > 0 && agent.Round()%*snapshotEvery == 0 {
 			if err := writeSnapshot(agent, *snapshotPath); err != nil {
 				log.Printf("dibad: snapshot: %v", err)
@@ -526,11 +611,6 @@ func main() {
 		}
 	}
 
-	var status statusServer
-	if *statusAddr != "" {
-		status.start(*statusAddr, *id, *bench)
-	}
-
 	// A signal shutdown must lose nothing that a clean exit would not: drain
 	// the per-connection send queues (coalesced batches flush on Close) and
 	// log the same per-peer wire report, then exit 0. The step loop sees the
@@ -543,6 +623,15 @@ func main() {
 		sig := <-sigCh
 		draining.Store(true)
 		log.Printf("dibad: agent %d caught %v; draining send queues", *id, sig)
+		// In-flight control-plane requests finish before the consensus
+		// transport goes down: the listener closes first, accepted requests
+		// get a deadline to complete, and none is dropped mid-response.
+		if api != nil {
+			if err := api.Shutdown(2 * time.Second); err != nil {
+				log.Printf("dibad: agent %d api shutdown: %v", *id, err)
+			}
+			log.Printf("dibad: agent %d api drained", *id)
+		}
 		_ = tcp.Close()
 		logWireReport(tcp, codec, *id)
 		logHealthReport(agent, tcp, *id)
@@ -573,7 +662,6 @@ func main() {
 			if err := step(); err != nil {
 				stepFail(agent.Round(), err)
 			}
-			status.update(agent.Power(), agent.Estimate(), agent.Round())
 			perRound()
 		}
 		final = diba.AgentState{Power: agent.Power(), E: agent.Estimate(), Rounds: agent.Round(), Budget: agent.Budget(), Dead: agent.DeadNodes()}
@@ -585,13 +673,11 @@ func main() {
 			stepFail(agent.Round(), err)
 		}
 		final = st
-		status.update(agent.Power(), agent.Estimate(), st.Rounds)
 	} else {
 		for r := 0; r < *rounds; r++ {
 			if err := step(); err != nil {
 				stepFail(r, err)
 			}
-			status.update(agent.Power(), agent.Estimate(), r+1)
 			perRound()
 		}
 		final = diba.AgentState{Power: agent.Power(), E: agent.Estimate(), Rounds: *rounds, Budget: agent.Budget(), Dead: agent.DeadNodes()}
@@ -603,6 +689,11 @@ func main() {
 	}
 	if wd != nil {
 		log.Printf("dibad: agent %d watchdog: %+v", *id, wd.Stats())
+	}
+	if api != nil {
+		if err := api.Shutdown(2 * time.Second); err != nil {
+			log.Printf("dibad: agent %d api shutdown: %v", *id, err)
+		}
 	}
 	logWireReport(tcp, codec, *id)
 	logHealthReport(agent, tcp, *id)
@@ -715,53 +806,6 @@ func chordPartners(id, n, stride int, ring []int) []int {
 	}
 	sort.Ints(out)
 	return out
-}
-
-// statusServer exposes the agent's live state over HTTP for operators.
-type statusServer struct {
-	enabled bool
-	id      int
-	bench   string
-	// Fixed-point packed values keep the handler lock-free.
-	capMilli atomic.Int64
-	estMicro atomic.Int64
-	round    atomic.Int64
-}
-
-func (s *statusServer) start(addr string, id int, bench string) {
-	s.enabled = true
-	s.id = id
-	s.bench = bench
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		log.Fatalf("dibad: status listen: %v", err)
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(map[string]interface{}{
-			"id":       s.id,
-			"workload": s.bench,
-			"capW":     float64(s.capMilli.Load()) / 1000,
-			"estimate": float64(s.estMicro.Load()) / 1e6,
-			"round":    s.round.Load(),
-		})
-	})
-	log.Printf("dibad: status endpoint at http://%s/status", ln.Addr())
-	go func() {
-		if err := http.Serve(ln, mux); err != nil {
-			log.Printf("dibad: status server stopped: %v", err)
-		}
-	}()
-}
-
-func (s *statusServer) update(capW, est float64, round int) {
-	if !s.enabled {
-		return
-	}
-	s.capMilli.Store(int64(capW * 1000))
-	s.estMicro.Store(int64(est * 1e6))
-	s.round.Store(int64(round))
 }
 
 // readPeers parses a peers file: one "id host:port" per line, plus an

@@ -1,9 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
+
+	"powercap/internal/ctlplane"
+	"powercap/internal/diba"
 )
 
 func writeTemp(t *testing.T, content string) string {
@@ -114,20 +120,44 @@ func TestChordPartners(t *testing.T) {
 	}
 }
 
-func TestStatusServer(t *testing.T) {
-	var s statusServer
-	// Disabled: update is a no-op and must not panic.
-	s.update(150, -1.5, 3)
-
-	s.start("127.0.0.1:0", 7, "CG")
-	s.update(151.25, -0.75, 42)
-	// Find the bound address from the log is awkward; instead exercise the
-	// handler through the same mux the server installed by re-querying via
-	// the stored state.
-	if got := float64(s.capMilli.Load()) / 1000; got != 151.25 {
-		t.Fatalf("cap = %v", got)
+// The control plane's GET /status stays field-compatible with the old
+// status endpoint (id/workload/capW/estimate/round), so existing drills
+// keep parsing.
+func TestLegacyStatusEndpoint(t *testing.T) {
+	pub := new(diba.StatePub)
+	s := ctlplane.New(ctlplane.Config{Node: 7, Workload: "CG", Pub: pub})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
 	}
-	if got := s.round.Load(); got != 42 {
-		t.Fatalf("round = %v", got)
+	defer s.Shutdown(time.Second)
+
+	// Before the first published round the endpoint reports unavailable.
+	resp, err := http.Get("http://" + s.Addr() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pre-publication /status = %d, want 503", resp.StatusCode)
+	}
+
+	pub.Publish(&diba.StateSnapshot{Node: 7, Round: 42, CapW: 151.25, EstimateW: -0.75})
+	resp, err = http.Get("http://" + s.Addr() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		ID       int     `json:"id"`
+		Workload string  `json:"workload"`
+		CapW     float64 `json:"capW"`
+		Estimate float64 `json:"estimate"`
+		Round    int     `json:"round"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 7 || got.Workload != "CG" || got.CapW != 151.25 || got.Estimate != -0.75 || got.Round != 42 {
+		t.Fatalf("legacy status fields wrong: %+v", got)
 	}
 }

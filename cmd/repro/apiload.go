@@ -1,0 +1,506 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"powercap/internal/ctlplane"
+	"powercap/internal/diba"
+	"powercap/internal/stats"
+	"powercap/internal/topology"
+	"powercap/internal/workload"
+)
+
+// repro apiload: the control plane's load harness and its gates. It stands
+// up n in-process daemons (flat DiBA agents over a ChanNetwork, each with a
+// StatePub and a ctlplane.Server on a loopback port), paces them at a fixed
+// round interval, and measures the serving paths against the live cluster:
+//
+//   - snapshot read path: allocations per read on a quiescent cluster
+//     (hard gate: 0 allocs/op) and aggregate reads/sec across daemons
+//     while the cluster runs under full mixed load (hard gate: >= 1M/s,
+//     p99 under target);
+//   - HTTP path: GET /v1/caps, /v1/health and /metrics over loopback
+//     with keep-alive clients, p50/p99/p999 from per-worker latency
+//     histograms merged at the end;
+//   - perturbation: rounds/sec with and without load (hard gate: <= 10%
+//     degradation);
+//   - writes: budget updates posted to every daemon mid-load, and after
+//     the load stops every budget view must reconcile to exactly the
+//     final posted budget with conservation (sum e = sum p - B) restored.
+//
+// Any gate violation fails the command, so this doubles as the CI smoke
+// test for the control plane. Results go to BENCH_<date>-api.json.
+
+const (
+	apiHotP99Target  = time.Millisecond        // snapshot read path
+	apiHTTPP99Target = 250 * time.Millisecond  // full HTTP round trip, 1-CPU CI
+	apiMinReadsPerSec = 1e6
+	apiMaxDegradation = 0.10
+)
+
+type apiNode struct {
+	agent *diba.Agent
+	srv   *ctlplane.Server
+}
+
+type apiCluster struct {
+	nodes    []*apiNode
+	eps      []diba.Transport
+	budget   float64
+	interval time.Duration
+}
+
+// newAPICluster builds the n-daemon ring. Each daemon owns its agent, its
+// publication slot, and a control-plane server listening on loopback.
+func newAPICluster(n int, interval time.Duration, seed int64) (*apiCluster, error) {
+	g := topology.Ring(n)
+	rng := rand.New(rand.NewSource(seed))
+	a, err := workload.Assign(workload.HPC, n, workload.DefaultServer, 0.05, 0, rng)
+	if err != nil {
+		return nil, err
+	}
+	us := a.UtilitySlice()
+	budget := 170 * float64(n)
+	var totalIdle float64
+	for _, u := range us {
+		totalIdle += u.MinPower()
+	}
+	net := diba.NewChanNetwork(n, 4*(g.MaxDegree()+1))
+	c := &apiCluster{budget: budget, interval: interval}
+	for i := 0; i < n; i++ {
+		ep := net.Endpoint(i)
+		ag, err := diba.NewAgent(i, g.NeighborsInts(i), us[i], budget, n, totalIdle, diba.Config{}, ep)
+		if err != nil {
+			return nil, err
+		}
+		pub := new(diba.StatePub)
+		ag.PublishState(pub)
+		srv := ctlplane.New(ctlplane.Config{Node: i, Workload: "hpc", Pub: pub, BudgetW: budget})
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, &apiNode{agent: ag, srv: srv})
+		c.eps = append(c.eps, ep)
+	}
+	return c, nil
+}
+
+// apply is the round-boundary command sink for one daemon: the same mapping
+// cmd/dibad uses, so the harness exercises the deployed semantics.
+func (c *apiCluster) apply(a *diba.Agent) func(ctlplane.Command) error {
+	n := len(c.nodes)
+	return func(cmd ctlplane.Command) error {
+		switch cmd.Kind {
+		case ctlplane.CmdSetBudget:
+			a.SetBudgetDelta(cmd.BudgetW-a.Budget(), n)
+		case ctlplane.CmdShed:
+			a.SetBudgetDelta(-cmd.Frac*a.Budget(), n)
+		}
+		return nil
+	}
+}
+
+// runRounds drives every agent through r paced BSP rounds (draining queued
+// commands at each round boundary) and returns the wall-clock elapsed.
+func (c *apiCluster) runRounds(r int) (time.Duration, error) {
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.nodes))
+	start := time.Now()
+	for i, nd := range c.nodes {
+		wg.Add(1)
+		go func(i int, nd *apiNode) {
+			defer wg.Done()
+			apply := c.apply(nd.agent)
+			for k := 0; k < r; k++ {
+				nd.srv.Drain(apply)
+				if err := nd.agent.StepOnce(); err != nil {
+					errs[i] = err
+					return
+				}
+				time.Sleep(c.interval)
+			}
+		}(i, nd)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return elapsed, fmt.Errorf("agent %d: %w", i, err)
+		}
+	}
+	return elapsed, nil
+}
+
+func (c *apiCluster) shutdown() error {
+	var firstErr error
+	for _, nd := range c.nodes {
+		if err := nd.srv.Shutdown(2 * time.Second); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, ep := range c.eps {
+		if err := ep.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// apiLoadGen is the mixed read/write load: hot-path snapshot readers,
+// loopback HTTP readers, and a budget writer posting to every daemon.
+type apiLoadGen struct {
+	c    *apiCluster
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	hotOps    atomic.Int64
+	httpReads atomic.Int64
+	writes    atomic.Int64
+	errs      atomic.Int64
+	lastErr   atomic.Value // string
+
+	mu       sync.Mutex
+	hotHist  stats.LatencyHist
+	httpHist stats.LatencyHist
+}
+
+func (l *apiLoadGen) fail(err error) {
+	l.errs.Add(1)
+	l.lastErr.Store(err.Error())
+}
+
+func (l *apiLoadGen) stopped() bool {
+	select {
+	case <-l.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// hotReader hammers Server.CapsBody round-robin across daemons: the
+// pointer-load serving path with no HTTP in front. Every 64th read is
+// timed into the latency histogram; a periodic Gosched keeps the spin loop
+// from starving the paced agents on a single P.
+func (l *apiLoadGen) hotReader() {
+	defer l.wg.Done()
+	var h stats.LatencyHist
+	nodes := l.c.nodes
+	ops := 0
+	for !l.stopped() {
+		nd := nodes[ops%len(nodes)]
+		if ops%64 == 0 {
+			t0 := time.Now()
+			body := nd.srv.CapsBody()
+			h.Record(time.Since(t0))
+			if len(body) == 0 {
+				l.fail(fmt.Errorf("empty caps body from node %d", ops%len(nodes)))
+				return
+			}
+		} else {
+			_ = nd.srv.CapsBody()
+		}
+		ops++
+		if ops%256 == 0 {
+			runtime.Gosched()
+		}
+	}
+	l.hotOps.Add(int64(ops))
+	l.mu.Lock()
+	l.hotHist.Merge(&h)
+	l.mu.Unlock()
+}
+
+// httpReader issues real loopback GETs with a keep-alive client, mostly
+// /v1/caps with periodic /v1/health and /metrics, timing the full round
+// trip including reading the body.
+func (l *apiLoadGen) httpReader(client *http.Client) {
+	defer l.wg.Done()
+	var h stats.LatencyHist
+	nodes := l.c.nodes
+	paths := []string{"/v1/caps", "/v1/caps", "/v1/caps", "/v1/health", "/metrics"}
+	ops := 0
+	for !l.stopped() {
+		nd := nodes[ops%len(nodes)]
+		url := "http://" + nd.srv.Addr() + paths[ops%len(paths)]
+		t0 := time.Now()
+		resp, err := client.Get(url)
+		if err != nil {
+			l.fail(err)
+			return
+		}
+		_, cerr := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		h.Record(time.Since(t0))
+		if cerr != nil {
+			l.fail(fmt.Errorf("GET %s: truncated body: %w", url, cerr))
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			l.fail(fmt.Errorf("GET %s: status %d", url, resp.StatusCode))
+			return
+		}
+		ops++
+	}
+	l.httpReads.Add(int64(ops))
+	l.mu.Lock()
+	l.httpHist.Merge(&h)
+	l.mu.Unlock()
+}
+
+// writer posts a fresh cluster budget to every daemon each write round —
+// the documented operator contract — cycling integer-watt values below the
+// configured budget so the final reconciliation is exact in float64.
+func (l *apiLoadGen) writer(client *http.Client) {
+	defer l.wg.Done()
+	round := 0
+	for !l.stopped() {
+		b := l.c.budget - float64(10+round%4*10)
+		body := fmt.Sprintf(`{"budget_w":%g}`, b)
+		for _, nd := range l.c.nodes {
+			resp, err := client.Post("http://"+nd.srv.Addr()+"/v1/budget",
+				"application/json", strings.NewReader(body))
+			if err != nil {
+				l.fail(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				l.fail(fmt.Errorf("POST /v1/budget: status %d", resp.StatusCode))
+				return
+			}
+			l.writes.Add(1)
+		}
+		round++
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// postBudgetAll posts the same budget to every daemon, the operator
+// contract for a cluster-wide budget change.
+func postBudgetAll(c *apiCluster, client *http.Client, b float64) error {
+	body := fmt.Sprintf(`{"budget_w":%g}`, b)
+	for i, nd := range c.nodes {
+		resp, err := client.Post("http://"+nd.srv.Addr()+"/v1/budget",
+			"application/json", strings.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("node %d: POST /v1/budget status %d", i, resp.StatusCode)
+		}
+	}
+	return nil
+}
+
+func quantsUs(h *stats.LatencyHist) (p50, p99, p999 float64) {
+	return float64(h.Quantile(0.50)) / 1e3,
+		float64(h.Quantile(0.99)) / 1e3,
+		float64(h.Quantile(0.999)) / 1e3
+}
+
+func runAPILoad(seed int64, out string, n int, phaseDur, interval time.Duration) error {
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s-api.json", time.Now().Format("2006-01-02"))
+	}
+	if n < 2 {
+		return fmt.Errorf("apiload: need at least 2 daemons, got %d", n)
+	}
+	report := newBenchReport("api", seed)
+	add := func(res benchResult) {
+		extra := ""
+		if res.QPS > 0 {
+			extra = fmt.Sprintf("  %12.0f qps", res.QPS)
+		}
+		if res.P99Us > 0 {
+			extra += fmt.Sprintf("  p99 %10.3f us", res.P99Us)
+		}
+		if res.RoundsPerSec > 0 {
+			extra += fmt.Sprintf("  %8.1f rounds/s", res.RoundsPerSec)
+		}
+		fmt.Printf("  %-30s%s\n", res.Name, extra)
+		report.Results = append(report.Results, res)
+	}
+
+	goroutines0 := runtime.NumGoroutine()
+	c, err := newAPICluster(n, interval, seed)
+	if err != nil {
+		return err
+	}
+	defer c.shutdown()
+
+	// Warm-up rounds give every daemon a real snapshot and settle the
+	// body caches before anything is measured.
+	if _, err := c.runRounds(10); err != nil {
+		return err
+	}
+
+	// Gate 1: zero allocations on the snapshot read path. Measured on the
+	// quiescent cluster so the only allocator activity in the window is the
+	// read loop itself; integer division matches measure()'s convention.
+	runtime.GC()
+	const allocOps = 1_000_000
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	for k := 0; k < allocOps; k++ {
+		if len(c.nodes[k%n].srv.CapsBody()) == 0 {
+			return fmt.Errorf("apiload: empty caps body during alloc probe")
+		}
+	}
+	readNs := time.Since(t0).Nanoseconds()
+	runtime.ReadMemStats(&after)
+	allocsPerOp := (after.Mallocs - before.Mallocs) / allocOps
+	add(benchResult{
+		Name: "ctlplane.CapsBody/quiescent", Runs: allocOps,
+		NsPerOp:     readNs / allocOps,
+		AllocsPerOp: allocsPerOp,
+		BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / allocOps,
+		QPS:         float64(allocOps) / (float64(readNs) / 1e9),
+	})
+	if allocsPerOp != 0 {
+		return fmt.Errorf("apiload: snapshot read path allocates %d allocs/op (gate: 0)", allocsPerOp)
+	}
+
+	// Baseline: rounds/sec with no load at all.
+	rounds := int(phaseDur / interval)
+	if rounds < 20 {
+		rounds = 20
+	}
+	baseElapsed, err := c.runRounds(rounds)
+	if err != nil {
+		return err
+	}
+	baseRPS := float64(rounds) / baseElapsed.Seconds()
+	add(benchResult{
+		Name: fmt.Sprintf("cluster.rounds/unloaded/n=%d", n), Runs: rounds,
+		NsPerOp: baseElapsed.Nanoseconds() / int64(rounds), RoundsPerSec: baseRPS,
+	})
+
+	// Loaded phase: full mixed read/write load while the cluster runs the
+	// same number of paced rounds.
+	client := &http.Client{Timeout: 5 * time.Second}
+	gen := &apiLoadGen{c: c, stop: make(chan struct{})}
+	for i := 0; i < 2; i++ {
+		gen.wg.Add(1)
+		go gen.hotReader()
+	}
+	for i := 0; i < 2; i++ {
+		gen.wg.Add(1)
+		go gen.httpReader(client)
+	}
+	gen.wg.Add(1)
+	go gen.writer(client)
+
+	loadStart := time.Now()
+	loadedElapsed, err := c.runRounds(rounds)
+	close(gen.stop)
+	gen.wg.Wait()
+	loadWindow := time.Since(loadStart)
+	if err != nil {
+		return err
+	}
+	if e := gen.errs.Load(); e != 0 {
+		return fmt.Errorf("apiload: %d load-worker errors (last: %v)", e, gen.lastErr.Load())
+	}
+	loadedRPS := float64(rounds) / loadedElapsed.Seconds()
+
+	hotOps, httpReads, writes := gen.hotOps.Load(), gen.httpReads.Load(), gen.writes.Load()
+	readQPS := float64(hotOps+httpReads) / loadWindow.Seconds()
+	hotP50, hotP99, hotP999 := quantsUs(&gen.hotHist)
+	add(benchResult{
+		Name: fmt.Sprintf("ctlplane.reads/loaded/n=%d", n), Runs: int(hotOps + httpReads),
+		QPS: readQPS, P50Us: hotP50, P99Us: hotP99, P999Us: hotP999,
+	})
+	httpP50, httpP99, httpP999 := quantsUs(&gen.httpHist)
+	add(benchResult{
+		Name: "ctlplane.http/GET/loopback", Runs: int(httpReads),
+		QPS:   float64(httpReads) / loadWindow.Seconds(),
+		P50Us: httpP50, P99Us: httpP99, P999Us: httpP999,
+	})
+	add(benchResult{
+		Name: "ctlplane.http/POST-budget", Runs: int(writes),
+		QPS: float64(writes) / loadWindow.Seconds(),
+	})
+	add(benchResult{
+		Name: fmt.Sprintf("cluster.rounds/loaded/n=%d", n), Runs: rounds,
+		NsPerOp: loadedElapsed.Nanoseconds() / int64(rounds), RoundsPerSec: loadedRPS,
+		SpeedupX: loadedRPS / baseRPS,
+	})
+
+	// Gates 2-4: aggregate read throughput, read-path p99, perturbation.
+	if httpReads == 0 || writes == 0 {
+		return fmt.Errorf("apiload: degenerate load mix (http reads %d, writes %d)", httpReads, writes)
+	}
+	if readQPS < apiMinReadsPerSec {
+		return fmt.Errorf("apiload: aggregate snapshot reads %.0f/s below gate %.0f/s", readQPS, apiMinReadsPerSec)
+	}
+	if p99 := time.Duration(hotP99 * 1e3); p99 > apiHotP99Target {
+		return fmt.Errorf("apiload: snapshot read p99 %v exceeds target %v", p99, apiHotP99Target)
+	}
+	if deg := 1 - loadedRPS/baseRPS; deg > apiMaxDegradation {
+		return fmt.Errorf("apiload: rounds/sec degraded %.1f%% under load (gate %.0f%%): %.1f -> %.1f",
+			100*deg, 100*apiMaxDegradation, baseRPS, loadedRPS)
+	}
+	if httpP99 > float64(apiHTTPP99Target)/1e3 {
+		fmt.Printf("  warning: HTTP p99 %.1f ms over soft target %v (loopback, shared CPU)\n",
+			httpP99/1e3, apiHTTPP99Target)
+	}
+
+	// Gate 5: with the load gone, set the final budget everywhere and let
+	// the cluster drain it. Every budget view must land on exactly the
+	// posted value and conservation must hold over the published views.
+	finalBudget := c.budget - 20
+	if err := postBudgetAll(c, client, finalBudget); err != nil {
+		return err
+	}
+	client.CloseIdleConnections()
+	if _, err := c.runRounds(10); err != nil {
+		return err
+	}
+	var sumE, sumP float64
+	for i, nd := range c.nodes {
+		if got := nd.agent.Budget(); got != finalBudget {
+			return fmt.Errorf("apiload: node %d budget view %.6f != posted %.6f after load", i, got, finalBudget)
+		}
+		sumE += nd.agent.Estimate()
+		sumP += nd.agent.Power()
+	}
+	gap := math.Abs(sumE - (sumP - finalBudget))
+	if gap > 1e-6 {
+		return fmt.Errorf("apiload: conservation gap %.3g W after reconciliation (gate 1e-6)", gap)
+	}
+	add(benchResult{
+		Name: fmt.Sprintf("cluster.reconcile/n=%d", n), Runs: 1, GapW: gap,
+	})
+
+	// Gate 6: everything we started must wind down — servers, agents,
+	// endpoints — leaving no goroutine behind.
+	if err := c.shutdown(); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= goroutines0+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("apiload: goroutine leak: %d now vs %d at start", runtime.NumGoroutine(), goroutines0)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	return writeBenchReport(out, &report)
+}

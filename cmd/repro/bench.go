@@ -53,16 +53,56 @@ type benchResult struct {
 	Mitigations   int     `json:"mitigations,omitempty"`
 	SlotsPerRound float64 `json:"slots_per_round,omitempty"`
 	GapW          float64 `json:"gap_w,omitempty"`
+	// The apiload series reports serving throughput and latency quantiles.
+	QPS    float64 `json:"qps,omitempty"`
+	P50Us  float64 `json:"p50_us,omitempty"`
+	P99Us  float64 `json:"p99_us,omitempty"`
+	P999Us float64 `json:"p999_us,omitempty"`
 }
 
 type benchReport struct {
 	Date       string        `json:"date"`
+	Tag        string        `json:"tag,omitempty"`
 	GoVersion  string        `json:"go_version"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
 	Workers    int           `json:"workers"`
 	Scale      string        `json:"scale"`
 	Seed       int64         `json:"seed"`
 	Results    []benchResult `json:"results"`
+}
+
+// benchTag is the -tag flag: a free-form label baked into every bench
+// report so a file is self-describing beyond its filename.
+var benchTag string
+
+// newBenchReport stamps the metadata shared by every BENCH_*.json series.
+func newBenchReport(scale string, seed int64) benchReport {
+	return benchReport{
+		Date:      time.Now().Format(time.RFC3339),
+		Tag:       benchTag,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Workers:   parallel.Workers(),
+		Scale:     scale,
+		Seed:      seed,
+	}
+}
+
+// writeBenchReport records GOMAXPROCS as it actually was during the runs
+// (not at flag-parse time, which predates any SetWorkers adjustment) and
+// writes the report.
+func writeBenchReport(out string, report *benchReport) error {
+	report.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", out, len(report.Results))
+	return nil
 }
 
 // measure runs fn repeatedly (after one untimed warm-up) until minTime has
@@ -549,14 +589,7 @@ func runBench(scale experiments.Scale, seed int64, out string, hierN int) error 
 	if scale == experiments.Full {
 		scaleName = "full"
 	}
-	report := benchReport{
-		Date:       time.Now().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workers:    parallel.Workers(),
-		Scale:      scaleName,
-		Seed:       seed,
-	}
+	report := newBenchReport(scaleName, seed)
 
 	for _, n := range []int{1000, 10000} {
 		for _, par := range []bool{false, true} {
@@ -628,13 +661,5 @@ func runBench(scale experiments.Scale, seed int64, out string, hierN int) error 
 		report.Results = append(report.Results, res)
 	}
 
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", out, len(report.Results))
-	return nil
+	return writeBenchReport(out, &report)
 }

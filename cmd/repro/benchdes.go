@@ -1,18 +1,14 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand"
-	"os"
-	"runtime"
 	"time"
 
 	"powercap/internal/cluster"
 	"powercap/internal/des"
 	"powercap/internal/dessim"
 	"powercap/internal/experiments"
-	"powercap/internal/parallel"
 )
 
 // repro bench -des: the shared-clock event core's performance baseline.
@@ -200,14 +196,7 @@ func runBenchDes(seed int64, out string) error {
 	if out == "" {
 		out = fmt.Sprintf("BENCH_%s-des.json", time.Now().Format("2006-01-02"))
 	}
-	report := benchReport{
-		Date:       time.Now().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workers:    parallel.Workers(),
-		Scale:      "des",
-		Seed:       seed,
-	}
+	report := newBenchReport("des", seed)
 	add := func(res benchResult, err error) error {
 		if err != nil {
 			return err
@@ -256,13 +245,5 @@ func runBenchDes(seed int64, out string) error {
 		return err
 	}
 
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", out, len(report.Results))
-	return nil
+	return writeBenchReport(out, &report)
 }

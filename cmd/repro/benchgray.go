@@ -1,15 +1,11 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand"
-	"os"
-	"runtime"
 	"time"
 
 	"powercap/internal/diba"
-	"powercap/internal/parallel"
 	"powercap/internal/topology"
 	"powercap/internal/workload"
 )
@@ -81,14 +77,7 @@ func runBenchGray(seed int64, out string) error {
 	if out == "" {
 		out = fmt.Sprintf("BENCH_%s-gray.json", time.Now().Format("2006-01-02"))
 	}
-	report := benchReport{
-		Date:       time.Now().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workers:    parallel.Workers(),
-		Scale:      "gray",
-		Seed:       seed,
-	}
+	report := newBenchReport("gray", seed)
 	add := func(res benchResult) {
 		extra := ""
 		if res.SpeedupX > 0 {
@@ -190,13 +179,5 @@ func runBenchGray(seed int64, out string) error {
 		fmt.Printf("  warning: tolerant rounds only %.2fx faster than fixed (soft gate 1.5x; timing-noise sensitive)\n", speedup)
 	}
 
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", out, len(report.Results))
-	return nil
+	return writeBenchReport(out, &report)
 }

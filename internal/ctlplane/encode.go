@@ -1,0 +1,259 @@
+package ctlplane
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"powercap/internal/diba"
+)
+
+// Append-style JSON encoding of published snapshots, in the same discipline
+// as the wire codec's EncodeTo: every encoder takes a destination buffer
+// and returns the appended slice, so the only allocation is the buffer
+// itself — and the bodyCache below makes even that once-per-round, not
+// once-per-request.
+
+func appendKey(b []byte, key string) []byte {
+	b = append(b, '"')
+	b = append(b, key...)
+	b = append(b, '"', ':')
+	return b
+}
+
+func appendFloatField(b []byte, key string, v float64) []byte {
+	b = appendKey(b, key)
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+func appendIntField(b []byte, key string, v int64) []byte {
+	b = appendKey(b, key)
+	return strconv.AppendInt(b, v, 10)
+}
+
+func appendUintField(b []byte, key string, v uint64) []byte {
+	b = appendKey(b, key)
+	return strconv.AppendUint(b, v, 10)
+}
+
+func appendBoolField(b []byte, key string, v bool) []byte {
+	b = appendKey(b, key)
+	return strconv.AppendBool(b, v)
+}
+
+func appendIntsField(b []byte, key string, vs []int) []byte {
+	b = appendKey(b, key)
+	b = append(b, '[')
+	for i, v := range vs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	return append(b, ']')
+}
+
+func appendDurUs(b []byte, key string, d time.Duration) []byte {
+	b = appendKey(b, key)
+	return strconv.AppendFloat(b, float64(d)/float64(time.Microsecond), 'g', -1, 64)
+}
+
+// appendCapsJSON encodes the cap/budget view — the GET /v1/caps body.
+func appendCapsJSON(b []byte, s *diba.StateSnapshot) []byte {
+	b = append(b, '{')
+	b = appendUintField(b, "seq", s.Seq)
+	b = append(b, ',')
+	if s.EngineMode {
+		b = appendIntField(b, "n", int64(s.N))
+		b = append(b, ',')
+		b = appendIntField(b, "round", int64(s.Round))
+		b = append(b, ',')
+		b = appendFloatField(b, "budget_w", s.BudgetW)
+		b = append(b, ',')
+		b = appendFloatField(b, "total_power_w", s.TotalPowW)
+		b = append(b, ',')
+		b = appendFloatField(b, "total_utility", s.TotalUtil)
+		b = append(b, ',')
+		b = appendKey(b, "caps_w")
+		b = append(b, '[')
+		for i, c := range s.Caps {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendFloat(b, c, 'g', -1, 64)
+		}
+		b = append(b, ']')
+	} else {
+		b = appendIntField(b, "node", int64(s.Node))
+		b = append(b, ',')
+		b = appendIntField(b, "round", int64(s.Round))
+		b = append(b, ',')
+		b = appendFloatField(b, "cap_w", s.CapW)
+		b = append(b, ',')
+		b = appendFloatField(b, "consensus_w", s.ConsensusW)
+		b = append(b, ',')
+		b = appendFloatField(b, "estimate_w", s.EstimateW)
+		b = append(b, ',')
+		b = appendFloatField(b, "budget_w", s.BudgetW)
+		b = append(b, ',')
+		b = appendBoolField(b, "degraded", s.Degraded)
+		b = append(b, ',')
+		b = appendIntsField(b, "dead", s.Dead)
+		if s.Hier {
+			b = append(b, ',')
+			b = appendIntField(b, "group", int64(s.Group))
+			b = append(b, ',')
+			b = appendIntField(b, "epoch", int64(s.Epoch))
+			b = append(b, ',')
+			b = appendIntField(b, "lease_mw", s.LeaseMw)
+			b = append(b, ',')
+			b = appendBoolField(b, "aggregate", s.Aggregate)
+			b = append(b, ',')
+			b = appendBoolField(b, "frozen", s.Frozen)
+			b = append(b, ',')
+			b = appendIntsField(b, "gray", s.GrayPeers)
+		}
+	}
+	b = append(b, '}', '\n')
+	return b
+}
+
+// appendHealthJSON encodes the gray-failure/telemetry/transport view — the
+// GET /v1/health body.
+func appendHealthJSON(b []byte, s *diba.StateSnapshot) []byte {
+	b = append(b, '{')
+	b = appendUintField(b, "seq", s.Seq)
+	b = append(b, ',')
+	b = appendIntField(b, "node", int64(s.Node))
+	b = append(b, ',')
+	b = appendIntField(b, "round", int64(s.Round))
+	b = append(b, ',')
+	b = appendBoolField(b, "degraded", s.Degraded)
+	if s.Watchdog.Enabled {
+		b = append(b, ',')
+		b = appendKey(b, "watchdog")
+		b = append(b, '{')
+		b = appendIntField(b, "periods", int64(s.Watchdog.Periods))
+		b = append(b, ',')
+		b = appendIntField(b, "violations", int64(s.Watchdog.Violations))
+		b = append(b, ',')
+		b = appendIntField(b, "sheds", int64(s.Watchdog.Sheds))
+		b = append(b, ',')
+		b = appendIntField(b, "releases", int64(s.Watchdog.Releases))
+		b = append(b, ',')
+		b = appendFloatField(b, "min_derate", s.Watchdog.MinDerate)
+		b = append(b, '}')
+	}
+	b = append(b, ',')
+	b = appendKey(b, "peers")
+	b = append(b, '[')
+	for i, ph := range s.Health {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '{')
+		b = appendIntField(b, "peer", int64(ph.Peer))
+		b = append(b, ',')
+		b = appendDurUs(b, "rtt_mean_us", ph.RTT.Mean)
+		b = append(b, ',')
+		b = appendDurUs(b, "rtt_p99_us", ph.RTT.P99)
+		b = append(b, ',')
+		b = appendUintField(b, "samples", ph.RTT.Samples)
+		b = append(b, ',')
+		b = appendFloatField(b, "suspicion", ph.RTT.Suspicion)
+		b = append(b, ',')
+		b = appendBoolField(b, "degraded", ph.RTT.Degraded)
+		b = append(b, ',')
+		b = appendIntField(b, "stale_rounds", int64(ph.StaleRounds))
+		b = append(b, ',')
+		b = appendIntField(b, "outstanding", int64(ph.Outstanding))
+		b = append(b, '}')
+	}
+	b = append(b, ']', ',')
+	b = appendKey(b, "wire")
+	b = appendWireJSON(b, s.Wire)
+	b = append(b, ',')
+	b = appendKey(b, "wire_peers")
+	b = append(b, '[')
+	for i, pw := range s.WirePeers {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '{')
+		b = appendIntField(b, "peer", int64(pw.Peer))
+		b = append(b, ',')
+		b = appendKey(b, "wire")
+		b = appendWireJSON(b, pw.Stats)
+		b = append(b, '}')
+	}
+	b = append(b, ']')
+	b = append(b, '}', '\n')
+	return b
+}
+
+func appendWireJSON(b []byte, w diba.WireStats) []byte {
+	b = append(b, '{')
+	b = appendUintField(b, "msgs_sent", w.MsgsSent)
+	b = append(b, ',')
+	b = appendUintField(b, "msgs_recv", w.MsgsRecv)
+	b = append(b, ',')
+	b = appendUintField(b, "bytes_sent", w.BytesSent)
+	b = append(b, ',')
+	b = appendUintField(b, "bytes_recv", w.BytesRecv)
+	b = append(b, ',')
+	b = appendUintField(b, "flushes", w.Flushes)
+	return append(b, '}')
+}
+
+// appendStatusJSON encodes the legacy GET /status body, field-compatible
+// with the original dibad status endpoint.
+func appendStatusJSON(b []byte, id int, workload string, s *diba.StateSnapshot) []byte {
+	b = append(b, '{')
+	b = appendIntField(b, "id", int64(id))
+	b = append(b, ',')
+	b = appendKey(b, "workload")
+	b = strconv.AppendQuote(b, workload)
+	b = append(b, ',')
+	b = appendFloatField(b, "capW", s.CapW)
+	b = append(b, ',')
+	b = appendFloatField(b, "estimate", s.EstimateW)
+	b = append(b, ',')
+	b = appendIntField(b, "round", int64(s.Round))
+	b = append(b, '}', '\n')
+	return b
+}
+
+// encoded pairs a snapshot with its rendered body. The snapshot pointer is
+// the cache key: snapshots are immutable, so pointer equality means the
+// body is current.
+type encoded struct {
+	snap *diba.StateSnapshot
+	body []byte
+}
+
+// bodyCache memoizes one encoding of the latest snapshot. The fast path —
+// the snapshot has not changed since the last request — is two atomic
+// pointer loads, one pointer compare and zero allocations; a changed
+// snapshot is re-encoded once by whichever reader gets there first
+// (racing encoders both produce a valid body, and the seq-guarded CAS
+// keeps a stale encoder from clobbering a newer entry).
+type bodyCache struct {
+	cur atomic.Pointer[encoded]
+	enc func([]byte, *diba.StateSnapshot) []byte
+}
+
+func (c *bodyCache) get(snap *diba.StateSnapshot) []byte {
+	e := c.cur.Load()
+	if e != nil && e.snap == snap {
+		return e.body
+	}
+	hint := 256
+	if e != nil {
+		hint = len(e.body) + 64
+	}
+	ne := &encoded{snap: snap, body: c.enc(make([]byte, 0, hint), snap)}
+	if e == nil || snap.Seq >= e.snap.Seq {
+		c.cur.CompareAndSwap(e, ne)
+	}
+	return ne.body
+}

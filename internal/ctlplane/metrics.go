@@ -1,0 +1,154 @@
+package ctlplane
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+
+	"powercap/internal/diba"
+)
+
+// GET /metrics renders the latest snapshot plus the server's own counters
+// in Prometheus text exposition format. Scrapes are expected at human
+// cadence (seconds), so the encoder favors clarity over the caps path's
+// zero-alloc discipline — but it still reads only the published snapshot
+// and pooled buffers, never consensus state.
+
+var metricsBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+func appendMetric(b []byte, name, labels string, v float64) []byte {
+	b = append(b, name...)
+	if labels != "" {
+		b = append(b, '{')
+		b = append(b, labels...)
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = strconv.AppendFloat(b, v, 'g', -1, 64)
+	return append(b, '\n')
+}
+
+func appendMetricHeader(b []byte, name, typ, help string) []byte {
+	b = append(b, "# HELP "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, help...)
+	b = append(b, "\n# TYPE "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, typ...)
+	return append(b, '\n')
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func (s *Server) appendMetrics(b []byte, snap *diba.StateSnapshot) []byte {
+	b = appendMetricHeader(b, "powercap_snapshot_seq", "counter", "Published snapshot sequence number.")
+	b = appendMetric(b, "powercap_snapshot_seq", "", float64(snap.Seq))
+	b = appendMetricHeader(b, "powercap_round", "counter", "Consensus rounds completed.")
+	b = appendMetric(b, "powercap_round", "", float64(snap.Round))
+	b = appendMetricHeader(b, "powercap_budget_watts", "gauge", "Local view of the cluster power budget.")
+	b = appendMetric(b, "powercap_budget_watts", "", snap.BudgetW)
+
+	if snap.EngineMode {
+		b = appendMetricHeader(b, "powercap_nodes", "gauge", "Nodes in the in-process engine.")
+		b = appendMetric(b, "powercap_nodes", "", float64(snap.N))
+		b = appendMetricHeader(b, "powercap_total_power_watts", "gauge", "Sum of all node allocations.")
+		b = appendMetric(b, "powercap_total_power_watts", "", snap.TotalPowW)
+		b = appendMetricHeader(b, "powercap_total_utility", "gauge", "Sum of all node utilities.")
+		b = appendMetric(b, "powercap_total_utility", "", snap.TotalUtil)
+	} else {
+		b = appendMetricHeader(b, "powercap_cap_watts", "gauge", "Cap applied to this server.")
+		b = appendMetric(b, "powercap_cap_watts", "", snap.CapW)
+		b = appendMetricHeader(b, "powercap_consensus_watts", "gauge", "Consensus power allocation p_i.")
+		b = appendMetric(b, "powercap_consensus_watts", "", snap.ConsensusW)
+		b = appendMetricHeader(b, "powercap_estimate_watts", "gauge", "Surplus estimate e_i.")
+		b = appendMetric(b, "powercap_estimate_watts", "", snap.EstimateW)
+		b = appendMetricHeader(b, "powercap_dead_nodes", "gauge", "Peers this node believes dead.")
+		b = appendMetric(b, "powercap_dead_nodes", "", float64(len(snap.Dead)))
+		b = appendMetricHeader(b, "powercap_telemetry_degraded", "gauge", "1 when the local telemetry guard distrusts the power sensor.")
+		b = appendMetric(b, "powercap_telemetry_degraded", "", b2f(snap.Degraded))
+	}
+
+	if snap.Hier {
+		b = appendMetricHeader(b, "powercap_lease_milliwatts", "gauge", "Group budget lease held by this node's group.")
+		b = appendMetric(b, "powercap_lease_milliwatts", "", float64(snap.LeaseMw))
+		b = appendMetricHeader(b, "powercap_lease_epoch", "counter", "Aggregate lease epoch.")
+		b = appendMetric(b, "powercap_lease_epoch", "", float64(snap.Epoch))
+		b = appendMetricHeader(b, "powercap_aggregate_active", "gauge", "1 when this node is the group aggregate.")
+		b = appendMetric(b, "powercap_aggregate_active", "", b2f(snap.Aggregate))
+		b = appendMetricHeader(b, "powercap_lease_frozen", "gauge", "1 when the lease is expired and the group budget is frozen.")
+		b = appendMetric(b, "powercap_lease_frozen", "", b2f(snap.Frozen))
+		b = appendMetricHeader(b, "powercap_lease_renewals_total", "counter", "Successful lease renewals by this node.")
+		b = appendMetric(b, "powercap_lease_renewals_total", "", float64(snap.Renewals))
+		b = appendMetricHeader(b, "powercap_gray_demotions_total", "counter", "Aggregate self-demotions after renewal starvation.")
+		b = appendMetric(b, "powercap_gray_demotions_total", "", float64(snap.Demotions))
+		b = appendMetricHeader(b, "powercap_gray_peers", "gauge", "Group members currently excluded from aggregate election.")
+		b = appendMetric(b, "powercap_gray_peers", "", float64(len(snap.GrayPeers)))
+	}
+
+	if snap.Watchdog.Enabled {
+		b = appendMetricHeader(b, "powercap_watchdog_periods_total", "counter", "Watchdog evaluation periods.")
+		b = appendMetric(b, "powercap_watchdog_periods_total", "", float64(snap.Watchdog.Periods))
+		b = appendMetricHeader(b, "powercap_watchdog_violations_total", "counter", "Periods the measured power exceeded the cap.")
+		b = appendMetric(b, "powercap_watchdog_violations_total", "", float64(snap.Watchdog.Violations))
+		b = appendMetricHeader(b, "powercap_watchdog_sheds_total", "counter", "Emergency derates applied by the watchdog.")
+		b = appendMetric(b, "powercap_watchdog_sheds_total", "", float64(snap.Watchdog.Sheds))
+		b = appendMetricHeader(b, "powercap_watchdog_releases_total", "counter", "Derates released after sustained compliance.")
+		b = appendMetric(b, "powercap_watchdog_releases_total", "", float64(snap.Watchdog.Releases))
+	}
+
+	b = appendMetricHeader(b, "powercap_wire_msgs_sent_total", "counter", "Consensus messages sent.")
+	b = appendMetric(b, "powercap_wire_msgs_sent_total", "", float64(snap.Wire.MsgsSent))
+	b = appendMetricHeader(b, "powercap_wire_msgs_recv_total", "counter", "Consensus messages received.")
+	b = appendMetric(b, "powercap_wire_msgs_recv_total", "", float64(snap.Wire.MsgsRecv))
+	b = appendMetricHeader(b, "powercap_wire_bytes_sent_total", "counter", "Consensus bytes sent.")
+	b = appendMetric(b, "powercap_wire_bytes_sent_total", "", float64(snap.Wire.BytesSent))
+	b = appendMetricHeader(b, "powercap_wire_bytes_recv_total", "counter", "Consensus bytes received.")
+	b = appendMetric(b, "powercap_wire_bytes_recv_total", "", float64(snap.Wire.BytesRecv))
+	b = appendMetricHeader(b, "powercap_wire_flushes_total", "counter", "Coalesced transport flushes.")
+	b = appendMetric(b, "powercap_wire_flushes_total", "", float64(snap.Wire.Flushes))
+
+	b = appendMetricHeader(b, "powercap_api_requests_total", "counter", "Control-plane HTTP requests served.")
+	b = appendMetric(b, "powercap_api_requests_total", `path="caps"`, float64(s.reqs[reqCaps].Load()))
+	b = appendMetric(b, "powercap_api_requests_total", `path="health"`, float64(s.reqs[reqHealth].Load()))
+	b = appendMetric(b, "powercap_api_requests_total", `path="status"`, float64(s.reqs[reqStatus].Load()))
+	b = appendMetric(b, "powercap_api_requests_total", `path="metrics"`, float64(s.reqs[reqMetrics].Load()))
+	b = appendMetric(b, "powercap_api_requests_total", `path="command"`, float64(s.reqs[reqCommand].Load()))
+
+	b = appendMetricHeader(b, "powercap_api_commands_total", "counter", "Control-plane commands by disposition.")
+	b = appendMetric(b, "powercap_api_commands_total", `result="queued"`, float64(s.cmds.queued.Load()))
+	b = appendMetric(b, "powercap_api_commands_total", `result="coalesced"`, float64(s.cmds.coalesced.Load()))
+	b = appendMetric(b, "powercap_api_commands_total", `result="rejected"`, float64(s.cmds.rejected.Load()))
+	b = appendMetric(b, "powercap_api_commands_total", `result="applied"`, float64(s.cmds.applied.Load()))
+	b = appendMetric(b, "powercap_api_commands_total", `result="failed"`, float64(s.cmds.failed.Load()))
+	return b
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reqs[reqMetrics].Add(1)
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	snap := s.pub.Load()
+	if snap == nil {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	bp := metricsBufPool.Get().(*[]byte)
+	b := s.appendMetrics((*bp)[:0], snap)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Length", itoa(len(b)))
+	w.Write(b)
+	*bp = b[:0]
+	metricsBufPool.Put(bp)
+}

@@ -98,6 +98,11 @@ type Agent struct {
 	// message — HierAgent buffers them and acts between rounds. Nil for a
 	// flat agent, which drops them.
 	hierSink func(Message)
+
+	// pub, when set, receives an immutable StateSnapshot at the end of
+	// every completed round (publish.go) — the lock-free feed the control
+	// plane serves reads from. Nil means no publication and no overhead.
+	pub *StatePub
 }
 
 // AgentState is an agent's externally visible state after a run.
@@ -215,6 +220,7 @@ func (a *Agent) runRound(quietView, stopProposal int) (map[int]Message, float64,
 	a.round++
 	a.finishRound(got)
 	a.applyTelemetry()
+	a.publishRound()
 	return got, phat, nil
 }
 

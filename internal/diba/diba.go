@@ -194,6 +194,10 @@ type Engine struct {
 	quadV   []float64
 	chiE    []float64
 	allQuad bool
+
+	// pub, when set, receives an immutable cluster-level StateSnapshot
+	// after every round (publish.go). Nil keeps the step paths zero-alloc.
+	pub *StatePub
 }
 
 // New builds an engine over graph g (one node per utility) with the given
@@ -658,6 +662,7 @@ func (en *Engine) Step() float64 {
 	en.p, en.pNext = en.pNext, en.p
 	en.e, en.eNext = en.eNext, en.e
 	en.iter++
+	en.publishRound()
 	return activity
 }
 

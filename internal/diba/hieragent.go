@@ -282,6 +282,9 @@ type HierAgent struct {
 	renewSeq  int
 	lastRenew int
 	frozen    bool
+	// Lifetime counters, published for the control plane's /metrics.
+	renewCount  int
+	demoteCount int
 
 	// Gray-failure demotion state. grayUntil marks members excluded from
 	// election (id → round the verdict expires); deposedUntil is this
@@ -307,6 +310,10 @@ type HierAgent struct {
 	round        int
 	lastExchange int
 	inbox        []Message
+
+	// pub, when set, receives an immutable StateSnapshot after every Step
+	// (publish.go). Nil means no publication.
+	pub *StatePub
 }
 
 // NewHierAgent builds the hierarchical agent for node id. The underlying
@@ -419,6 +426,7 @@ func (h *HierAgent) Step() error {
 	}
 	h.round++
 	h.afterRound()
+	h.publishRound()
 	return nil
 }
 
@@ -564,6 +572,9 @@ func (h *HierAgent) promote() {
 // demote strips aggregate state: a higher epoch exists (or a lower-ranked
 // member rejoined), so this member reverts to following lease floods.
 func (h *HierAgent) demote() {
+	if h.aggActive {
+		h.demoteCount++
+	}
 	h.aggActive, h.aggSynced = false, false
 	h.ledger = nil
 }
@@ -622,6 +633,7 @@ func (h *HierAgent) adoptLease(newMw int64) {
 func (h *HierAgent) renewLease() {
 	h.renewSeq++
 	h.lastRenew = h.round
+	h.renewCount++
 	h.floodLease()
 }
 

@@ -120,6 +120,7 @@ func (en *Engine) StepParallel(workers int) float64 {
 	en.p, en.pNext = en.pNext, en.p
 	en.e, en.eNext = en.eNext, en.e
 	en.iter++
+	en.publishRound()
 	var maxAct float64
 	for _, a := range activities {
 		if a > maxAct {

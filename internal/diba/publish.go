@@ -1,0 +1,221 @@
+package diba
+
+import "sync/atomic"
+
+// Control-plane state publication.
+//
+// The operator-facing API (internal/ctlplane) must answer cap/budget/health
+// queries continuously while the consensus loop runs underneath, and it
+// must never perturb a round to do so. The contract that makes that safe is
+// one-directional and lock-free:
+//
+//   - Once per completed round, the owning goroutine (Agent, HierAgent or
+//     Engine) builds a fresh, immutable StateSnapshot and swaps it into a
+//     StatePub with a single atomic pointer store.
+//   - Readers call Load and get the latest published snapshot. They never
+//     take a lock, never block a round, and never observe consensus state
+//     mid-update — only whole rounds, always self-consistent.
+//   - A snapshot is never mutated after Publish. Serving layers may cache
+//     derived artifacts (encoded bytes) keyed by the snapshot pointer
+//     itself, which is what makes a steady-state read a pointer load plus
+//     one write.
+//
+// The publication hook is opt-in: with no StatePub installed the round loop
+// carries zero overhead and the engine hot paths keep their 0 allocs/op
+// guarantee.
+
+// WatchdogView is the cap-safety watchdog's status as published in a
+// StateSnapshot. The daemon maps safety.Stats into it via the publisher's
+// decorator so this package needs no dependency on internal/safety.
+type WatchdogView struct {
+	Enabled    bool
+	Periods    int
+	Violations int
+	Sheds      int
+	Releases   int
+	// MinDerate is the deepest cap derate ever applied (1 if never shed).
+	MinDerate float64
+}
+
+// PeerWire pairs a peer id with its wire-level traffic counters, sorted by
+// peer id in the snapshot so encoding is deterministic.
+type PeerWire struct {
+	Peer  int
+	Stats WireStats
+}
+
+// StateSnapshot is one round's externally visible state: everything the
+// control plane serves, frozen at a round boundary. Snapshots are immutable
+// after publication; every slice they carry is freshly built by the
+// publishing goroutine and never written again.
+type StateSnapshot struct {
+	// Seq increments on every publication; readers use it to order
+	// snapshots and to key caches of derived encodings.
+	Seq uint64
+
+	// Agent-mode fields (one daemon, one node).
+	Node int
+	// Round is the consensus round the snapshot was taken after.
+	Round int
+	// CapW is the cap actually applied to the server — the consensus
+	// allocation unless the telemetry guard froze it lower.
+	CapW float64
+	// ConsensusW is the consensus allocation p_i.
+	ConsensusW float64
+	// EstimateW is the surplus estimate e_i.
+	EstimateW float64
+	// BudgetW is this node's current view of the cluster budget (shrunk by
+	// known deaths, or derived from the group lease in hierarchical mode).
+	BudgetW float64
+	// Dead lists the node ids this agent believes dead, ascending.
+	Dead []int
+	// Degraded reports the local telemetry verdict (sensor distrusted).
+	Degraded bool
+	// Health carries the per-peer gray-failure verdicts (RTT, suspicion,
+	// staleness), sorted by peer id.
+	Health []PeerHealth
+
+	// Hierarchical-mode fields (zero/false on a flat ring).
+	Hier      bool
+	Group     int
+	Epoch     int
+	LeaseMw   int64
+	Aggregate bool
+	Frozen    bool
+	// GrayPeers lists group members currently excluded from aggregate
+	// election by the renewal-starvation detector.
+	GrayPeers []int
+	// Renewals counts successful lease renewals by this node; Demotions
+	// counts times this node stood down from the aggregate role.
+	Renewals  int
+	Demotions int
+
+	// Transport accounting, attached by the publisher's decorator (the
+	// consensus layer does not know its transport's counters).
+	Wire      WireStats
+	WirePeers []PeerWire
+	// Watchdog is the local cap-safety watchdog status.
+	Watchdog WatchdogView
+
+	// Engine-mode fields (standalone in-process cluster, Node == -1).
+	EngineMode bool
+	N          int
+	TotalPowW  float64
+	TotalUtil  float64
+	// Caps is the full per-node allocation (engine mode only).
+	Caps []float64
+}
+
+// StatePub publishes immutable per-round snapshots via an atomic pointer
+// swap. The zero value is ready to use. Exactly one goroutine publishes
+// (the round loop); any number of goroutines Load concurrently.
+type StatePub struct {
+	cur atomic.Pointer[StateSnapshot]
+	seq atomic.Uint64
+	// decorate, when set, runs on the publishing goroutine just before the
+	// swap — the daemon uses it to attach wire counters and watchdog stats
+	// the consensus layer cannot see. It must only write fields of the
+	// not-yet-published snapshot.
+	decorate func(*StateSnapshot)
+}
+
+// SetDecorator installs fn to run on every publication, on the publishing
+// goroutine, before the snapshot becomes visible. Install it before the
+// round loop starts; it is not synchronized against a concurrent Publish.
+func (p *StatePub) SetDecorator(fn func(*StateSnapshot)) { p.decorate = fn }
+
+// Publish stamps s with the next sequence number, runs the decorator, and
+// makes s the current snapshot. s must not be mutated afterwards.
+func (p *StatePub) Publish(s *StateSnapshot) {
+	s.Seq = p.seq.Add(1)
+	if p.decorate != nil {
+		p.decorate(s)
+	}
+	p.cur.Store(s)
+}
+
+// Load returns the latest published snapshot, or nil before the first
+// publication. The returned snapshot is immutable and safe to read from
+// any goroutine.
+func (p *StatePub) Load() *StateSnapshot { return p.cur.Load() }
+
+// Seq returns the sequence number of the latest publication (0 before the
+// first).
+func (p *StatePub) Seq() uint64 { return p.seq.Load() }
+
+// PublishState installs pub as the agent's per-round publication target:
+// at the end of every completed round the agent builds a StateSnapshot and
+// swaps it in. Install before the round loop starts. A nil pub disables
+// publication.
+func (a *Agent) PublishState(pub *StatePub) { a.pub = pub }
+
+// publishRound builds and publishes this round's snapshot. Called at the
+// end of runRound on the agent's own goroutine, so every field read is
+// ordinary single-threaded access to consensus state.
+func (a *Agent) publishRound() {
+	if a.pub == nil {
+		return
+	}
+	a.pub.Publish(a.buildSnapshot())
+}
+
+// buildSnapshot assembles the agent-mode snapshot base. HierAgent reuses it
+// and layers the lease fields on top.
+func (a *Agent) buildSnapshot() *StateSnapshot {
+	return &StateSnapshot{
+		Node:       a.ID,
+		Round:      a.round,
+		CapW:       a.AppliedCap(),
+		ConsensusW: a.p,
+		EstimateW:  a.e,
+		BudgetW:    a.budget,
+		Dead:       a.DeadNodes(),
+		Degraded:   a.Degraded(),
+		Health:     a.PeerHealth(),
+	}
+}
+
+// PublishState installs pub as the hierarchical agent's publication target.
+// The underlying flat agent's own hook stays nil — HierAgent publishes once
+// per Step, after the lease/role bookkeeping, so the snapshot's hierarchy
+// fields are from the same round as its consensus fields.
+func (h *HierAgent) PublishState(pub *StatePub) { h.pub = pub }
+
+func (h *HierAgent) publishRound() {
+	if h.pub == nil {
+		return
+	}
+	s := h.ag.buildSnapshot()
+	s.Hier = true
+	s.Group = h.group
+	s.Epoch = h.epoch
+	s.LeaseMw = h.leaseMw
+	s.Aggregate = h.aggActive
+	s.Frozen = h.frozen
+	s.GrayPeers = h.Gray()
+	s.Renewals = h.renewCount
+	s.Demotions = h.demoteCount
+	h.pub.Publish(s)
+}
+
+// PublishState installs pub as the engine's publication target: every Step
+// or StepParallel publishes a cluster-level snapshot (Node == -1) with the
+// full per-node allocation. With no publisher installed the step paths are
+// untouched and keep their zero-allocation guarantee.
+func (en *Engine) PublishState(pub *StatePub) { en.pub = pub }
+
+func (en *Engine) publishRound() {
+	if en.pub == nil {
+		return
+	}
+	en.pub.Publish(&StateSnapshot{
+		Node:       -1,
+		EngineMode: true,
+		N:          en.N(),
+		Round:      en.iter,
+		BudgetW:    en.budget,
+		TotalPowW:  en.sumP,
+		TotalUtil:  en.sumU,
+		Caps:       append([]float64(nil), en.p...),
+	})
+}

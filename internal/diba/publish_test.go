@@ -1,0 +1,204 @@
+package diba
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"powercap/internal/topology"
+)
+
+// The engine must publish a snapshot per step, with Seq ordering and
+// self-consistent totals, and the snapshot must be immune to later steps
+// (slices are fresh copies, not aliases of engine state).
+func TestEnginePublishesPerStep(t *testing.T) {
+	const n = 8
+	en := newTestEngine(t, topology.Ring(n), n)
+	var pub StatePub
+	en.PublishState(&pub)
+
+	if pub.Load() != nil {
+		t.Fatal("snapshot published before any step")
+	}
+	en.Step()
+	s1 := pub.Load()
+	if s1 == nil || s1.Seq != 1 || !s1.EngineMode || s1.Node != -1 || s1.N != n {
+		t.Fatalf("first snapshot wrong: %+v", s1)
+	}
+	if len(s1.Caps) != n {
+		t.Fatalf("caps len = %d, want %d", len(s1.Caps), n)
+	}
+	var sum float64
+	for _, c := range s1.Caps {
+		sum += c
+	}
+	if math.Abs(sum-s1.TotalPowW) > 1e-6 {
+		t.Fatalf("Σcaps %.9f != TotalPowW %.9f", sum, s1.TotalPowW)
+	}
+
+	caps1 := append([]float64(nil), s1.Caps...)
+	for i := 0; i < 5; i++ {
+		en.Step()
+	}
+	s2 := pub.Load()
+	if s2.Seq != 6 || s2.Round != s1.Round+5 {
+		t.Fatalf("seq/round after 5 more steps: seq=%d round=%d (first round %d)", s2.Seq, s2.Round, s1.Round)
+	}
+	for i, c := range s1.Caps {
+		if c != caps1[i] {
+			t.Fatal("published snapshot mutated by later steps")
+		}
+	}
+}
+
+// StepParallel must publish exactly like Step.
+func TestEnginePublishesFromStepParallel(t *testing.T) {
+	forceParallelSmallN(t)
+	const n = 16
+	en := newTestEngine(t, topology.Ring(n), n)
+	var pub StatePub
+	en.PublishState(&pub)
+	en.StepParallel(4)
+	s := pub.Load()
+	if s == nil || s.Seq != 1 || s.N != n {
+		t.Fatalf("StepParallel did not publish: %+v", s)
+	}
+}
+
+// A flat agent cluster must publish one snapshot per round per node, with
+// the published consensus views and estimates satisfying conservation.
+func TestAgentPublishesPerRound(t *testing.T) {
+	const n, rounds = 5, 30
+	budget := float64(n) * 170
+	us := mkCluster(t, n, 71)
+	g := topology.Ring(n)
+	var totalIdle float64
+	for _, u := range us {
+		totalIdle += u.MinPower()
+	}
+	net := NewChanNetwork(n, 4*(g.MaxDegree()+1))
+	pubs := make([]*StatePub, n)
+	agents := make([]*Agent, n)
+	for i := 0; i < n; i++ {
+		a, err := NewAgent(i, g.NeighborsInts(i), us[i], budget, n, totalIdle, Config{}, net.Endpoint(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pubs[i] = new(StatePub)
+		a.PublishState(pubs[i])
+		agents[i] = a
+	}
+	var wg sync.WaitGroup
+	for i := range agents {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := agents[i].Run(rounds); err != nil {
+				t.Errorf("agent %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var sumE, sumP float64
+	for i, p := range pubs {
+		s := p.Load()
+		if s == nil {
+			t.Fatalf("node %d never published", i)
+		}
+		if s.Seq != rounds || s.Round != rounds {
+			t.Fatalf("node %d: seq=%d round=%d, want %d", i, s.Seq, s.Round, rounds)
+		}
+		if s.Node != i || s.Hier || s.EngineMode {
+			t.Fatalf("node %d snapshot mislabeled: %+v", i, s)
+		}
+		if s.BudgetW != budget {
+			t.Fatalf("node %d budget view %.3f, want %.3f", i, s.BudgetW, budget)
+		}
+		if s.CapW <= 0 {
+			t.Fatalf("node %d published cap %.3f", i, s.CapW)
+		}
+		sumE += s.EstimateW
+		sumP += s.ConsensusW
+	}
+	// Conservation over the published views: Σe = Σp − B.
+	if math.Abs(sumE-(sumP-budget)) > 1e-6 {
+		t.Fatalf("published views violate conservation: Σe=%.6f Σp−B=%.6f", sumE, sumP-budget)
+	}
+}
+
+// The decorator runs on the publishing goroutine before the swap, so
+// decorated fields are visible atomically with the rest of the snapshot.
+func TestPublishDecorator(t *testing.T) {
+	var pub StatePub
+	pub.SetDecorator(func(s *StateSnapshot) {
+		s.Wire = WireStats{MsgsSent: s.Seq * 7}
+		s.Watchdog = WatchdogView{Enabled: true, Periods: int(s.Seq)}
+	})
+	pub.Publish(&StateSnapshot{Node: 1})
+	pub.Publish(&StateSnapshot{Node: 1})
+	s := pub.Load()
+	if s.Seq != 2 || s.Wire.MsgsSent != 14 || s.Watchdog.Periods != 2 {
+		t.Fatalf("decorator fields wrong: %+v", s)
+	}
+	if pub.Seq() != 2 {
+		t.Fatalf("Seq() = %d, want 2", pub.Seq())
+	}
+}
+
+// A hierarchical cluster publishes snapshots carrying the lease fields and
+// the renewal counters.
+func TestHierAgentPublishes(t *testing.T) {
+	topo, us := hierTestTopo(t)
+	pol := HierPolicy{LeaseTTL: 30, RenewEvery: 3, TransferThresholdW: 2, MaxLeaseStepW: 25}
+	n := len(us)
+	const rounds = 40
+	net := NewChanNetwork(n, 1024)
+	pubs := make([]*StatePub, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		pubs[i] = new(StatePub)
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h, err := NewHierAgent(topo, pol, id, us[id], Config{}, net.Endpoint(id))
+			if err != nil {
+				t.Errorf("node %d: %v", id, err)
+				return
+			}
+			h.PublishState(pubs[id])
+			for r := 0; r < rounds; r++ {
+				if err := h.Step(); err != nil {
+					t.Errorf("node %d round %d: %v", id, r, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var renewals int
+	for i, p := range pubs {
+		s := p.Load()
+		if s == nil {
+			t.Fatalf("hier node %d never published", i)
+		}
+		if !s.Hier {
+			t.Fatalf("hier node %d snapshot not marked Hier", i)
+		}
+		if s.Seq != rounds {
+			t.Fatalf("hier node %d: seq=%d, want %d", i, s.Seq, rounds)
+		}
+		if s.LeaseMw <= 0 {
+			t.Fatalf("hier node %d published lease %d", i, s.LeaseMw)
+		}
+		if s.BudgetW <= 0 {
+			t.Fatalf("hier node %d published budget %.3f", i, s.BudgetW)
+		}
+		renewals += s.Renewals
+	}
+	// Aggregates renew leases; at least one node must have counted renewals.
+	if renewals == 0 {
+		t.Fatal("no lease renewals published across the cluster")
+	}
+}

@@ -1,0 +1,126 @@
+package diba
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWireStatsConcurrentWithReconnect is the control plane's safety net:
+// the daemon's snapshot decorator calls WireStats/WireTotals/RTTStats from
+// the agent goroutine on every round, concurrent with the transport's own
+// reconnect teardown (pump goroutines dying, writeLoops replaced, counters
+// updated from both sides). Under -race, hammering the accessors while the
+// link is repeatedly severed must expose no data race and no torn read.
+func TestWireStatsConcurrentWithReconnect(t *testing.T) {
+	checkGoroutineLeak(t)
+	mk := func(id int) *TCPTransport {
+		tr, err := NewTCPTransport(id, "127.0.0.1:0",
+			WithReconnect(2*time.Millisecond, 20*time.Millisecond, 500),
+			WithHeartbeat(5*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a, b := mk(0), mk(1)
+	defer a.Close()
+	defer b.Close()
+	addrs := map[int]string{0: a.Addr(), 1: b.Addr()}
+	if err := a.ConnectNeighbors([]int{1}, addrs, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ConnectNeighbors([]int{0}, addrs, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Stats readers: what the snapshot decorator does per round, times four.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(tr *TCPTransport) {
+			defer wg.Done()
+			var lastSent uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				per := tr.WireStats()
+				tot := tr.WireTotals()
+				rtt := tr.RTTStats()
+				// Monotonicity across reads: totals never go backwards even
+				// while teardown/reconnect churns the per-conn counters.
+				if tot.MsgsSent < lastSent {
+					t.Errorf("WireTotals went backwards: %d after %d", tot.MsgsSent, lastSent)
+					return
+				}
+				lastSent = tot.MsgsSent
+				var perSum uint64
+				for _, ws := range per {
+					perSum += ws.MsgsSent
+				}
+				if perSum > tot.MsgsSent {
+					t.Errorf("per-peer sum %d exceeds totals %d", perSum, tot.MsgsSent)
+					return
+				}
+				for p, st := range rtt {
+					if st.Samples > 0 && st.Mean < 0 {
+						t.Errorf("peer %d negative RTT mean %v", p, st.Mean)
+						return
+					}
+				}
+			}
+		}([]*TCPTransport{a, b}[r%2])
+	}
+
+	// Traffic generator: keeps the write path and counters hot. Sends fail
+	// while the link is down; that is the reconnect window working.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		round := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			round++
+			_ = a.Send(1, Message{From: 0, Round: round, E: -1})
+			_ = b.Send(0, Message{From: 1, Round: round, E: -2})
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	// Drain both inboxes so delivery never wedges on a full queue.
+	for _, tr := range []*TCPTransport{a, b} {
+		wg.Add(1)
+		go func(tr *TCPTransport) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, _ = tr.RecvTimeout(5 * time.Millisecond)
+			}
+		}(tr)
+	}
+
+	// The churn: repeatedly sever a's live connection to 1 out from under
+	// the readers, forcing teardown + backoff redial while stats flow.
+	for i := 0; i < 30; i++ {
+		a.mu.Lock()
+		if conn, ok := a.conns[1]; ok {
+			conn.c.Close()
+		}
+		a.mu.Unlock()
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math/bits"
+	"time"
+)
+
+// LatencyHist is a fixed-footprint log-linear latency histogram in the
+// HdrHistogram tradition: durations are bucketed by octave (power of two
+// nanoseconds) with histSub linear sub-buckets per octave, giving a
+// worst-case quantile error of 1/histSub (~6%) at any magnitude from
+// nanoseconds to hours. Record is branch-light, allocation-free and O(1),
+// so the load harness can call it on the serving hot path; the struct is
+// NOT safe for concurrent use — give each worker its own and Merge at the
+// end, which also keeps recording free of atomics.
+type LatencyHist struct {
+	counts [histBuckets]uint64
+	n      uint64
+	maxNs  int64
+	sumNs  int64
+}
+
+const (
+	histOctaves  = 40 // 2^40 ns ≈ 18 minutes; beyond clamps to the top bucket
+	histSub      = 16 // linear sub-buckets per octave
+	histSubShift = 4  // log2(histSub)
+	histBuckets  = histOctaves * histSub
+)
+
+// bucket maps a non-negative nanosecond value to its bucket index.
+func bucket(ns int64) int {
+	v := uint64(ns)
+	if v < histSub {
+		// The first histSub values map 1:1 — the range below 2^histSubShift.
+		return int(v)
+	}
+	shift := bits.Len64(v) - 1 - histSubShift
+	sub := int(v>>uint(shift)) & (histSub - 1)
+	idx := (shift+1)*histSub + sub
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpperNs returns the inclusive upper bound of bucket idx — the value
+// quantiles report, so a quantile never understates the latency.
+func bucketUpperNs(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	shift := idx/histSub - 1
+	lo := (int64(histSub) + int64(idx%histSub)) << uint(shift)
+	width := int64(1) << uint(shift)
+	return lo + width - 1
+}
+
+// Record adds one duration sample. Negative durations count as zero.
+func (h *LatencyHist) Record(d time.Duration) { h.RecordNs(int64(d)) }
+
+// RecordNs adds one sample measured in nanoseconds.
+func (h *LatencyHist) RecordNs(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucket(ns)]++
+	h.n++
+	h.sumNs += ns
+	if ns > h.maxNs {
+		h.maxNs = ns
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *LatencyHist) Count() uint64 { return h.n }
+
+// Max returns the largest recorded sample exactly (not bucket-rounded).
+func (h *LatencyHist) Max() time.Duration { return time.Duration(h.maxNs) }
+
+// Mean returns the arithmetic mean of the recorded samples.
+func (h *LatencyHist) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs / int64(h.n))
+}
+
+// Merge folds other's samples into h.
+func (h *LatencyHist) Merge(other *LatencyHist) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sumNs += other.sumNs
+	if other.maxNs > h.maxNs {
+		h.maxNs = other.maxNs
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) as the upper bound of the
+// bucket containing it — a conservative estimate within 1/histSub of the
+// true value. The exact maximum is substituted for the top bucket so p100
+// (and any quantile landing on the final sample) is exact.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the sample the quantile selects.
+	rank := uint64(q*float64(h.n-1)) + 1
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			up := bucketUpperNs(i)
+			// The last non-empty bucket holds the max; report it exactly.
+			// That also covers the saturated top bucket, whose nominal upper
+			// bound understates off-scale samples clamped into it.
+			if seen == h.n && (up >= h.maxNs || i == histBuckets-1) {
+				return time.Duration(h.maxNs)
+			}
+			if up > h.maxNs {
+				up = h.maxNs
+			}
+			return time.Duration(up)
+		}
+	}
+	return time.Duration(h.maxNs)
+}

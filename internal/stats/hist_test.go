@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// Bucket boundaries must be consistent: every value maps to a bucket whose
+// upper bound is >= the value, and bucket indices are monotone in value.
+func TestHistBucketBounds(t *testing.T) {
+	values := []int64{0, 1, 15, 16, 17, 31, 32, 33, 63, 64, 100, 1023, 1024,
+		1_000_000, 123_456_789, 1 << 39, (1 << 40) - 1, 1 << 41, 1 << 62}
+	prev := -1
+	for _, v := range values {
+		idx := bucket(v)
+		if idx < prev {
+			t.Fatalf("bucket not monotone: bucket(%d)=%d after %d", v, idx, prev)
+		}
+		prev = idx
+		up := bucketUpperNs(idx)
+		if up < v && idx < histBuckets-1 {
+			t.Fatalf("bucketUpperNs(bucket(%d)) = %d < value", v, up)
+		}
+		// The upper bound maps back to the same bucket (closed intervals).
+		if idx < histBuckets-1 && bucket(up) != idx {
+			t.Fatalf("bucket(bucketUpperNs(%d)) = %d, want %d", idx, bucket(up), idx)
+		}
+	}
+	// Exhaustively verify the 1:1 region and the first octaves.
+	for v := int64(0); v < 4096; v++ {
+		idx := bucket(v)
+		if up := bucketUpperNs(idx); up < v {
+			t.Fatalf("value %d: upper bound %d below value", v, up)
+		}
+		if idx > 0 {
+			if lowUp := bucketUpperNs(idx - 1); lowUp >= v {
+				t.Fatalf("value %d landed in bucket %d but previous bucket tops at %d", v, idx, lowUp)
+			}
+		}
+	}
+}
+
+// Quantiles must sit within one sub-bucket (1/16 relative) of the exact
+// order statistic, and never below it.
+func TestHistQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h LatencyHist
+	samples := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform from ~100ns to ~100ms — the latency range the API
+		// harness actually sees.
+		ns := int64(100 * pow2(rng.Float64()*20))
+		samples = append(samples, ns)
+		h.RecordNs(ns)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		exact := samples[int(q*float64(len(samples)-1))]
+		got := int64(h.Quantile(q))
+		if got < exact {
+			t.Fatalf("q%.3f: %d understates exact %d", q, got, exact)
+		}
+		// Upper-bound reporting is at most one sub-bucket above.
+		if float64(got) > float64(exact)*(1+2.0/histSub)+1 {
+			t.Fatalf("q%.3f: %d overstates exact %d beyond bucket width", q, got, exact)
+		}
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Fatalf("p100 %v != exact max %v", h.Quantile(1), h.Max())
+	}
+}
+
+func pow2(x float64) float64 {
+	r := 1.0
+	for x >= 1 {
+		r *= 2
+		x--
+	}
+	// Linear blend is fine for test data; exactness is irrelevant here.
+	return r * (1 + x)
+}
+
+func TestHistMergeMatchesCombined(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b, all LatencyHist
+	for i := 0; i < 5000; i++ {
+		ns := rng.Int63n(1_000_000)
+		if i%2 == 0 {
+			a.RecordNs(ns)
+		} else {
+			b.RecordNs(ns)
+		}
+		all.RecordNs(ns)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Max() != all.Max() || a.Mean() != all.Mean() {
+		t.Fatalf("merge mismatch: count %d/%d max %v/%v mean %v/%v",
+			a.Count(), all.Count(), a.Max(), all.Max(), a.Mean(), all.Mean())
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("q%.3f: merged %v != combined %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+func TestHistEdgeCases(t *testing.T) {
+	var h LatencyHist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(-time.Second) // negative clamps to zero
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatalf("negative sample handling: count=%d max=%v", h.Count(), h.Max())
+	}
+	h.RecordNs(1 << 62) // beyond the top octave clamps to the last bucket
+	if got := h.Quantile(1); got != time.Duration(1<<62) {
+		t.Fatalf("top-bucket max must be exact, got %v", got)
+	}
+}
+
+// Record must be allocation-free — it runs on the load harness hot path.
+func TestHistRecordZeroAlloc(t *testing.T) {
+	var h LatencyHist
+	allocs := testing.AllocsPerRun(1000, func() { h.RecordNs(12345) })
+	if allocs != 0 {
+		t.Fatalf("RecordNs allocated %.1f allocs/op, want 0", allocs)
+	}
+}
